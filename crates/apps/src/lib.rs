@@ -1,0 +1,24 @@
+//! # apps — the paper's four evaluation applications
+//!
+//! Each module provides (a) the `pure`-annotated C source consumed by the
+//! compiler chain, (b) a native Rust reference implementation executed on
+//! the real omprt runtime for correctness validation, and (c) workload
+//! characterizations for the machine model. [`figures`] assembles the
+//! paper's Figures 3–11 from those pieces.
+//!
+//! | module | paper application | figures |
+//! |--------|-------------------|---------|
+//! | [`matmul`] | 4096² matrix–matrix multiplication | 3, 4, 5 |
+//! | [`heat`] | point-heated plate, 200 Jacobi steps | 6, 7 |
+//! | [`satellite`] | hyperspectral AOD retrieval (synthetic MODIS) | 8, 9 |
+//! | [`lama`] | LAMA ELL SpMV (synthetic Boeing/pwtk) | 10, 11 |
+
+mod util;
+
+pub mod figures;
+pub mod heat;
+pub mod lama;
+pub mod matmul;
+pub mod satellite;
+
+pub use figures::{all_figures, Figure, Series, CORES};

@@ -1,0 +1,28 @@
+//! Small shared helpers for the app implementations.
+
+/// A raw-pointer wrapper that is `Send + Sync`, used by the parallel
+/// reference implementations to write disjoint output slots from worker
+/// threads. Disjointness is exactly what the purity verification and the
+/// dependence analysis guarantee for these loops; each `// SAFETY` comment
+/// at the use sites states the per-loop argument.
+pub(crate) struct SendPtr<T>(pub *mut T);
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessing the pointer through a method makes closures capture the
+    /// whole `Sync` wrapper (2021 disjoint capture would otherwise grab
+    /// the raw-pointer field itself, which is not `Sync`).
+    #[inline]
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        SendPtr(self.0)
+    }
+}
+impl<T> Copy for SendPtr<T> {}

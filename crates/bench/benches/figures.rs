@@ -1,0 +1,30 @@
+//! Criterion benches over the figure model itself: generating every series
+//! of every figure is cheap and deterministic; this guards against
+//! regressions in the cost model's complexity (and doubles as a smoke test
+//! that all figures stay computable inside `cargo bench`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("fig3_matmul_gcc", |b| {
+        b.iter(|| black_box(apps::figures::fig3_matmul_gcc()))
+    });
+    g.bench_function("fig6_heat_time", |b| {
+        b.iter(|| black_box(apps::figures::fig6_heat_time()))
+    });
+    g.bench_function("fig8_satellite_time", |b| {
+        b.iter(|| black_box(apps::figures::fig8_satellite_time()))
+    });
+    g.bench_function("fig10_lama_time", |b| {
+        b.iter(|| black_box(apps::figures::fig10_lama_time()))
+    });
+    g.bench_function("all_figures", |b| {
+        b.iter(|| black_box(apps::all_figures()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

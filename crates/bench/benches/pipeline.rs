@@ -1,0 +1,66 @@
+//! Criterion benches of the compiler chain itself: lexing, parsing,
+//! purity verification + SCoP marking (PC-CC), and the full
+//! source-to-source transform on each evaluation application.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use purec::chain::{compile, ChainOptions};
+use purec_core::{run_pc_cc, PcCcOptions};
+use std::hint::black_box;
+
+fn bench_front_end(c: &mut Criterion) {
+    let src = apps::matmul::c_source(64);
+    let mut g = c.benchmark_group("front-end");
+    g.bench_function("lex_matmul", |b| {
+        b.iter(|| cfront::lexer::lex(black_box(&src)))
+    });
+    g.bench_function("parse_matmul", |b| {
+        b.iter(|| cfront::parser::parse(black_box(&src)))
+    });
+    let unit = cfront::parser::parse(&src).unit;
+    g.bench_function("print_matmul", |b| {
+        b.iter(|| cfront::print_unit(black_box(&unit)))
+    });
+    g.finish();
+}
+
+fn bench_pc_cc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pc-cc");
+    for (name, src) in [
+        ("matmul", apps::matmul::c_source(64)),
+        ("heat", apps::heat::c_source(32, 8)),
+        ("satellite", apps::satellite::c_source(16, 16)),
+        ("lama", apps::lama::c_source(128, 9)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                PcCcOptions::default,
+                |opts| run_pc_cc(black_box(&src), opts).expect("pipeline ok"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full-chain");
+    g.sample_size(20);
+    for (name, src) in [
+        ("matmul", apps::matmul::c_source(64)),
+        ("heat", apps::heat::c_source(32, 8)),
+        ("satellite", apps::satellite::c_source(16, 16)),
+        ("lama", apps::lama::c_source(128, 9)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                ChainOptions::default,
+                |opts| compile(black_box(&src), opts).expect("chain ok"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_front_end, bench_pc_cc, bench_full_chain);
+criterion_main!(benches);

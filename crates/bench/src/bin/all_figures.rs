@@ -1,0 +1,12 @@
+//! Emit every regenerated figure of the paper in order (use --json for
+//! machine-readable output).
+fn main() {
+    let json = bench_harness::json_flag();
+    if !json {
+        print!("{}", bench_harness::fig2_report());
+        println!();
+    }
+    for fig in apps::all_figures() {
+        bench_harness::emit(&fig, json);
+    }
+}

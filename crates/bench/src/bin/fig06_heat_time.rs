@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig06 series (see apps::figures).
+fn main() {
+    bench_harness::emit(&apps::figures::fig6_heat_time(), bench_harness::json_flag());
+}

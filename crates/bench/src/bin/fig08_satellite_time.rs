@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig08 series (see apps::figures).
+fn main() {
+    bench_harness::emit(&apps::figures::fig8_satellite_time(), bench_harness::json_flag());
+}

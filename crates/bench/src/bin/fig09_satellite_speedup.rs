@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig09 series (see apps::figures).
+fn main() {
+    bench_harness::emit(&apps::figures::fig9_satellite_speedup(), bench_harness::json_flag());
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig11 series (see apps::figures).
+fn main() {
+    bench_harness::emit(&apps::figures::fig11_lama_speedup(), bench_harness::json_flag());
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's Fig. 2: invalid vs valid tiling after skewing.
+fn main() {
+    print!("{}", bench_harness::fig2_report());
+}

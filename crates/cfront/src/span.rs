@@ -1,0 +1,147 @@
+//! Byte-offset source spans and line/column resolution.
+//!
+//! Every token, statement and expression in the front end carries a [`Span`]
+//! so that the purity verifier and the polyhedral extractor can point at the
+//! exact source location when they reject a program.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Span {
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Slice `src` to the text this span covers. Returns `""` when the span
+    /// is out of bounds (e.g. a dummy span on synthesized nodes).
+    pub fn text(self, src: &str) -> &str {
+        src.get(self.start as usize..self.end as usize).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// 1-based line/column position resolved from a byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Precomputed newline table for O(log n) offset → line/column queries.
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    /// Byte offsets at which each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+    len: u32,
+}
+
+impl LineMap {
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineMap {
+            line_starts,
+            len: src.len() as u32,
+        }
+    }
+
+    /// Resolve a byte offset to 1-based line/column. Offsets past the end of
+    /// the buffer are clamped to the final position.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let offset = offset.min(self.len);
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// Number of lines in the mapped buffer (a trailing newline does not
+    /// start a new countable line unless followed by content).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_orders_endpoints() {
+        let a = Span::new(4, 8);
+        let b = Span::new(1, 6);
+        assert_eq!(a.to(b), Span::new(1, 8));
+        assert_eq!(b.to(a), Span::new(1, 8));
+    }
+
+    #[test]
+    fn span_text_slices_source() {
+        let src = "pure int f();";
+        assert_eq!(Span::new(0, 4).text(src), "pure");
+        assert_eq!(Span::new(5, 8).text(src), "int");
+        assert_eq!(Span::new(100, 104).text(src), "");
+    }
+
+    #[test]
+    fn line_map_resolves_positions() {
+        let src = "int a;\nint b;\n  int c;";
+        let map = LineMap::new(src);
+        assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(map.line_col(4), LineCol { line: 1, col: 5 });
+        assert_eq!(map.line_col(7), LineCol { line: 2, col: 1 });
+        assert_eq!(map.line_col(16), LineCol { line: 3, col: 3 });
+        // Past-the-end offsets clamp instead of panicking.
+        assert_eq!(map.line_col(10_000).line, 3);
+    }
+
+    #[test]
+    fn line_map_counts_lines() {
+        assert_eq!(LineMap::new("").line_count(), 1);
+        assert_eq!(LineMap::new("a\nb").line_count(), 2);
+        assert_eq!(LineMap::new("a\nb\n").line_count(), 3);
+    }
+}

@@ -1,0 +1,227 @@
+//! Mutable AST visitors used by the transformation stages (call substitution,
+//! `pure` lowering, pragma insertion).
+
+use crate::ast::*;
+
+/// Walk every expression in a statement subtree with a mutable closure.
+/// Traversal is outside-in; the closure may rewrite nodes in place.
+pub fn visit_exprs_mut(stmt: &mut Stmt, f: &mut dyn FnMut(&mut Expr)) {
+    match &mut stmt.kind {
+        StmtKind::Decl(d) => {
+            for dec in &mut d.declarators {
+                for dim in &mut dec.array_dims {
+                    visit_expr_mut(dim, f);
+                }
+                if let Some(init) = &mut dec.init {
+                    visit_expr_mut(init, f);
+                }
+            }
+        }
+        StmtKind::Expr(Some(e)) | StmtKind::Return(Some(e)) => visit_expr_mut(e, f),
+        StmtKind::Expr(None) | StmtKind::Return(None) => {}
+        StmtKind::Block(b) => {
+            for s in &mut b.stmts {
+                visit_exprs_mut(s, f);
+            }
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            visit_expr_mut(cond, f);
+            visit_exprs_mut(then_branch, f);
+            if let Some(e) = else_branch {
+                visit_exprs_mut(e, f);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            visit_expr_mut(cond, f);
+            visit_exprs_mut(body, f);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            visit_exprs_mut(body, f);
+            visit_expr_mut(cond, f);
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            match init.as_mut() {
+                ForInit::Decl(d) => {
+                    for dec in &mut d.declarators {
+                        if let Some(i) = &mut dec.init {
+                            visit_expr_mut(i, f);
+                        }
+                    }
+                }
+                ForInit::Expr(Some(e)) => visit_expr_mut(e, f),
+                ForInit::Expr(None) => {}
+            }
+            if let Some(c) = cond {
+                visit_expr_mut(c, f);
+            }
+            if let Some(s) = step {
+                visit_expr_mut(s, f);
+            }
+            visit_exprs_mut(body, f);
+        }
+        StmtKind::Break | StmtKind::Continue | StmtKind::Pragma(_) => {}
+    }
+}
+
+/// Walk an expression tree with a mutable closure, outside-in.
+pub fn visit_expr_mut(e: &mut Expr, f: &mut dyn FnMut(&mut Expr)) {
+    f(e);
+    match &mut e.kind {
+        ExprKind::IntLit(_)
+        | ExprKind::FloatLit { .. }
+        | ExprKind::StrLit(_)
+        | ExprKind::CharLit(_)
+        | ExprKind::Ident(_)
+        | ExprKind::SizeofType(_) => {}
+        ExprKind::Unary(_, inner) | ExprKind::Cast(_, inner) | ExprKind::SizeofExpr(inner) => {
+            visit_expr_mut(inner, f)
+        }
+        ExprKind::Binary(_, l, r) | ExprKind::Comma(l, r) | ExprKind::Assign(_, l, r) => {
+            visit_expr_mut(l, f);
+            visit_expr_mut(r, f);
+        }
+        ExprKind::Ternary(c, t, els) => {
+            visit_expr_mut(c, f);
+            visit_expr_mut(t, f);
+            visit_expr_mut(els, f);
+        }
+        ExprKind::Call { callee, args } => {
+            visit_expr_mut(callee, f);
+            for a in args {
+                visit_expr_mut(a, f);
+            }
+        }
+        ExprKind::Index(b, i) => {
+            visit_expr_mut(b, f);
+            visit_expr_mut(i, f);
+        }
+        ExprKind::Member { base, .. } => visit_expr_mut(base, f),
+    }
+}
+
+/// Walk every statement in a function body with a mutable closure
+/// (outside-in). The closure may rewrite statement kinds in place.
+pub fn visit_stmts_mut(stmt: &mut Stmt, f: &mut dyn FnMut(&mut Stmt)) {
+    f(stmt);
+    match &mut stmt.kind {
+        StmtKind::Block(b) => {
+            for s in &mut b.stmts {
+                visit_stmts_mut(s, f);
+            }
+        }
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            visit_stmts_mut(then_branch, f);
+            if let Some(e) = else_branch {
+                visit_stmts_mut(e, f);
+            }
+        }
+        StmtKind::While { body, .. }
+        | StmtKind::DoWhile { body, .. }
+        | StmtKind::For { body, .. } => visit_stmts_mut(body, f),
+        _ => {}
+    }
+}
+
+/// Walk all types mentioned in a statement subtree (declarations and casts).
+pub fn visit_types_mut(stmt: &mut Stmt, f: &mut dyn FnMut(&mut Type)) {
+    visit_stmts_mut(stmt, &mut |s| {
+        if let StmtKind::Decl(d) = &mut s.kind {
+            for dec in &mut d.declarators {
+                f(&mut dec.ty);
+            }
+        }
+        if let StmtKind::For { init, .. } = &mut s.kind {
+            if let ForInit::Decl(d) = init.as_mut() {
+                for dec in &mut d.declarators {
+                    f(&mut dec.ty);
+                }
+            }
+        }
+    });
+    visit_exprs_mut(stmt, &mut |e| {
+        if let ExprKind::Cast(ty, _) = &mut e.kind {
+            f(ty);
+        }
+        if let ExprKind::SizeofType(ty) = &mut e.kind {
+            f(ty);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::printer::print_unit;
+
+    #[test]
+    fn rewrite_calls_to_constants() {
+        let src = "void f() { for (int i = 0; i < 4; i++) a[i] = g(i) + h(i); }";
+        let mut unit = parse(src).unit;
+        for func in unit.functions_mut() {
+            if let Some(body) = &mut func.body {
+                for s in &mut body.stmts {
+                    visit_exprs_mut(s, &mut |e| {
+                        if let Some((name, _)) = e.as_direct_call() {
+                            if name == "g" || name == "h" {
+                                let replacement = format!("tmpConst_{name}");
+                                *e = Expr::ident(replacement);
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        let out = print_unit(&unit);
+        assert!(out.contains("tmpConst_g + tmpConst_h"), "{out}");
+        assert!(!out.contains("g(i)"));
+    }
+
+    #[test]
+    fn visit_types_reaches_casts_and_decls() {
+        let src = "void f() { pure int* p = (pure int*)q; }";
+        let mut unit = parse(src).unit;
+        let mut count = 0;
+        for func in unit.functions_mut() {
+            if let Some(body) = &mut func.body {
+                for s in &mut body.stmts {
+                    visit_types_mut(s, &mut |ty| {
+                        if ty.pure_qual {
+                            count += 1;
+                        }
+                    });
+                }
+            }
+        }
+        assert_eq!(count, 2); // declaration type + cast type
+    }
+
+    #[test]
+    fn visit_stmts_counts_nested() {
+        let src = "void f() { if (a) { for (;;) x = 1; } else y = 2; }";
+        let mut unit = parse(src).unit;
+        let mut n = 0;
+        for func in unit.functions_mut() {
+            if let Some(body) = &mut func.body {
+                for s in &mut body.stmts {
+                    visit_stmts_mut(s, &mut |_| n += 1);
+                }
+            }
+        }
+        // if + block + for + x=1 + y=2
+        assert_eq!(n, 5);
+    }
+}

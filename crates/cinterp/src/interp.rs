@@ -1,0 +1,1556 @@
+//! The C interpreter: executes (transformed) translation units directly on
+//! the [`crate::value::Memory`] model, honouring `#pragma omp parallel
+//! for` regions by running them on the [`machine::omprt`] runtime.
+//!
+//! The interpreter is how this reproduction *validates* the compiler
+//! chain: every transformed program must compute bit-identical results to
+//! its original, sequentially and in parallel (the integration tests and
+//! proptests assert exactly that). An optional race-check mode verifies
+//! the disjointness of iteration access sets before parallel execution —
+//! the dynamic counterpart of the purity guarantee.
+
+use crate::builtins::{call_builtin, format_printf};
+use crate::value::{CounterSnapshot, Counters, Memory, Ptr, Scalar};
+use cfront::ast::*;
+use machine::{parallel_for, OmpSchedule};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Interpreter configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct InterpOptions {
+    /// Threads for `omp parallel for` regions.
+    pub threads: usize,
+    /// Validate iteration access-set disjointness (sequentially) before
+    /// running a region in parallel.
+    pub race_check: bool,
+    /// Abort after this many executed statements (runaway guard).
+    pub max_steps: u64,
+}
+
+impl Default for InterpOptions {
+    fn default() -> Self {
+        InterpOptions {
+            threads: 1,
+            race_check: false,
+            max_steps: 500_000_000,
+        }
+    }
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub exit_code: i64,
+    pub output: String,
+    pub counters: CounterSnapshot,
+}
+
+/// Runtime errors carry a message and the offending span when known.
+#[derive(Debug, Clone)]
+pub struct RuntimeError {
+    pub message: String,
+    pub span: cfront::span::Span,
+}
+
+impl RuntimeError {
+    fn new(message: impl Into<String>, span: cfront::span::Span) -> Self {
+        RuntimeError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+type RtResult<T> = Result<T, RuntimeError>;
+
+/// Immutable program data shared by all execution threads.
+struct ProgramData {
+    functions: HashMap<String, Function>,
+    /// field name → (offset, is_array); struct sizes by name.
+    field_offsets: HashMap<String, (usize, bool)>,
+    struct_sizes: HashMap<String, usize>,
+    global_decls: Vec<Declaration>,
+}
+
+/// A loaded program ready to run.
+pub struct Program {
+    data: Arc<ProgramData>,
+}
+
+impl Program {
+    /// Prepare a translation unit for execution.
+    pub fn new(unit: &TranslationUnit) -> Self {
+        let mut functions = HashMap::new();
+        let mut field_offsets = HashMap::new();
+        let mut struct_sizes = HashMap::new();
+        let mut global_decls = Vec::new();
+        for item in &unit.items {
+            match item {
+                Item::Function(f) => {
+                    // Definitions override prototypes.
+                    let replace = f.is_definition()
+                        || !functions.contains_key(&f.name);
+                    if replace {
+                        functions.insert(f.name.clone(), f.clone());
+                    }
+                }
+                Item::Struct(s) => {
+                    let mut offset = 0usize;
+                    for field in &s.fields {
+                        let len: usize = field
+                            .array_dims
+                            .iter()
+                            .map(|d| match d.kind {
+                                ExprKind::IntLit(v) => v.max(1) as usize,
+                                _ => 1,
+                            })
+                            .product();
+                        field_offsets
+                            .insert(field.name.clone(), (offset, !field.array_dims.is_empty()));
+                        offset += len.max(1);
+                    }
+                    struct_sizes.insert(s.name.clone(), offset.max(1));
+                }
+                Item::Decl(d) => global_decls.push(d.clone()),
+                _ => {}
+            }
+        }
+        Program {
+            data: Arc::new(ProgramData {
+                functions,
+                field_offsets,
+                struct_sizes,
+                global_decls,
+            }),
+        }
+    }
+
+    /// Run `main()` (or a named entry) to completion.
+    pub fn run(&self, opts: InterpOptions) -> RtResult<RunResult> {
+        self.run_entry("main", opts)
+    }
+
+    pub fn run_entry(&self, entry: &str, opts: InterpOptions) -> RtResult<RunResult> {
+        let shared = SharedState {
+            prog: Arc::clone(&self.data),
+            mem: Memory::new(),
+            counters: Arc::new(Counters::new()),
+            globals: Arc::new(RwLock::new(HashMap::new())),
+            output: Arc::new(Mutex::new(String::new())),
+            opts,
+        };
+        let mut interp = Interp::new(shared.clone());
+
+        // Initialise globals in declaration order.
+        for d in &self.data.global_decls.clone() {
+            interp.declare(d, true)?;
+        }
+
+        let exit = interp.call_function(entry, &[], cfront::span::Span::DUMMY)?;
+        let output = shared.output.lock().clone();
+        let counters = shared.counters.snapshot();
+        Ok(RunResult {
+            exit_code: exit.as_i64(),
+            output,
+            counters,
+        })
+    }
+}
+
+#[derive(Clone)]
+struct SharedState {
+    prog: Arc<ProgramData>,
+    mem: Memory,
+    counters: Arc<Counters>,
+    globals: Arc<RwLock<HashMap<String, Scalar>>>,
+    output: Arc<Mutex<String>>,
+    opts: InterpOptions,
+}
+
+/// Where an lvalue lives.
+enum Place {
+    Local(String),
+    Global(String),
+    Mem(Ptr),
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Scalar),
+}
+
+/// Access tracking for race-check mode.
+#[derive(Default)]
+struct TrackSets {
+    reads: HashSet<(u32, i64)>,
+    writes: HashSet<(u32, i64)>,
+}
+
+struct Interp {
+    s: SharedState,
+    frames: Vec<HashMap<String, Scalar>>,
+    steps: u64,
+    track: Option<TrackSets>,
+}
+
+impl Interp {
+    fn new(s: SharedState) -> Self {
+        Interp {
+            s,
+            frames: vec![HashMap::new()],
+            steps: 0,
+            track: None,
+        }
+    }
+
+    fn frame(&mut self) -> &mut HashMap<String, Scalar> {
+        self.frames.last_mut().expect("at least one frame")
+    }
+
+    fn step(&mut self, span: cfront::span::Span) -> RtResult<()> {
+        self.steps += 1;
+        if self.steps > self.s.opts.max_steps {
+            return Err(RuntimeError::new("step limit exceeded (infinite loop?)", span));
+        }
+        Ok(())
+    }
+
+    // -- declarations ---------------------------------------------------------
+
+    fn declare(&mut self, d: &Declaration, global: bool) -> RtResult<()> {
+        for dec in &d.declarators {
+            let value = if !dec.array_dims.is_empty() {
+                // Local/global array: nested spine-of-pointers layout.
+                let dims: Vec<usize> = dec
+                    .array_dims
+                    .iter()
+                    .map(|e| self.eval(e).map(|v| v.as_i64().max(0) as usize))
+                    .collect::<RtResult<_>>()?;
+                Scalar::P(self.alloc_array(&dims))
+            } else if matches!(dec.ty.base, BaseType::Struct(_)) && !dec.ty.is_pointer() {
+                let size = match &dec.ty.base {
+                    BaseType::Struct(name) => {
+                        *self.s.prog.struct_sizes.get(name).unwrap_or(&8)
+                    }
+                    _ => unreachable!(),
+                };
+                Scalar::P(self.s.mem.alloc(size))
+            } else if let Some(init) = &dec.init {
+                let v = self.eval(init)?;
+                self.coerce(v, &dec.ty)
+            } else {
+                Scalar::Uninit
+            };
+
+            // Array initializer lists fill the allocation.
+            if !dec.array_dims.is_empty() {
+                if let Some(init) = &dec.init {
+                    if let Scalar::P(p) = value {
+                        self.fill_initlist(p, init)?;
+                    }
+                }
+            }
+
+            if global {
+                self.s.globals.write().insert(dec.name.clone(), value);
+            } else {
+                self.frame().insert(dec.name.clone(), value);
+            }
+        }
+        Ok(())
+    }
+
+    fn alloc_array(&mut self, dims: &[usize]) -> Ptr {
+        match dims {
+            [] | [_] => self.s.mem.alloc(dims.first().copied().unwrap_or(1)),
+            [first, rest @ ..] => {
+                let spine = self.s.mem.alloc(*first);
+                for i in 0..*first {
+                    let sub = self.alloc_array(rest);
+                    self.s
+                        .mem
+                        .store(spine.offset(i as i64), Scalar::P(sub))
+                        .expect("fresh spine in bounds");
+                }
+                spine
+            }
+        }
+    }
+
+    fn fill_initlist(&mut self, p: Ptr, init: &Expr) -> RtResult<()> {
+        if let Some(("__initlist", elems)) = init.as_direct_call() {
+            for (i, e) in elems.iter().enumerate() {
+                if let Some(("__initlist", _)) = e.as_direct_call() {
+                    // Nested list: descend into row pointer.
+                    if let Scalar::P(row) = self.mem_load(p.offset(i as i64), e.span)? {
+                        self.fill_initlist(row, e)?;
+                    }
+                } else {
+                    let v = self.eval(e)?;
+                    self.mem_store(p.offset(i as i64), v, e.span)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn coerce(&self, v: Scalar, ty: &Type) -> Scalar {
+        if ty.is_pointer() {
+            return v;
+        }
+        match (&ty.base, v) {
+            (BaseType::Float | BaseType::Double, Scalar::I(i)) => Scalar::F(i as f64),
+            (b, Scalar::F(f)) if b.is_integer() => Scalar::I(f as i64),
+            _ => v,
+        }
+    }
+
+    // -- memory with counters ---------------------------------------------------
+
+    fn mem_load(&mut self, p: Ptr, span: cfront::span::Span) -> RtResult<Scalar> {
+        Counters::bump(&self.s.counters.loads);
+        if let Some(t) = &mut self.track {
+            t.reads.insert((p.alloc, p.index));
+        }
+        self.s
+            .mem
+            .load(p)
+            .map_err(|e| RuntimeError::new(e.to_string(), span))
+    }
+
+    fn mem_store(&mut self, p: Ptr, v: Scalar, span: cfront::span::Span) -> RtResult<()> {
+        Counters::bump(&self.s.counters.stores);
+        if let Some(t) = &mut self.track {
+            t.writes.insert((p.alloc, p.index));
+        }
+        self.s
+            .mem
+            .store(p, v)
+            .map_err(|e| RuntimeError::new(e.to_string(), span))
+    }
+
+    // -- name lookup --------------------------------------------------------------
+
+    fn lookup(&self, name: &str) -> Option<Scalar> {
+        for frame in self.frames.iter().rev() {
+            if let Some(v) = frame.get(name) {
+                return Some(*v);
+            }
+        }
+        self.s.globals.read().get(name).copied()
+    }
+
+    fn assign_var(&mut self, name: &str, v: Scalar, span: cfront::span::Span) -> RtResult<()> {
+        for frame in self.frames.iter_mut().rev() {
+            if let Some(slot) = frame.get_mut(name) {
+                *slot = v;
+                return Ok(());
+            }
+        }
+        let mut g = self.s.globals.write();
+        if let Some(slot) = g.get_mut(name) {
+            *slot = v;
+            return Ok(());
+        }
+        Err(RuntimeError::new(format!("assignment to undeclared '{name}'"), span))
+    }
+
+    // -- lvalues ----------------------------------------------------------------
+
+    fn place(&mut self, e: &Expr) -> RtResult<Place> {
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                for frame in self.frames.iter().rev() {
+                    if frame.contains_key(name) {
+                        return Ok(Place::Local(name.clone()));
+                    }
+                }
+                if self.s.globals.read().contains_key(name) {
+                    return Ok(Place::Global(name.clone()));
+                }
+                Err(RuntimeError::new(format!("unknown variable '{name}'"), e.span))
+            }
+            ExprKind::Index(base, idx) => {
+                let b = self.eval(base)?;
+                let i = self.eval(idx)?.as_i64();
+                match b {
+                    Scalar::P(p) => Ok(Place::Mem(p.offset(i))),
+                    other => Err(RuntimeError::new(
+                        format!("indexing a non-pointer value {other:?}"),
+                        e.span,
+                    )),
+                }
+            }
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                let v = self.eval(inner)?;
+                match v {
+                    Scalar::P(p) => Ok(Place::Mem(p)),
+                    _ => Err(RuntimeError::new("dereference of non-pointer", e.span)),
+                }
+            }
+            ExprKind::Member { base, member, .. } => {
+                let b = self.eval(base)?;
+                let Scalar::P(p) = b else {
+                    return Err(RuntimeError::new("member access on non-struct", e.span));
+                };
+                let (offset, is_array) = self
+                    .s
+                    .prog
+                    .field_offsets
+                    .get(member)
+                    .copied()
+                    .ok_or_else(|| {
+                        RuntimeError::new(format!("unknown field '{member}'"), e.span)
+                    })?;
+                let _ = is_array;
+                Ok(Place::Mem(p.offset(offset as i64)))
+            }
+            ExprKind::Cast(_, inner) => self.place(inner),
+            _ => Err(RuntimeError::new("expression is not an lvalue", e.span)),
+        }
+    }
+
+    fn load_place(&mut self, place: &Place, span: cfront::span::Span) -> RtResult<Scalar> {
+        match place {
+            Place::Local(name) | Place::Global(name) => self
+                .lookup(name)
+                .ok_or_else(|| RuntimeError::new(format!("unknown variable '{name}'"), span)),
+            Place::Mem(p) => self.mem_load(*p, span),
+        }
+    }
+
+    fn store_place(&mut self, place: &Place, v: Scalar, span: cfront::span::Span) -> RtResult<()> {
+        match place {
+            Place::Local(name) | Place::Global(name) => self.assign_var(name, v, span),
+            Place::Mem(p) => self.mem_store(*p, v, span),
+        }
+    }
+
+    // -- expressions ----------------------------------------------------------------
+
+    fn eval(&mut self, e: &Expr) -> RtResult<Scalar> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok(Scalar::I(*v)),
+            ExprKind::FloatLit { value, .. } => Ok(Scalar::F(*value)),
+            ExprKind::CharLit(c) => Ok(Scalar::I(*c as i64)),
+            ExprKind::StrLit(s) => {
+                // One char per slot, NUL-terminated.
+                let p = self.s.mem.alloc(s.chars().count() + 1);
+                for (i, ch) in s.chars().enumerate() {
+                    self.mem_store(p.offset(i as i64), Scalar::I(ch as i64), e.span)?;
+                }
+                self.mem_store(p.offset(s.chars().count() as i64), Scalar::I(0), e.span)?;
+                Ok(Scalar::P(p))
+            }
+            ExprKind::Ident(name) => self
+                .lookup(name)
+                .ok_or_else(|| RuntimeError::new(format!("unknown variable '{name}'"), e.span)),
+            ExprKind::Unary(op, inner) => self.eval_unary(*op, inner, e.span),
+            ExprKind::Binary(op, l, r) => self.eval_binary(*op, l, r, e.span),
+            ExprKind::Assign(op, lhs, rhs) => {
+                let rv = self.eval(rhs)?;
+                let place = self.place(lhs)?;
+                let result = match op.binop() {
+                    None => rv,
+                    Some(b) => {
+                        let old = self.load_place(&place, e.span)?;
+                        self.apply_binop(b, old, rv, e.span)?
+                    }
+                };
+                self.store_place(&place, result, e.span)?;
+                Ok(result)
+            }
+            ExprKind::Ternary(c, t, f) => {
+                Counters::bump(&self.s.counters.branches);
+                if self.eval(c)?.truthy() {
+                    self.eval(t)
+                } else {
+                    self.eval(f)
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                let Some(name) = callee.as_ident() else {
+                    return Err(RuntimeError::new("indirect calls are unsupported", e.span));
+                };
+                let name = name.to_string();
+                if name == "printf" {
+                    return self.do_printf(args, e.span);
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                self.call_function(&name, &vals, e.span)
+            }
+            ExprKind::Index(..) | ExprKind::Member { .. } => {
+                let place = self.place(e)?;
+                self.load_place(&place, e.span)
+            }
+            ExprKind::Cast(ty, inner) => {
+                let v = self.eval(inner)?;
+                Ok(self.coerce(v, ty))
+            }
+            ExprKind::SizeofType(_) => Ok(Scalar::I(8)),
+            ExprKind::SizeofExpr(_) => Ok(Scalar::I(8)),
+            ExprKind::Comma(l, r) => {
+                self.eval(l)?;
+                self.eval(r)
+            }
+        }
+    }
+
+    fn eval_unary(&mut self, op: UnOp, inner: &Expr, span: cfront::span::Span) -> RtResult<Scalar> {
+        match op {
+            UnOp::Neg => {
+                let v = self.eval(inner)?;
+                Ok(match v {
+                    Scalar::F(f) => {
+                        Counters::bump(&self.s.counters.flops);
+                        Scalar::F(-f)
+                    }
+                    other => {
+                        Counters::bump(&self.s.counters.int_ops);
+                        Scalar::I(-other.as_i64())
+                    }
+                })
+            }
+            UnOp::Not => {
+                let v = self.eval(inner)?;
+                Ok(Scalar::I(i64::from(!v.truthy())))
+            }
+            UnOp::BitNot => {
+                let v = self.eval(inner)?;
+                Ok(Scalar::I(!v.as_i64()))
+            }
+            UnOp::Deref => {
+                // `*e` loads through the pointer value of `e` (which may be
+                // any expression, e.g. `*(p + 4)`).
+                let v = self.eval(inner)?;
+                match v {
+                    Scalar::P(p) => self.mem_load(p, span),
+                    other => Err(RuntimeError::new(
+                        format!("dereference of non-pointer {other:?}"),
+                        span,
+                    )),
+                }
+            }
+            UnOp::AddrOf => {
+                let place = self.place(inner)?;
+                match place {
+                    Place::Mem(p) => Ok(Scalar::P(p)),
+                    _ => Err(RuntimeError::new(
+                        "address-of is only supported for memory lvalues",
+                        span,
+                    )),
+                }
+            }
+            UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec => {
+                let place = self.place(inner)?;
+                let old = self.load_place(&place, span)?;
+                let delta = if matches!(op, UnOp::PreInc | UnOp::PostInc) {
+                    1
+                } else {
+                    -1
+                };
+                let new = match old {
+                    Scalar::F(f) => {
+                        Counters::bump(&self.s.counters.flops);
+                        Scalar::F(f + delta as f64)
+                    }
+                    Scalar::P(p) => Scalar::P(p.offset(delta)),
+                    other => {
+                        Counters::bump(&self.s.counters.int_ops);
+                        Scalar::I(other.as_i64() + delta)
+                    }
+                };
+                self.store_place(&place, new, span)?;
+                Ok(if matches!(op, UnOp::PreInc | UnOp::PreDec) {
+                    new
+                } else {
+                    old
+                })
+            }
+        }
+    }
+
+    fn eval_binary(
+        &mut self,
+        op: BinOp,
+        l: &Expr,
+        r: &Expr,
+        span: cfront::span::Span,
+    ) -> RtResult<Scalar> {
+        // Short-circuit logicals.
+        match op {
+            BinOp::And => {
+                Counters::bump(&self.s.counters.branches);
+                let lv = self.eval(l)?;
+                if !lv.truthy() {
+                    return Ok(Scalar::I(0));
+                }
+                let rv = self.eval(r)?;
+                return Ok(Scalar::I(i64::from(rv.truthy())));
+            }
+            BinOp::Or => {
+                Counters::bump(&self.s.counters.branches);
+                let lv = self.eval(l)?;
+                if lv.truthy() {
+                    return Ok(Scalar::I(1));
+                }
+                let rv = self.eval(r)?;
+                return Ok(Scalar::I(i64::from(rv.truthy())));
+            }
+            _ => {}
+        }
+        let lv = self.eval(l)?;
+        let rv = self.eval(r)?;
+        self.apply_binop(op, lv, rv, span)
+    }
+
+    fn apply_binop(
+        &mut self,
+        op: BinOp,
+        lv: Scalar,
+        rv: Scalar,
+        span: cfront::span::Span,
+    ) -> RtResult<Scalar> {
+        use BinOp::*;
+        // Pointer arithmetic.
+        match (lv, rv, op) {
+            (Scalar::P(p), i, Add) if !matches!(i, Scalar::P(_)) => {
+                Counters::bump(&self.s.counters.int_ops);
+                return Ok(Scalar::P(p.offset(i.as_i64())));
+            }
+            (i, Scalar::P(p), Add) if !matches!(i, Scalar::P(_)) => {
+                Counters::bump(&self.s.counters.int_ops);
+                return Ok(Scalar::P(p.offset(i.as_i64())));
+            }
+            (Scalar::P(p), i, Sub) if !matches!(i, Scalar::P(_)) => {
+                Counters::bump(&self.s.counters.int_ops);
+                return Ok(Scalar::P(p.offset(-i.as_i64())));
+            }
+            (Scalar::P(a), Scalar::P(b), Sub) => {
+                Counters::bump(&self.s.counters.int_ops);
+                return Ok(Scalar::I(a.index - b.index));
+            }
+            (Scalar::P(a), Scalar::P(b), Eq) => {
+                return Ok(Scalar::I(i64::from(a == b)));
+            }
+            (Scalar::P(a), Scalar::P(b), Ne) => {
+                return Ok(Scalar::I(i64::from(a != b)));
+            }
+            (Scalar::P(_), Scalar::Null, Eq) | (Scalar::Null, Scalar::P(_), Eq) => {
+                return Ok(Scalar::I(0));
+            }
+            (Scalar::P(_), Scalar::Null, Ne) | (Scalar::Null, Scalar::P(_), Ne) => {
+                return Ok(Scalar::I(1));
+            }
+            _ => {}
+        }
+
+        let float = lv.is_float() || rv.is_float();
+        if float {
+            let a = lv.as_f64();
+            let b = rv.as_f64();
+            let out = match op {
+                Add => Scalar::F(a + b),
+                Sub => Scalar::F(a - b),
+                Mul => Scalar::F(a * b),
+                Div => Scalar::F(a / b),
+                Rem => Scalar::F(a % b),
+                Lt => Scalar::I(i64::from(a < b)),
+                Gt => Scalar::I(i64::from(a > b)),
+                Le => Scalar::I(i64::from(a <= b)),
+                Ge => Scalar::I(i64::from(a >= b)),
+                Eq => Scalar::I(i64::from(a == b)),
+                Ne => Scalar::I(i64::from(a != b)),
+                Shl | Shr | BitAnd | BitXor | BitOr => {
+                    return Err(RuntimeError::new("bitwise op on float", span))
+                }
+                And | Or => unreachable!("handled above"),
+            };
+            Counters::bump(&self.s.counters.flops);
+            Ok(out)
+        } else {
+            let a = lv.as_i64();
+            let b = rv.as_i64();
+            let out = match op {
+                Add => Scalar::I(a.wrapping_add(b)),
+                Sub => Scalar::I(a.wrapping_sub(b)),
+                Mul => Scalar::I(a.wrapping_mul(b)),
+                Div => {
+                    if b == 0 {
+                        return Err(RuntimeError::new("integer division by zero", span));
+                    }
+                    Scalar::I(a.wrapping_div(b))
+                }
+                Rem => {
+                    if b == 0 {
+                        return Err(RuntimeError::new("integer modulo by zero", span));
+                    }
+                    Scalar::I(a.wrapping_rem(b))
+                }
+                Shl => Scalar::I(a.wrapping_shl(b as u32)),
+                Shr => Scalar::I(a.wrapping_shr(b as u32)),
+                Lt => Scalar::I(i64::from(a < b)),
+                Gt => Scalar::I(i64::from(a > b)),
+                Le => Scalar::I(i64::from(a <= b)),
+                Ge => Scalar::I(i64::from(a >= b)),
+                Eq => Scalar::I(i64::from(a == b)),
+                Ne => Scalar::I(i64::from(a != b)),
+                BitAnd => Scalar::I(a & b),
+                BitXor => Scalar::I(a ^ b),
+                BitOr => Scalar::I(a | b),
+                And | Or => unreachable!("handled above"),
+            };
+            Counters::bump(&self.s.counters.int_ops);
+            Ok(out)
+        }
+    }
+
+    fn do_printf(&mut self, args: &[Expr], span: cfront::span::Span) -> RtResult<Scalar> {
+        let Some(first) = args.first() else {
+            return Err(RuntimeError::new("printf without format", span));
+        };
+        let fmt = match &first.kind {
+            ExprKind::StrLit(s) => s.clone(),
+            _ => {
+                // Evaluate to a char pointer and read it back.
+                let v = self.eval(first)?;
+                let Scalar::P(mut p) = v else {
+                    return Err(RuntimeError::new("printf format is not a string", span));
+                };
+                let mut s = String::new();
+                while let Scalar::I(ch) = self.mem_load(p, span)? {
+                    if ch == 0 {
+                        break;
+                    }
+                    s.push(char::from_u32(ch as u32).unwrap_or('?'));
+                    p = p.offset(1);
+                }
+                s
+            }
+        };
+        let mut vals = Vec::with_capacity(args.len().saturating_sub(1));
+        for a in &args[1..] {
+            vals.push(self.eval(a)?);
+        }
+        let rendered = format_printf(&fmt, &vals, &self.s.mem);
+        self.s.output.lock().push_str(&rendered);
+        Ok(Scalar::I(rendered.len() as i64))
+    }
+
+    fn call_function(
+        &mut self,
+        name: &str,
+        args: &[Scalar],
+        span: cfront::span::Span,
+    ) -> RtResult<Scalar> {
+        Counters::bump(&self.s.counters.calls);
+        // User definitions shadow builtins (e.g. __pc_* helper C sources).
+        let func = self.s.prog.functions.get(name).cloned();
+        match func {
+            Some(f) if f.is_definition() => {
+                if self.frames.len() > 512 {
+                    return Err(RuntimeError::new("call stack overflow", span));
+                }
+                let mut frame = HashMap::with_capacity(f.params.len());
+                for (p, v) in f.params.iter().zip(args) {
+                    if let Some(pname) = &p.name {
+                        frame.insert(pname.clone(), self.coerce(*v, &p.ty));
+                    }
+                }
+                self.frames.push(frame);
+                let body = f.body.as_ref().expect("definition");
+                // Route through exec_block so `#pragma omp parallel for`
+                // regions at function top level are recognised.
+                let flow = self.exec_block(body);
+                self.frames.pop();
+                match flow? {
+                    Flow::Return(v) => Ok(v),
+                    Flow::Normal => Ok(Scalar::I(0)),
+                    Flow::Break | Flow::Continue => Err(RuntimeError::new(
+                        "break/continue outside loop",
+                        f.span,
+                    )),
+                }
+            }
+            _ => {
+                let mut out = String::new();
+                match call_builtin(name, args, &self.s.mem, &mut out) {
+                    Some(Ok(v)) => {
+                        if !out.is_empty() {
+                            self.s.output.lock().push_str(&out);
+                        }
+                        Ok(v)
+                    }
+                    Some(Err(e)) => Err(RuntimeError::new(e.to_string(), span)),
+                    None => Err(RuntimeError::new(
+                        format!("call to undefined function '{name}'"),
+                        span,
+                    )),
+                }
+            }
+        }
+    }
+
+    // -- statements -------------------------------------------------------------
+
+    fn exec(&mut self, stmt: &Stmt) -> RtResult<Flow> {
+        self.step(stmt.span)?;
+        match &stmt.kind {
+            StmtKind::Decl(d) => {
+                self.declare(d, false)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Expr(Some(e)) => {
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Expr(None) | StmtKind::Pragma(_) => Ok(Flow::Normal),
+            StmtKind::Block(b) => self.exec_block(b),
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                Counters::bump(&self.s.counters.branches);
+                if self.eval(cond)?.truthy() {
+                    self.exec(then_branch)
+                } else if let Some(e) = else_branch {
+                    self.exec(e)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            StmtKind::While { cond, body } => {
+                loop {
+                    Counters::bump(&self.s.counters.branches);
+                    if !self.eval(cond)?.truthy() {
+                        break;
+                    }
+                    match self.exec(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::DoWhile { body, cond } => {
+                loop {
+                    match self.exec(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    Counters::bump(&self.s.counters.branches);
+                    if !self.eval(cond)?.truthy() {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                match init.as_ref() {
+                    ForInit::Decl(d) => self.declare(d, false)?,
+                    ForInit::Expr(Some(e)) => {
+                        self.eval(e)?;
+                    }
+                    ForInit::Expr(None) => {}
+                }
+                loop {
+                    self.step(stmt.span)?;
+                    Counters::bump(&self.s.counters.branches);
+                    if let Some(c) = cond {
+                        if !self.eval(c)?.truthy() {
+                            break;
+                        }
+                    }
+                    match self.exec(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    if let Some(s) = step {
+                        self.eval(s)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e)?,
+                    None => Scalar::I(0),
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Continue => Ok(Flow::Continue),
+        }
+    }
+
+    /// Execute a block, recognising `#pragma omp parallel for` regions.
+    fn exec_block(&mut self, b: &Block) -> RtResult<Flow> {
+        let mut i = 0;
+        while i < b.stmts.len() {
+            if let StmtKind::Pragma(p) = &b.stmts[i].kind {
+                if let Some(schedule) = parse_omp_parallel_for(p) {
+                    // Skip interleaved simd pragmas between omp and for.
+                    let mut j = i + 1;
+                    while j < b.stmts.len()
+                        && matches!(&b.stmts[j].kind, StmtKind::Pragma(_))
+                    {
+                        j += 1;
+                    }
+                    if j < b.stmts.len()
+                        && matches!(b.stmts[j].kind, StmtKind::For { .. })
+                    {
+                        self.exec_parallel_for(&b.stmts[j], schedule)?;
+                        i = j + 1;
+                        continue;
+                    }
+                }
+            }
+            match self.exec(&b.stmts[i])? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+            i += 1;
+        }
+        Ok(Flow::Normal)
+    }
+
+    /// Run a `for` loop in parallel under the omprt runtime.
+    fn exec_parallel_for(&mut self, for_stmt: &Stmt, schedule: OmpSchedule) -> RtResult<()> {
+        let StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } = &for_stmt.kind
+        else {
+            return Err(RuntimeError::new("omp pragma without loop", for_stmt.span));
+        };
+
+        // Header: iterator, inclusive bounds, unit stride.
+        let (iter_name, lb) = match init.as_ref() {
+            ForInit::Decl(d) if d.declarators.len() == 1 => {
+                let dec = &d.declarators[0];
+                let init_e = dec.init.as_ref().ok_or_else(|| {
+                    RuntimeError::new("parallel loop iterator lacks init", for_stmt.span)
+                })?;
+                (dec.name.clone(), self.eval(init_e)?.as_i64())
+            }
+            ForInit::Expr(Some(e)) => match &e.kind {
+                ExprKind::Assign(AssignOp::Assign, lhs, rhs) => {
+                    let name = lhs.as_ident().ok_or_else(|| {
+                        RuntimeError::new("bad parallel loop init", e.span)
+                    })?;
+                    (name.to_string(), self.eval(rhs)?.as_i64())
+                }
+                _ => return Err(RuntimeError::new("bad parallel loop init", e.span)),
+            },
+            _ => return Err(RuntimeError::new("bad parallel loop init", for_stmt.span)),
+        };
+        let ub_incl = match cond.as_ref().map(|c| &c.kind) {
+            Some(ExprKind::Binary(BinOp::Lt, _, r)) => {
+                let r = r.clone();
+                self.eval(&r)?.as_i64() - 1
+            }
+            Some(ExprKind::Binary(BinOp::Le, _, r)) => {
+                let r = r.clone();
+                self.eval(&r)?.as_i64()
+            }
+            _ => {
+                return Err(RuntimeError::new(
+                    "parallel loop condition must be < or <=",
+                    for_stmt.span,
+                ))
+            }
+        };
+        let unit_step = matches!(
+            step.as_ref().map(|s| &s.kind),
+            Some(ExprKind::Unary(UnOp::PreInc | UnOp::PostInc, _))
+        ) || matches!(
+            step.as_ref().map(|s| &s.kind),
+            Some(ExprKind::Assign(AssignOp::Add, _, _))
+        );
+        if !unit_step {
+            return Err(RuntimeError::new(
+                "parallel loop must have unit increment",
+                for_stmt.span,
+            ));
+        }
+
+        if ub_incl < lb {
+            return Ok(());
+        }
+        let n = (ub_incl - lb + 1) as u64;
+
+        // Optional race check: run sequentially with access tracking.
+        if self.s.opts.race_check {
+            self.race_check(&iter_name, lb, n, body)?;
+        }
+
+        let base_frame = self.frames.last().cloned().unwrap_or_default();
+        let shared = self.s.clone();
+        let err: Mutex<Option<RuntimeError>> = Mutex::new(None);
+
+        parallel_for(n, self.s.opts.threads, schedule, |k| {
+            let mut child = Interp::new(shared.clone());
+            child.frames = vec![base_frame.clone()];
+            child
+                .frames
+                .last_mut()
+                .expect("frame")
+                .insert(iter_name.clone(), Scalar::I(lb + k as i64));
+            if let Err(e) = child.exec(body) {
+                let mut g = err.lock();
+                if g.is_none() {
+                    *g = Some(e);
+                }
+            }
+        });
+
+        match err.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Sequentially verify that iteration access sets are disjoint
+    /// (write/write and write/read), the dynamic analogue of the paper's
+    /// static guarantee.
+    fn race_check(&mut self, iter: &str, lb: i64, n: u64, body: &Stmt) -> RtResult<()> {
+        let mut all_writes: HashSet<(u32, i64)> = HashSet::new();
+        let mut all_reads: HashSet<(u32, i64)> = HashSet::new();
+        let base_frame = self.frames.last().cloned().unwrap_or_default();
+        for k in 0..n {
+            let mut child = Interp::new(self.s.clone());
+            child.frames = vec![base_frame.clone()];
+            child.frame().insert(iter.to_string(), Scalar::I(lb + k as i64));
+            child.track = Some(TrackSets::default());
+            child.exec(body)?;
+            let t = child.track.take().expect("tracking on");
+            for w in &t.writes {
+                if all_writes.contains(w) || all_reads.contains(w) {
+                    return Err(RuntimeError::new(
+                        format!(
+                            "race detected: slot ({}, {}) accessed by multiple iterations",
+                            w.0, w.1
+                        ),
+                        body.span,
+                    ));
+                }
+            }
+            for r in &t.reads {
+                if all_writes.contains(r) {
+                    return Err(RuntimeError::new(
+                        format!(
+                            "race detected: slot ({}, {}) written by one iteration and read by another",
+                            r.0, r.1
+                        ),
+                        body.span,
+                    ));
+                }
+            }
+            all_writes.extend(t.writes);
+            all_reads.extend(t.reads);
+        }
+        Ok(())
+    }
+}
+
+/// Parse `pragma omp parallel for [private(...)] [schedule(kind[,chunk])]`.
+/// Returns the schedule when this is a parallel-for pragma.
+fn parse_omp_parallel_for(text: &str) -> Option<OmpSchedule> {
+    let t = text.trim();
+    if !t.starts_with("pragma omp parallel for") && !t.starts_with("pragma omp for") {
+        return None;
+    }
+    if let Some(pos) = t.find("schedule(") {
+        let rest = &t[pos + "schedule(".len()..];
+        let close = rest.find(')')?;
+        let spec = &rest[..close];
+        let mut parts = spec.split(',').map(str::trim);
+        let kind = parts.next()?;
+        let chunk: u64 = parts.next().and_then(|c| c.parse().ok()).unwrap_or(1);
+        return Some(match kind {
+            "dynamic" => OmpSchedule::Dynamic(chunk),
+            "guided" => OmpSchedule::Guided(chunk.max(1)),
+            "static" if chunk > 1 => OmpSchedule::StaticChunk(chunk),
+            _ => OmpSchedule::Static,
+        });
+    }
+    Some(OmpSchedule::Static)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfront::parser::parse;
+
+    fn run_src(src: &str) -> RunResult {
+        run_src_with(src, InterpOptions::default())
+    }
+
+    fn run_src_with(src: &str, opts: InterpOptions) -> RunResult {
+        let r = parse(src);
+        assert!(!r.diags.has_errors(), "{}", r.diags.render_all(src));
+        Program::new(&r.unit).run(opts).expect("runs")
+    }
+
+    #[test]
+    fn returns_exit_code() {
+        assert_eq!(run_src("int main() { return 42; }").exit_code, 42);
+        assert_eq!(run_src("int main() { return 40 + 2; }").exit_code, 42);
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let r = run_src(
+            "int main() {\n\
+                 int acc = 0;\n\
+                 for (int i = 1; i <= 10; i++) acc += i;\n\
+                 if (acc == 55) return 1; else return 0;\n\
+             }",
+        );
+        assert_eq!(r.exit_code, 1);
+    }
+
+    #[test]
+    fn while_and_do_while() {
+        let r = run_src(
+            "int main() {\n\
+                 int i = 0, n = 0;\n\
+                 while (i < 5) { i++; n += 2; }\n\
+                 do { n--; } while (n > 7);\n\
+                 return n;\n\
+             }",
+        );
+        assert_eq!(r.exit_code, 7);
+    }
+
+    #[test]
+    fn function_calls_and_recursion() {
+        let r = run_src(
+            "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n\
+             int main() { return fib(10); }",
+        );
+        assert_eq!(r.exit_code, 55);
+    }
+
+    #[test]
+    fn arrays_and_pointers() {
+        let r = run_src(
+            "int main() {\n\
+                 int a[10];\n\
+                 for (int i = 0; i < 10; i++) a[i] = i * i;\n\
+                 int* p = a;\n\
+                 return p[3] + *(p + 4);\n\
+             }",
+        );
+        assert_eq!(r.exit_code, 9 + 16);
+    }
+
+    #[test]
+    fn two_dim_arrays() {
+        let r = run_src(
+            "int main() {\n\
+                 int g[4][4];\n\
+                 for (int i = 0; i < 4; i++)\n\
+                     for (int j = 0; j < 4; j++)\n\
+                         g[i][j] = i * 10 + j;\n\
+                 return g[2][3];\n\
+             }",
+        );
+        assert_eq!(r.exit_code, 23);
+    }
+
+    #[test]
+    fn malloc_free_round_trip() {
+        let r = run_src(
+            "int main() {\n\
+                 int* buf = (int*) malloc(8 * sizeof(int));\n\
+                 for (int i = 0; i < 8; i++) buf[i] = i + 1;\n\
+                 int total = 0;\n\
+                 for (int i = 0; i < 8; i++) total += buf[i];\n\
+                 free(buf);\n\
+                 return total;\n\
+             }",
+        );
+        assert_eq!(r.exit_code, 36);
+    }
+
+    #[test]
+    fn float_math_and_builtins() {
+        let r = run_src(
+            "int main() {\n\
+                 float x = 2.0f;\n\
+                 float y = sqrtf(x * x * 4.0f);\n\
+                 if (y > 3.9f && y < 4.1f) return 1;\n\
+                 return 0;\n\
+             }",
+        );
+        assert_eq!(r.exit_code, 1);
+    }
+
+    #[test]
+    fn globals_and_matrix_of_pointers() {
+        let r = run_src(
+            "float** A;\n\
+             int main() {\n\
+                 A = (float**) malloc(4 * sizeof(float*));\n\
+                 for (int i = 0; i < 4; i++) {\n\
+                     A[i] = (float*) malloc(4 * sizeof(float));\n\
+                     for (int j = 0; j < 4; j++) A[i][j] = i + j;\n\
+                 }\n\
+                 return (int) A[2][3];\n\
+             }",
+        );
+        assert_eq!(r.exit_code, 5);
+    }
+
+    #[test]
+    fn printf_output_captured() {
+        let r = run_src("int main() { printf(\"v=%d %.1f\\n\", 3, 2.5); return 0; }");
+        assert_eq!(r.output, "v=3 2.5\n");
+    }
+
+    #[test]
+    fn struct_fields() {
+        let r = run_src(
+            "struct point { int x; int y; };\n\
+             int main() {\n\
+                 struct point p;\n\
+                 p.x = 3;\n\
+                 p.y = 4;\n\
+                 return p.x * p.x + p.y * p.y;\n\
+             }",
+        );
+        assert_eq!(r.exit_code, 25);
+    }
+
+    #[test]
+    fn ternary_and_logical_short_circuit() {
+        let r = run_src(
+            "int div0() { return 1 / 0; }\n\
+             int main() {\n\
+                 int x = 0;\n\
+                 int safe = (x != 0) && div0();\n\
+                 return safe == 0 ? 7 : 8;\n\
+             }",
+        );
+        assert_eq!(r.exit_code, 7);
+    }
+
+    #[test]
+    fn division_by_zero_is_runtime_error() {
+        let r = parse("int main() { int z = 0; return 1 / z; }");
+        let err = Program::new(&r.unit).run(InterpOptions::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let r = parse("int main() { while (1) ; return 0; }");
+        let err = Program::new(&r.unit).run(InterpOptions {
+            max_steps: 10_000,
+            ..InterpOptions::default()
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn parallel_for_executes_and_matches_sequential() {
+        let src = "\
+int main() {
+    float* out = (float*) malloc(256 * sizeof(float));
+#pragma omp parallel for
+    for (int i = 0; i < 256; i++)
+        out[i] = i * 2;
+    int total = 0;
+    for (int i = 0; i < 256; i++) total += (int) out[i];
+    return total > 65535 ? 65535 : total % 256;
+}
+";
+        let seq = run_src_with(src, InterpOptions { threads: 1, ..Default::default() });
+        let par = run_src_with(src, InterpOptions { threads: 8, ..Default::default() });
+        assert_eq!(seq.exit_code, par.exit_code);
+    }
+
+    #[test]
+    fn parallel_for_with_dynamic_schedule() {
+        let src = "\
+int main() {
+    int* out = (int*) malloc(100 * sizeof(int));
+#pragma omp parallel for private(x) schedule(dynamic,1)
+    for (int i = 0; i < 100; i++)
+        out[i] = i;
+    int acc = 0;
+    for (int i = 0; i < 100; i++) acc += out[i];
+    return acc == 4950 ? 1 : 0;
+}
+";
+        let r = run_src_with(src, InterpOptions { threads: 16, ..Default::default() });
+        assert_eq!(r.exit_code, 1);
+    }
+
+    #[test]
+    fn race_check_accepts_disjoint_loop() {
+        let src = "\
+int main() {
+    int* a = (int*) malloc(64 * sizeof(int));
+#pragma omp parallel for
+    for (int i = 0; i < 64; i++) a[i] = i;
+    return a[63];
+}
+";
+        let r = run_src_with(
+            src,
+            InterpOptions {
+                threads: 4,
+                race_check: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.exit_code, 63);
+    }
+
+    #[test]
+    fn race_check_rejects_carried_dependence() {
+        // a[i] = a[i-1] — the Listing 5 hazard, caught dynamically.
+        let src = "\
+int main() {
+    int* a = (int*) malloc(64 * sizeof(int));
+    a[0] = 1;
+#pragma omp parallel for
+    for (int i = 1; i < 64; i++) a[i] = a[i - 1] + 1;
+    return a[63];
+}
+";
+        let r = parse(src);
+        let err = Program::new(&r.unit).run(InterpOptions {
+            threads: 4,
+            race_check: true,
+            ..Default::default()
+        });
+        assert!(err.is_err(), "race must be detected");
+        assert!(err.unwrap_err().message.contains("race"));
+    }
+
+    #[test]
+    fn counters_track_flops_and_calls() {
+        let r = run_src(
+            "float mult(float a, float b) { return a * b; }\n\
+             int main() {\n\
+                 float acc = 0.0f;\n\
+                 for (int i = 0; i < 100; i++) acc += mult(i, 2.0f);\n\
+                 return 0;\n\
+             }",
+        );
+        // 100 multiplications + 100 additions (+ ~conversions).
+        assert!(r.counters.flops >= 200, "{:?}", r.counters);
+        // main + 100 × mult.
+        assert!(r.counters.calls >= 101, "{:?}", r.counters);
+    }
+
+    #[test]
+    fn pc_helper_definitions_in_c_shadow_builtins() {
+        let src = "\
+int __pc_max(int a, int b) { return a > b ? a : b; }
+int main() { return __pc_max(3, 9); }
+";
+        assert_eq!(run_src(src).exit_code, 9);
+    }
+
+    #[test]
+    fn array_initializer_lists() {
+        let r = run_src("int main() { int a[3] = {5, 6, 7}; return a[0] + a[2]; }");
+        assert_eq!(r.exit_code, 12);
+    }
+
+    #[test]
+    fn parse_omp_pragma_variants() {
+        assert_eq!(
+            parse_omp_parallel_for("pragma omp parallel for private(t2)"),
+            Some(OmpSchedule::Static)
+        );
+        assert_eq!(
+            parse_omp_parallel_for("pragma omp parallel for private (x) schedule(dynamic,1)"),
+            Some(OmpSchedule::Dynamic(1))
+        );
+        assert_eq!(
+            parse_omp_parallel_for("pragma omp parallel for schedule(static)"),
+            Some(OmpSchedule::Static)
+        );
+        assert_eq!(
+            parse_omp_parallel_for("pragma omp parallel for schedule(static, 4)"),
+            Some(OmpSchedule::StaticChunk(4))
+        );
+        assert_eq!(parse_omp_parallel_for("pragma omp simd"), None);
+        assert_eq!(parse_omp_parallel_for("pragma scop"), None);
+    }
+}
+
+#[cfg(test)]
+mod control_flow_tests {
+    use super::*;
+    use cfront::parser::parse;
+
+    fn run_src(src: &str) -> RunResult {
+        let r = parse(src);
+        assert!(!r.diags.has_errors(), "{}", r.diags.render_all(src));
+        Program::new(&r.unit).run(InterpOptions::default()).expect("runs")
+    }
+
+    #[test]
+    fn continue_still_executes_loop_step() {
+        // If `continue` skipped the step, this would loop forever (caught
+        // by the step limit) or return the wrong count.
+        let r = run_src(
+            "int main() {\n\
+                 int evens = 0;\n\
+                 for (int i = 0; i < 10; i++) {\n\
+                     if (i % 2 == 1) continue;\n\
+                     evens++;\n\
+                 }\n\
+                 return evens;\n\
+             }",
+        );
+        assert_eq!(r.exit_code, 5);
+    }
+
+    #[test]
+    fn break_exits_only_innermost_loop() {
+        let r = run_src(
+            "int main() {\n\
+                 int n = 0;\n\
+                 for (int i = 0; i < 4; i++) {\n\
+                     for (int j = 0; j < 100; j++) {\n\
+                         if (j == 3) break;\n\
+                         n++;\n\
+                     }\n\
+                 }\n\
+                 return n;\n\
+             }",
+        );
+        assert_eq!(r.exit_code, 12);
+    }
+
+    #[test]
+    fn arrow_access_through_malloced_struct() {
+        let r = run_src(
+            "struct node { int value; int weight; };\n\
+             int main() {\n\
+                 struct node* n = (struct node*) malloc(2 * sizeof(int));\n\
+                 n->value = 11;\n\
+                 n->weight = 31;\n\
+                 return n->value + n->weight;\n\
+             }",
+        );
+        assert_eq!(r.exit_code, 42);
+    }
+
+    #[test]
+    fn pointer_comparisons() {
+        let r = run_src(
+            "int main() {\n\
+                 int a[4];\n\
+                 int* p = a;\n\
+                 int* q = a + 2;\n\
+                 int same = (p == p);\n\
+                 int diff = (p != q);\n\
+                 int dist = q - p;\n\
+                 return same * 100 + diff * 10 + dist;\n\
+             }",
+        );
+        assert_eq!(r.exit_code, 112);
+    }
+
+    #[test]
+    fn compound_assignment_operators() {
+        let r = run_src(
+            "int main() {\n\
+                 int x = 7;\n\
+                 x += 3; x -= 2; x *= 4; x /= 3; x %= 7;\n\
+                 int y = 1;\n\
+                 y <<= 4; y >>= 1; y |= 2; y &= 14; y ^= 1;\n\
+                 return x * 100 + y;\n\
+             }",
+        );
+        // x: 7+3=10, -2=8, *4=32, /3=10, %7=3. y: 16, 8, 10, 10, 11.
+        assert_eq!(r.exit_code, 311);
+    }
+
+    #[test]
+    fn ternary_nested_in_subscript() {
+        let r = run_src(
+            "int main() {\n\
+                 int a[3] = {10, 20, 30};\n\
+                 int k = 2;\n\
+                 return a[k > 1 ? 2 : 0] - a[0];\n\
+             }",
+        );
+        assert_eq!(r.exit_code, 20);
+    }
+
+    #[test]
+    fn pre_vs_post_increment_values() {
+        let r = run_src(
+            "int main() {\n\
+                 int i = 5;\n\
+                 int a = i++;\n\
+                 int b = ++i;\n\
+                 return a * 10 + b; // 5*10 + 7\n\
+             }",
+        );
+        assert_eq!(r.exit_code, 57);
+    }
+
+    #[test]
+    fn char_and_string_literals() {
+        let r = run_src(
+            "int main() {\n\
+                 char c = 'A';\n\
+                 printf(\"%c%c\\n\", c, c + 1);\n\
+                 return c;\n\
+             }",
+        );
+        assert_eq!(r.exit_code, 65);
+        assert_eq!(r.output, "AB\n");
+    }
+
+    #[test]
+    fn global_initializers_evaluate_in_order() {
+        let r = run_src(
+            "int base = 10;\n\
+             int scaled = 0;\n\
+             int main() { scaled = base * 4; return scaled + base; }",
+        );
+        assert_eq!(r.exit_code, 50);
+    }
+
+    #[test]
+    fn negative_modulo_matches_c_semantics() {
+        let r = run_src("int main() { return (-7 % 3) + 10; }");
+        // C: -7 % 3 == -1 (truncated division).
+        assert_eq!(r.exit_code, 9);
+    }
+}

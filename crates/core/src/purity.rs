@@ -1,0 +1,814 @@
+//! The purity verifier — the additional compiler pass of the paper
+//! (Sect. 3.2), which *proves* that functions marked `pure` have no
+//! side-effects, unlike GCC's advisory `__attribute__((pure))`.
+//!
+//! Enforced rules (with the listing that motivates each):
+//!
+//! * a pure function may only call functions in the pure registry,
+//!   including itself (Listing 2, line 14 rejects `func1()`);
+//! * writes must stay inside the function's scope: assignments whose target
+//!   roots at a global or at pointer parameters are side-effects
+//!   (Listing 2 / Listing 4);
+//! * external pointer data may be *read* after being cast to a `pure`
+//!   pointer and bound to a `pure`-declared local (Listing 3); binding an
+//!   external pointer to a plain local pointer is rejected (Listing 2,
+//!   line 11; Listing 4, line 4);
+//! * `pure` pointers are assign-once and their pointees are immutable;
+//! * `free` may only release memory `malloc`ed in the same function;
+//! * `malloc`/`free`/math builtins are allowed per the seeded registry.
+
+use crate::stdfns::PureSet;
+use cfront::ast::*;
+use cfront::diag::{Code, Diagnostics};
+use cfront::span::Span;
+use std::collections::{HashMap, HashSet};
+
+/// Result of verifying a translation unit.
+#[derive(Debug)]
+pub struct PurityReport {
+    /// Final registry: builtins + every *verified* pure function.
+    pub pure_set: PureSet,
+    pub diags: Diagnostics,
+    /// Functions declared pure, in source order (verified or not).
+    pub declared_pure: Vec<String>,
+}
+
+impl PurityReport {
+    pub fn ok(&self) -> bool {
+        !self.diags.has_errors()
+    }
+}
+
+/// Verify all `pure`-declared functions in `unit` against the given seeded
+/// registry (normally [`PureSet::seeded`]).
+pub fn verify_unit(unit: &TranslationUnit, seed: PureSet) -> PurityReport {
+    let mut pure_set = seed;
+    let mut declared_pure = Vec::new();
+
+    // Phase 1 — registration. Every function *declared* pure enters the
+    // hashset first, so pure functions may call each other and themselves
+    // regardless of source order.
+    for f in unit.functions() {
+        if f.is_pure {
+            if !pure_set.contains(&f.name) {
+                declared_pure.push(f.name.clone());
+            }
+            pure_set.insert(f.name.clone());
+        }
+    }
+
+    let globals: HashSet<String> = unit
+        .global_variables()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+
+    // Phase 2 — verification of each pure definition.
+    let mut diags = Diagnostics::new();
+    for f in unit.functions() {
+        if f.is_pure && f.is_definition() {
+            let mut checker = FnChecker::new(f, &pure_set, &globals);
+            checker.check();
+            diags.extend(checker.diags);
+        }
+    }
+
+    PurityReport {
+        pure_set,
+        diags,
+        declared_pure,
+    }
+}
+
+/// What a name refers to inside the function being checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Binding {
+    /// By-value scalar parameter (writes are local copies — harmless).
+    ScalarParam,
+    /// Pointer parameter without `pure` (reads ok, any write rejected).
+    PtrParam,
+    /// Pointer parameter with `pure` (assign-once, pointee immutable).
+    PurePtrParam,
+    /// Local non-pointer variable.
+    LocalScalar,
+    /// Local pointer (may hold locally allocated memory).
+    LocalPtr,
+    /// Local pointer declared `pure` (assign-once, pointee immutable).
+    PureLocalPtr,
+    /// Local aggregate (struct value or fixed array) — fully local storage.
+    LocalAggregate,
+    Global,
+}
+
+struct FnChecker<'a> {
+    func: &'a Function,
+    pure_set: &'a PureSet,
+    globals: &'a HashSet<String>,
+    /// Name → binding, shadowing-aware only to the degree the subset needs
+    /// (innermost declaration wins; the evaluation codes do not shadow).
+    scope: HashMap<String, Binding>,
+    /// Pure pointers that have received their single assignment.
+    pure_assigned: HashSet<String>,
+    /// Local pointers whose value came from `malloc` in this function.
+    malloced: HashSet<String>,
+    diags: Diagnostics,
+}
+
+impl<'a> FnChecker<'a> {
+    fn new(func: &'a Function, pure_set: &'a PureSet, globals: &'a HashSet<String>) -> Self {
+        let mut scope = HashMap::new();
+        let mut pure_assigned = HashSet::new();
+        for p in &func.params {
+            let Some(name) = &p.name else { continue };
+            let binding = if p.ty.is_pointer() {
+                if p.ty.pure_qual {
+                    // A pure pointer param arrives already bound.
+                    pure_assigned.insert(name.clone());
+                    Binding::PurePtrParam
+                } else {
+                    Binding::PtrParam
+                }
+            } else {
+                Binding::ScalarParam
+            };
+            scope.insert(name.clone(), binding);
+        }
+        FnChecker {
+            func,
+            pure_set,
+            globals,
+            scope,
+            pure_assigned,
+            malloced: HashSet::new(),
+            diags: Diagnostics::new(),
+        }
+    }
+
+    fn check(&mut self) {
+        let body = self.func.body.as_ref().expect("definition has body");
+        for stmt in &body.stmts {
+            self.check_stmt(stmt);
+        }
+    }
+
+    fn binding_of(&self, name: &str) -> Binding {
+        if let Some(b) = self.scope.get(name) {
+            *b
+        } else if self.globals.contains(name) {
+            Binding::Global
+        } else {
+            // Unknown identifier — assume external to stay safe.
+            Binding::Global
+        }
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn check_stmt(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Decl(d) => self.check_declaration(d),
+            StmtKind::Expr(Some(e)) => self.check_expr(e),
+            StmtKind::Expr(None) => {}
+            StmtKind::Block(b) => {
+                for s in &b.stmts {
+                    self.check_stmt(s);
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.check_read(cond);
+                self.check_stmt(then_branch);
+                if let Some(e) = else_branch {
+                    self.check_stmt(e);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.check_read(cond);
+                self.check_stmt(body);
+            }
+            StmtKind::DoWhile { body, cond } => {
+                self.check_stmt(body);
+                self.check_read(cond);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                match init.as_ref() {
+                    ForInit::Decl(d) => self.check_declaration(d),
+                    ForInit::Expr(Some(e)) => self.check_expr(e),
+                    ForInit::Expr(None) => {}
+                }
+                if let Some(c) = cond {
+                    self.check_read(c);
+                }
+                if let Some(s) = step {
+                    self.check_expr(s);
+                }
+                self.check_stmt(body);
+            }
+            StmtKind::Return(Some(e)) => self.check_read(e),
+            StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::Pragma(_) => {}
+        }
+    }
+
+    fn check_declaration(&mut self, d: &Declaration) {
+        for dec in &d.declarators {
+            let binding = if dec.is_array() {
+                Binding::LocalAggregate
+            } else if dec.ty.is_pointer() {
+                if dec.ty.pure_qual {
+                    Binding::PureLocalPtr
+                } else {
+                    Binding::LocalPtr
+                }
+            } else if matches!(dec.ty.base, BaseType::Struct(_)) {
+                Binding::LocalAggregate
+            } else {
+                Binding::LocalScalar
+            };
+            self.scope.insert(dec.name.clone(), binding);
+
+            if let Some(init) = &dec.init {
+                self.check_read(init);
+                if dec.ty.is_pointer() && !dec.is_array() {
+                    if dec.ty.pure_qual {
+                        self.pure_assigned.insert(dec.name.clone());
+                    }
+                    self.check_pointer_binding(&dec.name, binding, init, dec.span, dec.ty.pure_qual);
+                }
+            }
+        }
+    }
+
+    // -- expressions ---------------------------------------------------------
+
+    /// Check an expression in *read* position: no writes may occur inside,
+    /// but calls still need vetting (and assignments hidden in reads are
+    /// checked as writes).
+    fn check_read(&mut self, e: &Expr) {
+        self.check_expr(e);
+    }
+
+    /// Full expression check: calls, assignments, increments.
+    fn check_expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Assign(_, lhs, rhs) => {
+                self.check_read(rhs);
+                self.check_write(lhs, rhs, e.span);
+            }
+            ExprKind::Unary(op, inner) if op.writes_operand() => {
+                self.check_write(inner, &Expr::int(1), e.span);
+            }
+            ExprKind::Call { callee, args } => {
+                self.check_call(callee, args, e.span);
+                for a in args {
+                    self.check_read(a);
+                }
+            }
+            ExprKind::Unary(_, inner)
+            | ExprKind::Cast(_, inner)
+            | ExprKind::SizeofExpr(inner) => self.check_expr(inner),
+            ExprKind::Binary(_, l, r) | ExprKind::Comma(l, r) => {
+                self.check_expr(l);
+                self.check_expr(r);
+            }
+            ExprKind::Ternary(c, t, f) => {
+                self.check_expr(c);
+                self.check_expr(t);
+                self.check_expr(f);
+            }
+            ExprKind::Index(b, i) => {
+                self.check_expr(b);
+                self.check_expr(i);
+            }
+            ExprKind::Member { base, .. } => self.check_expr(base),
+            _ => {}
+        }
+    }
+
+    fn check_call(&mut self, callee: &Expr, args: &[Expr], span: Span) {
+        let Some(name) = callee.as_ident() else {
+            self.diags.error(
+                Code::PureUnknownCallee,
+                span,
+                "indirect calls are not allowed in pure functions",
+            );
+            return;
+        };
+        if name == "__initlist" {
+            return; // synthetic initializer marker
+        }
+        if !self.pure_set.contains(name) {
+            self.diags.error(
+                Code::PureCallsImpure,
+                span,
+                format!(
+                    "pure function '{}' calls '{}', which is not verified pure",
+                    self.func.name, name
+                ),
+            );
+            return;
+        }
+        if name == "free" {
+            self.check_free(args, span);
+        }
+    }
+
+    /// `free(p)` is only allowed when `p` was `malloc`ed in this function.
+    fn check_free(&mut self, args: &[Expr], span: Span) {
+        let rooted = args.first().and_then(|a| a.lvalue_root());
+        match rooted {
+            Some(name) if self.malloced.contains(name) => {}
+            Some(name) => {
+                self.diags.error(
+                    Code::PureFreesForeign,
+                    span,
+                    format!(
+                        "pure function '{}' frees '{}', which was not allocated in its scope",
+                        self.func.name, name
+                    ),
+                );
+            }
+            None => {
+                self.diags.error(
+                    Code::PureFreesForeign,
+                    span,
+                    "free() of a non-variable expression in a pure function",
+                );
+            }
+        }
+    }
+
+    /// Vet a write to `lhs` (assignment target or ++/-- operand).
+    fn check_write(&mut self, lhs: &Expr, rhs: &Expr, span: Span) {
+        let Some(root) = lhs.lvalue_root() else {
+            self.diags.error(
+                Code::PureWritesExternal,
+                span,
+                "assignment target is not a recognisable lvalue in a pure function",
+            );
+            return;
+        };
+        let root = root.to_string();
+        let through = lhs.writes_through_pointer();
+        let binding = self.binding_of(&root);
+
+        match binding {
+            Binding::Global => {
+                self.diags.error(
+                    Code::PureGlobalWrite,
+                    span,
+                    format!(
+                        "pure function '{}' writes global '{}' — a side-effect",
+                        self.func.name, root
+                    ),
+                );
+            }
+            Binding::PtrParam if through => {
+                self.diags.error(
+                    Code::PureWritesExternal,
+                    span,
+                    format!(
+                        "pure function '{}' writes through pointer parameter '{}'",
+                        self.func.name, root
+                    ),
+                );
+            }
+            Binding::PtrParam => {
+                // Rebinding the (by-value) pointer itself is a local effect,
+                // but it must not capture external data without the pure
+                // cast discipline.
+                self.check_pointer_binding(&root, binding, rhs, span, false);
+            }
+            Binding::PurePtrParam | Binding::PureLocalPtr => {
+                if through {
+                    self.diags.error(
+                        Code::PureWritesExternal,
+                        span,
+                        format!("pure pointer '{root}' is write-protected (its content cannot be modified)"),
+                    );
+                } else if self.pure_assigned.contains(&root) {
+                    self.diags.error(
+                        Code::PurePointerReassigned,
+                        span,
+                        format!("pure pointer '{root}' may only be assigned once"),
+                    );
+                } else {
+                    self.pure_assigned.insert(root.clone());
+                    self.check_pointer_binding(&root, binding, rhs, span, true);
+                }
+            }
+            Binding::LocalPtr if !through => {
+                self.check_pointer_binding(&root, binding, rhs, span, false);
+            }
+            Binding::ScalarParam
+            | Binding::LocalScalar
+            | Binding::LocalAggregate
+            | Binding::LocalPtr => {
+                // Local storage — writes allowed. (LocalPtr write-through is
+                // legal only for locally allocated memory; foreign data can
+                // only have entered it through a rejected binding, so by
+                // induction the pointee is local.)
+            }
+        }
+    }
+
+    /// Enforce the pointer-binding discipline of Listings 2–4 when a pointer
+    /// variable receives a value. `lhs_is_pure` says whether the receiving
+    /// variable is pure-qualified.
+    fn check_pointer_binding(
+        &mut self,
+        lhs_name: &str,
+        lhs_binding: Binding,
+        rhs: &Expr,
+        span: Span,
+        lhs_is_pure: bool,
+    ) {
+        let lhs_is_pure = lhs_is_pure
+            || matches!(lhs_binding, Binding::PureLocalPtr | Binding::PurePtrParam);
+
+        // A top-level `(pure T*)` cast blesses the binding — but only when
+        // the receiving pointer is itself pure (Listing 3).
+        let (stripped, has_pure_cast) = strip_casts(rhs);
+
+        // `malloc`/`calloc` results and calls to pure functions produce
+        // fresh or pure data — always fine.
+        if let Some((callee, _)) = stripped.as_direct_call() {
+            if callee == "malloc" || callee == "calloc" {
+                self.malloced.insert(lhs_name.to_string());
+                return;
+            }
+            if self.pure_set.contains(callee) {
+                return;
+            }
+            // Impure call already reported by check_expr.
+            return;
+        }
+
+        // Address-of a local is local data.
+        if let ExprKind::Unary(UnOp::AddrOf, inner) = &stripped.kind {
+            if let Some(r) = inner.lvalue_root() {
+                if !matches!(self.binding_of(r), Binding::Global) {
+                    return;
+                }
+            }
+        }
+
+        let Some(src_root) = stripped.lvalue_root() else {
+            // Arithmetic on pointers etc. — fall back to the identifier
+            // roots of the whole expression: any external pointer source
+            // requires the pure-cast discipline.
+            let mut bad: Option<String> = None;
+            stripped.walk(&mut |e| {
+                if bad.is_some() {
+                    return;
+                }
+                if let Some(name) = e.as_ident() {
+                    if matches!(
+                        self.binding_of(name),
+                        Binding::Global | Binding::PtrParam | Binding::PurePtrParam
+                    ) {
+                        bad = Some(name.to_string());
+                    }
+                }
+            });
+            if let Some(name) = bad {
+                if !(lhs_is_pure && has_pure_cast) {
+                    self.report_bad_binding(lhs_name, &name, span, lhs_is_pure, has_pure_cast);
+                }
+            }
+            return;
+        };
+
+        match self.binding_of(src_root) {
+            Binding::Global => {
+                if !(lhs_is_pure && has_pure_cast) {
+                    self.report_bad_binding(lhs_name, src_root, span, lhs_is_pure, has_pure_cast);
+                }
+            }
+            Binding::PtrParam => {
+                // Non-pure pointer parameters hold external data too: they
+                // require the same discipline as globals.
+                if !(lhs_is_pure && has_pure_cast) {
+                    self.report_bad_binding(lhs_name, src_root, span, lhs_is_pure, has_pure_cast);
+                }
+            }
+            Binding::PurePtrParam | Binding::PureLocalPtr => {
+                // Pure sources may flow to pure targets freely (Listing 2,
+                // line 10: `pure int* ptr = p1;`). To a *plain* pointer they
+                // would lose the write protection.
+                if !lhs_is_pure {
+                    self.diags.error(
+                        Code::PureAssignsExternalPtrWithoutCast,
+                        span,
+                        format!(
+                            "pure pointer '{src_root}' may not be assigned to non-pure pointer '{lhs_name}'"
+                        ),
+                    );
+                }
+            }
+            _ => {
+                // Local source: propagate malloc provenance.
+                if self.malloced.contains(src_root) {
+                    self.malloced.insert(lhs_name.to_string());
+                }
+            }
+        }
+    }
+
+    fn report_bad_binding(
+        &mut self,
+        lhs: &str,
+        src: &str,
+        span: Span,
+        lhs_is_pure: bool,
+        has_cast: bool,
+    ) {
+        let why = match (lhs_is_pure, has_cast) {
+            (false, _) => format!("'{lhs}' must be declared pure to receive external data"),
+            (true, false) => format!("assignment to '{lhs}' requires a (pure T*) cast"),
+            _ => unreachable!("valid bindings are not reported"),
+        };
+        self.diags.error(
+            Code::PureAssignsExternalPtrWithoutCast,
+            span,
+            format!(
+                "pure function '{}' binds external pointer '{src}': {why}",
+                self.func.name
+            ),
+        );
+    }
+}
+
+/// Strip casts off an expression; reports whether any stripped cast was a
+/// `pure` pointer cast.
+fn strip_casts(e: &Expr) -> (&Expr, bool) {
+    let mut cur = e;
+    let mut pure_cast = false;
+    while let ExprKind::Cast(ty, inner) = &cur.kind {
+        if ty.pure_qual {
+            pure_cast = true;
+        }
+        cur = inner;
+    }
+    (cur, pure_cast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfront::parser::parse;
+
+    fn verify(src: &str) -> PurityReport {
+        let r = parse(src);
+        assert!(!r.diags.has_errors(), "parse failed: {}", r.diags.render_all(src));
+        verify_unit(&r.unit, PureSet::seeded())
+    }
+
+    // ---- Listing 2: the canonical valid/invalid operations -----------------
+
+    #[test]
+    fn listing2_valid_body_verifies() {
+        let report = verify(
+            "int* globalPtr;\n\
+             pure int* func2(pure int* p1, int p2) {\n\
+                 int a = p2;\n\
+                 int b = a + 42;\n\
+                 int* c = (int*) malloc(3 * sizeof(int));\n\
+                 pure int* ptr = p1;\n\
+                 pure int* extPtr2;\n\
+                 extPtr2 = (pure int*) globalPtr;\n\
+                 pure int* extPtr3;\n\
+                 extPtr3 = (pure int*) func2(p1, p2);\n\
+                 return c;\n\
+             }",
+        );
+        assert!(report.ok(), "{:?}", report.diags.items());
+        assert!(report.pure_set.contains("func2"));
+    }
+
+    #[test]
+    fn listing2_global_ptr_to_plain_local_rejected() {
+        // int* extPtr1 = globalPtr;   // invalid
+        let report = verify(
+            "int* globalPtr;\n\
+             pure int* f(pure int* p1, int p2) {\n\
+                 int* extPtr1 = globalPtr;\n\
+                 return 0;\n\
+             }",
+        );
+        assert!(!report.ok());
+        assert!(report.diags.has_code(Code::PureAssignsExternalPtrWithoutCast));
+    }
+
+    #[test]
+    fn listing2_impure_call_rejected() {
+        let report = verify(
+            "void func1();\n\
+             pure int f(int x) { func1(); return x; }",
+        );
+        assert!(!report.ok());
+        assert!(report.diags.has_code(Code::PureCallsImpure));
+    }
+
+    #[test]
+    fn self_recursion_is_allowed() {
+        let report = verify("pure int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }");
+        assert!(report.ok(), "{:?}", report.diags.items());
+    }
+
+    #[test]
+    fn mutual_recursion_between_pure_functions_allowed() {
+        let report = verify(
+            "pure int is_odd(int n);\n\
+             pure int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }\n\
+             pure int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }",
+        );
+        assert!(report.ok(), "{:?}", report.diags.items());
+    }
+
+    // ---- Listing 4: assignment discipline ----------------------------------
+
+    #[test]
+    fn listing4_plain_rebinding_of_external_rejected() {
+        let report = verify(
+            "int* extPtr;\n\
+             pure void f() {\n\
+                 pure int* intPtr = (pure int*) extPtr;\n\
+                 intPtr = extPtr;\n\
+             }",
+        );
+        assert!(!report.ok());
+        // Reassignment of a pure pointer (assign-once) fires.
+        assert!(report.diags.has_code(Code::PurePointerReassigned));
+    }
+
+    #[test]
+    fn local_struct_member_write_is_valid() {
+        let report = verify(
+            "struct datatype { int storage; };\n\
+             pure int f(int data) {\n\
+                 struct datatype intStruct;\n\
+                 intStruct.storage = data;\n\
+                 return intStruct.storage;\n\
+             }",
+        );
+        assert!(report.ok(), "{:?}", report.diags.items());
+    }
+
+    #[test]
+    fn global_scalar_write_rejected() {
+        let report = verify("int counter;\npure int f(int x) { counter = x; return x; }");
+        assert!(!report.ok());
+        assert!(report.diags.has_code(Code::PureGlobalWrite));
+    }
+
+    #[test]
+    fn global_increment_rejected() {
+        let report = verify("int counter;\npure int f(int x) { counter++; return x; }");
+        assert!(!report.ok());
+        assert!(report.diags.has_code(Code::PureGlobalWrite));
+    }
+
+    #[test]
+    fn write_through_pointer_param_rejected() {
+        let report = verify("pure void f(int* out, int v) { out[0] = v; }");
+        assert!(!report.ok());
+        assert!(report.diags.has_code(Code::PureWritesExternal));
+        let report2 = verify("pure void f(int* out, int v) { *out = v; }");
+        assert!(report2.diags.has_code(Code::PureWritesExternal));
+    }
+
+    #[test]
+    fn write_through_pure_pointer_rejected() {
+        let report = verify("pure void f(pure int* a) { a[0] = 1; }");
+        assert!(!report.ok());
+        assert!(report.diags.has_code(Code::PureWritesExternal));
+    }
+
+    #[test]
+    fn scalar_param_writes_are_local_copies() {
+        let report = verify("pure int f(int x) { x = x + 1; return x; }");
+        assert!(report.ok(), "{:?}", report.diags.items());
+    }
+
+    #[test]
+    fn local_malloc_write_and_free_are_valid() {
+        let report = verify(
+            "pure int f(int n) {\n\
+                 int* buf = (int*) malloc(n * sizeof(int));\n\
+                 buf[0] = 42;\n\
+                 int v = buf[0];\n\
+                 free(buf);\n\
+                 return v;\n\
+             }",
+        );
+        assert!(report.ok(), "{:?}", report.diags.items());
+    }
+
+    #[test]
+    fn freeing_parameter_rejected() {
+        let report = verify("pure void f(int* p) { free(p); }");
+        assert!(!report.ok());
+        assert!(report.diags.has_code(Code::PureFreesForeign));
+    }
+
+    #[test]
+    fn freeing_global_rejected() {
+        let report = verify("int* g;\npure void f() { free(g); }");
+        assert!(!report.ok());
+        assert!(report.diags.has_code(Code::PureFreesForeign));
+    }
+
+    #[test]
+    fn malloc_provenance_flows_through_local_copies() {
+        let report = verify(
+            "pure void f(int n) {\n\
+                 int* a = (int*) malloc(n);\n\
+                 int* b = a;\n\
+                 free(b);\n\
+             }",
+        );
+        assert!(report.ok(), "{:?}", report.diags.items());
+    }
+
+    #[test]
+    fn pure_param_to_pure_local_without_cast_ok() {
+        // Listing 2, line 10: pure int* ptr = p1;
+        let report = verify("pure int f(pure int* p1) { pure int* ptr = p1; return ptr[0]; }");
+        assert!(report.ok(), "{:?}", report.diags.items());
+    }
+
+    #[test]
+    fn pure_param_to_plain_local_rejected() {
+        let report = verify("pure int f(pure int* p1) { int* q = p1; return q[0]; }");
+        assert!(!report.ok());
+        assert!(report.diags.has_code(Code::PureAssignsExternalPtrWithoutCast));
+    }
+
+    #[test]
+    fn reading_globals_is_allowed() {
+        // GCC's pure attribute semantics: reads of globals are fine.
+        let report = verify("int N;\npure int f(int x) { return x + N; }");
+        assert!(report.ok(), "{:?}", report.diags.items());
+    }
+
+    #[test]
+    fn math_builtins_are_callable() {
+        let report = verify("pure float f(float x) { return sqrtf(x) + sinf(x); }");
+        assert!(report.ok(), "{:?}", report.diags.items());
+    }
+
+    #[test]
+    fn matmul_listing7_functions_verify() {
+        let report = verify(
+            "pure float mult(float a, float b) { return a * b; }\n\
+             pure float dot(pure float* a, pure float* b, int size) {\n\
+                 float res = 0.0f;\n\
+                 for (int i = 0; i < size; ++i) res += mult(a[i], b[i]);\n\
+                 return res;\n\
+             }",
+        );
+        assert!(report.ok(), "{:?}", report.diags.items());
+        assert!(report.pure_set.contains("mult"));
+        assert!(report.pure_set.contains("dot"));
+        assert_eq!(report.declared_pure, vec!["mult", "dot"]);
+    }
+
+    #[test]
+    fn impure_functions_are_not_checked() {
+        // Writing globals in a non-pure function is normal C.
+        let report = verify("int g;\nvoid setter(int v) { g = v; }");
+        assert!(report.ok());
+        assert!(!report.pure_set.contains("setter"));
+    }
+
+    #[test]
+    fn indirect_call_rejected() {
+        // Calls through anything but a plain identifier are not verifiable.
+        let report = verify("pure int f(pure int* p, int x) { return p[0](x); }");
+        assert!(!report.ok());
+        assert!(report.diags.has_code(Code::PureUnknownCallee));
+    }
+
+    #[test]
+    fn pure_local_ptr_assign_once_enforced() {
+        let report = verify(
+            "int* g;\n\
+             pure void f() {\n\
+                 pure int* p;\n\
+                 p = (pure int*) g;\n\
+                 p = (pure int*) g;\n\
+             }",
+        );
+        assert!(!report.ok());
+        assert!(report.diags.has_code(Code::PurePointerReassigned));
+    }
+}

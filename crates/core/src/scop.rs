@@ -1,0 +1,405 @@
+//! SCoP marking — the second half of PC-CC (Sect. 3.2/3.4).
+//!
+//! Every `for`-loop nest whose calls are all verified pure is surrounded by
+//! `#pragma scop` / `#pragma endscop`, the markers the polyhedral
+//! transformer consumes. Before marking, the pass runs the caller-side
+//! safety check of Listing 5: if a pointer argument of a pure call is also
+//! the target of an assignment in the same loop nest, the program is
+//! rejected (`PureParamWrittenInLoop`) — the call's result feeding back
+//! into its own input would make the iteration order observable.
+//!
+//! The check compares variable *names* only; the alias deception of
+//! Listing 6 is accepted, which the paper documents as a limitation.
+
+use crate::stdfns::PureSet;
+use cfront::ast::*;
+use cfront::diag::{Code, Diagnostics};
+
+
+/// Outcome of SCoP marking over a translation unit.
+#[derive(Debug, Default)]
+pub struct ScopReport {
+    /// Number of loop nests that were wrapped in scop pragmas.
+    pub marked: usize,
+    /// Number of loop nests skipped because they call impure functions.
+    pub skipped_impure: usize,
+    pub diags: Diagnostics,
+}
+
+/// Mark parallelization candidates in-place. Returns the report; on error
+/// (`PureParamWrittenInLoop`) the unit is left partially marked and callers
+/// must abort, mirroring the paper's compile error.
+pub fn mark_scops(unit: &mut TranslationUnit, pure_set: &PureSet) -> ScopReport {
+    let mut report = ScopReport::default();
+    for item in &mut unit.items {
+        let Item::Function(f) = item else { continue };
+        let Some(body) = &mut f.body else { continue };
+        mark_block(body, pure_set, &mut report);
+    }
+    report
+}
+
+fn mark_block(block: &mut Block, pure_set: &PureSet, report: &mut ScopReport) {
+    let mut i = 0;
+    while i < block.stmts.len() {
+        if matches!(block.stmts[i].kind, StmtKind::For { .. }) {
+            if loop_nest_is_candidate(&block.stmts[i], pure_set, report) {
+                let span = block.stmts[i].span;
+                block
+                    .stmts
+                    .insert(i, Stmt::new(StmtKind::Pragma("pragma scop".into()), span));
+                block.stmts.insert(
+                    i + 2,
+                    Stmt::new(StmtKind::Pragma("pragma endscop".into()), span),
+                );
+                report.marked += 1;
+                i += 3;
+                continue;
+            }
+            // Not a candidate as a whole — descend looking for inner
+            // candidates (e.g. a parallelizable loop inside an outer
+            // `while`-style driver loop).
+            descend(&mut block.stmts[i], pure_set, report);
+        } else if matches!(
+            block.stmts[i].kind,
+            StmtKind::Block(_) | StmtKind::If { .. } | StmtKind::While { .. } | StmtKind::DoWhile { .. }
+        ) {
+            descend(&mut block.stmts[i], pure_set, report);
+        }
+        i += 1;
+    }
+}
+
+fn descend(stmt: &mut Stmt, pure_set: &PureSet, report: &mut ScopReport) {
+    match &mut stmt.kind {
+        StmtKind::Block(b) => mark_block(b, pure_set, report),
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            descend_body(then_branch, pure_set, report);
+            if let Some(e) = else_branch {
+                descend_body(e, pure_set, report);
+            }
+        }
+        StmtKind::While { body, .. }
+        | StmtKind::DoWhile { body, .. }
+        | StmtKind::For { body, .. } => descend_body(body, pure_set, report),
+        _ => {}
+    }
+}
+
+/// Descend into a loop/branch body; bare statements cannot receive pragma
+/// siblings, so only blocks are explored further.
+fn descend_body(stmt: &mut Stmt, pure_set: &PureSet, report: &mut ScopReport) {
+    match &mut stmt.kind {
+        StmtKind::Block(b) => mark_block(b, pure_set, report),
+        StmtKind::For { .. } => descend(stmt, pure_set, report),
+        _ => descend(stmt, pure_set, report),
+    }
+}
+
+/// A loop nest qualifies when every function called anywhere inside is in
+/// the pure registry, and the Listing-5 check passes.
+fn loop_nest_is_candidate(stmt: &Stmt, pure_set: &PureSet, report: &mut ScopReport) -> bool {
+    let mut all_pure = true;
+    let mut any_call = false;
+    stmt.walk_exprs(&mut |e| {
+        if let Some((name, _)) = e.as_direct_call() {
+            if name == "__initlist" {
+                return;
+            }
+            any_call = true;
+            if !pure_set.contains(name) {
+                all_pure = false;
+            }
+        }
+    });
+    let _ = any_call;
+    if !all_pure {
+        report.skipped_impure += 1;
+        return false;
+    }
+    let errors_before = report.diags.error_count();
+    check_listing5(stmt, pure_set, &mut report.diags);
+    // The paper *errors out* on the Listing-5 violation rather than merely
+    // skipping the loop; on error the caller aborts the pipeline anyway.
+    report.diags.error_count() == errors_before
+}
+
+/// Listing 5: an assignment must not feed a pure call's pointer argument
+/// back into its own target — `array[i] = func(array, i)` makes the call's
+/// input depend on the iteration order. The check is per assignment
+/// statement (the paper's "appears on the left-hand side of an assignment
+/// operator"); writes to the same array in *other* statements of the nest
+/// are the legal double-buffer/copy patterns the evaluation programs use.
+fn check_listing5(stmt: &Stmt, pure_set: &PureSet, diags: &mut Diagnostics) {
+    stmt.walk_exprs(&mut |e| {
+        let ExprKind::Assign(_, lhs, rhs) = &e.kind else {
+            return;
+        };
+        let Some(lhs_root) = lhs.lvalue_root() else {
+            return;
+        };
+        if is_iterator_like(stmt, lhs_root) {
+            return;
+        }
+        // Find pure calls inside the RHS whose pointer arguments root at
+        // the assignment target.
+        rhs.walk(&mut |sub| {
+            let Some((name, args)) = sub.as_direct_call() else {
+                return;
+            };
+            if !pure_set.contains(name) || name == "__initlist" {
+                return;
+            }
+            for arg in args {
+                let mut inner = arg;
+                while let ExprKind::Cast(_, x) = &inner.kind {
+                    inner = x;
+                }
+                let is_pointerish = matches!(
+                    inner.kind,
+                    ExprKind::Ident(_) | ExprKind::Index(..) | ExprKind::Member { .. }
+                );
+                let Some(root) = inner.lvalue_root() else { continue };
+                if is_pointerish && root == lhs_root && !is_iterator_like(stmt, root) {
+                    diags.error(
+                        Code::PureParamWrittenInLoop,
+                        e.span,
+                        format!(
+                            "argument '{root}' of pure function '{name}' is also assigned in \
+                             this loop nest — the call's input depends on the iteration order \
+                             (see paper Listing 5)"
+                        ),
+                    );
+                }
+            }
+        });
+    });
+}
+
+/// Is `name` one of the loop iterators of the nest rooted at `stmt`?
+/// Iterator variables are incremented by the loop itself; passing them as
+/// scalar arguments is the normal pattern (`func(array, i)`).
+fn is_iterator_like(stmt: &Stmt, name: &str) -> bool {
+    let mut found = false;
+    stmt.walk(&mut |s| {
+        if let StmtKind::For { init, step, .. } = &s.kind {
+            match init.as_ref() {
+                ForInit::Decl(d) => {
+                    if d.declarators.iter().any(|dec| dec.name == name) {
+                        found = true;
+                    }
+                }
+                ForInit::Expr(Some(e)) => {
+                    if let ExprKind::Assign(_, lhs, _) = &e.kind {
+                        if lhs.as_ident() == Some(name) {
+                            found = true;
+                        }
+                    }
+                }
+                ForInit::Expr(None) => {}
+            }
+            if let Some(se) = step {
+                let mut root = None;
+                match &se.kind {
+                    ExprKind::Unary(op, inner) if op.writes_operand() => {
+                        root = inner.as_ident();
+                    }
+                    ExprKind::Assign(_, lhs, _) => root = lhs.as_ident(),
+                    _ => {}
+                }
+                if root == Some(name) {
+                    found = true;
+                }
+            }
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::purity::verify_unit;
+    use cfront::parser::parse;
+    use cfront::printer::print_unit;
+
+    fn run(src: &str) -> (TranslationUnit, ScopReport) {
+        let r = parse(src);
+        assert!(!r.diags.has_errors(), "{}", r.diags.render_all(src));
+        let mut unit = r.unit;
+        let purity = verify_unit(&unit, PureSet::seeded());
+        assert!(purity.ok(), "{:?}", purity.diags.items());
+        let report = mark_scops(&mut unit, &purity.pure_set);
+        (unit, report)
+    }
+
+    #[test]
+    fn matmul_loop_is_marked() {
+        let (unit, report) = run(
+            "float **A, **Bt, **C;\n\
+             pure float dot(pure float* a, pure float* b, int size) { return a[0] * b[0]; }\n\
+             int main() {\n\
+                 for (int i = 0; i < 4096; ++i)\n\
+                     for (int j = 0; j < 4096; ++j)\n\
+                         C[i][j] = dot((pure float*)A[i], (pure float*)Bt[j], 4096);\n\
+                 return 0;\n\
+             }",
+        );
+        assert_eq!(report.marked, 1);
+        assert!(!report.diags.has_errors());
+        let out = print_unit(&unit);
+        let scop_pos = out.find("#pragma scop").expect("scop pragma");
+        let for_pos = out.find("for (").expect("loop");
+        let end_pos = out.find("#pragma endscop").expect("endscop pragma");
+        assert!(scop_pos < for_pos && for_pos < end_pos, "{out}");
+    }
+
+    #[test]
+    fn loop_calling_impure_function_is_not_marked() {
+        let (_, report) = run(
+            "void log_step(int i);\n\
+             int main() {\n\
+                 for (int i = 0; i < 10; i++) log_step(i);\n\
+                 return 0;\n\
+             }",
+        );
+        assert_eq!(report.marked, 0);
+        assert_eq!(report.skipped_impure, 1);
+    }
+
+    #[test]
+    fn listing5_feedback_through_pure_call_is_error() {
+        let r = parse(
+            "pure int func(pure int* a, int idx) { return a[idx - 1] + a[idx]; }\n\
+             int main() {\n\
+                 int array[100];\n\
+                 for (int i = 1; i < 100; i++)\n\
+                     array[i] = func((pure int*)array, i);\n\
+                 return 0;\n\
+             }",
+        );
+        assert!(!r.diags.has_errors());
+        let mut unit = r.unit;
+        let purity = verify_unit(&unit, PureSet::seeded());
+        assert!(purity.ok());
+        let report = mark_scops(&mut unit, &purity.pure_set);
+        assert!(report.diags.has_code(Code::PureParamWrittenInLoop));
+    }
+
+    #[test]
+    fn listing6_alias_deceives_the_check() {
+        // Documented limitation: the alias hides the hazard.
+        let r = parse(
+            "pure int func(pure int* a, int idx) { return a[idx - 1] + a[idx]; }\n\
+             int main() {\n\
+                 int array[100];\n\
+                 int* alias = array;\n\
+                 for (int i = 1; i < 100; i++)\n\
+                     alias[i] = func((pure int*)array, i);\n\
+                 return 0;\n\
+             }",
+        );
+        let mut unit = r.unit;
+        let purity = verify_unit(&unit, PureSet::seeded());
+        let report = mark_scops(&mut unit, &purity.pure_set);
+        // No error, loop marked — exactly the deception of Listing 6.
+        assert!(!report.diags.has_errors());
+        assert_eq!(report.marked, 1);
+    }
+
+    #[test]
+    fn iterator_argument_is_not_a_hazard() {
+        let (_, report) = run(
+            "pure int f(int i) { return i * 2; }\n\
+             int main() {\n\
+                 int out[10];\n\
+                 for (int i = 0; i < 10; i++) out[i] = f(i);\n\
+                 return 0;\n\
+             }",
+        );
+        assert!(!report.diags.has_errors());
+        assert_eq!(report.marked, 1);
+    }
+
+    #[test]
+    fn plain_affine_loop_without_calls_is_marked() {
+        let (_, report) = run(
+            "int main() {\n\
+                 float a[64][64];\n\
+                 for (int i = 0; i < 64; i++)\n\
+                     for (int j = 0; j < 64; j++)\n\
+                         a[i][j] = i + j;\n\
+                 return 0;\n\
+             }",
+        );
+        assert_eq!(report.marked, 1);
+    }
+
+    #[test]
+    fn malloc_init_loop_is_marked_as_pure() {
+        // The Fig. 3 artifact: the allocation loop qualifies because malloc
+        // is in the seeded registry.
+        let (_, report) = run(
+            "float** A;\n\
+             int main() {\n\
+                 for (int i = 0; i < 4096; i++)\n\
+                     A[i] = (float*) malloc(4096 * sizeof(float));\n\
+                 return 0;\n\
+             }",
+        );
+        assert_eq!(report.marked, 1);
+    }
+
+    #[test]
+    fn malloc_loop_not_marked_without_alloc_rule() {
+        // Ablation A1: withdrawing malloc from the registry demotes the loop.
+        let r = parse(
+            "float** A;\n\
+             int main() {\n\
+                 for (int i = 0; i < 8; i++) A[i] = (float*) malloc(8);\n\
+                 return 0;\n\
+             }",
+        );
+        let mut unit = r.unit;
+        let set = PureSet::seeded_without_alloc();
+        let report = mark_scops(&mut unit, &set);
+        assert_eq!(report.marked, 0);
+        assert_eq!(report.skipped_impure, 1);
+    }
+
+    #[test]
+    fn only_outermost_loop_of_nest_is_wrapped() {
+        let (unit, report) = run(
+            "int main() {\n\
+                 int a[8][8];\n\
+                 for (int i = 0; i < 8; i++)\n\
+                     for (int j = 0; j < 8; j++)\n\
+                         a[i][j] = 0;\n\
+                 return 0;\n\
+             }",
+        );
+        assert_eq!(report.marked, 1);
+        let out = print_unit(&unit);
+        assert_eq!(out.matches("#pragma scop").count(), 1);
+        assert_eq!(out.matches("#pragma endscop").count(), 1);
+    }
+
+    #[test]
+    fn two_sibling_loops_both_marked() {
+        let (unit, report) = run(
+            "int main() {\n\
+                 int a[8];\n\
+                 for (int i = 0; i < 8; i++) a[i] = i;\n\
+                 for (int j = 0; j < 8; j++) a[j] = a[j] * 2;\n\
+                 return 0;\n\
+             }",
+        );
+        assert_eq!(report.marked, 2);
+        let out = print_unit(&unit);
+        assert_eq!(out.matches("#pragma scop").count(), 2);
+    }
+}

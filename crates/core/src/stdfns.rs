@@ -1,0 +1,152 @@
+//! The pure-function registry ("hashset" in the paper, Sect. 3.2).
+//!
+//! The set is initialised with the C standard functions that have no
+//! side-effects (`sin`, `cos`, `log`, …). `malloc` and `free` are added as
+//! well: the paper argues their side-effects do not affect other threads,
+//! and allowing `malloc` lets pure functions return heap arrays. The
+//! verifier separately checks that `free` only releases memory allocated in
+//! the same pure function.
+
+use std::collections::HashSet;
+
+/// Registry of function names considered pure. Grows as `pure`-declared
+/// functions are verified.
+#[derive(Debug, Clone)]
+pub struct PureSet {
+    names: HashSet<String>,
+    /// Names that entered via the seeded stdlib list (useful for reporting).
+    builtin: HashSet<String>,
+}
+
+/// C standard library functions seeded as side-effect-free.
+pub const PURE_STDLIB: &[&str] = &[
+    // <math.h> double forms
+    "sin", "cos", "tan", "asin", "acos", "atan", "atan2", "sinh", "cosh", "tanh", "exp", "log",
+    "log2", "log10", "sqrt", "pow", "fabs", "floor", "ceil", "round", "trunc", "fmod", "fmin",
+    "fmax", "hypot", "cbrt", "expm1", "log1p", "copysign",
+    // <math.h> float forms
+    "sinf", "cosf", "tanf", "asinf", "acosf", "atanf", "atan2f", "expf", "logf", "log2f",
+    "log10f", "sqrtf", "powf", "fabsf", "floorf", "ceilf", "roundf", "fmodf", "fminf", "fmaxf",
+    // <stdlib.h> pure-ish
+    "abs", "labs", "llabs", "atoi", "atof", "atol",
+    // <string.h> read-only
+    "strlen", "strcmp", "strncmp", "memcmp",
+];
+
+/// Allocation functions treated as pure by the paper's argument (their
+/// side-effects are thread-local).
+pub const ALLOC_FNS: &[&str] = &["malloc", "free", "calloc"];
+
+impl PureSet {
+    /// The seeded registry (stdlib + malloc/free).
+    pub fn seeded() -> Self {
+        let mut names = HashSet::with_capacity(PURE_STDLIB.len() + ALLOC_FNS.len());
+        for n in PURE_STDLIB.iter().chain(ALLOC_FNS) {
+            names.insert((*n).to_string());
+        }
+        let builtin = names.clone();
+        PureSet { names, builtin }
+    }
+
+    /// An empty registry (used by ablation A1 to withdraw the malloc rule:
+    /// `PureSet::seeded_without_alloc()` keeps math but drops malloc/free).
+    pub fn seeded_without_alloc() -> Self {
+        let mut s = Self::seeded();
+        for n in ALLOC_FNS {
+            s.names.remove(*n);
+            s.builtin.remove(*n);
+        }
+        s
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+
+    pub fn is_builtin(&self, name: &str) -> bool {
+        self.builtin.contains(name)
+    }
+
+    /// Register a user function that was *declared* pure. Registration
+    /// happens before body verification so that self-recursion and forward
+    /// references between pure functions resolve (the paper's hashset works
+    /// the same way: declaration adds the name).
+    pub fn insert(&mut self, name: impl Into<String>) {
+        self.names.insert(name.into());
+    }
+
+    pub fn remove(&mut self, name: &str) {
+        self.names.remove(name);
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate user-registered (non-builtin) pure functions.
+    pub fn user_functions(&self) -> impl Iterator<Item = &str> {
+        self.names
+            .iter()
+            .filter(|n| !self.builtin.contains(*n))
+            .map(String::as_str)
+    }
+}
+
+impl Default for PureSet {
+    fn default() -> Self {
+        Self::seeded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_set_contains_math_and_alloc() {
+        let s = PureSet::seeded();
+        assert!(s.contains("sin"));
+        assert!(s.contains("cos"));
+        assert!(s.contains("log"));
+        assert!(s.contains("sqrtf"));
+        assert!(s.contains("malloc"));
+        assert!(s.contains("free"));
+        assert!(!s.contains("printf"));
+        assert!(!s.contains("memcpy"));
+        assert!(!s.contains("rand")); // stateful!
+    }
+
+    #[test]
+    fn without_alloc_drops_malloc_only() {
+        let s = PureSet::seeded_without_alloc();
+        assert!(s.contains("sin"));
+        assert!(!s.contains("malloc"));
+        assert!(!s.contains("free"));
+    }
+
+    #[test]
+    fn user_registration_and_enumeration() {
+        let mut s = PureSet::seeded();
+        s.insert("dot");
+        s.insert("mult");
+        assert!(s.contains("dot"));
+        assert!(!s.is_builtin("dot"));
+        assert!(s.is_builtin("sin"));
+        let mut users: Vec<&str> = s.user_functions().collect();
+        users.sort_unstable();
+        assert_eq!(users, vec!["dot", "mult"]);
+    }
+
+    #[test]
+    fn no_duplicates_in_seed_lists() {
+        let mut all: Vec<&str> = PURE_STDLIB.iter().chain(ALLOC_FNS).copied().collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "duplicate entries in seed lists");
+    }
+}

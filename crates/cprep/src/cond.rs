@@ -1,0 +1,336 @@
+//! Evaluator for `#if` / `#elif` conditions.
+//!
+//! Grammar: C integer constant expressions with `defined(NAME)` /
+//! `defined NAME`, the usual arithmetic/relational/logical/bitwise
+//! operators and parentheses. Undefined identifiers evaluate to 0, as in
+//! the C standard.
+
+use crate::macros::MacroTable;
+
+/// Evaluate a condition text to an integer (C semantics: nonzero = true).
+pub fn eval(expr: &str, macros: &MacroTable) -> Result<i64, String> {
+    // `defined(...)` must be resolved *before* macro expansion.
+    let resolved = resolve_defined(expr, macros)?;
+    let expanded = macros.expand_line(&resolved);
+    let toks = tokenize(&expanded)?;
+    let mut p = CondParser { toks, pos: 0 };
+    let v = p.parse_expr(0)?;
+    if p.pos != p.toks.len() {
+        return Err(format!("trailing tokens after expression: {:?}", &p.toks[p.pos..]));
+    }
+    Ok(v)
+}
+
+fn resolve_defined(expr: &str, macros: &MacroTable) -> Result<String, String> {
+    let mut out = String::with_capacity(expr.len());
+    let bytes = expr.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if expr[i..].starts_with("defined") {
+            let before_ok = i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+            let after = i + "defined".len();
+            let after_ok =
+                after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+            if before_ok && after_ok {
+                i = after;
+                while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+                    i += 1;
+                }
+                let (name, next) = if i < bytes.len() && bytes[i] == b'(' {
+                    let close = expr[i..]
+                        .find(')')
+                        .ok_or("unterminated defined(")?
+                        + i;
+                    (expr[i + 1..close].trim().to_string(), close + 1)
+                } else {
+                    let start = i;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    (expr[start..i].to_string(), i)
+                };
+                if name.is_empty() {
+                    return Err("defined without a name".to_string());
+                }
+                out.push_str(if macros.is_defined(&name) { "1" } else { "0" });
+                i = next;
+                continue;
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    Ok(out)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(i64),
+    Op(&'static str),
+    LParen,
+    RParen,
+}
+
+fn tokenize(s: &str) -> Result<Vec<Tok>, String> {
+    let bytes = s.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X') {
+                i += 2;
+                while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let v = i64::from_str_radix(&s[start + 2..i], 16)
+                    .map_err(|e| e.to_string())?;
+                toks.push(Tok::Num(v));
+            } else {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let v: i64 = s[start..i].parse().map_err(|_| "bad number")?;
+                toks.push(Tok::Num(v));
+            }
+            // Integer suffixes.
+            while i < bytes.len() && matches!(bytes[i], b'u' | b'U' | b'l' | b'L') {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            // Undefined identifier → 0 per C semantics.
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Tok::Num(0));
+            continue;
+        }
+        let two = if i + 1 < bytes.len() { &s[i..i + 2] } else { "" };
+        let op2 = ["&&", "||", "==", "!=", "<=", ">=", "<<", ">>"];
+        if let Some(op) = op2.iter().find(|o| **o == two) {
+            toks.push(Tok::Op(op));
+            i += 2;
+            continue;
+        }
+        match c {
+            '(' => toks.push(Tok::LParen),
+            ')' => toks.push(Tok::RParen),
+            '+' => toks.push(Tok::Op("+")),
+            '-' => toks.push(Tok::Op("-")),
+            '*' => toks.push(Tok::Op("*")),
+            '/' => toks.push(Tok::Op("/")),
+            '%' => toks.push(Tok::Op("%")),
+            '<' => toks.push(Tok::Op("<")),
+            '>' => toks.push(Tok::Op(">")),
+            '!' => toks.push(Tok::Op("!")),
+            '~' => toks.push(Tok::Op("~")),
+            '&' => toks.push(Tok::Op("&")),
+            '|' => toks.push(Tok::Op("|")),
+            '^' => toks.push(Tok::Op("^")),
+            other => return Err(format!("unexpected character `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(toks)
+}
+
+struct CondParser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+fn prec(op: &str) -> Option<u8> {
+    Some(match op {
+        "*" | "/" | "%" => 10,
+        "+" | "-" => 9,
+        "<<" | ">>" => 8,
+        "<" | ">" | "<=" | ">=" => 7,
+        "==" | "!=" => 6,
+        "&" => 5,
+        "^" => 4,
+        "|" => 3,
+        "&&" => 2,
+        "||" => 1,
+        _ => return None,
+    })
+}
+
+impl CondParser {
+    fn peek_op(&self) -> Option<&'static str> {
+        match self.toks.get(self.pos) {
+            Some(Tok::Op(op)) => Some(op),
+            _ => None,
+        }
+    }
+
+    fn parse_expr(&mut self, min_prec: u8) -> Result<i64, String> {
+        let mut lhs = self.parse_unary()?;
+        while let Some(op) = self.peek_op() {
+            let Some(p) = prec(op) else { break };
+            if p < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.parse_expr(p + 1)?;
+            lhs = apply(op, lhs, rhs)?;
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<i64, String> {
+        match self.toks.get(self.pos).cloned() {
+            Some(Tok::Num(v)) => {
+                self.pos += 1;
+                Ok(v)
+            }
+            Some(Tok::Op("-")) => {
+                self.pos += 1;
+                Ok(-self.parse_unary()?)
+            }
+            Some(Tok::Op("+")) => {
+                self.pos += 1;
+                self.parse_unary()
+            }
+            Some(Tok::Op("!")) => {
+                self.pos += 1;
+                Ok((self.parse_unary()? == 0) as i64)
+            }
+            Some(Tok::Op("~")) => {
+                self.pos += 1;
+                Ok(!self.parse_unary()?)
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let v = self.parse_expr(0)?;
+                match self.toks.get(self.pos) {
+                    Some(Tok::RParen) => {
+                        self.pos += 1;
+                        Ok(v)
+                    }
+                    _ => Err("missing `)`".to_string()),
+                }
+            }
+            other => Err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+fn apply(op: &str, l: i64, r: i64) -> Result<i64, String> {
+    Ok(match op {
+        "*" => l.wrapping_mul(r),
+        "/" => {
+            if r == 0 {
+                return Err("division by zero in #if".to_string());
+            }
+            l / r
+        }
+        "%" => {
+            if r == 0 {
+                return Err("modulo by zero in #if".to_string());
+            }
+            l % r
+        }
+        "+" => l.wrapping_add(r),
+        "-" => l.wrapping_sub(r),
+        "<<" => l.wrapping_shl(r as u32),
+        ">>" => l.wrapping_shr(r as u32),
+        "<" => (l < r) as i64,
+        ">" => (l > r) as i64,
+        "<=" => (l <= r) as i64,
+        ">=" => (l >= r) as i64,
+        "==" => (l == r) as i64,
+        "!=" => (l != r) as i64,
+        "&" => l & r,
+        "^" => l ^ r,
+        "|" => l | r,
+        "&&" => ((l != 0) && (r != 0)) as i64,
+        "||" => ((l != 0) || (r != 0)) as i64,
+        other => return Err(format!("unknown operator `{other}`")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(expr: &str) -> i64 {
+        eval(expr, &MacroTable::new()).unwrap()
+    }
+
+    fn ev_with(expr: &str, defs: &[&str]) -> i64 {
+        let mut t = MacroTable::new();
+        for d in defs {
+            t.define(d).unwrap();
+        }
+        eval(expr, &t).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(ev("1 + 2 * 3"), 7);
+        assert_eq!(ev("(1 + 2) * 3"), 9);
+        assert_eq!(ev("10 / 3"), 3);
+        assert_eq!(ev("10 % 3"), 1);
+        assert_eq!(ev("1 << 6"), 64);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(ev("3 > 2"), 1);
+        assert_eq!(ev("3 > 2 && 1 < 2"), 1);
+        assert_eq!(ev("0 || 2"), 1);
+        assert_eq!(ev("!5"), 0);
+        assert_eq!(ev("!0"), 1);
+    }
+
+    #[test]
+    fn undefined_identifiers_are_zero() {
+        assert_eq!(ev("FOO"), 0);
+        assert_eq!(ev("FOO + 1"), 1);
+    }
+
+    #[test]
+    fn defined_operator_both_forms() {
+        assert_eq!(ev_with("defined(X)", &["X 1"]), 1);
+        assert_eq!(ev_with("defined X", &["X 1"]), 1);
+        assert_eq!(ev_with("defined(Y)", &["X 1"]), 0);
+        assert_eq!(ev_with("!defined(Y)", &["X 1"]), 1);
+    }
+
+    #[test]
+    fn macros_expand_inside_conditions() {
+        assert_eq!(ev_with("CORES > 32", &["CORES 64"]), 1);
+        assert_eq!(ev_with("CORES * 2", &["CORES 8"]), 16);
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        assert!(eval("1 / 0", &MacroTable::new()).is_err());
+    }
+
+    #[test]
+    fn unary_minus_and_bitnot() {
+        assert_eq!(ev("-3 + 5"), 2);
+        assert_eq!(ev("~0"), -1);
+        assert_eq!(ev("-(2 + 2)"), -4);
+    }
+
+    #[test]
+    fn hex_and_suffixed_literals() {
+        assert_eq!(ev("0x10"), 16);
+        assert_eq!(ev("1024UL"), 1024);
+    }
+
+    #[test]
+    fn trailing_garbage_is_error() {
+        assert!(eval("1 2", &MacroTable::new()).is_err());
+    }
+}

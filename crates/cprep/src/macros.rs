@@ -1,0 +1,345 @@
+//! Macro table and expansion engine for the GCC-E emulation.
+//!
+//! Supports object-like (`#define N 4096`) and function-like
+//! (`#define MIN(a,b) ...`) macros with recursive expansion, guarding
+//! against self-recursion the same way a conforming preprocessor does
+//! (a macro is not re-expanded inside its own expansion).
+
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Macro {
+    Object(String),
+    Function { params: Vec<String>, body: String },
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct MacroTable {
+    defs: HashMap<String, Macro>,
+}
+
+impl MacroTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse and register a `#define` body (the text after `#define `).
+    pub fn define(&mut self, rest: &str) -> Result<(), String> {
+        let rest = rest.trim();
+        let name_end = rest
+            .find(|c: char| !c.is_alphanumeric() && c != '_')
+            .unwrap_or(rest.len());
+        if name_end == 0 {
+            return Err(format!("malformed #define: `{rest}`"));
+        }
+        let name = &rest[..name_end];
+        let after = &rest[name_end..];
+
+        // Function-like only when `(` directly follows the name.
+        if let Some(stripped) = after.strip_prefix('(') {
+            let close = stripped
+                .find(')')
+                .ok_or_else(|| format!("unterminated parameter list in #define {name}"))?;
+            let params: Vec<String> = if stripped[..close].trim().is_empty() {
+                Vec::new()
+            } else {
+                stripped[..close]
+                    .split(',')
+                    .map(|p| p.trim().to_string())
+                    .collect()
+            };
+            for p in &params {
+                if p.is_empty() || !p.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    return Err(format!("bad macro parameter `{p}` in #define {name}"));
+                }
+            }
+            let body = stripped[close + 1..].trim().to_string();
+            self.defs
+                .insert(name.to_string(), Macro::Function { params, body });
+        } else {
+            self.defs
+                .insert(name.to_string(), Macro::Object(after.trim().to_string()));
+        }
+        Ok(())
+    }
+
+    pub fn undef(&mut self, name: &str) {
+        self.defs.remove(name);
+    }
+
+    pub fn is_defined(&self, name: &str) -> bool {
+        self.defs.contains_key(name)
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Macro> {
+        self.defs.get(name)
+    }
+
+    /// Expand all macros in one source line. String and char literals are
+    /// left untouched.
+    pub fn expand_line(&self, line: &str) -> String {
+        let mut hide = HashSet::new();
+        self.expand(line, &mut hide, 0)
+    }
+
+    fn expand(&self, text: &str, hide: &mut HashSet<String>, depth: usize) -> String {
+        if depth > 64 {
+            return text.to_string(); // runaway recursion guard
+        }
+        let bytes = text.as_bytes();
+        let mut out = String::with_capacity(text.len());
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            // Skip string literals verbatim.
+            if c == b'"' || c == b'\'' {
+                let quote = c;
+                out.push(c as char);
+                i += 1;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    out.push(b as char);
+                    i += 1;
+                    if b == b'\\' && i < bytes.len() {
+                        out.push(bytes[i] as char);
+                        i += 1;
+                        continue;
+                    }
+                    if b == quote {
+                        break;
+                    }
+                }
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == b'_' {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &text[start..i];
+                if hide.contains(word) {
+                    out.push_str(word);
+                    continue;
+                }
+                match self.defs.get(word) {
+                    Some(Macro::Object(body)) => {
+                        hide.insert(word.to_string());
+                        let expanded = self.expand(body, hide, depth + 1);
+                        hide.remove(word);
+                        out.push_str(&expanded);
+                    }
+                    Some(Macro::Function { params, body }) => {
+                        // Only expands when immediately invoked.
+                        let mut j = i;
+                        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                            j += 1;
+                        }
+                        if j < bytes.len() && bytes[j] == b'(' {
+                            match split_args(&text[j..]) {
+                                Some((args, consumed)) if args.len() == params.len()
+                                    || (params.is_empty() && args.len() == 1
+                                        && args[0].trim().is_empty()) =>
+                                {
+                                    i = j + consumed;
+                                    let mut substituted = String::with_capacity(body.len());
+                                    substitute_params(body, params, &args, &mut substituted);
+                                    hide.insert(word.to_string());
+                                    let expanded = self.expand(&substituted, hide, depth + 1);
+                                    hide.remove(word);
+                                    out.push_str(&expanded);
+                                }
+                                _ => {
+                                    // Arity mismatch or unbalanced parens:
+                                    // leave the call verbatim (matches GCC's
+                                    // behaviour of reporting later).
+                                    out.push_str(word);
+                                }
+                            }
+                        } else {
+                            out.push_str(word);
+                        }
+                    }
+                    None => out.push_str(word),
+                }
+                continue;
+            }
+            out.push(c as char);
+            i += 1;
+        }
+        out
+    }
+}
+
+/// Split `(...)` at the start of `text` into comma-separated top-level
+/// arguments; returns the args and the number of bytes consumed including
+/// both parentheses. Returns `None` on unbalanced parens.
+fn split_args(text: &str) -> Option<(Vec<String>, usize)> {
+    let bytes = text.as_bytes();
+    debug_assert_eq!(bytes.first(), Some(&b'('));
+    let mut depth = 0usize;
+    let mut args = Vec::new();
+    let mut current = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '(' => {
+                depth += 1;
+                if depth > 1 {
+                    current.push(c);
+                }
+            }
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    args.push(current.trim().to_string());
+                    return Some((args, i + 1));
+                }
+                current.push(c);
+            }
+            ',' if depth == 1 => {
+                args.push(current.trim().to_string());
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Replace whole-word occurrences of each parameter with the raw argument
+/// tokens (standard C behaviour — bodies are expected to parenthesise).
+fn substitute_params(body: &str, params: &[String], args: &[String], out: &mut String) {
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &body[start..i];
+            match params.iter().position(|p| p == word) {
+                Some(idx) => out.push_str(args.get(idx).map(String::as_str).unwrap_or("")),
+                None => out.push_str(word),
+            }
+        } else {
+            out.push(c as char);
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(defs: &[&str]) -> MacroTable {
+        let mut t = MacroTable::new();
+        for d in defs {
+            t.define(d).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn object_macro_simple() {
+        let t = table(&["N 4096"]);
+        assert_eq!(t.expand_line("int a[N];"), "int a[4096];");
+    }
+
+    #[test]
+    fn object_macro_word_boundaries() {
+        let t = table(&["N 10"]);
+        assert_eq!(t.expand_line("int NN = N + xN;"), "int NN = 10 + xN;");
+    }
+
+    #[test]
+    fn nested_object_macros() {
+        let t = table(&["A B", "B C", "C 42"]);
+        assert_eq!(t.expand_line("A"), "42");
+    }
+
+    #[test]
+    fn self_recursive_macro_terminates() {
+        let t = table(&["X X + 1"]);
+        assert_eq!(t.expand_line("X"), "X + 1");
+    }
+
+    #[test]
+    fn mutually_recursive_macros_terminate() {
+        let t = table(&["A B", "B A"]);
+        // A → B → A (hidden) stops.
+        assert_eq!(t.expand_line("A"), "A");
+    }
+
+    #[test]
+    fn function_macro_basic() {
+        let t = table(&["SQR(x) ((x) * (x))"]);
+        assert_eq!(t.expand_line("y = SQR(a + 1);"), "y = ((a + 1) * (a + 1));");
+    }
+
+    #[test]
+    fn function_macro_multiple_params() {
+        let t = table(&["MAX(a, b) ((a) > (b) ? (a) : (b))"]);
+        assert_eq!(
+            t.expand_line("m = MAX(x, y + 2);"),
+            "m = ((x) > (y + 2) ? (x) : (y + 2));"
+        );
+    }
+
+    #[test]
+    fn function_macro_nested_call_args() {
+        let t = table(&["F(a) (a)", "G(a, b) (a + b)"]);
+        assert_eq!(t.expand_line("G(F(1), F(2))"), "((1) + (2))");
+    }
+
+    #[test]
+    fn function_macro_without_parens_not_expanded() {
+        let t = table(&["F(a) (a)"]);
+        assert_eq!(t.expand_line("int F;"), "int F;");
+    }
+
+    #[test]
+    fn strings_are_not_expanded() {
+        let t = table(&["N 4"]);
+        assert_eq!(t.expand_line("printf(\"N = %d\", N);"), "printf(\"N = %d\", 4);");
+    }
+
+    #[test]
+    fn char_literals_are_not_expanded() {
+        let t = table(&["N 4"]);
+        assert_eq!(t.expand_line("c = 'N' + N;"), "c = 'N' + 4;");
+    }
+
+    #[test]
+    fn zero_arg_function_macro() {
+        let t = table(&["PI() 3.14"]);
+        assert_eq!(t.expand_line("x = PI();"), "x = 3.14;");
+    }
+
+    #[test]
+    fn define_rejects_garbage() {
+        let mut t = MacroTable::new();
+        assert!(t.define("").is_err());
+        assert!(t.define("BAD(a").is_err());
+    }
+
+    #[test]
+    fn undef_then_not_expanded() {
+        let mut t = table(&["N 4"]);
+        t.undef("N");
+        assert_eq!(t.expand_line("a[N]"), "a[N]");
+    }
+
+    #[test]
+    fn empty_object_macro_expands_to_nothing() {
+        let t = table(&["GUARD"]);
+        assert!(t.is_defined("GUARD"));
+        assert_eq!(t.expand_line("GUARD int a;"), " int a;");
+    }
+}

@@ -1,0 +1,21 @@
+//! # machine — parallel runtime and machine model
+//!
+//! Two halves:
+//!
+//! * [`omprt`] — a real miniature OpenMP runtime (thread pool, static /
+//!   dynamic / guided loop schedules) used to *execute* transformed
+//!   programs in parallel;
+//! * [`sim`] — the analytic cost model of the paper's evaluation machine
+//!   (4 × AMD Opteron 6272) and compilers (GCC 7.2 -O2, ICC 16), used by
+//!   the benchmark harness to regenerate every figure's series at paper
+//!   scale (4096² matrices, 64 cores) where direct execution is
+//!   infeasible.
+
+pub mod omprt;
+pub mod sim;
+
+pub use omprt::{parallel_for, OmpSchedule, ThreadPool};
+pub use sim::{
+    program_time, region_time, speedup, Compiler, CompilerKind, CostProfile, Machine, Variant,
+    Workload,
+};

@@ -1,0 +1,15 @@
+//! omprt — a miniature OpenMP runtime.
+//!
+//! The paper's generated code relies on libgomp (`#pragma omp parallel
+//! for`, `schedule(static)`, `schedule(dynamic,1)`). This module provides
+//! the equivalent runtime on native threads so transformed programs can be
+//! *executed* in parallel by the interpreter, and so the scheduling
+//! policies (static contiguous chunks vs. dynamic work queues — the
+//! satellite vs. LAMA distinction of Sect. 4.3.3/4.3.4) exist as real,
+//! testable code rather than only as cost-model constants.
+
+pub mod pool;
+pub mod sched;
+
+pub use pool::ThreadPool;
+pub use sched::{parallel_for, OmpSchedule};

@@ -1,0 +1,189 @@
+//! A persistent worker pool with socket-aware virtual pinning.
+//!
+//! The paper pins threads with `numactl` so the OS cannot migrate them
+//! between the four Opteron sockets. Our pool reproduces the *assignment*:
+//! each worker is labelled with a virtual core and socket (round-robin
+//! across sockets, matching `numactl --interleave` style spreading), which
+//! the NUMA cost model and the interpreter's first-touch accounting use.
+//! Work is submitted as closures over a crossbeam channel; `scope_join`
+//! blocks until all submitted tasks of the scope finish.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Virtual placement of one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    pub worker: usize,
+    pub core: usize,
+    pub socket: usize,
+}
+
+struct Shared {
+    pending: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// Persistent thread pool with deterministic worker → socket placement.
+pub struct ThreadPool {
+    sender: Option<Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+    placements: Vec<Placement>,
+    shared: Arc<Shared>,
+}
+
+impl ThreadPool {
+    /// Create a pool of `nthreads` workers distributed over `sockets`
+    /// sockets with `cores_per_socket` cores each, filling socket 0 first
+    /// (the `numactl` compact policy used in the paper's runs).
+    pub fn new(nthreads: usize, sockets: usize, cores_per_socket: usize) -> Self {
+        let nthreads = nthreads.max(1);
+        let (tx, rx) = unbounded::<Task>();
+        let shared = Arc::new(Shared {
+            pending: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        });
+        let mut workers = Vec::with_capacity(nthreads);
+        let mut placements = Vec::with_capacity(nthreads);
+        for w in 0..nthreads {
+            let core = w % (sockets * cores_per_socket).max(1);
+            let socket = core / cores_per_socket.max(1);
+            placements.push(Placement {
+                worker: w,
+                core,
+                socket,
+            });
+            let rx = rx.clone();
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || {
+                while let Ok(task) = rx.recv() {
+                    task();
+                    if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let _g = shared.lock.lock();
+                        shared.cv.notify_all();
+                    }
+                }
+            }));
+        }
+        ThreadPool {
+            sender: Some(tx),
+            workers,
+            placements,
+            shared,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Placement table (worker index → virtual core/socket).
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Number of distinct sockets the first `n` workers span.
+    pub fn sockets_spanned(&self, n: usize) -> usize {
+        let mut set = std::collections::BTreeSet::new();
+        for p in self.placements.iter().take(n) {
+            set.insert(p.socket);
+        }
+        set.len().max(1)
+    }
+
+    /// Submit one task.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.sender
+            .as_ref()
+            .expect("pool is live")
+            .send(Box::new(f))
+            .expect("workers alive");
+    }
+
+    /// Block until every submitted task has completed.
+    pub fn join(&self) {
+        let mut guard = self.shared.lock.lock();
+        while self.shared.pending.load(Ordering::Acquire) != 0 {
+            self.shared.cv.wait(&mut guard);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.join();
+        drop(self.sender.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_tasks() {
+        let pool = ThreadPool::new(4, 4, 16);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn join_with_no_tasks_returns() {
+        let pool = ThreadPool::new(2, 1, 2);
+        pool.join();
+        pool.join();
+    }
+
+    #[test]
+    fn placements_fill_sockets_compactly() {
+        let pool = ThreadPool::new(64, 4, 16);
+        assert_eq!(pool.len(), 64);
+        assert_eq!(pool.placements()[0].socket, 0);
+        assert_eq!(pool.placements()[15].socket, 0);
+        assert_eq!(pool.placements()[16].socket, 1);
+        assert_eq!(pool.placements()[63].socket, 3);
+        assert_eq!(pool.sockets_spanned(8), 1);
+        assert_eq!(pool.sockets_spanned(16), 1);
+        assert_eq!(pool.sockets_spanned(17), 2);
+        assert_eq!(pool.sockets_spanned(64), 4);
+    }
+
+    #[test]
+    fn reuse_across_generations() {
+        let pool = ThreadPool::new(4, 1, 4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _round in 0..5 {
+            for _ in 0..20 {
+                let c = Arc::clone(&counter);
+                pool.submit(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.join();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+}

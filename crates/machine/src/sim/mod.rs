@@ -1,0 +1,16 @@
+//! sim — the machine + compiler cost model replacing the paper's testbed
+//! (4× AMD Opteron 6272, GCC 7.2 / ICC 16, libgomp).
+//!
+//! See [`topology`] for the NUMA bandwidth model, [`compiler`] for the
+//! GCC/ICC code-generation differences, [`workload`] for loop
+//! characterization, and [`roofline`] for the wall-clock model.
+
+pub mod compiler;
+pub mod roofline;
+pub mod topology;
+pub mod workload;
+
+pub use compiler::{Compiler, CompilerKind};
+pub use roofline::{program_time, region_time, speedup, OmpCosts};
+pub use topology::Machine;
+pub use workload::{CostProfile, Variant, Workload};

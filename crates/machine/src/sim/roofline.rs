@@ -1,0 +1,298 @@
+//! The execution-time model: a NUMA-aware roofline with OpenMP runtime
+//! overheads.
+//!
+//! `wall = max(compute/threads × imbalance, traffic/bandwidth)
+//!        + fork/join + scheduler overhead`
+//!
+//! Each term maps to a mechanism the paper itself uses to explain its
+//! measurements: call overhead (heat, Sect. 4.3.2: 87.8 G vs 47.5 G
+//! instructions), bandwidth saturation (heat speedup decay > 8 cores),
+//! first-touch NUMA placement (matmul pure vs PluTo), static-schedule
+//! imbalance vs `schedule(dynamic,1)` dequeue contention (satellite), and
+//! vectorization differences between GCC/ICC/SICA (matmul under ICC).
+
+use super::compiler::Compiler;
+use super::topology::Machine;
+use super::workload::{Variant, Workload};
+use crate::omprt::OmpSchedule;
+
+/// Fixed OpenMP runtime constants (libgomp-class).
+#[derive(Debug, Clone, Copy)]
+pub struct OmpCosts {
+    /// Parallel-region fork/join base cost, seconds.
+    pub fork_base: f64,
+    /// Additional fork/join cost per thread, seconds.
+    pub fork_per_thread: f64,
+    /// Uncontended cost of one dynamic-queue dequeue, seconds.
+    pub dequeue: f64,
+    /// Extra dequeue serialization per contending thread (cache-line
+    /// bouncing on the shared counter), seconds.
+    pub dequeue_contention: f64,
+}
+
+impl Default for OmpCosts {
+    fn default() -> Self {
+        OmpCosts {
+            fork_base: 4.0e-6,
+            fork_per_thread: 0.35e-6,
+            dequeue: 60.0e-9,
+            dequeue_contention: 5.0e-9,
+        }
+    }
+}
+
+/// Simulated wall-clock seconds for one parallel region execution.
+///
+/// `threads == 1` models the sequential program when the variant has no
+/// parallel pragma (no fork cost is charged for a plain sequential run —
+/// pass `parallel = false`).
+pub fn region_time(
+    m: &Machine,
+    c: &Compiler,
+    w: &Workload,
+    v: &Variant,
+    threads: usize,
+    parallel: bool,
+) -> f64 {
+    let threads = threads.clamp(1, m.total_cores());
+
+    // --- compute term -----------------------------------------------------
+    let vector = if w.simd_friendly {
+        c.vector_factor(!v.inlined, v.simd_pragma)
+    } else {
+        1.0
+    };
+    let flop_cycles = w.flops_per_iter / (c.scalar_ipc * vector * v.hand_tuned);
+    let call_cycles = if v.inlined {
+        0.0
+    } else {
+        w.calls_per_iter * c.call_overhead_cycles
+    };
+    let secs_per_iter = (flop_cycles + call_cycles) / m.freq_hz;
+    let compute_total = w.iters as f64 * secs_per_iter * w.cost.mean();
+
+    // Load balance: static partitions suffer the cost profile; dynamic
+    // schedules approach perfect balance (bounded by one chunk).
+    let imbalance = if !parallel || threads == 1 {
+        1.0
+    } else {
+        match v.schedule {
+            OmpSchedule::Static | OmpSchedule::StaticChunk(_) => w.cost.static_imbalance(threads),
+            OmpSchedule::Dynamic(_) | OmpSchedule::Guided(_) => 1.02,
+        }
+    };
+    let compute_wall = compute_total * imbalance / threads as f64;
+
+    // --- memory term -------------------------------------------------------
+    let traffic = w.iters as f64 * w.bytes_per_iter * v.locality;
+    let bw = if parallel {
+        m.bandwidth(threads, v.pages_spread)
+    } else {
+        m.bandwidth(1, v.pages_spread)
+    };
+    let memory_wall = traffic / bw;
+
+    // --- runtime overheads ---------------------------------------------------
+    let omp = OmpCosts::default();
+    let mut overhead = 0.0;
+    if parallel && threads > 1 {
+        overhead += omp.fork_base + omp.fork_per_thread * threads as f64;
+        if let OmpSchedule::Dynamic(chunk) = v.schedule {
+            let chunks = (w.iters as f64 / chunk.max(1) as f64).ceil();
+            // The shared counter serializes: with more threads each
+            // successful fetch_add costs more (line ping-pong).
+            let per_dequeue = omp.dequeue + omp.dequeue_contention * threads as f64;
+            // Serialized component lower-bounded by chunks × bounce, but
+            // spread over threads while they still have work.
+            let serialized = chunks * per_dequeue;
+            overhead += serialized / (threads as f64).sqrt();
+        }
+    }
+
+    compute_wall.max(memory_wall) + overhead
+}
+
+/// A full program may be several regions (e.g. the heat application's 200
+/// time steps, or matmul's init loop + compute loop). This helper sums
+/// per-region times.
+pub fn program_time(regions: &[(Workload, Variant, bool)], m: &Machine, c: &Compiler, threads: usize) -> f64 {
+    regions
+        .iter()
+        .map(|(w, v, parallel)| region_time(m, c, w, v, threads, *parallel))
+        .sum()
+}
+
+/// Speedup helper: `T_seq / T_par` (the paper's definition, against the
+/// GCC sequential baseline).
+pub fn speedup(t_seq: f64, t_par: f64) -> f64 {
+    t_seq / t_par
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::workload::CostProfile;
+
+    fn cpu_bound_workload() -> Workload {
+        Workload {
+            iters: 1 << 20,
+            flops_per_iter: 4000.0,
+            bytes_per_iter: 16.0,
+            calls_per_iter: 1.0,
+            cost: CostProfile::Uniform,
+            simd_friendly: true,
+        }
+    }
+
+    fn bw_bound_workload() -> Workload {
+        Workload {
+            iters: 1 << 22,
+            flops_per_iter: 8.0,
+            bytes_per_iter: 64.0,
+            calls_per_iter: 0.0,
+            cost: CostProfile::Uniform,
+            simd_friendly: true,
+        }
+    }
+
+    #[test]
+    fn cpu_bound_scales_nearly_linearly() {
+        let m = Machine::default();
+        let c = Compiler::gcc_o2();
+        let w = cpu_bound_workload();
+        let v = Variant::pure_chain(true);
+        let t1 = region_time(&m, &c, &w, &v, 1, false);
+        let t16 = region_time(&m, &c, &w, &v, 16, true);
+        let sp = t1 / t16;
+        assert!(sp > 12.0 && sp <= 16.5, "speedup {sp}");
+    }
+
+    #[test]
+    fn bw_bound_saturates_after_8_cores() {
+        let m = Machine::default();
+        let c = Compiler::gcc_o2();
+        let w = bw_bound_workload();
+        let v = Variant::pluto(1.0);
+        let t8 = region_time(&m, &c, &w, &v, 8, true);
+        let t16 = region_time(&m, &c, &w, &v, 16, true);
+        assert!((t16 / t8 - 1.0).abs() < 0.05, "{t8} vs {t16}");
+    }
+
+    #[test]
+    fn serial_first_touch_gets_worse_crossing_sockets() {
+        // The PluTo matmul 16→32 step of Fig. 3.
+        let m = Machine::default();
+        let c = Compiler::gcc_o2();
+        let w = bw_bound_workload();
+        let unspread = Variant::pluto(1.0);
+        let t16 = region_time(&m, &c, &w, &unspread, 16, true);
+        let t32 = region_time(&m, &c, &w, &unspread, 32, true);
+        assert!(t32 > t16, "unspread pages must degrade: {t16} -> {t32}");
+        // Whereas spread pages keep improving (or at least not degrade).
+        let spread = Variant::pure_chain(true);
+        let s16 = region_time(&m, &c, &w, &spread, 16, true);
+        let s32 = region_time(&m, &c, &w, &spread, 32, true);
+        assert!(s32 <= s16 * 1.01, "{s16} -> {s32}");
+    }
+
+    #[test]
+    fn call_overhead_penalizes_extracted_variant() {
+        // Heat: pure (calls) vs PluTo (inlined) — Sect. 4.3.2.
+        let m = Machine::default();
+        let c = Compiler::gcc_o2();
+        let w = Workload {
+            iters: 1 << 20,
+            flops_per_iter: 8.0,
+            bytes_per_iter: 0.5,
+            calls_per_iter: 1.0,
+            cost: CostProfile::Uniform,
+            simd_friendly: true,
+        };
+        let extracted = region_time(&m, &c, &w, &Variant::pure_chain(false), 1, false);
+        let inlined = region_time(&m, &c, &w, &Variant::pluto(1.0), 1, false);
+        assert!(
+            extracted > inlined * 1.5,
+            "call overhead must dominate small bodies: {extracted} vs {inlined}"
+        );
+    }
+
+    #[test]
+    fn icc_vectorizes_extracted_dot() {
+        // Matmul under ICC: pure variant gets the SIMD boost, PluTo not.
+        let m = Machine::default();
+        let w = cpu_bound_workload();
+        let gcc = Compiler::gcc_o2();
+        let icc = Compiler::icc16();
+        let pure_gcc = region_time(&m, &gcc, &w, &Variant::pure_chain(false), 1, false);
+        let pure_icc = region_time(&m, &icc, &w, &Variant::pure_chain(false), 1, false);
+        assert!(pure_icc < pure_gcc / 2.5, "{pure_icc} vs {pure_gcc}");
+        let pluto_gcc = region_time(&m, &gcc, &w, &Variant::pluto(1.0), 1, false);
+        let pluto_icc = region_time(&m, &icc, &w, &Variant::pluto(1.0), 1, false);
+        assert!(pluto_icc > pluto_gcc * 0.8, "inlined gains only scalar margin");
+    }
+
+    #[test]
+    fn static_schedule_suffers_tail_imbalance_dynamic_does_not() {
+        let m = Machine::default();
+        let c = Compiler::gcc_o2();
+        let w = Workload {
+            cost: CostProfile::TailHeavy {
+                tail_frac: 0.08,
+                tail_mult: 8.0,
+            },
+            ..cpu_bound_workload()
+        };
+        let mut static_v = Variant::pure_chain(true);
+        static_v.schedule = OmpSchedule::Static;
+        let mut dyn_v = static_v;
+        dyn_v.schedule = OmpSchedule::Dynamic(1);
+        let ts = region_time(&m, &c, &w, &static_v, 32, true);
+        let td = region_time(&m, &c, &w, &dyn_v, 32, true);
+        assert!(td < ts * 0.7, "dynamic must beat static on tails: {td} vs {ts}");
+    }
+
+    #[test]
+    fn dynamic_chunk1_contention_shows_at_64_threads() {
+        // Satellite manual-ICC drop 32→64 (Fig. 9): tiny iterations, huge
+        // chunk count → dequeue serialization.
+        let m = Machine::default();
+        let c = Compiler::icc16();
+        let w = Workload {
+            iters: 1 << 22,
+            flops_per_iter: 40.0,
+            bytes_per_iter: 4.0,
+            calls_per_iter: 0.0,
+            cost: CostProfile::Uniform,
+            simd_friendly: true,
+        };
+        let mut v = Variant::pure_chain(true);
+        v.inlined = true;
+        v.schedule = OmpSchedule::Dynamic(1);
+        let t32 = region_time(&m, &c, &w, &v, 32, true);
+        let t64 = region_time(&m, &c, &w, &v, 64, true);
+        assert!(t64 > t32, "contention must bite at 64: {t32} -> {t64}");
+    }
+
+    #[test]
+    fn hand_tuned_factor_scales_compute() {
+        let m = Machine::default();
+        let c = Compiler::icc16();
+        let w = cpu_bound_workload();
+        let mut mkl = Variant::pluto_sica(0.4);
+        mkl.hand_tuned = 2.0;
+        let base = region_time(&m, &c, &w, &Variant::pluto_sica(0.4), 1, false);
+        let tuned = region_time(&m, &c, &w, &mkl, 1, false);
+        assert!((base / tuned - 2.0).abs() < 0.2, "{base} / {tuned}");
+    }
+
+    #[test]
+    fn program_time_sums_regions() {
+        let m = Machine::default();
+        let c = Compiler::gcc_o2();
+        let w = cpu_bound_workload();
+        let v = Variant::pure_chain(false);
+        let single = region_time(&m, &c, &w, &v, 1, false);
+        let double = program_time(&[(w, v, false), (w, v, false)], &m, &c, 1);
+        assert!((double - 2.0 * single).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,140 @@
+//! Machine model: the paper's testbed — four AMD Opteron 6272 processors
+//! (16 cores each, 2.1 GHz), 512 GiB RAM, ~100 GiB/s aggregate memory
+//! bandwidth — as an explicit NUMA topology with a bandwidth model.
+//!
+//! The bandwidth model carries the two effects the paper's curves hinge
+//! on:
+//!
+//! * **saturation** — per-socket bandwidth saturates around 8 cores, which
+//!   is why the heat stencil's speedup decays beyond 8 cores (Sect. 4.3.2);
+//! * **first-touch page placement** — memory initialised by a serial loop
+//!   lands on socket 0 only, capping bandwidth at one node even when 64
+//!   cores compute; the `pure` chain's accidental parallelization of the
+//!   `malloc` loop spreads pages across nodes and is why the pure matmul
+//!   outruns plain PluTo (Sect. 4.3.1, Fig. 3).
+
+use serde::{Deserialize, Serialize};
+
+/// NUMA machine description.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Machine {
+    pub sockets: usize,
+    pub cores_per_socket: usize,
+    /// Core clock in Hz.
+    pub freq_hz: f64,
+    /// Peak DRAM bandwidth of one NUMA node, bytes/s.
+    pub node_bw: f64,
+    /// A single core cannot exceed this stream bandwidth, bytes/s.
+    pub core_bw: f64,
+    /// Multiplicative penalty per additional socket touched when all pages
+    /// live on one node (remote-access mix).
+    pub remote_penalty: f64,
+    /// Efficiency factor per additional socket for spread pages (OS/page
+    /// interleave imperfection).
+    pub spread_efficiency: f64,
+}
+
+impl Machine {
+    /// The paper's node: 4 × Opteron 6272.
+    pub fn opteron_6272_quad() -> Self {
+        Machine {
+            sockets: 4,
+            cores_per_socket: 16,
+            freq_hz: 2.1e9,
+            node_bw: 26.0e9,  // ~100 GiB/s aggregate over 4 nodes
+            core_bw: 6.0e9,
+            remote_penalty: 0.90,
+            spread_efficiency: 0.95,
+        }
+    }
+
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Sockets spanned by `threads` threads under compact pinning
+    /// (fill socket 0 first — the paper's `numactl` policy).
+    pub fn sockets_spanned(&self, threads: usize) -> usize {
+        threads.div_ceil(self.cores_per_socket).clamp(1, self.sockets)
+    }
+
+    /// Effective DRAM bandwidth available to `threads` compute threads.
+    ///
+    /// `pages_spread == false`: all pages on node 0 (serial first touch).
+    /// Bandwidth is capped by that node and *degrades* as more sockets
+    /// must reach it remotely — the source of the PluTo matmul's
+    /// non-monotonic 16 → 32 core step.
+    ///
+    /// `pages_spread == true`: pages interleaved over the spanned nodes
+    /// (parallel first touch), bandwidth scales with spanned sockets at
+    /// `spread_efficiency` per extra node.
+    pub fn bandwidth(&self, threads: usize, pages_spread: bool) -> f64 {
+        let threads = threads.max(1);
+        let spanned = self.sockets_spanned(threads);
+        let core_limit = self.core_bw * threads as f64;
+        let node_limit = if pages_spread {
+            let eff = self.spread_efficiency.powi(spanned as i32 - 1);
+            self.node_bw * spanned as f64 * eff
+        } else {
+            self.node_bw * self.remote_penalty.powi(spanned as i32 - 1)
+        };
+        core_limit.min(node_limit)
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::opteron_6272_quad()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_counts() {
+        let m = Machine::opteron_6272_quad();
+        assert_eq!(m.total_cores(), 64);
+        assert_eq!(m.sockets_spanned(1), 1);
+        assert_eq!(m.sockets_spanned(16), 1);
+        assert_eq!(m.sockets_spanned(17), 2);
+        assert_eq!(m.sockets_spanned(64), 4);
+        assert_eq!(m.sockets_spanned(999), 4);
+    }
+
+    #[test]
+    fn bandwidth_saturates_within_a_socket() {
+        let m = Machine::default();
+        // 1..4 cores: core-limited (linear).
+        assert!(m.bandwidth(2, true) > m.bandwidth(1, true) * 1.9);
+        // 8 → 16 cores on one socket: node-limited (flat).
+        assert_eq!(m.bandwidth(8, true), m.bandwidth(16, true));
+    }
+
+    #[test]
+    fn spread_pages_scale_with_sockets() {
+        let m = Machine::default();
+        let one = m.bandwidth(16, true);
+        let four = m.bandwidth(64, true);
+        assert!(four > 3.0 * one, "spread pages must scale: {one} -> {four}");
+    }
+
+    #[test]
+    fn unspread_pages_degrade_across_sockets() {
+        let m = Machine::default();
+        let one = m.bandwidth(16, false);
+        let two = m.bandwidth(32, false);
+        let four = m.bandwidth(64, false);
+        assert!(two < one, "remote mix must degrade node-0 bandwidth");
+        assert!(four < two);
+    }
+
+    #[test]
+    fn aggregate_bandwidth_close_to_100_gib() {
+        let m = Machine::default();
+        let bw = m.bandwidth(64, true);
+        let gib = bw / 1.074e9 / 1e0; // bytes/s → GiB/s approx
+        assert!(gib > 80.0 && gib < 110.0, "{gib} GiB/s");
+    }
+}

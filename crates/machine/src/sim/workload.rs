@@ -1,0 +1,227 @@
+//! Workload and code-variant descriptions consumed by the simulator.
+//!
+//! A [`Workload`] characterizes the parallel loop itself (iterations,
+//! arithmetic, memory traffic, per-iteration cost shape); a [`Variant`]
+//! characterizes what the tool chain did to it (inlined or extracted
+//! calls, SIMD, tiling locality, schedule, first-touch behaviour). The
+//! same workload is simulated under different variants to produce the
+//! paper's per-tool series.
+
+use crate::omprt::OmpSchedule;
+use serde::{Deserialize, Serialize};
+
+/// Shape of the per-iteration cost across the iteration space — drives
+/// load (im)balance under static schedules.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum CostProfile {
+    /// All iterations cost the same.
+    Uniform,
+    /// The last `tail_frac` of the iteration space costs `tail_mult`× the
+    /// base cost (the satellite application's late-phase imbalance,
+    /// Sect. 4.3.3).
+    TailHeavy { tail_frac: f64, tail_mult: f64 },
+    /// Mild per-iteration jitter around the mean, e.g. sparse rows with
+    /// varying population (LAMA, Sect. 4.3.4). `spread` is the relative
+    /// half-width of a smooth sawtooth.
+    Jitter { spread: f64 },
+}
+
+impl CostProfile {
+    /// Mean relative cost (base = 1).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            CostProfile::Uniform => 1.0,
+            CostProfile::TailHeavy {
+                tail_frac,
+                tail_mult,
+            } => (1.0 - tail_frac) + tail_frac * tail_mult,
+            CostProfile::Jitter { .. } => 1.0,
+        }
+    }
+
+    /// Total relative cost of the contiguous range `[a, b)` of a unit
+    /// iteration space (`0.0..1.0`).
+    pub fn range_cost(&self, a: f64, b: f64) -> f64 {
+        debug_assert!(a <= b);
+        match *self {
+            CostProfile::Uniform => b - a,
+            CostProfile::TailHeavy {
+                tail_frac,
+                tail_mult,
+            } => {
+                let cut = 1.0 - tail_frac;
+                let light = (b.min(cut) - a.min(cut)).max(0.0);
+                let heavy = (b.max(cut) - a.max(cut)).max(0.0);
+                light + heavy * tail_mult
+            }
+            CostProfile::Jitter { spread } => {
+                // Sawtooth with period 1/8 of the space; integrates to ~(b-a).
+                let f = |x: f64| x + spread * (8.0 * x).sin() / 8.0;
+                f(b) - f(a)
+            }
+        }
+    }
+
+    /// Load imbalance factor (max thread share / ideal share) for a static
+    /// contiguous partition into `t` threads.
+    pub fn static_imbalance(&self, t: usize) -> f64 {
+        if t <= 1 {
+            return 1.0;
+        }
+        let t = t as f64;
+        let ideal = self.mean() / t;
+        let mut max_share: f64 = 0.0;
+        let n = t as usize;
+        for k in 0..n {
+            let share = self.range_cost(k as f64 / t, (k + 1) as f64 / t);
+            max_share = max_share.max(share);
+        }
+        (max_share / ideal).max(1.0)
+    }
+}
+
+/// The parallel loop being simulated.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Workload {
+    /// Parallel (outermost) iterations.
+    pub iters: u64,
+    /// Floating-point operations per iteration.
+    pub flops_per_iter: f64,
+    /// DRAM traffic per iteration in bytes (after cache filtering for the
+    /// *untransformed* layout).
+    pub bytes_per_iter: f64,
+    /// Function-call count per iteration when calls stay out-of-line.
+    pub calls_per_iter: f64,
+    pub cost: CostProfile,
+    /// Whether the body vectorizes at all. Strided stencils defeat SIMD
+    /// (the paper's heat result: "the advanced vectorization capabilities
+    /// ... do not have a positive impact on this application").
+    pub simd_friendly: bool,
+}
+
+/// What the tool chain produced.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Variant {
+    /// Calls inlined (PluTo path) → no call overhead, but the body is a
+    /// big loop the compilers refuse to auto-vectorize.
+    pub inlined: bool,
+    /// SICA emitted explicit SIMD pragmas.
+    pub simd_pragma: bool,
+    /// Multiplier (< 1) on DRAM traffic from cache-aware tiling.
+    pub locality: f64,
+    pub schedule: OmpSchedule,
+    /// Pages spread over NUMA nodes by a parallel first touch?
+    pub pages_spread: bool,
+    /// Overall hand-tuning quality multiplier on compute throughput
+    /// (1.0 = compiler-generated; MKL ≈ 4–5).
+    pub hand_tuned: f64,
+}
+
+impl Variant {
+    /// Compiler-generated sequential baseline: extracted calls, no
+    /// parallel pragmas.
+    pub fn sequential() -> Self {
+        Variant {
+            inlined: false,
+            simd_pragma: false,
+            locality: 1.0,
+            schedule: OmpSchedule::Static,
+            pages_spread: false,
+            hand_tuned: 1.0,
+        }
+    }
+
+    /// Plain PluTo: inlined, tiled locality, static schedule, serial init.
+    pub fn pluto(locality: f64) -> Self {
+        Variant {
+            inlined: true,
+            simd_pragma: false,
+            locality,
+            schedule: OmpSchedule::Static,
+            pages_spread: false,
+            hand_tuned: 1.0,
+        }
+    }
+
+    /// PluTo-SICA: + SIMD pragmas and better cache behaviour.
+    pub fn pluto_sica(locality: f64) -> Self {
+        Variant {
+            simd_pragma: true,
+            ..Variant::pluto(locality)
+        }
+    }
+
+    /// The pure chain: calls stay extracted; the accidental parallel
+    /// `malloc`/init loop spreads pages (matmul, Fig. 3).
+    pub fn pure_chain(pages_spread: bool) -> Self {
+        Variant {
+            inlined: false,
+            simd_pragma: false,
+            locality: 1.0,
+            schedule: OmpSchedule::Static,
+            pages_spread,
+            hand_tuned: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_profile_is_balanced() {
+        let p = CostProfile::Uniform;
+        assert!((p.static_imbalance(8) - 1.0).abs() < 1e-9);
+        assert!((p.mean() - 1.0).abs() < 1e-12);
+        assert!((p.range_cost(0.25, 0.75) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_heavy_imbalance_grows_with_threads() {
+        let p = CostProfile::TailHeavy {
+            tail_frac: 0.1,
+            tail_mult: 6.0,
+        };
+        let i2 = p.static_imbalance(2);
+        let i8 = p.static_imbalance(8);
+        let i64 = p.static_imbalance(64);
+        assert!(i2 > 1.0);
+        assert!(i8 > i2, "{i8} vs {i2}");
+        assert!(i64 >= i8);
+        // With 64 threads the whole tail sits in the last few threads: the
+        // max share approaches tail_mult / mean × ... bounded by mult.
+        assert!(i64 <= 6.0 / p.mean() + 1e-9);
+    }
+
+    #[test]
+    fn tail_range_cost_splits_correctly() {
+        let p = CostProfile::TailHeavy {
+            tail_frac: 0.2,
+            tail_mult: 3.0,
+        };
+        // Whole space: 0.8·1 + 0.2·3 = 1.4.
+        assert!((p.range_cost(0.0, 1.0) - 1.4).abs() < 1e-12);
+        assert!((p.mean() - 1.4).abs() < 1e-12);
+        // Pure light region.
+        assert!((p.range_cost(0.0, 0.5) - 0.5).abs() < 1e-12);
+        // Pure heavy region.
+        assert!((p.range_cost(0.9, 1.0) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_is_mild() {
+        let p = CostProfile::Jitter { spread: 0.15 };
+        let imb = p.static_imbalance(16);
+        assert!(imb > 1.0 && imb < 1.3, "{imb}");
+    }
+
+    #[test]
+    fn variant_presets_have_expected_shape() {
+        assert!(Variant::pluto(0.6).inlined);
+        assert!(!Variant::pluto(0.6).simd_pragma);
+        assert!(Variant::pluto_sica(0.5).simd_pragma);
+        assert!(!Variant::pure_chain(true).inlined);
+        assert!(Variant::pure_chain(true).pages_spread);
+    }
+}

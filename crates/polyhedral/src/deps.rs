@@ -1,0 +1,391 @@
+//! Dependence analysis: the arrows of the paper's Fig. 2.
+//!
+//! For every pair of accesses to the same array with at least one write, we
+//! build the *dependence polyhedron* — source instance `x`, destination
+//! instance `y`, both domains, subscript equality, and `x ≺ y` in execution
+//! order — and test it for points with Fourier–Motzkin. Classic level-wise
+//! splitting turns the lexicographic order into a finite union of
+//! conjunctive systems: a dependence *carried at level ℓ* fixes
+//! `d₁..d₍ℓ₋₁₎ = 0 ∧ d_ℓ ≥ 1`; a *loop-independent* dependence has all
+//! distances 0 and relies on textual order.
+
+use crate::affine::AffineExpr;
+use crate::fourier_motzkin::bounds_of;
+use crate::model::{Access, Scop};
+use crate::set::{Constraint, ConstraintSystem};
+use std::fmt;
+
+/// Kind of data dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// write → read (true/flow)
+    Flow,
+    /// read → write
+    Anti,
+    /// write → write
+    Output,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepKind::Flow => write!(f, "flow"),
+            DepKind::Anti => write!(f, "anti"),
+            DepKind::Output => write!(f, "output"),
+        }
+    }
+}
+
+/// Interval bounds of one component of the distance vector
+/// (`dst_level − src_level`). `None` = unbounded / outside the probe
+/// window, i.e. unknown in that direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistBound {
+    pub min: Option<i64>,
+    pub max: Option<i64>,
+}
+
+impl DistBound {
+    pub fn exact(v: i64) -> Self {
+        DistBound {
+            min: Some(v),
+            max: Some(v),
+        }
+    }
+
+    pub fn is_exactly(&self, v: i64) -> bool {
+        self.min == Some(v) && self.max == Some(v)
+    }
+}
+
+impl fmt::Display for DistBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min, self.max) {
+            (Some(a), Some(b)) if a == b => write!(f, "{a}"),
+            (a, b) => write!(
+                f,
+                "[{}, {}]",
+                a.map_or("-inf".into(), |v| v.to_string()),
+                b.map_or("+inf".into(), |v| v.to_string())
+            ),
+        }
+    }
+}
+
+/// One dependence between two statement instances of the (shared) nest.
+#[derive(Debug, Clone)]
+pub struct Dependence {
+    pub kind: DepKind,
+    pub src_stmt: usize,
+    pub dst_stmt: usize,
+    pub array: String,
+    /// Loop level (0-based) that carries the dependence; `None` for
+    /// loop-independent (same iteration, textual order).
+    pub level: Option<usize>,
+    /// Distance bounds per loop dimension of the nest.
+    pub dist: Vec<DistBound>,
+}
+
+impl fmt::Display for Dependence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} dep on {}: S{} -> S{} @ {} dist (",
+            self.kind,
+            self.array,
+            self.src_stmt,
+            self.dst_stmt,
+            self.level.map_or("indep".into(), |l| format!("level {l}")),
+        )?;
+        for (i, d) in self.dist.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Probe window for distance bounds (larger values cost more FM probes).
+const DIST_PROBE_LIMIT: i64 = 64;
+
+/// Compute all dependences of a SCoP.
+pub fn analyze(scop: &Scop) -> Vec<Dependence> {
+    let mut deps = Vec::new();
+    let n = scop.stmts.len();
+    for src in 0..n {
+        for dst in 0..n {
+            for (kind, src_accs, dst_accs) in [
+                (DepKind::Flow, &scop.stmts[src].writes, &scop.stmts[dst].reads),
+                (DepKind::Anti, &scop.stmts[src].reads, &scop.stmts[dst].writes),
+                (
+                    DepKind::Output,
+                    &scop.stmts[src].writes,
+                    &scop.stmts[dst].writes,
+                ),
+            ] {
+                for a in src_accs.iter() {
+                    for b in dst_accs.iter() {
+                        if a.array != b.array || a.indices.len() != b.indices.len() {
+                            continue;
+                        }
+                        test_pair(scop, kind, src, dst, a, b, &mut deps);
+                    }
+                }
+            }
+        }
+    }
+    deps
+}
+
+fn src_name(n: &str) -> String {
+    format!("{n}__s")
+}
+
+fn dst_name(n: &str) -> String {
+    format!("{n}__d")
+}
+
+/// Build the base dependence system (domains + subscript equality) for a
+/// pair of accesses; levels are added by the caller.
+fn base_system(scop: &Scop, a: &Access, b: &Access) -> ConstraintSystem {
+    let mut sys = ConstraintSystem::new();
+    sys.extend(&scop.domain_renamed(&|n| src_name(n)));
+    sys.extend(&scop.domain_renamed(&|n| dst_name(n)));
+    let iters: std::collections::BTreeSet<&str> =
+        scop.loops.iter().map(|l| l.name.as_str()).collect();
+    let rename_iters = |e: &AffineExpr, f: &dyn Fn(&str) -> String| {
+        e.rename(&|n| if iters.contains(n) { f(n) } else { n.to_string() })
+    };
+    for (ia, ib) in a.indices.iter().zip(&b.indices) {
+        let ea = rename_iters(ia, &src_name);
+        let eb = rename_iters(ib, &dst_name);
+        sys.push(Constraint::eq(&ea, &eb));
+    }
+    sys
+}
+
+fn test_pair(
+    scop: &Scop,
+    kind: DepKind,
+    src: usize,
+    dst: usize,
+    a: &Access,
+    b: &Access,
+    out: &mut Vec<Dependence>,
+) {
+    let depth = scop.depth();
+    let diff = |level: usize| {
+        let name = &scop.loops[level].name;
+        AffineExpr::var(dst_name(name)).sub(&AffineExpr::var(src_name(name)))
+    };
+
+    // Carried at level ℓ: d_0..d_{ℓ-1} = 0, d_ℓ >= 1.
+    for level in 0..depth {
+        let mut sys = base_system(scop, a, b);
+        for l in 0..level {
+            sys.push(Constraint::eq0(diff(l)));
+        }
+        sys.push(Constraint::ge(&diff(level), &AffineExpr::constant(1)));
+        if sys.is_satisfiable() {
+            let dist = (0..depth)
+                .map(|l| {
+                    let (min, max) = bounds_of(&sys, &diff(l), DIST_PROBE_LIMIT);
+                    DistBound { min, max }
+                })
+                .collect();
+            out.push(Dependence {
+                kind,
+                src_stmt: src,
+                dst_stmt: dst,
+                array: a.array.clone(),
+                level: Some(level),
+                dist,
+            });
+        }
+    }
+
+    // Loop-independent: all distances 0, src textually before dst (or a
+    // write/read pair within the same statement — intra-statement flow is
+    // not a parallelism obstacle and is skipped).
+    if src < dst {
+        let mut sys = base_system(scop, a, b);
+        for l in 0..depth {
+            sys.push(Constraint::eq0(diff(l)));
+        }
+        if sys.is_satisfiable() {
+            out.push(Dependence {
+                kind,
+                src_stmt: src,
+                dst_stmt: dst,
+                array: a.array.clone(),
+                level: None,
+                dist: vec![DistBound::exact(0); depth],
+            });
+        }
+    }
+}
+
+/// Convenience: is loop level `l` parallel under the *original* schedule,
+/// i.e. does no dependence carry at that level?
+pub fn parallel_levels(scop: &Scop, deps: &[Dependence]) -> Vec<bool> {
+    let mut parallel = vec![true; scop.depth()];
+    for d in deps {
+        if let Some(l) = d.level {
+            parallel[l] = false;
+        }
+    }
+    parallel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_scop;
+    use cfront::ast::{Stmt, StmtKind};
+    use cfront::parser::parse;
+
+    fn scop_of(src: &str) -> Scop {
+        let unit = parse(src).unit;
+        let mut found: Option<Stmt> = None;
+        for f in unit.functions() {
+            if let Some(body) = &f.body {
+                for s in &body.stmts {
+                    s.walk(&mut |st| {
+                        if found.is_none() && matches!(st.kind, StmtKind::For { .. }) {
+                            found = Some(st.clone());
+                        }
+                    });
+                }
+            }
+        }
+        extract_scop(&found.expect("for loop")).expect("scop")
+    }
+
+    #[test]
+    fn matmul_writes_are_independent() {
+        let scop = scop_of(
+            "float** C;\nvoid f() {\n\
+             for (int i = 0; i < 64; i++)\n\
+                 for (int j = 0; j < 64; j++)\n\
+                     C[i][j] = tmpConst_dot_0;\n}",
+        );
+        let deps = analyze(&scop);
+        assert!(deps.is_empty(), "{deps:?}");
+        assert_eq!(parallel_levels(&scop, &deps), vec![true, true]);
+    }
+
+    #[test]
+    fn jacobi_two_arrays_has_no_carried_deps() {
+        let scop = scop_of(
+            "void f(float** a, float** b) {\n\
+             for (int i = 1; i < 63; i++)\n\
+                 for (int j = 1; j < 63; j++)\n\
+                     b[i][j] = a[i - 1][j] + a[i + 1][j] + a[i][j - 1] + a[i][j + 1];\n}",
+        );
+        let deps = analyze(&scop);
+        assert!(deps.is_empty(), "{deps:?}");
+    }
+
+    #[test]
+    fn seidel_in_place_stencil_carries_both_levels() {
+        // a[i][j] = a[i-1][j] + a[i][j-1]: flow deps (1,0) and (0,1).
+        let scop = scop_of(
+            "void f(float** a) {\n\
+             for (int i = 1; i < 64; i++)\n\
+                 for (int j = 1; j < 64; j++)\n\
+                     a[i][j] = a[i - 1][j] + a[i][j - 1];\n}",
+        );
+        let deps = analyze(&scop);
+        let carried: Vec<Option<usize>> = deps.iter().map(|d| d.level).collect();
+        assert!(carried.contains(&Some(0)), "{deps:?}");
+        assert!(carried.contains(&Some(1)), "{deps:?}");
+        assert_eq!(parallel_levels(&scop, &deps), vec![false, false]);
+
+        // The (1,0) flow dep must have exact distance (1,0).
+        let d10 = deps
+            .iter()
+            .find(|d| d.kind == DepKind::Flow && d.level == Some(0) && d.dist[0].is_exactly(1))
+            .expect("flow dep at level 0");
+        assert!(d10.dist[1].is_exactly(0) || d10.dist[1].min.is_some());
+    }
+
+    #[test]
+    fn fig2_skew_example_distances() {
+        // The paper's Fig. 2 shape: deps (1,0) and (1,-1) make rectangular
+        // tiling of the original space invalid.
+        let scop = scop_of(
+            "void f(float** a) {\n\
+             for (int i = 1; i < 64; i++)\n\
+                 for (int j = 1; j < 63; j++)\n\
+                     a[i][j] = a[i - 1][j] + a[i - 1][j + 1];\n}",
+        );
+        let deps = analyze(&scop);
+        assert!(!deps.is_empty());
+        // All carried at level 0 (the i loop), with j-distance min of -1.
+        let flows: Vec<&Dependence> = deps.iter().filter(|d| d.kind == DepKind::Flow).collect();
+        assert!(flows.iter().all(|d| d.level == Some(0)), "{deps:?}");
+        let has_neg_j = flows.iter().any(|d| d.dist[1].min == Some(-1));
+        assert!(has_neg_j, "{deps:?}");
+        // The j loop itself carries nothing → parallel at fixed i.
+        assert_eq!(parallel_levels(&scop, &deps), vec![false, true]);
+    }
+
+    #[test]
+    fn reduction_scalar_carries_innermost() {
+        let scop = scop_of(
+            "void f(float* a) { float res; for (int i = 0; i < 8; i++) res = res + a[i]; }",
+        );
+        let deps = analyze(&scop);
+        assert!(deps.iter().any(|d| d.level == Some(0)), "{deps:?}");
+        assert_eq!(parallel_levels(&scop, &deps), vec![false]);
+    }
+
+    #[test]
+    fn one_dim_shift_distance() {
+        let scop = scop_of("void f(float* a) { for (int i = 0; i < 63; i++) a[i] = a[i + 1]; }");
+        let deps = analyze(&scop);
+        // Anti dependence: read a[i+1] then write a[i+1] one iteration later.
+        let anti = deps
+            .iter()
+            .find(|d| d.kind == DepKind::Anti)
+            .expect("anti dep");
+        assert_eq!(anti.level, Some(0));
+        assert!(anti.dist[0].is_exactly(1), "{anti}");
+        // No flow dep in this direction.
+        assert!(deps.iter().all(|d| d.kind != DepKind::Flow), "{deps:?}");
+    }
+
+    #[test]
+    fn loop_independent_dep_between_statements() {
+        let scop = scop_of(
+            "void f(float* a, float* b) {\n\
+             for (int i = 0; i < 8; i++) {\n\
+                 a[i] = i;\n\
+                 b[i] = a[i] * 2;\n\
+             }\n}",
+        );
+        let deps = analyze(&scop);
+        let indep = deps
+            .iter()
+            .find(|d| d.level.is_none())
+            .expect("loop-independent dep");
+        assert_eq!(indep.kind, DepKind::Flow);
+        assert_eq!(indep.src_stmt, 0);
+        assert_eq!(indep.dst_stmt, 1);
+        // Loop-independent deps do not block parallelism.
+        assert_eq!(parallel_levels(&scop, &deps), vec![true]);
+    }
+
+    #[test]
+    fn parametric_bounds_still_analyzable() {
+        let scop = scop_of(
+            "void f(int n, float* a) { for (int i = 1; i < n; i++) a[i] = a[i - 1]; }",
+        );
+        let deps = analyze(&scop);
+        let flow = deps.iter().find(|d| d.kind == DepKind::Flow).expect("flow");
+        assert_eq!(flow.level, Some(0));
+        assert!(flow.dist[0].is_exactly(1), "{flow}");
+    }
+}

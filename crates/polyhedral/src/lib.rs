@@ -1,0 +1,34 @@
+//! # polyhedral — a PluTo-style polyhedral loop transformer
+//!
+//! Substrate crate reproducing the parallelization back end of
+//! *Pure Functions in C* (Süß et al.): the role played by
+//! PluTo + Clan + ClooG + ISL in the original compiler chain, plus the
+//! SICA hardware-aware extension (PluTo-SICA).
+//!
+//! Pipeline: [`extract`] builds the SCoP model from a marked loop nest,
+//! [`deps`] computes dependence polyhedra and distance bounds via
+//! Fourier–Motzkin ([`fourier_motzkin`]), [`schedule`] searches legal
+//! permutable hyperplane bands (skewing when needed — the paper's Fig. 2),
+//! [`codegen`] emits the transformed nest with OpenMP/SIMD pragmas, and
+//! [`polycc`] drives the whole stage over `#pragma scop` regions.
+
+pub mod affine;
+pub mod codegen;
+pub mod deps;
+pub mod extract;
+pub mod fourier_motzkin;
+pub mod model;
+pub mod polycc;
+pub mod schedule;
+pub mod set;
+pub mod sica;
+
+pub use affine::AffineExpr;
+pub use codegen::{generate, CodegenOptions, Generated, HELPER_DEFS};
+pub use deps::{analyze, parallel_levels, DepKind, Dependence, DistBound};
+pub use extract::extract_scop;
+pub use model::{Access, LoopDim, PolyStmt, Scop};
+pub use polycc::{run_polycc, PolyccOptions, PolyccReport, RegionOutcome};
+pub use schedule::{compute_schedule, Transform};
+pub use set::{Constraint, ConstraintSystem, Rel};
+pub use sica::{select_tile_size, SicaParams};

@@ -1,0 +1,452 @@
+//! `polycc` — the driver entry of the polyhedral stage (what the PluTo
+//! distribution's `polycc` script does): find `#pragma scop` regions,
+//! model, analyze, schedule, and replace them with transformed, annotated
+//! loop nests.
+//!
+//! Imperfect nests degrade gracefully: if the marked loop itself cannot be
+//! modelled (e.g. the heat application's time loop whose body holds two
+//! spatial nests and a pointer swap), the driver keeps the loop sequential
+//! and recurses into its children, transforming every inner nest it *can*
+//! model — which is exactly the behaviour the paper's evaluation relies on.
+
+use crate::codegen::{generate, CodegenOptions, Generated};
+use crate::deps::analyze;
+use crate::extract::extract_scop;
+use crate::schedule::{compute_schedule, Transform};
+use crate::sica::{select_tile_size, SicaParams};
+use cfront::ast::*;
+use cfront::diag::Diagnostics;
+use std::collections::HashMap;
+
+/// Options for the whole polyhedral stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PolyccOptions {
+    /// Base codegen options (omp / explicit tile).
+    pub codegen: CodegenOptions,
+    /// SICA mode: auto-select tile sizes from the cache model and add SIMD
+    /// pragmas (overrides `codegen.tile`/`codegen.sica`).
+    pub sica: Option<SicaParams>,
+}
+
+/// What happened to one marked region.
+#[derive(Debug)]
+pub enum RegionOutcome {
+    Transformed {
+        depth: usize,
+        parallelized: bool,
+        tiled: bool,
+        skewed: bool,
+        /// Original iterator → new-iterator expression, for reinsertion of
+        /// the substituted pure calls in this region.
+        iter_map: HashMap<String, Expr>,
+        /// `tmpConst_*` placeholders appearing in the region.
+        placeholders: Vec<String>,
+        transform: Transform,
+    },
+    /// Left sequential (model extraction failed); children may still have
+    /// been transformed (they appear as separate outcomes).
+    Skipped { reason: String },
+}
+
+/// Report of a `polycc` run.
+#[derive(Debug, Default)]
+pub struct PolyccReport {
+    pub regions: Vec<RegionOutcome>,
+    /// True when any generated code uses the `__pc_*` helpers; the caller
+    /// must prepend [`crate::codegen::HELPER_DEFS`].
+    pub needs_helpers: bool,
+    pub diags: Diagnostics,
+}
+
+impl PolyccReport {
+    pub fn transformed_count(&self) -> usize {
+        self.regions
+            .iter()
+            .filter(|r| matches!(r, RegionOutcome::Transformed { .. }))
+            .count()
+    }
+
+    pub fn parallelized_count(&self) -> usize {
+        self.regions
+            .iter()
+            .filter(|r| matches!(r, RegionOutcome::Transformed { parallelized: true, .. }))
+            .count()
+    }
+
+    /// Merge all per-region iterator maps keyed by placeholder name.
+    pub fn placeholder_iter_maps(&self) -> HashMap<String, HashMap<String, Expr>> {
+        let mut out = HashMap::new();
+        for r in &self.regions {
+            if let RegionOutcome::Transformed {
+                iter_map,
+                placeholders,
+                ..
+            } = r
+            {
+                for p in placeholders {
+                    out.insert(p.clone(), iter_map.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Run the polyhedral stage over a marked translation unit.
+pub fn run_polycc(unit: &mut TranslationUnit, opts: PolyccOptions) -> PolyccReport {
+    let mut report = PolyccReport::default();
+    for item in &mut unit.items {
+        let Item::Function(f) = item else { continue };
+        let Some(body) = &mut f.body else { continue };
+        process_block(body, &opts, &mut report);
+    }
+    report
+}
+
+/// Find `[scop-pragma, for, endscop-pragma]` triples in a block and replace
+/// them with transformed code.
+fn process_block(block: &mut Block, opts: &PolyccOptions, report: &mut PolyccReport) {
+    let mut i = 0;
+    while i < block.stmts.len() {
+        let is_scop_open = matches!(
+            &block.stmts[i].kind,
+            StmtKind::Pragma(p) if p.trim() == "pragma scop"
+        );
+        if !is_scop_open {
+            // Recurse into nested structures.
+            descend(&mut block.stmts[i], opts, report);
+            i += 1;
+            continue;
+        }
+        // Expect For at i+1 and endscop at i+2.
+        let ok_shape = i + 2 < block.stmts.len()
+            && matches!(block.stmts[i + 1].kind, StmtKind::For { .. })
+            && matches!(
+                &block.stmts[i + 2].kind,
+                StmtKind::Pragma(p) if p.trim() == "pragma endscop"
+            );
+        if !ok_shape {
+            report.regions.push(RegionOutcome::Skipped {
+                reason: "malformed scop region (pragma without loop)".into(),
+            });
+            i += 1;
+            continue;
+        }
+
+        let mut loop_stmt = block.stmts[i + 1].clone();
+        let replacement = transform_nest(&mut loop_stmt, opts, report);
+        // Remove [scop, for, endscop] and splice the result.
+        block.stmts.drain(i..i + 3);
+        let new_stmts = replacement.unwrap_or_else(|| vec![loop_stmt]);
+        let count = new_stmts.len();
+        for (off, s) in new_stmts.into_iter().enumerate() {
+            block.stmts.insert(i + off, s);
+        }
+        i += count;
+    }
+}
+
+fn descend(stmt: &mut Stmt, opts: &PolyccOptions, report: &mut PolyccReport) {
+    match &mut stmt.kind {
+        StmtKind::Block(b) => process_block(b, opts, report),
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            descend(then_branch, opts, report);
+            if let Some(e) = else_branch {
+                descend(e, opts, report);
+            }
+        }
+        StmtKind::While { body, .. }
+        | StmtKind::DoWhile { body, .. }
+        | StmtKind::For { body, .. } => descend(body, opts, report),
+        _ => {}
+    }
+}
+
+/// Transform one marked nest. Returns the replacement statements, or `None`
+/// to keep the original loop (possibly with transformed children, already
+/// rewritten in-place through `loop_stmt`).
+fn transform_nest(
+    loop_stmt: &mut Stmt,
+    opts: &PolyccOptions,
+    report: &mut PolyccReport,
+) -> Option<Vec<Stmt>> {
+    match extract_scop(loop_stmt) {
+        Ok(scop) => {
+            let deps = analyze(&scop);
+            let transform = compute_schedule(&scop, &deps);
+
+            // Resolve codegen options (SICA overrides).
+            let mut cg = opts.codegen;
+            if let Some(p) = opts.sica {
+                cg.sica = true;
+                if cg.tile.is_none() {
+                    cg.tile = select_tile_size(&scop, transform.band, p);
+                }
+            }
+
+            match generate(&scop, &transform, cg) {
+                Ok(Generated {
+                    stmts,
+                    iter_map,
+                    parallelized,
+                    tiled,
+                    needs_helpers,
+                }) => {
+                    report.needs_helpers |= needs_helpers;
+                    let placeholders = collect_placeholders(&stmts);
+                    report.regions.push(RegionOutcome::Transformed {
+                        depth: scop.depth(),
+                        parallelized,
+                        tiled,
+                        skewed: transform.skewed,
+                        iter_map,
+                        placeholders,
+                        transform,
+                    });
+                    Some(stmts)
+                }
+                Err(diags) => {
+                    report.diags.extend(diags);
+                    report.regions.push(RegionOutcome::Skipped {
+                        reason: "code generation failed".into(),
+                    });
+                    None
+                }
+            }
+        }
+        Err(diags) => {
+            // Imperfect / non-affine: keep the loop sequential but try the
+            // children (the heat time loop pattern).
+            let reason = diags
+                .items()
+                .first()
+                .map(|d| d.message.clone())
+                .unwrap_or_else(|| "not a static control part".into());
+            report.regions.push(RegionOutcome::Skipped { reason });
+            let StmtKind::For { body, .. } = &mut loop_stmt.kind else {
+                return None;
+            };
+            transform_children(body, opts, report);
+            None
+        }
+    }
+}
+
+/// Recursively attempt every child for-nest of a body.
+fn transform_children(body: &mut Stmt, opts: &PolyccOptions, report: &mut PolyccReport) {
+    match &mut body.kind {
+        StmtKind::Block(b) => {
+            let mut i = 0;
+            while i < b.stmts.len() {
+                if matches!(b.stmts[i].kind, StmtKind::For { .. }) {
+                    let mut child = b.stmts[i].clone();
+                    if let Some(new_stmts) = transform_nest(&mut child, opts, report) {
+                        b.stmts.remove(i);
+                        let count = new_stmts.len();
+                        for (off, s) in new_stmts.into_iter().enumerate() {
+                            b.stmts.insert(i + off, s);
+                        }
+                        i += count;
+                        continue;
+                    } else {
+                        b.stmts[i] = child; // children may have changed
+                    }
+                } else {
+                    descend(&mut b.stmts[i], opts, report);
+                }
+                i += 1;
+            }
+        }
+        StmtKind::For { .. } => {
+            let mut child = body.clone();
+            if let Some(new_stmts) = transform_nest(&mut child, opts, report) {
+                // Single-statement body replaced by a block.
+                *body = Stmt::new(
+                    StmtKind::Block(Block {
+                        stmts: new_stmts,
+                        span: body.span,
+                    }),
+                    body.span,
+                );
+            } else {
+                *body = child;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// All `tmpConst_*` identifiers appearing in a statement list.
+fn collect_placeholders(stmts: &[Stmt]) -> Vec<String> {
+    let mut out = Vec::new();
+    for s in stmts {
+        s.walk_exprs(&mut |e| {
+            if let ExprKind::Ident(name) = &e.kind {
+                if name.starts_with("tmpConst_") && !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfront::parser::parse;
+    use cfront::printer::print_unit;
+
+    fn run(src: &str, opts: PolyccOptions) -> (TranslationUnit, PolyccReport) {
+        let mut unit = parse(src).unit;
+        let report = run_polycc(&mut unit, opts);
+        (unit, report)
+    }
+
+    const MARKED_MATMUL: &str = "\
+float **A, **Bt, **C;
+int main() {
+#pragma scop
+    for (int i = 0; i < 4096; i++)
+        for (int j = 0; j < 4096; j++)
+            C[i][j] = tmpConst_dot_0;
+#pragma endscop
+    return 0;
+}
+";
+
+    #[test]
+    fn transforms_marked_matmul() {
+        let (unit, report) = run(MARKED_MATMUL, PolyccOptions::default());
+        assert_eq!(report.transformed_count(), 1);
+        assert_eq!(report.parallelized_count(), 1);
+        let out = print_unit(&unit);
+        assert!(!out.contains("pragma scop"), "{out}");
+        assert!(out.contains("#pragma omp parallel for private(t2)"), "{out}");
+        assert!(out.contains("C[t1][t2]"), "{out}");
+        // Placeholder recorded with its iterator map.
+        let maps = report.placeholder_iter_maps();
+        let m = &maps["tmpConst_dot_0"];
+        assert_eq!(cfront::printer::print_expr(&m["i"]), "t1");
+    }
+
+    #[test]
+    fn sica_mode_tiles_and_vectorizes() {
+        let (unit, report) = run(
+            MARKED_MATMUL,
+            PolyccOptions {
+                codegen: CodegenOptions::default(),
+                sica: Some(SicaParams::default()),
+            },
+        );
+        assert_eq!(report.transformed_count(), 1);
+        let out = print_unit(&unit);
+        assert!(out.contains("t1t"), "sica must tile: {out}");
+        assert!(out.contains("#pragma omp simd"), "{out}");
+        assert!(report.needs_helpers);
+    }
+
+    #[test]
+    fn unmarked_loops_are_untouched() {
+        let src = "int main() { float a[8]; for (int i = 0; i < 8; i++) a[i] = i; return 0; }";
+        let (unit, report) = run(src, PolyccOptions::default());
+        assert_eq!(report.transformed_count(), 0);
+        let out = print_unit(&unit);
+        assert!(out.contains("for (int i = 0; i < 8; i++)"), "{out}");
+    }
+
+    #[test]
+    fn imperfect_time_loop_transforms_children() {
+        // The heat pattern: marked time loop with two inner nests + copy.
+        let src = "\
+int main() {
+    float a[64][64], b[64][64];
+#pragma scop
+    for (int t = 0; t < 200; t++) {
+        for (int i = 1; i < 63; i++)
+            for (int j = 1; j < 63; j++)
+                b[i][j] = tmpConst_stencil_0;
+        for (int i2 = 1; i2 < 63; i2++)
+            for (int j2 = 1; j2 < 63; j2++)
+                a[i2][j2] = b[i2][j2];
+    }
+#pragma endscop
+    return 0;
+}
+";
+        let (unit, report) = run(src, PolyccOptions::default());
+        // The time loop is skipped, both children transformed.
+        assert_eq!(report.transformed_count(), 2);
+        assert!(matches!(report.regions[0], RegionOutcome::Skipped { .. }));
+        let out = print_unit(&unit);
+        assert!(out.contains("for (int t = 0; t < 200; t++)"), "{out}");
+        assert_eq!(out.matches("#pragma omp parallel for").count(), 2, "{out}");
+    }
+
+    #[test]
+    fn sequential_nest_stays_sequential_but_transformed() {
+        let src = "\
+void f(float* a) {
+    float res;
+#pragma scop
+    for (int i = 0; i < 64; i++)
+        res = res + a[i];
+#pragma endscop
+}
+";
+        let (unit, report) = run(src, PolyccOptions::default());
+        assert_eq!(report.transformed_count(), 1);
+        assert_eq!(report.parallelized_count(), 0);
+        let out = print_unit(&unit);
+        assert!(!out.contains("omp parallel"), "{out}");
+    }
+
+    #[test]
+    fn fig2_region_is_skewed() {
+        let src = "\
+void f(float** a) {
+#pragma scop
+    for (int i = 1; i < 64; i++)
+        for (int j = 1; j < 63; j++)
+            a[i][j] = a[i - 1][j] + a[i - 1][j + 1];
+#pragma endscop
+}
+";
+        let (unit, report) = run(src, PolyccOptions::default());
+        assert_eq!(report.transformed_count(), 1);
+        let skewed = report.regions.iter().any(
+            |r| matches!(r, RegionOutcome::Transformed { skewed: true, .. }),
+        );
+        assert!(skewed);
+        let out = print_unit(&unit);
+        assert!(out.contains("t2 - t1") || out.contains("-t1 + t2"), "{out}");
+    }
+
+    #[test]
+    fn multiple_regions_in_one_function() {
+        let src = "\
+int main() {
+    float a[32], b[32];
+#pragma scop
+    for (int i = 0; i < 32; i++) a[i] = tmpConst_f_0;
+#pragma endscop
+    b[0] = a[0];
+#pragma scop
+    for (int j = 0; j < 32; j++) b[j] = tmpConst_g_1;
+#pragma endscop
+    return 0;
+}
+";
+        let (unit, report) = run(src, PolyccOptions::default());
+        assert_eq!(report.transformed_count(), 2);
+        let maps = report.placeholder_iter_maps();
+        assert!(maps.contains_key("tmpConst_f_0"));
+        assert!(maps.contains_key("tmpConst_g_1"));
+        let out = print_unit(&unit);
+        assert!(out.contains("b[0] = a[0];"), "{out}");
+    }
+}

@@ -1,0 +1,8 @@
+//! # purec — driver of the `pure-c` extended compiler chain
+//!
+//! Combines all stages (Fig. 1 of the paper) into [`chain::compile`] /
+//! [`chain::compile_and_run`] and exposes the `purec` CLI binary.
+
+pub mod chain;
+
+pub use chain::{compile, compile_and_run, ChainError, ChainOptions, ChainOutput};

@@ -1,0 +1,204 @@
+//! `purec` — the command-line driver of the extended compiler chain.
+//!
+//! ```text
+//! purec <file.c> [--sica] [--tile N] [--no-omp] [--run [--threads N]]
+//!       [--race-check] [--emit-marked] [--no-alloc-pure]
+//! purec --demo <matmul|heat|satellite|lama> [same flags]
+//! ```
+//!
+//! Without `--run` the transformed standard-C text is printed to stdout
+//! (the source-to-source behaviour of the paper's tool). With `--run` the
+//! program is executed on the built-in interpreter and omprt runtime.
+
+use purec::chain::{compile, compile_and_run, ChainOptions};
+use purec_core::{PcCcOptions, PureSet};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: purec <file.c> [options]\n\
+         \x20      purec --demo <matmul|heat|satellite|lama> [options]\n\
+         options:\n\
+         \x20 --sica           enable PluTo-SICA mode (cache tiling + SIMD pragmas)\n\
+         \x20 --tile N         explicit rectangular tile size\n\
+         \x20 --no-omp         suppress OpenMP pragmas (transform only)\n\
+         \x20 --no-alloc-pure  drop malloc/free from the pure registry (ablation A1)\n\
+         \x20 --emit-marked    stop after PC-CC and print the marked source\n\
+         \x20 --run            execute the result on the interpreter\n\
+         \x20 --threads N      omprt threads for --run (default 1)\n\
+         \x20 --race-check     validate iteration independence before parallel runs\n\
+         \x20 --stats          print chain statistics to stderr"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+
+    let mut source_path: Option<String> = None;
+    let mut demo: Option<String> = None;
+    let mut sica = false;
+    let mut tile: Option<i64> = None;
+    let mut omp = true;
+    let mut alloc_pure = true;
+    let mut emit_marked = false;
+    let mut run = false;
+    let mut threads = 1usize;
+    let mut race_check = false;
+    let mut stats = false;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--demo" => demo = Some(it.next().unwrap_or_else(|| usage())),
+            "--sica" => sica = true,
+            "--tile" => {
+                tile = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--no-omp" => omp = false,
+            "--no-alloc-pure" => alloc_pure = false,
+            "--emit-marked" => emit_marked = true,
+            "--run" => run = true,
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--race-check" => race_check = true,
+            "--stats" => stats = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && source_path.is_none() => {
+                source_path = Some(other.to_string())
+            }
+            _ => usage(),
+        }
+    }
+
+    let source = match (&source_path, &demo) {
+        (Some(path), None) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("purec: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        (None, Some(name)) => match name.as_str() {
+            "matmul" => apps::matmul::c_source(64),
+            "heat" => apps::heat::c_source(32, 10),
+            "satellite" => apps::satellite::c_source(16, 16),
+            "lama" => apps::lama::c_source(256, 9),
+            other => {
+                eprintln!("purec: unknown demo '{other}'");
+                std::process::exit(2);
+            }
+        },
+        _ => usage(),
+    };
+
+    let seed = if alloc_pure {
+        PureSet::seeded()
+    } else {
+        PureSet::seeded_without_alloc()
+    };
+    let opts = ChainOptions {
+        pc_cc: PcCcOptions {
+            seed,
+            includes: Default::default(),
+        },
+        polycc: polyhedral::PolyccOptions {
+            codegen: polyhedral::CodegenOptions { tile, sica, omp },
+            sica: if sica {
+                Some(polyhedral::SicaParams::default())
+            } else {
+                None
+            },
+        },
+    };
+
+    if emit_marked {
+        match purec_core::run_pc_cc(&source, opts.pc_cc) {
+            Ok(out) => {
+                print!("{}", cfront::print_unit(&out.unit));
+                if stats {
+                    eprintln!(
+                        "purec: {} pure function(s), {} scop(s) marked, {} call(s) substituted",
+                        out.declared_pure.len(),
+                        out.scops_marked,
+                        out.subst.len()
+                    );
+                }
+            }
+            Err(diags) => {
+                eprint!("{}", diags.render_all(&source));
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if run {
+        let interp = cinterp::InterpOptions {
+            threads,
+            race_check,
+            ..Default::default()
+        };
+        match compile_and_run(&source, opts, interp) {
+            Ok((out, result)) => {
+                print!("{}", result.output);
+                if stats {
+                    eprintln!(
+                        "purec: verified pure: {:?}; scops {}; transformed {}; parallel {}; \
+                         exit {}; ops {{flops: {}, loads: {}, stores: {}, calls: {}}}",
+                        out.declared_pure,
+                        out.scops_marked,
+                        out.regions_transformed,
+                        out.regions_parallelized,
+                        result.exit_code,
+                        result.counters.flops,
+                        result.counters.loads,
+                        result.counters.stores,
+                        result.counters.calls,
+                    );
+                }
+                std::process::exit(result.exit_code as i32 & 0x7f);
+            }
+            Err(e) => {
+                eprintln!("purec: {e}");
+                if let purec::chain::ChainError::Compile(d) = &e {
+                    eprint!("{}", d.render_all(&source));
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+
+    match compile(&source, opts) {
+        Ok(out) => {
+            print!("{}", out.text);
+            if stats {
+                eprintln!(
+                    "purec: verified pure: {:?}; scops {}; transformed {}; parallel {}; \
+                     skewed {}; tiled {}; calls reinserted {}",
+                    out.declared_pure,
+                    out.scops_marked,
+                    out.regions_transformed,
+                    out.regions_parallelized,
+                    out.regions_skewed,
+                    out.regions_tiled,
+                    out.calls_reinserted,
+                );
+            }
+        }
+        Err(diags) => {
+            eprint!("{}", diags.render_all(&source));
+            std::process::exit(1);
+        }
+    }
+}

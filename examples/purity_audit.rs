@@ -1,0 +1,114 @@
+//! Purity audit: run the verifier over every listing of the paper and show
+//! which rule fires where — the `pure` semantics of Sect. 3 as executable
+//! documentation.
+//!
+//! ```sh
+//! cargo run --example purity_audit
+//! ```
+
+use pure_c::prelude::*;
+
+fn audit(name: &str, src: &str) {
+    println!("=== {name} ===");
+    match run_pc_cc(src, PcCcOptions::default()) {
+        Ok(out) => println!(
+            "ACCEPTED — pure: {:?}, scops: {}\n",
+            out.declared_pure, out.scops_marked
+        ),
+        Err(diags) => {
+            println!("REJECTED —");
+            print!("{}", diags.render_all(src));
+            println!();
+        }
+    }
+}
+
+fn main() {
+    // Listing 1/2: the canonical valid pure function.
+    audit(
+        "Listing 2 — valid operations in a pure function",
+        "int* globalPtr;
+void func1();
+pure int* func2(pure int* p1, int p2) {
+    int a = p2;
+    int b = a + 42;
+    int* c = (int*) malloc(3 * sizeof(int));
+    pure int* ptr = p1;
+    pure int* extPtr2;
+    extPtr2 = (pure int*) globalPtr;
+    pure int* extPtr3;
+    extPtr3 = (pure int*) func2(p1, p2);
+    return c;
+}
+int main() { return 0; }",
+    );
+
+    // Listing 2, line 11: global pointer to plain local.
+    audit(
+        "Listing 2 line 11 — external pointer without pure cast",
+        "int* globalPtr;
+pure int f(int x) { int* extPtr1 = globalPtr; return x; }
+int main() { return 0; }",
+    );
+
+    // Listing 2, line 14: calling an impure function.
+    audit(
+        "Listing 2 line 14 — pure calls impure",
+        "void func1();
+pure int f(int x) { func1(); return x; }
+int main() { return 0; }",
+    );
+
+    // Listing 4: reassigning a pure pointer.
+    audit(
+        "Listing 4 — pure pointer reassignment",
+        "int* extPtr;
+pure void f() {
+    pure int* intPtr = (pure int*) extPtr;
+    intPtr = extPtr;
+}
+int main() { return 0; }",
+    );
+
+    // Listing 5: feedback through a pure call.
+    audit(
+        "Listing 5 — loop feedback through a pure call",
+        "pure int func(pure int* a, int idx) { return a[idx - 1] + a[idx]; }
+int main() {
+    int array[100];
+    for (int i = 1; i < 100; i++)
+        array[i] = func((pure int*)array, i);
+    return 0;
+}",
+    );
+
+    // Listing 6: the alias deception — ACCEPTED (documented limitation).
+    audit(
+        "Listing 6 — alias deception (accepted: known limitation)",
+        "pure int func(pure int* a, int idx) { return a[idx - 1] + a[idx]; }
+int main() {
+    int array[100];
+    int* alias = array;
+    for (int i = 1; i < 100; i++)
+        alias[i] = func((pure int*)array, i);
+    return 0;
+}",
+    );
+
+    // Beyond the listings: free() discipline.
+    audit(
+        "free() of foreign memory",
+        "pure void f(int* p) { free(p); }\nint main() { return 0; }",
+    );
+    audit(
+        "free() of locally allocated memory",
+        "pure int f(int n) {
+    int* buf = (int*) malloc(n * sizeof(int));
+    buf[0] = 42;
+    int v = buf[0];
+    free(buf);
+    return v;
+}
+int main() { return 0; }",
+    );
+}

@@ -1,0 +1,69 @@
+//! Quickstart: annotate a C function with `pure`, run the whole chain,
+//! inspect the transformed standard C, and execute it in parallel.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use pure_c::prelude::*;
+
+fn main() {
+    let source = r#"
+#include <stdio.h>
+#include <stdlib.h>
+
+pure float square(float x) {
+    return x * x;
+}
+
+int main() {
+    int n = 256;
+    float* out = (float*) malloc(n * sizeof(float));
+    for (int i = 0; i < n; i++)
+        out[i] = square((float) i);
+    float total = 0.0f;
+    for (int i = 0; i < n; i++)
+        total += out[i];
+    printf("sum of squares below %d = %.1f\n", n, total);
+    return 0;
+}
+"#;
+
+    // 1. Full chain: verify purity, mark SCoPs, transform, lower.
+    let out = compile(source, ChainOptions::default()).expect("chain accepts the program");
+    println!("--- transformed standard C ---\n{}", out.text);
+    println!(
+        "verified pure: {:?}; scops marked: {}; regions parallelized: {}\n",
+        out.declared_pure, out.scops_marked, out.regions_parallelized
+    );
+
+    // 2. Execute sequentially and on 8 omprt threads — results must agree.
+    let (_, seq) = compile_and_run(
+        source,
+        ChainOptions::default(),
+        InterpOptions::default(),
+    )
+    .expect("sequential run");
+    let (_, par) = compile_and_run(
+        source,
+        ChainOptions::default(),
+        InterpOptions {
+            threads: 8,
+            race_check: true, // dynamically validate iteration independence
+            ..Default::default()
+        },
+    )
+    .expect("parallel run");
+    assert_eq!(seq.output, par.output, "parallel result must match");
+    println!("--- program output (8 threads, race-checked) ---\n{}", par.output);
+
+    // 3. A program that VIOLATES purity is rejected at compile time.
+    let bad = "
+int counter;
+pure int tick(int x) { counter = counter + 1; return x; }
+int main() { return tick(3); }
+";
+    let err = compile(bad, ChainOptions::default()).unwrap_err();
+    println!("--- rejected impure program ---");
+    print!("{}", err.render_all(bad));
+}

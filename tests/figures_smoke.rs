@@ -1,0 +1,79 @@
+//! Figure-harness smoke tests at the integration level: every figure of
+//! the paper regenerates, renders, serializes, and keeps its headline
+//! qualitative claims (the detailed per-figure shape assertions live in
+//! `apps::figures::tests`).
+
+use pure_c::prelude::*;
+
+#[test]
+fn all_nine_figures_regenerate() {
+    let figs = all_figures();
+    assert_eq!(figs.len(), 9);
+    let ids: Vec<&str> = figs.iter().map(|f| f.id.as_str()).collect();
+    assert_eq!(
+        ids,
+        vec!["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"]
+    );
+    for f in &figs {
+        let txt = f.render();
+        assert!(txt.contains("series \\ cores"), "{txt}");
+        for s in &f.series {
+            assert_eq!(s.points.len(), CORES.len(), "{} / {}", f.id, s.label);
+            for (c, v) in &s.points {
+                assert!(CORES.contains(c));
+                assert!(v.is_finite() && *v > 0.0, "{}:{} at {c}", f.id, s.label);
+            }
+        }
+    }
+}
+
+#[test]
+fn headline_claims_hold() {
+    // Fig. 3: pure wins big at 64 cores thanks to the parallel init loop.
+    let f3 = apps::figures::fig3_matmul_gcc();
+    assert!(f3.find("pure").at(64) < f3.find("PluTo").at(64) * 0.7);
+    // Fig. 3: PluTo is non-monotonic 16 → 32 (first-touch NUMA).
+    assert!(f3.find("PluTo").at(32) > f3.find("PluTo").at(16));
+    // Fig. 4: ICC vectorizes the extracted dot (≥2.5× at 1 core).
+    let f4 = apps::figures::fig4_matmul_icc();
+    assert!(f4.find("pure").at(1) * 2.5 < f3.find("pure").at(1));
+    // Fig. 6: inlined PluTo beats extracted pure on the tiny stencil.
+    let f6 = apps::figures::fig6_heat_time();
+    assert!(f6.find("PluTo-SICA (GCC)").at(1) < f6.find("pure (GCC)").at(1));
+    // Fig. 9: best satellite speedup is auto + ICC at 64 cores.
+    let f9 = apps::figures::fig9_satellite_speedup();
+    let best = f9.find("auto (ICC)").at(64);
+    for s in &f9.series {
+        assert!(s.at(64) <= best + 1e-9, "{}", s.label);
+    }
+    // Fig. 10: auto vs manual within the paper's 0.8 ms bound.
+    let f10 = apps::figures::fig10_lama_time();
+    assert!(f10.find("auto (GCC)").at(64) - f10.find("manual static (GCC)").at(64) <= 8e-4);
+}
+
+#[test]
+fn figures_serialize_to_json_and_back() {
+    for f in all_figures() {
+        let json = serde_json::to_string(&f).unwrap();
+        let back: Figure = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, f.id);
+        assert_eq!(back.series.len(), f.series.len());
+    }
+}
+
+#[test]
+fn speedup_figures_are_consistent_with_time_figures() {
+    let t = apps::figures::fig6_heat_time();
+    let s = apps::figures::fig7_heat_speedup();
+    let t_seq = t.baselines[0].1;
+    for (ts, ss) in t.series.iter().zip(&s.series) {
+        for &c in &CORES {
+            let expect = t_seq / ts.at(c);
+            assert!(
+                (ss.at(c) - expect).abs() < 1e-9,
+                "speedup mismatch for {} at {c}",
+                ts.label
+            );
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Conformance suite: every listing of the paper (Sect. 3) as an
+//! executable specification of the `pure` extension, run through the full
+//! chain. Listing numbers refer to the IJPP 2020 version.
+
+use cfront::diag::Code;
+use pure_c::prelude::*;
+
+fn accepts(src: &str) {
+    let r = run_pc_cc(src, PcCcOptions::default());
+    assert!(r.is_ok(), "expected ACCEPT:\n{src}\n{:?}", r.err().map(|d| d.render_all(src)));
+}
+
+fn rejects_with(src: &str, code: Code) {
+    let r = run_pc_cc(src, PcCcOptions::default());
+    match r {
+        Ok(_) => panic!("expected REJECT ({code:?}):\n{src}"),
+        Err(d) => assert!(d.has_code(code), "wrong code, wanted {code:?}:\n{}", d.render_all(src)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Listing 1 — declaration syntax
+// ---------------------------------------------------------------------------
+
+#[test]
+fn listing1_declaration_parses_with_both_pure_positions() {
+    let r = parse("pure int* func(pure int* p1, int p2);");
+    assert!(!r.diags.has_errors());
+    let f = r.unit.find_function("func").unwrap();
+    assert!(f.is_pure, "first pure labels the function");
+    assert!(f.params[0].ty.pure_qual, "second pure labels the pointer");
+    assert!(!f.params[1].ty.pure_qual);
+}
+
+// ---------------------------------------------------------------------------
+// Listing 2 — valid and invalid operations in pure functions
+// ---------------------------------------------------------------------------
+
+const LISTING2_VALID: &str = "
+int* globalPtr;
+void func1();
+pure int* func2(pure int* p1, int p2) {
+    int a = p2;
+    int b = a + 42;
+    int* c = (int*) malloc(3 * sizeof(int));
+    pure int* ptr = p1;
+    pure int* extPtr2;
+    extPtr2 = (pure int*) globalPtr;
+    pure int* extPtr3;
+    extPtr3 = (pure int*) func2(p1, p2);
+    return c;
+}
+int main() { return 0; }
+";
+
+#[test]
+fn listing2_valid_operations_accepted() {
+    accepts(LISTING2_VALID);
+}
+
+#[test]
+fn listing2_line11_external_ptr_to_plain_local_rejected() {
+    rejects_with(
+        "int* globalPtr;
+pure int f(int x) { int* extPtr1 = globalPtr; return x; }
+int main() { return 0; }",
+        Code::PureAssignsExternalPtrWithoutCast,
+    );
+}
+
+#[test]
+fn listing2_line14_impure_call_rejected() {
+    rejects_with(
+        "void func1();
+pure int f(int x) { func1(); return x; }
+int main() { return 0; }",
+        Code::PureCallsImpure,
+    );
+}
+
+#[test]
+fn listing2_self_call_allowed_via_hashset() {
+    // func2 calls itself — the hashset registration makes this legal.
+    accepts(
+        "pure int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }
+int main() { return fact(5); }",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Listing 3 — external pointer assignment discipline
+// ---------------------------------------------------------------------------
+
+#[test]
+fn listing3_pure_cast_binding_accepted() {
+    accepts(
+        "float* external;
+pure float f(int i) {
+    pure float* internal = (pure float*) external;
+    return internal[i];
+}
+int main() { return 0; }",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Listing 4 — valid and invalid assignments
+// ---------------------------------------------------------------------------
+
+#[test]
+fn listing4_local_struct_write_valid() {
+    accepts(
+        "struct datatype { int storage; };
+pure int f(int data) {
+    struct datatype intStruct;
+    intStruct.storage = data;
+    return intStruct.storage;
+}
+int main() { return 0; }",
+    );
+}
+
+#[test]
+fn listing4_plain_reassignment_rejected() {
+    rejects_with(
+        "int* extPtr;
+pure void f() {
+    pure int* intPtr = (pure int*) extPtr;
+    intPtr = extPtr;
+}
+int main() { return 0; }",
+        Code::PurePointerReassigned,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Listing 5 / Listing 6 — caller-side safety and its documented limit
+// ---------------------------------------------------------------------------
+
+const LISTING5: &str = "
+pure int func(pure int* a, int idx) { return a[idx - 1] + a[idx]; }
+int main() {
+    int array[100];
+    for (int i = 1; i < 100; i++)
+        array[i] = func((pure int*)array, i);
+    return 0;
+}
+";
+
+#[test]
+fn listing5_feedback_rejected() {
+    rejects_with(LISTING5, Code::PureParamWrittenInLoop);
+}
+
+#[test]
+fn listing6_alias_deceives_static_check_but_dynamic_check_catches_it() {
+    let listing6 = "
+pure int func(pure int* a, int idx) { return a[idx - 1] + a[idx]; }
+int main() {
+    int array[100];
+    int* alias = array;
+    array[0] = 1;
+    for (int i = 1; i < 100; i++)
+        alias[i] = func((pure int*)array, i);
+    return array[99];
+}
+";
+    // Statically accepted — the paper's documented limitation.
+    let out = run_pc_cc(listing6, PcCcOptions::default()).expect("accepted");
+    assert!(out.scops_marked >= 1, "the deceiving loop gets marked");
+
+    // But our dynamic race checker refuses to run it in parallel.
+    let err = purec::compile_and_run(
+        listing6,
+        ChainOptions::default(),
+        InterpOptions {
+            threads: 4,
+            race_check: true,
+            ..Default::default()
+        },
+    );
+    match err {
+        Err(purec::ChainError::Runtime(e)) => {
+            assert!(e.message.contains("race"), "{e}");
+        }
+        other => panic!("expected a detected race, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Listings 7/8 — the matmul transformation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn listing7_to_listing8_shape() {
+    let src = "
+float **A, **Bt, **C;
+pure float mult(float a, float b) {
+    return a * b;
+}
+pure float dot(pure float* a, pure float* b, int size) {
+    float res = 0.0f;
+    for (int i = 0; i < size; ++i)
+        res += mult(a[i], b[i]);
+    return res;
+}
+int main(int argc, char** argv) {
+    for (int i = 0; i < 64; ++i)
+        for (int j = 0; j < 64; ++j)
+            C[i][j] = dot((pure float*)A[i], (pure float*)Bt[j], 64);
+    return 0;
+}
+";
+    let out = compile(src, ChainOptions::default()).expect("chain");
+    // Listing 8's signature shapes.
+    assert!(out.text.contains("float mult(float a, float b)"), "{}", out.text);
+    assert!(
+        out.text.contains("float dot(const float* a, const float* b, int size)"),
+        "{}",
+        out.text
+    );
+    // Parallel pragma with privatized inner iterator, renamed t1/t2.
+    assert!(out.text.contains("#pragma omp parallel for private(t2)"), "{}", out.text);
+    assert!(
+        out.text.contains("C[t1][t2] = dot((const float*)A[t1], (const float*)Bt[t2], 64);"),
+        "{}",
+        out.text
+    );
+    // No extension syntax leaks into the final program.
+    assert!(!out.text.contains("pure"));
+    assert!(!out.text.contains("#pragma scop"));
+}
+
+// ---------------------------------------------------------------------------
+// Sect. 3.2 — free() discipline and malloc admission
+// ---------------------------------------------------------------------------
+
+#[test]
+fn free_of_non_local_memory_rejected() {
+    rejects_with(
+        "pure void f(int* p) { free(p); }\nint main() { return 0; }",
+        Code::PureFreesForeign,
+    );
+    rejects_with(
+        "int* g;\npure void f() { free(g); }\nint main() { return 0; }",
+        Code::PureFreesForeign,
+    );
+}
+
+#[test]
+fn free_of_locally_malloced_memory_accepted_and_runs() {
+    let src = "
+pure int sum_squares(int n) {
+    int* buf = (int*) malloc(n * sizeof(int));
+    for (int i = 0; i < n; i++) buf[i] = i * i;
+    int total = 0;
+    for (int i = 0; i < n; i++) total += buf[i];
+    free(buf);
+    return total;
+}
+int main() { return sum_squares(10); }
+";
+    accepts(src);
+    let (_, run) = purec::compile_and_run(src, ChainOptions::default(), InterpOptions::default())
+        .expect("runs");
+    assert_eq!(run.exit_code, 285);
+}
+
+#[test]
+fn removing_pure_keyword_does_not_change_results() {
+    // Sect. 3.2: "Removing it has no effect on the results of a program
+    // other than that the program might not be as parallelizable."
+    let with_pure = "
+pure int twice(int x) { return 2 * x; }
+int main() {
+    int* a = (int*) malloc(32 * sizeof(int));
+    for (int i = 0; i < 32; i++) a[i] = twice(i);
+    int acc = 0;
+    for (int i = 0; i < 32; i++) acc += a[i];
+    return acc % 128;
+}
+";
+    let without_pure = with_pure.replace("pure ", "");
+    let (out_with, run_with) =
+        purec::compile_and_run(with_pure, ChainOptions::default(), InterpOptions::default())
+            .expect("with pure");
+    let (out_without, run_without) =
+        purec::compile_and_run(&without_pure, ChainOptions::default(), InterpOptions::default())
+            .expect("without pure");
+    assert_eq!(run_with.exit_code, run_without.exit_code);
+    // With pure: loops parallelized; without: fewer or none.
+    assert!(out_with.regions_parallelized >= out_without.regions_parallelized);
+}

@@ -1,0 +1,196 @@
+//! Property-based tests over the core data structures and invariants
+//! (DESIGN.md §6): printer/parser round trips, Fourier–Motzkin vs brute
+//! force, omprt schedule partitioning, parallel-equals-sequential
+//! execution, and purity-verdict stability under reformatting.
+
+use proptest::prelude::*;
+use pure_c::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Printer ∘ parser round trips
+// ---------------------------------------------------------------------------
+
+/// Generator for well-formed C expressions of bounded depth.
+fn arb_expr(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(|v| v.to_string()),
+        "[a-d]".prop_map(|s| s),
+        Just("x".to_string()),
+    ];
+    leaf.prop_recursive(depth, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} < {b})")),
+            inner.clone().prop_map(|a| format!("(-{a})")),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| format!("({c} ? {t} : {e})")),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print ∘ parse is a fixed point on expressions.
+    #[test]
+    fn expr_print_parse_fixed_point(src in arb_expr(4)) {
+        let e1 = cfront::parse_expr_str(&src).expect("generated expr parses");
+        let printed = cfront::print_expr(&e1);
+        let e2 = cfront::parse_expr_str(&printed).expect("printed expr reparses");
+        prop_assert_eq!(cfront::print_expr(&e2), printed);
+    }
+
+    /// Whole-program canonical form is a fixed point of parse ∘ print.
+    #[test]
+    fn unit_print_parse_fixed_point(n in 1usize..24, lit in 0i64..500) {
+        let src = format!(
+            "pure int f(pure int* a, int k) {{ return a[k] + {lit}; }}\n\
+             int main() {{\n\
+                 int buf[{n}];\n\
+                 for (int i = 0; i < {n}; i++) buf[i] = i * {lit};\n\
+                 return buf[{m}];\n\
+             }}",
+            m = n - 1
+        );
+        let once = print_unit(&parse(&src).unit);
+        let twice = print_unit(&parse(&once).unit);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Purity verdicts are invariant under whitespace/comment mutation.
+    #[test]
+    fn purity_verdict_stable_under_reformatting(pad in 0usize..6, cmt in any::<bool>()) {
+        let spacer = " ".repeat(pad + 1);
+        let comment = if cmt { "/* noise */" } else { "" };
+        let src_a = "int g;\npure int f(int x) { g = x; return x; }\nint main() { return 0; }";
+        let src_b = format!(
+            "int g;{comment}\npure{spacer}int f(int x){spacer}{{ g{spacer}={spacer}x; return x; }}\nint main() {{ return 0; }}"
+        );
+        let a = run_pc_cc(src_a, PcCcOptions::default()).is_err();
+        let b = run_pc_cc(&src_b, PcCcOptions::default()).is_err();
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fourier–Motzkin vs exhaustive enumeration
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// FM never reports "empty" when an integer point exists in a box.
+    #[test]
+    fn fm_is_sound_vs_brute_force(
+        coeffs in proptest::collection::vec((-3i64..=3, -3i64..=3, -6i64..=6, any::<bool>()), 1..5)
+    ) {
+        use polyhedral::{AffineExpr, Constraint, ConstraintSystem};
+        let mut sys = ConstraintSystem::new();
+        for (a, b, c, eq) in &coeffs {
+            let mut e = AffineExpr::constant(*c);
+            e = e.add(&AffineExpr::term("x", *a));
+            e = e.add(&AffineExpr::term("y", *b));
+            if *eq {
+                sys.push(Constraint::eq0(e));
+            } else {
+                sys.push(Constraint::ge0(e));
+            }
+        }
+        let brute = !sys
+            .enumerate_points(&["x".to_string(), "y".to_string()], -10, 10)
+            .is_empty();
+        if brute {
+            prop_assert!(sys.is_satisfiable(), "FM missed an integer point of {sys}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// omprt schedules
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Static chunk assignments partition 0..n exactly.
+    #[test]
+    fn static_chunks_partition(n in 0u64..10_000, threads in 1u64..96, chunk in 1u64..64) {
+        for sched in [OmpSchedule::Static, OmpSchedule::StaticChunk(chunk)] {
+            let mut all: Vec<(u64, u64)> = Vec::new();
+            for tid in 0..threads {
+                all.extend(sched.static_chunks(n, threads, tid));
+            }
+            all.sort_unstable();
+            let covered: u64 = all.iter().map(|(s, e)| e - s).sum();
+            prop_assert_eq!(covered, n);
+            let mut pos = 0;
+            for (s, e) in all {
+                prop_assert_eq!(s, pos, "gap or overlap under {}", sched);
+                prop_assert!(e > s);
+                pos = e;
+            }
+        }
+    }
+
+    /// parallel_for executes every iteration exactly once for any schedule.
+    #[test]
+    fn parallel_for_exactly_once(
+        n in 0u64..512,
+        threads in 1usize..9,
+        sched_pick in 0usize..4,
+        chunk in 1u64..16,
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sched = match sched_pick {
+            0 => OmpSchedule::Static,
+            1 => OmpSchedule::StaticChunk(chunk),
+            2 => OmpSchedule::Dynamic(chunk),
+            _ => OmpSchedule::Guided(chunk),
+        };
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, threads, sched, |i| {
+            hits[i as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            prop_assert_eq!(h.load(Ordering::Relaxed), 1, "iteration {} under {}", i, sched);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: transformed parallel execution equals sequential
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For random small matmul sizes, the transformed program yields the
+    /// same output at any thread count (data-race freedom in practice).
+    #[test]
+    fn transformed_matmul_thread_invariant(n in 2usize..14, threads in 2usize..9) {
+        let src = apps::matmul::c_source(n);
+        let run = |t: usize| {
+            purec::compile_and_run(
+                &src,
+                ChainOptions::default(),
+                InterpOptions { threads: t, ..Default::default() },
+            )
+            .expect("runs")
+            .1
+            .output
+        };
+        prop_assert_eq!(run(1), run(threads));
+    }
+
+    /// Native matmul: par == seq for arbitrary seeds and schedules.
+    #[test]
+    fn native_matmul_par_equals_seq(seed in 0u64..1000, threads in 1usize..9) {
+        let a = apps::matmul::Matrix::random(21, seed);
+        let bt = apps::matmul::Matrix::random(21, seed ^ 0xABCD);
+        let seq = apps::matmul::matmul_seq(&a, &bt);
+        let par = apps::matmul::matmul_par(&a, &bt, threads, OmpSchedule::Dynamic(2));
+        prop_assert_eq!(seq.max_abs_diff(&par), 0.0);
+    }
+}
