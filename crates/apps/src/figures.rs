@@ -15,9 +15,7 @@
 //! (first-touch NUMA, bandwidth saturation, call overhead, schedule
 //! imbalance, dequeue contention, vectorization policy).
 
-use machine::{
-    region_time, Compiler, CostProfile, Machine, OmpSchedule, Variant, Workload,
-};
+use machine::{region_time, Compiler, CostProfile, Machine, OmpSchedule, Variant, Workload};
 use serde::{Deserialize, Serialize};
 
 /// Core counts of the paper's scaling runs (2⁰ … 2⁶).
@@ -102,11 +100,7 @@ fn m() -> Machine {
     Machine::opteron_6272_quad()
 }
 
-fn series(
-    label: &str,
-    c: &Compiler,
-    regions: &[(Workload, Variant, bool)],
-) -> Series {
+fn series(label: &str, c: &Compiler, regions: &[(Workload, Variant, bool)]) -> Series {
     let mach = m();
     Series {
         label: label.to_string(),
@@ -183,11 +177,7 @@ fn matmul_regions(which: &str) -> Vec<(Workload, Variant, bool)> {
         // (malloc is in the registry) → parallel first touch, pages spread.
         "pure" => vec![
             (init, Variant::pure_chain(true), true),
-            (
-                Workload { ..compute },
-                Variant::pure_chain(true),
-                true,
-            ),
+            (Workload { ..compute }, Variant::pure_chain(true), true),
         ],
         // pure with the init loop manually excluded (the black bars).
         "pure-noinit" => vec![
@@ -347,11 +337,7 @@ pub fn fig7_heat_speedup() -> Figure {
         title: "Heat distribution, speedup vs GCC sequential".into(),
         ylabel: "speedup".into(),
         baselines: f.baselines.clone(),
-        series: f
-            .series
-            .iter()
-            .map(|s| s.speedup_against(t_seq))
-            .collect(),
+        series: f.series.iter().map(|s| s.speedup_against(t_seq)).collect(),
     }
 }
 
@@ -434,11 +420,7 @@ pub fn fig9_satellite_speedup() -> Figure {
         title: "Satellite AOD filter, speedup vs GCC sequential".into(),
         ylabel: "speedup".into(),
         baselines: f.baselines.clone(),
-        series: f
-            .series
-            .iter()
-            .map(|s| s.speedup_against(t_seq))
-            .collect(),
+        series: f.series.iter().map(|s| s.speedup_against(t_seq)).collect(),
     }
 }
 
@@ -516,11 +498,7 @@ pub fn fig11_lama_speedup() -> Figure {
         title: "LAMA ELL SpMV, speedup vs GCC sequential".into(),
         ylabel: "speedup".into(),
         baselines: f.baselines.clone(),
-        series: f
-            .series
-            .iter()
-            .map(|s| s.speedup_against(t_seq))
-            .collect(),
+        series: f.series.iter().map(|s| s.speedup_against(t_seq)).collect(),
     }
 }
 
@@ -734,7 +712,11 @@ mod tests {
     fn fig8_all_versions_scale_continuously_gcc() {
         let f = fig8_satellite_time();
         assert!(strictly_decreasing(f.find("auto (GCC)")), "{}", f.render());
-        assert!(strictly_decreasing(f.find("manual dyn,1 (GCC)")), "{}", f.render());
+        assert!(
+            strictly_decreasing(f.find("manual dyn,1 (GCC)")),
+            "{}",
+            f.render()
+        );
         assert!(strictly_decreasing(f.find("auto (ICC)")), "{}", f.render());
     }
 
@@ -819,7 +801,10 @@ mod tests {
         }
         // Beyond 16: both bandwidth-bound, ICC's advantage gone.
         let r = f.find("auto (ICC)").at(64) / f.find("auto (GCC)").at(64);
-        assert!((0.95..1.3).contains(&r), "ICC advantage vanished, ratio {r}");
+        assert!(
+            (0.95..1.3).contains(&r),
+            "ICC advantage vanished, ratio {r}"
+        );
     }
 
     // ---- cross-cutting -------------------------------------------------------

@@ -145,7 +145,6 @@ impl EllMatrix {
     }
 }
 
-
 /// Annotated C source: ELL SpMV with the pure row kernel.
 pub fn c_source(rows: usize, max_nnz: usize) -> String {
     format!(
@@ -198,10 +197,10 @@ mod tests {
 
     fn dense_check(m: &EllMatrix, x: &[f32]) -> Vec<f32> {
         let mut y = vec![0.0f32; m.rows];
-        for r in 0..m.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             for k in 0..m.max_nnz {
                 let idx = k * m.rows + r;
-                y[r] += m.values[idx] * x[m.col_idx[idx] as usize];
+                *yr += m.values[idx] * x[m.col_idx[idx] as usize];
             }
         }
         y
@@ -255,7 +254,10 @@ mod tests {
         // mentions): boundary rows are lighter.
         let first = m.row_nnz[0];
         let mid = m.row_nnz[1000];
-        assert!(first < mid, "boundary rows must be lighter: {first} vs {mid}");
+        assert!(
+            first < mid,
+            "boundary rows must be lighter: {first} vs {mid}"
+        );
     }
 
     #[test]

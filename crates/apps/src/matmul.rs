@@ -87,10 +87,7 @@ pub fn matmul_seq(a: &Matrix, bt: &Matrix) -> Matrix {
     let mut c = Matrix::zeros(n);
     for i in 0..n {
         for j in 0..n {
-            let v = dot(
-                &a.data[i * n..(i + 1) * n],
-                &bt.data[j * n..(j + 1) * n],
-            );
+            let v = dot(&a.data[i * n..(i + 1) * n], &bt.data[j * n..(j + 1) * n]);
             c.set(i, j, v);
         }
     }
@@ -154,7 +151,6 @@ pub fn matmul_blocked(a: &Matrix, bt: &Matrix, block: usize) -> Matrix {
     }
     c
 }
-
 
 /// The annotated C source of the paper's Listing 7, parameterized by size
 /// (the paper uses 4096; tests interpret reduced sizes).

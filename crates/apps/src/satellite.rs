@@ -105,7 +105,9 @@ fn refinement_count(r_blue: f64) -> u32 {
 
 /// Sequential retrieval over the whole tile.
 pub fn filter_seq(tile: &Tile) -> Vec<f32> {
-    (0..tile.pixels()).map(|p| retrieve_aod(tile.pixel(p))).collect()
+    (0..tile.pixels())
+        .map(|p| retrieve_aod(tile.pixel(p)))
+        .collect()
 }
 
 /// Parallel retrieval on the omprt runtime.
@@ -122,7 +124,6 @@ pub fn filter_par(tile: &Tile, threads: usize, schedule: OmpSchedule) -> Vec<f32
     }
     out
 }
-
 
 /// Relative cost (≈ retrieval iterations) of each pixel — used to measure
 /// the imbalance the paper describes.

@@ -22,7 +22,7 @@ impl<T> SendPtr<T> {
 
 impl<T> Clone for SendPtr<T> {
     fn clone(&self) -> Self {
-        SendPtr(self.0)
+        *self
     }
 }
 impl<T> Copy for SendPtr<T> {}

@@ -20,9 +20,7 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig10_lama_time", |b| {
         b.iter(|| black_box(apps::figures::fig10_lama_time()))
     });
-    g.bench_function("all_figures", |b| {
-        b.iter(|| black_box(apps::all_figures()))
-    });
+    g.bench_function("all_figures", |b| b.iter(|| black_box(apps::all_figures())));
     g.finish();
 }
 

@@ -1,0 +1,179 @@
+//! `bench_interp` — records the interpreter-dispatch perf trajectory.
+//!
+//! Runs the variable-access microbench, chain-compiled matmul 64³, a
+//! small heat stencil and the fib memo kernel on both the legacy
+//! tree-walker ("before") and the resolved-IR engine ("after"),
+//! then writes `BENCH_interp.json` with wall times and speedups.
+//!
+//! ```text
+//! cargo run --release -p bench-harness --bin bench_interp [out.json]
+//! ```
+
+use cfront::parser::parse;
+use cinterp::{InterpOptions, Program, RunResult};
+use purec::chain::{compile, ChainOptions};
+use std::time::Instant;
+
+struct BenchCase {
+    name: &'static str,
+    program: Program,
+    /// (label, options, uses_legacy_engine)
+    variants: Vec<(&'static str, InterpOptions, bool)>,
+}
+
+fn time_run(program: &Program, opts: InterpOptions, legacy: bool, reps: u32) -> (f64, RunResult) {
+    // One warm-up, then best-of-`reps` wall time.
+    let warm = if legacy {
+        program.run_legacy(opts)
+    } else {
+        program.run(opts)
+    }
+    .expect("benchmark program runs");
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = if legacy {
+            program.run_legacy(opts)
+        } else {
+            program.run(opts)
+        };
+        let dt = t0.elapsed().as_secs_f64();
+        r.expect("benchmark program runs");
+        best = best.min(dt);
+    }
+    (best, warm)
+}
+
+fn plain(src: &str) -> Program {
+    let r = parse(src);
+    assert!(!r.diags.has_errors(), "{}", r.diags.render_all(src));
+    Program::new(&r.unit)
+}
+
+fn chain(src: &str) -> Program {
+    compile(src, ChainOptions::default())
+        .expect("chain ok")
+        .program()
+}
+
+fn varaccess_source(iters: u64) -> String {
+    format!(
+        "int main() {{\n\
+             int a = 0; int b = 1; int c = 2; int d = 3; int e = 4;\n\
+             for (int i = 0; i < {iters}; i++) {{\n\
+                 a = a + b; b = b ^ c; c = c + d;\n\
+                 d = d + e; e = e + a; a = a - d;\n\
+             }}\n\
+             return a & 255;\n\
+         }}"
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_interp.json".to_string());
+    let quick = std::env::var_os("BENCH_QUICK").is_some();
+    let reps = if quick { 1 } else { 3 };
+    let var_iters = if quick { 20_000 } else { 500_000 };
+    let fib_n = if quick { 18 } else { 24 };
+
+    let default_opts = InterpOptions::default();
+    let cases = vec![
+        BenchCase {
+            name: "varaccess",
+            program: plain(&varaccess_source(var_iters)),
+            variants: vec![
+                ("legacy", default_opts, true),
+                ("resolved", default_opts, false),
+            ],
+        },
+        BenchCase {
+            name: "matmul64",
+            program: chain(&apps::matmul::c_source(64)),
+            variants: vec![
+                ("legacy", default_opts, true),
+                ("resolved", default_opts, false),
+            ],
+        },
+        BenchCase {
+            name: "heat24x4",
+            program: chain(&apps::heat::c_source(24, 4)),
+            variants: vec![
+                ("legacy", default_opts, true),
+                ("resolved", default_opts, false),
+            ],
+        },
+        BenchCase {
+            name: "fib_memo",
+            program: chain(&format!(
+                "pure int fib(int n) {{ if (n < 2) return n; return fib(n - 1) + fib(n - 2); }}\n\
+                 int main() {{ return fib({fib_n}) % 251; }}\n"
+            )),
+            variants: vec![
+                ("legacy", default_opts, true),
+                (
+                    "resolved_memo_off",
+                    InterpOptions {
+                        memo: false,
+                        ..default_opts
+                    },
+                    false,
+                ),
+                ("resolved", default_opts, false),
+            ],
+        },
+    ];
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    let mut first = true;
+    for case in &cases {
+        let mut times: Vec<(&str, f64)> = Vec::new();
+        let mut exit = 0i64;
+        for (label, opts, legacy) in &case.variants {
+            let (secs, run) = time_run(&case.program, *opts, *legacy, reps);
+            exit = run.exit_code;
+            times.push((label, secs));
+            eprintln!(
+                "{:<10} {:<18} {:>10.3} ms  (exit {})",
+                case.name,
+                label,
+                secs * 1e3,
+                run.exit_code
+            );
+        }
+        let legacy_secs = times
+            .iter()
+            .find(|(l, _)| *l == "legacy")
+            .map(|(_, t)| *t)
+            .unwrap_or(f64::NAN);
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"exit_code\": {},\n",
+            case.name, exit
+        ));
+        for (label, secs) in &times {
+            json.push_str(&format!("      \"{label}_ms\": {:.3},\n", secs * 1e3));
+        }
+        let resolved_secs = times
+            .iter()
+            .find(|(l, _)| *l == "resolved")
+            .map(|(_, t)| *t)
+            .unwrap_or(f64::NAN);
+        json.push_str(&format!(
+            "      \"speedup_resolved_vs_legacy\": {:.2}\n    }}",
+            legacy_secs / resolved_secs
+        ));
+    }
+    json.push_str("\n  ],\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(
+        "  \"note\": \"before = legacy tree-walker, after = resolved-IR engine; \
+         best-of-N wall times from `cargo run --release -p bench-harness --bin bench_interp`\"\n}\n",
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_interp.json");
+    println!("wrote {out_path}");
+}

@@ -1,4 +1,7 @@
 //! Regenerate the paper's fig03 series (see apps::figures).
 fn main() {
-    bench_harness::emit(&apps::figures::fig3_matmul_gcc(), bench_harness::json_flag());
+    bench_harness::emit(
+        &apps::figures::fig3_matmul_gcc(),
+        bench_harness::json_flag(),
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerate the paper's fig04 series (see apps::figures).
 fn main() {
-    bench_harness::emit(&apps::figures::fig4_matmul_icc(), bench_harness::json_flag());
+    bench_harness::emit(
+        &apps::figures::fig4_matmul_icc(),
+        bench_harness::json_flag(),
+    );
 }

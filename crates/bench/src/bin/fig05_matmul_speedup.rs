@@ -1,4 +1,7 @@
 //! Regenerate the paper's fig05 series (see apps::figures).
 fn main() {
-    bench_harness::emit(&apps::figures::fig5_matmul_speedup(), bench_harness::json_flag());
+    bench_harness::emit(
+        &apps::figures::fig5_matmul_speedup(),
+        bench_harness::json_flag(),
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerate the paper's fig07 series (see apps::figures).
 fn main() {
-    bench_harness::emit(&apps::figures::fig7_heat_speedup(), bench_harness::json_flag());
+    bench_harness::emit(
+        &apps::figures::fig7_heat_speedup(),
+        bench_harness::json_flag(),
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerate the paper's fig08 series (see apps::figures).
 fn main() {
-    bench_harness::emit(&apps::figures::fig8_satellite_time(), bench_harness::json_flag());
+    bench_harness::emit(
+        &apps::figures::fig8_satellite_time(),
+        bench_harness::json_flag(),
+    );
 }

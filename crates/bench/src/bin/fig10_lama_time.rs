@@ -1,4 +1,7 @@
 //! Regenerate the paper's fig10 series (see apps::figures).
 fn main() {
-    bench_harness::emit(&apps::figures::fig10_lama_time(), bench_harness::json_flag());
+    bench_harness::emit(
+        &apps::figures::fig10_lama_time(),
+        bench_harness::json_flag(),
+    );
 }

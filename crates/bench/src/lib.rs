@@ -11,7 +11,10 @@ use apps::Figure;
 /// Print a figure to stdout, optionally as JSON.
 pub fn emit(fig: &Figure, json: bool) {
     if json {
-        println!("{}", serde_json::to_string_pretty(fig).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(fig).expect("serializable")
+        );
     } else {
         println!("{}", fig.render());
     }

@@ -843,7 +843,11 @@ mod tests {
         let e = Expr::call(
             "f",
             vec![
-                Expr::binary(BinOp::Add, Expr::call("g", vec![Expr::ident("x")]), Expr::int(1)),
+                Expr::binary(
+                    BinOp::Add,
+                    Expr::call("g", vec![Expr::ident("x")]),
+                    Expr::int(1),
+                ),
                 Expr::call("h", vec![]),
             ],
         );

@@ -103,7 +103,10 @@ impl Diagnostic {
     /// Render `error[PureCallsImpure] at 12:3: ...` using a line map.
     pub fn render(&self, map: &LineMap) -> String {
         let pos = map.line_col(self.span.start);
-        format!("{}[{}] at {}: {}", self.severity, self.code, pos, self.message)
+        format!(
+            "{}[{}] at {}: {}",
+            self.severity, self.code, pos, self.message
+        )
     }
 }
 
@@ -208,8 +211,15 @@ mod tests {
     fn render_includes_position_and_code() {
         let src = "int a;\nfoo();\n";
         let mut ds = Diagnostics::new();
-        ds.error(Code::PureCallsImpure, Span::new(7, 12), "call to impure function 'foo'");
+        ds.error(
+            Code::PureCallsImpure,
+            Span::new(7, 12),
+            "call to impure function 'foo'",
+        );
         let rendered = ds.render_all(src);
-        assert!(rendered.contains("error[PureCallsImpure] at 2:1"), "{rendered}");
+        assert!(
+            rendered.contains("error[PureCallsImpure] at 2:1"),
+            "{rendered}"
+        );
     }
 }

@@ -173,7 +173,11 @@ impl<'a> Lexer<'a> {
                 0
             });
             let (unsigned, long) = self.lex_int_suffix();
-            return TokenKind::IntLit { value, unsigned, long };
+            return TokenKind::IntLit {
+                value,
+                unsigned,
+                long,
+            };
         }
 
         let mut is_float = false;
@@ -221,7 +225,11 @@ impl<'a> Lexer<'a> {
             });
             // `1.0f`-style handled above; here handle `1f` is invalid C, skip.
             let (unsigned, long) = self.lex_int_suffix();
-            TokenKind::IntLit { value, unsigned, long }
+            TokenKind::IntLit {
+                value,
+                unsigned,
+                long,
+            }
         }
     }
 
@@ -441,15 +449,74 @@ mod tests {
     #[test]
     fn lexes_numbers_with_suffixes() {
         let ks = kinds("0 42 4096 0.5 1.0f 3e8 1e-3 0x1F 7u 9L");
-        assert_eq!(ks[0], TokenKind::IntLit { value: 0, unsigned: false, long: false });
-        assert_eq!(ks[1], TokenKind::IntLit { value: 42, unsigned: false, long: false });
-        assert_eq!(ks[3], TokenKind::FloatLit { value: 0.5, single: false });
-        assert_eq!(ks[4], TokenKind::FloatLit { value: 1.0, single: true });
-        assert_eq!(ks[5], TokenKind::FloatLit { value: 3e8, single: false });
-        assert_eq!(ks[6], TokenKind::FloatLit { value: 1e-3, single: false });
-        assert_eq!(ks[7], TokenKind::IntLit { value: 31, unsigned: false, long: false });
-        assert_eq!(ks[8], TokenKind::IntLit { value: 7, unsigned: true, long: false });
-        assert_eq!(ks[9], TokenKind::IntLit { value: 9, unsigned: false, long: true });
+        assert_eq!(
+            ks[0],
+            TokenKind::IntLit {
+                value: 0,
+                unsigned: false,
+                long: false
+            }
+        );
+        assert_eq!(
+            ks[1],
+            TokenKind::IntLit {
+                value: 42,
+                unsigned: false,
+                long: false
+            }
+        );
+        assert_eq!(
+            ks[3],
+            TokenKind::FloatLit {
+                value: 0.5,
+                single: false
+            }
+        );
+        assert_eq!(
+            ks[4],
+            TokenKind::FloatLit {
+                value: 1.0,
+                single: true
+            }
+        );
+        assert_eq!(
+            ks[5],
+            TokenKind::FloatLit {
+                value: 3e8,
+                single: false
+            }
+        );
+        assert_eq!(
+            ks[6],
+            TokenKind::FloatLit {
+                value: 1e-3,
+                single: false
+            }
+        );
+        assert_eq!(
+            ks[7],
+            TokenKind::IntLit {
+                value: 31,
+                unsigned: false,
+                long: false
+            }
+        );
+        assert_eq!(
+            ks[8],
+            TokenKind::IntLit {
+                value: 7,
+                unsigned: true,
+                long: false
+            }
+        );
+        assert_eq!(
+            ks[9],
+            TokenKind::IntLit {
+                value: 9,
+                unsigned: false,
+                long: true
+            }
+        );
     }
 
     #[test]

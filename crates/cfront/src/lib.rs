@@ -24,6 +24,7 @@
 
 pub mod ast;
 pub mod diag;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
@@ -37,6 +38,7 @@ pub use ast::{
     UnOp,
 };
 pub use diag::{Code, Diagnostic, Diagnostics, Severity};
+pub use intern::{Interner, Symbol};
 pub use parser::{parse, parse_expr_str, ParseResult};
 pub use printer::{print_expr, print_stmt, print_unit};
 pub use span::{LineCol, LineMap, Span};

@@ -306,7 +306,10 @@ impl Parser {
                 _ => break,
             }
             // `struct X`/typedef name terminate the specifier list.
-            if matches!(seen_core, Some(BaseType::Struct(_)) | Some(BaseType::Named(_))) {
+            if matches!(
+                seen_core,
+                Some(BaseType::Struct(_)) | Some(BaseType::Named(_))
+            ) {
                 break;
             }
         }
@@ -324,7 +327,10 @@ impl Parser {
                 self.diags.error(
                     Code::ParseExpected,
                     sp,
-                    format!("expected type specifier, found {}", self.peek_kind().describe()),
+                    format!(
+                        "expected type specifier, found {}",
+                        self.peek_kind().describe()
+                    ),
                 );
                 BaseType::Int
             }
@@ -1355,7 +1361,12 @@ mod tests {
             .collect();
         assert_eq!(
             tys,
-            vec![BaseType::UInt, BaseType::ULong, BaseType::Long, BaseType::Short]
+            vec![
+                BaseType::UInt,
+                BaseType::ULong,
+                BaseType::Long,
+                BaseType::Short
+            ]
         );
     }
 

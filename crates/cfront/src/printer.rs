@@ -597,7 +597,9 @@ mod tests {
 
     #[test]
     fn pragma_round_trip() {
-        let out = round_trip("void f() {\n#pragma scop\nfor (int i = 0; i < 4; i++) ;\n#pragma endscop\n}");
+        let out = round_trip(
+            "void f() {\n#pragma scop\nfor (int i = 0; i < 4; i++) ;\n#pragma endscop\n}",
+        );
         assert!(out.contains("#pragma scop"));
         assert!(out.contains("#pragma endscop"));
         assert_stable(&out);

@@ -40,7 +40,8 @@ impl Span {
     /// Slice `src` to the text this span covers. Returns `""` when the span
     /// is out of bounds (e.g. a dummy span on synthesized nodes).
     pub fn text(self, src: &str) -> &str {
-        src.get(self.start as usize..self.end as usize).unwrap_or("")
+        src.get(self.start as usize..self.end as usize)
+            .unwrap_or("")
     }
 }
 

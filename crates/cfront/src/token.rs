@@ -141,7 +141,7 @@ pub enum Punct {
     Semi,
     Comma,
     Dot,
-    Arrow,     // ->
+    Arrow, // ->
     Plus,
     Minus,
     Star,
@@ -156,15 +156,15 @@ pub enum Punct {
     Bang,
     AmpAmp,
     PipePipe,
-    Shl,       // <<
-    Shr,       // >>
+    Shl, // <<
+    Shr, // >>
     Lt,
     Gt,
     Le,
     Ge,
     EqEq,
     Ne,
-    Eq,        // =
+    Eq, // =
     PlusEq,
     MinusEq,
     StarEq,
@@ -177,7 +177,7 @@ pub enum Punct {
     ShrEq,
     Question,
     Colon,
-    Ellipsis,  // ...
+    Ellipsis, // ...
 }
 
 impl Punct {
@@ -313,16 +313,51 @@ mod tests {
     fn punct_strings_are_unique() {
         use std::collections::HashSet;
         let all = [
-            Punct::LParen, Punct::RParen, Punct::LBrace, Punct::RBrace,
-            Punct::LBracket, Punct::RBracket, Punct::Semi, Punct::Comma,
-            Punct::Dot, Punct::Arrow, Punct::Plus, Punct::Minus, Punct::Star,
-            Punct::Slash, Punct::Percent, Punct::PlusPlus, Punct::MinusMinus,
-            Punct::Amp, Punct::Pipe, Punct::Caret, Punct::Tilde, Punct::Bang,
-            Punct::AmpAmp, Punct::PipePipe, Punct::Shl, Punct::Shr, Punct::Lt,
-            Punct::Gt, Punct::Le, Punct::Ge, Punct::EqEq, Punct::Ne, Punct::Eq,
-            Punct::PlusEq, Punct::MinusEq, Punct::StarEq, Punct::SlashEq,
-            Punct::PercentEq, Punct::AmpEq, Punct::PipeEq, Punct::CaretEq,
-            Punct::ShlEq, Punct::ShrEq, Punct::Question, Punct::Colon,
+            Punct::LParen,
+            Punct::RParen,
+            Punct::LBrace,
+            Punct::RBrace,
+            Punct::LBracket,
+            Punct::RBracket,
+            Punct::Semi,
+            Punct::Comma,
+            Punct::Dot,
+            Punct::Arrow,
+            Punct::Plus,
+            Punct::Minus,
+            Punct::Star,
+            Punct::Slash,
+            Punct::Percent,
+            Punct::PlusPlus,
+            Punct::MinusMinus,
+            Punct::Amp,
+            Punct::Pipe,
+            Punct::Caret,
+            Punct::Tilde,
+            Punct::Bang,
+            Punct::AmpAmp,
+            Punct::PipePipe,
+            Punct::Shl,
+            Punct::Shr,
+            Punct::Lt,
+            Punct::Gt,
+            Punct::Le,
+            Punct::Ge,
+            Punct::EqEq,
+            Punct::Ne,
+            Punct::Eq,
+            Punct::PlusEq,
+            Punct::MinusEq,
+            Punct::StarEq,
+            Punct::SlashEq,
+            Punct::PercentEq,
+            Punct::AmpEq,
+            Punct::PipeEq,
+            Punct::CaretEq,
+            Punct::ShlEq,
+            Punct::ShrEq,
+            Punct::Question,
+            Punct::Colon,
             Punct::Ellipsis,
         ];
         let set: HashSet<&str> = all.iter().map(|p| p.as_str()).collect();

@@ -1,7 +1,78 @@
 //! Mutable AST visitors used by the transformation stages (call substitution,
-//! `pure` lowering, pragma insertion).
+//! `pure` lowering, pragma insertion), plus a read-only symbol-collection
+//! pass feeding the [`crate::intern::Interner`].
 
 use crate::ast::*;
+use crate::intern::Interner;
+
+/// Intern every name a later resolution pass will look up: function names,
+/// parameter/variable declarators, struct names and fields, and all
+/// identifiers / member names / called functions appearing in expressions.
+/// Pre-seeding the interner this way lets the `cinterp` resolver hand out
+/// dense `u32` symbols without rehashing strings on the execution path.
+pub fn collect_symbols(unit: &TranslationUnit, interner: &mut Interner) {
+    let intern_expr = |interner: &mut Interner, e: &Expr| {
+        e.walk(&mut |e| match &e.kind {
+            ExprKind::Ident(name) => {
+                interner.intern(name);
+            }
+            ExprKind::Member { member, .. } => {
+                interner.intern(member);
+            }
+            _ => {}
+        });
+    };
+    let intern_decl = |interner: &mut Interner, d: &Declaration| {
+        for dec in &d.declarators {
+            interner.intern(&dec.name);
+        }
+    };
+    for item in &unit.items {
+        match item {
+            Item::Function(f) => {
+                interner.intern(&f.name);
+                for p in &f.params {
+                    if let Some(name) = &p.name {
+                        interner.intern(name);
+                    }
+                }
+                if let Some(body) = &f.body {
+                    for stmt in &body.stmts {
+                        stmt.walk(&mut |s| {
+                            if let StmtKind::Decl(d) = &s.kind {
+                                intern_decl(interner, d);
+                            }
+                            if let StmtKind::For { init, .. } = &s.kind {
+                                if let ForInit::Decl(d) = init.as_ref() {
+                                    intern_decl(interner, d);
+                                }
+                            }
+                        });
+                        stmt.walk_exprs(&mut |e| intern_expr(interner, e));
+                    }
+                }
+            }
+            Item::Decl(d) => {
+                intern_decl(interner, d);
+                for dec in &d.declarators {
+                    if let Some(init) = &dec.init {
+                        intern_expr(interner, init);
+                    }
+                }
+            }
+            Item::Struct(s) => {
+                interner.intern(&s.name);
+                for field in &s.fields {
+                    interner.intern(&field.name);
+                }
+            }
+            Item::Typedef(t) => {
+                interner.intern(&t.name);
+            }
+            Item::Pragma(_) => {}
+        }
+    }
+}
 
 /// Walk every expression in a statement subtree with a mutable closure.
 /// Traversal is outside-in; the closure may rewrite nodes in place.

@@ -13,7 +13,11 @@ pub fn call_builtin(
     output: &mut String,
 ) -> Option<Result<Scalar, MemError>> {
     let f1 = |f: fn(f64) -> f64| -> Result<Scalar, MemError> {
-        Ok(Scalar::F(f(args.first().copied().unwrap_or(Scalar::F(0.0)).as_f64())))
+        Ok(Scalar::F(f(args
+            .first()
+            .copied()
+            .unwrap_or(Scalar::F(0.0))
+            .as_f64())))
     };
     let f2 = |f: fn(f64, f64) -> f64| -> Result<Scalar, MemError> {
         let a = args.first().copied().unwrap_or(Scalar::F(0.0)).as_f64();
@@ -57,14 +61,24 @@ pub fn call_builtin(
 
         // ---- allocation (slot model: sizeof(T) == 8 bytes ⇒ /8) -----------
         "malloc" => {
-            let bytes = args.first().copied().unwrap_or(Scalar::I(0)).as_i64().max(0);
-            let slots = ((bytes as usize) + 7) / 8;
+            let bytes = args
+                .first()
+                .copied()
+                .unwrap_or(Scalar::I(0))
+                .as_i64()
+                .max(0);
+            let slots = (bytes as usize).div_ceil(8);
             Ok(Scalar::P(mem.alloc(slots)))
         }
         "calloc" => {
-            let n = args.first().copied().unwrap_or(Scalar::I(0)).as_i64().max(0);
+            let n = args
+                .first()
+                .copied()
+                .unwrap_or(Scalar::I(0))
+                .as_i64()
+                .max(0);
             let sz = args.get(1).copied().unwrap_or(Scalar::I(0)).as_i64().max(0);
-            let slots = ((n * sz) as usize + 7) / 8;
+            let slots = ((n * sz) as usize).div_ceil(8);
             let p = mem.alloc(slots);
             for i in 0..slots {
                 if let Err(e) = mem.store(p.offset(i as i64), Scalar::I(0)) {
@@ -143,10 +157,7 @@ pub fn format_printf(fmt: &str, args: &[Scalar], mem: &Memory) -> String {
             out.push_str(&spec);
             break;
         };
-        let precision = spec
-            .split('.')
-            .nth(1)
-            .and_then(|p| p.parse::<usize>().ok());
+        let precision = spec.split('.').nth(1).and_then(|p| p.parse::<usize>().ok());
         match conv {
             '%' => out.push('%'),
             'd' | 'i' | 'u' => out.push_str(&take().as_i64().to_string()),
@@ -202,8 +213,14 @@ mod tests {
         assert_eq!(call("sqrt", &[Scalar::F(9.0)]), Scalar::F(3.0));
         assert_eq!(call("sqrtf", &[Scalar::F(4.0)]), Scalar::F(2.0));
         assert_eq!(call("fabs", &[Scalar::F(-2.5)]), Scalar::F(2.5));
-        assert_eq!(call("pow", &[Scalar::F(2.0), Scalar::F(10.0)]), Scalar::F(1024.0));
-        assert_eq!(call("fmax", &[Scalar::F(1.0), Scalar::F(3.0)]), Scalar::F(3.0));
+        assert_eq!(
+            call("pow", &[Scalar::F(2.0), Scalar::F(10.0)]),
+            Scalar::F(1024.0)
+        );
+        assert_eq!(
+            call("fmax", &[Scalar::F(1.0), Scalar::F(3.0)]),
+            Scalar::F(3.0)
+        );
         assert_eq!(call("abs", &[Scalar::I(-5)]), Scalar::I(5));
         // Integer arguments are promoted.
         assert_eq!(call("sqrt", &[Scalar::I(16)]), Scalar::F(4.0));
@@ -217,7 +234,9 @@ mod tests {
         let r = call_builtin("malloc", &[Scalar::I(24)], &mem, &mut out)
             .unwrap()
             .unwrap();
-        let Scalar::P(p) = r else { panic!("not a pointer") };
+        let Scalar::P(p) = r else {
+            panic!("not a pointer")
+        };
         assert_eq!(mem.alloc_len(p), Some(3));
     }
 
@@ -244,12 +263,30 @@ mod tests {
 
     #[test]
     fn pc_helpers_floor_and_ceil_division() {
-        assert_eq!(call("__pc_floord", &[Scalar::I(7), Scalar::I(2)]), Scalar::I(3));
-        assert_eq!(call("__pc_floord", &[Scalar::I(-7), Scalar::I(2)]), Scalar::I(-4));
-        assert_eq!(call("__pc_ceild", &[Scalar::I(7), Scalar::I(2)]), Scalar::I(4));
-        assert_eq!(call("__pc_ceild", &[Scalar::I(-7), Scalar::I(2)]), Scalar::I(-3));
-        assert_eq!(call("__pc_max", &[Scalar::I(3), Scalar::I(9)]), Scalar::I(9));
-        assert_eq!(call("__pc_min", &[Scalar::I(3), Scalar::I(9)]), Scalar::I(3));
+        assert_eq!(
+            call("__pc_floord", &[Scalar::I(7), Scalar::I(2)]),
+            Scalar::I(3)
+        );
+        assert_eq!(
+            call("__pc_floord", &[Scalar::I(-7), Scalar::I(2)]),
+            Scalar::I(-4)
+        );
+        assert_eq!(
+            call("__pc_ceild", &[Scalar::I(7), Scalar::I(2)]),
+            Scalar::I(4)
+        );
+        assert_eq!(
+            call("__pc_ceild", &[Scalar::I(-7), Scalar::I(2)]),
+            Scalar::I(-3)
+        );
+        assert_eq!(
+            call("__pc_max", &[Scalar::I(3), Scalar::I(9)]),
+            Scalar::I(9)
+        );
+        assert_eq!(
+            call("__pc_min", &[Scalar::I(3), Scalar::I(9)]),
+            Scalar::I(3)
+        );
     }
 
     #[test]

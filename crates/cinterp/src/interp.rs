@@ -2,6 +2,18 @@
 //! the [`crate::value::Memory`] model, honouring `#pragma omp parallel
 //! for` regions by running them on the [`machine::omprt`] runtime.
 //!
+//! Execution has two engines:
+//!
+//! * the **resolved-IR engine** ([`crate::resolve`]) — the default fast
+//!   path behind [`Program::run`], which pre-resolves names to frame
+//!   slots, interns symbols and memoizes verified-pure calls;
+//! * the **legacy tree-walker** in this module — the original
+//!   string-keyed interpreter, kept as the *differential oracle*
+//!   ([`Program::run_legacy`]): the proptests assert the resolved engine
+//!   produces bit-identical results. (One documented divergence: the
+//!   oracle's name map is flat per function call, so block-shadowing
+//!   programs get pre-ISO answers from it — see `crate::resolve` docs.)
+//!
 //! The interpreter is how this reproduction *validates* the compiler
 //! chain: every transformed program must compute bit-identical results to
 //! its original, sequentially and in parallel (the integration tests and
@@ -10,6 +22,7 @@
 //! the dynamic counterpart of the purity guarantee.
 
 use crate::builtins::{call_builtin, format_printf};
+use crate::resolve::{self, ResolvedProgram};
 use crate::value::{CounterSnapshot, Counters, Memory, Ptr, Scalar};
 use cfront::ast::*;
 use machine::{parallel_for, OmpSchedule};
@@ -27,6 +40,10 @@ pub struct InterpOptions {
     pub race_check: bool,
     /// Abort after this many executed statements (runaway guard).
     pub max_steps: u64,
+    /// Memoize calls to verified-pure, const-like functions (resolved
+    /// engine only; inert unless the program was built with a pure set —
+    /// see [`Program::with_pure_set`]).
+    pub memo: bool,
 }
 
 impl Default for InterpOptions {
@@ -35,6 +52,7 @@ impl Default for InterpOptions {
             threads: 1,
             race_check: false,
             max_steps: 500_000_000,
+            memo: true,
         }
     }
 }
@@ -61,6 +79,11 @@ impl RuntimeError {
             span,
         }
     }
+
+    /// Construction hook for the resolved engine (same as `new`).
+    pub(crate) fn at(message: impl Into<String>, span: cfront::span::Span) -> Self {
+        Self::new(message, span)
+    }
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -71,74 +94,114 @@ impl std::fmt::Display for RuntimeError {
 
 type RtResult<T> = Result<T, RuntimeError>;
 
-/// Immutable program data shared by all execution threads.
+/// Immutable program data shared by all execution threads (legacy path).
 struct ProgramData {
     functions: HashMap<String, Function>,
-    /// field name → (offset, is_array); struct sizes by name.
-    field_offsets: HashMap<String, (usize, bool)>,
+    /// `(struct name, field name)` → (offset, is_array). Keying by the
+    /// pair (instead of the field name alone) prevents two structs that
+    /// share a member name from silently aliasing offsets.
+    field_offsets: HashMap<(String, String), (usize, bool)>,
+    /// Field name → layout when it is identical across every struct that
+    /// declares it; `None` marks an ambiguous name that *must* be
+    /// resolved through `member_table`.
+    field_unique: HashMap<String, Option<(usize, bool)>>,
+    /// Per-site resolution: member-expression span → (offset, is_array),
+    /// computed by the resolver's static type inference and shared with
+    /// the legacy tree-walker so both engines agree on `(struct, field)`
+    /// keyed layout.
+    member_table: HashMap<(u32, u32), (usize, bool)>,
     struct_sizes: HashMap<String, usize>,
     global_decls: Vec<Declaration>,
 }
 
 /// A loaded program ready to run.
+///
+/// [`Program::run`] executes on the resolved-IR engine (slot-indexed
+/// frames, interned symbols, pure-call memoization);
+/// [`Program::run_legacy`] executes the original tree-walker, kept as the
+/// differential oracle.
 pub struct Program {
     data: Arc<ProgramData>,
+    resolved: Arc<ResolvedProgram>,
 }
 
 impl Program {
-    /// Prepare a translation unit for execution.
+    /// Prepare a translation unit for execution (no purity information:
+    /// pure-call memoization stays disabled).
     pub fn new(unit: &TranslationUnit) -> Self {
+        Self::with_pure_set(unit, &HashSet::new())
+    }
+
+    /// Prepare a translation unit, passing the names the purity pass
+    /// verified pure. Calls to the const-like subset of those functions
+    /// are memoized by the resolved engine (see [`crate::resolve`] for
+    /// the safety argument).
+    pub fn with_pure_set(unit: &TranslationUnit, pure_fns: &HashSet<String>) -> Self {
+        let resolved = Arc::new(resolve::lower_unit(unit, pure_fns));
         let mut functions = HashMap::new();
-        let mut field_offsets = HashMap::new();
-        let mut struct_sizes = HashMap::new();
         let mut global_decls = Vec::new();
         for item in &unit.items {
             match item {
                 Item::Function(f) => {
                     // Definitions override prototypes.
-                    let replace = f.is_definition()
-                        || !functions.contains_key(&f.name);
+                    let replace = f.is_definition() || !functions.contains_key(&f.name);
                     if replace {
                         functions.insert(f.name.clone(), f.clone());
                     }
-                }
-                Item::Struct(s) => {
-                    let mut offset = 0usize;
-                    for field in &s.fields {
-                        let len: usize = field
-                            .array_dims
-                            .iter()
-                            .map(|d| match d.kind {
-                                ExprKind::IntLit(v) => v.max(1) as usize,
-                                _ => 1,
-                            })
-                            .product();
-                        field_offsets
-                            .insert(field.name.clone(), (offset, !field.array_dims.is_empty()));
-                        offset += len.max(1);
-                    }
-                    struct_sizes.insert(s.name.clone(), offset.max(1));
                 }
                 Item::Decl(d) => global_decls.push(d.clone()),
                 _ => {}
             }
         }
+        // Struct layouts come from the resolver — one implementation of
+        // the (struct, field) offset algorithm serves both engines, so
+        // the differential oracle cannot drift from the fast path.
         Program {
             data: Arc::new(ProgramData {
                 functions,
-                field_offsets,
-                struct_sizes,
+                field_offsets: resolved.field_offsets.clone(),
+                field_unique: resolved.field_unique.clone(),
+                member_table: resolved.member_table.clone(),
+                struct_sizes: resolved.struct_sizes.clone(),
                 global_decls,
             }),
+            resolved,
         }
     }
 
-    /// Run `main()` (or a named entry) to completion.
+    /// The lowered form (introspection: memo-eligible functions etc.).
+    pub fn resolved(&self) -> &ResolvedProgram {
+        &self.resolved
+    }
+
+    /// Layout of `strct.field` — offsets are keyed by the `(struct,
+    /// field)` pair, so same-named members of different structs do not
+    /// alias.
+    pub fn field_offset(&self, strct: &str, field: &str) -> Option<(usize, bool)> {
+        self.data
+            .field_offsets
+            .get(&(strct.to_string(), field.to_string()))
+            .copied()
+    }
+
+    /// Run `main()` to completion on the resolved-IR engine.
     pub fn run(&self, opts: InterpOptions) -> RtResult<RunResult> {
         self.run_entry("main", opts)
     }
 
+    /// Run a named entry on the resolved-IR engine.
     pub fn run_entry(&self, entry: &str, opts: InterpOptions) -> RtResult<RunResult> {
+        resolve::run_resolved(&self.resolved, entry, opts)
+    }
+
+    /// Run `main()` on the legacy tree-walking interpreter (differential
+    /// oracle).
+    pub fn run_legacy(&self, opts: InterpOptions) -> RtResult<RunResult> {
+        self.run_entry_legacy("main", opts)
+    }
+
+    /// Run a named entry on the legacy tree-walking interpreter.
+    pub fn run_entry_legacy(&self, entry: &str, opts: InterpOptions) -> RtResult<RunResult> {
         let shared = SharedState {
             prog: Arc::clone(&self.data),
             mem: Memory::new(),
@@ -175,9 +238,11 @@ struct SharedState {
     opts: InterpOptions,
 }
 
-/// Where an lvalue lives.
+/// Where an lvalue lives. `Local` carries the index of the frame that
+/// holds the variable, so `place()` resolves the scope stack **once** and
+/// the subsequent load/store indexes directly instead of rescanning.
 enum Place {
-    Local(String),
+    Local(usize, String),
     Global(String),
     Mem(Ptr),
 }
@@ -220,7 +285,10 @@ impl Interp {
     fn step(&mut self, span: cfront::span::Span) -> RtResult<()> {
         self.steps += 1;
         if self.steps > self.s.opts.max_steps {
-            return Err(RuntimeError::new("step limit exceeded (infinite loop?)", span));
+            return Err(RuntimeError::new(
+                "step limit exceeded (infinite loop?)",
+                span,
+            ));
         }
         Ok(())
     }
@@ -239,9 +307,7 @@ impl Interp {
                 Scalar::P(self.alloc_array(&dims))
             } else if matches!(dec.ty.base, BaseType::Struct(_)) && !dec.ty.is_pointer() {
                 let size = match &dec.ty.base {
-                    BaseType::Struct(name) => {
-                        *self.s.prog.struct_sizes.get(name).unwrap_or(&8)
-                    }
+                    BaseType::Struct(name) => *self.s.prog.struct_sizes.get(name).unwrap_or(&8),
                     _ => unreachable!(),
                 };
                 Scalar::P(self.s.mem.alloc(size))
@@ -350,35 +416,25 @@ impl Interp {
         self.s.globals.read().get(name).copied()
     }
 
-    fn assign_var(&mut self, name: &str, v: Scalar, span: cfront::span::Span) -> RtResult<()> {
-        for frame in self.frames.iter_mut().rev() {
-            if let Some(slot) = frame.get_mut(name) {
-                *slot = v;
-                return Ok(());
-            }
-        }
-        let mut g = self.s.globals.write();
-        if let Some(slot) = g.get_mut(name) {
-            *slot = v;
-            return Ok(());
-        }
-        Err(RuntimeError::new(format!("assignment to undeclared '{name}'"), span))
-    }
-
     // -- lvalues ----------------------------------------------------------------
 
     fn place(&mut self, e: &Expr) -> RtResult<Place> {
         match &e.kind {
             ExprKind::Ident(name) => {
-                for frame in self.frames.iter().rev() {
+                // Single scan: record the owning frame's index so the
+                // later load/store needs no second walk.
+                for (idx, frame) in self.frames.iter().enumerate().rev() {
                     if frame.contains_key(name) {
-                        return Ok(Place::Local(name.clone()));
+                        return Ok(Place::Local(idx, name.clone()));
                     }
                 }
                 if self.s.globals.read().contains_key(name) {
                     return Ok(Place::Global(name.clone()));
                 }
-                Err(RuntimeError::new(format!("unknown variable '{name}'"), e.span))
+                Err(RuntimeError::new(
+                    format!("unknown variable '{name}'"),
+                    e.span,
+                ))
             }
             ExprKind::Index(base, idx) => {
                 let b = self.eval(base)?;
@@ -403,15 +459,32 @@ impl Interp {
                 let Scalar::P(p) = b else {
                     return Err(RuntimeError::new("member access on non-struct", e.span));
                 };
-                let (offset, is_array) = self
-                    .s
-                    .prog
-                    .field_offsets
-                    .get(member)
-                    .copied()
-                    .ok_or_else(|| {
-                        RuntimeError::new(format!("unknown field '{member}'"), e.span)
-                    })?;
+                // Offsets are keyed by (struct, field): the resolver's
+                // type inference pins this access site to its struct via
+                // the span table; names that are unambiguous across all
+                // structs may fall back to the shared layout.
+                let key = (e.span.start, e.span.end);
+                let (offset, is_array) = match self.s.prog.member_table.get(&key) {
+                    Some(&v) => v,
+                    None => match self.s.prog.field_unique.get(member) {
+                        Some(Some(v)) => *v,
+                        Some(None) => {
+                            return Err(RuntimeError::new(
+                                format!(
+                                    "ambiguous field '{member}' (declared at different \
+                                     offsets by multiple structs)"
+                                ),
+                                e.span,
+                            ))
+                        }
+                        None => {
+                            return Err(RuntimeError::new(
+                                format!("unknown field '{member}'"),
+                                e.span,
+                            ))
+                        }
+                    },
+                };
                 let _ = is_array;
                 Ok(Place::Mem(p.offset(offset as i64)))
             }
@@ -422,8 +495,16 @@ impl Interp {
 
     fn load_place(&mut self, place: &Place, span: cfront::span::Span) -> RtResult<Scalar> {
         match place {
-            Place::Local(name) | Place::Global(name) => self
-                .lookup(name)
+            Place::Local(frame, name) => self.frames[*frame]
+                .get(name)
+                .copied()
+                .ok_or_else(|| RuntimeError::new(format!("unknown variable '{name}'"), span)),
+            Place::Global(name) => self
+                .s
+                .globals
+                .read()
+                .get(name)
+                .copied()
                 .ok_or_else(|| RuntimeError::new(format!("unknown variable '{name}'"), span)),
             Place::Mem(p) => self.mem_load(*p, span),
         }
@@ -431,7 +512,26 @@ impl Interp {
 
     fn store_place(&mut self, place: &Place, v: Scalar, span: cfront::span::Span) -> RtResult<()> {
         match place {
-            Place::Local(name) | Place::Global(name) => self.assign_var(name, v, span),
+            Place::Local(frame, name) => match self.frames[*frame].get_mut(name) {
+                Some(slot) => {
+                    *slot = v;
+                    Ok(())
+                }
+                None => Err(RuntimeError::new(
+                    format!("assignment to undeclared '{name}'"),
+                    span,
+                )),
+            },
+            Place::Global(name) => match self.s.globals.write().get_mut(name) {
+                Some(slot) => {
+                    *slot = v;
+                    Ok(())
+                }
+                None => Err(RuntimeError::new(
+                    format!("assignment to undeclared '{name}'"),
+                    span,
+                )),
+            },
             Place::Mem(p) => self.mem_store(*p, v, span),
         }
     }
@@ -779,10 +879,9 @@ impl Interp {
                 match flow? {
                     Flow::Return(v) => Ok(v),
                     Flow::Normal => Ok(Scalar::I(0)),
-                    Flow::Break | Flow::Continue => Err(RuntimeError::new(
-                        "break/continue outside loop",
-                        f.span,
-                    )),
+                    Flow::Break | Flow::Continue => {
+                        Err(RuntimeError::new("break/continue outside loop", f.span))
+                    }
                 }
             }
             _ => {
@@ -913,14 +1012,10 @@ impl Interp {
                 if let Some(schedule) = parse_omp_parallel_for(p) {
                     // Skip interleaved simd pragmas between omp and for.
                     let mut j = i + 1;
-                    while j < b.stmts.len()
-                        && matches!(&b.stmts[j].kind, StmtKind::Pragma(_))
-                    {
+                    while j < b.stmts.len() && matches!(&b.stmts[j].kind, StmtKind::Pragma(_)) {
                         j += 1;
                     }
-                    if j < b.stmts.len()
-                        && matches!(b.stmts[j].kind, StmtKind::For { .. })
-                    {
+                    if j < b.stmts.len() && matches!(b.stmts[j].kind, StmtKind::For { .. }) {
                         self.exec_parallel_for(&b.stmts[j], schedule)?;
                         i = j + 1;
                         continue;
@@ -959,9 +1054,9 @@ impl Interp {
             }
             ForInit::Expr(Some(e)) => match &e.kind {
                 ExprKind::Assign(AssignOp::Assign, lhs, rhs) => {
-                    let name = lhs.as_ident().ok_or_else(|| {
-                        RuntimeError::new("bad parallel loop init", e.span)
-                    })?;
+                    let name = lhs
+                        .as_ident()
+                        .ok_or_else(|| RuntimeError::new("bad parallel loop init", e.span))?;
                     (name.to_string(), self.eval(rhs)?.as_i64())
                 }
                 _ => return Err(RuntimeError::new("bad parallel loop init", e.span)),
@@ -984,13 +1079,16 @@ impl Interp {
                 ))
             }
         };
-        let unit_step = matches!(
-            step.as_ref().map(|s| &s.kind),
-            Some(ExprKind::Unary(UnOp::PreInc | UnOp::PostInc, _))
-        ) || matches!(
-            step.as_ref().map(|s| &s.kind),
-            Some(ExprKind::Assign(AssignOp::Add, _, _))
-        );
+        let unit_step = match step.as_ref().map(|s| &s.kind) {
+            Some(ExprKind::Unary(UnOp::PreInc | UnOp::PostInc, target)) => {
+                target.as_ident() == Some(iter_name.as_str())
+            }
+            Some(ExprKind::Assign(AssignOp::Add, lhs, rhs)) => {
+                lhs.as_ident() == Some(iter_name.as_str())
+                    && matches!(rhs.kind, ExprKind::IntLit(1))
+            }
+            _ => false,
+        };
         if !unit_step {
             return Err(RuntimeError::new(
                 "parallel loop must have unit increment",
@@ -1044,7 +1142,9 @@ impl Interp {
         for k in 0..n {
             let mut child = Interp::new(self.s.clone());
             child.frames = vec![base_frame.clone()];
-            child.frame().insert(iter.to_string(), Scalar::I(lb + k as i64));
+            child
+                .frame()
+                .insert(iter.to_string(), Scalar::I(lb + k as i64));
             child.track = Some(TrackSets::default());
             child.exec(body)?;
             let t = child.track.take().expect("tracking on");
@@ -1079,7 +1179,7 @@ impl Interp {
 
 /// Parse `pragma omp parallel for [private(...)] [schedule(kind[,chunk])]`.
 /// Returns the schedule when this is a parallel-for pragma.
-fn parse_omp_parallel_for(text: &str) -> Option<OmpSchedule> {
+pub(crate) fn parse_omp_parallel_for(text: &str) -> Option<OmpSchedule> {
     let t = text.trim();
     if !t.starts_with("pragma omp parallel for") && !t.starts_with("pragma omp for") {
         return None;
@@ -1290,8 +1390,20 @@ int main() {
     return total > 65535 ? 65535 : total % 256;
 }
 ";
-        let seq = run_src_with(src, InterpOptions { threads: 1, ..Default::default() });
-        let par = run_src_with(src, InterpOptions { threads: 8, ..Default::default() });
+        let seq = run_src_with(
+            src,
+            InterpOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let par = run_src_with(
+            src,
+            InterpOptions {
+                threads: 8,
+                ..Default::default()
+            },
+        );
         assert_eq!(seq.exit_code, par.exit_code);
     }
 
@@ -1308,7 +1420,13 @@ int main() {
     return acc == 4950 ? 1 : 0;
 }
 ";
-        let r = run_src_with(src, InterpOptions { threads: 16, ..Default::default() });
+        let r = run_src_with(
+            src,
+            InterpOptions {
+                threads: 16,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.exit_code, 1);
     }
 
@@ -1417,7 +1535,9 @@ mod control_flow_tests {
     fn run_src(src: &str) -> RunResult {
         let r = parse(src);
         assert!(!r.diags.has_errors(), "{}", r.diags.render_all(src));
-        Program::new(&r.unit).run(InterpOptions::default()).expect("runs")
+        Program::new(&r.unit)
+            .run(InterpOptions::default())
+            .expect("runs")
     }
 
     #[test]
@@ -1552,5 +1672,61 @@ mod control_flow_tests {
         let r = run_src("int main() { return (-7 % 3) + 10; }");
         // C: -7 % 3 == -1 (truncated division).
         assert_eq!(r.exit_code, 9);
+    }
+
+    /// Regression: two structs sharing a member name must not alias
+    /// offsets. `s1.w` sits at offset 1, `s2.w` at offset 3 — the old
+    /// name-keyed `field_offsets` map collapsed them to one entry.
+    #[test]
+    fn same_field_name_in_two_structs_does_not_alias() {
+        let src = "\
+struct s1 { int v; int w; };
+struct s2 { int pad[3]; int w; };
+int main() {
+    struct s1 p;
+    struct s2 q;
+    p.v = 5;
+    p.w = 7;
+    q.w = 11;
+    return p.v * 100 + p.w * 10 + q.w;
+}
+";
+        let parsed = parse(src);
+        assert!(!parsed.diags.has_errors());
+        let prog = Program::new(&parsed.unit);
+        // Layouts are keyed by (struct, field).
+        assert_eq!(prog.field_offset("s1", "w"), Some((1, false)));
+        assert_eq!(prog.field_offset("s2", "w"), Some((3, false)));
+        assert_eq!(prog.field_offset("s2", "pad"), Some((0, true)));
+        // Both engines compute through the non-aliased offsets.
+        let resolved = prog.run(InterpOptions::default()).expect("resolved runs");
+        let legacy = prog
+            .run_legacy(InterpOptions::default())
+            .expect("legacy runs");
+        assert_eq!(resolved.exit_code, 5 * 100 + 7 * 10 + 11);
+        assert_eq!(legacy.exit_code, resolved.exit_code);
+    }
+
+    /// The pointer-to-struct path (`->`) resolves through the same
+    /// `(struct, field)` keying.
+    #[test]
+    fn arrow_access_disambiguates_struct_types() {
+        let src = "\
+struct a { int x; int y; };
+struct b { int fill[5]; int y; };
+int main() {
+    struct a* pa = (struct a*) malloc(2 * sizeof(int));
+    struct b* pb = (struct b*) malloc(6 * sizeof(int));
+    pa->y = 21;
+    pb->y = 2;
+    return pa->y * pb->y;
+}
+";
+        let parsed = parse(src);
+        let prog = Program::new(&parsed.unit);
+        let resolved = prog.run(InterpOptions::default()).expect("resolved");
+        let legacy = prog.run_legacy(InterpOptions::default()).expect("legacy");
+        assert_eq!(resolved.exit_code, 42);
+        assert_eq!(legacy.exit_code, 42);
     }
 }

@@ -10,7 +10,9 @@
 
 pub mod builtins;
 pub mod interp;
+pub mod resolve;
 pub mod value;
 
 pub use interp::{InterpOptions, Program, RunResult, RuntimeError};
+pub use resolve::ResolvedProgram;
 pub use value::{CounterSnapshot, Counters, MemError, Memory, Ptr, Scalar};

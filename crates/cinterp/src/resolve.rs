@@ -1,0 +1,2520 @@
+//! Resolved-IR interpreter: the hot execution path of the reproduction.
+//!
+//! # Why this pass exists
+//!
+//! The original tree-walking interpreter ([`crate::interp`], kept as the
+//! differential oracle) performs a string-keyed `HashMap` scan over the
+//! scope stack for **every** variable read and write, a string lookup for
+//! every call, and a global field-name map probe for every member access.
+//! Since the paper's entire evaluation (matmul, heat, satellite, LAMA)
+//! runs through the interpreter, that dispatch overhead — not the
+//! runtime or the schedule — dominated every measured number.
+//!
+//! This module lowers each function **once** into a resolved execution
+//! form before interpretation:
+//!
+//! * **Slot-indexed frames** — identifiers become `Local(slot)` /
+//!   `Global(index)` indices into a flat `Vec<Scalar>` frame. No hashing,
+//!   no scope-stack scan, and spawning a parallel iteration's private
+//!   frame is a `memcpy` instead of a `HashMap` clone.
+//! * **Interned symbols** — function names and struct fields are interned
+//!   to `u32` symbols ([`cfront::intern`]); calls resolve at lower time to
+//!   a function id (or a builtin symbol), and member accesses resolve to a
+//!   constant slot offset keyed by `(struct, field)` — fixing the latent
+//!   aliasing between same-named fields of different structs.
+//! * **Pre-resolved literals** — string literals and `printf` format
+//!   strings are captured at lower time; `sizeof` folds to a constant.
+//! * **Lower-time OpenMP recognition** — `#pragma omp parallel for`
+//!   regions are matched against the following loop once, so the parallel
+//!   driver starts from pre-parsed bounds instead of re-inspecting the
+//!   AST.
+//!
+//! # Pure-call memoization
+//!
+//! On top of the resolved IR sits a bounded memo cache for calls to
+//! functions the `purec_core::purity` pass **verified** pure. This is the
+//! paper's contract made into a runtime win: per the `pure`/`c_ffi_pure`
+//! optimization rule, *consecutive calls to a pure function with equal
+//! arguments may be eliminated* — verified purity means the result
+//! depends only on the arguments, so the second evaluation can be a table
+//! lookup.
+//!
+//! ## Safety argument (why purity ⇒ cacheable)
+//!
+//! Verified purity alone is *not* sufficient for whole-program
+//! memoization: the verifier (matching GCC `pure` semantics) permits
+//! reading global memory and reading through `pure` pointer parameters,
+//! and both can change between non-consecutive calls. The resolver
+//! therefore narrows the cacheable set to functions that are
+//! **const-like** — a fixpoint over the call graph requiring each
+//! function to
+//!
+//! 1. be verified pure by the purity pass (no side effects, proven);
+//! 2. take only by-value scalar parameters and return a scalar (so the
+//!    key `(fn, coerced args)` fully determines the input state and the
+//!    cached value aliases nothing);
+//! 3. reference no globals and perform no memory operation at all (no
+//!    arrays, structs, string literals, derefs, `&`, or allocation), so
+//!    the result cannot observe mutable state and a cache hit cannot skip
+//!    an observable effect;
+//! 4. call only other cacheable functions or allocation-free math
+//!    builtins.
+//!
+//! Under 1–4 a call's value is a pure function of its key, and skipping
+//! the body changes nothing observable except the executed-operation
+//! counters — exactly the `modulo cache hits` caveat the differential
+//! tests allow. Hits and misses are surfaced in
+//! [`crate::value::CounterSnapshot`] as `memo_hits` / `memo_misses`.
+//!
+//! The cache is bounded ([`MEMO_CAPACITY`] entries); once full it stops
+//! inserting (no eviction), which keeps hot entries — the recursion base
+//! cases that dominate e.g. `fib` — resident.
+//!
+//! # Scoping: one deliberate divergence from the oracle
+//!
+//! The resolver implements **C block scoping**: each `{}` block (and
+//! each `for` header) opens a scope, shadowing allocates a fresh slot,
+//! and a name is invisible outside its declaring scope. The legacy
+//! tree-walker instead keeps one flat name map per function call (and
+//! scans caller frames), so for programs that *shadow* a name in a
+//! nested block, or read a variable after its scope ends, the oracle
+//! returns the pre-C89 "last writer wins" answer while this engine
+//! returns the ISO-C one (or an "unknown variable" error for
+//! use-after-scope). The differential guarantee — bit-identical
+//! `RunResult`s — therefore holds for programs without block-level
+//! shadowing or out-of-scope reads, which includes everything the
+//! chain's codegen emits and the paper's evaluation programs. See
+//! `scoping_divergence_from_oracle_is_iso_c` in the tests for the
+//! exact behaviours.
+
+use crate::builtins::{call_builtin, format_printf};
+use crate::interp::{parse_omp_parallel_for, InterpOptions, RunResult, RuntimeError};
+use crate::value::{Counters, Memory, Ptr, Scalar};
+use cfront::ast::*;
+use cfront::intern::{Interner, Symbol};
+use cfront::span::Span;
+use machine::parallel_for;
+use machine::OmpSchedule;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+type RtResult<T> = Result<T, RuntimeError>;
+
+/// Bound on memo-cache entries; beyond this, new results are not stored.
+pub const MEMO_CAPACITY: usize = 1 << 16;
+
+// ---------------------------------------------------------------------------
+// Resolved IR
+// ---------------------------------------------------------------------------
+
+/// Value-coercion performed on declaration init, cast and parameter
+/// binding — the resolved form of [`Type`]-directed `coerce`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Coerce {
+    /// Pointer or otherwise untouched target.
+    None,
+    /// `float` / `double` target: integer values become floats.
+    ToFloat,
+    /// Integer target: float values truncate.
+    ToInt,
+}
+
+impl Coerce {
+    fn of(ty: &Type) -> Coerce {
+        if ty.is_pointer() {
+            return Coerce::None;
+        }
+        match &ty.base {
+            BaseType::Float | BaseType::Double => Coerce::ToFloat,
+            b if b.is_integer() => Coerce::ToInt,
+            _ => Coerce::None,
+        }
+    }
+
+    #[inline]
+    fn apply(self, v: Scalar) -> Scalar {
+        match (self, v) {
+            (Coerce::ToFloat, Scalar::I(i)) => Scalar::F(i as f64),
+            (Coerce::ToInt, Scalar::F(f)) => Scalar::I(f as i64),
+            _ => v,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct RExpr {
+    kind: RExprKind,
+    span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum RExprKind {
+    Int(i64),
+    Float(f64),
+    /// Pre-captured string literal (one char per slot + NUL at runtime).
+    Str(Arc<str>),
+    Local(u32),
+    Global(u32),
+    /// Identifier that resolved to nothing — errors when evaluated,
+    /// matching the tree-walker's runtime "unknown variable".
+    Unknown(Symbol),
+    Unary(UnOp, Box<RExpr>),
+    Binary(BinOp, Box<RExpr>, Box<RExpr>),
+    Assign {
+        op: Option<BinOp>,
+        place: RPlace,
+        value: Box<RExpr>,
+    },
+    /// `++` / `--` in their four forms.
+    IncDec(UnOp, RPlace),
+    AddrOf(RPlace),
+    Ternary(Box<RExpr>, Box<RExpr>, Box<RExpr>),
+    /// Call to a user-defined function, resolved to its id.
+    CallUser {
+        fid: u32,
+        args: Vec<RExpr>,
+    },
+    /// Call that did not resolve to a definition: builtin or undefined,
+    /// decided at runtime by name.
+    CallBuiltin {
+        name: Symbol,
+        args: Vec<RExpr>,
+    },
+    /// `printf` with an optionally pre-captured format string.
+    Printf {
+        fmt: Option<Arc<str>>,
+        fmt_expr: Option<Box<RExpr>>,
+        args: Vec<RExpr>,
+    },
+    /// Call through a non-identifier callee — unsupported, runtime error.
+    IndirectCall,
+    /// Rvalue use of an lvalue expression (index / member access).
+    Load(RPlace),
+    Cast(Coerce, Box<RExpr>),
+    /// `{a, b, c}` initializer tree (lowered from the `__initlist` marker).
+    InitList(Vec<RExpr>),
+    Comma(Box<RExpr>, Box<RExpr>),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct RPlace {
+    kind: RPlaceKind,
+    span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum RPlaceKind {
+    Local(u32),
+    Global(u32),
+    Unknown(Symbol),
+    Index(Box<RExpr>, Box<RExpr>),
+    Deref(Box<RExpr>),
+    /// Member access with the `(struct, field)`-resolved constant offset.
+    Member {
+        base: Box<RExpr>,
+        offset: i64,
+    },
+    /// Member whose struct could not be determined and whose name is
+    /// ambiguous or unknown — errors when evaluated.
+    MemberUnknown {
+        base: Box<RExpr>,
+        name: Symbol,
+    },
+    NotLvalue,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SlotRef {
+    Local(u32),
+    Global(u32),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct RDecl {
+    target: SlotRef,
+    kind: RDeclKind,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum RDeclKind {
+    Array {
+        dims: Vec<RExpr>,
+        init: Option<RExpr>,
+    },
+    Struct {
+        size: usize,
+    },
+    Scalar {
+        init: Option<RExpr>,
+        coerce: Coerce,
+    },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct RStmt {
+    kind: RStmtKind,
+    span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum RStmtKind {
+    Decl(Vec<RDecl>),
+    Expr(Option<RExpr>),
+    Block(Vec<RStmt>),
+    If {
+        cond: RExpr,
+        then_branch: Box<RStmt>,
+        else_branch: Option<Box<RStmt>>,
+    },
+    While {
+        cond: RExpr,
+        body: Box<RStmt>,
+    },
+    DoWhile {
+        body: Box<RStmt>,
+        cond: RExpr,
+    },
+    For {
+        init: Option<Box<RStmt>>,
+        cond: Option<RExpr>,
+        step: Option<RExpr>,
+        body: Box<RStmt>,
+    },
+    Return(Option<RExpr>),
+    Break,
+    Continue,
+    /// `#pragma omp parallel for` + loop, pre-matched at lower time.
+    OmpFor(Box<ROmpFor>),
+    /// Pragma/empty statement — executes as a step-counted no-op.
+    Nop,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ROmpFor {
+    schedule: OmpSchedule,
+    /// `Err` carries the tree-walker's exact diagnostic for unsupported
+    /// loop headers, raised when the region executes.
+    header: Result<ROmpHeader, String>,
+    span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ROmpHeader {
+    iter_slot: u32,
+    lb: RExpr,
+    ub: RExpr,
+    ub_inclusive: bool,
+    body: RStmt,
+}
+
+/// One resolved function definition.
+#[derive(Debug)]
+pub(crate) struct RFunc {
+    pub(crate) name: Symbol,
+    params: Vec<(u32, Coerce)>,
+    frame_size: usize,
+    body: Vec<RStmt>,
+    span: Span,
+    /// Participates in pure-call memoization (see module docs).
+    pub(crate) cacheable: bool,
+}
+
+/// A translation unit lowered for execution.
+pub struct ResolvedProgram {
+    funcs: Vec<RFunc>,
+    by_name: HashMap<String, u32>,
+    global_decls: Vec<RDecl>,
+    nglobals: usize,
+    interner: Interner,
+    /// `(span.start, span.end)` of every member expression → resolved
+    /// `(offset, is_array)`; shared with the legacy tree-walker so the
+    /// oracle also keys field offsets by `(struct, field)`.
+    pub(crate) member_table: HashMap<(u32, u32), (usize, bool)>,
+    /// `(struct, field)` → layout; the single source of the offset
+    /// algorithm, also consumed by the legacy oracle's `ProgramData`.
+    pub(crate) field_offsets: HashMap<(String, String), (usize, bool)>,
+    /// Field name → layout when identical across every declaring struct;
+    /// `None` marks an ambiguous name.
+    pub(crate) field_unique: HashMap<String, Option<(usize, bool)>>,
+    /// Struct name → size in slots.
+    pub(crate) struct_sizes: HashMap<String, usize>,
+    /// Whether any function is memo-eligible (skips cache setup if not).
+    any_cacheable: bool,
+}
+
+impl ResolvedProgram {
+    /// Names of functions that participate in pure-call memoization.
+    pub fn cacheable_functions(&self) -> Vec<&str> {
+        self.funcs
+            .iter()
+            .filter(|f| f.cacheable)
+            .map(|f| self.interner.resolve(f.name))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct VarInfo {
+    slot: u32,
+    ty: Type,
+    array_dims: usize,
+}
+
+#[derive(Clone)]
+struct FieldInfo {
+    offset: usize,
+    is_array: bool,
+    ty: Type,
+    array_dims: usize,
+}
+
+struct StructLayout {
+    size: usize,
+    fields: HashMap<String, FieldInfo>,
+}
+
+pub(crate) struct Lowerer<'a> {
+    interner: Interner,
+    unit: &'a TranslationUnit,
+    /// Function name → id for *definitions* (they shadow prototypes).
+    fn_ids: HashMap<String, u32>,
+    /// Return types for definitions and prototypes (type inference).
+    fn_ret: HashMap<String, Type>,
+    structs: HashMap<String, StructLayout>,
+    /// Field name → layout when unambiguous across all structs.
+    field_fallback: HashMap<String, Option<FieldInfo>>,
+    globals: HashMap<String, VarInfo>,
+    nglobals: u32,
+    // Per-function state:
+    scopes: Vec<HashMap<String, VarInfo>>,
+    next_slot: u32,
+    member_table: HashMap<(u32, u32), (usize, bool)>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(unit: &'a TranslationUnit) -> Self {
+        let mut interner = Interner::new();
+        cfront::visit::collect_symbols(unit, &mut interner);
+        let mut structs = HashMap::new();
+        let mut field_fallback: HashMap<String, Option<FieldInfo>> = HashMap::new();
+        for item in &unit.items {
+            if let Item::Struct(s) = item {
+                let mut offset = 0usize;
+                let mut fields = HashMap::new();
+                for field in &s.fields {
+                    let len: usize = field
+                        .array_dims
+                        .iter()
+                        .map(|d| match d.kind {
+                            ExprKind::IntLit(v) => v.max(1) as usize,
+                            _ => 1,
+                        })
+                        .product();
+                    let info = FieldInfo {
+                        offset,
+                        is_array: !field.array_dims.is_empty(),
+                        ty: field.ty.clone(),
+                        array_dims: field.array_dims.len(),
+                    };
+                    match field_fallback.entry(field.name.clone()) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(Some(info.clone()));
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let same = matches!(
+                                e.get(),
+                                Some(prev) if prev.offset == info.offset
+                                    && prev.is_array == info.is_array
+                            );
+                            if !same {
+                                e.insert(None); // ambiguous across structs
+                            }
+                        }
+                    }
+                    fields.insert(field.name.clone(), info);
+                    offset += len.max(1);
+                }
+                structs.insert(
+                    s.name.clone(),
+                    StructLayout {
+                        size: offset.max(1),
+                        fields,
+                    },
+                );
+            }
+        }
+        let mut fn_ids = HashMap::new();
+        let mut fn_ret = HashMap::new();
+        let mut next_fid = 0u32;
+        for f in unit.functions() {
+            fn_ret
+                .entry(f.name.clone())
+                .or_insert_with(|| f.ret.clone());
+            if f.is_definition() && !fn_ids.contains_key(&f.name) {
+                fn_ids.insert(f.name.clone(), next_fid);
+                next_fid += 1;
+            }
+        }
+        Lowerer {
+            interner,
+            unit,
+            fn_ids,
+            fn_ret,
+            structs,
+            field_fallback,
+            globals: HashMap::new(),
+            nglobals: 0,
+            scopes: Vec::new(),
+            next_slot: 0,
+            member_table: HashMap::new(),
+        }
+    }
+
+    fn lower_unit(mut self, pure_fns: &HashSet<String>) -> ResolvedProgram {
+        // Globals first, in declaration order, so an initializer can only
+        // see globals declared before it (matching runtime declaration
+        // order of the tree-walker).
+        let mut global_decls = Vec::new();
+        for item in &self.unit.items {
+            if let Item::Decl(d) = item {
+                global_decls.extend(self.lower_declaration(d, true));
+            }
+        }
+
+        // Function bodies see all globals and all function ids.
+        let mut funcs: Vec<Option<RFunc>> = (0..self.fn_ids.len()).map(|_| None).collect();
+        for f in self.unit.functions() {
+            if !f.is_definition() {
+                continue;
+            }
+            let Some(&fid) = self.fn_ids.get(&f.name) else {
+                continue;
+            };
+            // Definitions override prototypes; the *first* definition wins
+            // an id, later redefinitions overwrite its body (mirroring the
+            // tree-walker's map insert order).
+            funcs[fid as usize] = Some(self.lower_function(f));
+        }
+        let funcs: Vec<RFunc> = funcs
+            .into_iter()
+            .map(|f| f.expect("all ids lowered"))
+            .collect();
+
+        let mut field_offsets = HashMap::new();
+        let mut struct_sizes = HashMap::new();
+        for (sname, layout) in &self.structs {
+            struct_sizes.insert(sname.clone(), layout.size);
+            for (fname, info) in &layout.fields {
+                field_offsets.insert((sname.clone(), fname.clone()), (info.offset, info.is_array));
+            }
+        }
+        let field_unique = self
+            .field_fallback
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_ref().map(|f| (f.offset, f.is_array))))
+            .collect();
+        let mut prog = ResolvedProgram {
+            by_name: self.fn_ids.clone(),
+            funcs,
+            global_decls,
+            nglobals: self.nglobals as usize,
+            interner: self.interner,
+            member_table: self.member_table,
+            field_offsets,
+            field_unique,
+            struct_sizes,
+            any_cacheable: false,
+        };
+        mark_cacheable(&mut prog, pure_fns);
+        prog.any_cacheable = prog.funcs.iter().any(|f| f.cacheable);
+        prog
+    }
+
+    fn lower_function(&mut self, f: &Function) -> RFunc {
+        self.scopes.clear();
+        self.scopes.push(HashMap::new());
+        self.next_slot = 0;
+        let mut params = Vec::with_capacity(f.params.len());
+        for p in &f.params {
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            params.push((slot, Coerce::of(&p.ty)));
+            if let Some(name) = &p.name {
+                self.scopes.last_mut().expect("scope").insert(
+                    name.clone(),
+                    VarInfo {
+                        slot,
+                        ty: p.ty.clone(),
+                        array_dims: 0,
+                    },
+                );
+            }
+        }
+        let body = f.body.as_ref().expect("definition");
+        let stmts = self.lower_block_stmts(body);
+        let frame_size = self.next_slot as usize;
+        self.scopes.clear();
+        RFunc {
+            name: self.interner.intern(&f.name),
+            params,
+            frame_size,
+            body: stmts,
+            span: f.span,
+            cacheable: false,
+        }
+    }
+
+    // -- scopes ---------------------------------------------------------------
+
+    fn lookup_var(&self, name: &str) -> Option<&VarInfo> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn declare_local(&mut self, name: &str, ty: Type, array_dims: usize) -> u32 {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.scopes.last_mut().expect("scope").insert(
+            name.to_string(),
+            VarInfo {
+                slot,
+                ty,
+                array_dims,
+            },
+        );
+        slot
+    }
+
+    // -- type inference (member-offset resolution) ---------------------------
+
+    /// Best-effort static type of an expression; `None` when unknown.
+    fn infer_type(&self, e: &Expr) -> Option<(Type, usize)> {
+        match &e.kind {
+            ExprKind::Ident(name) => self
+                .lookup_var(name)
+                .or_else(|| self.globals.get(name))
+                .map(|v| (v.ty.clone(), v.array_dims)),
+            ExprKind::Index(base, _) => {
+                let (ty, dims) = self.infer_type(base)?;
+                if dims > 0 {
+                    Some((ty, dims - 1))
+                } else {
+                    ty.deref().map(|t| (t, 0))
+                }
+            }
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                let (ty, dims) = self.infer_type(inner)?;
+                if dims > 0 {
+                    Some((ty, dims - 1))
+                } else {
+                    ty.deref().map(|t| (t, 0))
+                }
+            }
+            ExprKind::Unary(UnOp::AddrOf, inner) => {
+                let (mut ty, dims) = self.infer_type(inner)?;
+                ty.ptr.push(PtrLevel::default());
+                Some((ty, dims))
+            }
+            ExprKind::Member { base, member, .. } => {
+                let field = self.resolve_field(base, member)?;
+                Some((field.ty, field.array_dims))
+            }
+            ExprKind::Cast(ty, _) => Some((ty.clone(), 0)),
+            ExprKind::Call { callee, .. } => {
+                let name = callee.as_ident()?;
+                self.fn_ret.get(name).map(|t| (t.clone(), 0))
+            }
+            ExprKind::Assign(_, lhs, _) => self.infer_type(lhs),
+            ExprKind::Comma(_, r) => self.infer_type(r),
+            _ => None,
+        }
+    }
+
+    /// Resolve `base.member` / `base->member` to its field layout, keyed
+    /// by the inferred struct of `base`; falls back to the field name when
+    /// it is unambiguous across every struct in the unit.
+    fn resolve_field(&self, base: &Expr, member: &str) -> Option<FieldInfo> {
+        let struct_name = self.infer_type(base).and_then(|(ty, _)| match &ty.base {
+            BaseType::Struct(name) => Some(name.clone()),
+            _ => None,
+        });
+        if let Some(sname) = struct_name {
+            if let Some(layout) = self.structs.get(&sname) {
+                if let Some(field) = layout.fields.get(member) {
+                    return Some(field.clone());
+                }
+            }
+        }
+        self.field_fallback.get(member).cloned().flatten()
+    }
+
+    // -- declarations --------------------------------------------------------
+
+    fn lower_declaration(&mut self, d: &Declaration, global: bool) -> Vec<RDecl> {
+        let mut out = Vec::with_capacity(d.declarators.len());
+        for dec in &d.declarators {
+            // Lower the initializer *before* binding the name, matching
+            // the tree-walker's evaluate-then-insert order.
+            let kind = if !dec.array_dims.is_empty() {
+                RDeclKind::Array {
+                    dims: dec.array_dims.iter().map(|e| self.lower_expr(e)).collect(),
+                    init: dec.init.as_ref().map(|e| self.lower_expr(e)),
+                }
+            } else if matches!(dec.ty.base, BaseType::Struct(_)) && !dec.ty.is_pointer() {
+                let size = match &dec.ty.base {
+                    BaseType::Struct(name) => self.structs.get(name).map(|s| s.size).unwrap_or(8),
+                    _ => unreachable!(),
+                };
+                RDeclKind::Struct { size }
+            } else {
+                RDeclKind::Scalar {
+                    init: dec.init.as_ref().map(|e| self.lower_expr(e)),
+                    coerce: Coerce::of(&dec.ty),
+                }
+            };
+            let target = if global {
+                let idx = self.nglobals;
+                self.nglobals += 1;
+                self.globals.insert(
+                    dec.name.clone(),
+                    VarInfo {
+                        slot: idx,
+                        ty: dec.ty.clone(),
+                        array_dims: dec.array_dims.len(),
+                    },
+                );
+                SlotRef::Global(idx)
+            } else {
+                SlotRef::Local(self.declare_local(&dec.name, dec.ty.clone(), dec.array_dims.len()))
+            };
+            out.push(RDecl { target, kind });
+        }
+        out
+    }
+
+    // -- statements ----------------------------------------------------------
+
+    fn lower_stmt(&mut self, s: &Stmt) -> RStmt {
+        let kind = match &s.kind {
+            StmtKind::Decl(d) => RStmtKind::Decl(self.lower_declaration(d, false)),
+            StmtKind::Expr(Some(e)) => RStmtKind::Expr(Some(self.lower_expr(e))),
+            StmtKind::Expr(None) | StmtKind::Pragma(_) => RStmtKind::Nop,
+            StmtKind::Block(b) => RStmtKind::Block(self.lower_block_stmts(b)),
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => RStmtKind::If {
+                cond: self.lower_expr(cond),
+                then_branch: Box::new(self.lower_stmt(then_branch)),
+                else_branch: else_branch.as_ref().map(|e| Box::new(self.lower_stmt(e))),
+            },
+            StmtKind::While { cond, body } => RStmtKind::While {
+                cond: self.lower_expr(cond),
+                body: Box::new(self.lower_stmt(body)),
+            },
+            StmtKind::DoWhile { body, cond } => RStmtKind::DoWhile {
+                body: Box::new(self.lower_stmt(body)),
+                cond: self.lower_expr(cond),
+            },
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // The iterator's scope spans init, cond, step and body.
+                self.scopes.push(HashMap::new());
+                let rinit = match init.as_ref() {
+                    ForInit::Decl(d) => Some(Box::new(RStmt {
+                        kind: RStmtKind::Decl(self.lower_declaration(d, false)),
+                        span: s.span,
+                    })),
+                    ForInit::Expr(Some(e)) => Some(Box::new(RStmt {
+                        kind: RStmtKind::Expr(Some(self.lower_expr(e))),
+                        span: s.span,
+                    })),
+                    ForInit::Expr(None) => None,
+                };
+                let rcond = cond.as_ref().map(|c| self.lower_expr(c));
+                let rstep = step.as_ref().map(|st| self.lower_expr(st));
+                let rbody = Box::new(self.lower_stmt(body));
+                self.scopes.pop();
+                RStmtKind::For {
+                    init: rinit,
+                    cond: rcond,
+                    step: rstep,
+                    body: rbody,
+                }
+            }
+            StmtKind::Return(e) => RStmtKind::Return(e.as_ref().map(|e| self.lower_expr(e))),
+            StmtKind::Break => RStmtKind::Break,
+            StmtKind::Continue => RStmtKind::Continue,
+        };
+        RStmt { kind, span: s.span }
+    }
+
+    /// Lower a block's statements, recognising `#pragma omp parallel for`
+    /// regions exactly like the tree-walker's `exec_block`.
+    fn lower_block_stmts(&mut self, b: &Block) -> Vec<RStmt> {
+        self.scopes.push(HashMap::new());
+        let mut out = Vec::with_capacity(b.stmts.len());
+        let mut i = 0;
+        while i < b.stmts.len() {
+            if let StmtKind::Pragma(p) = &b.stmts[i].kind {
+                if let Some(schedule) = parse_omp_parallel_for(p) {
+                    let mut j = i + 1;
+                    while j < b.stmts.len() && matches!(&b.stmts[j].kind, StmtKind::Pragma(_)) {
+                        j += 1;
+                    }
+                    if j < b.stmts.len() && matches!(b.stmts[j].kind, StmtKind::For { .. }) {
+                        out.push(self.lower_omp_for(&b.stmts[j], schedule));
+                        i = j + 1;
+                        continue;
+                    }
+                }
+            }
+            out.push(self.lower_stmt(&b.stmts[i]));
+            i += 1;
+        }
+        self.scopes.pop();
+        out
+    }
+
+    fn lower_omp_for(&mut self, for_stmt: &Stmt, schedule: OmpSchedule) -> RStmt {
+        let StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } = &for_stmt.kind
+        else {
+            unreachable!("caller matched a For");
+        };
+        let bad = |msg: &str| RStmt {
+            kind: RStmtKind::OmpFor(Box::new(ROmpFor {
+                schedule,
+                header: Err(msg.to_string()),
+                span: for_stmt.span,
+            })),
+            span: for_stmt.span,
+        };
+
+        // Header: iterator, bounds, unit stride — mirroring the
+        // tree-walker's shape checks, but performed once at lower time.
+        let (iter_name, lb_expr) = match init.as_ref() {
+            ForInit::Decl(d) if d.declarators.len() == 1 => {
+                let dec = &d.declarators[0];
+                let Some(init_e) = dec.init.as_ref() else {
+                    return bad("parallel loop iterator lacks init");
+                };
+                (dec.name.clone(), init_e)
+            }
+            ForInit::Expr(Some(e)) => match &e.kind {
+                ExprKind::Assign(AssignOp::Assign, lhs, rhs) => {
+                    let Some(name) = lhs.as_ident() else {
+                        return bad("bad parallel loop init");
+                    };
+                    (name.to_string(), rhs.as_ref())
+                }
+                _ => return bad("bad parallel loop init"),
+            },
+            _ => return bad("bad parallel loop init"),
+        };
+        let (ub_expr, ub_inclusive) = match cond.as_ref().map(|c| &c.kind) {
+            Some(ExprKind::Binary(BinOp::Lt, _, r)) => (r.as_ref(), false),
+            Some(ExprKind::Binary(BinOp::Le, _, r)) => (r.as_ref(), true),
+            _ => return bad("parallel loop condition must be < or <="),
+        };
+        let unit_step = match step.as_ref().map(|s| &s.kind) {
+            Some(ExprKind::Unary(UnOp::PreInc | UnOp::PostInc, target)) => {
+                target.as_ident() == Some(iter_name.as_str())
+            }
+            Some(ExprKind::Assign(AssignOp::Add, lhs, rhs)) => {
+                lhs.as_ident() == Some(iter_name.as_str())
+                    && matches!(rhs.kind, ExprKind::IntLit(1))
+            }
+            _ => false,
+        };
+        if !unit_step {
+            return bad("parallel loop must have unit increment");
+        }
+
+        // Bounds are evaluated in the parent's scope (before the
+        // iterator exists).
+        let lb = self.lower_expr(lb_expr);
+        let ub = self.lower_expr(ub_expr);
+
+        // The iterator is a fresh slot shadowing any outer binding: each
+        // parallel iteration owns a private copy in its cloned frame
+        // (matching the tree-walker seeding the child's top frame).
+        self.scopes.push(HashMap::new());
+        let iter_slot = self.declare_local(&iter_name, Type::int(), 0);
+        let rbody = self.lower_stmt(body);
+        self.scopes.pop();
+
+        RStmt {
+            kind: RStmtKind::OmpFor(Box::new(ROmpFor {
+                schedule,
+                header: Ok(ROmpHeader {
+                    iter_slot,
+                    lb,
+                    ub,
+                    ub_inclusive,
+                    body: rbody,
+                }),
+                span: for_stmt.span,
+            })),
+            span: for_stmt.span,
+        }
+    }
+
+    // -- expressions ---------------------------------------------------------
+
+    fn lower_expr(&mut self, e: &Expr) -> RExpr {
+        let kind = match &e.kind {
+            ExprKind::IntLit(v) => RExprKind::Int(*v),
+            ExprKind::FloatLit { value, .. } => RExprKind::Float(*value),
+            ExprKind::CharLit(c) => RExprKind::Int(*c as i64),
+            ExprKind::StrLit(s) => RExprKind::Str(Arc::from(s.as_str())),
+            ExprKind::Ident(name) => match self.lookup_var(name) {
+                Some(v) => RExprKind::Local(v.slot),
+                None => match self.globals.get(name) {
+                    Some(g) => RExprKind::Global(g.slot),
+                    None => RExprKind::Unknown(self.interner.intern(name)),
+                },
+            },
+            ExprKind::Unary(op, inner) => match op {
+                UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec => {
+                    RExprKind::IncDec(*op, self.lower_place(inner))
+                }
+                UnOp::AddrOf => RExprKind::AddrOf(self.lower_place(inner)),
+                _ => RExprKind::Unary(*op, Box::new(self.lower_expr(inner))),
+            },
+            ExprKind::Binary(op, l, r) => RExprKind::Binary(
+                *op,
+                Box::new(self.lower_expr(l)),
+                Box::new(self.lower_expr(r)),
+            ),
+            ExprKind::Assign(op, lhs, rhs) => RExprKind::Assign {
+                op: op.binop(),
+                place: self.lower_place(lhs),
+                value: Box::new(self.lower_expr(rhs)),
+            },
+            ExprKind::Ternary(c, t, f) => RExprKind::Ternary(
+                Box::new(self.lower_expr(c)),
+                Box::new(self.lower_expr(t)),
+                Box::new(self.lower_expr(f)),
+            ),
+            ExprKind::Call { callee, args } => {
+                let Some(name) = callee.as_ident() else {
+                    return RExpr {
+                        kind: RExprKind::IndirectCall,
+                        span: e.span,
+                    };
+                };
+                if name == "__initlist" {
+                    return RExpr {
+                        kind: RExprKind::InitList(
+                            args.iter().map(|a| self.lower_expr(a)).collect(),
+                        ),
+                        span: e.span,
+                    };
+                }
+                if name == "printf" {
+                    let fmt = args.first().and_then(|a| match &a.kind {
+                        ExprKind::StrLit(s) => Some(Arc::from(s.as_str())),
+                        _ => None,
+                    });
+                    let fmt_expr = match (&fmt, args.first()) {
+                        (None, Some(first)) => Some(Box::new(self.lower_expr(first))),
+                        _ => None,
+                    };
+                    let rest = args.iter().skip(1).map(|a| self.lower_expr(a)).collect();
+                    RExprKind::Printf {
+                        fmt,
+                        fmt_expr,
+                        args: rest,
+                    }
+                } else {
+                    let largs: Vec<RExpr> = args.iter().map(|a| self.lower_expr(a)).collect();
+                    match self.fn_ids.get(name) {
+                        Some(&fid) => RExprKind::CallUser { fid, args: largs },
+                        None => RExprKind::CallBuiltin {
+                            name: self.interner.intern(name),
+                            args: largs,
+                        },
+                    }
+                }
+            }
+            ExprKind::Index(..) | ExprKind::Member { .. } => RExprKind::Load(self.lower_place(e)),
+            ExprKind::Cast(ty, inner) => {
+                RExprKind::Cast(Coerce::of(ty), Box::new(self.lower_expr(inner)))
+            }
+            // `sizeof` is the slot size: every scalar occupies one 8-byte
+            // slot (see `value::Memory`), so it folds to a constant.
+            ExprKind::SizeofType(_) | ExprKind::SizeofExpr(_) => RExprKind::Int(8),
+            ExprKind::Comma(l, r) => {
+                RExprKind::Comma(Box::new(self.lower_expr(l)), Box::new(self.lower_expr(r)))
+            }
+        };
+        RExpr { kind, span: e.span }
+    }
+
+    fn lower_place(&mut self, e: &Expr) -> RPlace {
+        let kind = match &e.kind {
+            ExprKind::Ident(name) => match self.lookup_var(name) {
+                Some(v) => RPlaceKind::Local(v.slot),
+                None => match self.globals.get(name) {
+                    Some(g) => RPlaceKind::Global(g.slot),
+                    None => RPlaceKind::Unknown(self.interner.intern(name)),
+                },
+            },
+            ExprKind::Index(base, idx) => RPlaceKind::Index(
+                Box::new(self.lower_expr(base)),
+                Box::new(self.lower_expr(idx)),
+            ),
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                RPlaceKind::Deref(Box::new(self.lower_expr(inner)))
+            }
+            ExprKind::Member { base, member, .. } => match self.resolve_field(base, member) {
+                Some(field) => {
+                    // Synthesized nodes share Span::DUMMY; recording them
+                    // would let distinct access sites collide on one key,
+                    // so only real source spans enter the legacy oracle's
+                    // side table (its fallback covers the rest).
+                    if !e.span.is_empty() {
+                        self.member_table
+                            .insert((e.span.start, e.span.end), (field.offset, field.is_array));
+                    }
+                    RPlaceKind::Member {
+                        base: Box::new(self.lower_expr(base)),
+                        offset: field.offset as i64,
+                    }
+                }
+                None => RPlaceKind::MemberUnknown {
+                    base: Box::new(self.lower_expr(base)),
+                    name: self.interner.intern(member),
+                },
+            },
+            ExprKind::Cast(_, inner) => return self.lower_place(inner),
+            _ => RPlaceKind::NotLvalue,
+        };
+        RPlace { kind, span: e.span }
+    }
+}
+
+/// Lower a translation unit; `pure_fns` are the names the purity pass
+/// verified (empty set ⇒ memoization disabled).
+pub fn lower_unit(unit: &TranslationUnit, pure_fns: &HashSet<String>) -> ResolvedProgram {
+    Lowerer::new(unit).lower_unit(pure_fns)
+}
+
+// ---------------------------------------------------------------------------
+// Cacheability (memo safety) analysis
+// ---------------------------------------------------------------------------
+
+/// Allocation-free math builtins allowed inside cacheable functions.
+fn is_pure_math_builtin(name: &str) -> bool {
+    matches!(
+        name,
+        "sin"
+            | "sinf"
+            | "cos"
+            | "cosf"
+            | "tan"
+            | "tanf"
+            | "asin"
+            | "asinf"
+            | "acos"
+            | "acosf"
+            | "atan"
+            | "atanf"
+            | "atan2"
+            | "atan2f"
+            | "sinh"
+            | "cosh"
+            | "tanh"
+            | "exp"
+            | "expf"
+            | "log"
+            | "logf"
+            | "log2"
+            | "log2f"
+            | "log10"
+            | "log10f"
+            | "sqrt"
+            | "sqrtf"
+            | "cbrt"
+            | "pow"
+            | "powf"
+            | "fabs"
+            | "fabsf"
+            | "floor"
+            | "floorf"
+            | "ceil"
+            | "ceilf"
+            | "round"
+            | "roundf"
+            | "trunc"
+            | "fmod"
+            | "fmodf"
+            | "fmin"
+            | "fminf"
+            | "fmax"
+            | "fmaxf"
+            | "hypot"
+            | "expm1"
+            | "log1p"
+            | "copysign"
+            | "abs"
+            | "labs"
+            | "llabs"
+            | "__pc_floord"
+            | "__pc_ceild"
+            | "__pc_max"
+            | "__pc_min"
+    )
+}
+
+/// Local (per-function) memo eligibility + called-function collection.
+struct CacheScan<'a> {
+    interner: &'a Interner,
+    ok: bool,
+    calls: Vec<u32>,
+}
+
+impl CacheScan<'_> {
+    fn scan_stmts(&mut self, stmts: &[RStmt]) {
+        for s in stmts {
+            self.scan_stmt(s);
+        }
+    }
+
+    fn scan_stmt(&mut self, s: &RStmt) {
+        if !self.ok {
+            return;
+        }
+        match &s.kind {
+            RStmtKind::Decl(decls) => {
+                for d in decls {
+                    match &d.kind {
+                        // Arrays/structs are memory — not const-like.
+                        RDeclKind::Array { .. } | RDeclKind::Struct { .. } => self.ok = false,
+                        RDeclKind::Scalar { init, .. } => {
+                            if let Some(i) = init {
+                                self.scan_expr(i);
+                            }
+                        }
+                    }
+                }
+            }
+            RStmtKind::Expr(e) => {
+                if let Some(e) = e {
+                    self.scan_expr(e);
+                }
+            }
+            RStmtKind::Block(b) => self.scan_stmts(b),
+            RStmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.scan_expr(cond);
+                self.scan_stmt(then_branch);
+                if let Some(e) = else_branch {
+                    self.scan_stmt(e);
+                }
+            }
+            RStmtKind::While { cond, body } => {
+                self.scan_expr(cond);
+                self.scan_stmt(body);
+            }
+            RStmtKind::DoWhile { body, cond } => {
+                self.scan_stmt(body);
+                self.scan_expr(cond);
+            }
+            RStmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    self.scan_stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.scan_expr(c);
+                }
+                if let Some(st) = step {
+                    self.scan_expr(st);
+                }
+                self.scan_stmt(body);
+            }
+            RStmtKind::Return(e) => {
+                if let Some(e) = e {
+                    self.scan_expr(e);
+                }
+            }
+            RStmtKind::Break | RStmtKind::Continue | RStmtKind::Nop => {}
+            // Parallel regions inside cacheable functions are excluded
+            // outright (shared-memory interactions).
+            RStmtKind::OmpFor(_) => self.ok = false,
+        }
+    }
+
+    fn scan_expr(&mut self, e: &RExpr) {
+        if !self.ok {
+            return;
+        }
+        match &e.kind {
+            RExprKind::Int(_) | RExprKind::Float(_) | RExprKind::Local(_) => {}
+            // Globals and memory constructs break const-likeness.
+            RExprKind::Global(_)
+            | RExprKind::Str(_)
+            | RExprKind::Unknown(_)
+            | RExprKind::AddrOf(_)
+            | RExprKind::Load(_)
+            | RExprKind::Printf { .. }
+            | RExprKind::IndirectCall
+            | RExprKind::InitList(_) => self.ok = false,
+            RExprKind::Unary(op, inner) => {
+                if matches!(op, UnOp::Deref) {
+                    self.ok = false;
+                } else {
+                    self.scan_expr(inner);
+                }
+            }
+            RExprKind::Binary(_, l, r) | RExprKind::Comma(l, r) => {
+                self.scan_expr(l);
+                self.scan_expr(r);
+            }
+            RExprKind::Assign { place, value, .. } => {
+                self.scan_place(place);
+                self.scan_expr(value);
+            }
+            RExprKind::IncDec(_, place) => self.scan_place(place),
+            RExprKind::Ternary(c, t, f) => {
+                self.scan_expr(c);
+                self.scan_expr(t);
+                self.scan_expr(f);
+            }
+            RExprKind::CallUser { fid, args } => {
+                self.calls.push(*fid);
+                for a in args {
+                    self.scan_expr(a);
+                }
+            }
+            RExprKind::CallBuiltin { name, args } => {
+                if !is_pure_math_builtin(self.interner.resolve(*name)) {
+                    self.ok = false;
+                    return;
+                }
+                for a in args {
+                    self.scan_expr(a);
+                }
+            }
+            RExprKind::Cast(_, inner) => self.scan_expr(inner),
+        }
+    }
+
+    fn scan_place(&mut self, p: &RPlace) {
+        match &p.kind {
+            RPlaceKind::Local(_) => {}
+            _ => self.ok = false,
+        }
+    }
+}
+
+/// Compute the cacheable set: verified-pure ∧ scalar-only ∧ closed under
+/// calls (greatest fixpoint, so self/mutual recursion stays cacheable).
+fn mark_cacheable(prog: &mut ResolvedProgram, pure_fns: &HashSet<String>) {
+    if pure_fns.is_empty() {
+        return;
+    }
+    let n = prog.funcs.len();
+    let mut candidate = vec![false; n];
+    let mut calls: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for (i, f) in prog.funcs.iter().enumerate() {
+        let name = prog.interner.resolve(f.name);
+        let verified = pure_fns.contains(name);
+        let scalar_params = f.params.iter().all(|(_, c)| *c != Coerce::None);
+        let mut scan = CacheScan {
+            interner: &prog.interner,
+            ok: true,
+            calls: Vec::new(),
+        };
+        scan.scan_stmts(&f.body);
+        candidate[i] = verified && scalar_params && scan.ok;
+        calls.push(scan.calls);
+    }
+    // Remove candidates that call non-candidates until stable.
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if candidate[i] && calls[i].iter().any(|&c| !candidate[c as usize]) {
+                candidate[i] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (f, ok) in prog.funcs.iter_mut().zip(candidate) {
+        f.cacheable = ok;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memo cache
+// ---------------------------------------------------------------------------
+
+/// Hashable key for one memoized call: function id + tagged bit patterns
+/// of the (coerced) scalar arguments.
+type MemoKey = (u32, Vec<(u8, u64)>);
+
+pub(crate) struct MemoCache {
+    map: Mutex<HashMap<MemoKey, Scalar>>,
+    cap: usize,
+}
+
+impl MemoCache {
+    fn new(cap: usize) -> Self {
+        MemoCache {
+            map: Mutex::new(HashMap::new()),
+            cap,
+        }
+    }
+
+    fn key(fid: u32, frame_args: &[Scalar]) -> Option<MemoKey> {
+        let mut parts = Vec::with_capacity(frame_args.len());
+        for v in frame_args {
+            match v {
+                Scalar::I(i) => parts.push((0u8, *i as u64)),
+                Scalar::F(f) => parts.push((1u8, f.to_bits())),
+                Scalar::Uninit => parts.push((2u8, 0)),
+                // Pointers/null never appear for cacheable functions
+                // (scalar-only params), but stay conservative.
+                _ => return None,
+            }
+        }
+        Some((fid, parts))
+    }
+
+    fn get(&self, key: &MemoKey) -> Option<Scalar> {
+        self.map.lock().get(key).copied()
+    }
+
+    fn insert(&self, key: MemoKey, v: Scalar) {
+        if !matches!(v, Scalar::I(_) | Scalar::F(_)) {
+            return;
+        }
+        let mut m = self.map.lock();
+        if m.len() < self.cap {
+            m.insert(key, v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct RShared {
+    prog: Arc<ResolvedProgram>,
+    mem: Memory,
+    counters: Arc<Counters>,
+    globals: Arc<RwLock<Vec<Scalar>>>,
+    output: Arc<Mutex<String>>,
+    opts: InterpOptions,
+    memo: Option<Arc<MemoCache>>,
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Scalar),
+}
+
+/// Where a resolved lvalue lives at runtime.
+enum PlaceRef {
+    Slot(u32),
+    Global(u32),
+    Mem(Ptr),
+}
+
+#[derive(Default)]
+struct TrackSets {
+    reads: HashSet<(u32, i64)>,
+    writes: HashSet<(u32, i64)>,
+}
+
+struct RInterp {
+    s: RShared,
+    frame: Vec<Scalar>,
+    depth: usize,
+    steps: u64,
+    track: Option<TrackSets>,
+}
+
+/// Execute a resolved program's entry function to completion.
+pub(crate) fn run_resolved(
+    prog: &Arc<ResolvedProgram>,
+    entry: &str,
+    opts: InterpOptions,
+) -> RtResult<RunResult> {
+    let memo = (opts.memo && prog.any_cacheable).then(|| Arc::new(MemoCache::new(MEMO_CAPACITY)));
+    let shared = RShared {
+        prog: Arc::clone(prog),
+        mem: Memory::new(),
+        counters: Arc::new(Counters::new()),
+        globals: Arc::new(RwLock::new(vec![Scalar::Uninit; prog.nglobals])),
+        output: Arc::new(Mutex::new(String::new())),
+        opts,
+        memo,
+    };
+    let mut interp = RInterp::new(shared.clone());
+    for d in &prog.global_decls {
+        interp.exec_decl(d)?;
+    }
+    let exit = match prog.by_name.get(entry) {
+        Some(&fid) => interp.call_user(fid, &[], Span::DUMMY)?,
+        None => {
+            // Mirror the tree-walker: unknown entry falls through to the
+            // builtin table, then errors.
+            Counters::bump(&shared.counters.calls);
+            let mut out = String::new();
+            match call_builtin(entry, &[], &shared.mem, &mut out) {
+                Some(Ok(v)) => {
+                    if !out.is_empty() {
+                        shared.output.lock().push_str(&out);
+                    }
+                    v
+                }
+                Some(Err(e)) => return Err(RuntimeError::at(e.to_string(), Span::DUMMY)),
+                None => {
+                    return Err(RuntimeError::at(
+                        format!("call to undefined function '{entry}'"),
+                        Span::DUMMY,
+                    ))
+                }
+            }
+        }
+    };
+    let output = shared.output.lock().clone();
+    let counters = shared.counters.snapshot();
+    Ok(RunResult {
+        exit_code: exit.as_i64(),
+        output,
+        counters,
+    })
+}
+
+impl RInterp {
+    fn new(s: RShared) -> Self {
+        RInterp {
+            s,
+            frame: Vec::new(),
+            depth: 0,
+            steps: 0,
+            track: None,
+        }
+    }
+
+    fn step(&mut self, span: Span) -> RtResult<()> {
+        self.steps += 1;
+        if self.steps > self.s.opts.max_steps {
+            return Err(RuntimeError::at(
+                "step limit exceeded (infinite loop?)",
+                span,
+            ));
+        }
+        Ok(())
+    }
+
+    // -- memory with counters -------------------------------------------------
+
+    fn mem_load(&mut self, p: Ptr, span: Span) -> RtResult<Scalar> {
+        Counters::bump(&self.s.counters.loads);
+        if let Some(t) = &mut self.track {
+            t.reads.insert((p.alloc, p.index));
+        }
+        self.s
+            .mem
+            .load(p)
+            .map_err(|e| RuntimeError::at(e.to_string(), span))
+    }
+
+    fn mem_store(&mut self, p: Ptr, v: Scalar, span: Span) -> RtResult<()> {
+        Counters::bump(&self.s.counters.stores);
+        if let Some(t) = &mut self.track {
+            t.writes.insert((p.alloc, p.index));
+        }
+        self.s
+            .mem
+            .store(p, v)
+            .map_err(|e| RuntimeError::at(e.to_string(), span))
+    }
+
+    // -- declarations ---------------------------------------------------------
+
+    fn exec_decl(&mut self, d: &RDecl) -> RtResult<()> {
+        let value = match &d.kind {
+            RDeclKind::Array { dims, init } => {
+                let sizes: Vec<usize> = dims
+                    .iter()
+                    .map(|e| self.eval(e).map(|v| v.as_i64().max(0) as usize))
+                    .collect::<RtResult<_>>()?;
+                let p = self.alloc_array(&sizes);
+                if let Some(init) = init {
+                    self.fill_initlist(p, init)?;
+                }
+                Scalar::P(p)
+            }
+            RDeclKind::Struct { size } => Scalar::P(self.s.mem.alloc(*size)),
+            RDeclKind::Scalar { init, coerce } => match init {
+                Some(e) => {
+                    let v = self.eval(e)?;
+                    coerce.apply(v)
+                }
+                None => Scalar::Uninit,
+            },
+        };
+        match d.target {
+            SlotRef::Local(slot) => {
+                let slot = slot as usize;
+                if slot >= self.frame.len() {
+                    self.frame.resize(slot + 1, Scalar::Uninit);
+                }
+                self.frame[slot] = value;
+            }
+            SlotRef::Global(idx) => {
+                self.s.globals.write()[idx as usize] = value;
+            }
+        }
+        Ok(())
+    }
+
+    fn alloc_array(&mut self, dims: &[usize]) -> Ptr {
+        match dims {
+            [] | [_] => self.s.mem.alloc(dims.first().copied().unwrap_or(1)),
+            [first, rest @ ..] => {
+                let spine = self.s.mem.alloc(*first);
+                for i in 0..*first {
+                    let sub = self.alloc_array(rest);
+                    self.s
+                        .mem
+                        .store(spine.offset(i as i64), Scalar::P(sub))
+                        .expect("fresh spine in bounds");
+                }
+                spine
+            }
+        }
+    }
+
+    fn fill_initlist(&mut self, p: Ptr, init: &RExpr) -> RtResult<()> {
+        if let RExprKind::InitList(elems) = &init.kind {
+            for (i, e) in elems.iter().enumerate() {
+                if matches!(&e.kind, RExprKind::InitList(_)) {
+                    if let Scalar::P(row) = self.mem_load(p.offset(i as i64), e.span)? {
+                        self.fill_initlist(row, e)?;
+                    }
+                } else {
+                    let v = self.eval(e)?;
+                    self.mem_store(p.offset(i as i64), v, e.span)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -- places ---------------------------------------------------------------
+
+    fn place(&mut self, p: &RPlace) -> RtResult<PlaceRef> {
+        match &p.kind {
+            RPlaceKind::Local(slot) => Ok(PlaceRef::Slot(*slot)),
+            RPlaceKind::Global(idx) => Ok(PlaceRef::Global(*idx)),
+            RPlaceKind::Unknown(sym) => Err(RuntimeError::at(
+                format!("unknown variable '{}'", self.s.prog.interner.resolve(*sym)),
+                p.span,
+            )),
+            RPlaceKind::Index(base, idx) => {
+                let b = self.eval(base)?;
+                let i = self.eval(idx)?.as_i64();
+                match b {
+                    Scalar::P(ptr) => Ok(PlaceRef::Mem(ptr.offset(i))),
+                    other => Err(RuntimeError::at(
+                        format!("indexing a non-pointer value {other:?}"),
+                        p.span,
+                    )),
+                }
+            }
+            RPlaceKind::Deref(inner) => match self.eval(inner)? {
+                Scalar::P(ptr) => Ok(PlaceRef::Mem(ptr)),
+                _ => Err(RuntimeError::at("dereference of non-pointer", p.span)),
+            },
+            RPlaceKind::Member { base, offset } => {
+                let b = self.eval(base)?;
+                let Scalar::P(ptr) = b else {
+                    return Err(RuntimeError::at("member access on non-struct", p.span));
+                };
+                Ok(PlaceRef::Mem(ptr.offset(*offset)))
+            }
+            RPlaceKind::MemberUnknown { base, name } => {
+                let b = self.eval(base)?;
+                let Scalar::P(_) = b else {
+                    return Err(RuntimeError::at("member access on non-struct", p.span));
+                };
+                Err(RuntimeError::at(
+                    format!("unknown field '{}'", self.s.prog.interner.resolve(*name)),
+                    p.span,
+                ))
+            }
+            RPlaceKind::NotLvalue => Err(RuntimeError::at("expression is not an lvalue", p.span)),
+        }
+    }
+
+    #[inline]
+    fn load_place(&mut self, place: &PlaceRef, span: Span) -> RtResult<Scalar> {
+        match place {
+            PlaceRef::Slot(slot) => Ok(self.frame[*slot as usize]),
+            PlaceRef::Global(idx) => Ok(self.s.globals.read()[*idx as usize]),
+            PlaceRef::Mem(p) => self.mem_load(*p, span),
+        }
+    }
+
+    #[inline]
+    fn store_place(&mut self, place: &PlaceRef, v: Scalar, span: Span) -> RtResult<()> {
+        match place {
+            PlaceRef::Slot(slot) => {
+                self.frame[*slot as usize] = v;
+                Ok(())
+            }
+            PlaceRef::Global(idx) => {
+                self.s.globals.write()[*idx as usize] = v;
+                Ok(())
+            }
+            PlaceRef::Mem(p) => self.mem_store(*p, v, span),
+        }
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    fn eval(&mut self, e: &RExpr) -> RtResult<Scalar> {
+        match &e.kind {
+            RExprKind::Int(v) => Ok(Scalar::I(*v)),
+            RExprKind::Float(v) => Ok(Scalar::F(*v)),
+            RExprKind::Str(s) => {
+                let n = s.chars().count();
+                let p = self.s.mem.alloc(n + 1);
+                for (i, ch) in s.chars().enumerate() {
+                    self.mem_store(p.offset(i as i64), Scalar::I(ch as i64), e.span)?;
+                }
+                self.mem_store(p.offset(n as i64), Scalar::I(0), e.span)?;
+                Ok(Scalar::P(p))
+            }
+            RExprKind::Local(slot) => Ok(self.frame[*slot as usize]),
+            RExprKind::Global(idx) => Ok(self.s.globals.read()[*idx as usize]),
+            RExprKind::Unknown(sym) => Err(RuntimeError::at(
+                format!("unknown variable '{}'", self.s.prog.interner.resolve(*sym)),
+                e.span,
+            )),
+            RExprKind::Unary(op, inner) => self.eval_unary(*op, inner, e.span),
+            RExprKind::Binary(op, l, r) => self.eval_binary(*op, l, r, e.span),
+            RExprKind::Assign { op, place, value } => {
+                let rv = self.eval(value)?;
+                let pref = self.place(place)?;
+                let result = match op {
+                    None => rv,
+                    Some(b) => {
+                        let old = self.load_place(&pref, e.span)?;
+                        self.apply_binop(*b, old, rv, e.span)?
+                    }
+                };
+                self.store_place(&pref, result, e.span)?;
+                Ok(result)
+            }
+            RExprKind::IncDec(op, place) => {
+                let pref = self.place(place)?;
+                let old = self.load_place(&pref, e.span)?;
+                let delta = if matches!(op, UnOp::PreInc | UnOp::PostInc) {
+                    1
+                } else {
+                    -1
+                };
+                let new = match old {
+                    Scalar::F(f) => {
+                        Counters::bump(&self.s.counters.flops);
+                        Scalar::F(f + delta as f64)
+                    }
+                    Scalar::P(p) => Scalar::P(p.offset(delta)),
+                    other => {
+                        Counters::bump(&self.s.counters.int_ops);
+                        Scalar::I(other.as_i64() + delta)
+                    }
+                };
+                self.store_place(&pref, new, e.span)?;
+                Ok(if matches!(op, UnOp::PreInc | UnOp::PreDec) {
+                    new
+                } else {
+                    old
+                })
+            }
+            RExprKind::AddrOf(place) => {
+                let pref = self.place(place)?;
+                match pref {
+                    PlaceRef::Mem(p) => Ok(Scalar::P(p)),
+                    _ => Err(RuntimeError::at(
+                        "address-of is only supported for memory lvalues",
+                        e.span,
+                    )),
+                }
+            }
+            RExprKind::Ternary(c, t, f) => {
+                Counters::bump(&self.s.counters.branches);
+                if self.eval(c)?.truthy() {
+                    self.eval(t)
+                } else {
+                    self.eval(f)
+                }
+            }
+            RExprKind::CallUser { fid, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                self.call_user(*fid, &vals, e.span)
+            }
+            RExprKind::CallBuiltin { name, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                self.call_builtin_by_sym(*name, &vals, e.span)
+            }
+            RExprKind::Printf {
+                fmt,
+                fmt_expr,
+                args,
+            } => {
+                let fmt_text: String = match (fmt, fmt_expr) {
+                    (Some(s), _) => s.to_string(),
+                    (None, Some(first)) => {
+                        let v = self.eval(first)?;
+                        let Scalar::P(mut p) = v else {
+                            return Err(RuntimeError::at("printf format is not a string", e.span));
+                        };
+                        let mut s = String::new();
+                        while let Scalar::I(ch) = self.mem_load(p, e.span)? {
+                            if ch == 0 {
+                                break;
+                            }
+                            s.push(char::from_u32(ch as u32).unwrap_or('?'));
+                            p = p.offset(1);
+                        }
+                        s
+                    }
+                    (None, None) => return Err(RuntimeError::at("printf without format", e.span)),
+                };
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                let rendered = format_printf(&fmt_text, &vals, &self.s.mem);
+                self.s.output.lock().push_str(&rendered);
+                Ok(Scalar::I(rendered.len() as i64))
+            }
+            RExprKind::IndirectCall => {
+                Err(RuntimeError::at("indirect calls are unsupported", e.span))
+            }
+            RExprKind::Load(place) => {
+                let pref = self.place(place)?;
+                self.load_place(&pref, e.span)
+            }
+            RExprKind::Cast(coerce, inner) => {
+                let v = self.eval(inner)?;
+                Ok(coerce.apply(v))
+            }
+            // A bare initializer list outside an array declaration is not
+            // evaluable (the tree-walker errors on it as an unknown call).
+            RExprKind::InitList(_) => Err(RuntimeError::at(
+                "call to undefined function '__initlist'",
+                e.span,
+            )),
+            RExprKind::Comma(l, r) => {
+                self.eval(l)?;
+                self.eval(r)
+            }
+        }
+    }
+
+    fn eval_unary(&mut self, op: UnOp, inner: &RExpr, span: Span) -> RtResult<Scalar> {
+        match op {
+            UnOp::Neg => {
+                let v = self.eval(inner)?;
+                Ok(match v {
+                    Scalar::F(f) => {
+                        Counters::bump(&self.s.counters.flops);
+                        Scalar::F(-f)
+                    }
+                    other => {
+                        Counters::bump(&self.s.counters.int_ops);
+                        Scalar::I(-other.as_i64())
+                    }
+                })
+            }
+            UnOp::Not => {
+                let v = self.eval(inner)?;
+                Ok(Scalar::I(i64::from(!v.truthy())))
+            }
+            UnOp::BitNot => {
+                let v = self.eval(inner)?;
+                Ok(Scalar::I(!v.as_i64()))
+            }
+            UnOp::Deref => {
+                let v = self.eval(inner)?;
+                match v {
+                    Scalar::P(p) => self.mem_load(p, span),
+                    other => Err(RuntimeError::at(
+                        format!("dereference of non-pointer {other:?}"),
+                        span,
+                    )),
+                }
+            }
+            // Inc/dec and address-of were lowered to dedicated nodes.
+            UnOp::AddrOf | UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec => {
+                unreachable!("lowered to IncDec/AddrOf")
+            }
+        }
+    }
+
+    fn eval_binary(&mut self, op: BinOp, l: &RExpr, r: &RExpr, span: Span) -> RtResult<Scalar> {
+        match op {
+            BinOp::And => {
+                Counters::bump(&self.s.counters.branches);
+                let lv = self.eval(l)?;
+                if !lv.truthy() {
+                    return Ok(Scalar::I(0));
+                }
+                let rv = self.eval(r)?;
+                return Ok(Scalar::I(i64::from(rv.truthy())));
+            }
+            BinOp::Or => {
+                Counters::bump(&self.s.counters.branches);
+                let lv = self.eval(l)?;
+                if lv.truthy() {
+                    return Ok(Scalar::I(1));
+                }
+                let rv = self.eval(r)?;
+                return Ok(Scalar::I(i64::from(rv.truthy())));
+            }
+            _ => {}
+        }
+        let lv = self.eval(l)?;
+        let rv = self.eval(r)?;
+        self.apply_binop(op, lv, rv, span)
+    }
+
+    fn apply_binop(&mut self, op: BinOp, lv: Scalar, rv: Scalar, span: Span) -> RtResult<Scalar> {
+        use BinOp::*;
+        match (lv, rv, op) {
+            (Scalar::P(p), i, Add) if !matches!(i, Scalar::P(_)) => {
+                Counters::bump(&self.s.counters.int_ops);
+                return Ok(Scalar::P(p.offset(i.as_i64())));
+            }
+            (i, Scalar::P(p), Add) if !matches!(i, Scalar::P(_)) => {
+                Counters::bump(&self.s.counters.int_ops);
+                return Ok(Scalar::P(p.offset(i.as_i64())));
+            }
+            (Scalar::P(p), i, Sub) if !matches!(i, Scalar::P(_)) => {
+                Counters::bump(&self.s.counters.int_ops);
+                return Ok(Scalar::P(p.offset(-i.as_i64())));
+            }
+            (Scalar::P(a), Scalar::P(b), Sub) => {
+                Counters::bump(&self.s.counters.int_ops);
+                return Ok(Scalar::I(a.index - b.index));
+            }
+            (Scalar::P(a), Scalar::P(b), Eq) => {
+                return Ok(Scalar::I(i64::from(a == b)));
+            }
+            (Scalar::P(a), Scalar::P(b), Ne) => {
+                return Ok(Scalar::I(i64::from(a != b)));
+            }
+            (Scalar::P(_), Scalar::Null, Eq) | (Scalar::Null, Scalar::P(_), Eq) => {
+                return Ok(Scalar::I(0));
+            }
+            (Scalar::P(_), Scalar::Null, Ne) | (Scalar::Null, Scalar::P(_), Ne) => {
+                return Ok(Scalar::I(1));
+            }
+            _ => {}
+        }
+
+        let float = lv.is_float() || rv.is_float();
+        if float {
+            let a = lv.as_f64();
+            let b = rv.as_f64();
+            let out = match op {
+                Add => Scalar::F(a + b),
+                Sub => Scalar::F(a - b),
+                Mul => Scalar::F(a * b),
+                Div => Scalar::F(a / b),
+                Rem => Scalar::F(a % b),
+                Lt => Scalar::I(i64::from(a < b)),
+                Gt => Scalar::I(i64::from(a > b)),
+                Le => Scalar::I(i64::from(a <= b)),
+                Ge => Scalar::I(i64::from(a >= b)),
+                Eq => Scalar::I(i64::from(a == b)),
+                Ne => Scalar::I(i64::from(a != b)),
+                Shl | Shr | BitAnd | BitXor | BitOr => {
+                    return Err(RuntimeError::at("bitwise op on float", span))
+                }
+                And | Or => unreachable!("handled above"),
+            };
+            Counters::bump(&self.s.counters.flops);
+            Ok(out)
+        } else {
+            let a = lv.as_i64();
+            let b = rv.as_i64();
+            let out = match op {
+                Add => Scalar::I(a.wrapping_add(b)),
+                Sub => Scalar::I(a.wrapping_sub(b)),
+                Mul => Scalar::I(a.wrapping_mul(b)),
+                Div => {
+                    if b == 0 {
+                        return Err(RuntimeError::at("integer division by zero", span));
+                    }
+                    Scalar::I(a.wrapping_div(b))
+                }
+                Rem => {
+                    if b == 0 {
+                        return Err(RuntimeError::at("integer modulo by zero", span));
+                    }
+                    Scalar::I(a.wrapping_rem(b))
+                }
+                Shl => Scalar::I(a.wrapping_shl(b as u32)),
+                Shr => Scalar::I(a.wrapping_shr(b as u32)),
+                Lt => Scalar::I(i64::from(a < b)),
+                Gt => Scalar::I(i64::from(a > b)),
+                Le => Scalar::I(i64::from(a <= b)),
+                Ge => Scalar::I(i64::from(a >= b)),
+                Eq => Scalar::I(i64::from(a == b)),
+                Ne => Scalar::I(i64::from(a != b)),
+                BitAnd => Scalar::I(a & b),
+                BitXor => Scalar::I(a ^ b),
+                BitOr => Scalar::I(a | b),
+                And | Or => unreachable!("handled above"),
+            };
+            Counters::bump(&self.s.counters.int_ops);
+            Ok(out)
+        }
+    }
+
+    // -- calls ----------------------------------------------------------------
+
+    fn call_user(&mut self, fid: u32, args: &[Scalar], span: Span) -> RtResult<Scalar> {
+        Counters::bump(&self.s.counters.calls);
+        if self.depth >= 512 {
+            return Err(RuntimeError::at("call stack overflow", span));
+        }
+        // One refcount bump per call frame: a local `Arc` handle lets the
+        // statement walk borrow the program data independently of
+        // `&mut self` (the body outlives every re-entrant borrow below).
+        // The cost is dwarfed by the frame allocation.
+        let prog = Arc::clone(&self.s.prog);
+        let func = &prog.funcs[fid as usize];
+
+        // Bind (coerced) arguments into a fresh flat frame.
+        let mut frame = vec![Scalar::Uninit; func.frame_size];
+        for (&(slot, coerce), v) in func.params.iter().zip(args) {
+            frame[slot as usize] = coerce.apply(*v);
+        }
+
+        // Pure-call memoization: consult the cache for verified-pure,
+        // const-like functions (see module docs for the safety argument).
+        let memo_key = match (&self.s.memo, func.cacheable) {
+            (Some(_), true) => MemoCache::key(fid, &frame[..func.params.len().min(frame.len())]),
+            _ => None,
+        };
+        if let (Some(cache), Some(key)) = (&self.s.memo, &memo_key) {
+            if let Some(v) = cache.get(key) {
+                Counters::bump(&self.s.counters.memo_hits);
+                return Ok(v);
+            }
+            Counters::bump(&self.s.counters.memo_misses);
+        }
+
+        let fspan = func.span;
+        let saved = std::mem::replace(&mut self.frame, frame);
+        self.depth += 1;
+        let flow = self.exec_stmts(&func.body);
+        self.depth -= 1;
+        self.frame = saved;
+        let result = match flow? {
+            Flow::Return(v) => v,
+            Flow::Normal => Scalar::I(0),
+            Flow::Break | Flow::Continue => {
+                return Err(RuntimeError::at("break/continue outside loop", fspan))
+            }
+        };
+        if let (Some(cache), Some(key)) = (&self.s.memo, memo_key) {
+            cache.insert(key, result);
+        }
+        Ok(result)
+    }
+
+    fn call_builtin_by_sym(
+        &mut self,
+        name: Symbol,
+        args: &[Scalar],
+        span: Span,
+    ) -> RtResult<Scalar> {
+        Counters::bump(&self.s.counters.calls);
+        let name_str = self.s.prog.interner.resolve(name);
+        let mut out = String::new();
+        match call_builtin(name_str, args, &self.s.mem, &mut out) {
+            Some(Ok(v)) => {
+                if !out.is_empty() {
+                    self.s.output.lock().push_str(&out);
+                }
+                Ok(v)
+            }
+            Some(Err(e)) => Err(RuntimeError::at(e.to_string(), span)),
+            None => Err(RuntimeError::at(
+                format!("call to undefined function '{name_str}'"),
+                span,
+            )),
+        }
+    }
+
+    // -- statements -----------------------------------------------------------
+
+    fn exec_stmts(&mut self, stmts: &[RStmt]) -> RtResult<Flow> {
+        for s in stmts {
+            match self.exec(s)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec(&mut self, stmt: &RStmt) -> RtResult<Flow> {
+        // Parallel regions bypass the per-statement step accounting, just
+        // like the tree-walker's exec_block short-circuit.
+        if let RStmtKind::OmpFor(of) = &stmt.kind {
+            self.exec_omp_for(of)?;
+            return Ok(Flow::Normal);
+        }
+        self.step(stmt.span)?;
+        match &stmt.kind {
+            RStmtKind::Decl(decls) => {
+                for d in decls {
+                    self.exec_decl(d)?;
+                }
+                Ok(Flow::Normal)
+            }
+            RStmtKind::Expr(Some(e)) => {
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+            RStmtKind::Expr(None) | RStmtKind::Nop => Ok(Flow::Normal),
+            RStmtKind::Block(stmts) => self.exec_stmts(stmts),
+            RStmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                Counters::bump(&self.s.counters.branches);
+                if self.eval(cond)?.truthy() {
+                    self.exec(then_branch)
+                } else if let Some(e) = else_branch {
+                    self.exec(e)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            RStmtKind::While { cond, body } => {
+                loop {
+                    Counters::bump(&self.s.counters.branches);
+                    if !self.eval(cond)?.truthy() {
+                        break;
+                    }
+                    match self.exec(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            RStmtKind::DoWhile { body, cond } => {
+                loop {
+                    match self.exec(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    Counters::bump(&self.s.counters.branches);
+                    if !self.eval(cond)?.truthy() {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            RStmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    match &i.kind {
+                        RStmtKind::Decl(decls) => {
+                            for d in decls {
+                                self.exec_decl(d)?;
+                            }
+                        }
+                        RStmtKind::Expr(Some(e)) => {
+                            self.eval(e)?;
+                        }
+                        _ => {}
+                    }
+                }
+                loop {
+                    self.step(stmt.span)?;
+                    Counters::bump(&self.s.counters.branches);
+                    if let Some(c) = cond {
+                        if !self.eval(c)?.truthy() {
+                            break;
+                        }
+                    }
+                    match self.exec(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    if let Some(s) = step {
+                        self.eval(s)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            RStmtKind::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e)?,
+                    None => Scalar::I(0),
+                };
+                Ok(Flow::Return(v))
+            }
+            RStmtKind::Break => Ok(Flow::Break),
+            RStmtKind::Continue => Ok(Flow::Continue),
+            RStmtKind::OmpFor(_) => unreachable!("handled before step()"),
+        }
+    }
+
+    fn exec_omp_for(&mut self, of: &ROmpFor) -> RtResult<()> {
+        let header = match &of.header {
+            Ok(h) => h,
+            Err(msg) => return Err(RuntimeError::at(msg.clone(), of.span)),
+        };
+        let lb = self.eval(&header.lb)?.as_i64();
+        let ub_incl = if header.ub_inclusive {
+            self.eval(&header.ub)?.as_i64()
+        } else {
+            self.eval(&header.ub)?.as_i64() - 1
+        };
+        if ub_incl < lb {
+            return Ok(());
+        }
+        let n = (ub_incl - lb + 1) as u64;
+
+        if self.s.opts.race_check {
+            self.race_check(header, lb, n)?;
+        }
+
+        // The iterator slot may exceed the currently materialised frame
+        // (its declaration lives inside the region) — grow first so every
+        // child clone has room.
+        let needed = header.iter_slot as usize + 1;
+        if self.frame.len() < needed {
+            self.frame.resize(needed, Scalar::Uninit);
+        }
+        let base_frame = self.frame.clone();
+        let shared = self.s.clone();
+        let err: Mutex<Option<RuntimeError>> = Mutex::new(None);
+
+        parallel_for(n, self.s.opts.threads, of.schedule, |k| {
+            let mut child = RInterp::new(shared.clone());
+            child.frame = base_frame.clone();
+            child.frame[header.iter_slot as usize] = Scalar::I(lb + k as i64);
+            if let Err(e) = child.exec(&header.body) {
+                let mut g = err.lock();
+                if g.is_none() {
+                    *g = Some(e);
+                }
+            }
+        });
+
+        match err.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Sequentially validate that iteration access sets are disjoint — the
+    /// dynamic counterpart of the purity guarantee (same as the oracle).
+    fn race_check(&mut self, header: &ROmpHeader, lb: i64, n: u64) -> RtResult<()> {
+        let mut all_writes: HashSet<(u32, i64)> = HashSet::new();
+        let mut all_reads: HashSet<(u32, i64)> = HashSet::new();
+        let needed = header.iter_slot as usize + 1;
+        if self.frame.len() < needed {
+            self.frame.resize(needed, Scalar::Uninit);
+        }
+        let base_frame = self.frame.clone();
+        for k in 0..n {
+            let mut child = RInterp::new(self.s.clone());
+            child.frame = base_frame.clone();
+            child.frame[header.iter_slot as usize] = Scalar::I(lb + k as i64);
+            child.track = Some(TrackSets::default());
+            child.exec(&header.body)?;
+            let t = child.track.take().expect("tracking on");
+            for w in &t.writes {
+                if all_writes.contains(w) || all_reads.contains(w) {
+                    return Err(RuntimeError::at(
+                        format!(
+                            "race detected: slot ({}, {}) accessed by multiple iterations",
+                            w.0, w.1
+                        ),
+                        header.body.span,
+                    ));
+                }
+            }
+            for r in &t.reads {
+                if all_writes.contains(r) {
+                    return Err(RuntimeError::at(
+                        format!(
+                            "race detected: slot ({}, {}) written by one iteration and read by another",
+                            r.0, r.1
+                        ),
+                        header.body.span,
+                    ));
+                }
+            }
+            all_writes.extend(t.writes);
+            all_reads.extend(t.reads);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Program;
+    use cfront::parser::parse;
+
+    fn program(src: &str) -> Program {
+        let r = parse(src);
+        assert!(!r.diags.has_errors(), "{}", r.diags.render_all(src));
+        Program::new(&r.unit)
+    }
+
+    fn program_with_pure(src: &str, pure_fns: &[&str]) -> Program {
+        let r = parse(src);
+        assert!(!r.diags.has_errors(), "{}", r.diags.render_all(src));
+        let set: HashSet<String> = pure_fns.iter().map(|s| s.to_string()).collect();
+        Program::with_pure_set(&r.unit, &set)
+    }
+
+    const FIB_SRC: &str = "\
+pure int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main() { return fib(18) % 251; }
+";
+
+    #[test]
+    fn memo_caches_verified_pure_calls() {
+        let prog = program_with_pure(FIB_SRC, &["fib"]);
+        assert_eq!(prog.resolved().cacheable_functions(), vec!["fib"]);
+        let with_memo = prog.run(InterpOptions::default()).expect("runs");
+        let without_memo = prog
+            .run(InterpOptions {
+                memo: false,
+                ..Default::default()
+            })
+            .expect("runs");
+        let legacy = prog.run_legacy(InterpOptions::default()).expect("runs");
+
+        // fib(18) = 2584 → exit 2584 % 251.
+        assert_eq!(with_memo.exit_code, 2584 % 251);
+        assert_eq!(without_memo.exit_code, with_memo.exit_code);
+        assert_eq!(legacy.exit_code, with_memo.exit_code);
+
+        // Memoized: one miss per distinct argument (0..=18), everything
+        // else hits; the naive run recomputes exponentially.
+        assert!(with_memo.counters.memo_hits > 0, "{:?}", with_memo.counters);
+        assert_eq!(with_memo.counters.memo_misses, 19);
+        assert!(
+            with_memo.counters.flops + with_memo.counters.int_ops
+                < without_memo.counters.flops + without_memo.counters.int_ops
+        );
+        // Memo-disabled resolved run matches the oracle exactly.
+        assert_eq!(without_memo.counters, legacy.counters);
+        assert_eq!(without_memo.counters.memo_hits, 0);
+    }
+
+    #[test]
+    fn memo_disabled_without_purity_info() {
+        let prog = program(FIB_SRC);
+        assert!(prog.resolved().cacheable_functions().is_empty());
+        let r = prog.run(InterpOptions::default()).expect("runs");
+        assert_eq!(r.counters.memo_hits, 0);
+        assert_eq!(r.counters.memo_misses, 0);
+        let legacy = prog.run_legacy(InterpOptions::default()).expect("runs");
+        assert_eq!(r.counters, legacy.counters);
+    }
+
+    #[test]
+    fn global_readers_are_not_cacheable() {
+        // Verified pure (GCC semantics allow reading globals), but the
+        // result depends on mutable state — must not be memoized.
+        let src = "\
+int scale;
+pure int f(int x) { return x * scale; }
+int main() {
+    scale = 2;
+    int a = f(10);
+    scale = 3;
+    int b = f(10);
+    return a + b; // 20 + 30: a second f(10) must not reuse the cache
+}
+";
+        let prog = program_with_pure(src, &["f"]);
+        assert!(prog.resolved().cacheable_functions().is_empty());
+        let r = prog.run(InterpOptions::default()).expect("runs");
+        assert_eq!(r.exit_code, 50);
+        assert_eq!(r.counters.memo_hits, 0);
+    }
+
+    #[test]
+    fn pointer_params_are_not_cacheable() {
+        let src = "\
+pure int sum(pure int* a, int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) acc += a[i];
+    return acc;
+}
+int main() {
+    int* buf = (int*) malloc(4 * sizeof(int));
+    for (int i = 0; i < 4; i++) buf[i] = i;
+    int first = sum((pure int*) buf, 4);
+    buf[0] = 100;
+    int second = sum((pure int*) buf, 4);
+    return first + second; // 6 + 106
+}
+";
+        let prog = program_with_pure(src, &["sum"]);
+        assert!(prog.resolved().cacheable_functions().is_empty());
+        let r = prog.run(InterpOptions::default()).expect("runs");
+        assert_eq!(r.exit_code, 112);
+        assert_eq!(r.counters.memo_hits, 0);
+    }
+
+    #[test]
+    fn impure_callees_break_cacheability() {
+        let src = "\
+int tick;
+int bump() { tick++; return tick; }
+pure int f(int x) { return x + 1; }
+int g(int x) { return f(x) + bump(); }
+int main() { return g(1) + g(1); }
+";
+        // Only f is verified pure; g is not declared pure and calls an
+        // impure function — f stays cacheable, g never enters the set.
+        let prog = program_with_pure(src, &["f"]);
+        assert_eq!(prog.resolved().cacheable_functions(), vec!["f"]);
+        let r = prog.run(InterpOptions::default()).expect("runs");
+        // g(1) = 2 + 1 = 3, then g(1) = 2 + 2 = 4.
+        assert_eq!(r.exit_code, 7);
+    }
+
+    #[test]
+    fn mutually_recursive_pure_functions_stay_cacheable() {
+        let src = "\
+pure int is_odd(int n);
+pure int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+pure int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+int main() { return is_even(20) * 10 + is_odd(7); }
+";
+        let prog = program_with_pure(src, &["is_even", "is_odd"]);
+        let mut cacheable = prog.resolved().cacheable_functions();
+        cacheable.sort_unstable();
+        assert_eq!(cacheable, vec!["is_even", "is_odd"]);
+        let r = prog.run(InterpOptions::default()).expect("runs");
+        assert_eq!(r.exit_code, 11);
+    }
+
+    #[test]
+    fn memo_results_are_shared_across_parallel_iterations() {
+        let src = "\
+pure int weight(int k) { int acc = 0; for (int j = 0; j <= k % 7; j++) acc += j; return acc; }
+int main() {
+    int* out = (int*) malloc(128 * sizeof(int));
+#pragma omp parallel for schedule(dynamic,4)
+    for (int i = 0; i < 128; i++) out[i] = weight(i);
+    int total = 0;
+    for (int i = 0; i < 128; i++) total += out[i];
+    return total % 199;
+}
+";
+        let prog = program_with_pure(src, &["weight"]);
+        assert_eq!(prog.resolved().cacheable_functions(), vec!["weight"]);
+        let seq = prog.run(InterpOptions::default()).expect("seq");
+        let par = prog
+            .run(InterpOptions {
+                threads: 4,
+                ..Default::default()
+            })
+            .expect("par");
+        let legacy = prog.run_legacy(InterpOptions::default()).expect("legacy");
+        assert_eq!(seq.exit_code, par.exit_code);
+        assert_eq!(seq.exit_code, legacy.exit_code);
+        // 128 calls with only 128 distinct k but k % 7 has 7 classes…
+        // arguments are the raw k, so every k is a distinct key: first
+        // run sees 128 misses; the hits come from repeated harness runs
+        // only. Verify the counters stay consistent instead.
+        assert_eq!(
+            seq.counters.memo_hits + seq.counters.memo_misses,
+            128,
+            "{:?}",
+            seq.counters
+        );
+    }
+
+    /// The one documented divergence (module docs): the resolved engine
+    /// implements ISO-C block scoping, the oracle keeps a flat per-call
+    /// name map. Shadowing programs get the *correct* answer here.
+    #[test]
+    fn scoping_divergence_from_oracle_is_iso_c() {
+        let shadow = program("int main() { int x = 1; { int x = 2; x = x + 1; } return x; }");
+        // ISO C: the inner `x` dies with its block.
+        assert_eq!(
+            shadow
+                .run(InterpOptions::default())
+                .expect("runs")
+                .exit_code,
+            1
+        );
+        // The flat-scoped oracle lets the inner write clobber the outer.
+        assert_eq!(
+            shadow
+                .run_legacy(InterpOptions::default())
+                .expect("runs")
+                .exit_code,
+            3
+        );
+
+        // Use-after-scope is ill-formed C: the resolved engine rejects it,
+        // the oracle leaks the iterator past the loop.
+        let leak = program("int main() { for (int i = 0; i < 3; i++) ; return i; }");
+        assert!(leak.run(InterpOptions::default()).is_err());
+        assert_eq!(
+            leak.run_legacy(InterpOptions::default())
+                .expect("runs")
+                .exit_code,
+            3
+        );
+    }
+
+    /// Strided parallel loops must be rejected, not silently run with
+    /// stride 1 (both engines share the tightened header check).
+    #[test]
+    fn non_unit_stride_parallel_loop_is_rejected() {
+        let src = "\
+int main() {
+    int* a = (int*) malloc(64 * sizeof(int));
+#pragma omp parallel for
+    for (int i = 0; i < 64; i += 2) a[i] = i;
+    return 0;
+}
+";
+        let prog = program(src);
+        for r in [
+            prog.run(InterpOptions::default()),
+            prog.run_legacy(InterpOptions::default()),
+        ] {
+            let err = r.expect_err("stride 2 must be rejected");
+            assert!(err.message.contains("unit increment"), "{}", err.message);
+        }
+        // `i += 1` stays accepted.
+        let unit = program(
+            "int main() {\n\
+                 int* a = (int*) malloc(8 * sizeof(int));\n\
+             #pragma omp parallel for\n\
+                 for (int i = 0; i < 8; i += 1) a[i] = i * 3;\n\
+                 return a[7];\n\
+             }",
+        );
+        assert_eq!(
+            unit.run(InterpOptions::default()).expect("runs").exit_code,
+            21
+        );
+    }
+
+    #[test]
+    fn resolved_matches_legacy_on_mixed_program() {
+        let src = "\
+int g;
+struct s1 { int v; int w; };
+struct s2 { int pad[3]; int w; };
+int helper(int x, int y) { int t = x * y; if (t < 0) t = -t; return t % 97; }
+float fhelper(float x) { return x * 0.5f + 3.0f; }
+int main() {
+    int acc = 0;
+    g = 17;
+    struct s1 p;
+    struct s2 q;
+    p.w = 4;
+    q.w = 9;
+    int* a = (int*) malloc(64 * sizeof(int));
+    float* b = (float*) malloc(64 * sizeof(float));
+#pragma omp parallel for
+    for (int i = 0; i < 64; i++) {
+        a[i] = helper(i, 13) + (i ^ 5);
+        b[i] = fhelper(i);
+    }
+    for (int i = 0; i < 64; i++) { acc += a[i] % 31; acc += (int) b[i]; }
+    acc += p.w * 10 + q.w + g;
+    printf(\"acc=%d g=%d\\n\", acc, g);
+    return acc % 113;
+}
+";
+        let prog = program(src);
+        for threads in [1usize, 4] {
+            let opts = InterpOptions {
+                threads,
+                ..Default::default()
+            };
+            let resolved = prog.run(opts).expect("resolved");
+            let legacy = prog.run_legacy(opts).expect("legacy");
+            assert_eq!(resolved.exit_code, legacy.exit_code, "threads={threads}");
+            assert_eq!(resolved.output, legacy.output, "threads={threads}");
+            assert_eq!(
+                resolved.counters.without_memo(),
+                legacy.counters,
+                "threads={threads}"
+            );
+        }
+    }
+}

@@ -139,7 +139,10 @@ impl Memory {
         let mut g = self.allocs.write();
         let id = g.len() as u32;
         g.push(Arc::new(Allocation::new(len.max(1))));
-        Ptr { alloc: id, index: 0 }
+        Ptr {
+            alloc: id,
+            index: 0,
+        }
     }
 
     /// Mark an allocation freed (slots become inaccessible).
@@ -176,10 +179,12 @@ impl Memory {
         self.with_alloc(p, |a| {
             let idx = usize::try_from(p.index)
                 .map_err(|_| MemError(format!("negative index {}", p.index)))?;
-            let cell = a
-                .slots
-                .get(idx)
-                .ok_or_else(|| MemError(format!("load out of bounds at index {idx} (len {})", a.len())))?;
+            let cell = a.slots.get(idx).ok_or_else(|| {
+                MemError(format!(
+                    "load out of bounds at index {idx} (len {})",
+                    a.len()
+                ))
+            })?;
             // SAFETY: see `Allocation`'s Sync justification.
             Ok(unsafe { *cell.get() })
         })
@@ -189,10 +194,12 @@ impl Memory {
         self.with_alloc(p, |a| {
             let idx = usize::try_from(p.index)
                 .map_err(|_| MemError(format!("negative index {}", p.index)))?;
-            let cell = a
-                .slots
-                .get(idx)
-                .ok_or_else(|| MemError(format!("store out of bounds at index {idx} (len {})", a.len())))?;
+            let cell = a.slots.get(idx).ok_or_else(|| {
+                MemError(format!(
+                    "store out of bounds at index {idx} (len {})",
+                    a.len()
+                ))
+            })?;
             // SAFETY: see `Allocation`'s Sync justification.
             unsafe { *cell.get() = v };
             Ok(())
@@ -224,6 +231,10 @@ pub struct Counters {
     pub stores: AtomicU64,
     pub calls: AtomicU64,
     pub branches: AtomicU64,
+    /// Pure-call memoization cache hits (resolved engine only).
+    pub memo_hits: AtomicU64,
+    /// Pure-call memoization cache misses (consults that executed).
+    pub memo_misses: AtomicU64,
 }
 
 impl Counters {
@@ -253,6 +264,8 @@ impl Counters {
             stores: self.stores.load(Ordering::Relaxed),
             calls: self.calls.load(Ordering::Relaxed),
             branches: self.branches.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -266,11 +279,26 @@ pub struct CounterSnapshot {
     pub stores: u64,
     pub calls: u64,
     pub branches: u64,
+    /// Pure-call memo cache hits/misses (zero on the legacy engine).
+    pub memo_hits: u64,
+    pub memo_misses: u64,
 }
 
 impl CounterSnapshot {
+    /// Executed-operation total; memo statistics are bookkeeping, not
+    /// executed operations, so they are excluded.
     pub fn total(&self) -> u64 {
         self.flops + self.int_ops + self.loads + self.stores + self.calls + self.branches
+    }
+
+    /// Copy with the memo statistics zeroed — the "counters modulo cache
+    /// hits" projection the differential tests compare on.
+    pub fn without_memo(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            memo_hits: 0,
+            memo_misses: 0,
+            ..*self
+        }
     }
 }
 
@@ -327,7 +355,8 @@ mod tests {
         let m = Memory::new();
         let p = m.alloc(1024);
         machine::parallel_for(1024, 8, machine::OmpSchedule::Dynamic(16), |i| {
-            m.store(p.offset(i as i64), Scalar::I(i as i64 * 2)).unwrap();
+            m.store(p.offset(i as i64), Scalar::I(i as i64 * 2))
+                .unwrap();
         });
         for i in 0..1024 {
             assert_eq!(m.load(p.offset(i)).unwrap(), Scalar::I(i * 2));

@@ -44,7 +44,9 @@ pub mod stdfns;
 pub mod subst;
 
 pub use lower::{lower_pure, LowerStats};
-pub use pipeline::{finish, run_pc_cc, FinishedProgram, PcCcOptions, PcCcOutput};
+pub use pipeline::{
+    finish, run_pc_cc, verified_pure_set, FinishedProgram, PcCcOptions, PcCcOutput,
+};
 pub use purity::{verify_unit, PurityReport};
 pub use scop::{mark_scops, ScopReport};
 pub use stdfns::{PureSet, ALLOC_FNS, PURE_STDLIB};

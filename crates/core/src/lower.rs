@@ -84,10 +84,12 @@ mod tests {
     fn listing7_lowers_to_listing8_signature() {
         // Paper Listing 8: `pure float dot(pure float* a, ...)` becomes
         // `float dot(const float* a, ...)`.
-        let (out, stats) = lower(
-            "pure float dot(pure float* a, pure float* b, int size) { return a[0] * b[0]; }",
+        let (out, stats) =
+            lower("pure float dot(pure float* a, pure float* b, int size) { return a[0] * b[0]; }");
+        assert!(
+            out.contains("float dot(const float* a, const float* b, int size)"),
+            "{out}"
         );
-        assert!(out.contains("float dot(const float* a, const float* b, int size)"), "{out}");
         assert!(!out.contains("pure"), "{out}");
         assert_eq!(stats.functions_unmarked, 1);
         assert_eq!(stats.pointers_consted, 2);

@@ -43,6 +43,24 @@ pub struct PcCcOutput {
     pub diags: Diagnostics,
 }
 
+/// Purity verdicts as the set of user-function names the interpreter
+/// consumes (`cinterp::Program::with_pure_set`). A successful PC-CC run
+/// means every declared-pure function *verified*, so downstream stages
+/// may apply pure-call optimizations (e.g. the interpreter's memo cache)
+/// to exactly these names. Single source of truth for that contract —
+/// `PcCcOutput::verified_pure_set` and `purec`'s `ChainOutput` both
+/// delegate here.
+pub fn verified_pure_set(declared_pure: &[String]) -> std::collections::HashSet<String> {
+    declared_pure.iter().cloned().collect()
+}
+
+impl PcCcOutput {
+    /// See [`verified_pure_set`].
+    pub fn verified_pure_set(&self) -> std::collections::HashSet<String> {
+        verified_pure_set(&self.declared_pure)
+    }
+}
+
 /// Options for the PC-CC stage.
 #[derive(Debug, Clone)]
 pub struct PcCcOptions {
@@ -190,19 +208,14 @@ int main(int argc, char** argv) {
         // Two scops: the dot-loop in main and the accumulate loop in `dot`
         // itself (it calls only pure `mult`).
         assert!(out.scops_marked >= 1);
-        assert_eq!(out.subst.len() >= 1, true);
+        assert!(!out.subst.is_empty());
         assert!(out.pure_set.contains("dot"));
     }
 
     #[test]
     fn finish_produces_standard_c() {
         let out = run_pc_cc(MATMUL_SRC, PcCcOptions::default()).unwrap();
-        let finished = finish(
-            out.unit,
-            &out.subst,
-            &HashMap::new(),
-            &out.system_includes,
-        );
+        let finished = finish(out.unit, &out.subst, &HashMap::new(), &out.system_includes);
         assert!(finished.text.starts_with("#include <stdio.h>"));
         assert!(!finished.text.contains("pure "), "{}", finished.text);
         assert!(!finished.text.contains("tmpConst_"), "{}", finished.text);

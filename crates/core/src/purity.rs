@@ -241,7 +241,13 @@ impl<'a> FnChecker<'a> {
                     if dec.ty.pure_qual {
                         self.pure_assigned.insert(dec.name.clone());
                     }
-                    self.check_pointer_binding(&dec.name, binding, init, dec.span, dec.ty.pure_qual);
+                    self.check_pointer_binding(
+                        &dec.name,
+                        binding,
+                        init,
+                        dec.span,
+                        dec.ty.pure_qual,
+                    );
                 }
             }
         }
@@ -272,9 +278,9 @@ impl<'a> FnChecker<'a> {
                     self.check_read(a);
                 }
             }
-            ExprKind::Unary(_, inner)
-            | ExprKind::Cast(_, inner)
-            | ExprKind::SizeofExpr(inner) => self.check_expr(inner),
+            ExprKind::Unary(_, inner) | ExprKind::Cast(_, inner) | ExprKind::SizeofExpr(inner) => {
+                self.check_expr(inner)
+            }
             ExprKind::Binary(_, l, r) | ExprKind::Comma(l, r) => {
                 self.check_expr(l);
                 self.check_expr(r);
@@ -431,8 +437,8 @@ impl<'a> FnChecker<'a> {
         span: Span,
         lhs_is_pure: bool,
     ) {
-        let lhs_is_pure = lhs_is_pure
-            || matches!(lhs_binding, Binding::PureLocalPtr | Binding::PurePtrParam);
+        let lhs_is_pure =
+            lhs_is_pure || matches!(lhs_binding, Binding::PureLocalPtr | Binding::PurePtrParam);
 
         // A top-level `(pure T*)` cast blesses the binding — but only when
         // the receiving pointer is itself pure (Listing 3).
@@ -568,7 +574,11 @@ mod tests {
 
     fn verify(src: &str) -> PurityReport {
         let r = parse(src);
-        assert!(!r.diags.has_errors(), "parse failed: {}", r.diags.render_all(src));
+        assert!(
+            !r.diags.has_errors(),
+            "parse failed: {}",
+            r.diags.render_all(src)
+        );
         verify_unit(&r.unit, PureSet::seeded())
     }
 
@@ -605,7 +615,9 @@ mod tests {
              }",
         );
         assert!(!report.ok());
-        assert!(report.diags.has_code(Code::PureAssignsExternalPtrWithoutCast));
+        assert!(report
+            .diags
+            .has_code(Code::PureAssignsExternalPtrWithoutCast));
     }
 
     #[test]
@@ -620,7 +632,8 @@ mod tests {
 
     #[test]
     fn self_recursion_is_allowed() {
-        let report = verify("pure int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }");
+        let report =
+            verify("pure int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }");
         assert!(report.ok(), "{:?}", report.diags.items());
     }
 
@@ -750,7 +763,9 @@ mod tests {
     fn pure_param_to_plain_local_rejected() {
         let report = verify("pure int f(pure int* p1) { int* q = p1; return q[0]; }");
         assert!(!report.ok());
-        assert!(report.diags.has_code(Code::PureAssignsExternalPtrWithoutCast));
+        assert!(report
+            .diags
+            .has_code(Code::PureAssignsExternalPtrWithoutCast));
     }
 
     #[test]

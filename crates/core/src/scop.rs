@@ -15,7 +15,6 @@ use crate::stdfns::PureSet;
 use cfront::ast::*;
 use cfront::diag::{Code, Diagnostics};
 
-
 /// Outcome of SCoP marking over a translation unit.
 #[derive(Debug, Default)]
 pub struct ScopReport {
@@ -62,7 +61,10 @@ fn mark_block(block: &mut Block, pure_set: &PureSet, report: &mut ScopReport) {
             descend(&mut block.stmts[i], pure_set, report);
         } else if matches!(
             block.stmts[i].kind,
-            StmtKind::Block(_) | StmtKind::If { .. } | StmtKind::While { .. } | StmtKind::DoWhile { .. }
+            StmtKind::Block(_)
+                | StmtKind::If { .. }
+                | StmtKind::While { .. }
+                | StmtKind::DoWhile { .. }
         ) {
             descend(&mut block.stmts[i], pure_set, report);
         }
@@ -163,7 +165,9 @@ fn check_listing5(stmt: &Stmt, pure_set: &PureSet, diags: &mut Diagnostics) {
                     inner.kind,
                     ExprKind::Ident(_) | ExprKind::Index(..) | ExprKind::Member { .. }
                 );
-                let Some(root) = inner.lvalue_root() else { continue };
+                let Some(root) = inner.lvalue_root() else {
+                    continue;
+                };
                 if is_pointerish && root == lhs_root && !is_iterator_like(stmt, root) {
                     diags.error(
                         Code::PureParamWrittenInLoop,
@@ -239,16 +243,14 @@ mod tests {
 
     #[test]
     fn matmul_loop_is_marked() {
-        let (unit, report) = run(
-            "float **A, **Bt, **C;\n\
+        let (unit, report) = run("float **A, **Bt, **C;\n\
              pure float dot(pure float* a, pure float* b, int size) { return a[0] * b[0]; }\n\
              int main() {\n\
                  for (int i = 0; i < 4096; ++i)\n\
                      for (int j = 0; j < 4096; ++j)\n\
                          C[i][j] = dot((pure float*)A[i], (pure float*)Bt[j], 4096);\n\
                  return 0;\n\
-             }",
-        );
+             }");
         assert_eq!(report.marked, 1);
         assert!(!report.diags.has_errors());
         let out = print_unit(&unit);
@@ -260,13 +262,11 @@ mod tests {
 
     #[test]
     fn loop_calling_impure_function_is_not_marked() {
-        let (_, report) = run(
-            "void log_step(int i);\n\
+        let (_, report) = run("void log_step(int i);\n\
              int main() {\n\
                  for (int i = 0; i < 10; i++) log_step(i);\n\
                  return 0;\n\
-             }",
-        );
+             }");
         assert_eq!(report.marked, 0);
         assert_eq!(report.skipped_impure, 1);
     }
@@ -313,29 +313,25 @@ mod tests {
 
     #[test]
     fn iterator_argument_is_not_a_hazard() {
-        let (_, report) = run(
-            "pure int f(int i) { return i * 2; }\n\
+        let (_, report) = run("pure int f(int i) { return i * 2; }\n\
              int main() {\n\
                  int out[10];\n\
                  for (int i = 0; i < 10; i++) out[i] = f(i);\n\
                  return 0;\n\
-             }",
-        );
+             }");
         assert!(!report.diags.has_errors());
         assert_eq!(report.marked, 1);
     }
 
     #[test]
     fn plain_affine_loop_without_calls_is_marked() {
-        let (_, report) = run(
-            "int main() {\n\
+        let (_, report) = run("int main() {\n\
                  float a[64][64];\n\
                  for (int i = 0; i < 64; i++)\n\
                      for (int j = 0; j < 64; j++)\n\
                          a[i][j] = i + j;\n\
                  return 0;\n\
-             }",
-        );
+             }");
         assert_eq!(report.marked, 1);
     }
 
@@ -343,14 +339,12 @@ mod tests {
     fn malloc_init_loop_is_marked_as_pure() {
         // The Fig. 3 artifact: the allocation loop qualifies because malloc
         // is in the seeded registry.
-        let (_, report) = run(
-            "float** A;\n\
+        let (_, report) = run("float** A;\n\
              int main() {\n\
                  for (int i = 0; i < 4096; i++)\n\
                      A[i] = (float*) malloc(4096 * sizeof(float));\n\
                  return 0;\n\
-             }",
-        );
+             }");
         assert_eq!(report.marked, 1);
     }
 
@@ -373,15 +367,13 @@ mod tests {
 
     #[test]
     fn only_outermost_loop_of_nest_is_wrapped() {
-        let (unit, report) = run(
-            "int main() {\n\
+        let (unit, report) = run("int main() {\n\
                  int a[8][8];\n\
                  for (int i = 0; i < 8; i++)\n\
                      for (int j = 0; j < 8; j++)\n\
                          a[i][j] = 0;\n\
                  return 0;\n\
-             }",
-        );
+             }");
         assert_eq!(report.marked, 1);
         let out = print_unit(&unit);
         assert_eq!(out.matches("#pragma scop").count(), 1);
@@ -390,14 +382,12 @@ mod tests {
 
     #[test]
     fn two_sibling_loops_both_marked() {
-        let (unit, report) = run(
-            "int main() {\n\
+        let (unit, report) = run("int main() {\n\
                  int a[8];\n\
                  for (int i = 0; i < 8; i++) a[i] = i;\n\
                  for (int j = 0; j < 8; j++) a[j] = a[j] * 2;\n\
                  return 0;\n\
-             }",
-        );
+             }");
         assert_eq!(report.marked, 2);
         let out = print_unit(&unit);
         assert_eq!(out.matches("#pragma scop").count(), 2);

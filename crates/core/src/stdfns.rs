@@ -23,13 +23,11 @@ pub const PURE_STDLIB: &[&str] = &[
     // <math.h> double forms
     "sin", "cos", "tan", "asin", "acos", "atan", "atan2", "sinh", "cosh", "tanh", "exp", "log",
     "log2", "log10", "sqrt", "pow", "fabs", "floor", "ceil", "round", "trunc", "fmod", "fmin",
-    "fmax", "hypot", "cbrt", "expm1", "log1p", "copysign",
-    // <math.h> float forms
-    "sinf", "cosf", "tanf", "asinf", "acosf", "atanf", "atan2f", "expf", "logf", "log2f",
-    "log10f", "sqrtf", "powf", "fabsf", "floorf", "ceilf", "roundf", "fmodf", "fminf", "fmaxf",
+    "fmax", "hypot", "cbrt", "expm1", "log1p", "copysign", // <math.h> float forms
+    "sinf", "cosf", "tanf", "asinf", "acosf", "atanf", "atan2f", "expf", "logf", "log2f", "log10f",
+    "sqrtf", "powf", "fabsf", "floorf", "ceilf", "roundf", "fmodf", "fminf", "fmaxf",
     // <stdlib.h> pure-ish
-    "abs", "labs", "llabs", "atoi", "atof", "atol",
-    // <string.h> read-only
+    "abs", "labs", "llabs", "atoi", "atof", "atol", // <string.h> read-only
     "strlen", "strcmp", "strncmp", "memcmp",
 ];
 

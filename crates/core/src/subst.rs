@@ -133,7 +133,9 @@ pub fn reinsert_calls(
         for stmt in &mut body.stmts {
             visit_exprs_mut(stmt, &mut |e| {
                 let Some(name) = e.as_ident() else { return };
-                let Some(original) = map.get(name) else { return };
+                let Some(original) = map.get(name) else {
+                    return;
+                };
                 let mut call = original.clone();
                 rename_iterators(&mut call, iter_map);
                 *e = call;
@@ -221,7 +223,10 @@ mod tests {
         let n = reinsert_calls(&mut unit, &map, &iter_map);
         assert_eq!(n, 1);
         let out = print_unit(&unit);
-        assert!(out.contains("dot((pure float*)A[t1], (pure float*)Bt[t2], 64)"), "{out}");
+        assert!(
+            out.contains("dot((pure float*)A[t1], (pure float*)Bt[t2], 64)"),
+            "{out}"
+        );
         assert!(!out.contains("tmpConst_"), "{out}");
     }
 
@@ -253,7 +258,10 @@ mod tests {
         iter_map.insert("i".to_string(), parse_expr_str("t1").unwrap());
         reinsert_calls(&mut unit, &map, &iter_map);
         let out = print_unit(&unit);
-        assert!(out.contains("a[i] = f(g(t1));") || out.contains("= f(g(t1))"), "{out}");
+        assert!(
+            out.contains("a[i] = f(g(t1));") || out.contains("= f(g(t1))"),
+            "{out}"
+        );
     }
 
     #[test]

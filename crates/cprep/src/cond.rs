@@ -16,7 +16,10 @@ pub fn eval(expr: &str, macros: &MacroTable) -> Result<i64, String> {
     let mut p = CondParser { toks, pos: 0 };
     let v = p.parse_expr(0)?;
     if p.pos != p.toks.len() {
-        return Err(format!("trailing tokens after expression: {:?}", &p.toks[p.pos..]));
+        return Err(format!(
+            "trailing tokens after expression: {:?}",
+            &p.toks[p.pos..]
+        ));
     }
     Ok(v)
 }
@@ -27,20 +30,18 @@ fn resolve_defined(expr: &str, macros: &MacroTable) -> Result<String, String> {
     let mut i = 0;
     while i < bytes.len() {
         if expr[i..].starts_with("defined") {
-            let before_ok = i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+            let before_ok =
+                i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
             let after = i + "defined".len();
-            let after_ok =
-                after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+            let after_ok = after >= bytes.len()
+                || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
             if before_ok && after_ok {
                 i = after;
                 while i < bytes.len() && (bytes[i] as char).is_whitespace() {
                     i += 1;
                 }
                 let (name, next) = if i < bytes.len() && bytes[i] == b'(' {
-                    let close = expr[i..]
-                        .find(')')
-                        .ok_or("unterminated defined(")?
-                        + i;
+                    let close = expr[i..].find(')').ok_or("unterminated defined(")? + i;
                     (expr[i + 1..close].trim().to_string(), close + 1)
                 } else {
                     let start = i;
@@ -89,8 +90,7 @@ fn tokenize(s: &str) -> Result<Vec<Tok>, String> {
                 while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
                     i += 1;
                 }
-                let v = i64::from_str_radix(&s[start + 2..i], 16)
-                    .map_err(|e| e.to_string())?;
+                let v = i64::from_str_radix(&s[start + 2..i], 16).map_err(|e| e.to_string())?;
                 toks.push(Tok::Num(v));
             } else {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -113,7 +113,11 @@ fn tokenize(s: &str) -> Result<Vec<Tok>, String> {
             toks.push(Tok::Num(0));
             continue;
         }
-        let two = if i + 1 < bytes.len() { &s[i..i + 2] } else { "" };
+        let two = if i + 1 < bytes.len() {
+            &s[i..i + 2]
+        } else {
+            ""
+        };
         let op2 = ["&&", "||", "==", "!=", "<=", ">=", "<<", ">>"];
         if let Some(op) = op2.iter().find(|o| **o == two) {
             toks.push(Tok::Op(op));

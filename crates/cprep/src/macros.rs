@@ -113,9 +113,7 @@ impl MacroTable {
             }
             if c.is_ascii_alphabetic() || c == b'_' {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &text[start..i];
@@ -138,9 +136,11 @@ impl MacroTable {
                         }
                         if j < bytes.len() && bytes[j] == b'(' {
                             match split_args(&text[j..]) {
-                                Some((args, consumed)) if args.len() == params.len()
-                                    || (params.is_empty() && args.len() == 1
-                                        && args[0].trim().is_empty()) =>
+                                Some((args, consumed))
+                                    if args.len() == params.len()
+                                        || (params.is_empty()
+                                            && args.len() == 1
+                                            && args[0].trim().is_empty()) =>
                                 {
                                     i = j + consumed;
                                     let mut substituted = String::with_capacity(body.len());
@@ -307,7 +307,10 @@ mod tests {
     #[test]
     fn strings_are_not_expanded() {
         let t = table(&["N 4"]);
-        assert_eq!(t.expand_line("printf(\"N = %d\", N);"), "printf(\"N = %d\", 4);");
+        assert_eq!(
+            t.expand_line("printf(\"N = %d\", N);"),
+            "printf(\"N = %d\", 4);"
+        );
     }
 
     #[test]

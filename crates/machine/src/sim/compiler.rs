@@ -73,9 +73,7 @@ impl Compiler {
     ///   remained out-of-line (the `pure` chain's shape);
     /// * `simd_pragma` — SICA emitted an explicit vectorization pragma.
     pub fn vector_factor(&self, extracted_call: bool, simd_pragma: bool) -> f64 {
-        if simd_pragma {
-            self.simd_speedup
-        } else if extracted_call && self.vectorizes_extracted {
+        if simd_pragma || (extracted_call && self.vectorizes_extracted) {
             self.simd_speedup
         } else {
             1.0
@@ -112,8 +110,6 @@ mod tests {
     #[test]
     fn icc_scalar_slightly_faster() {
         assert!(Compiler::icc16().scalar_ipc > Compiler::gcc_o2().scalar_ipc);
-        assert!(
-            Compiler::icc16().call_overhead_cycles < Compiler::gcc_o2().call_overhead_cycles
-        );
+        assert!(Compiler::icc16().call_overhead_cycles < Compiler::gcc_o2().call_overhead_cycles);
     }
 }

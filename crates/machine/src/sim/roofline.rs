@@ -115,7 +115,12 @@ pub fn region_time(
 /// A full program may be several regions (e.g. the heat application's 200
 /// time steps, or matmul's init loop + compute loop). This helper sums
 /// per-region times.
-pub fn program_time(regions: &[(Workload, Variant, bool)], m: &Machine, c: &Compiler, threads: usize) -> f64 {
+pub fn program_time(
+    regions: &[(Workload, Variant, bool)],
+    m: &Machine,
+    c: &Compiler,
+    threads: usize,
+) -> f64 {
     regions
         .iter()
         .map(|(w, v, parallel)| region_time(m, c, w, v, threads, *parallel))
@@ -228,7 +233,10 @@ mod tests {
         assert!(pure_icc < pure_gcc / 2.5, "{pure_icc} vs {pure_gcc}");
         let pluto_gcc = region_time(&m, &gcc, &w, &Variant::pluto(1.0), 1, false);
         let pluto_icc = region_time(&m, &icc, &w, &Variant::pluto(1.0), 1, false);
-        assert!(pluto_icc > pluto_gcc * 0.8, "inlined gains only scalar margin");
+        assert!(
+            pluto_icc > pluto_gcc * 0.8,
+            "inlined gains only scalar margin"
+        );
     }
 
     #[test]
@@ -248,7 +256,10 @@ mod tests {
         dyn_v.schedule = OmpSchedule::Dynamic(1);
         let ts = region_time(&m, &c, &w, &static_v, 32, true);
         let td = region_time(&m, &c, &w, &dyn_v, 32, true);
-        assert!(td < ts * 0.7, "dynamic must beat static on tails: {td} vs {ts}");
+        assert!(
+            td < ts * 0.7,
+            "dynamic must beat static on tails: {td} vs {ts}"
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl Machine {
             sockets: 4,
             cores_per_socket: 16,
             freq_hz: 2.1e9,
-            node_bw: 26.0e9,  // ~100 GiB/s aggregate over 4 nodes
+            node_bw: 26.0e9, // ~100 GiB/s aggregate over 4 nodes
             core_bw: 6.0e9,
             remote_penalty: 0.90,
             spread_efficiency: 0.95,
@@ -55,7 +55,9 @@ impl Machine {
     /// Sockets spanned by `threads` threads under compact pinning
     /// (fill socket 0 first — the paper's `numactl` policy).
     pub fn sockets_spanned(&self, threads: usize) -> usize {
-        threads.div_ceil(self.cores_per_socket).clamp(1, self.sockets)
+        threads
+            .div_ceil(self.cores_per_socket)
+            .clamp(1, self.sockets)
     }
 
     /// Effective DRAM bandwidth available to `threads` compute threads.

@@ -77,7 +77,11 @@ impl AffineExpr {
             return AffineExpr::constant(0);
         }
         AffineExpr {
-            coeffs: self.coeffs.iter().map(|(n, c)| (n.clone(), c * k)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(n, c)| (n.clone(), c * k))
+                .collect(),
             konst: self.konst * k,
         }
     }

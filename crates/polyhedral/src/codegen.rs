@@ -98,8 +98,8 @@ pub fn generate(
     let mut iter_affine: HashMap<String, AffineExpr> = HashMap::new();
     for (i, dim) in scop.loops.iter().enumerate() {
         let mut e = AffineExpr::constant(0);
-        for k in 0..n {
-            e = e.add(&AffineExpr::term(point_iter(k), inverse[i][k]));
+        for (k, &coeff) in inverse[i].iter().enumerate().take(n) {
+            e = e.add(&AffineExpr::term(point_iter(k), coeff));
         }
         iter_map.insert(dim.name.clone(), e.to_ast());
         iter_affine.insert(dim.name.clone(), e);
@@ -115,7 +115,10 @@ pub fn generate(
                 None => e = e.add(&AffineExpr::term(name.clone(), coeff)), // parameter
             }
         }
-        tsys.push(Constraint { expr: e, rel: c.rel });
+        tsys.push(Constraint {
+            expr: e,
+            rel: c.rel,
+        });
     }
 
     // Tiling: only across a full permutable band.
@@ -442,7 +445,10 @@ mod tests {
         let g = generate(&scop, &t, CodegenOptions::default()).expect("codegen");
         let out = print_all(&g);
         assert!(g.parallelized);
-        assert!(out.contains("#pragma omp parallel for private(t2)"), "{out}");
+        assert!(
+            out.contains("#pragma omp parallel for private(t2)"),
+            "{out}"
+        );
         assert!(out.contains("for (int t1 = 0; t1 <= 4095; t1++)"), "{out}");
         assert!(out.contains("C[t1][t2] = tmpConst_dot_0;"), "{out}");
         // Iterator map points i→t1, j→t2.
@@ -468,7 +474,10 @@ mod tests {
         assert!(out.contains("t1 + 1"), "{out}");
         assert!(out.contains("t1 + 62"), "{out}");
         // Statement indices adapt: i→t1, j→t2−t1.
-        assert!(out.contains("a[t1][t2 - t1]") || out.contains("a[t1][-t1 + t2]"), "{out}");
+        assert!(
+            out.contains("a[t1][t2 - t1]") || out.contains("a[t1][-t1 + t2]"),
+            "{out}"
+        );
         // Inner loop is the parallel one (wavefront).
         assert!(out.contains("#pragma omp parallel for"), "{out}");
     }
@@ -500,10 +509,16 @@ mod tests {
         assert!(out.contains("t2t"), "{out}");
         // Constant tile bounds fold at compile time (normalize() performs
         // the floord); the point loops keep max/min clamps.
-        assert!(out.contains("__pc_max") && out.contains("__pc_min"), "{out}");
+        assert!(
+            out.contains("__pc_max") && out.contains("__pc_min"),
+            "{out}"
+        );
         assert!(out.contains("32 * t1t"), "{out}");
         // Parallel pragma lands on the outermost (tile) loop.
-        assert!(out.contains("#pragma omp parallel for private(t2t, t1, t2)"), "{out}");
+        assert!(
+            out.contains("#pragma omp parallel for private(t2t, t1, t2)"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -546,9 +561,7 @@ mod tests {
 
     #[test]
     fn parametric_bounds_survive_codegen() {
-        let scop = scop_of(
-            "void f(int n, float* a) { for (int i = 0; i < n; i++) a[i] = 0; }",
-        );
+        let scop = scop_of("void f(int n, float* a) { for (int i = 0; i < n; i++) a[i] = 0; }");
         let deps = analyze(&scop);
         let t = compute_schedule(&scop, &deps);
         let g = generate(&scop, &t, CodegenOptions::default()).expect("codegen");
@@ -579,7 +592,11 @@ mod tests {
             .expect("codegen");
             let src = format!("void wrapper() {{\n{}\n}}", print_all(&g));
             let r = parse(&src);
-            assert!(!r.diags.has_errors(), "{}:\n{src}", r.diags.render_all(&src));
+            assert!(
+                !r.diags.has_errors(),
+                "{}:\n{src}",
+                r.diags.render_all(&src)
+            );
         }
     }
 }
@@ -610,9 +627,7 @@ mod codegen_proptests {
             if let Some(body) = &f.body {
                 for s in &body.stmts {
                     s.walk(&mut |st| {
-                        if found.is_none()
-                            && matches!(st.kind, cfront::ast::StmtKind::For { .. })
-                        {
+                        if found.is_none() && matches!(st.kind, cfront::ast::StmtKind::For { .. }) {
                             found = Some(st.clone());
                         }
                     });

@@ -117,8 +117,16 @@ pub fn analyze(scop: &Scop) -> Vec<Dependence> {
     for src in 0..n {
         for dst in 0..n {
             for (kind, src_accs, dst_accs) in [
-                (DepKind::Flow, &scop.stmts[src].writes, &scop.stmts[dst].reads),
-                (DepKind::Anti, &scop.stmts[src].reads, &scop.stmts[dst].writes),
+                (
+                    DepKind::Flow,
+                    &scop.stmts[src].writes,
+                    &scop.stmts[dst].reads,
+                ),
+                (
+                    DepKind::Anti,
+                    &scop.stmts[src].reads,
+                    &scop.stmts[dst].writes,
+                ),
                 (
                     DepKind::Output,
                     &scop.stmts[src].writes,
@@ -156,7 +164,13 @@ fn base_system(scop: &Scop, a: &Access, b: &Access) -> ConstraintSystem {
     let iters: std::collections::BTreeSet<&str> =
         scop.loops.iter().map(|l| l.name.as_str()).collect();
     let rename_iters = |e: &AffineExpr, f: &dyn Fn(&str) -> String| {
-        e.rename(&|n| if iters.contains(n) { f(n) } else { n.to_string() })
+        e.rename(&|n| {
+            if iters.contains(n) {
+                f(n)
+            } else {
+                n.to_string()
+            }
+        })
     };
     for (ia, ib) in a.indices.iter().zip(&b.indices) {
         let ea = rename_iters(ia, &src_name);
@@ -380,9 +394,8 @@ mod tests {
 
     #[test]
     fn parametric_bounds_still_analyzable() {
-        let scop = scop_of(
-            "void f(int n, float* a) { for (int i = 1; i < n; i++) a[i] = a[i - 1]; }",
-        );
+        let scop =
+            scop_of("void f(int n, float* a) { for (int i = 1; i < n; i++) a[i] = a[i - 1]; }");
         let deps = analyze(&scop);
         let flow = deps.iter().find(|d| d.kind == DepKind::Flow).expect("flow");
         assert_eq!(flow.level, Some(0));

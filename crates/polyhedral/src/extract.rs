@@ -21,16 +21,13 @@ pub fn extract_scop(for_stmt: &Stmt) -> Result<Scop, Diagnostics> {
     let mut cur = for_stmt;
 
     // Peel the perfect nest.
-    loop {
-        let StmtKind::For {
-            init,
-            cond,
-            step,
-            body,
-        } = &cur.kind
-        else {
-            break;
-        };
+    while let StmtKind::For {
+        init,
+        cond,
+        step,
+        body,
+    } = &cur.kind
+    {
         match extract_loop_dim(init, cond.as_ref(), step.as_ref()) {
             Ok(dim) => loops.push(dim),
             Err(msg) => {
@@ -75,11 +72,7 @@ pub fn extract_scop(for_stmt: &Stmt) -> Result<Scop, Diagnostics> {
         }
     }
 
-    diags.error(
-        Code::PolyUnsupported,
-        for_stmt.span,
-        "not a for-loop nest",
-    );
+    diags.error(Code::PolyUnsupported, for_stmt.span, "not a for-loop nest");
     Err(diags)
 }
 
@@ -176,16 +169,13 @@ fn extract_loop_dim(
             inner.as_ident() == Some(name.as_str())
         }
         ExprKind::Assign(AssignOp::Add, lhs, rhs) => {
-            lhs.as_ident() == Some(name.as_str())
-                && matches!(rhs.kind, ExprKind::IntLit(1))
+            lhs.as_ident() == Some(name.as_str()) && matches!(rhs.kind, ExprKind::IntLit(1))
         }
         ExprKind::Assign(AssignOp::Assign, lhs, rhs) => {
             // i = i + 1
             lhs.as_ident() == Some(name.as_str())
                 && AffineExpr::from_ast(rhs)
-                    .map(|e| {
-                        e.coeff(&name) == 1 && e.konst == 1 && e.coeffs.len() == 1
-                    })
+                    .map(|e| e.coeff(&name) == 1 && e.konst == 1 && e.coeffs.len() == 1)
                     .unwrap_or(false)
         }
         _ => false,
@@ -409,15 +399,16 @@ mod tests {
         assert_eq!(scop.stmts[0].writes[0].array, "C");
         assert_eq!(scop.stmts[0].writes[0].indices.len(), 2);
         // The placeholder reads as a scalar.
-        assert!(scop.stmts[0].reads.iter().any(|a| a.array == "tmpConst_dot_0"));
+        assert!(scop.stmts[0]
+            .reads
+            .iter()
+            .any(|a| a.array == "tmpConst_dot_0"));
         assert_eq!(scop.constant_trip_count(), Some(4096 * 4096));
     }
 
     #[test]
     fn extracts_parametric_bounds() {
-        let s = first_for(
-            "void f(int n, float* a) { for (int i = 0; i <= n - 1; i++) a[i] = 0; }",
-        );
+        let s = first_for("void f(int n, float* a) { for (int i = 0; i <= n - 1; i++) a[i] = 0; }");
         let scop = extract_scop(&s).unwrap();
         assert_eq!(scop.depth(), 1);
         assert!(scop.params.contains("n"));
@@ -433,11 +424,7 @@ mod tests {
                      b[i][j] = a[i - 1][j] + a[i + 1][j] + a[i][j - 1] + a[i][j + 1];\n}",
         );
         let scop = extract_scop(&s).unwrap();
-        let reads: Vec<String> = scop.stmts[0]
-            .reads
-            .iter()
-            .map(|a| a.to_string())
-            .collect();
+        let reads: Vec<String> = scop.stmts[0].reads.iter().map(|a| a.to_string()).collect();
         assert!(reads.contains(&"a[i - 1][j]".to_string()), "{reads:?}");
         assert!(reads.contains(&"a[i][j + 1]".to_string()), "{reads:?}");
         assert_eq!(scop.stmts[0].writes[0].to_string(), "b[i][j]");
@@ -459,7 +446,10 @@ mod tests {
         );
         let scop = extract_scop(&s).unwrap();
         let st = &scop.stmts[0];
-        assert!(st.writes.iter().any(|a| a.array == "res" && a.indices.is_empty()));
+        assert!(st
+            .writes
+            .iter()
+            .any(|a| a.array == "res" && a.indices.is_empty()));
         assert!(st.reads.iter().any(|a| a.array == "res"));
     }
 
@@ -509,9 +499,8 @@ mod tests {
         // ELL-style indirect addressing must be refused (the paper's LAMA
         // loop is only parallelizable because the indirection is hidden
         // inside the pure function).
-        let s = first_for(
-            "void f(float* a, int* idx) { for (int i = 0; i < 8; i++) a[idx[i]] = 0; }",
-        );
+        let s =
+            first_for("void f(float* a, int* idx) { for (int i = 0; i < 8; i++) a[idx[i]] = 0; }");
         assert!(extract_scop(&s).is_err());
     }
 

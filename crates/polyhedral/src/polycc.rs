@@ -69,7 +69,15 @@ impl PolyccReport {
     pub fn parallelized_count(&self) -> usize {
         self.regions
             .iter()
-            .filter(|r| matches!(r, RegionOutcome::Transformed { parallelized: true, .. }))
+            .filter(|r| {
+                matches!(
+                    r,
+                    RegionOutcome::Transformed {
+                        parallelized: true,
+                        ..
+                    }
+                )
+            })
             .count()
     }
 
@@ -326,7 +334,10 @@ int main() {
         assert_eq!(report.parallelized_count(), 1);
         let out = print_unit(&unit);
         assert!(!out.contains("pragma scop"), "{out}");
-        assert!(out.contains("#pragma omp parallel for private(t2)"), "{out}");
+        assert!(
+            out.contains("#pragma omp parallel for private(t2)"),
+            "{out}"
+        );
         assert!(out.contains("C[t1][t2]"), "{out}");
         // Placeholder recorded with its iterator map.
         let maps = report.placeholder_iter_maps();
@@ -418,9 +429,10 @@ void f(float** a) {
 ";
         let (unit, report) = run(src, PolyccOptions::default());
         assert_eq!(report.transformed_count(), 1);
-        let skewed = report.regions.iter().any(
-            |r| matches!(r, RegionOutcome::Transformed { skewed: true, .. }),
-        );
+        let skewed = report
+            .regions
+            .iter()
+            .any(|r| matches!(r, RegionOutcome::Transformed { skewed: true, .. }));
         assert!(skewed);
         let out = print_unit(&unit);
         assert!(out.contains("t2 - t1") || out.contains("-t1 + t2"), "{out}");

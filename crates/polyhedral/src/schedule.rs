@@ -264,9 +264,8 @@ fn rank(m: &mut [Vec<f64>]) -> usize {
             break;
         }
         // pivot
-        let Some(p) = (r..rows).max_by(|&a, &b| {
-            m[a][c].abs().partial_cmp(&m[b][c].abs()).unwrap()
-        }) else {
+        let Some(p) = (r..rows).max_by(|&a, &b| m[a][c].abs().partial_cmp(&m[b][c].abs()).unwrap())
+        else {
             continue;
         };
         if m[p][c].abs() < 1e-9 {
@@ -275,6 +274,9 @@ fn rank(m: &mut [Vec<f64>]) -> usize {
         m.swap(r, p);
         for i in (r + 1)..rows {
             let f = m[i][c] / m[r][c];
+            // Two rows of `m` are live at once (read r, write i), so the
+            // index loop cannot become an iterator chain.
+            #[allow(clippy::needless_range_loop)]
             for j in c..cols {
                 m[i][j] -= f * m[r][j];
             }
@@ -324,20 +326,15 @@ pub fn invert_unimodular(m: &[Vec<i64>]) -> Option<Vec<Vec<i64>>> {
         return None;
     }
     let mut inv = vec![vec![0i64; n]; n];
-    for i in 0..n {
-        for j in 0..n {
+    for (i, inv_row) in inv.iter_mut().enumerate() {
+        for (j, cell) in inv_row.iter_mut().enumerate() {
             // Cofactor C_ji for the (i,j) entry of the inverse.
             let minor: Vec<Vec<i64>> = (0..n)
                 .filter(|&r| r != j)
-                .map(|r| {
-                    (0..n)
-                        .filter(|&c| c != i)
-                        .map(|c| m[r][c])
-                        .collect()
-                })
+                .map(|r| (0..n).filter(|&c| c != i).map(|c| m[r][c]).collect())
                 .collect();
             let sign = if (i + j) % 2 == 0 { 1 } else { -1 };
-            inv[i][j] = sign * det(&minor) * d; // d = ±1 ⇒ division is mult
+            *cell = sign * det(&minor) * d; // d = ±1 ⇒ division is mult
         }
     }
     Some(inv)
@@ -547,9 +544,7 @@ mod more_schedule_tests {
     fn backward_dependence_limits_the_band() {
         // a[i] = a[i+1]: anti dep with distance +1 — still non-negative,
         // band covers the loop; it is sequential though.
-        let scop = scop_of(
-            "void f(float* a) { for (int i = 0; i < 63; i++) a[i] = a[i + 1]; }",
-        );
+        let scop = scop_of("void f(float* a) { for (int i = 0; i < 63; i++) a[i] = a[i + 1]; }");
         let deps = analyze(&scop);
         let t = compute_schedule(&scop, &deps);
         assert_eq!(t.outermost_parallel(), None);
@@ -558,9 +553,7 @@ mod more_schedule_tests {
 
     #[test]
     fn long_distance_dependence_bounds() {
-        let scop = scop_of(
-            "void f(float* a) { for (int i = 8; i < 64; i++) a[i] = a[i - 8]; }",
-        );
+        let scop = scop_of("void f(float* a) { for (int i = 8; i < 64; i++) a[i] = a[i - 8]; }");
         let deps = analyze(&scop);
         let flow = deps
             .iter()
@@ -586,7 +579,10 @@ mod more_schedule_tests {
     #[test]
     fn interval_dot_zero_coefficients_ignore_unknowns() {
         let d = [
-            crate::deps::DistBound { min: None, max: None },
+            crate::deps::DistBound {
+                min: None,
+                max: None,
+            },
             crate::deps::DistBound::exact(2),
         ];
         let (min, max) = interval_dot(&[0, 3], &d);

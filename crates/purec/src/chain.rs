@@ -73,8 +73,7 @@ pub fn compile(source: &str, opts: ChainOptions) -> Result<ChainOutput, Diagnost
     // Reinsert placeholders per region with that region's iterator map;
     // anything not covered by a transformed region maps identically.
     let per_placeholder = report.placeholder_iter_maps();
-    let calls_reinserted =
-        reinsert_per_region(&mut unit, &pcc.subst, &per_placeholder);
+    let calls_reinserted = reinsert_per_region(&mut unit, &pcc.subst, &per_placeholder);
 
     // Lowering + PC-PosPro (via purec_core::finish with an empty global
     // map — all placeholders were already handled above).
@@ -130,12 +129,16 @@ fn reinsert_per_region(
     use cfront::visit::visit_exprs_mut;
     let mut replaced = 0;
     for item in &mut unit.items {
-        let cfront::ast::Item::Function(f) = item else { continue };
+        let cfront::ast::Item::Function(f) = item else {
+            continue;
+        };
         let Some(body) = &mut f.body else { continue };
         for stmt in &mut body.stmts {
             visit_exprs_mut(stmt, &mut |e| {
                 let Some(name) = e.as_ident() else { return };
-                let Some(original) = subst.get(name) else { return };
+                let Some(original) = subst.get(name) else {
+                    return;
+                };
                 let mut call = original.clone();
                 if let Some(iter_map) = per_placeholder.get(name) {
                     purec_core::rename_iterators(&mut call, iter_map);
@@ -148,15 +151,33 @@ fn reinsert_per_region(
     replaced
 }
 
+impl ChainOutput {
+    /// Purity verdicts in the form the interpreter consumes; delegates to
+    /// [`purec_core::verified_pure_set`] (the single statement of the
+    /// declared-implies-verified contract).
+    pub fn verified_pure_set(&self) -> std::collections::HashSet<String> {
+        purec_core::verified_pure_set(&self.declared_pure)
+    }
+
+    /// Build an executable [`Program`] from the transformed unit, passing
+    /// the purity verdicts through so the resolved-IR engine can memoize
+    /// verified-pure calls.
+    pub fn program(&self) -> Program {
+        Program::with_pure_set(&self.unit, &self.verified_pure_set())
+    }
+}
+
 /// Compile and execute on the interpreter (for validation at reduced
-/// problem sizes).
+/// problem sizes). Purity verdicts flow from the PC-CC stage into the
+/// interpreter, enabling its pure-call memo cache.
 pub fn compile_and_run(
     source: &str,
     chain_opts: ChainOptions,
     interp_opts: InterpOptions,
 ) -> Result<(ChainOutput, RunResult), ChainError> {
     let out = compile(source, chain_opts).map_err(ChainError::Compile)?;
-    let result = Program::new(&out.unit)
+    let result = out
+        .program()
         .run(interp_opts)
         .map_err(ChainError::Runtime)?;
     Ok((out, result))
@@ -187,7 +208,11 @@ mod tests {
         let src = apps::matmul::c_source(12);
         let out = compile(&src, ChainOptions::default()).expect("chain");
         assert!(out.regions_parallelized >= 1, "{}", out.text);
-        assert!(out.text.contains("#pragma omp parallel for"), "{}", out.text);
+        assert!(
+            out.text.contains("#pragma omp parallel for"),
+            "{}",
+            out.text
+        );
         assert!(!out.text.contains("pure "), "{}", out.text);
         assert!(!out.text.contains("tmpConst"), "{}", out.text);
         assert!(out.text.starts_with("#include <stdio.h>"));
@@ -254,8 +279,8 @@ mod tests {
     #[test]
     fn lama_chain_runs_and_matches_across_threads() {
         let src = apps::lama::c_source(48, 7);
-        let (_, seq) = compile_and_run(&src, ChainOptions::default(), InterpOptions::default())
-            .expect("seq");
+        let (_, seq) =
+            compile_and_run(&src, ChainOptions::default(), InterpOptions::default()).expect("seq");
         let (_, par) = compile_and_run(
             &src,
             ChainOptions::default(),
@@ -274,10 +299,14 @@ mod tests {
         let src = apps::heat::c_source(12, 3);
         let out = compile(&src, ChainOptions::default()).expect("chain");
         // Time loop stays; spatial nests are parallelized.
-        assert!(out.text.contains("for (int t = 0; t < 3; t++)"), "{}", out.text);
+        assert!(
+            out.text.contains("for (int t = 0; t < 3; t++)"),
+            "{}",
+            out.text
+        );
         assert!(out.regions_parallelized >= 2, "{}", out.text);
-        let (_, seq) = compile_and_run(&src, ChainOptions::default(), InterpOptions::default())
-            .expect("seq");
+        let (_, seq) =
+            compile_and_run(&src, ChainOptions::default(), InterpOptions::default()).expect("seq");
         let (_, par) = compile_and_run(
             &src,
             ChainOptions::default(),

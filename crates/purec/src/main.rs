@@ -155,7 +155,8 @@ fn main() {
                 if stats {
                     eprintln!(
                         "purec: verified pure: {:?}; scops {}; transformed {}; parallel {}; \
-                         exit {}; ops {{flops: {}, loads: {}, stores: {}, calls: {}}}",
+                         exit {}; ops {{flops: {}, loads: {}, stores: {}, calls: {}}}; \
+                         memo {{hits: {}, misses: {}}}",
                         out.declared_pure,
                         out.scops_marked,
                         out.regions_transformed,
@@ -165,6 +166,8 @@ fn main() {
                         result.counters.loads,
                         result.counters.stores,
                         result.counters.calls,
+                        result.counters.memo_hits,
+                        result.counters.memo_misses,
                     );
                 }
                 std::process::exit(result.exit_code as i32 & 0x7f);

@@ -1,0 +1,197 @@
+//! Offline stand-in for `criterion`: wall-clock timing with the API
+//! surface the workspace's benches use (`benchmark_group`,
+//! `bench_function`, `iter`, `iter_batched`, `sample_size`,
+//! `criterion_group!`, `criterion_main!`). No statistics machinery —
+//! each benchmark reports min/mean over a modest number of timed
+//! samples, printed as one line per benchmark.
+//!
+//! The harness honours two environment variables:
+//!
+//! * `BENCH_SAMPLES` — override the per-benchmark sample count;
+//! * `BENCH_QUICK` — when set, run exactly one sample per benchmark
+//!   (used by CI to smoke-test benches without hour-long runs).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Mirrors criterion's batch-size hint; ignored by the shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let default_samples = std::env::var("BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if std::env::var_os("BENCH_QUICK").is_some() {
+                1
+            } else {
+                10
+            });
+        Criterion { default_samples }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        let samples = self.default_samples;
+        run_one("", &name.into(), samples, &mut f);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        run_one(&self.name, &name.into(), self.samples, &mut f);
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, name: &str, samples: usize, f: &mut F) {
+    let samples = if std::env::var_os("BENCH_QUICK").is_some() {
+        1
+    } else {
+        samples
+    };
+    let mut b = Bencher {
+        samples,
+        total: Duration::ZERO,
+        min: Duration::MAX,
+        iters: 0,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    if b.iters == 0 {
+        println!("bench {label:<48} (no iterations)");
+    } else {
+        let mean = b.total / b.iters as u32;
+        println!(
+            "bench {label:<48} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+            mean, b.min, b.iters
+        );
+    }
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    min: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+            self.iters += 1;
+        }
+    }
+
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let dt = t0.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+            self.iters += 1;
+        }
+    }
+}
+
+/// Expands to a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Expands to `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut count = 0;
+        g.bench_function("counts", |b| b.iter(|| count += 1));
+        g.finish();
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn iter_batched_passes_setup_value() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        let mut seen = Vec::new();
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 21, |x| seen.push(x * 2), BatchSize::SmallInput)
+        });
+        assert_eq!(seen, vec![42, 42]);
+    }
+}

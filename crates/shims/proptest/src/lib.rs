@@ -1,0 +1,474 @@
+//! Offline stand-in for `proptest`: deterministic pseudo-random property
+//! testing with the API subset this workspace's tests use — the
+//! `proptest!` macro (with `#![proptest_config]` headers), integer-range
+//! / `Just` / char-class / tuple strategies, `prop_map`,
+//! `prop_recursive`, `prop_oneof!`, `BoxedStrategy`, `any::<bool>()` and
+//! `proptest::collection::vec`.
+//!
+//! No shrinking: a failing case panics with the generated inputs in the
+//! assertion message (cases are reproducible — the RNG is seeded from
+//! the test name, so a failure repeats on every run).
+
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 — tiny, deterministic, good enough for test-case generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Deterministic seed derived from the test name (FNV-1a).
+    pub fn seed_for(&self, name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of values of `Self::Value`.
+pub trait Strategy: 'static {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U: 'static, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        let s = Rc::new(self);
+        BoxedStrategy {
+            sampler: Rc::new(move |rng| s.sample(rng)),
+        }
+    }
+
+    /// Bounded recursive strategy: applies `recurse` up to `depth` times,
+    /// mixing each level with the leaf strategy so all depths appear.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        S: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(cur).boxed();
+            cur = one_of(vec![leaf.clone(), deeper]);
+        }
+        cur
+    }
+}
+
+/// Type-erased, cloneable strategy.
+pub struct BoxedStrategy<T> {
+    sampler: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sampler: Rc::clone(&self.sampler),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sampler)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T> {
+        self
+    }
+}
+
+/// Uniform choice among boxed strategies (backs `prop_oneof!`).
+pub fn one_of<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy {
+        sampler: Rc::new(move |rng| {
+            let i = rng.below(options.len() as u64) as usize;
+            options[i].sample(rng)
+        }),
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: 'static,
+    F: Fn(S::Value) -> U + 'static,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// String "strategies": a `&'static str` pattern. Supports single
+/// char-class patterns (`"[a-d]"`) — anything else yields the literal
+/// text itself.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let b = self.as_bytes();
+        if b.len() == 5 && b[0] == b'[' && b[2] == b'-' && b[4] == b']' && b[1] <= b[3] {
+            let width = (b[3] - b[1] + 1) as u64;
+            let c = (b[1] + rng.below(width) as u8) as char;
+            c.to_string()
+        } else {
+            (*self).to_string()
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+// ---------------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------------
+
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        BoxedStrategy {
+            sampler: Rc::new(|rng| rng.next_u64() & 1 == 1),
+        }
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                BoxedStrategy {
+                    sampler: Rc::new(|rng| rng.next_u64() as $t),
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use std::rc::Rc;
+
+    /// `Vec` strategy with length drawn from `len` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(
+        element: S,
+        len: std::ops::Range<usize>,
+    ) -> BoxedStrategy<Vec<S::Value>> {
+        assert!(len.start < len.end, "empty length range");
+        let element = Rc::new(element);
+        BoxedStrategy {
+            sampler: Rc::new(move |rng: &mut TestRng| {
+                let width = (len.end - len.start) as u64;
+                let n = len.start + rng.below(width) as usize;
+                (0..n).map(|_| element.sample(rng)).collect()
+            }),
+        }
+    }
+}
+
+pub mod option {
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use std::rc::Rc;
+
+    /// `Option` strategy: `None` roughly a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> BoxedStrategy<Option<S::Value>> {
+        let inner = Rc::new(inner);
+        BoxedStrategy {
+            sampler: Rc::new(move |rng: &mut TestRng| {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(inner.sample(rng))
+                }
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// `proptest! { ... }` — runs each contained test function over
+/// `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::new(cfg.seed_for(stringify!($name)));
+                for __case in 0..cfg.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assertion macros — no shrinking, so these are plain panics.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategy expressions of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::collection;
+    pub use crate::{
+        any, one_of, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (10i64..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (-3i64..=3).sample(&mut rng);
+            assert!((-3..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn char_class_pattern_samples_class() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let s = "[a-d]".sample(&mut rng);
+            assert!(matches!(s.as_str(), "a" | "b" | "c" | "d"), "{s}");
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_vec_compose() {
+        let mut rng = TestRng::new(11);
+        let strat = prop_oneof![(0i64..5).prop_map(|v| v * 2), Just(100i64),];
+        let vecs = collection::vec(strat, 1..4);
+        for _ in 0..50 {
+            let v = vecs.sample(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            for x in v {
+                assert!(x == 100 || (x % 2 == 0 && x < 10));
+            }
+        }
+    }
+
+    #[test]
+    fn recursion_is_bounded_and_mixed() {
+        let leaf = (0i64..10).prop_map(|v| v.to_string());
+        let strat = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}+{b})"))
+        });
+        let mut rng = TestRng::new(5);
+        let mut saw_leaf = false;
+        let mut saw_composite = false;
+        for _ in 0..200 {
+            let s = strat.sample(&mut rng);
+            if s.starts_with('(') {
+                saw_composite = true;
+            } else {
+                saw_leaf = true;
+            }
+            assert!(s.matches('(').count() <= 7, "depth bound exceeded: {s}");
+        }
+        assert!(saw_leaf && saw_composite);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_round_trip(a in 0u64..100, b in any::<bool>()) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b as u64 <= 1, true);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented directly over `proc_macro`
+//! token trees (no `syn`/`quote`, which are unavailable without a
+//! registry).
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields;
+//! * enums whose variants are unit, tuple (any arity) or struct-like.
+//!
+//! Encoding matches serde's externally-tagged JSON convention: structs
+//! become objects, unit variants become strings, newtype variants become
+//! `{"Variant": value}`, wider tuple variants `{"Variant": [..]}` and
+//! struct variants `{"Variant": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Drop `#[...]` attribute pairs from a token list.
+fn strip_attrs(tokens: Vec<TokenTree>) -> Vec<TokenTree> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut iter = tokens.into_iter().peekable();
+    while let Some(t) = iter.next() {
+        if let TokenTree::Punct(p) = &t {
+            if p.as_char() == '#' {
+                // Swallow the following group (`[...]`).
+                let _ = iter.next();
+                continue;
+            }
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Split a token list at top-level commas.
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in tokens {
+        if let TokenTree::Punct(p) = &t {
+            if p.as_char() == ',' {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field name = the identifier immediately before the first top-level ':'
+/// (this skips visibility modifiers like `pub` / `pub(crate)`).
+fn field_name(tokens: &[TokenTree]) -> Option<String> {
+    let mut last_ident: Option<String> = None;
+    for t in tokens {
+        match t {
+            TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+            TokenTree::Punct(p) if p.as_char() == ':' => return last_ident,
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens = strip_attrs(input.into_iter().collect());
+    let mut iter = tokens.into_iter();
+    let mut kind: Option<&'static str> = None;
+    let mut name: Option<String> = None;
+    let mut body: Option<TokenStream> = None;
+    while let Some(t) = iter.next() {
+        match &t {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if kind.is_none() && (s == "struct" || s == "enum") {
+                    kind = Some(if s == "struct" { "struct" } else { "enum" });
+                    if let Some(TokenTree::Ident(n)) = iter.next() {
+                        name = Some(n.to_string());
+                    }
+                }
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && kind.is_some() => {
+                body = Some(g.stream());
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("derive target must be a named struct or enum");
+    let body = body.expect("derive target must have a braced body");
+    let entries = split_commas(strip_attrs(body.into_iter().collect()));
+    match kind.unwrap() {
+        "struct" => {
+            let fields = entries
+                .iter()
+                .filter_map(|f| field_name(f))
+                .collect::<Vec<_>>();
+            Shape::Struct { name, fields }
+        }
+        _ => {
+            let mut variants = Vec::new();
+            for entry in entries {
+                let entry = strip_attrs(entry);
+                let mut vname: Option<String> = None;
+                let mut vkind = VariantKind::Unit;
+                for t in &entry {
+                    match t {
+                        TokenTree::Ident(id) if vname.is_none() => {
+                            vname = Some(id.to_string());
+                        }
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                            let elems = split_commas(strip_attrs(g.stream().into_iter().collect()));
+                            vkind = VariantKind::Tuple(elems.len());
+                        }
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            let fields =
+                                split_commas(strip_attrs(g.stream().into_iter().collect()))
+                                    .iter()
+                                    .filter_map(|f| field_name(f))
+                                    .collect::<Vec<_>>();
+                            vkind = VariantKind::Struct(fields);
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(vname) = vname {
+                    variants.push(Variant {
+                        name: vname,
+                        kind: vkind,
+                    });
+                }
+            }
+            Shape::Enum { name, variants }
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::Struct { name, fields } => {
+            let pairs = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds = (0..*n).map(|i| format!("f{i}")).collect::<Vec<_>>().join(", ");
+                            let elems = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Array(::std::vec![{elems}]))]),"
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(::std::vec![{pairs}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::Struct { name, fields } => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(fields, \"{f}\")?)?,"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let fields = v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}\n}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let tagged_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(::serde::index(items, {i})?)?"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let items = inner.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}::{vn}\"))?;\n\
+                                     return ::std::result::Result::Ok({name}::{vn}({elems}));\n\
+                                 }}"
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::field(vfields, \"{f}\")?)?,"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join("\n");
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let vfields = inner.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}::{vn}\"))?;\n\
+                                     return ::std::result::Result::Ok({name}::{vn} {{\n{inits}\n}});\n\
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::serde::Value::Str(s) = v {{\n\
+                             match s.as_str() {{\n{unit_arms}\n_ => {{}}\n}}\n\
+                         }}\n\
+                         if let ::std::option::Option::Some(fields) = v.as_object() {{\n\
+                             if fields.len() == 1 {{\n\
+                                 let (tag, inner) = &fields[0];\n\
+                                 let _ = inner; // silence unused warning for unit-only enums\n\
+                                 match tag.as_str() {{\n{tagged_arms}\n_ => {{}}\n}}\n\
+                             }}\n\
+                         }}\n\
+                         ::std::result::Result::Err(::serde::DeError::new(\"no matching variant of {name}\"))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}

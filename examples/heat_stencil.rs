@@ -19,11 +19,13 @@ fn main() {
         "chain: {} scops marked, {} regions transformed, {} parallelized",
         out.scops_marked, out.regions_transformed, out.regions_parallelized
     );
-    assert!(out.text.contains(&format!("for (int t = 0; t < {steps}; t++)")));
+    assert!(out
+        .text
+        .contains(&format!("for (int t = 0; t < {steps}; t++)")));
 
     // Transformed C executes identically across thread counts.
-    let (_, seq) = compile_and_run(&source, ChainOptions::default(), InterpOptions::default())
-        .expect("seq");
+    let (_, seq) =
+        compile_and_run(&source, ChainOptions::default(), InterpOptions::default()).expect("seq");
     let (_, par) = compile_and_run(
         &source,
         ChainOptions::default(),

@@ -51,5 +51,8 @@ fn main() {
     let fig = apps::figures::fig10_lama_time();
     println!("\n{}", fig.render());
     let gap = fig.find("auto (GCC)").at(64) - fig.find("manual static (GCC)").at(64);
-    println!("auto − manual at 64 cores: {:.2e} s (paper bound: ≤ 8e-4 s)", gap);
+    println!(
+        "auto − manual at 64 cores: {:.2e} s (paper bound: ≤ 8e-4 s)",
+        gap
+    );
 }

@@ -24,9 +24,11 @@ fn main() {
     // Full chain (what Listing 8 shows).
     let out = compile(&source, ChainOptions::default()).expect("chain");
     println!("\n--- Listing-8-style output (excerpt) ---");
-    for line in out.text.lines().filter(|l| {
-        l.contains("omp parallel") || l.contains("dot(") || l.contains("for (int t")
-    }) {
+    for line in out
+        .text
+        .lines()
+        .filter(|l| l.contains("omp parallel") || l.contains("dot(") || l.contains("for (int t"))
+    {
         println!("{line}");
     }
 

@@ -38,12 +38,8 @@ int main() {
     );
 
     // 2. Execute sequentially and on 8 omprt threads — results must agree.
-    let (_, seq) = compile_and_run(
-        source,
-        ChainOptions::default(),
-        InterpOptions::default(),
-    )
-    .expect("sequential run");
+    let (_, seq) = compile_and_run(source, ChainOptions::default(), InterpOptions::default())
+        .expect("sequential run");
     let (_, par) = compile_and_run(
         source,
         ChainOptions::default(),
@@ -55,7 +51,10 @@ int main() {
     )
     .expect("parallel run");
     assert_eq!(seq.output, par.output, "parallel result must match");
-    println!("--- program output (8 threads, race-checked) ---\n{}", par.output);
+    println!(
+        "--- program output (8 threads, race-checked) ---\n{}",
+        par.output
+    );
 
     // 3. A program that VIOLATES purity is rejected at compile time.
     let bad = "

@@ -43,7 +43,11 @@ fn matmul_original_equals_transformed_across_threads() {
         "interpreter must match the native Rust reference"
     );
     for threads in [1, 2, 8] {
-        assert_eq!(run_transformed(&src, threads), original, "threads={threads}");
+        assert_eq!(
+            run_transformed(&src, threads),
+            original,
+            "threads={threads}"
+        );
     }
 }
 
@@ -52,7 +56,11 @@ fn heat_original_equals_transformed() {
     let src = apps::heat::c_source(14, 4);
     let original = run_original(&src);
     for threads in [1, 4] {
-        assert_eq!(run_transformed(&src, threads), original, "threads={threads}");
+        assert_eq!(
+            run_transformed(&src, threads),
+            original,
+            "threads={threads}"
+        );
     }
 }
 
@@ -61,7 +69,11 @@ fn satellite_original_equals_transformed() {
     let src = apps::satellite::c_source(8, 8);
     let original = run_original(&src);
     for threads in [1, 4] {
-        assert_eq!(run_transformed(&src, threads), original, "threads={threads}");
+        assert_eq!(
+            run_transformed(&src, threads),
+            original,
+            "threads={threads}"
+        );
     }
 }
 
@@ -70,7 +82,11 @@ fn lama_original_equals_transformed() {
     let src = apps::lama::c_source(64, 7);
     let original = run_original(&src);
     for threads in [1, 8] {
-        assert_eq!(run_transformed(&src, threads), original, "threads={threads}");
+        assert_eq!(
+            run_transformed(&src, threads),
+            original,
+            "threads={threads}"
+        );
     }
 }
 
@@ -85,7 +101,11 @@ fn transformed_output_is_standard_c_for_all_apps() {
         let out = compile(&src, ChainOptions::default()).expect("chain");
         assert!(!out.text.contains("pure "), "{}", out.text);
         assert!(!out.text.contains("tmpConst"), "{}", out.text);
-        assert!(out.text.contains("#pragma omp parallel for"), "{}", out.text);
+        assert!(
+            out.text.contains("#pragma omp parallel for"),
+            "{}",
+            out.text
+        );
         let reparsed = parse(&out.text);
         assert!(!reparsed.diags.has_errors());
         // No `pure` anywhere in the reparsed unit.
@@ -112,7 +132,11 @@ fn race_check_passes_for_all_transformed_apps() {
                 ..Default::default()
             },
         );
-        assert!(result.is_ok(), "race check must pass: {:?}", result.err().map(|e| e.to_string()));
+        assert!(
+            result.is_ok(),
+            "race check must pass: {:?}",
+            result.err().map(|e| e.to_string())
+        );
     }
 }
 

@@ -7,14 +7,22 @@ use pure_c::prelude::*;
 
 fn accepts(src: &str) {
     let r = run_pc_cc(src, PcCcOptions::default());
-    assert!(r.is_ok(), "expected ACCEPT:\n{src}\n{:?}", r.err().map(|d| d.render_all(src)));
+    assert!(
+        r.is_ok(),
+        "expected ACCEPT:\n{src}\n{:?}",
+        r.err().map(|d| d.render_all(src))
+    );
 }
 
 fn rejects_with(src: &str, code: Code) {
     let r = run_pc_cc(src, PcCcOptions::default());
     match r {
         Ok(_) => panic!("expected REJECT ({code:?}):\n{src}"),
-        Err(d) => assert!(d.has_code(code), "wrong code, wanted {code:?}:\n{}", d.render_all(src)),
+        Err(d) => assert!(
+            d.has_code(code),
+            "wrong code, wanted {code:?}:\n{}",
+            d.render_all(src)
+        ),
     }
 }
 
@@ -213,16 +221,26 @@ int main(int argc, char** argv) {
 ";
     let out = compile(src, ChainOptions::default()).expect("chain");
     // Listing 8's signature shapes.
-    assert!(out.text.contains("float mult(float a, float b)"), "{}", out.text);
     assert!(
-        out.text.contains("float dot(const float* a, const float* b, int size)"),
+        out.text.contains("float mult(float a, float b)"),
+        "{}",
+        out.text
+    );
+    assert!(
+        out.text
+            .contains("float dot(const float* a, const float* b, int size)"),
         "{}",
         out.text
     );
     // Parallel pragma with privatized inner iterator, renamed t1/t2.
-    assert!(out.text.contains("#pragma omp parallel for private(t2)"), "{}", out.text);
     assert!(
-        out.text.contains("C[t1][t2] = dot((const float*)A[t1], (const float*)Bt[t2], 64);"),
+        out.text.contains("#pragma omp parallel for private(t2)"),
+        "{}",
+        out.text
+    );
+    assert!(
+        out.text
+            .contains("C[t1][t2] = dot((const float*)A[t1], (const float*)Bt[t2], 64);"),
         "{}",
         out.text
     );
@@ -284,9 +302,12 @@ int main() {
     let (out_with, run_with) =
         purec::compile_and_run(with_pure, ChainOptions::default(), InterpOptions::default())
             .expect("with pure");
-    let (out_without, run_without) =
-        purec::compile_and_run(&without_pure, ChainOptions::default(), InterpOptions::default())
-            .expect("without pure");
+    let (out_without, run_without) = purec::compile_and_run(
+        &without_pure,
+        ChainOptions::default(),
+        InterpOptions::default(),
+    )
+    .expect("without pure");
     assert_eq!(run_with.exit_code, run_without.exit_code);
     // With pure: loops parallelized; without: fewer or none.
     assert!(out_with.regions_parallelized >= out_without.regions_parallelized);

@@ -24,7 +24,8 @@ fn arb_expr(depth: u32) -> BoxedStrategy<String> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} < {b})")),
             inner.clone().prop_map(|a| format!("(-{a})")),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| format!("({c} ? {t} : {e})")),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| format!("({c} ? {t} : {e})")),
         ]
     })
     .boxed()
@@ -192,5 +193,106 @@ proptest! {
         let seq = apps::matmul::matmul_seq(&a, &bt);
         let par = apps::matmul::matmul_par(&a, &bt, threads, OmpSchedule::Dynamic(2));
         prop_assert_eq!(seq.max_abs_diff(&par), 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: resolved-IR interpreter vs legacy tree-walker
+// ---------------------------------------------------------------------------
+
+/// Build a generated-but-well-formed C program exercising scalars, arrays,
+/// floats, same-named struct fields, globals, calls and a parallel loop.
+fn differential_source(n: usize, c1: i64, c2: i64, op1: usize, op2: usize, sched: usize) -> String {
+    let ops = ["+", "-", "*", "^", "|", "&"];
+    let op1 = ops[op1 % ops.len()];
+    let op2 = ops[op2 % ops.len()];
+    let sched = [
+        "",
+        " schedule(static)",
+        " schedule(dynamic,2)",
+        " schedule(guided,1)",
+    ][sched % 4];
+    format!(
+        "int g;\n\
+         struct s1 {{ int v; int w; }};\n\
+         struct s2 {{ int pad[3]; int w; }};\n\
+         int helper(int x, int y) {{ int t = x {op1} y; if (t < 0) t = -t; return t % 97; }}\n\
+         float fhelper(float x) {{ return x * 0.5f + 3.0f; }}\n\
+         int main() {{\n\
+             int acc = 0;\n\
+             g = {c1};\n\
+             struct s1 p;\n\
+             struct s2 q;\n\
+             p.w = {c2};\n\
+             q.w = {c1} + 2;\n\
+             int* a = (int*) malloc({n} * sizeof(int));\n\
+             float* b = (float*) malloc({n} * sizeof(float));\n\
+         #pragma omp parallel for{sched}\n\
+             for (int i = 0; i < {n}; i++) {{\n\
+                 a[i] = helper(i, {c2}) + (i {op2} {c1});\n\
+                 b[i] = fhelper(i);\n\
+             }}\n\
+             for (int i = 0; i < {n}; i++) {{ acc += a[i] % 31; acc += (int) b[i]; }}\n\
+             acc += p.w * 10 + q.w + g;\n\
+             printf(\"acc=%d g=%d\\n\", acc, g);\n\
+             return acc % 113;\n\
+         }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The resolved-IR interpreter is bit-identical to the legacy
+    /// tree-walking oracle — exit code, captured output and executed-op
+    /// counters (modulo memo bookkeeping) — sequentially and with 4
+    /// threads, across generated programs.
+    #[test]
+    fn resolved_interpreter_matches_legacy_oracle(
+        n in 4usize..48,
+        c1 in -20i64..50,
+        c2 in 1i64..40,
+        op1 in 0usize..6,
+        op2 in 0usize..6,
+        sched in 0usize..4,
+    ) {
+        let src = differential_source(n, c1, c2, op1, op2, sched);
+        let parsed = parse(&src);
+        prop_assert!(!parsed.diags.has_errors(), "{}", parsed.diags.render_all(&src));
+        let prog = Program::new(&parsed.unit);
+        for threads in [1usize, 4] {
+            let opts = InterpOptions { threads, ..Default::default() };
+            let resolved = prog.run(opts).expect("resolved engine runs");
+            let legacy = prog.run_legacy(opts).expect("legacy engine runs");
+            prop_assert_eq!(resolved.exit_code, legacy.exit_code, "threads={}", threads);
+            prop_assert_eq!(&resolved.output, &legacy.output, "threads={}", threads);
+            prop_assert_eq!(
+                resolved.counters.without_memo(),
+                legacy.counters,
+                "threads={}",
+                threads
+            );
+        }
+    }
+
+    /// Chain-compiled matmul (purity verified ⇒ memoization active): the
+    /// resolved engine with and without memo, and the legacy oracle, all
+    /// agree on the program's observable behaviour.
+    #[test]
+    fn memoized_chain_output_matches_oracle(n in 2usize..10, threads in 1usize..5) {
+        let src = apps::matmul::c_source(n);
+        let out = purec::compile(&src, ChainOptions::default()).expect("chain");
+        let prog = out.program();
+        let opts = InterpOptions { threads, ..Default::default() };
+        let memoized = prog.run(opts).expect("memoized run");
+        let plain = prog
+            .run(InterpOptions { memo: false, ..opts })
+            .expect("memo-off run");
+        let legacy = prog.run_legacy(opts).expect("oracle run");
+        prop_assert_eq!(&memoized.output, &legacy.output);
+        prop_assert_eq!(memoized.exit_code, legacy.exit_code);
+        // Without memo the resolved engine is exactly the oracle.
+        prop_assert_eq!(plain.counters.without_memo(), legacy.counters);
+        prop_assert_eq!(plain.counters.memo_hits, 0);
     }
 }
