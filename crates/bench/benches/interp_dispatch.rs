@@ -1,10 +1,12 @@
-//! Interpreter-dispatch benches: resolved-IR engine vs the legacy
-//! tree-walking oracle on the workloads where dispatch dominates — a
-//! variable-access-heavy scalar loop, matmul 64³, and a small heat
-//! stencil — plus the pure-call memo cache on a recursive kernel.
+//! Interpreter-dispatch benches across the execution tiers: the bytecode
+//! VM vs the resolved-IR engine (vs the legacy tree-walking oracle when
+//! built with `--features legacy-oracle`) on the workloads where dispatch
+//! dominates — a variable-access-heavy scalar loop, matmul 64³, and a
+//! small heat stencil — plus the pure-call memo cache on a recursive
+//! kernel, sequentially and under a parallel memoized loop.
 
 use cfront::parser::parse;
-use cinterp::{InterpOptions, Program};
+use cinterp::{Engine, InterpOptions, Program};
 use criterion::{criterion_group, criterion_main, Criterion};
 use purec::chain::{compile, ChainOptions};
 use std::hint::black_box;
@@ -36,53 +38,62 @@ fn chain_program(src: &str) -> Program {
         .program()
 }
 
+fn resolved_opts() -> InterpOptions {
+    InterpOptions {
+        engine: Engine::Resolved,
+        ..Default::default()
+    }
+}
+
+/// Bench one program on every tier under `group`-prefixed names.
+fn bench_tiers(g: &mut criterion::BenchmarkGroup, name: &str, program: &Program) {
+    #[cfg(feature = "legacy-oracle")]
+    g.bench_function(format!("{name}_legacy"), |b| {
+        b.iter(|| {
+            program
+                .run_legacy(black_box(InterpOptions::default()))
+                .expect("runs")
+        })
+    });
+    g.bench_function(format!("{name}_resolved"), |b| {
+        b.iter(|| program.run(black_box(resolved_opts())).expect("runs"))
+    });
+    g.bench_function(format!("{name}_bytecode"), |b| {
+        b.iter(|| {
+            program
+                .run(black_box(InterpOptions::default()))
+                .expect("runs")
+        })
+    });
+}
+
 fn bench_interp_dispatch(c: &mut Criterion) {
     let mut g = c.benchmark_group("interp_dispatch");
     g.sample_size(10);
 
     let var = plain_program(&varaccess_source(100_000));
-    g.bench_function("varaccess_legacy", |b| {
-        b.iter(|| {
-            var.run_legacy(black_box(InterpOptions::default()))
-                .expect("runs")
-        })
-    });
-    g.bench_function("varaccess_resolved", |b| {
-        b.iter(|| var.run(black_box(InterpOptions::default())).expect("runs"))
-    });
+    bench_tiers(&mut g, "varaccess", &var);
 
     let matmul = chain_program(&apps::matmul::c_source(64));
-    g.bench_function("matmul64_legacy", |b| {
-        b.iter(|| {
-            matmul
-                .run_legacy(black_box(InterpOptions::default()))
-                .expect("runs")
-        })
-    });
-    g.bench_function("matmul64_resolved", |b| {
-        b.iter(|| {
-            matmul
-                .run(black_box(InterpOptions::default()))
-                .expect("runs")
-        })
-    });
+    bench_tiers(&mut g, "matmul64", &matmul);
 
     let heat = chain_program(&apps::heat::c_source(24, 4));
-    g.bench_function("heat24x4_legacy", |b| {
-        b.iter(|| {
-            heat.run_legacy(black_box(InterpOptions::default()))
-                .expect("runs")
-        })
-    });
-    g.bench_function("heat24x4_resolved", |b| {
-        b.iter(|| heat.run(black_box(InterpOptions::default())).expect("runs"))
-    });
+    bench_tiers(&mut g, "heat24x4", &heat);
 
     let fib = chain_program(
         "pure int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n\
          int main() { return fib(24) % 251; }\n",
     );
-    g.bench_function("fib24_memo_off", |b| {
+    g.bench_function("fib24_memo_off_resolved", |b| {
+        b.iter(|| {
+            fib.run(black_box(InterpOptions {
+                memo: false,
+                ..resolved_opts()
+            }))
+            .expect("runs")
+        })
+    });
+    g.bench_function("fib24_memo_off_bytecode", |b| {
         b.iter(|| {
             fib.run(black_box(InterpOptions {
                 memo: false,
@@ -91,8 +102,39 @@ fn bench_interp_dispatch(c: &mut Criterion) {
             .expect("runs")
         })
     });
-    g.bench_function("fib24_memo_on", |b| {
+    g.bench_function("fib24_memo_on_bytecode", |b| {
         b.iter(|| fib.run(black_box(InterpOptions::default())).expect("runs"))
+    });
+
+    // Parallel loop over a memoized pure call: the resolved engine
+    // serializes workers on one locked cache, the VM uses per-worker
+    // shards merged at the join.
+    let par = chain_program(
+        "pure int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n\
+         int main() {\n\
+             int* out = (int*) malloc(256 * sizeof(int));\n\
+         #pragma omp parallel for schedule(dynamic,4)\n\
+             for (int i = 0; i < 256; i++) out[i] = fib(16 + i % 5);\n\
+             int acc = 0;\n\
+             for (int i = 0; i < 256; i++) acc += out[i];\n\
+             return acc % 251;\n\
+         }",
+    );
+    let par_opts = InterpOptions {
+        threads: 4,
+        ..Default::default()
+    };
+    g.bench_function("fib_parallel_memo_resolved", |b| {
+        b.iter(|| {
+            par.run(black_box(InterpOptions {
+                engine: Engine::Resolved,
+                ..par_opts
+            }))
+            .expect("runs")
+        })
+    });
+    g.bench_function("fib_parallel_memo_bytecode", |b| {
+        b.iter(|| par.run(black_box(par_opts)).expect("runs"))
     });
 
     g.finish();

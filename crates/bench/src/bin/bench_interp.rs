@@ -1,18 +1,27 @@
-//! `bench_interp` — records the interpreter-dispatch perf trajectory.
+//! `bench_interp` — records the interpreter-dispatch perf **trajectory**.
 //!
 //! Runs the variable-access microbench, chain-compiled matmul 64³, a
-//! small heat stencil and the fib memo kernel on both the legacy
-//! tree-walker ("before") and the resolved-IR engine ("after"),
-//! then writes `BENCH_interp.json` with wall times and speedups.
+//! small heat stencil, the fib memo kernel, and a parallel memoized fib
+//! loop on the execution tiers — resolved-IR engine and bytecode VM by
+//! default, plus the legacy tree-walker when built with
+//! `--features legacy-oracle` — then **appends** a timestamped entry to
+//! `BENCH_interp.json` so the file accumulates the history across PRs
+//! instead of overwriting it.
 //!
 //! ```text
 //! cargo run --release -p bench-harness --bin bench_interp [out.json]
+//! BENCH_QUICK=1 ...         # smaller sizes, 1 rep (CI smoke)
 //! ```
+//!
+//! The run exits non-zero when the bytecode VM fails to beat the
+//! resolved engine on the dispatch-bound `varaccess` case — the CI bench
+//! smoke turns a dispatch regression into a red build.
 
 use cfront::parser::parse;
-use cinterp::{InterpOptions, Program, RunResult};
+use cinterp::{Engine, InterpOptions, Program, RunResult};
 use purec::chain::{compile, ChainOptions};
-use std::time::Instant;
+use serde_json::Value;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 struct BenchCase {
     name: &'static str,
@@ -22,23 +31,25 @@ struct BenchCase {
 }
 
 fn time_run(program: &Program, opts: InterpOptions, legacy: bool, reps: u32) -> (f64, RunResult) {
+    let run_once = |program: &Program| -> RunResult {
+        if legacy {
+            #[cfg(feature = "legacy-oracle")]
+            {
+                return program.run_legacy(opts).expect("benchmark program runs");
+            }
+            #[cfg(not(feature = "legacy-oracle"))]
+            unreachable!("legacy variants are only constructed with the feature on");
+        }
+        program.run(opts).expect("benchmark program runs")
+    };
     // One warm-up, then best-of-`reps` wall time.
-    let warm = if legacy {
-        program.run_legacy(opts)
-    } else {
-        program.run(opts)
-    }
-    .expect("benchmark program runs");
+    let warm = run_once(program);
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t0 = Instant::now();
-        let r = if legacy {
-            program.run_legacy(opts)
-        } else {
-            program.run(opts)
-        };
+        let r = run_once(program);
         let dt = t0.elapsed().as_secs_f64();
-        r.expect("benchmark program runs");
+        assert_eq!(r.exit_code, warm.exit_code, "nondeterministic benchmark");
         best = best.min(dt);
     }
     (best, warm)
@@ -69,40 +80,107 @@ fn varaccess_source(iters: u64) -> String {
     )
 }
 
+/// Parallel loop over a memoized pure function: the workload where the
+/// resolved engine's single locked memo cache serializes workers and the
+/// VM's per-worker shards do not.
+fn fib_parallel_source(n: usize, fib: u64) -> String {
+    format!(
+        "pure int fib(int n) {{ if (n < 2) return n; return fib(n - 1) + fib(n - 2); }}\n\
+         int main() {{\n\
+             int* out = (int*) malloc({n} * sizeof(int));\n\
+         #pragma omp parallel for schedule(dynamic,4)\n\
+             for (int i = 0; i < {n}; i++) out[i] = fib({fib} + i % 5);\n\
+             int acc = 0;\n\
+             for (int i = 0; i < {n}; i++) acc += out[i];\n\
+             return acc % 251;\n\
+         }}"
+    )
+}
+
+/// Engine-tier variants for one case: legacy (feature-gated), resolved,
+/// bytecode — all sharing `base` options.
+#[cfg_attr(not(feature = "legacy-oracle"), allow(unused_mut))]
+fn tier_variants(base: InterpOptions) -> Vec<(&'static str, InterpOptions, bool)> {
+    let mut v = vec![
+        (
+            "resolved",
+            InterpOptions {
+                engine: Engine::Resolved,
+                ..base
+            },
+            false,
+        ),
+        (
+            "bytecode",
+            InterpOptions {
+                engine: Engine::Bytecode,
+                ..base
+            },
+            false,
+        ),
+    ];
+    #[cfg(feature = "legacy-oracle")]
+    v.insert(0, ("legacy", base, true));
+    v
+}
+
+fn num(v: f64) -> Value {
+    Value::Num(v)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_interp.json".to_string());
     let quick = std::env::var_os("BENCH_QUICK").is_some();
-    let reps = if quick { 1 } else { 3 };
+    // Best-of-3 even in quick mode: the CI gate compares wall times, and
+    // a single preempted rep on a shared runner must not flip it.
+    let reps = 3;
     let var_iters = if quick { 20_000 } else { 500_000 };
     let fib_n = if quick { 18 } else { 24 };
+    let par_iters = if quick { 64 } else { 512 };
+    let par_fib = if quick { 14 } else { 18 };
 
-    let default_opts = InterpOptions::default();
+    let seq = InterpOptions::default();
+    let par4 = InterpOptions { threads: 4, ..seq };
+    let mut fib_variants = tier_variants(seq);
+    fib_variants.insert(
+        fib_variants.len() - 1,
+        (
+            "resolved_memo_off",
+            InterpOptions {
+                memo: false,
+                engine: Engine::Resolved,
+                ..seq
+            },
+            false,
+        ),
+    );
+    fib_variants.push((
+        "bytecode_memo_off",
+        InterpOptions {
+            memo: false,
+            engine: Engine::Bytecode,
+            ..seq
+        },
+        false,
+    ));
+
     let cases = vec![
         BenchCase {
             name: "varaccess",
             program: plain(&varaccess_source(var_iters)),
-            variants: vec![
-                ("legacy", default_opts, true),
-                ("resolved", default_opts, false),
-            ],
+            variants: tier_variants(seq),
         },
         BenchCase {
             name: "matmul64",
             program: chain(&apps::matmul::c_source(64)),
-            variants: vec![
-                ("legacy", default_opts, true),
-                ("resolved", default_opts, false),
-            ],
+            variants: tier_variants(seq),
         },
         BenchCase {
             name: "heat24x4",
             program: chain(&apps::heat::c_source(24, 4)),
-            variants: vec![
-                ("legacy", default_opts, true),
-                ("resolved", default_opts, false),
-            ],
+            variants: tier_variants(seq),
         },
         BenchCase {
             name: "fib_memo",
@@ -110,70 +188,121 @@ fn main() {
                 "pure int fib(int n) {{ if (n < 2) return n; return fib(n - 1) + fib(n - 2); }}\n\
                  int main() {{ return fib({fib_n}) % 251; }}\n"
             )),
-            variants: vec![
-                ("legacy", default_opts, true),
-                (
-                    "resolved_memo_off",
-                    InterpOptions {
-                        memo: false,
-                        ..default_opts
-                    },
-                    false,
-                ),
-                ("resolved", default_opts, false),
-            ],
+            variants: fib_variants,
+        },
+        BenchCase {
+            name: "fib_parallel_memo",
+            program: chain(&fib_parallel_source(par_iters, par_fib)),
+            variants: tier_variants(par4)
+                .into_iter()
+                .filter(|(_, _, legacy)| !legacy)
+                .collect(),
         },
     ];
 
-    let mut json = String::from("{\n  \"benchmarks\": [\n");
-    let mut first = true;
+    let mut bench_values: Vec<Value> = Vec::new();
+    let mut varaccess_speedup = f64::NAN;
     for case in &cases {
+        let mut fields: Vec<(String, Value)> =
+            vec![("name".to_string(), Value::Str(case.name.to_string()))];
         let mut times: Vec<(&str, f64)> = Vec::new();
-        let mut exit = 0i64;
+        let mut exit: Option<i64> = None;
         for (label, opts, legacy) in &case.variants {
             let (secs, run) = time_run(&case.program, *opts, *legacy, reps);
-            exit = run.exit_code;
+            // Every tier must agree on the program's result — a
+            // divergence is a red bench, not a quietly wrong entry.
+            if let Some(prev) = exit {
+                assert_eq!(
+                    prev, run.exit_code,
+                    "{}: tier '{label}' disagrees on exit code",
+                    case.name
+                );
+            }
+            exit = Some(run.exit_code);
             times.push((label, secs));
             eprintln!(
-                "{:<10} {:<18} {:>10.3} ms  (exit {})",
+                "{:<18} {:<18} {:>10.3} ms  (exit {})",
                 case.name,
                 label,
                 secs * 1e3,
                 run.exit_code
             );
         }
-        let legacy_secs = times
-            .iter()
-            .find(|(l, _)| *l == "legacy")
-            .map(|(_, t)| *t)
-            .unwrap_or(f64::NAN);
-        if !first {
-            json.push_str(",\n");
-        }
-        first = false;
-        json.push_str(&format!(
-            "    {{\n      \"name\": \"{}\",\n      \"exit_code\": {},\n",
-            case.name, exit
+        fields.push((
+            "exit_code".to_string(),
+            num(exit.expect("at least one variant ran") as f64),
         ));
         for (label, secs) in &times {
-            json.push_str(&format!("      \"{label}_ms\": {:.3},\n", secs * 1e3));
+            fields.push((format!("{label}_ms"), num((secs * 1e6).round() / 1e3)));
         }
-        let resolved_secs = times
-            .iter()
-            .find(|(l, _)| *l == "resolved")
-            .map(|(_, t)| *t)
-            .unwrap_or(f64::NAN);
-        json.push_str(&format!(
-            "      \"speedup_resolved_vs_legacy\": {:.2}\n    }}",
-            legacy_secs / resolved_secs
-        ));
+        let get = |l: &str| times.iter().find(|(x, _)| *x == l).map(|(_, t)| *t);
+        if let (Some(legacy), Some(resolved)) = (get("legacy"), get("resolved")) {
+            fields.push((
+                "speedup_resolved_vs_legacy".to_string(),
+                num(legacy / resolved),
+            ));
+        }
+        if let (Some(resolved), Some(bytecode)) = (get("resolved"), get("bytecode")) {
+            let s = resolved / bytecode;
+            fields.push(("speedup_bytecode_vs_resolved".to_string(), num(s)));
+            if case.name == "varaccess" {
+                varaccess_speedup = s;
+            }
+        }
+        bench_values.push(Value::Object(fields));
     }
-    json.push_str("\n  ],\n");
-    json.push_str(&format!("  \"quick\": {quick},\n"));
-    json.push_str(
-        "  \"note\": \"before = legacy tree-walker, after = resolved-IR engine; \
-         best-of-N wall times from `cargo run --release -p bench-harness --bin bench_interp`\"\n}\n",
-    );
-    std::fs::write(&out_path, &json).expect("write BENCH_interp.json");
+
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entry = Value::Object(vec![
+        ("unix_time".to_string(), num(unix_time as f64)),
+        ("quick".to_string(), Value::Bool(quick)),
+        ("benchmarks".to_string(), Value::Array(bench_values)),
+    ]);
+
+    // Trajectory: append to the existing history. A pre-trajectory file
+    // (top-level "benchmarks") is migrated into entry 0.
+    let mut entries: Vec<Value> = Vec::new();
+    if let Ok(prior) = std::fs::read_to_string(&out_path) {
+        if let Ok(v) = serde_json::from_str::<Value>(&prior) {
+            if let Some(fields) = v.as_object() {
+                if let Some((_, Value::Array(prev))) = fields.iter().find(|(k, _)| k == "entries") {
+                    entries = prev.clone();
+                } else if fields.iter().any(|(k, _)| k == "benchmarks") {
+                    entries.push(v.clone());
+                }
+            }
+        }
+    }
+    entries.push(entry);
+    let doc = Value::Object(vec![
+        (
+            "note".to_string(),
+            Value::Str(
+                "interpreter-dispatch trajectory: one timestamped entry per \
+                 `cargo run --release -p bench-harness --bin bench_interp` \
+                 (best-of-N wall times); engines: legacy tree-walker (feature \
+                 legacy-oracle), resolved-IR engine, bytecode VM"
+                    .to_string(),
+            ),
+        ),
+        ("entries".to_string(), Value::Array(entries)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("render json");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_interp.json");
     println!("wrote {out_path}");
+
+    // CI smoke: the VM must beat the resolved engine where dispatch
+    // dominates; a regression here fails the build.
+    // NaN (case missing) must fail too, hence not `< 1.0`.
+    if varaccess_speedup.is_nan() || varaccess_speedup < 1.0 {
+        eprintln!(
+            "FAIL: bytecode VM slower than resolved engine on varaccess \
+             (speedup {varaccess_speedup:.2}x < 1.0x)"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("varaccess bytecode speedup vs resolved: {varaccess_speedup:.2}x");
 }

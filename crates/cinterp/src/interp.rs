@@ -2,16 +2,20 @@
 //! the [`crate::value::Memory`] model, honouring `#pragma omp parallel
 //! for` regions by running them on the [`machine::omprt`] runtime.
 //!
-//! Execution has two engines:
+//! Execution has three tiers (see the crate docs for the full tower):
 //!
-//! * the **resolved-IR engine** ([`crate::resolve`]) — the default fast
-//!   path behind [`Program::run`], which pre-resolves names to frame
-//!   slots, interns symbols and memoizes verified-pure calls;
+//! * the **bytecode VM** ([`crate::vm`]) — the default fast path behind
+//!   [`Program::run`]: flat instruction arrays over NaN-boxed scalars;
+//! * the **resolved-IR engine** ([`crate::resolve`]) — slot-indexed
+//!   frames, interned symbols, pure-call memoization; the VM's
+//!   differential oracle ([`Program::run_resolved`] or
+//!   `Engine::Resolved`);
 //! * the **legacy tree-walker** in this module — the original
-//!   string-keyed interpreter, kept as the *differential oracle*
-//!   ([`Program::run_legacy`]): the proptests assert the resolved engine
-//!   produces bit-identical results. (One documented divergence: the
-//!   oracle's name map is flat per function call, so block-shadowing
+//!   string-keyed interpreter, kept as the resolved engine's
+//!   *differential oracle* ([`Program::run_legacy`]) in dev/test builds
+//!   only (`legacy-oracle` feature): the proptests assert all three
+//!   tiers produce bit-identical results. (One documented divergence:
+//!   the oracle's name map is flat per function call, so block-shadowing
 //!   programs get pre-ISO answers from it — see `crate::resolve` docs.)
 //!
 //! The interpreter is how this reproduction *validates* the compiler
@@ -21,14 +25,32 @@
 //! the disjointness of iteration access sets before parallel execution —
 //! the dynamic counterpart of the purity guarantee.
 
+#[cfg(any(test, feature = "legacy-oracle"))]
 use crate::builtins::{call_builtin, format_printf};
 use crate::resolve::{self, ResolvedProgram};
-use crate::value::{CounterSnapshot, Counters, Memory, Ptr, Scalar};
+use crate::value::CounterSnapshot;
+#[cfg(any(test, feature = "legacy-oracle"))]
+use crate::value::{Counters, Memory, Ptr, RaceAccumulator, Scalar, TrackSets};
 use cfront::ast::*;
-use machine::{parallel_for, OmpSchedule};
+#[cfg(any(test, feature = "legacy-oracle"))]
+use machine::parallel_for;
+use machine::OmpSchedule;
+#[cfg(any(test, feature = "legacy-oracle"))]
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+/// Which execution tier [`Program::run`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The flat bytecode VM over NaN-boxed scalars ([`crate::vm`]) —
+    /// the default fast path.
+    #[default]
+    Bytecode,
+    /// The resolved-IR tree walker ([`crate::resolve`]) — the VM's
+    /// differential oracle.
+    Resolved,
+}
 
 /// Interpreter configuration.
 #[derive(Debug, Clone, Copy)]
@@ -40,10 +62,12 @@ pub struct InterpOptions {
     pub race_check: bool,
     /// Abort after this many executed statements (runaway guard).
     pub max_steps: u64,
-    /// Memoize calls to verified-pure, const-like functions (resolved
-    /// engine only; inert unless the program was built with a pure set —
-    /// see [`Program::with_pure_set`]).
+    /// Memoize calls to verified-pure, const-like functions (bytecode
+    /// and resolved engines; inert unless the program was built with a
+    /// pure set — see [`Program::with_pure_set`]).
     pub memo: bool,
+    /// Execution tier for [`Program::run`] / [`Program::run_entry`].
+    pub engine: Engine,
 }
 
 impl Default for InterpOptions {
@@ -53,6 +77,7 @@ impl Default for InterpOptions {
             race_check: false,
             max_steps: 500_000_000,
             memo: true,
+            engine: Engine::default(),
         }
     }
 }
@@ -95,7 +120,10 @@ impl std::fmt::Display for RuntimeError {
 type RtResult<T> = Result<T, RuntimeError>;
 
 /// Immutable program data shared by all execution threads (legacy path).
+/// The AST clones and layout tables that only the legacy tree-walker
+/// consumes are compiled out of release builds (`legacy-oracle` feature).
 struct ProgramData {
+    #[cfg(any(test, feature = "legacy-oracle"))]
     functions: HashMap<String, Function>,
     /// `(struct name, field name)` → (offset, is_array). Keying by the
     /// pair (instead of the field name alone) prevents two structs that
@@ -104,25 +132,31 @@ struct ProgramData {
     /// Field name → layout when it is identical across every struct that
     /// declares it; `None` marks an ambiguous name that *must* be
     /// resolved through `member_table`.
+    #[cfg(any(test, feature = "legacy-oracle"))]
     field_unique: HashMap<String, Option<(usize, bool)>>,
     /// Per-site resolution: member-expression span → (offset, is_array),
     /// computed by the resolver's static type inference and shared with
     /// the legacy tree-walker so both engines agree on `(struct, field)`
     /// keyed layout.
+    #[cfg(any(test, feature = "legacy-oracle"))]
     member_table: HashMap<(u32, u32), (usize, bool)>,
+    #[cfg(any(test, feature = "legacy-oracle"))]
     struct_sizes: HashMap<String, usize>,
+    #[cfg(any(test, feature = "legacy-oracle"))]
     global_decls: Vec<Declaration>,
 }
 
 /// A loaded program ready to run.
 ///
-/// [`Program::run`] executes on the resolved-IR engine (slot-indexed
-/// frames, interned symbols, pure-call memoization);
-/// [`Program::run_legacy`] executes the original tree-walker, kept as the
-/// differential oracle.
+/// [`Program::run`] dispatches on [`InterpOptions::engine`] — by default
+/// the flat bytecode VM ([`crate::vm`]), the fastest tier.
+/// [`Program::run_resolved`] forces the resolved-IR engine (the VM's
+/// differential oracle); [`Program::run_legacy`] (dev/test only, behind
+/// the `legacy-oracle` feature) executes the original tree-walker.
 pub struct Program {
     data: Arc<ProgramData>,
     resolved: Arc<ResolvedProgram>,
+    bytecode: Arc<crate::bytecode::BytecodeProgram>,
 }
 
 impl Program {
@@ -134,44 +168,60 @@ impl Program {
 
     /// Prepare a translation unit, passing the names the purity pass
     /// verified pure. Calls to the const-like subset of those functions
-    /// are memoized by the resolved engine (see [`crate::resolve`] for
-    /// the safety argument).
+    /// are memoized by the bytecode and resolved engines (see
+    /// [`crate::resolve`] for the safety argument).
     pub fn with_pure_set(unit: &TranslationUnit, pure_fns: &HashSet<String>) -> Self {
         let resolved = Arc::new(resolve::lower_unit(unit, pure_fns));
-        let mut functions = HashMap::new();
-        let mut global_decls = Vec::new();
-        for item in &unit.items {
-            match item {
-                Item::Function(f) => {
-                    // Definitions override prototypes.
-                    let replace = f.is_definition() || !functions.contains_key(&f.name);
-                    if replace {
-                        functions.insert(f.name.clone(), f.clone());
+        let bytecode = Arc::new(crate::bytecode::BytecodeProgram::compile(&resolved));
+        #[cfg(any(test, feature = "legacy-oracle"))]
+        let (functions, global_decls) = {
+            let mut functions = HashMap::new();
+            let mut global_decls = Vec::new();
+            for item in &unit.items {
+                match item {
+                    Item::Function(f) => {
+                        // Definitions override prototypes.
+                        let replace = f.is_definition() || !functions.contains_key(&f.name);
+                        if replace {
+                            functions.insert(f.name.clone(), f.clone());
+                        }
                     }
+                    Item::Decl(d) => global_decls.push(d.clone()),
+                    _ => {}
                 }
-                Item::Decl(d) => global_decls.push(d.clone()),
-                _ => {}
             }
-        }
+            (functions, global_decls)
+        };
         // Struct layouts come from the resolver — one implementation of
         // the (struct, field) offset algorithm serves both engines, so
         // the differential oracle cannot drift from the fast path.
         Program {
             data: Arc::new(ProgramData {
+                #[cfg(any(test, feature = "legacy-oracle"))]
                 functions,
                 field_offsets: resolved.field_offsets.clone(),
+                #[cfg(any(test, feature = "legacy-oracle"))]
                 field_unique: resolved.field_unique.clone(),
+                #[cfg(any(test, feature = "legacy-oracle"))]
                 member_table: resolved.member_table.clone(),
+                #[cfg(any(test, feature = "legacy-oracle"))]
                 struct_sizes: resolved.struct_sizes.clone(),
+                #[cfg(any(test, feature = "legacy-oracle"))]
                 global_decls,
             }),
             resolved,
+            bytecode,
         }
     }
 
     /// The lowered form (introspection: memo-eligible functions etc.).
     pub fn resolved(&self) -> &ResolvedProgram {
         &self.resolved
+    }
+
+    /// The flattened form (introspection: instruction counts etc.).
+    pub fn bytecode(&self) -> &crate::bytecode::BytecodeProgram {
+        &self.bytecode
     }
 
     /// Layout of `strct.field` — offsets are keyed by the `(struct,
@@ -184,23 +234,40 @@ impl Program {
             .copied()
     }
 
-    /// Run `main()` to completion on the resolved-IR engine.
+    /// Run `main()` to completion on the engine `opts.engine` selects
+    /// (bytecode VM by default).
     pub fn run(&self, opts: InterpOptions) -> RtResult<RunResult> {
         self.run_entry("main", opts)
     }
 
-    /// Run a named entry on the resolved-IR engine.
+    /// Run a named entry on the engine `opts.engine` selects.
     pub fn run_entry(&self, entry: &str, opts: InterpOptions) -> RtResult<RunResult> {
+        match opts.engine {
+            Engine::Bytecode => crate::vm::run_vm(&self.bytecode, entry, opts),
+            Engine::Resolved => resolve::run_resolved(&self.resolved, entry, opts),
+        }
+    }
+
+    /// Run `main()` on the resolved-IR engine (the bytecode VM's
+    /// differential oracle), regardless of `opts.engine`.
+    pub fn run_resolved(&self, opts: InterpOptions) -> RtResult<RunResult> {
+        self.run_entry_resolved("main", opts)
+    }
+
+    /// Run a named entry on the resolved-IR engine.
+    pub fn run_entry_resolved(&self, entry: &str, opts: InterpOptions) -> RtResult<RunResult> {
         resolve::run_resolved(&self.resolved, entry, opts)
     }
 
-    /// Run `main()` on the legacy tree-walking interpreter (differential
-    /// oracle).
+    /// Run `main()` on the legacy tree-walking interpreter (the
+    /// resolved engine's differential oracle; dev/test builds only).
+    #[cfg(any(test, feature = "legacy-oracle"))]
     pub fn run_legacy(&self, opts: InterpOptions) -> RtResult<RunResult> {
         self.run_entry_legacy("main", opts)
     }
 
     /// Run a named entry on the legacy tree-walking interpreter.
+    #[cfg(any(test, feature = "legacy-oracle"))]
     pub fn run_entry_legacy(&self, entry: &str, opts: InterpOptions) -> RtResult<RunResult> {
         let shared = SharedState {
             prog: Arc::clone(&self.data),
@@ -228,6 +295,7 @@ impl Program {
     }
 }
 
+#[cfg(any(test, feature = "legacy-oracle"))]
 #[derive(Clone)]
 struct SharedState {
     prog: Arc<ProgramData>,
@@ -238,6 +306,7 @@ struct SharedState {
     opts: InterpOptions,
 }
 
+#[cfg(any(test, feature = "legacy-oracle"))]
 /// Where an lvalue lives. `Local` carries the index of the frame that
 /// holds the variable, so `place()` resolves the scope stack **once** and
 /// the subsequent load/store indexes directly instead of rescanning.
@@ -247,6 +316,7 @@ enum Place {
     Mem(Ptr),
 }
 
+#[cfg(any(test, feature = "legacy-oracle"))]
 enum Flow {
     Normal,
     Break,
@@ -254,13 +324,7 @@ enum Flow {
     Return(Scalar),
 }
 
-/// Access tracking for race-check mode.
-#[derive(Default)]
-struct TrackSets {
-    reads: HashSet<(u32, i64)>,
-    writes: HashSet<(u32, i64)>,
-}
-
+#[cfg(any(test, feature = "legacy-oracle"))]
 struct Interp {
     s: SharedState,
     frames: Vec<HashMap<String, Scalar>>,
@@ -268,6 +332,7 @@ struct Interp {
     track: Option<TrackSets>,
 }
 
+#[cfg(any(test, feature = "legacy-oracle"))]
 impl Interp {
     fn new(s: SharedState) -> Self {
         Interp {
@@ -1136,8 +1201,7 @@ impl Interp {
     /// (write/write and write/read), the dynamic analogue of the paper's
     /// static guarantee.
     fn race_check(&mut self, iter: &str, lb: i64, n: u64, body: &Stmt) -> RtResult<()> {
-        let mut all_writes: HashSet<(u32, i64)> = HashSet::new();
-        let mut all_reads: HashSet<(u32, i64)> = HashSet::new();
+        let mut acc = RaceAccumulator::new();
         let base_frame = self.frames.last().cloned().unwrap_or_default();
         for k in 0..n {
             let mut child = Interp::new(self.s.clone());
@@ -1148,30 +1212,8 @@ impl Interp {
             child.track = Some(TrackSets::default());
             child.exec(body)?;
             let t = child.track.take().expect("tracking on");
-            for w in &t.writes {
-                if all_writes.contains(w) || all_reads.contains(w) {
-                    return Err(RuntimeError::new(
-                        format!(
-                            "race detected: slot ({}, {}) accessed by multiple iterations",
-                            w.0, w.1
-                        ),
-                        body.span,
-                    ));
-                }
-            }
-            for r in &t.reads {
-                if all_writes.contains(r) {
-                    return Err(RuntimeError::new(
-                        format!(
-                            "race detected: slot ({}, {}) written by one iteration and read by another",
-                            r.0, r.1
-                        ),
-                        body.span,
-                    ));
-                }
-            }
-            all_writes.extend(t.writes);
-            all_reads.extend(t.reads);
+            acc.absorb(t)
+                .map_err(|msg| RuntimeError::new(msg, body.span))?;
         }
         Ok(())
     }

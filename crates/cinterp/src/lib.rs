@@ -7,12 +7,44 @@
 //! transformation at reduced problem sizes, to collect instruction-mix
 //! counters (the paper's 47.5 G vs 87.8 G instruction comparison), and to
 //! dynamically validate the purity guarantee via race-check mode.
+//!
+//! ## Three execution tiers
+//!
+//! Execution is organised as a tower of engines, each the differential
+//! oracle of the one above it:
+//!
+//! 1. **Bytecode VM** ([`vm`], default) — [`resolve`]d functions are
+//!    flattened by [`bytecode`] into contiguous `Vec<Insn>` arrays (one
+//!    opcode + two `u32` operands per instruction, absolute jump
+//!    targets, no recursion on the hot path) and executed over NaN-boxed
+//!    [`value::Packed`] `u64` scalars. Call frames come from a per-VM
+//!    bump arena; parallel workers reuse one arena/tally/memo-shard
+//!    across all their iterations and merge once at region join.
+//! 2. **Resolved-IR engine** ([`resolve`], `Engine::Resolved` or
+//!    [`Program::run_resolved`]) — slot-indexed frames, interned
+//!    symbols, pure-call memoization behind one locked cache. Oracle for
+//!    the VM: bit-identical exit code, output and executed-op counters
+//!    (modulo memo statistics).
+//! 3. **Legacy tree-walker** ([`interp`], `legacy-oracle` feature /
+//!    dev+test builds only) — the original string-keyed interpreter,
+//!    oracle for the resolved engine. Release builds of the library do
+//!    not ship it.
+//!
+//! Purity verdicts from `purec_core` flow through
+//! [`Program::with_pure_set`] into resolved lowering (cacheable-function
+//! analysis) and onward into bytecode lowering, so all memoizing tiers
+//! share one safety argument (see [`resolve`]'s module docs).
 
 pub mod builtins;
+pub mod bytecode;
 pub mod interp;
 pub mod resolve;
 pub mod value;
+pub mod vm;
 
-pub use interp::{InterpOptions, Program, RunResult, RuntimeError};
+pub use bytecode::BytecodeProgram;
+pub use interp::{Engine, InterpOptions, Program, RunResult, RuntimeError};
 pub use resolve::ResolvedProgram;
-pub use value::{CounterSnapshot, Counters, MemError, Memory, Ptr, Scalar};
+pub use value::{
+    CounterSnapshot, Counters, MemError, Memory, Packed, Ptr, Scalar, SpillPool, Tally,
+};

@@ -89,7 +89,7 @@
 
 use crate::builtins::{call_builtin, format_printf};
 use crate::interp::{parse_omp_parallel_for, InterpOptions, RunResult, RuntimeError};
-use crate::value::{Counters, Memory, Ptr, Scalar};
+use crate::value::{Counters, Memory, Ptr, RaceAccumulator, Scalar, TrackSets};
 use cfront::ast::*;
 use cfront::intern::{Interner, Symbol};
 use cfront::span::Span;
@@ -133,7 +133,7 @@ impl Coerce {
     }
 
     #[inline]
-    fn apply(self, v: Scalar) -> Scalar {
+    pub(crate) fn apply(self, v: Scalar) -> Scalar {
         match (self, v) {
             (Coerce::ToFloat, Scalar::I(i)) => Scalar::F(i as f64),
             (Coerce::ToInt, Scalar::F(f)) => Scalar::I(f as i64),
@@ -144,8 +144,8 @@ impl Coerce {
 
 #[derive(Debug, Clone)]
 pub(crate) struct RExpr {
-    kind: RExprKind,
-    span: Span,
+    pub(crate) kind: RExprKind,
+    pub(crate) span: Span,
 }
 
 #[derive(Debug, Clone)]
@@ -199,8 +199,8 @@ pub(crate) enum RExprKind {
 
 #[derive(Debug, Clone)]
 pub(crate) struct RPlace {
-    kind: RPlaceKind,
-    span: Span,
+    pub(crate) kind: RPlaceKind,
+    pub(crate) span: Span,
 }
 
 #[derive(Debug, Clone)]
@@ -232,8 +232,8 @@ pub(crate) enum SlotRef {
 
 #[derive(Debug, Clone)]
 pub(crate) struct RDecl {
-    target: SlotRef,
-    kind: RDeclKind,
+    pub(crate) target: SlotRef,
+    pub(crate) kind: RDeclKind,
 }
 
 #[derive(Debug, Clone)]
@@ -253,8 +253,8 @@ pub(crate) enum RDeclKind {
 
 #[derive(Debug, Clone)]
 pub(crate) struct RStmt {
-    kind: RStmtKind,
-    span: Span,
+    pub(crate) kind: RStmtKind,
+    pub(crate) span: Span,
 }
 
 #[derive(Debug, Clone)]
@@ -292,55 +292,58 @@ pub(crate) enum RStmtKind {
 
 #[derive(Debug, Clone)]
 pub(crate) struct ROmpFor {
-    schedule: OmpSchedule,
+    pub(crate) schedule: OmpSchedule,
     /// `Err` carries the tree-walker's exact diagnostic for unsupported
     /// loop headers, raised when the region executes.
-    header: Result<ROmpHeader, String>,
-    span: Span,
+    pub(crate) header: Result<ROmpHeader, String>,
+    pub(crate) span: Span,
 }
 
 #[derive(Debug, Clone)]
 pub(crate) struct ROmpHeader {
-    iter_slot: u32,
-    lb: RExpr,
-    ub: RExpr,
-    ub_inclusive: bool,
-    body: RStmt,
+    pub(crate) iter_slot: u32,
+    pub(crate) lb: RExpr,
+    pub(crate) ub: RExpr,
+    pub(crate) ub_inclusive: bool,
+    pub(crate) body: RStmt,
 }
 
 /// One resolved function definition.
 #[derive(Debug)]
 pub(crate) struct RFunc {
     pub(crate) name: Symbol,
-    params: Vec<(u32, Coerce)>,
-    frame_size: usize,
-    body: Vec<RStmt>,
-    span: Span,
+    pub(crate) params: Vec<(u32, Coerce)>,
+    pub(crate) frame_size: usize,
+    pub(crate) body: Vec<RStmt>,
+    pub(crate) span: Span,
     /// Participates in pure-call memoization (see module docs).
     pub(crate) cacheable: bool,
 }
 
 /// A translation unit lowered for execution.
 pub struct ResolvedProgram {
-    funcs: Vec<RFunc>,
-    by_name: HashMap<String, u32>,
-    global_decls: Vec<RDecl>,
-    nglobals: usize,
-    interner: Interner,
+    pub(crate) funcs: Vec<RFunc>,
+    pub(crate) by_name: HashMap<String, u32>,
+    pub(crate) global_decls: Vec<RDecl>,
+    pub(crate) nglobals: usize,
+    pub(crate) interner: Interner,
     /// `(span.start, span.end)` of every member expression → resolved
     /// `(offset, is_array)`; shared with the legacy tree-walker so the
     /// oracle also keys field offsets by `(struct, field)`.
+    #[cfg_attr(not(any(test, feature = "legacy-oracle")), allow(dead_code))]
     pub(crate) member_table: HashMap<(u32, u32), (usize, bool)>,
     /// `(struct, field)` → layout; the single source of the offset
     /// algorithm, also consumed by the legacy oracle's `ProgramData`.
     pub(crate) field_offsets: HashMap<(String, String), (usize, bool)>,
     /// Field name → layout when identical across every declaring struct;
     /// `None` marks an ambiguous name.
+    #[cfg_attr(not(any(test, feature = "legacy-oracle")), allow(dead_code))]
     pub(crate) field_unique: HashMap<String, Option<(usize, bool)>>,
     /// Struct name → size in slots.
+    #[cfg_attr(not(any(test, feature = "legacy-oracle")), allow(dead_code))]
     pub(crate) struct_sizes: HashMap<String, usize>,
     /// Whether any function is memo-eligible (skips cache setup if not).
-    any_cacheable: bool,
+    pub(crate) any_cacheable: bool,
 }
 
 impl ResolvedProgram {
@@ -1281,7 +1284,7 @@ fn mark_cacheable(prog: &mut ResolvedProgram, pure_fns: &HashSet<String>) {
 
 /// Hashable key for one memoized call: function id + tagged bit patterns
 /// of the (coerced) scalar arguments.
-type MemoKey = (u32, Vec<(u8, u64)>);
+pub(crate) type MemoKey = (u32, Vec<(u8, u64)>);
 
 pub(crate) struct MemoCache {
     map: Mutex<HashMap<MemoKey, Scalar>>,
@@ -1296,7 +1299,7 @@ impl MemoCache {
         }
     }
 
-    fn key(fid: u32, frame_args: &[Scalar]) -> Option<MemoKey> {
+    pub(crate) fn key(fid: u32, frame_args: &[Scalar]) -> Option<MemoKey> {
         let mut parts = Vec::with_capacity(frame_args.len());
         for v in frame_args {
             match v {
@@ -1353,12 +1356,6 @@ enum PlaceRef {
     Slot(u32),
     Global(u32),
     Mem(Ptr),
-}
-
-#[derive(Default)]
-struct TrackSets {
-    reads: HashSet<(u32, i64)>,
-    writes: HashSet<(u32, i64)>,
 }
 
 struct RInterp {
@@ -2176,8 +2173,7 @@ impl RInterp {
     /// Sequentially validate that iteration access sets are disjoint — the
     /// dynamic counterpart of the purity guarantee (same as the oracle).
     fn race_check(&mut self, header: &ROmpHeader, lb: i64, n: u64) -> RtResult<()> {
-        let mut all_writes: HashSet<(u32, i64)> = HashSet::new();
-        let mut all_reads: HashSet<(u32, i64)> = HashSet::new();
+        let mut acc = RaceAccumulator::new();
         let needed = header.iter_slot as usize + 1;
         if self.frame.len() < needed {
             self.frame.resize(needed, Scalar::Uninit);
@@ -2190,30 +2186,8 @@ impl RInterp {
             child.track = Some(TrackSets::default());
             child.exec(&header.body)?;
             let t = child.track.take().expect("tracking on");
-            for w in &t.writes {
-                if all_writes.contains(w) || all_reads.contains(w) {
-                    return Err(RuntimeError::at(
-                        format!(
-                            "race detected: slot ({}, {}) accessed by multiple iterations",
-                            w.0, w.1
-                        ),
-                        header.body.span,
-                    ));
-                }
-            }
-            for r in &t.reads {
-                if all_writes.contains(r) {
-                    return Err(RuntimeError::at(
-                        format!(
-                            "race detected: slot ({}, {}) written by one iteration and read by another",
-                            r.0, r.1
-                        ),
-                        header.body.span,
-                    ));
-                }
-            }
-            all_writes.extend(t.writes);
-            all_reads.extend(t.reads);
+            acc.absorb(t)
+                .map_err(|msg| RuntimeError::at(msg, header.body.span))?;
         }
         Ok(())
     }

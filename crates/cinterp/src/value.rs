@@ -15,6 +15,7 @@
 
 use parking_lot::RwLock;
 use std::cell::UnsafeCell;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -221,6 +222,340 @@ impl Default for Memory {
     }
 }
 
+// ---------------------------------------------------------------------------
+// NaN-boxed scalars (the bytecode VM's value representation)
+// ---------------------------------------------------------------------------
+
+/// NaN-box tag prefixes (top 16 bits of the packed word).
+///
+/// All tags live inside the IEEE-754 negative quiet-NaN space
+/// (`0xFFF9..=0xFFFD` prefixes): every bit pattern whose top 16 bits fall
+/// *outside* that window is a plain `f64`. The two NaN patterns hardware
+/// actually produces — the positive and negative canonical quiet NaNs,
+/// `0x7FF8…` and `0xFFF8…` — stay representable as raw floats; the tag
+/// window only occupies payload-carrying negative NaNs that no float
+/// operation in the interpreter can generate.
+const TAG_INT: u64 = 0xFFF9;
+const TAG_PTR: u64 = 0xFFFA;
+const TAG_SPILL: u64 = 0xFFFB;
+const TAG_NULL: u64 = 0xFFFC;
+const TAG_UNINIT: u64 = 0xFFFD;
+
+const PAYLOAD_MASK: u64 = 0x0000_FFFF_FFFF_FFFF;
+
+/// Overflow side-pool for [`Scalar`]s that do not fit a packed word
+/// inline: integers beyond 48 bits, pointers with huge alloc ids or
+/// offsets, and float bit patterns that collide with the tag window.
+/// A [`Packed`] spill word carries its entry's index.
+///
+/// The pool is **single-owner** (one per VM instance, `RefCell` inside —
+/// no locking): packed words never travel between VMs, so a spill index
+/// is only ever resolved against the pool that produced it. A parallel
+/// region hands its frame snapshot to children by cloning the parent's
+/// entries as an immutable *prefix* of each child pool (`floor` in the
+/// VM), below which children never truncate or compact.
+///
+/// The pool's existence is what makes the `pack ∘ unpack` round trip
+/// *bit-exact for every `Scalar`*, not just for the inline range; the VM
+/// bounds its growth by compacting live entries (the live set is exactly
+/// the spill-tagged words in its frame arena and operand stack) at
+/// statement boundaries.
+#[derive(Default)]
+pub struct SpillPool {
+    entries: std::cell::RefCell<Vec<Scalar>>,
+}
+
+impl SpillPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A pool whose initial entries are a snapshot of another pool
+    /// (parallel-region prefix handoff).
+    pub fn with_entries(entries: Vec<Scalar>) -> Self {
+        SpillPool {
+            entries: std::cell::RefCell::new(entries),
+        }
+    }
+
+    fn spill(&self, v: Scalar) -> Packed {
+        let mut g = self.entries.borrow_mut();
+        let idx = g.len() as u64;
+        assert!(idx <= PAYLOAD_MASK, "NaN-box spill pool exhausted");
+        g.push(v);
+        Packed((TAG_SPILL << 48) | idx)
+    }
+
+    fn get(&self, idx: u64) -> Scalar {
+        self.entries.borrow()[idx as usize]
+    }
+
+    /// Direct entry access (compaction).
+    pub(crate) fn get_entry(&self, idx: usize) -> Scalar {
+        self.entries.borrow()[idx]
+    }
+
+    /// Number of spilled values (0 on non-overflowing workloads).
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.borrow().is_empty()
+    }
+
+    /// Drop every entry at or above `n` (per-iteration reset of a
+    /// parallel child's scratch region).
+    pub fn truncate(&self, n: usize) {
+        self.entries.borrow_mut().truncate(n);
+    }
+
+    /// Snapshot of all entries (region prefix handoff).
+    pub fn entries_snapshot(&self) -> Vec<Scalar> {
+        self.entries.borrow().clone()
+    }
+
+    /// Clone of the first `n` entries only (compaction keeps the
+    /// inherited prefix without copying the garbage above it).
+    pub(crate) fn prefix(&self, n: usize) -> Vec<Scalar> {
+        self.entries.borrow()[..n].to_vec()
+    }
+
+    /// Replace the entries wholesale (compaction).
+    pub(crate) fn replace_entries(&self, entries: Vec<Scalar>) {
+        *self.entries.borrow_mut() = entries;
+    }
+}
+
+/// A [`Scalar`] NaN-boxed into a single `u64` word.
+///
+/// | pattern (top 16 bits) | meaning                                     |
+/// |-----------------------|---------------------------------------------|
+/// | anything ∉ `FFF9–FFFD`| `F`: the word is the raw `f64` bit pattern  |
+/// | `FFF9`                | `I`: 48-bit sign-extended integer payload   |
+/// | `FFFA`                | `P`: 24-bit alloc id + 24-bit signed index  |
+/// | `FFFB`                | spill: payload indexes the [`SpillPool`]    |
+/// | `FFFC`                | `Null`                                      |
+/// | `FFFD`                | `Uninit`                                    |
+///
+/// Frames and operand stacks of the bytecode VM are `Vec<Packed>`: half
+/// the size of a `Vec<Scalar>` frame, and a parallel region's private
+/// frame setup becomes a flat `u64` memcpy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packed(u64);
+
+impl Packed {
+    pub const UNINIT: Packed = Packed(TAG_UNINIT << 48);
+    pub const NULL: Packed = Packed(TAG_NULL << 48);
+    pub const ZERO: Packed = Packed(TAG_INT << 48);
+
+    /// Raw word (tests / diagnostics).
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn pack(v: Scalar, pool: &SpillPool) -> Packed {
+        match v {
+            Scalar::I(i) => Self::pack_i64(i, pool),
+            Scalar::F(f) => Self::pack_f64(f, pool),
+            Scalar::P(p) => Self::pack_ptr(p, pool),
+            Scalar::Null => Packed::NULL,
+            Scalar::Uninit => Packed::UNINIT,
+        }
+    }
+
+    #[inline]
+    pub fn pack_i64(i: i64, pool: &SpillPool) -> Packed {
+        if (i << 16) >> 16 == i {
+            Packed((TAG_INT << 48) | (i as u64 & PAYLOAD_MASK))
+        } else {
+            pool.spill(Scalar::I(i))
+        }
+    }
+
+    #[inline]
+    pub fn pack_f64(f: f64, pool: &SpillPool) -> Packed {
+        let bits = f.to_bits();
+        let tag = bits >> 48;
+        if (TAG_INT..=TAG_UNINIT).contains(&tag) {
+            // A NaN bit pattern colliding with the tag window: unreachable
+            // through arithmetic, but representable via the fallback.
+            pool.spill(Scalar::F(f))
+        } else {
+            Packed(bits)
+        }
+    }
+
+    #[inline]
+    pub fn pack_ptr(p: Ptr, pool: &SpillPool) -> Packed {
+        let idx_ok = (p.index << 40) >> 40 == p.index;
+        if p.alloc < (1 << 24) && idx_ok {
+            Packed((TAG_PTR << 48) | ((p.alloc as u64) << 24) | (p.index as u64 & 0xFF_FFFF))
+        } else {
+            pool.spill(Scalar::P(p))
+        }
+    }
+
+    #[inline]
+    pub fn unpack(self, pool: &SpillPool) -> Scalar {
+        match self.0 >> 48 {
+            TAG_INT => Scalar::I(((self.0 << 16) as i64) >> 16),
+            TAG_PTR => Scalar::P(Ptr {
+                alloc: ((self.0 >> 24) & 0xFF_FFFF) as u32,
+                index: ((self.0 << 40) as i64) >> 40,
+            }),
+            TAG_SPILL => pool.get(self.0 & PAYLOAD_MASK),
+            TAG_NULL => Scalar::Null,
+            TAG_UNINIT => Scalar::Uninit,
+            _ => Scalar::F(f64::from_bits(self.0)),
+        }
+    }
+
+    /// Inline integer payload, if this word is an inline-tagged int.
+    /// (Spilled big integers return `None` and take the general path.)
+    #[inline]
+    pub fn as_inline_int(self) -> Option<i64> {
+        if self.0 >> 48 == TAG_INT {
+            Some(((self.0 << 16) as i64) >> 16)
+        } else {
+            None
+        }
+    }
+
+    /// Inline pointer payload, if this word is an inline-tagged pointer.
+    #[inline]
+    pub fn as_inline_ptr(self) -> Option<Ptr> {
+        if self.0 >> 48 == TAG_PTR {
+            Some(Ptr {
+                alloc: ((self.0 >> 24) & 0xFF_FFFF) as u32,
+                index: ((self.0 << 40) as i64) >> 40,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// True when the word is a raw (untagged) float.
+    #[inline]
+    pub fn is_inline_float(self) -> bool {
+        !(TAG_INT..=TAG_UNINIT).contains(&(self.0 >> 48))
+    }
+
+    /// Index into the spill pool, when this word is a spill reference
+    /// (compaction support).
+    #[inline]
+    pub(crate) fn spill_index(self) -> Option<usize> {
+        if self.0 >> 48 == TAG_SPILL {
+            Some((self.0 & PAYLOAD_MASK) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Build a spill reference to `idx` (compaction support).
+    #[inline]
+    pub(crate) fn from_spill_index(idx: usize) -> Packed {
+        debug_assert!(idx as u64 <= PAYLOAD_MASK);
+        Packed((TAG_SPILL << 48) | idx as u64)
+    }
+}
+
+/// One iteration's tracked access sets (race-check mode). Every engine
+/// fills one of these per iteration; overlap detection is shared in
+/// [`RaceAccumulator`].
+#[derive(Debug, Default)]
+pub(crate) struct TrackSets {
+    pub(crate) reads: HashSet<(u32, i64)>,
+    pub(crate) writes: HashSet<(u32, i64)>,
+}
+
+/// Accumulates iteration access sets across a parallel region and
+/// reports the first write/write or write/read overlap — the single
+/// implementation of race-check mode's detection rule, shared by the
+/// bytecode VM, the resolved engine and the legacy oracle.
+#[derive(Debug, Default)]
+pub(crate) struct RaceAccumulator {
+    writes: HashSet<(u32, i64)>,
+    reads: HashSet<(u32, i64)>,
+}
+
+impl RaceAccumulator {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one iteration's sets in; `Err` carries the diagnostic.
+    pub(crate) fn absorb(&mut self, t: TrackSets) -> Result<(), String> {
+        for w in &t.writes {
+            if self.writes.contains(w) || self.reads.contains(w) {
+                return Err(format!(
+                    "race detected: slot ({}, {}) accessed by multiple iterations",
+                    w.0, w.1
+                ));
+            }
+        }
+        for r in &t.reads {
+            if self.writes.contains(r) {
+                return Err(format!(
+                    "race detected: slot ({}, {}) written by one iteration and read by another",
+                    r.0, r.1
+                ));
+            }
+        }
+        self.writes.extend(t.writes);
+        self.reads.extend(t.reads);
+        Ok(())
+    }
+}
+
+/// Per-thread executed-operation tallies: the lock-free counterpart of
+/// [`Counters`]. The VM bumps plain fields on its own thread and flushes
+/// the totals into the shared atomics **once** — at parallel-region join
+/// for worker tallies, and at run end for the root — instead of paying a
+/// shared `fetch_add` per executed operation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Tally {
+    pub flops: u64,
+    pub int_ops: u64,
+    pub loads: u64,
+    pub stores: u64,
+    pub calls: u64,
+    pub branches: u64,
+    pub memo_hits: u64,
+    pub memo_misses: u64,
+}
+
+impl Tally {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold another tally in (region join).
+    pub fn merge(&mut self, other: &Tally) {
+        self.flops += other.flops;
+        self.int_ops += other.int_ops;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.calls += other.calls;
+        self.branches += other.branches;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+    }
+
+    /// Flush into the shared atomics (once per thread per join point).
+    pub fn flush(&self, c: &Counters) {
+        c.flops.fetch_add(self.flops, Ordering::Relaxed);
+        c.int_ops.fetch_add(self.int_ops, Ordering::Relaxed);
+        c.loads.fetch_add(self.loads, Ordering::Relaxed);
+        c.stores.fetch_add(self.stores, Ordering::Relaxed);
+        c.calls.fetch_add(self.calls, Ordering::Relaxed);
+        c.branches.fetch_add(self.branches, Ordering::Relaxed);
+        c.memo_hits.fetch_add(self.memo_hits, Ordering::Relaxed);
+        c.memo_misses.fetch_add(self.memo_misses, Ordering::Relaxed);
+    }
+}
+
 /// Relaxed atomic counters for executed-operation accounting (the paper's
 /// perf analysis: 47.5 G vs 87.8 G instructions, Sect. 4.3.2).
 #[derive(Debug, Default)]
@@ -372,6 +707,114 @@ mod tests {
         assert!(!Scalar::Null.truthy());
         assert!(Scalar::P(Ptr::default()).truthy());
         assert!(!Scalar::Uninit.truthy());
+    }
+
+    #[test]
+    fn packed_round_trips_inline_values() {
+        let pool = SpillPool::new();
+        let cases = [
+            Scalar::Uninit,
+            Scalar::Null,
+            Scalar::I(0),
+            Scalar::I(1),
+            Scalar::I(-1),
+            Scalar::I((1 << 47) - 1),
+            Scalar::I(-(1 << 47)),
+            Scalar::F(0.0),
+            Scalar::F(-0.0),
+            Scalar::F(3.5),
+            Scalar::F(f64::INFINITY),
+            Scalar::F(f64::NEG_INFINITY),
+            Scalar::F(f64::MIN_POSITIVE),
+            Scalar::P(Ptr { alloc: 0, index: 0 }),
+            Scalar::P(Ptr {
+                alloc: (1 << 24) - 1,
+                index: (1 << 23) - 1,
+            }),
+            Scalar::P(Ptr {
+                alloc: 7,
+                index: -(1 << 23),
+            }),
+        ];
+        for v in cases {
+            let p = Packed::pack(v, &pool);
+            match v {
+                // -0.0 == 0.0 under PartialEq; compare float bits instead.
+                Scalar::F(f) => assert_eq!(
+                    match p.unpack(&pool) {
+                        Scalar::F(g) => g.to_bits(),
+                        other => panic!("float round-tripped to {other:?}"),
+                    },
+                    f.to_bits()
+                ),
+                _ => assert_eq!(p.unpack(&pool), v, "{v:?}"),
+            }
+        }
+        assert!(pool.is_empty(), "inline cases must not spill");
+    }
+
+    #[test]
+    fn packed_round_trips_via_spill_pool() {
+        let pool = SpillPool::new();
+        let cases = [
+            Scalar::I(i64::MAX),
+            Scalar::I(i64::MIN),
+            Scalar::I(1 << 47),
+            Scalar::I(-(1 << 47) - 1),
+            Scalar::P(Ptr {
+                alloc: 1 << 24,
+                index: 3,
+            }),
+            Scalar::P(Ptr {
+                alloc: 2,
+                index: 1 << 23,
+            }),
+            // A payload NaN inside the tag window: unreachable via
+            // arithmetic, still bit-exact through the pool.
+            Scalar::F(f64::from_bits(0xFFF9_0000_0000_0001)),
+        ];
+        for v in cases {
+            let p = Packed::pack(v, &pool);
+            match (v, p.unpack(&pool)) {
+                (Scalar::F(a), Scalar::F(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+        assert_eq!(pool.len(), cases.len());
+    }
+
+    #[test]
+    fn packed_canonical_nans_stay_inline() {
+        let pool = SpillPool::new();
+        // The only NaNs reachable by interpreter arithmetic.
+        for bits in [0x7FF8_0000_0000_0000u64, 0xFFF8_0000_0000_0000u64] {
+            let p = Packed::pack(Scalar::F(f64::from_bits(bits)), &pool);
+            assert_eq!(p.bits(), bits);
+            match p.unpack(&pool) {
+                Scalar::F(f) => assert_eq!(f.to_bits(), bits),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn tally_flushes_once_into_shared_counters() {
+        let c = Counters::new();
+        let mut t = Tally::new();
+        t.flops += 3;
+        t.loads += 2;
+        t.memo_hits += 1;
+        let mut t2 = Tally::new();
+        t2.int_ops += 5;
+        t.merge(&t2);
+        t.flush(&c);
+        let s = c.snapshot();
+        assert_eq!(s.flops, 3);
+        assert_eq!(s.int_ops, 5);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.memo_hits, 1);
+        assert_eq!(s.total(), 10);
     }
 
     #[test]

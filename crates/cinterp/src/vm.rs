@@ -1,0 +1,1152 @@
+//! The bytecode VM: third (and fastest) execution tier.
+//!
+//! Executes the flat instruction arrays produced by [`crate::bytecode`]
+//! over NaN-boxed [`Packed`] operands. Four structural choices give this
+//! tier its speed over the resolved tree-walker:
+//!
+//! * **Flat dispatch** — one `loop { match op }` over a contiguous
+//!   `Vec<Insn>` replaces recursive `exec`/`eval` descent through
+//!   `Box`-linked trees; jumps assign the program counter.
+//! * **NaN-boxed frames** — locals, operands and globals are single
+//!   `u64` words ([`crate::value::Packed`]), so frames are half the size
+//!   of `Scalar` frames and a parallel iteration's private frame setup
+//!   is one flat `u64` copy out of a shared snapshot.
+//! * **Bump-arena frames** — call frames live in one growing
+//!   `Vec<Packed>` per VM (extend on call, truncate on return) instead
+//!   of a fresh `Vec` allocation per call; each parallel **worker** owns
+//!   one arena reused across every iteration it executes
+//!   ([`machine::parallel_for_state`]).
+//! * **Thread-local accounting** — executed-operation counters are plain
+//!   [`Tally`] fields flushed into the shared atomics once per worker at
+//!   region join (and once at run end), and the pure-call memo cache is
+//!   a per-worker **shard** over a frozen snapshot of the parent's
+//!   entries, merged at join — no lock traffic inside the loop.
+//!
+//! Observable behaviour (exit code, output, executed-op counters modulo
+//! memo statistics, error messages) is bit-identical to the resolved
+//! engine, which serves as this tier's differential oracle exactly as the
+//! legacy tree-walker served the resolved engine. One documented
+//! scheduling difference: memo shards mean parallel workers do not see
+//! each other's in-flight inserts, so `memo_hits`/`memo_misses` may split
+//! differently across a parallel region than under the resolved engine's
+//! single locked cache (the differential tests compare counters modulo
+//! memo for exactly this reason).
+
+use crate::builtins::{call_builtin, format_printf};
+use crate::bytecode::{binop_decode, BFunc, BRegion, BytecodeProgram, Op};
+use crate::interp::{InterpOptions, RunResult, RuntimeError};
+use crate::resolve::{Coerce, MemoCache, MemoKey, MEMO_CAPACITY};
+use crate::value::{
+    Counters, Memory, Packed, Ptr, RaceAccumulator, Scalar, SpillPool, Tally, TrackSets,
+};
+use cfront::ast::BinOp;
+use cfront::intern::Symbol;
+use cfront::span::Span;
+use machine::parallel_for_state;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type RtResult<T> = Result<T, RuntimeError>;
+
+// ---------------------------------------------------------------------------
+// Sharded pure-call memo cache
+// ---------------------------------------------------------------------------
+
+/// Per-worker view of the pure-call memo cache: a read-only frozen
+/// snapshot shared by `Arc` plus a private write shard. Lookups probe the
+/// shard then the snapshot — no lock either way. At a parallel-region
+/// join the parent absorbs every worker's shard; entering a region
+/// freezes the parent's merged view for the children.
+pub(crate) struct MemoShard {
+    frozen: Arc<HashMap<MemoKey, Scalar>>,
+    local: HashMap<MemoKey, Scalar>,
+}
+
+impl MemoShard {
+    fn new() -> Self {
+        MemoShard {
+            frozen: Arc::new(HashMap::new()),
+            local: HashMap::new(),
+        }
+    }
+
+    fn with_frozen(frozen: Arc<HashMap<MemoKey, Scalar>>) -> Self {
+        MemoShard {
+            frozen,
+            local: HashMap::new(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, key: &MemoKey) -> Option<Scalar> {
+        self.local
+            .get(key)
+            .or_else(|| self.frozen.get(key))
+            .copied()
+    }
+
+    fn insert(&mut self, key: MemoKey, v: Scalar) {
+        if !matches!(v, Scalar::I(_) | Scalar::F(_)) {
+            return;
+        }
+        if self.frozen.len() + self.local.len() < MEMO_CAPACITY {
+            self.local.insert(key, v);
+        }
+    }
+
+    /// Merged read-only snapshot handed to parallel children.
+    fn freeze(&self) -> Arc<HashMap<MemoKey, Scalar>> {
+        if self.local.is_empty() {
+            return Arc::clone(&self.frozen);
+        }
+        let mut merged = (*self.frozen).clone();
+        for (k, v) in &self.local {
+            merged.insert(k.clone(), *v);
+        }
+        Arc::new(merged)
+    }
+
+    /// Fold a worker's shard back in at region join.
+    fn absorb(&mut self, other: HashMap<MemoKey, Scalar>) {
+        for (k, v) in other {
+            if self.frozen.len() + self.local.len() >= MEMO_CAPACITY {
+                break;
+            }
+            self.local.entry(k).or_insert(v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VM state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct VmShared {
+    prog: Arc<BytecodeProgram>,
+    mem: Memory,
+    counters: Arc<Counters>,
+    /// Globals live **unpacked** behind their lock: packed words carry
+    /// per-VM spill indices and must never travel between VMs.
+    globals: Arc<RwLock<Vec<Scalar>>>,
+    output: Arc<Mutex<String>>,
+    opts: InterpOptions,
+}
+
+struct Vm {
+    s: VmShared,
+    /// Operand stack.
+    stack: Vec<Packed>,
+    /// Bump arena of call frames: extend on call, truncate on return.
+    arena: Vec<Packed>,
+    /// This VM's NaN-box overflow pool (single-owner, lock-free).
+    spill: SpillPool,
+    /// Entries below this index are an immutable prefix inherited from
+    /// the parent VM of a parallel region; never truncated or compacted.
+    spill_floor: usize,
+    depth: usize,
+    steps: u64,
+    tally: Tally,
+    memo: Option<MemoShard>,
+    track: Option<TrackSets>,
+}
+
+/// Execute a bytecode program's entry function to completion.
+pub(crate) fn run_vm(
+    prog: &Arc<BytecodeProgram>,
+    entry: &str,
+    opts: InterpOptions,
+) -> RtResult<RunResult> {
+    let shared = VmShared {
+        prog: Arc::clone(prog),
+        mem: Memory::new(),
+        counters: Arc::new(Counters::new()),
+        globals: Arc::new(RwLock::new(vec![Scalar::Uninit; prog.nglobals])),
+        output: Arc::new(Mutex::new(String::new())),
+        opts,
+    };
+    let mut vm = Vm::new(shared.clone());
+    vm.memo = (opts.memo && prog.any_cacheable).then(MemoShard::new);
+
+    // Global initialisers run on an empty frame.
+    let prog2 = Arc::clone(prog);
+    vm.exec(&prog2.global_code, 0, 0)?;
+    debug_assert!(vm.stack.is_empty() || vm.stack.len() == 1);
+    vm.stack.clear();
+
+    let exit = match prog.by_name.get(entry) {
+        Some(&fid) => {
+            vm.call_user(fid, 0, Span::DUMMY)?;
+            vm.stack.pop().expect("entry result")
+        }
+        None => {
+            // Mirror the other engines: unknown entry falls through to
+            // the builtin table, then errors.
+            vm.tally.calls += 1;
+            let mut out = String::new();
+            match call_builtin(entry, &[], &shared.mem, &mut out) {
+                Some(Ok(v)) => {
+                    if !out.is_empty() {
+                        shared.output.lock().push_str(&out);
+                    }
+                    vm.pack(v)
+                }
+                Some(Err(e)) => return Err(RuntimeError::at(e.to_string(), Span::DUMMY)),
+                None => {
+                    return Err(RuntimeError::at(
+                        format!("call to undefined function '{entry}'"),
+                        Span::DUMMY,
+                    ))
+                }
+            }
+        }
+    };
+    let exit_code = vm.to_i64(exit);
+    // Single flush of the root tally into the shared atomics.
+    vm.tally.flush(&shared.counters);
+    let output = shared.output.lock().clone();
+    let counters = shared.counters.snapshot();
+    Ok(RunResult {
+        exit_code,
+        output,
+        counters,
+    })
+}
+
+impl Vm {
+    fn new(s: VmShared) -> Self {
+        Vm {
+            s,
+            stack: Vec::with_capacity(32),
+            arena: Vec::with_capacity(64),
+            spill: SpillPool::new(),
+            spill_floor: 0,
+            depth: 0,
+            steps: 0,
+            tally: Tally::new(),
+            memo: None,
+            track: None,
+        }
+    }
+
+    /// Child VM for a parallel region / race check: inherits a frozen
+    /// memo view and the parent's spill entries as an immutable prefix
+    /// (so spill references inside the frame snapshot stay resolvable).
+    fn new_child(
+        s: VmShared,
+        frozen: Option<Arc<HashMap<MemoKey, Scalar>>>,
+        spill_prefix: &[Scalar],
+    ) -> Self {
+        let mut vm = Vm::new(s);
+        vm.memo = frozen.map(MemoShard::with_frozen);
+        vm.spill = SpillPool::with_entries(spill_prefix.to_vec());
+        vm.spill_floor = spill_prefix.len();
+        vm
+    }
+
+    /// Compact the spill pool down to its live entries. Sound only at a
+    /// statement boundary (or region entry): every live spill reference
+    /// is then a word in `arena` or `stack` — region frame snapshots,
+    /// memo entries, globals and `Memory` all hold unpacked `Scalar`s.
+    /// The inherited `spill_floor` prefix is kept verbatim (a parallel
+    /// child's frame template references it by index every iteration).
+    fn compact_spills(&mut self) {
+        let floor = self.spill_floor;
+        let mut fresh = self.spill.prefix(floor);
+        fresh.reserve(64);
+        for word in self.arena.iter_mut().chain(self.stack.iter_mut()) {
+            if let Some(idx) = word.spill_index() {
+                if idx >= floor {
+                    let v = self.spill.get_entry(idx);
+                    *word = Packed::from_spill_index(fresh.len());
+                    fresh.push(v);
+                }
+            }
+        }
+        self.spill.replace_entries(fresh);
+    }
+
+    #[inline]
+    fn pack(&self, v: Scalar) -> Packed {
+        Packed::pack(v, &self.spill)
+    }
+
+    #[inline]
+    fn unpack(&self, p: Packed) -> Scalar {
+        p.unpack(&self.spill)
+    }
+
+    #[inline]
+    fn truthy(&self, p: Packed) -> bool {
+        if let Some(i) = p.as_inline_int() {
+            return i != 0;
+        }
+        match self.unpack(p) {
+            Scalar::I(v) => v != 0,
+            Scalar::F(f) => f != 0.0,
+            Scalar::P(_) => true,
+            Scalar::Null | Scalar::Uninit => false,
+        }
+    }
+
+    #[inline]
+    fn to_i64(&self, p: Packed) -> i64 {
+        if let Some(i) = p.as_inline_int() {
+            return i;
+        }
+        self.unpack(p).as_i64()
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Packed {
+        self.stack.pop().expect("operand stack underflow")
+    }
+
+    // -- memory with tallies --------------------------------------------------
+
+    #[inline]
+    fn mem_load(&mut self, p: Ptr, span: Span) -> RtResult<Packed> {
+        self.tally.loads += 1;
+        if let Some(t) = &mut self.track {
+            t.reads.insert((p.alloc, p.index));
+        }
+        match self.s.mem.load(p) {
+            Ok(v) => Ok(self.pack(v)),
+            Err(e) => Err(RuntimeError::at(e.to_string(), span)),
+        }
+    }
+
+    #[inline]
+    fn mem_store(&mut self, p: Ptr, v: Packed, span: Span) -> RtResult<()> {
+        self.tally.stores += 1;
+        if let Some(t) = &mut self.track {
+            t.writes.insert((p.alloc, p.index));
+        }
+        let v = self.unpack(v);
+        self.s
+            .mem
+            .store(p, v)
+            .map_err(|e| RuntimeError::at(e.to_string(), span))
+    }
+
+    /// Pop a value that the compiler guarantees is a pointer (produced by
+    /// a `Ptr*` place instruction).
+    #[inline]
+    fn pop_ptr(&mut self) -> Ptr {
+        let v = self.pop();
+        if let Some(p) = v.as_inline_ptr() {
+            return p;
+        }
+        match self.unpack(v) {
+            Scalar::P(p) => p,
+            other => unreachable!("compiler emitted a non-pointer place: {other:?}"),
+        }
+    }
+
+    #[inline]
+    fn coerce_packed(&self, c: Coerce, v: Packed) -> Packed {
+        match c {
+            Coerce::None => v,
+            Coerce::ToFloat => {
+                if let Some(i) = v.as_inline_int() {
+                    return self.pack(Scalar::F(i as f64));
+                }
+                match self.unpack(v) {
+                    Scalar::I(i) => self.pack(Scalar::F(i as f64)),
+                    _ => v,
+                }
+            }
+            Coerce::ToInt => {
+                if v.is_inline_float() {
+                    let f = match self.unpack(v) {
+                        Scalar::F(f) => f,
+                        _ => unreachable!("inline float unpacks to F"),
+                    };
+                    return Packed::pack_i64(f as i64, &self.spill);
+                }
+                match self.unpack(v) {
+                    Scalar::F(f) => Packed::pack_i64(f as i64, &self.spill),
+                    _ => v,
+                }
+            }
+        }
+    }
+
+    // -- operators ------------------------------------------------------------
+
+    /// Integer fast path of [`Self::binop`]; both operands are inline
+    /// ints. Mirrors the resolved engine's integer branch bit for bit.
+    #[inline]
+    fn int_binop(&mut self, op: BinOp, a: i64, b: i64, span: Span) -> RtResult<Packed> {
+        use BinOp::*;
+        let out = match op {
+            Add => a.wrapping_add(b),
+            Sub => a.wrapping_sub(b),
+            Mul => a.wrapping_mul(b),
+            Div => {
+                if b == 0 {
+                    return Err(RuntimeError::at("integer division by zero", span));
+                }
+                a.wrapping_div(b)
+            }
+            Rem => {
+                if b == 0 {
+                    return Err(RuntimeError::at("integer modulo by zero", span));
+                }
+                a.wrapping_rem(b)
+            }
+            Shl => a.wrapping_shl(b as u32),
+            Shr => a.wrapping_shr(b as u32),
+            Lt => i64::from(a < b),
+            Gt => i64::from(a > b),
+            Le => i64::from(a <= b),
+            Ge => i64::from(a >= b),
+            Eq => i64::from(a == b),
+            Ne => i64::from(a != b),
+            BitAnd => a & b,
+            BitXor => a ^ b,
+            BitOr => a | b,
+            And | Or => unreachable!("lowered to jumps"),
+        };
+        self.tally.int_ops += 1;
+        Ok(Packed::pack_i64(out, &self.spill))
+    }
+
+    #[inline]
+    fn binop(&mut self, op: BinOp, l: Packed, r: Packed, span: Span) -> RtResult<Packed> {
+        if let (Some(a), Some(b)) = (l.as_inline_int(), r.as_inline_int()) {
+            return self.int_binop(op, a, b, span);
+        }
+        let lv = self.unpack(l);
+        let rv = self.unpack(r);
+        let s = self.apply_binop(op, lv, rv, span)?;
+        Ok(self.pack(s))
+    }
+
+    /// General binary-operator semantics — a faithful copy of the
+    /// resolved engine's `apply_binop` with tally bumps in place of
+    /// shared-atomic bumps.
+    fn apply_binop(&mut self, op: BinOp, lv: Scalar, rv: Scalar, span: Span) -> RtResult<Scalar> {
+        use BinOp::*;
+        match (lv, rv, op) {
+            (Scalar::P(p), i, Add) if !matches!(i, Scalar::P(_)) => {
+                self.tally.int_ops += 1;
+                return Ok(Scalar::P(p.offset(i.as_i64())));
+            }
+            (i, Scalar::P(p), Add) if !matches!(i, Scalar::P(_)) => {
+                self.tally.int_ops += 1;
+                return Ok(Scalar::P(p.offset(i.as_i64())));
+            }
+            (Scalar::P(p), i, Sub) if !matches!(i, Scalar::P(_)) => {
+                self.tally.int_ops += 1;
+                return Ok(Scalar::P(p.offset(-i.as_i64())));
+            }
+            (Scalar::P(a), Scalar::P(b), Sub) => {
+                self.tally.int_ops += 1;
+                return Ok(Scalar::I(a.index - b.index));
+            }
+            (Scalar::P(a), Scalar::P(b), Eq) => {
+                return Ok(Scalar::I(i64::from(a == b)));
+            }
+            (Scalar::P(a), Scalar::P(b), Ne) => {
+                return Ok(Scalar::I(i64::from(a != b)));
+            }
+            (Scalar::P(_), Scalar::Null, Eq) | (Scalar::Null, Scalar::P(_), Eq) => {
+                return Ok(Scalar::I(0));
+            }
+            (Scalar::P(_), Scalar::Null, Ne) | (Scalar::Null, Scalar::P(_), Ne) => {
+                return Ok(Scalar::I(1));
+            }
+            _ => {}
+        }
+
+        let float = lv.is_float() || rv.is_float();
+        if float {
+            let a = lv.as_f64();
+            let b = rv.as_f64();
+            let out = match op {
+                Add => Scalar::F(a + b),
+                Sub => Scalar::F(a - b),
+                Mul => Scalar::F(a * b),
+                Div => Scalar::F(a / b),
+                Rem => Scalar::F(a % b),
+                Lt => Scalar::I(i64::from(a < b)),
+                Gt => Scalar::I(i64::from(a > b)),
+                Le => Scalar::I(i64::from(a <= b)),
+                Ge => Scalar::I(i64::from(a >= b)),
+                Eq => Scalar::I(i64::from(a == b)),
+                Ne => Scalar::I(i64::from(a != b)),
+                Shl | Shr | BitAnd | BitXor | BitOr => {
+                    return Err(RuntimeError::at("bitwise op on float", span))
+                }
+                And | Or => unreachable!("lowered to jumps"),
+            };
+            self.tally.flops += 1;
+            Ok(out)
+        } else {
+            let a = lv.as_i64();
+            let b = rv.as_i64();
+            let packed = self.int_binop(op, a, b, span)?;
+            Ok(self.unpack(packed))
+        }
+    }
+
+    /// `++`/`--` value transition (shared by the three `IncDec*` ops).
+    #[inline]
+    fn incdec(&mut self, old: Packed, flags: u32) -> Packed {
+        let delta: i64 = if flags & 1 != 0 { 1 } else { -1 };
+        if let Some(i) = old.as_inline_int() {
+            self.tally.int_ops += 1;
+            return Packed::pack_i64(i + delta, &self.spill);
+        }
+        let s = self.unpack(old);
+        let new = self.incdec_scalar(s, flags);
+        self.pack(new)
+    }
+
+    #[inline]
+    fn incdec_scalar(&mut self, old: Scalar, flags: u32) -> Scalar {
+        let delta: i64 = if flags & 1 != 0 { 1 } else { -1 };
+        match old {
+            Scalar::F(f) => {
+                self.tally.flops += 1;
+                Scalar::F(f + delta as f64)
+            }
+            Scalar::P(p) => Scalar::P(p.offset(delta)),
+            other => {
+                self.tally.int_ops += 1;
+                Scalar::I(other.as_i64() + delta)
+            }
+        }
+    }
+
+    // -- calls ----------------------------------------------------------------
+
+    fn call_user(&mut self, fid: u32, nargs: usize, span: Span) -> RtResult<()> {
+        self.tally.calls += 1;
+        if self.depth >= 512 {
+            return Err(RuntimeError::at("call stack overflow", span));
+        }
+        let prog = Arc::clone(&self.s.prog);
+        let func = &prog.funcs[fid as usize];
+
+        // Bind (coerced) arguments into a fresh arena frame.
+        let fbase = self.arena.len();
+        self.arena.resize(fbase + func.frame_size, Packed::UNINIT);
+        let argbase = self.stack.len() - nargs;
+        for (i, &(slot, co)) in func.params.iter().enumerate() {
+            if i >= nargs {
+                break;
+            }
+            let v = self.coerce_packed(co, self.stack[argbase + i]);
+            self.arena[fbase + slot as usize] = v;
+        }
+        self.stack.truncate(argbase);
+
+        // Pure-call memoization against this worker's shard.
+        let memo_key = if func.cacheable && self.memo.is_some() {
+            let nkey = func.params.len().min(func.frame_size);
+            let mut scalars = Vec::with_capacity(nkey);
+            for v in &self.arena[fbase..fbase + nkey] {
+                scalars.push(v.unpack(&self.spill));
+            }
+            MemoCache::key(fid, &scalars)
+        } else {
+            None
+        };
+        if let (Some(shard), Some(key)) = (&self.memo, &memo_key) {
+            if let Some(v) = shard.get(key) {
+                self.tally.memo_hits += 1;
+                self.arena.truncate(fbase);
+                let v = self.pack(v);
+                self.stack.push(v);
+                return Ok(());
+            }
+            self.tally.memo_misses += 1;
+        }
+
+        self.depth += 1;
+        let result = self.exec(func, fbase, 0);
+        self.depth -= 1;
+        self.arena.truncate(fbase);
+        let result = result?;
+        if let Some(key) = memo_key {
+            let v = self.unpack(result);
+            if let Some(shard) = &mut self.memo {
+                shard.insert(key, v);
+            }
+        }
+        self.stack.push(result);
+        Ok(())
+    }
+
+    // -- dispatch loop --------------------------------------------------------
+
+    /// Run `f`'s code from `pc` with the current frame at `arena[base..]`
+    /// until a `Ret` (function result) or `RegionEnd` (iteration end).
+    fn exec(&mut self, f: &BFunc, base: usize, mut pc: usize) -> RtResult<Packed> {
+        loop {
+            let insn = f.code[pc];
+            match insn.op {
+                Op::Step => {
+                    self.steps += 1;
+                    if self.steps > self.s.opts.max_steps {
+                        return Err(RuntimeError::at(
+                            "step limit exceeded (infinite loop?)",
+                            f.spans[pc],
+                        ));
+                    }
+                    // Statement boundaries are compaction safe points:
+                    // the pool's live set is exactly the spill-tagged
+                    // words in the arena and operand stack.
+                    let live = self.arena.len() + self.stack.len();
+                    if self.spill.len() - self.spill_floor > 1024 + 4 * live {
+                        self.compact_spills();
+                    }
+                }
+                Op::Const => {
+                    let v = self.pack(f.consts[insn.a as usize]);
+                    self.stack.push(v);
+                }
+                Op::StrNew => {
+                    let s = Arc::clone(&f.strings[insn.a as usize]);
+                    let span = f.spans[pc];
+                    let n = s.chars().count();
+                    let p = self.s.mem.alloc(n + 1);
+                    for (i, ch) in s.chars().enumerate() {
+                        let v = self.pack(Scalar::I(ch as i64));
+                        self.mem_store(p.offset(i as i64), v, span)?;
+                    }
+                    let nul = self.pack(Scalar::I(0));
+                    self.mem_store(p.offset(n as i64), nul, span)?;
+                    let v = self.pack(Scalar::P(p));
+                    self.stack.push(v);
+                }
+                Op::LoadLocal => {
+                    let v = self.arena[base + insn.a as usize];
+                    self.stack.push(v);
+                }
+                Op::LoadGlobal => {
+                    let v = self.s.globals.read()[insn.a as usize];
+                    let v = self.pack(v);
+                    self.stack.push(v);
+                }
+                Op::StoreLocal => {
+                    let v = *self.stack.last().expect("operand stack underflow");
+                    self.arena[base + insn.a as usize] = v;
+                }
+                Op::StoreGlobal => {
+                    let v = *self.stack.last().expect("operand stack underflow");
+                    let v = self.unpack(v);
+                    self.s.globals.write()[insn.a as usize] = v;
+                }
+                Op::StoreLocalPop => {
+                    let v = self.pop();
+                    self.arena[base + insn.a as usize] = v;
+                }
+                Op::StoreGlobalPop => {
+                    let v = self.pop();
+                    let v = self.unpack(v);
+                    self.s.globals.write()[insn.a as usize] = v;
+                }
+                Op::Dup => {
+                    let v = *self.stack.last().expect("operand stack underflow");
+                    self.stack.push(v);
+                }
+                Op::Pop => {
+                    self.pop();
+                }
+                Op::PushUninit => self.stack.push(Packed::UNINIT),
+                Op::UnaryNeg => {
+                    let v = self.pop();
+                    let out = if let Some(i) = v.as_inline_int() {
+                        self.tally.int_ops += 1;
+                        Packed::pack_i64(-i, &self.spill)
+                    } else {
+                        match self.unpack(v) {
+                            Scalar::F(f) => {
+                                self.tally.flops += 1;
+                                self.pack(Scalar::F(-f))
+                            }
+                            other => {
+                                self.tally.int_ops += 1;
+                                Packed::pack_i64(-other.as_i64(), &self.spill)
+                            }
+                        }
+                    };
+                    self.stack.push(out);
+                }
+                Op::UnaryNot => {
+                    let v = self.pop();
+                    let out = Packed::pack_i64(i64::from(!self.truthy(v)), &self.spill);
+                    self.stack.push(out);
+                }
+                Op::UnaryBitNot => {
+                    let v = self.pop();
+                    let out = Packed::pack_i64(!self.to_i64(v), &self.spill);
+                    self.stack.push(out);
+                }
+                Op::DerefLoad => {
+                    let v = self.pop();
+                    let p = if let Some(p) = v.as_inline_ptr() {
+                        p
+                    } else {
+                        match self.unpack(v) {
+                            Scalar::P(p) => p,
+                            other => {
+                                return Err(RuntimeError::at(
+                                    format!("dereference of non-pointer {other:?}"),
+                                    f.spans[pc],
+                                ))
+                            }
+                        }
+                    };
+                    let v = self.mem_load(p, f.spans[pc])?;
+                    self.stack.push(v);
+                }
+                Op::Binary => {
+                    let r = self.pop();
+                    let l = self.pop();
+                    let out = self.binop(binop_decode(insn.a), l, r, f.spans[pc])?;
+                    self.stack.push(out);
+                }
+                Op::BinLL => {
+                    let x = self.arena[base + (insn.a & 0xFFFF) as usize];
+                    let y = self.arena[base + (insn.a >> 16) as usize];
+                    let out = self.binop(binop_decode(insn.b), x, y, f.spans[pc])?;
+                    self.stack.push(out);
+                }
+                Op::BinLC => {
+                    let x = self.arena[base + (insn.a & 0xFFFF) as usize];
+                    let cv = f.consts[(insn.a >> 16) as usize];
+                    let op = binop_decode(insn.b);
+                    let out = if let (Some(a), Scalar::I(b)) = (x.as_inline_int(), cv) {
+                        self.int_binop(op, a, b, f.spans[pc])?
+                    } else {
+                        let xs = self.unpack(x);
+                        let s = self.apply_binop(op, xs, cv, f.spans[pc])?;
+                        self.pack(s)
+                    };
+                    self.stack.push(out);
+                }
+                Op::PtrIndex => {
+                    let iv = self.pop();
+                    let bv = self.pop();
+                    let i = self.to_i64(iv);
+                    let p = if let Some(p) = bv.as_inline_ptr() {
+                        p
+                    } else {
+                        match self.unpack(bv) {
+                            Scalar::P(p) => p,
+                            other => {
+                                return Err(RuntimeError::at(
+                                    format!("indexing a non-pointer value {other:?}"),
+                                    f.spans[pc],
+                                ))
+                            }
+                        }
+                    };
+                    let out = Packed::pack_ptr(p.offset(i), &self.spill);
+                    self.stack.push(out);
+                }
+                Op::PtrDeref => {
+                    let v = self.pop();
+                    match (v.as_inline_ptr(), self.unpack(v)) {
+                        (Some(_), _) | (_, Scalar::P(_)) => self.stack.push(v),
+                        _ => {
+                            return Err(RuntimeError::at("dereference of non-pointer", f.spans[pc]))
+                        }
+                    }
+                }
+                Op::PtrMember => {
+                    let v = self.pop();
+                    let p = if let Some(p) = v.as_inline_ptr() {
+                        p
+                    } else {
+                        match self.unpack(v) {
+                            Scalar::P(p) => p,
+                            _ => {
+                                return Err(RuntimeError::at(
+                                    "member access on non-struct",
+                                    f.spans[pc],
+                                ))
+                            }
+                        }
+                    };
+                    let out = Packed::pack_ptr(p.offset(insn.a as i64), &self.spill);
+                    self.stack.push(out);
+                }
+                Op::LoadMem => {
+                    let p = self.pop_ptr();
+                    let v = self.mem_load(p, f.spans[pc])?;
+                    self.stack.push(v);
+                }
+                Op::StoreMem => {
+                    let p = self.pop_ptr();
+                    let v = self.pop();
+                    self.mem_store(p, v, f.spans[pc])?;
+                    if insn.b == 0 {
+                        self.stack.push(v);
+                    }
+                }
+                Op::LoadIdxConst => {
+                    let p = self.pop_ptr();
+                    let v = self.mem_load(p.offset(insn.a as i64), f.spans[pc])?;
+                    self.stack.push(v);
+                }
+                Op::SkipUnlessPtr => {
+                    let top = *self.stack.last().expect("operand stack underflow");
+                    let is_ptr =
+                        top.as_inline_ptr().is_some() || matches!(self.unpack(top), Scalar::P(_));
+                    if !is_ptr {
+                        self.pop();
+                        pc = insn.a as usize;
+                        continue;
+                    }
+                }
+                Op::StoreIdxConst => {
+                    let v = self.pop();
+                    let p = self.pop_ptr();
+                    self.mem_store(p.offset(insn.a as i64), v, f.spans[pc])?;
+                }
+                Op::CompoundLocal => {
+                    let rv = self.pop();
+                    let old = self.arena[base + insn.a as usize];
+                    let res = self.binop(binop_decode(insn.b & 0xFF), old, rv, f.spans[pc])?;
+                    self.arena[base + insn.a as usize] = res;
+                    if insn.b & 0x100 == 0 {
+                        self.stack.push(res);
+                    }
+                }
+                Op::CompoundGlobal => {
+                    let rv = self.pop();
+                    let rv = self.unpack(rv);
+                    let old = self.s.globals.read()[insn.a as usize];
+                    let res =
+                        self.apply_binop(binop_decode(insn.b & 0xFF), old, rv, f.spans[pc])?;
+                    self.s.globals.write()[insn.a as usize] = res;
+                    if insn.b & 0x100 == 0 {
+                        let res = self.pack(res);
+                        self.stack.push(res);
+                    }
+                }
+                Op::CompoundMem => {
+                    let p = self.pop_ptr();
+                    let rv = self.pop();
+                    let old = self.mem_load(p, f.spans[pc])?;
+                    let res = self.binop(binop_decode(insn.a), old, rv, f.spans[pc])?;
+                    self.mem_store(p, res, f.spans[pc])?;
+                    if insn.b == 0 {
+                        self.stack.push(res);
+                    }
+                }
+                Op::IncDecLocal => {
+                    let old = self.arena[base + insn.a as usize];
+                    let new = self.incdec(old, insn.b);
+                    self.arena[base + insn.a as usize] = new;
+                    if insn.b & 4 == 0 {
+                        self.stack.push(if insn.b & 2 != 0 { new } else { old });
+                    }
+                }
+                Op::IncDecGlobal => {
+                    let old = self.s.globals.read()[insn.a as usize];
+                    let new = self.incdec_scalar(old, insn.b);
+                    self.s.globals.write()[insn.a as usize] = new;
+                    if insn.b & 4 == 0 {
+                        let out = self.pack(if insn.b & 2 != 0 { new } else { old });
+                        self.stack.push(out);
+                    }
+                }
+                Op::IncDecMem => {
+                    let p = self.pop_ptr();
+                    let old = self.mem_load(p, f.spans[pc])?;
+                    let new = self.incdec(old, insn.b);
+                    self.mem_store(p, new, f.spans[pc])?;
+                    if insn.b & 4 == 0 {
+                        self.stack.push(if insn.b & 2 != 0 { new } else { old });
+                    }
+                }
+                Op::Coerce => {
+                    let v = self.pop();
+                    let mode = if insn.a == 0 {
+                        Coerce::ToFloat
+                    } else {
+                        Coerce::ToInt
+                    };
+                    let out = self.coerce_packed(mode, v);
+                    self.stack.push(out);
+                }
+                Op::Jump => {
+                    pc = insn.a as usize;
+                    continue;
+                }
+                Op::JumpIfFalse => {
+                    let v = self.pop();
+                    if !self.truthy(v) {
+                        pc = insn.a as usize;
+                        continue;
+                    }
+                }
+                Op::JumpIfTrue => {
+                    let v = self.pop();
+                    if self.truthy(v) {
+                        pc = insn.a as usize;
+                        continue;
+                    }
+                }
+                Op::BumpBranch => self.tally.branches += 1,
+                Op::Truthy => {
+                    let v = self.pop();
+                    let out = Packed::pack_i64(i64::from(self.truthy(v)), &self.spill);
+                    self.stack.push(out);
+                }
+                Op::CallUser => {
+                    self.call_user(insn.a, insn.b as usize, f.spans[pc])?;
+                }
+                Op::CallBuiltin => {
+                    self.tally.calls += 1;
+                    let nargs = insn.b as usize;
+                    let argbase = self.stack.len() - nargs;
+                    let mut args = Vec::with_capacity(nargs);
+                    for v in &self.stack[argbase..] {
+                        args.push(v.unpack(&self.spill));
+                    }
+                    self.stack.truncate(argbase);
+                    let name = self.s.prog.interner.resolve(Symbol(insn.a));
+                    let mut out = String::new();
+                    match call_builtin(name, &args, &self.s.mem, &mut out) {
+                        Some(Ok(v)) => {
+                            if !out.is_empty() {
+                                self.s.output.lock().push_str(&out);
+                            }
+                            let v = self.pack(v);
+                            self.stack.push(v);
+                        }
+                        Some(Err(e)) => return Err(RuntimeError::at(e.to_string(), f.spans[pc])),
+                        None => {
+                            return Err(RuntimeError::at(
+                                format!("call to undefined function '{name}'"),
+                                f.spans[pc],
+                            ))
+                        }
+                    }
+                }
+                Op::Printf => {
+                    let span = f.spans[pc];
+                    let nargs = insn.b as usize;
+                    let argbase = self.stack.len() - nargs;
+                    let mut args = Vec::with_capacity(nargs);
+                    for v in &self.stack[argbase..] {
+                        args.push(v.unpack(&self.spill));
+                    }
+                    self.stack.truncate(argbase);
+                    let fmt: String = if insn.a != u32::MAX {
+                        f.strings[insn.a as usize].to_string()
+                    } else {
+                        let fv = self.pop();
+                        let mut p = match self.unpack(fv) {
+                            Scalar::P(p) => p,
+                            _ => {
+                                return Err(RuntimeError::at("printf format is not a string", span))
+                            }
+                        };
+                        let mut s = String::new();
+                        loop {
+                            let ch = self.mem_load(p, span)?;
+                            match self.unpack(ch) {
+                                Scalar::I(0) => break,
+                                Scalar::I(c) => {
+                                    s.push(char::from_u32(c as u32).unwrap_or('?'));
+                                    p = p.offset(1);
+                                }
+                                _ => break,
+                            }
+                        }
+                        s
+                    };
+                    let rendered = format_printf(&fmt, &args, &self.s.mem);
+                    self.s.output.lock().push_str(&rendered);
+                    let out = Packed::pack_i64(rendered.len() as i64, &self.spill);
+                    self.stack.push(out);
+                }
+                Op::AllocArray => {
+                    let ndims = insn.a as usize;
+                    let dimbase = self.stack.len() - ndims;
+                    let mut dims = Vec::with_capacity(ndims);
+                    for i in 0..ndims {
+                        let v = self.stack[dimbase + i];
+                        dims.push(self.to_i64(v).max(0) as usize);
+                    }
+                    self.stack.truncate(dimbase);
+                    let p = self.alloc_array(&dims);
+                    let out = self.pack(Scalar::P(p));
+                    self.stack.push(out);
+                }
+                Op::AllocStruct => {
+                    let p = self.s.mem.alloc(insn.a as usize);
+                    let out = self.pack(Scalar::P(p));
+                    self.stack.push(out);
+                }
+                Op::OmpRegion => {
+                    let r = f.regions[insn.a as usize];
+                    self.region(f, base, &r)?;
+                    pc = r.end as usize + 1;
+                    continue;
+                }
+                Op::RegionEnd => return Ok(Packed::ZERO),
+                Op::Ret => return Ok(self.pop()),
+                Op::Err => {
+                    return Err(RuntimeError::at(
+                        f.errs[insn.a as usize].clone(),
+                        f.spans[pc],
+                    ))
+                }
+                Op::MemberUnknownErr => {
+                    let v = self.pop();
+                    let msg = match self.unpack(v) {
+                        Scalar::P(_) => f.errs[insn.a as usize].clone(),
+                        _ => "member access on non-struct".to_string(),
+                    };
+                    return Err(RuntimeError::at(msg, f.spans[pc]));
+                }
+            }
+            pc += 1;
+        }
+    }
+
+    fn alloc_array(&mut self, dims: &[usize]) -> Ptr {
+        match dims {
+            [] | [_] => self.s.mem.alloc(dims.first().copied().unwrap_or(1)),
+            [first, rest @ ..] => {
+                let spine = self.s.mem.alloc(*first);
+                for i in 0..*first {
+                    let sub = self.alloc_array(rest);
+                    self.s
+                        .mem
+                        .store(spine.offset(i as i64), Scalar::P(sub))
+                        .expect("fresh spine in bounds");
+                }
+                spine
+            }
+        }
+    }
+
+    // -- parallel regions -----------------------------------------------------
+
+    fn region(&mut self, f: &BFunc, base: usize, r: &BRegion) -> RtResult<()> {
+        let ubv = self.pop();
+        let lbv = self.pop();
+        let lb = self.to_i64(lbv);
+        let ub_incl = if r.ub_inclusive {
+            self.to_i64(ubv)
+        } else {
+            self.to_i64(ubv) - 1
+        };
+        if ub_incl < lb {
+            return Ok(());
+        }
+        let n = (ub_incl - lb + 1) as u64;
+
+        if self.s.opts.race_check {
+            self.race_check(f, base, r, lb, n)?;
+        }
+
+        // Compact first so the children inherit only live spill entries
+        // (usually none), then snapshot the frame: one flat u64 template
+        // each worker memcpys per iteration.
+        if self.spill.len() > self.spill_floor {
+            self.compact_spills();
+        }
+        let frame: Vec<Packed> = self.arena[base..base + f.frame_size].to_vec();
+        let spill_prefix = self.spill.entries_snapshot();
+        let frozen = self.memo.as_ref().map(|m| m.freeze());
+        let shared = self.s.clone();
+        let err: Mutex<Option<RuntimeError>> = Mutex::new(None);
+        let frame = &frame;
+        let spill_prefix = &spill_prefix;
+        let err_ref = &err;
+        let iter_slot = r.iter_slot as usize;
+        let body_start = r.body_start as usize;
+
+        // Each worker owns one child VM — arena, spill pool, tally and
+        // memo shard — reused across every iteration that worker
+        // executes; the states come back at the join for a single merge.
+        let workers = parallel_for_state(
+            n,
+            self.s.opts.threads,
+            r.schedule,
+            |_tid| Vm::new_child(shared.clone(), frozen.clone(), spill_prefix),
+            |vm, k| {
+                vm.stack.clear();
+                vm.arena.clear();
+                vm.arena.extend_from_slice(frame);
+                vm.spill.truncate(vm.spill_floor);
+                vm.arena[iter_slot] = Packed::pack_i64(lb + k as i64, &vm.spill);
+                vm.steps = 0;
+                vm.depth = 0;
+                if let Err(e) = vm.exec(f, 0, body_start) {
+                    let mut g = err_ref.lock();
+                    if g.is_none() {
+                        *g = Some(e);
+                    }
+                }
+            },
+        );
+        for w in workers {
+            self.tally.merge(&w.tally);
+            if let Some(theirs) = w.memo {
+                if let Some(mine) = &mut self.memo {
+                    mine.absorb(theirs.local);
+                }
+            }
+        }
+        match err.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Sequentially validate iteration access-set disjointness before a
+    /// parallel run — same dynamic purity check as the other engines.
+    /// One child VM (frame arena, spill pool, memo shard) is reused
+    /// across every validated iteration and merged back once.
+    fn race_check(&mut self, f: &BFunc, base: usize, r: &BRegion, lb: i64, n: u64) -> RtResult<()> {
+        let mut acc = RaceAccumulator::new();
+        if self.spill.len() > self.spill_floor {
+            self.compact_spills();
+        }
+        let frame: Vec<Packed> = self.arena[base..base + f.frame_size].to_vec();
+        let spill_prefix = self.spill.entries_snapshot();
+        let frozen = self.memo.as_ref().map(|m| m.freeze());
+        let mut child = Vm::new_child(self.s.clone(), frozen, &spill_prefix);
+        let mut result = Ok(());
+        for k in 0..n {
+            child.stack.clear();
+            child.arena.clear();
+            child.arena.extend_from_slice(&frame);
+            child.spill.truncate(child.spill_floor);
+            child.arena[r.iter_slot as usize] = Packed::pack_i64(lb + k as i64, &child.spill);
+            child.steps = 0;
+            child.depth = 0;
+            child.track = Some(TrackSets::default());
+            let res = child.exec(f, 0, r.body_start as usize);
+            let t = child.track.take().expect("tracking on");
+            if let Err(e) = res {
+                result = Err(e);
+                break;
+            }
+            if let Err(msg) = acc.absorb(t) {
+                result = Err(RuntimeError::at(msg, r.span));
+                break;
+            }
+        }
+        self.tally.merge(&child.tally);
+        if let Some(theirs) = child.memo.take() {
+            if let Some(mine) = &mut self.memo {
+                mine.absorb(theirs.local);
+            }
+        }
+        result
+    }
+}

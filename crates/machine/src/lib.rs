@@ -14,7 +14,7 @@
 pub mod omprt;
 pub mod sim;
 
-pub use omprt::{parallel_for, OmpSchedule, ThreadPool};
+pub use omprt::{parallel_for, parallel_for_state, OmpSchedule, ThreadPool};
 pub use sim::{
     program_time, region_time, speedup, Compiler, CompilerKind, CostProfile, Machine, Variant,
     Workload,

@@ -12,4 +12,4 @@ pub mod pool;
 pub mod sched;
 
 pub use pool::ThreadPool;
-pub use sched::{parallel_for, OmpSchedule};
+pub use sched::{parallel_for, parallel_for_state, OmpSchedule};

@@ -79,26 +79,66 @@ pub fn parallel_for<F>(n: u64, nthreads: usize, schedule: OmpSchedule, body: F)
 where
     F: Fn(u64) + Sync,
 {
+    parallel_for_state(n, nthreads, schedule, |_| (), |(), i| body(i));
+}
+
+/// [`parallel_for`] with **worker-scoped state**: each of the `nthreads`
+/// workers builds one `S` via `init(tid)` before its first iteration,
+/// threads it mutably through every iteration it executes, and hands it
+/// back in the returned `Vec` once the loop joins.
+///
+/// This is the frame/arena handoff the bytecode interpreter relies on: a
+/// worker's private frame arena, operation tally and memo-cache shard
+/// live in `S`, are **reused across all iterations that worker runs**
+/// (no per-iteration allocation), and are merged by the caller exactly
+/// once at the join — turning per-op shared-atomic traffic and memo-lock
+/// contention into a single merge per worker per region.
+///
+/// The returned vector has one entry per worker that was started (a
+/// single entry on the sequential fast path); workers that happened to
+/// execute zero iterations still return their freshly-`init`ed state.
+pub fn parallel_for_state<S, G, F>(
+    n: u64,
+    nthreads: usize,
+    schedule: OmpSchedule,
+    init: G,
+    body: F,
+) -> Vec<S>
+where
+    S: Send,
+    G: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, u64) + Sync,
+{
     let nthreads = nthreads.max(1);
     if nthreads == 1 || n <= 1 {
+        let mut state = init(0);
         for i in 0..n {
-            body(i);
+            body(&mut state, i);
         }
-        return;
+        return vec![state];
     }
     let body = &body;
+    let init = &init;
+    let mut states = Vec::with_capacity(nthreads);
     match schedule {
         OmpSchedule::Static | OmpSchedule::StaticChunk(_) => {
             std::thread::scope(|scope| {
-                for tid in 0..nthreads {
-                    let chunks = schedule.static_chunks(n, nthreads as u64, tid as u64);
-                    scope.spawn(move || {
-                        for (s, e) in chunks {
-                            for i in s..e {
-                                body(i);
+                let handles: Vec<_> = (0..nthreads)
+                    .map(|tid| {
+                        let chunks = schedule.static_chunks(n, nthreads as u64, tid as u64);
+                        scope.spawn(move || {
+                            let mut state = init(tid);
+                            for (s, e) in chunks {
+                                for i in s..e {
+                                    body(&mut state, i);
+                                }
                             }
-                        }
-                    });
+                            state
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    states.push(h.join().expect("omprt worker panicked"));
                 }
             });
         }
@@ -107,17 +147,26 @@ where
             let next = AtomicU64::new(0);
             let next = &next;
             std::thread::scope(|scope| {
-                for _ in 0..nthreads {
-                    scope.spawn(move || loop {
-                        let start = next.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        let end = (start + chunk).min(n);
-                        for i in start..end {
-                            body(i);
-                        }
-                    });
+                let handles: Vec<_> = (0..nthreads)
+                    .map(|tid| {
+                        scope.spawn(move || {
+                            let mut state = init(tid);
+                            loop {
+                                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                                if start >= n {
+                                    break;
+                                }
+                                let end = (start + chunk).min(n);
+                                for i in start..end {
+                                    body(&mut state, i);
+                                }
+                            }
+                            state
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    states.push(h.join().expect("omprt worker panicked"));
                 }
             });
         }
@@ -126,28 +175,38 @@ where
             let next = AtomicU64::new(0);
             let next = &next;
             std::thread::scope(|scope| {
-                for _ in 0..nthreads {
-                    scope.spawn(move || loop {
-                        // Chunk ≈ remaining / nthreads, floored at min.
-                        let cur = next.load(Ordering::Relaxed);
-                        if cur >= n {
-                            break;
-                        }
-                        let remaining = n - cur;
-                        let chunk = (remaining / nthreads as u64).max(min_chunk);
-                        let start = next.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        let end = (start + chunk).min(n);
-                        for i in start..end {
-                            body(i);
-                        }
-                    });
+                let handles: Vec<_> = (0..nthreads)
+                    .map(|tid| {
+                        scope.spawn(move || {
+                            let mut state = init(tid);
+                            loop {
+                                // Chunk ≈ remaining / nthreads, floored at min.
+                                let cur = next.load(Ordering::Relaxed);
+                                if cur >= n {
+                                    break;
+                                }
+                                let remaining = n - cur;
+                                let chunk = (remaining / nthreads as u64).max(min_chunk);
+                                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                                if start >= n {
+                                    break;
+                                }
+                                let end = (start + chunk).min(n);
+                                for i in start..end {
+                                    body(&mut state, i);
+                                }
+                            }
+                            state
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    states.push(h.join().expect("omprt worker panicked"));
                 }
             });
         }
     }
+    states
 }
 
 #[cfg(test)]
@@ -253,6 +312,46 @@ mod tests {
             done.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(done.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn state_workers_cover_all_iterations_and_return_states() {
+        for sched in [
+            OmpSchedule::Static,
+            OmpSchedule::StaticChunk(3),
+            OmpSchedule::Dynamic(2),
+            OmpSchedule::Guided(1),
+        ] {
+            let states = parallel_for_state(
+                1000,
+                6,
+                sched,
+                |tid| (tid, 0u64, Vec::new()),
+                |s, i| {
+                    s.1 += i;
+                    s.2.push(i);
+                },
+            );
+            assert_eq!(states.len(), 6, "{sched}");
+            let total: u64 = states.iter().map(|s| s.1).sum();
+            assert_eq!(total, 1000 * 999 / 2, "{sched}");
+            let mut all: Vec<u64> = states.iter().flat_map(|s| s.2.iter().copied()).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..1000).collect::<Vec<_>>(), "{sched}");
+            // Worker ids are handed through.
+            let mut tids: Vec<usize> = states.iter().map(|s| s.0).collect();
+            tids.sort_unstable();
+            assert_eq!(tids, (0..6).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn state_sequential_fast_path_returns_single_state() {
+        let states = parallel_for_state(10, 1, OmpSchedule::Dynamic(4), |_| 0u64, |s, i| *s += i);
+        assert_eq!(states, vec![45]);
+        // n <= 1 with many threads also stays sequential.
+        let states = parallel_for_state(1, 8, OmpSchedule::Static, |_| 0u64, |s, i| *s += i + 7);
+        assert_eq!(states, vec![7]);
     }
 
     #[test]

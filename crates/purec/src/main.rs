@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! purec <file.c> [--sica] [--tile N] [--no-omp] [--run [--threads N]]
-//!       [--race-check] [--emit-marked] [--no-alloc-pure]
+//!       [--engine vm|resolved] [--race-check] [--emit-marked]
+//!       [--no-alloc-pure]
 //! purec --demo <matmul|heat|satellite|lama> [same flags]
 //! ```
 //!
@@ -24,6 +25,8 @@ fn usage() -> ! {
          \x20 --no-alloc-pure  drop malloc/free from the pure registry (ablation A1)\n\
          \x20 --emit-marked    stop after PC-CC and print the marked source\n\
          \x20 --run            execute the result on the interpreter\n\
+         \x20 --engine E       execution tier for --run: vm (bytecode VM, default)\n\
+         \x20                  or resolved (resolved-IR oracle engine)\n\
          \x20 --threads N      omprt threads for --run (default 1)\n\
          \x20 --race-check     validate iteration independence before parallel runs\n\
          \x20 --stats          print chain statistics to stderr"
@@ -45,6 +48,7 @@ fn main() {
     let mut alloc_pure = true;
     let mut emit_marked = false;
     let mut run = false;
+    let mut engine = cinterp::Engine::Bytecode;
     let mut threads = 1usize;
     let mut race_check = false;
     let mut stats = false;
@@ -65,6 +69,13 @@ fn main() {
             "--no-alloc-pure" => alloc_pure = false,
             "--emit-marked" => emit_marked = true,
             "--run" => run = true,
+            "--engine" => {
+                engine = match it.next().as_deref() {
+                    Some("vm") | Some("bytecode") => cinterp::Engine::Bytecode,
+                    Some("resolved") => cinterp::Engine::Resolved,
+                    _ => usage(),
+                }
+            }
             "--threads" => {
                 threads = it
                     .next()
@@ -147,6 +158,7 @@ fn main() {
         let interp = cinterp::InterpOptions {
             threads,
             race_check,
+            engine,
             ..Default::default()
         };
         match compile_and_run(&source, opts, interp) {

@@ -93,6 +93,20 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
+// `Value` round-trips through itself (real serde's `serde_json::Value`
+// behaves the same way) so callers can parse/emit free-form JSON.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Helper used by derived code: fetch a named field of an object.
 pub fn field<'a>(fields: &'a [(String, Value)], name: &str) -> Result<&'a Value, DeError> {
     fields

@@ -197,7 +197,7 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
-// Differential: resolved-IR interpreter vs legacy tree-walker
+// Differential: bytecode VM vs resolved-IR interpreter vs legacy walker
 // ---------------------------------------------------------------------------
 
 /// Build a generated-but-well-formed C program exercising scalars, arrays,
@@ -209,9 +209,10 @@ fn differential_source(n: usize, c1: i64, c2: i64, op1: usize, op2: usize, sched
     let sched = [
         "",
         " schedule(static)",
+        " schedule(static,3)",
         " schedule(dynamic,2)",
         " schedule(guided,1)",
-    ][sched % 4];
+    ][sched % 5];
     format!(
         "int g;\n\
          struct s1 {{ int v; int w; }};\n\
@@ -243,18 +244,19 @@ fn differential_source(n: usize, c1: i64, c2: i64, op1: usize, op2: usize, sched
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// The resolved-IR interpreter is bit-identical to the legacy
-    /// tree-walking oracle — exit code, captured output and executed-op
-    /// counters (modulo memo bookkeeping) — sequentially and with 4
-    /// threads, across generated programs.
+    /// The three execution tiers are bit-identical — exit code, captured
+    /// output and executed-op counters (modulo memo bookkeeping) — on
+    /// generated programs, sequentially and with 4 threads, across
+    /// `static`, `static,c`, `dynamic,c` and `guided,c` schedules:
+    /// bytecode VM == resolved-IR engine == legacy tree-walking oracle.
     #[test]
-    fn resolved_interpreter_matches_legacy_oracle(
+    fn bytecode_and_resolved_match_legacy_oracle(
         n in 4usize..48,
         c1 in -20i64..50,
         c2 in 1i64..40,
         op1 in 0usize..6,
         op2 in 0usize..6,
-        sched in 0usize..4,
+        sched in 0usize..5,
     ) {
         let src = differential_source(n, c1, c2, op1, op2, sched);
         let parsed = parse(&src);
@@ -262,8 +264,19 @@ proptest! {
         let prog = Program::new(&parsed.unit);
         for threads in [1usize, 4] {
             let opts = InterpOptions { threads, ..Default::default() };
-            let resolved = prog.run(opts).expect("resolved engine runs");
+            let vm = prog.run(opts).expect("bytecode VM runs");
+            let resolved = prog.run_resolved(opts).expect("resolved engine runs");
             let legacy = prog.run_legacy(opts).expect("legacy engine runs");
+            // VM vs resolved oracle.
+            prop_assert_eq!(vm.exit_code, resolved.exit_code, "threads={}", threads);
+            prop_assert_eq!(&vm.output, &resolved.output, "threads={}", threads);
+            prop_assert_eq!(
+                vm.counters.without_memo(),
+                resolved.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            // Resolved vs legacy oracle.
             prop_assert_eq!(resolved.exit_code, legacy.exit_code, "threads={}", threads);
             prop_assert_eq!(&resolved.output, &legacy.output, "threads={}", threads);
             prop_assert_eq!(
@@ -276,22 +289,31 @@ proptest! {
     }
 
     /// Chain-compiled matmul (purity verified ⇒ memoization active): the
-    /// resolved engine with and without memo, and the legacy oracle, all
-    /// agree on the program's observable behaviour.
+    /// bytecode VM and the resolved engine, each with and without memo,
+    /// and the legacy oracle all agree on observable behaviour.
     #[test]
     fn memoized_chain_output_matches_oracle(n in 2usize..10, threads in 1usize..5) {
         let src = apps::matmul::c_source(n);
         let out = purec::compile(&src, ChainOptions::default()).expect("chain");
         let prog = out.program();
         let opts = InterpOptions { threads, ..Default::default() };
-        let memoized = prog.run(opts).expect("memoized run");
-        let plain = prog
+        let vm_memo = prog.run(opts).expect("VM memoized run");
+        let vm_plain = prog
             .run(InterpOptions { memo: false, ..opts })
+            .expect("VM memo-off run");
+        let memoized = prog.run_resolved(opts).expect("memoized run");
+        let plain = prog
+            .run_resolved(InterpOptions { memo: false, ..opts })
             .expect("memo-off run");
         let legacy = prog.run_legacy(opts).expect("oracle run");
+        prop_assert_eq!(&vm_memo.output, &legacy.output);
+        prop_assert_eq!(vm_memo.exit_code, legacy.exit_code);
         prop_assert_eq!(&memoized.output, &legacy.output);
         prop_assert_eq!(memoized.exit_code, legacy.exit_code);
-        // Without memo the resolved engine is exactly the oracle.
+        // Without memo the VM and the resolved engine are exactly the
+        // oracle.
+        prop_assert_eq!(vm_plain.counters.without_memo(), legacy.counters);
+        prop_assert_eq!(vm_plain.counters.memo_hits, 0);
         prop_assert_eq!(plain.counters.without_memo(), legacy.counters);
         prop_assert_eq!(plain.counters.memo_hits, 0);
     }
