@@ -14,8 +14,10 @@
 //! ```
 //!
 //! The run exits non-zero when the bytecode VM fails to beat the
-//! resolved engine on the dispatch-bound `varaccess` case — the CI bench
-//! smoke turns a dispatch regression into a red build.
+//! resolved engine on the dispatch-bound `varaccess` case, or when the
+//! pool-routed runtime fails to beat spawn-per-region threads on the
+//! `region_heavy` case (many small parallel regions) — the CI bench
+//! smoke turns a dispatch or region-launch regression into a red build.
 
 use cfront::parser::parse;
 use cinterp::{Engine, InterpOptions, Program, RunResult};
@@ -80,6 +82,28 @@ fn varaccess_source(iters: u64) -> String {
     )
 }
 
+/// Region-heavy workload: many *small* parallel regions inside a
+/// sequential loop — the region-launch overhead microbench. Under the
+/// scoped substrate every region spawns `threads` fresh OS threads;
+/// routed through the persistent pool it submits `threads` tasks to
+/// already-running workers, which is the whole point of the pinned-worker
+/// runtime: the launch cost, not the loop body, dominates here.
+fn region_heavy_source(regions: usize, width: usize) -> String {
+    format!(
+        "int main() {{\n\
+             double* a = (double*) malloc({width} * sizeof(double));\n\
+             for (int i = 0; i < {width}; i++) a[i] = i;\n\
+             for (int r = 0; r < {regions}; r++) {{\n\
+         #pragma omp parallel for schedule(static)\n\
+                 for (int i = 0; i < {width}; i++) a[i] = a[i] + 1.0;\n\
+             }}\n\
+             double acc = 0;\n\
+             for (int i = 0; i < {width}; i++) acc = acc + a[i];\n\
+             return ((int) acc) % 251;\n\
+         }}"
+    )
+}
+
 /// Parallel loop over a memoized pure function: the workload where the
 /// resolved engine's single locked memo cache serializes workers and the
 /// VM's per-worker shards do not.
@@ -140,6 +164,7 @@ fn main() {
     let fib_n = if quick { 18 } else { 24 };
     let par_iters = if quick { 64 } else { 512 };
     let par_fib = if quick { 14 } else { 18 };
+    let region_count = if quick { 100 } else { 600 };
 
     let seq = InterpOptions::default();
     let par4 = InterpOptions { threads: 4, ..seq };
@@ -198,10 +223,29 @@ fn main() {
                 .filter(|(_, _, legacy)| !legacy)
                 .collect(),
         },
+        // The launch-overhead A/B: same bytecode, same 4 threads, only
+        // the parallel substrate differs (spawn-per-region vs persistent
+        // pool). Gated below: the pooled runtime must win.
+        BenchCase {
+            name: "region_heavy",
+            program: plain(&region_heavy_source(region_count, 64)),
+            variants: vec![
+                (
+                    "bytecode_spawn",
+                    InterpOptions {
+                        pool: false,
+                        ..par4
+                    },
+                    false,
+                ),
+                ("bytecode_pool", par4, false),
+            ],
+        },
     ];
 
     let mut bench_values: Vec<Value> = Vec::new();
     let mut varaccess_speedup = f64::NAN;
+    let mut pool_speedup = f64::NAN;
     for case in &cases {
         let mut fields: Vec<(String, Value)> =
             vec![("name".to_string(), Value::Str(case.name.to_string()))];
@@ -247,6 +291,13 @@ fn main() {
             fields.push(("speedup_bytecode_vs_resolved".to_string(), num(s)));
             if case.name == "varaccess" {
                 varaccess_speedup = s;
+            }
+        }
+        if let (Some(spawn), Some(pooled)) = (get("bytecode_spawn"), get("bytecode_pool")) {
+            let s = spawn / pooled;
+            fields.push(("speedup_pool_vs_spawn".to_string(), num(s)));
+            if case.name == "region_heavy" {
+                pool_speedup = s;
             }
         }
         bench_values.push(Value::Object(fields));
@@ -305,4 +356,16 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("varaccess bytecode speedup vs resolved: {varaccess_speedup:.2}x");
+
+    // CI smoke: the pooled runtime must beat spawn-per-region where
+    // region-launch overhead dominates — the persistent-pool routing is
+    // a perf claim, and this gate keeps it true.
+    if pool_speedup.is_nan() || pool_speedup < 1.0 {
+        eprintln!(
+            "FAIL: pooled runtime not faster than spawn-per-region on \
+             region_heavy (speedup {pool_speedup:.2}x < 1.0x)"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("region_heavy pooled speedup vs spawn-per-region: {pool_speedup:.2}x");
 }

@@ -32,9 +32,9 @@ use crate::value::CounterSnapshot;
 #[cfg(any(test, feature = "legacy-oracle"))]
 use crate::value::{Counters, Memory, Ptr, RaceAccumulator, Scalar, TrackSets};
 use cfront::ast::*;
-#[cfg(any(test, feature = "legacy-oracle"))]
-use machine::parallel_for;
 use machine::OmpSchedule;
+#[cfg(any(test, feature = "legacy-oracle"))]
+use machine::{parallel_for, parallel_for_pooled};
 #[cfg(any(test, feature = "legacy-oracle"))]
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
@@ -68,6 +68,11 @@ pub struct InterpOptions {
     pub memo: bool,
     /// Execution tier for [`Program::run`] / [`Program::run_entry`].
     pub engine: Engine,
+    /// Run parallel regions on the persistent process-wide thread pool
+    /// (the paper's pinned-worker model; default). `false` falls back to
+    /// the scoped spawn-per-region substrate — kept for A/B comparison
+    /// (`purec --no-pool`, `bench_interp`'s region-heavy gate).
+    pub pool: bool,
 }
 
 impl Default for InterpOptions {
@@ -78,6 +83,7 @@ impl Default for InterpOptions {
             max_steps: 500_000_000,
             memo: true,
             engine: Engine::default(),
+            pool: true,
         }
     }
 }
@@ -601,6 +607,12 @@ impl Interp {
         }
     }
 
+    /// `++`/`--` value transition (shared by the global-locked and
+    /// generic place paths; one implementation across engines).
+    fn incdec_value(&self, old: Scalar, delta: i64) -> Scalar {
+        crate::value::incdec_with_counters(&self.s.counters, old, delta)
+    }
+
     // -- expressions ----------------------------------------------------------------
 
     fn eval(&mut self, e: &Expr) -> RtResult<Scalar> {
@@ -625,6 +637,20 @@ impl Interp {
             ExprKind::Assign(op, lhs, rhs) => {
                 let rv = self.eval(rhs)?;
                 let place = self.place(lhs)?;
+                if let (Some(b), Place::Global(name)) = (op.binop(), &place) {
+                    // Compound assign to a global: one write guard for
+                    // the whole read-modify-write. The old separate
+                    // read()/write() pair let a concurrent RMW interleave
+                    // and lose an update.
+                    let globals = Arc::clone(&self.s.globals);
+                    let mut g = globals.write();
+                    let old = *g.get(name).ok_or_else(|| {
+                        RuntimeError::new(format!("unknown variable '{name}'"), e.span)
+                    })?;
+                    let result = self.apply_binop(b, old, rv, e.span)?;
+                    *g.get_mut(name).expect("present above") = result;
+                    return Ok(result);
+                }
                 let result = match op.binop() {
                     None => rv,
                     Some(b) => {
@@ -721,24 +747,29 @@ impl Interp {
             }
             UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec => {
                 let place = self.place(inner)?;
-                let old = self.load_place(&place, span)?;
                 let delta = if matches!(op, UnOp::PreInc | UnOp::PostInc) {
                     1
                 } else {
                     -1
                 };
-                let new = match old {
-                    Scalar::F(f) => {
-                        Counters::bump(&self.s.counters.flops);
-                        Scalar::F(f + delta as f64)
-                    }
-                    Scalar::P(p) => Scalar::P(p.offset(delta)),
-                    other => {
-                        Counters::bump(&self.s.counters.int_ops);
-                        Scalar::I(other.as_i64() + delta)
-                    }
+                let (old, new) = if let Place::Global(name) = &place {
+                    // `++`/`--` on a global: single write guard across
+                    // the RMW (same torn-update fix as compound assign).
+                    let globals = Arc::clone(&self.s.globals);
+                    let mut g = globals.write();
+                    let slot = g.get_mut(name).ok_or_else(|| {
+                        RuntimeError::new(format!("unknown variable '{name}'"), span)
+                    })?;
+                    let old = *slot;
+                    let new = self.incdec_value(old, delta);
+                    *slot = new;
+                    (old, new)
+                } else {
+                    let old = self.load_place(&place, span)?;
+                    let new = self.incdec_value(old, delta);
+                    self.store_place(&place, new, span)?;
+                    (old, new)
                 };
-                self.store_place(&place, new, span)?;
                 Ok(if matches!(op, UnOp::PreInc | UnOp::PreDec) {
                     new
                 } else {
@@ -1175,7 +1206,7 @@ impl Interp {
         let shared = self.s.clone();
         let err: Mutex<Option<RuntimeError>> = Mutex::new(None);
 
-        parallel_for(n, self.s.opts.threads, schedule, |k| {
+        let iteration = |k: u64| {
             let mut child = Interp::new(shared.clone());
             child.frames = vec![base_frame.clone()];
             child
@@ -1189,7 +1220,12 @@ impl Interp {
                     *g = Some(e);
                 }
             }
-        });
+        };
+        if self.s.opts.pool {
+            parallel_for_pooled(n, self.s.opts.threads, schedule, iteration);
+        } else {
+            parallel_for(n, self.s.opts.threads, schedule, iteration);
+        }
 
         match err.into_inner() {
             Some(e) => Err(e),

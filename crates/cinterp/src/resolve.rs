@@ -93,8 +93,8 @@ use crate::value::{Counters, Memory, Ptr, RaceAccumulator, Scalar, TrackSets};
 use cfront::ast::*;
 use cfront::intern::{Interner, Symbol};
 use cfront::span::Span;
-use machine::parallel_for;
 use machine::OmpSchedule;
+use machine::{parallel_for, parallel_for_pooled};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -1583,6 +1583,12 @@ impl RInterp {
         }
     }
 
+    /// `++`/`--` value transition (shared by the global-locked and
+    /// generic place paths; one implementation across engines).
+    fn incdec_value(&self, old: Scalar, delta: i64) -> Scalar {
+        crate::value::incdec_with_counters(&self.s.counters, old, delta)
+    }
+
     #[inline]
     fn load_place(&mut self, place: &PlaceRef, span: Span) -> RtResult<Scalar> {
         match place {
@@ -1633,6 +1639,20 @@ impl RInterp {
             RExprKind::Assign { op, place, value } => {
                 let rv = self.eval(value)?;
                 let pref = self.place(place)?;
+                if let (Some(b), PlaceRef::Global(idx)) = (op, &pref) {
+                    // Compound assign to a global: one write guard for
+                    // the whole read-modify-write. The old separate
+                    // read()/write() pair let a concurrent RMW interleave
+                    // and lose an update (torn update, diverging from the
+                    // VM's CAS-atomic globals).
+                    let idx = *idx as usize;
+                    let globals = Arc::clone(&self.s.globals);
+                    let mut g = globals.write();
+                    let old = g[idx];
+                    let result = self.apply_binop(*b, old, rv, e.span)?;
+                    g[idx] = result;
+                    return Ok(result);
+                }
                 let result = match op {
                     None => rv,
                     Some(b) => {
@@ -1645,24 +1665,27 @@ impl RInterp {
             }
             RExprKind::IncDec(op, place) => {
                 let pref = self.place(place)?;
-                let old = self.load_place(&pref, e.span)?;
                 let delta = if matches!(op, UnOp::PreInc | UnOp::PostInc) {
                     1
                 } else {
                     -1
                 };
-                let new = match old {
-                    Scalar::F(f) => {
-                        Counters::bump(&self.s.counters.flops);
-                        Scalar::F(f + delta as f64)
-                    }
-                    Scalar::P(p) => Scalar::P(p.offset(delta)),
-                    other => {
-                        Counters::bump(&self.s.counters.int_ops);
-                        Scalar::I(other.as_i64() + delta)
-                    }
+                let (old, new) = if let PlaceRef::Global(idx) = &pref {
+                    // `++`/`--` on a global: single write guard across
+                    // the RMW (same torn-update fix as compound assign).
+                    let idx = *idx as usize;
+                    let globals = Arc::clone(&self.s.globals);
+                    let mut g = globals.write();
+                    let old = g[idx];
+                    let new = self.incdec_value(old, delta);
+                    g[idx] = new;
+                    (old, new)
+                } else {
+                    let old = self.load_place(&pref, e.span)?;
+                    let new = self.incdec_value(old, delta);
+                    self.store_place(&pref, new, e.span)?;
+                    (old, new)
                 };
-                self.store_place(&pref, new, e.span)?;
                 Ok(if matches!(op, UnOp::PreInc | UnOp::PreDec) {
                     new
                 } else {
@@ -2152,7 +2175,7 @@ impl RInterp {
         let shared = self.s.clone();
         let err: Mutex<Option<RuntimeError>> = Mutex::new(None);
 
-        parallel_for(n, self.s.opts.threads, of.schedule, |k| {
+        let iteration = |k: u64| {
             let mut child = RInterp::new(shared.clone());
             child.frame = base_frame.clone();
             child.frame[header.iter_slot as usize] = Scalar::I(lb + k as i64);
@@ -2162,7 +2185,12 @@ impl RInterp {
                     *g = Some(e);
                 }
             }
-        });
+        };
+        if self.s.opts.pool {
+            parallel_for_pooled(n, self.s.opts.threads, of.schedule, iteration);
+        } else {
+            parallel_for(n, self.s.opts.threads, of.schedule, iteration);
+        }
 
         match err.into_inner() {
             Some(e) => Err(e),

@@ -12,11 +12,18 @@
 //! `UnsafeCell` without per-access locking. A race-check mode in the
 //! interpreter validates disjointness on small runs before anything is
 //! executed in parallel.
+//!
+//! The allocation *table* itself is a lock-free segmented array
+//! ([`AppendTable`]): `load`/`store`/`with_alloc` resolve an allocation
+//! id with three `Acquire` loads and **zero** lock acquisitions, while
+//! `alloc` serializes writers on a mutex that readers never touch. See
+//! the `AppendTable` docs for the publication protocol and its
+//! invariants.
 
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A typed pointer: allocation id + element index.
@@ -112,10 +119,141 @@ impl Allocation {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Lock-free append-only table (the heap's allocation index + global spill)
+// ---------------------------------------------------------------------------
+
+/// Number of segments in an [`AppendTable`]; segment `k` holds
+/// `SEG0_CAP << k` entries, so total capacity is `SEG0_CAP * (2^26 - 1)`
+/// = 4 294 967 232 — every index fits a `u32` with no wraparound.
+const SEG_COUNT: usize = 26;
+const SEG0_CAP: usize = 64;
+
+/// Capacity of an [`AppendTable`] (and therefore the maximum number of
+/// live-or-freed allocations a [`Memory`] can index).
+const TABLE_CAPACITY: usize = SEG0_CAP * ((1 << SEG_COUNT) - 1);
+
+/// Segment index and in-segment offset of entry `i`.
+#[inline]
+fn locate(i: usize) -> (usize, usize) {
+    let bucket = i / SEG0_CAP + 1;
+    let k = (usize::BITS - 1 - bucket.leading_zeros()) as usize;
+    (k, i - SEG0_CAP * ((1 << k) - 1))
+}
+
+/// A concurrent append-only table with **lock-free reads**: a segmented
+/// pointer array whose segments are allocated on demand and never move,
+/// so an entry's address is stable for the table's lifetime and `get`
+/// needs no lock, no reference-count traffic and no retry loop.
+///
+/// Publication protocol (the scheme's entire correctness argument):
+///
+/// * writers are serialized by `writer`; a push boxes the value, stores
+///   the pointer into its slot (`Release`), then bumps the published
+///   `len` (`Release`);
+/// * readers bounds-check against `len` (`Acquire`) **first** — any
+///   index below it has its segment pointer and slot pointer fully
+///   published by the corresponding `Release` stores;
+/// * entries are immutable and never removed (the interpreter's
+///   `free` only flips a flag *inside* an [`Allocation`]), so a `&T`
+///   handed out by `get` stays valid until the table is dropped.
+pub(crate) struct AppendTable<T> {
+    /// Pointer to the first slot of segment `k` (null until allocated).
+    segs: [AtomicPtr<AtomicPtr<T>>; SEG_COUNT],
+    /// Published entry count; entries `0..len` are fully visible.
+    len: AtomicUsize,
+    /// Serializes `push` (readers never touch it).
+    writer: Mutex<()>,
+}
+
+// SAFETY: shared access is mediated by the atomics above; `T` itself is
+// only shared by reference.
+unsafe impl<T: Send + Sync> Send for AppendTable<T> {}
+unsafe impl<T: Send + Sync> Sync for AppendTable<T> {}
+
+impl<T> AppendTable<T> {
+    pub(crate) fn new() -> Self {
+        AppendTable {
+            segs: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            len: AtomicUsize::new(0),
+            writer: Mutex::new(()),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Append `value`; returns its index, or `None` when the table is
+    /// full (the checked id conversion — callers turn this into an error
+    /// instead of silently aliasing entry 0).
+    pub(crate) fn push(&self, value: T) -> Option<usize> {
+        let _g = self.writer.lock();
+        let n = self.len.load(Ordering::Relaxed);
+        if n >= TABLE_CAPACITY {
+            return None;
+        }
+        let (k, off) = locate(n);
+        let mut seg = self.segs[k].load(Ordering::Relaxed);
+        if seg.is_null() {
+            let fresh: Box<[AtomicPtr<T>]> = (0..SEG0_CAP << k)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect();
+            seg = Box::into_raw(fresh) as *mut AtomicPtr<T>;
+            self.segs[k].store(seg, Ordering::Release);
+        }
+        let boxed = Box::into_raw(Box::new(value));
+        // SAFETY: `off < SEG0_CAP << k` by construction of `locate`.
+        unsafe { (*seg.add(off)).store(boxed, Ordering::Release) };
+        self.len.store(n + 1, Ordering::Release);
+        Some(n)
+    }
+
+    /// Lock-free entry lookup.
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> Option<&T> {
+        if i >= self.len.load(Ordering::Acquire) {
+            return None;
+        }
+        let (k, off) = locate(i);
+        let seg = self.segs[k].load(Ordering::Acquire);
+        debug_assert!(!seg.is_null(), "published index without a segment");
+        // SAFETY: `i < len` ⇒ the slot's pointer was published before
+        // `len` (Release/Acquire pairing on `len`), and entries are
+        // never freed before the table itself drops.
+        unsafe { Some(&*(*seg.add(off)).load(Ordering::Acquire)) }
+    }
+}
+
+impl<T> Drop for AppendTable<T> {
+    fn drop(&mut self) {
+        let n = *self.len.get_mut();
+        for k in 0..SEG_COUNT {
+            let seg = *self.segs[k].get_mut();
+            if seg.is_null() {
+                continue;
+            }
+            let cap = SEG0_CAP << k;
+            let start = SEG0_CAP * ((1 << k) - 1);
+            // SAFETY: reconstructing exactly the boxed slice `push`
+            // leaked, and the boxed entries published below `len`.
+            unsafe {
+                let slice = std::slice::from_raw_parts_mut(seg, cap);
+                for (j, slot) in slice.iter_mut().enumerate() {
+                    if start + j < n {
+                        drop(Box::from_raw(*slot.get_mut()));
+                    }
+                }
+                drop(Box::from_raw(slice as *mut [AtomicPtr<T>]));
+            }
+        }
+    }
+}
+
 /// The program heap + statics. Cloning the handle shares the memory.
 #[derive(Clone)]
 pub struct Memory {
-    allocs: Arc<RwLock<Vec<Arc<Allocation>>>>,
+    allocs: Arc<AppendTable<Allocation>>,
 }
 
 /// Errors surfaced by memory operations (out-of-bounds, use-after-free…).
@@ -131,25 +269,43 @@ impl std::fmt::Display for MemError {
 impl Memory {
     pub fn new() -> Self {
         Memory {
-            allocs: Arc::new(RwLock::new(Vec::new())),
+            allocs: Arc::new(AppendTable::new()),
         }
     }
 
-    /// Allocate `len` slots; returns a pointer to element 0.
-    pub fn alloc(&self, len: usize) -> Ptr {
-        let mut g = self.allocs.write();
-        let id = g.len() as u32;
-        g.push(Arc::new(Allocation::new(len.max(1))));
-        Ptr {
-            alloc: id,
+    /// Allocate `len` slots; returns a pointer to element 0. Errors when
+    /// the allocation-id space is exhausted — the id is a **checked**
+    /// conversion, so a pathological program gets a diagnostic instead of
+    /// a pointer silently aliasing allocation 0.
+    pub fn try_alloc(&self, len: usize) -> Result<Ptr, MemError> {
+        let id = self
+            .allocs
+            .push(Allocation::new(len.max(1)))
+            .ok_or_else(|| {
+                MemError(format!(
+                    "allocation id space exhausted ({TABLE_CAPACITY} allocations)"
+                ))
+            })?;
+        Ok(Ptr {
+            alloc: id as u32,
             index: 0,
-        }
+        })
+    }
+
+    /// [`Memory::try_alloc`], panicking on id-space exhaustion. Every
+    /// allocation costs at least one interpreter step, and the table
+    /// holds > 4 × 10⁹ entries, so the panic is unreachable under the
+    /// interpreter's step limit; it exists so the exhaustion case is loud
+    /// rather than an aliased pointer.
+    pub fn alloc(&self, len: usize) -> Ptr {
+        self.try_alloc(len)
+            .expect("allocation id space exhausted (u32 ids)")
     }
 
     /// Mark an allocation freed (slots become inaccessible).
     pub fn free(&self, p: Ptr) -> Result<(), MemError> {
-        let g = self.allocs.read();
-        let a = g
+        let a = self
+            .allocs
             .get(p.alloc as usize)
             .ok_or_else(|| MemError(format!("free of invalid allocation {}", p.alloc)))?;
         if p.index != 0 {
@@ -161,13 +317,17 @@ impl Memory {
         Ok(())
     }
 
+    /// Resolve `p.alloc` and run `f` — the hot path of every heap access.
+    /// Zero locks: the id resolves through [`AppendTable::get`] and the
+    /// freed flag is an atomic load.
+    #[inline]
     fn with_alloc<R>(
         &self,
         p: Ptr,
         f: impl FnOnce(&Allocation) -> Result<R, MemError>,
     ) -> Result<R, MemError> {
-        let g = self.allocs.read();
-        let a = g
+        let a = self
+            .allocs
             .get(p.alloc as usize)
             .ok_or_else(|| MemError(format!("invalid allocation {}", p.alloc)))?;
         if a.is_freed() {
@@ -208,11 +368,11 @@ impl Memory {
     }
 
     pub fn alloc_len(&self, p: Ptr) -> Option<usize> {
-        self.allocs.read().get(p.alloc as usize).map(|a| a.len())
+        self.allocs.get(p.alloc as usize).map(|a| a.len())
     }
 
     pub fn allocation_count(&self) -> usize {
-        self.allocs.read().len()
+        self.allocs.len()
     }
 }
 
@@ -367,33 +527,27 @@ impl Packed {
 
     #[inline]
     pub fn pack_i64(i: i64, pool: &SpillPool) -> Packed {
-        if (i << 16) >> 16 == i {
-            Packed((TAG_INT << 48) | (i as u64 & PAYLOAD_MASK))
-        } else {
-            pool.spill(Scalar::I(i))
+        match Self::try_inline(Scalar::I(i)) {
+            Some(p) => p,
+            None => pool.spill(Scalar::I(i)),
         }
     }
 
     #[inline]
     pub fn pack_f64(f: f64, pool: &SpillPool) -> Packed {
-        let bits = f.to_bits();
-        let tag = bits >> 48;
-        if (TAG_INT..=TAG_UNINIT).contains(&tag) {
+        match Self::try_inline(Scalar::F(f)) {
+            Some(p) => p,
             // A NaN bit pattern colliding with the tag window: unreachable
             // through arithmetic, but representable via the fallback.
-            pool.spill(Scalar::F(f))
-        } else {
-            Packed(bits)
+            None => pool.spill(Scalar::F(f)),
         }
     }
 
     #[inline]
     pub fn pack_ptr(p: Ptr, pool: &SpillPool) -> Packed {
-        let idx_ok = (p.index << 40) >> 40 == p.index;
-        if p.alloc < (1 << 24) && idx_ok {
-            Packed((TAG_PTR << 48) | ((p.alloc as u64) << 24) | (p.index as u64 & 0xFF_FFFF))
-        } else {
-            pool.spill(Scalar::P(p))
+        match Self::try_inline(Scalar::P(p)) {
+            Some(w) => w,
+            None => pool.spill(Scalar::P(p)),
         }
     }
 
@@ -458,6 +612,182 @@ impl Packed {
     pub(crate) fn from_spill_index(idx: usize) -> Packed {
         debug_assert!(idx as u64 <= PAYLOAD_MASK);
         Packed((TAG_SPILL << 48) | idx as u64)
+    }
+
+    /// Pack `v` if it fits a word without a spill pool; `None` when the
+    /// value needs overflow storage. This is the **single home** of the
+    /// inline-fit predicates (48-bit int range, NaN tag window, 24/24-bit
+    /// pointer payload): `pack_i64`/`pack_f64`/`pack_ptr` route through
+    /// it and only add the per-VM [`SpillPool`] fallback, while
+    /// [`GlobalTable`] pairs it with its *shared* overflow table — so the
+    /// two spill paths can never disagree on what fits inline.
+    #[inline]
+    fn try_inline(v: Scalar) -> Option<Packed> {
+        match v {
+            Scalar::I(i) if (i << 16) >> 16 == i => {
+                Some(Packed((TAG_INT << 48) | (i as u64 & PAYLOAD_MASK)))
+            }
+            Scalar::F(f) => {
+                let bits = f.to_bits();
+                let tag = bits >> 48;
+                if (TAG_INT..=TAG_UNINIT).contains(&tag) {
+                    None
+                } else {
+                    Some(Packed(bits))
+                }
+            }
+            Scalar::P(p) if p.alloc < (1 << 24) && (p.index << 40) >> 40 == p.index => Some(
+                Packed((TAG_PTR << 48) | ((p.alloc as u64) << 24) | (p.index as u64 & 0xFF_FFFF)),
+            ),
+            Scalar::Null => Some(Packed::NULL),
+            Scalar::Uninit => Some(Packed::UNINIT),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free global-variable table (the bytecode VM's globals)
+// ---------------------------------------------------------------------------
+
+/// Program globals as NaN-boxed words in `AtomicU64` slots: `load` and
+/// `store` are single atomic accesses (no lock, no tear — a torn
+/// `Scalar` write under the old `RwLock<Vec<Scalar>>` scheme could
+/// interleave discriminant and payload), and read-modify-writes go
+/// through a CAS loop ([`GlobalTable::rmw`]) so concurrent `g += 1` from
+/// a parallel region never loses an update.
+///
+/// Values that do not fit a packed word inline (ints beyond 48 bits,
+/// huge pointers, tag-window NaN patterns) overflow into a **shared**
+/// append-only [`AppendTable`] — unlike a per-VM [`SpillPool`], its
+/// indices are stable and meaningful across every thread, so a spill
+/// word published by one worker resolves correctly on any other.
+/// Entries are immutable once published; a store that repeats the slot's
+/// current overflow value reuses its entry, and only overflow stores of
+/// *changing* values append (bounded in practice: only |int| ≥ 2⁴⁷,
+/// alloc ids ≥ 2²⁴, |index| ≥ 2²³ or payload-NaN bit patterns spill, and
+/// each append costs an interpreter step).
+pub struct GlobalTable {
+    words: Box<[AtomicU64]>,
+    spill: AppendTable<Scalar>,
+}
+
+/// Bit-exact scalar identity (floats by bit pattern, so tag-window NaNs
+/// compare equal to themselves — `PartialEq` would say `NaN != NaN`).
+fn scalar_identical(a: Scalar, b: Scalar) -> bool {
+    match (a, b) {
+        (Scalar::F(x), Scalar::F(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+impl GlobalTable {
+    pub fn new(nglobals: usize) -> Self {
+        GlobalTable {
+            words: (0..nglobals)
+                .map(|_| AtomicU64::new(Packed::UNINIT.0))
+                .collect(),
+            spill: AppendTable::new(),
+        }
+    }
+
+    #[inline]
+    fn unpack_word(&self, bits: u64) -> Scalar {
+        if bits >> 48 == TAG_SPILL {
+            *self
+                .spill
+                .get((bits & PAYLOAD_MASK) as usize)
+                .expect("published global spill index")
+        } else {
+            // Non-spill words carry no pool references; unpacking against
+            // a fresh empty pool is exact (and allocation-free).
+            Packed(bits).unpack(&SpillPool::new())
+        }
+    }
+
+    #[inline]
+    fn pack_word(&self, v: Scalar) -> u64 {
+        match Packed::try_inline(v) {
+            Some(p) => p.0,
+            None => {
+                let idx = self.spill.push(v).expect("global spill table exhausted");
+                debug_assert!(idx as u64 <= PAYLOAD_MASK);
+                (TAG_SPILL << 48) | idx as u64
+            }
+        }
+    }
+
+    /// Lock-free global read.
+    #[inline]
+    pub fn load(&self, i: usize) -> Scalar {
+        self.unpack_word(self.words[i].load(Ordering::Acquire))
+    }
+
+    /// Lock-free global write. An overflow value identical to the slot's
+    /// current one reuses the existing spill entry instead of appending —
+    /// a loop re-storing the same spill-class value must not grow the
+    /// append-only table (skipping the store of an equal value is an
+    /// idempotent, valid serialization under races).
+    #[inline]
+    pub fn store(&self, i: usize, v: Scalar) {
+        let bits = match Packed::try_inline(v) {
+            Some(p) => p.0,
+            None => {
+                let cur = self.words[i].load(Ordering::Acquire);
+                if cur >> 48 == TAG_SPILL {
+                    if let Some(e) = self.spill.get((cur & PAYLOAD_MASK) as usize) {
+                        if scalar_identical(*e, v) {
+                            return;
+                        }
+                    }
+                }
+                let idx = self.spill.push(v).expect("global spill table exhausted");
+                debug_assert!(idx as u64 <= PAYLOAD_MASK);
+                (TAG_SPILL << 48) | idx as u64
+            }
+        };
+        self.words[i].store(bits, Ordering::Release);
+    }
+
+    /// Atomic read-modify-write: compute `f(old)` and publish it with a
+    /// compare-and-swap, retrying on interference. `f` may run more than
+    /// once under contention (callers with side effects snapshot/restore
+    /// them per attempt); bit-equality of words implies value equality —
+    /// inline words encode the value itself and spill indices are
+    /// append-only — so a successful CAS means no update was lost.
+    /// Returns `(old, new)`.
+    ///
+    /// Known cost, accepted: when `new` is spill-class (|int| ≥ 2⁴⁷,
+    /// oversized pointer, tag-window NaN), a *failed* CAS attempt
+    /// orphans the spill entry it packed (append-only tables reclaim
+    /// nothing). The leak is bounded by the number of contended RMWs on
+    /// spill-class globals — each retry means another thread's update
+    /// landed — and such values are unreachable for counter-style
+    /// globals within the interpreter's step limit.
+    #[inline]
+    pub fn rmw<E>(
+        &self,
+        i: usize,
+        mut f: impl FnMut(Scalar) -> Result<Scalar, E>,
+    ) -> Result<(Scalar, Scalar), E> {
+        loop {
+            let bits = self.words[i].load(Ordering::Acquire);
+            let old = self.unpack_word(bits);
+            let new = f(old)?;
+            // A value-preserving RMW reuses the current word (and its
+            // spill entry, if any) instead of packing a duplicate.
+            let new_bits = if scalar_identical(new, old) {
+                bits
+            } else {
+                self.pack_word(new)
+            };
+            if self.words[i]
+                .compare_exchange(bits, new_bits, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Ok((old, new));
+            }
+        }
     }
 }
 
@@ -553,6 +883,24 @@ impl Tally {
         c.branches.fetch_add(self.branches, Ordering::Relaxed);
         c.memo_hits.fetch_add(self.memo_hits, Ordering::Relaxed);
         c.memo_misses.fetch_add(self.memo_misses, Ordering::Relaxed);
+    }
+}
+
+/// `++`/`--` value transition with shared-counter accounting — the single
+/// implementation behind the resolved and legacy engines' inc/dec on any
+/// place (the bytecode VM's `incdec_scalar` is the [`Tally`]-accounted
+/// analogue of the same transition).
+pub(crate) fn incdec_with_counters(c: &Counters, old: Scalar, delta: i64) -> Scalar {
+    match old {
+        Scalar::F(f) => {
+            Counters::bump(&c.flops);
+            Scalar::F(f + delta as f64)
+        }
+        Scalar::P(p) => Scalar::P(p.offset(delta)),
+        other => {
+            Counters::bump(&c.int_ops);
+            Scalar::I(other.as_i64() + delta)
+        }
     }
 }
 
@@ -696,6 +1044,126 @@ mod tests {
         for i in 0..1024 {
             assert_eq!(m.load(p.offset(i)).unwrap(), Scalar::I(i * 2));
         }
+    }
+
+    #[test]
+    fn append_table_spans_segments() {
+        // 300 entries cross the 64-entry and 128-entry segments into the
+        // third — every id must keep resolving to its own entry.
+        let t: AppendTable<usize> = AppendTable::new();
+        for i in 0..300 {
+            assert_eq!(t.push(i * 7), Some(i));
+        }
+        assert_eq!(t.len(), 300);
+        for i in 0..300 {
+            assert_eq!(t.get(i), Some(&(i * 7)), "entry {i}");
+        }
+        assert_eq!(t.get(300), None);
+    }
+
+    #[test]
+    fn locate_maps_segment_boundaries() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(63), (0, 63));
+        assert_eq!(locate(64), (1, 0));
+        assert_eq!(locate(191), (1, 127));
+        assert_eq!(locate(192), (2, 0));
+        assert_eq!(
+            locate(TABLE_CAPACITY - 1),
+            (SEG_COUNT - 1, (SEG0_CAP << (SEG_COUNT - 1)) - 1)
+        );
+        // The id space tops out below u32::MAX: a full table can never
+        // produce an id that truncates back onto allocation 0.
+        assert!(TABLE_CAPACITY - 1 <= u32::MAX as usize);
+    }
+
+    #[test]
+    fn concurrent_alloc_and_access_race_free() {
+        // Workers allocate and immediately use their own allocations while
+        // others do the same: exercises lock-free reads racing table
+        // growth across segment boundaries.
+        let m = Memory::new();
+        machine::parallel_for(256, 8, machine::OmpSchedule::Dynamic(4), |i| {
+            let p = m.alloc(4);
+            m.store(p, Scalar::I(i as i64)).unwrap();
+            m.store(p.offset(3), Scalar::F(i as f64)).unwrap();
+            assert_eq!(m.load(p).unwrap(), Scalar::I(i as i64));
+            assert_eq!(m.load(p.offset(3)).unwrap(), Scalar::F(i as f64));
+        });
+        assert_eq!(m.allocation_count(), 256);
+    }
+
+    #[test]
+    fn global_table_round_trips_inline_and_spill() {
+        let g = GlobalTable::new(4);
+        assert_eq!(g.load(0), Scalar::Uninit);
+        let cases = [
+            Scalar::I(42),
+            Scalar::I(i64::MAX),
+            Scalar::I(i64::MIN),
+            Scalar::F(2.5),
+            Scalar::F(f64::NEG_INFINITY),
+            Scalar::F(f64::from_bits(0xFFF9_0000_0000_0001)),
+            Scalar::P(Ptr {
+                alloc: 3,
+                index: -2,
+            }),
+            Scalar::P(Ptr {
+                alloc: 1 << 24,
+                index: 1 << 23,
+            }),
+            Scalar::Null,
+            Scalar::Uninit,
+        ];
+        for v in cases {
+            g.store(1, v);
+            match (v, g.load(1)) {
+                (Scalar::F(a), Scalar::F(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn global_store_reuses_spill_entry_for_unchanged_value() {
+        let g = GlobalTable::new(2);
+        for _ in 0..100 {
+            g.store(0, Scalar::I(1 << 50));
+        }
+        assert_eq!(g.load(0), Scalar::I(1 << 50));
+        assert_eq!(
+            g.spill.len(),
+            1,
+            "unchanged overflow stores must not append"
+        );
+        // A value-preserving RMW also reuses the word.
+        for _ in 0..50 {
+            g.rmw::<()>(0, Ok).unwrap();
+        }
+        assert_eq!(g.spill.len(), 1);
+        // A *changing* overflow value appends (documented trade-off).
+        g.store(0, Scalar::I((1 << 50) + 1));
+        assert_eq!(g.spill.len(), 2);
+    }
+
+    #[test]
+    fn global_rmw_loses_no_updates() {
+        let g = Arc::new(GlobalTable::new(1));
+        g.store(0, Scalar::I(0));
+        machine::parallel_for(4000, 8, machine::OmpSchedule::Dynamic(1), |_| {
+            g.rmw::<()>(0, |old| Ok(Scalar::I(old.as_i64() + 1)))
+                .unwrap();
+        });
+        assert_eq!(g.load(0), Scalar::I(4000));
+    }
+
+    #[test]
+    fn global_rmw_error_aborts_without_store() {
+        let g = GlobalTable::new(1);
+        g.store(0, Scalar::I(5));
+        let r = g.rmw(0, |_| Err::<Scalar, &str>("division by zero"));
+        assert_eq!(r, Err("division by zero"));
+        assert_eq!(g.load(0), Scalar::I(5));
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //! * **Bump-arena frames** — call frames live in one growing
 //!   `Vec<Packed>` per VM (extend on call, truncate on return) instead
 //!   of a fresh `Vec` allocation per call; each parallel **worker** owns
-//!   one arena reused across every iteration it executes
-//!   ([`machine::parallel_for_state`]).
+//!   one arena reused across every iteration it executes, and regions
+//!   run on the persistent process-wide thread pool by default
+//!   ([`machine::parallel_for_state_pooled`]; `InterpOptions::pool =
+//!   false` falls back to scoped spawn-per-region threads).
 //! * **Thread-local accounting** — executed-operation counters are plain
 //!   [`Tally`] fields flushed into the shared atomics once per worker at
 //!   region join (and once at run end), and the pure-call memo cache is
@@ -37,13 +39,14 @@ use crate::bytecode::{binop_decode, BFunc, BRegion, BytecodeProgram, Op};
 use crate::interp::{InterpOptions, RunResult, RuntimeError};
 use crate::resolve::{Coerce, MemoCache, MemoKey, MEMO_CAPACITY};
 use crate::value::{
-    Counters, Memory, Packed, Ptr, RaceAccumulator, Scalar, SpillPool, Tally, TrackSets,
+    Counters, GlobalTable, Memory, Packed, Ptr, RaceAccumulator, Scalar, SpillPool, Tally,
+    TrackSets,
 };
 use cfront::ast::BinOp;
 use cfront::intern::Symbol;
 use cfront::span::Span;
-use machine::parallel_for_state;
-use parking_lot::{Mutex, RwLock};
+use machine::{parallel_for_state, parallel_for_state_pooled};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -127,9 +130,13 @@ struct VmShared {
     prog: Arc<BytecodeProgram>,
     mem: Memory,
     counters: Arc<Counters>,
-    /// Globals live **unpacked** behind their lock: packed words carry
-    /// per-VM spill indices and must never travel between VMs.
-    globals: Arc<RwLock<Vec<Scalar>>>,
+    /// Globals live in a lock-free [`GlobalTable`]: NaN-boxed words in
+    /// atomic slots whose overflow entries sit in a *shared* append-only
+    /// spill (per-VM [`SpillPool`] indices must never travel between
+    /// VMs, shared-table indices are valid everywhere). Loads and stores
+    /// are single atomic accesses; compound assigns and `++`/`--` go
+    /// through a CAS loop so concurrent RMWs on one global cannot tear.
+    globals: Arc<GlobalTable>,
     output: Arc<Mutex<String>>,
     opts: InterpOptions,
 }
@@ -162,7 +169,7 @@ pub(crate) fn run_vm(
         prog: Arc::clone(prog),
         mem: Memory::new(),
         counters: Arc::new(Counters::new()),
-        globals: Arc::new(RwLock::new(vec![Scalar::Uninit; prog.nglobals])),
+        globals: Arc::new(GlobalTable::new(prog.nglobals)),
         output: Arc::new(Mutex::new(String::new())),
         opts,
     };
@@ -628,7 +635,7 @@ impl Vm {
                     self.stack.push(v);
                 }
                 Op::LoadGlobal => {
-                    let v = self.s.globals.read()[insn.a as usize];
+                    let v = self.s.globals.load(insn.a as usize);
                     let v = self.pack(v);
                     self.stack.push(v);
                 }
@@ -639,7 +646,7 @@ impl Vm {
                 Op::StoreGlobal => {
                     let v = *self.stack.last().expect("operand stack underflow");
                     let v = self.unpack(v);
-                    self.s.globals.write()[insn.a as usize] = v;
+                    self.s.globals.store(insn.a as usize, v);
                 }
                 Op::StoreLocalPop => {
                     let v = self.pop();
@@ -648,7 +655,7 @@ impl Vm {
                 Op::StoreGlobalPop => {
                     let v = self.pop();
                     let v = self.unpack(v);
-                    self.s.globals.write()[insn.a as usize] = v;
+                    self.s.globals.store(insn.a as usize, v);
                 }
                 Op::Dup => {
                     let v = *self.stack.last().expect("operand stack underflow");
@@ -822,10 +829,18 @@ impl Vm {
                 Op::CompoundGlobal => {
                     let rv = self.pop();
                     let rv = self.unpack(rv);
-                    let old = self.s.globals.read()[insn.a as usize];
-                    let res =
-                        self.apply_binop(binop_decode(insn.b & 0xFF), old, rv, f.spans[pc])?;
-                    self.s.globals.write()[insn.a as usize] = res;
+                    let op = binop_decode(insn.b & 0xFF);
+                    let span = f.spans[pc];
+                    // One atomic RMW — the old read-guard/write-guard
+                    // pair let a concurrent RMW slip between the two and
+                    // lose an update. The CAS may retry `apply_binop`;
+                    // the tally snapshot keeps it counted exactly once.
+                    let globals = Arc::clone(&self.s.globals);
+                    let saved_tally = self.tally;
+                    let (_, res) = globals.rmw(insn.a as usize, |old| {
+                        self.tally = saved_tally;
+                        self.apply_binop(op, old, rv, span)
+                    })?;
                     if insn.b & 0x100 == 0 {
                         let res = self.pack(res);
                         self.stack.push(res);
@@ -850,9 +865,14 @@ impl Vm {
                     }
                 }
                 Op::IncDecGlobal => {
-                    let old = self.s.globals.read()[insn.a as usize];
-                    let new = self.incdec_scalar(old, insn.b);
-                    self.s.globals.write()[insn.a as usize] = new;
+                    // Atomic `++`/`--` via CAS (same torn-RMW fix as
+                    // `CompoundGlobal`); tally snapshot absorbs retries.
+                    let globals = Arc::clone(&self.s.globals);
+                    let saved_tally = self.tally;
+                    let (old, new) = globals.rmw(insn.a as usize, |old| {
+                        self.tally = saved_tally;
+                        Ok::<_, RuntimeError>(self.incdec_scalar(old, insn.b))
+                    })?;
                     if insn.b & 4 == 0 {
                         let out = self.pack(if insn.b & 2 != 0 { new } else { old });
                         self.stack.push(out);
@@ -1072,27 +1092,30 @@ impl Vm {
         // Each worker owns one child VM — arena, spill pool, tally and
         // memo shard — reused across every iteration that worker
         // executes; the states come back at the join for a single merge.
-        let workers = parallel_for_state(
-            n,
-            self.s.opts.threads,
-            r.schedule,
-            |_tid| Vm::new_child(shared.clone(), frozen.clone(), spill_prefix),
-            |vm, k| {
-                vm.stack.clear();
-                vm.arena.clear();
-                vm.arena.extend_from_slice(frame);
-                vm.spill.truncate(vm.spill_floor);
-                vm.arena[iter_slot] = Packed::pack_i64(lb + k as i64, &vm.spill);
-                vm.steps = 0;
-                vm.depth = 0;
-                if let Err(e) = vm.exec(f, 0, body_start) {
-                    let mut g = err_ref.lock();
-                    if g.is_none() {
-                        *g = Some(e);
-                    }
+        // By default the region runs on the persistent process-wide
+        // thread pool (the paper's pinned-worker model); `pool: false`
+        // keeps the scoped spawn-per-region substrate for A/B runs.
+        let init = |_tid: usize| Vm::new_child(shared.clone(), frozen.clone(), spill_prefix);
+        let body = |vm: &mut Vm, k: u64| {
+            vm.stack.clear();
+            vm.arena.clear();
+            vm.arena.extend_from_slice(frame);
+            vm.spill.truncate(vm.spill_floor);
+            vm.arena[iter_slot] = Packed::pack_i64(lb + k as i64, &vm.spill);
+            vm.steps = 0;
+            vm.depth = 0;
+            if let Err(e) = vm.exec(f, 0, body_start) {
+                let mut g = err_ref.lock();
+                if g.is_none() {
+                    *g = Some(e);
                 }
-            },
-        );
+            }
+        };
+        let workers = if self.s.opts.pool {
+            parallel_for_state_pooled(n, self.s.opts.threads, r.schedule, init, body)
+        } else {
+            parallel_for_state(n, self.s.opts.threads, r.schedule, init, body)
+        };
         for w in workers {
             self.tally.merge(&w.tally);
             if let Some(theirs) = w.memo {
@@ -1148,5 +1171,147 @@ impl Vm {
             }
         }
         result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::{Engine, InterpOptions, Program};
+    use cfront::parser::parse;
+
+    fn program(src: &str) -> Program {
+        let r = parse(src);
+        assert!(!r.diags.has_errors(), "{}", r.diags.render_all(src));
+        Program::new(&r.unit)
+    }
+
+    /// Hammer a shared global with `+=`, `++` and a float `+=` from a
+    /// `dynamic,1` region on 8 threads. Regression for the torn global
+    /// RMW: each engine used to take a read guard, compute, then take a
+    /// *separate* write guard, so two workers could both read `g == k`
+    /// and both store `k + 1` — a lost update that made the VM diverge
+    /// from the oracle engines nondeterministically. Now the VM does a
+    /// CAS loop on its lock-free global words, and the resolved/legacy
+    /// engines hold one write guard across the whole RMW, so the final
+    /// value is exact on every engine, under both parallel substrates.
+    #[test]
+    fn parallel_global_rmw_never_tears() {
+        let src = "\
+int g;
+double h;
+int main() {
+#pragma omp parallel for schedule(dynamic,1)
+    for (int i = 0; i < 300; i++) { g += 1; g++; h += 0.5; }
+    return (g + (int) h) % 251;
+}
+";
+        let prog = program(src);
+        let expect = (300 * 2 + 150) % 251;
+        let seq = prog.run(InterpOptions::default()).expect("seq");
+        assert_eq!(seq.exit_code, expect, "sequential baseline");
+        for rep in 0..4 {
+            for pool in [true, false] {
+                let opts = InterpOptions {
+                    threads: 8,
+                    pool,
+                    ..Default::default()
+                };
+                let vm = prog.run(opts).expect("vm runs");
+                assert_eq!(vm.exit_code, expect, "vm rep={rep} pool={pool}");
+                let resolved = prog
+                    .run(InterpOptions {
+                        engine: Engine::Resolved,
+                        ..opts
+                    })
+                    .expect("resolved runs");
+                assert_eq!(resolved.exit_code, expect, "resolved rep={rep} pool={pool}");
+                let legacy = prog.run_legacy(opts).expect("legacy runs");
+                assert_eq!(legacy.exit_code, expect, "legacy rep={rep} pool={pool}");
+            }
+        }
+    }
+
+    /// Pool-routed regions and scoped spawn-per-region regions are
+    /// observably identical on a nested-region program (exit, output,
+    /// counters modulo memo), across engines.
+    #[test]
+    fn pooled_regions_match_scoped_regions_nested() {
+        let src = "\
+int main() {
+    int acc = 0;
+    int* a = (int*) malloc(64 * sizeof(int));
+#pragma omp parallel for schedule(dynamic,2)
+    for (int i = 0; i < 8; i++) {
+#pragma omp parallel for schedule(static)
+        for (int j = 0; j < 8; j++) {
+            a[i * 8 + j] = i * 100 + j * j;
+        }
+    }
+    for (int k = 0; k < 64; k++) acc += a[k] % 17;
+    printf(\"acc=%d\\n\", acc);
+    return acc % 113;
+}
+";
+        let prog = program(src);
+        for threads in [1usize, 4] {
+            let pooled = prog
+                .run(InterpOptions {
+                    threads,
+                    pool: true,
+                    ..Default::default()
+                })
+                .expect("pooled run");
+            let scoped = prog
+                .run(InterpOptions {
+                    threads,
+                    pool: false,
+                    ..Default::default()
+                })
+                .expect("scoped run");
+            assert_eq!(pooled.exit_code, scoped.exit_code, "threads={threads}");
+            assert_eq!(pooled.output, scoped.output, "threads={threads}");
+            assert_eq!(
+                pooled.counters.without_memo(),
+                scoped.counters.without_memo(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    /// A runtime error raised inside a pool-routed region surfaces as a
+    /// `RuntimeError` (not a hang, not a panic) — and the shared pool
+    /// keeps working afterwards.
+    #[test]
+    fn pooled_region_error_propagates() {
+        let src = "\
+int main() {
+    int* a = (int*) malloc(4 * sizeof(int));
+#pragma omp parallel for schedule(dynamic,1)
+    for (int i = 0; i < 16; i++) {
+        a[i] = i;
+    }
+    return 0;
+}
+";
+        let prog = program(src);
+        let err = prog
+            .run(InterpOptions {
+                threads: 4,
+                ..Default::default()
+            })
+            .expect_err("out-of-bounds store must error");
+        assert!(
+            err.message.contains("out of bounds"),
+            "unexpected error: {}",
+            err.message
+        );
+        // The pool survives a failed region: a healthy program still runs.
+        let ok = program("int main() { return 7; }")
+            .run(InterpOptions {
+                threads: 4,
+                ..Default::default()
+            })
+            .expect("pool still healthy");
+        assert_eq!(ok.exit_code, 7);
     }
 }

@@ -14,7 +14,10 @@
 pub mod omprt;
 pub mod sim;
 
-pub use omprt::{parallel_for, parallel_for_state, OmpSchedule, ThreadPool};
+pub use omprt::{
+    global_pool, parallel_for, parallel_for_pooled, parallel_for_state, parallel_for_state_pooled,
+    OmpSchedule, TaskGroup, ThreadPool,
+};
 pub use sim::{
     program_time, region_time, speedup, Compiler, CompilerKind, CostProfile, Machine, Variant,
     Workload,

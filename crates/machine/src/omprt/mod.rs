@@ -11,5 +11,7 @@
 pub mod pool;
 pub mod sched;
 
-pub use pool::ThreadPool;
-pub use sched::{parallel_for, parallel_for_state, OmpSchedule};
+pub use pool::{global_pool, Placement, TaskGroup, ThreadPool};
+pub use sched::{
+    parallel_for, parallel_for_pooled, parallel_for_state, parallel_for_state_pooled, OmpSchedule,
+};

@@ -2,19 +2,48 @@
 //!
 //! The paper pins threads with `numactl` so the OS cannot migrate them
 //! between the four Opteron sockets. Our pool reproduces the *assignment*:
-//! each worker is labelled with a virtual core and socket (round-robin
-//! across sockets, matching `numactl --interleave` style spreading), which
-//! the NUMA cost model and the interpreter's first-touch accounting use.
-//! Work is submitted as closures over a crossbeam channel; `scope_join`
-//! blocks until all submitted tasks of the scope finish.
+//! each worker is labelled with a virtual core and socket, filling socket 0
+//! completely before spilling onto socket 1 (the `numactl` **compact**
+//! policy the paper's runs use — see [`ThreadPool::new`]), which the NUMA
+//! cost model and the interpreter's first-touch accounting use. Work is
+//! submitted as closures over a crossbeam channel; [`ThreadPool::join`]
+//! blocks until all submitted tasks finish and re-raises the first task
+//! panic.
+//!
+//! Two layers of completion tracking:
+//!
+//! * the **pool counter** covers every task ever submitted — it is what
+//!   [`ThreadPool::join`] and `Drop` wait on;
+//! * a [`TaskGroup`] is a per-region *generation*: tasks submitted through
+//!   [`ThreadPool::submit_to`] additionally count against their group, and
+//!   [`ThreadPool::join_group`] waits for that group alone. This is what
+//!   lets nested parallel regions share one process-wide pool — an inner
+//!   region's join does not wait for (or wake on) unrelated outer tasks.
+//!
+//! Workers are panic-safe: a panicking task is caught, its pool/group
+//! counters are still decremented (a panic must never leave `join` waiting
+//! forever), and the payload is re-raised on the joining thread. A join
+//! issued *from a pool worker* (a nested region) does not block the worker:
+//! it **helps**, draining queued tasks until its group completes, so a pool
+//! of N workers can execute arbitrarily nested regions without deadlock.
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+thread_local! {
+    /// True on threads owned by *any* [`ThreadPool`] — joins from such
+    /// threads must help drain the queue instead of blocking.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Virtual placement of one worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,18 +53,73 @@ pub struct Placement {
     pub socket: usize,
 }
 
-struct Shared {
+/// Completion state shared by the pool and by each task group: an
+/// outstanding-task counter, a condvar for external joiners, and the first
+/// panic payload caught from a member task.
+struct Completion {
     pending: AtomicUsize,
     lock: Mutex<()>,
     cv: Condvar,
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+impl Completion {
+    fn new() -> Self {
+        Completion {
+            pending: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn record_panic(&self, p: PanicPayload) {
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some(p);
+        }
+    }
+
+    /// Decrement `pending`; wake joiners when it reaches zero. The notify
+    /// happens under the lock so a joiner that observed `pending != 0`
+    /// cannot park between our decrement and our wakeup.
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.lock.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until `pending == 0` (external joiners only).
+    fn wait(&self) {
+        let mut guard = self.lock.lock();
+        while self.pending.load(Ordering::Acquire) != 0 {
+            self.cv.wait(&mut guard);
+        }
+    }
+
+    /// Re-raise the first recorded panic, if any.
+    fn rethrow(&self) {
+        if let Some(p) = self.panic.lock().take() {
+            resume_unwind(p);
+        }
+    }
+}
+
+/// One *generation* of tasks (typically: one parallel region). Obtained
+/// from [`ThreadPool::group`]; joined with [`ThreadPool::join_group`].
+pub struct TaskGroup {
+    shared: Arc<Completion>,
 }
 
 /// Persistent thread pool with deterministic worker → socket placement.
 pub struct ThreadPool {
     sender: Option<Sender<Task>>,
+    /// Receiver clone used by worker-side joins to help drain the queue.
+    helper_rx: Receiver<Task>,
     workers: Vec<JoinHandle<()>>,
     placements: Vec<Placement>,
-    shared: Arc<Shared>,
+    shared: Arc<Completion>,
 }
 
 impl ThreadPool {
@@ -45,11 +129,7 @@ impl ThreadPool {
     pub fn new(nthreads: usize, sockets: usize, cores_per_socket: usize) -> Self {
         let nthreads = nthreads.max(1);
         let (tx, rx) = unbounded::<Task>();
-        let shared = Arc::new(Shared {
-            pending: AtomicUsize::new(0),
-            lock: Mutex::new(()),
-            cv: Condvar::new(),
-        });
+        let shared = Arc::new(Completion::new());
         let mut workers = Vec::with_capacity(nthreads);
         let mut placements = Vec::with_capacity(nthreads);
         for w in 0..nthreads {
@@ -63,21 +143,29 @@ impl ThreadPool {
             let rx = rx.clone();
             let shared = Arc::clone(&shared);
             workers.push(std::thread::spawn(move || {
+                IN_POOL_WORKER.with(|c| c.set(true));
                 while let Ok(task) = rx.recv() {
-                    task();
-                    if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        let _g = shared.lock.lock();
-                        shared.cv.notify_all();
-                    }
+                    Self::run_task(task, &shared);
                 }
             }));
         }
         ThreadPool {
             sender: Some(tx),
+            helper_rx: rx,
             workers,
             placements,
             shared,
         }
+    }
+
+    /// Execute one task with panic containment: the payload is recorded
+    /// for `join` and the pool counter is **always** decremented — a
+    /// panicking task must never leave a joiner waiting forever.
+    fn run_task(task: Task, shared: &Completion) {
+        if let Err(p) = catch_unwind(AssertUnwindSafe(task)) {
+            shared.record_panic(p);
+        }
+        shared.finish_one();
     }
 
     pub fn len(&self) -> usize {
@@ -112,23 +200,123 @@ impl ThreadPool {
             .expect("workers alive");
     }
 
-    /// Block until every submitted task has completed.
-    pub fn join(&self) {
-        let mut guard = self.shared.lock.lock();
-        while self.shared.pending.load(Ordering::Acquire) != 0 {
-            self.shared.cv.wait(&mut guard);
+    /// Open a new task generation (one parallel region's worth of tasks).
+    pub fn group(&self) -> TaskGroup {
+        TaskGroup {
+            shared: Arc::new(Completion::new()),
         }
+    }
+
+    /// Submit one task counted against `group` (and against the pool).
+    /// A panic in `f` is caught, recorded on the group, and re-raised by
+    /// [`ThreadPool::join_group`].
+    pub fn submit_to<F: FnOnce() + Send + 'static>(&self, group: &TaskGroup, f: F) {
+        group.shared.pending.fetch_add(1, Ordering::AcqRel);
+        let gs = Arc::clone(&group.shared);
+        self.submit(move || {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+                gs.record_panic(p);
+            }
+            gs.finish_one();
+        });
+    }
+
+    /// Wait until every task of `group` has completed, without re-raising
+    /// panics. From a pool worker this *helps*: it drains queued tasks
+    /// (of any group — every pop is global progress) instead of blocking,
+    /// so nested regions cannot deadlock a fully-occupied pool. Once the
+    /// queue stays empty, the worker parks on the group's condvar rather
+    /// than burning a core through the stragglers' tail: every task of
+    /// this group was submitted before the join began, so after an
+    /// empty-queue observation the group's outstanding tasks are all
+    /// *in flight* on other threads — parking cannot strand a group task
+    /// in the queue, and `finish_one` notifies under the lock.
+    pub fn wait_group(&self, group: &TaskGroup) {
+        if IN_POOL_WORKER.with(|c| c.get()) {
+            let mut idle_polls = 0u32;
+            while group.shared.pending.load(Ordering::Acquire) != 0 {
+                match self.helper_rx.try_recv() {
+                    Some(task) => {
+                        Self::run_task(task, &self.shared);
+                        idle_polls = 0;
+                    }
+                    None if idle_polls < 128 => {
+                        idle_polls += 1;
+                        std::thread::yield_now();
+                    }
+                    None => {
+                        let mut guard = group.shared.lock.lock();
+                        if group.shared.pending.load(Ordering::Acquire) != 0 {
+                            group.shared.cv.wait(&mut guard);
+                        }
+                        drop(guard);
+                        idle_polls = 0;
+                    }
+                }
+            }
+        } else {
+            group.shared.wait();
+        }
+    }
+
+    /// [`ThreadPool::wait_group`], then re-raise the first panic any task
+    /// of the group produced.
+    pub fn join_group(&self, group: &TaskGroup) {
+        self.wait_group(group);
+        group.shared.rethrow();
+    }
+
+    /// Block until every submitted task has completed, then re-raise the
+    /// first panic a task produced (if any). Never hangs on a panicking
+    /// task: workers decrement the counter on the unwind path too.
+    pub fn join(&self) {
+        self.shared.wait();
+        self.shared.rethrow();
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.join();
+        // Wait without re-raising: panicking inside `drop` would abort.
+        self.shared.wait();
         drop(self.sender.take());
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide pool
+// ---------------------------------------------------------------------------
+
+/// The process-wide pool behind pooled `parallel_for` variants. Created
+/// lazily on first use and grown (replaced by a larger pool) when a region
+/// requests more threads than the current pool holds; regions hold an
+/// `Arc`, so a superseded pool drains its in-flight work before its
+/// workers exit. Placement uses the paper machine's 4 × 16 geometry.
+static GLOBAL_POOL: RwLock<Option<Arc<ThreadPool>>> = RwLock::new(None);
+
+/// Shared persistent pool with at least `nthreads` workers.
+pub fn global_pool(nthreads: usize) -> Arc<ThreadPool> {
+    let nthreads = nthreads.max(1);
+    {
+        let g = GLOBAL_POOL.read();
+        if let Some(p) = g.as_ref() {
+            if p.len() >= nthreads {
+                return Arc::clone(p);
+            }
+        }
+    }
+    let mut g = GLOBAL_POOL.write();
+    if let Some(p) = g.as_ref() {
+        if p.len() >= nthreads {
+            return Arc::clone(p);
+        }
+    }
+    let p = Arc::new(ThreadPool::new(nthreads, 4, 16));
+    *g = Some(Arc::clone(&p));
+    p
 }
 
 #[cfg(test)]
@@ -185,5 +373,145 @@ mod tests {
             pool.join();
         }
         assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    /// Regression: a panicking task used to kill its worker *before* the
+    /// pending counter was decremented, so `join` hung forever. Now the
+    /// unwind is caught, the counter always reaches zero, and the panic
+    /// resurfaces on the joining thread — after which the pool is still
+    /// fully usable.
+    #[test]
+    fn join_propagates_task_panic_and_pool_survives() {
+        let pool = ThreadPool::new(2, 1, 2);
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        pool.submit(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.submit(|| panic!("task boom"));
+        let joined = catch_unwind(AssertUnwindSafe(|| pool.join()));
+        let payload = joined.expect_err("join must re-raise the task panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert_eq!(msg, "task boom");
+        // The panic is consumed: the pool keeps working and joins cleanly.
+        let c = Arc::clone(&counter);
+        pool.submit(move || {
+            c.fetch_add(10, Ordering::Relaxed);
+        });
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn group_join_waits_for_its_generation_only() {
+        let pool = ThreadPool::new(2, 1, 2);
+        let counter = Arc::new(AtomicU64::new(0));
+        let g1 = pool.group();
+        let g2 = pool.group();
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.submit_to(&g1, move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // A long-running task in another generation must not block g1.
+        let gate = Arc::new(AtomicU64::new(0));
+        let gate2 = Arc::clone(&gate);
+        pool.submit_to(&g2, move || {
+            while gate2.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+        });
+        pool.join_group(&g1);
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+        gate.store(1, Ordering::Release);
+        pool.join_group(&g2);
+    }
+
+    #[test]
+    fn group_join_propagates_panic() {
+        let pool = ThreadPool::new(2, 1, 2);
+        let g = pool.group();
+        pool.submit_to(&g, || panic!("group boom"));
+        let joined = catch_unwind(AssertUnwindSafe(|| pool.join_group(&g)));
+        assert!(joined.is_err());
+        // The pool-level join stays clean: group panics belong to groups.
+        pool.join();
+    }
+
+    /// Nested generations on a single-worker pool: without the helping
+    /// join this deadlocks (the lone worker would block waiting for a
+    /// subtask that can only run on itself).
+    #[test]
+    fn nested_group_join_from_worker_helps_instead_of_deadlocking() {
+        let pool = Arc::new(ThreadPool::new(1, 1, 1));
+        let outer = pool.group();
+        let result = Arc::new(AtomicU64::new(0));
+        let p2 = Arc::clone(&pool);
+        let r2 = Arc::clone(&result);
+        pool.submit_to(&outer, move || {
+            let inner = p2.group();
+            for _ in 0..4 {
+                let r = Arc::clone(&r2);
+                p2.submit_to(&inner, move || {
+                    r.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            p2.join_group(&inner);
+            r2.fetch_add(100, Ordering::Relaxed);
+        });
+        pool.join_group(&outer);
+        assert_eq!(result.load(Ordering::Relaxed), 104);
+    }
+
+    /// The helping join's parking path: the joining worker drains the
+    /// queue, then must *park* (not spin) while the group's last task
+    /// straggles on another worker — and still wake up at completion.
+    #[test]
+    fn worker_join_parks_through_straggler_tail() {
+        let pool = Arc::new(ThreadPool::new(2, 1, 2));
+        let outer = pool.group();
+        let done = Arc::new(AtomicU64::new(0));
+        let p2 = Arc::clone(&pool);
+        let d2 = Arc::clone(&done);
+        pool.submit_to(&outer, move || {
+            let inner = p2.group();
+            let d3 = Arc::clone(&d2);
+            p2.submit_to(&inner, move || {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+                d3.fetch_add(1, Ordering::Relaxed);
+            });
+            // Let the second worker claim the inner task, so this join
+            // sees an empty queue with one in-flight straggler and must
+            // take the parked path (spin budget << 40ms of sleeping).
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            p2.join_group(&inner);
+            d2.fetch_add(10, Ordering::Relaxed);
+        });
+        pool.join_group(&outer);
+        assert_eq!(done.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_grows() {
+        let a = global_pool(2);
+        assert!(a.len() >= 2);
+        let b = global_pool(1);
+        assert!(Arc::ptr_eq(&a, &b) || !b.is_empty());
+        let c = global_pool(a.len() + 1);
+        assert!(c.len() > a.len());
+        let group = c.group();
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..32 {
+            let k = Arc::clone(&counter);
+            c.submit_to(&group, move || {
+                k.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        c.join_group(&group);
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
     }
 }

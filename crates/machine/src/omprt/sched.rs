@@ -1,7 +1,20 @@
 //! Loop scheduling policies: `static`, `static,chunk`, `dynamic,chunk`,
 //! `guided` — the subset of OpenMP `schedule(...)` clauses the paper's
 //! evaluation uses.
+//!
+//! Each policy comes in two execution substrates: the original *scoped*
+//! form ([`parallel_for`] / [`parallel_for_state`]) spawns fresh OS
+//! threads per region via `std::thread::scope`, and the *pooled* form
+//! ([`parallel_for_pooled`] / [`parallel_for_state_pooled`]) routes the
+//! same per-thread work items through the persistent process-wide
+//! [`crate::omprt::pool::ThreadPool`] as one [`TaskGroup`] generation —
+//! the paper's pinned-worker execution model, without a thread spawn per
+//! region. Both substrates assign identical static chunks per `tid` and
+//! share one dynamic/guided claiming loop, so a region's observable
+//! behaviour is independent of the substrate.
 
+use crate::omprt::pool::{global_pool, TaskGroup, ThreadPool};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -111,102 +124,192 @@ where
 {
     let nthreads = nthreads.max(1);
     if nthreads == 1 || n <= 1 {
-        let mut state = init(0);
-        for i in 0..n {
-            body(&mut state, i);
-        }
-        return vec![state];
+        return vec![run_sequential(n, &init, &body)];
     }
     let body = &body;
     let init = &init;
+    let next = AtomicU64::new(0);
+    let next = &next;
     let mut states = Vec::with_capacity(nthreads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nthreads)
+            .map(|tid| {
+                scope.spawn(move || worker_share(tid, n, nthreads, schedule, next, init, body))
+            })
+            .collect();
+        for h in handles {
+            states.push(h.join().expect("omprt worker panicked"));
+        }
+    });
+    states
+}
+
+/// [`parallel_for`] routed through the persistent process-wide
+/// [`ThreadPool`] instead of spawning OS threads per region.
+pub fn parallel_for_pooled<F>(n: u64, nthreads: usize, schedule: OmpSchedule, body: F)
+where
+    F: Fn(u64) + Sync,
+{
+    parallel_for_state_pooled(n, nthreads, schedule, |_| (), |(), i| body(i));
+}
+
+/// [`parallel_for_state`] routed through the persistent process-wide
+/// [`ThreadPool`]: identical worker-share semantics (same static chunk
+/// assignment per `tid`, same dynamic/guided claiming loop, one `S` per
+/// started worker), but the `nthreads` work items are submitted to the
+/// shared pool as one [`TaskGroup`] generation and joined with
+/// `join_group` — no thread spawn, and a panic in `init`/`body`
+/// resurfaces here exactly as the scoped variant's `join` would.
+///
+/// Nested regions are safe on a finite pool: a join issued from a pool
+/// worker helps drain the queue instead of blocking (see
+/// [`ThreadPool::wait_group`]).
+pub fn parallel_for_state_pooled<S, G, F>(
+    n: u64,
+    nthreads: usize,
+    schedule: OmpSchedule,
+    init: G,
+    body: F,
+) -> Vec<S>
+where
+    S: Send,
+    G: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, u64) + Sync,
+{
+    let nthreads = nthreads.max(1);
+    if nthreads == 1 || n <= 1 {
+        return vec![run_sequential(n, &init, &body)];
+    }
+    let pool = global_pool(nthreads);
+    let group = pool.group();
+    let next = AtomicU64::new(0);
+    let slots: Vec<Mutex<Option<S>>> = (0..nthreads).map(|_| Mutex::new(None)).collect();
+
+    // The submitted tasks borrow `init`/`body`/`next`/`slots` from this
+    // stack frame; the guard guarantees we never unwind past those
+    // borrows with a task still in flight, which is what makes the
+    // lifetime erasure below sound.
+    let mut guard = GroupWaitGuard {
+        pool: &pool,
+        group: &group,
+        armed: true,
+    };
+    for tid in 0..nthreads {
+        let task: Box<dyn FnOnce() + Send + '_> = {
+            let (next, init, body, slots) = (&next, &init, &body, &slots);
+            Box::new(move || {
+                let state = worker_share(tid, n, nthreads, schedule, next, init, body);
+                *slots[tid].lock() = Some(state);
+            })
+        };
+        // SAFETY: the task only borrows locals of this frame, and every
+        // submitted task is guaranteed to finish (or be panic-caught)
+        // before this frame is left: `join_group` waits for the whole
+        // generation before returning *or* re-raising a task panic, and
+        // `guard` waits on any other unwind path.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        pool.submit_to(&group, task);
+    }
+    guard.armed = false;
+    pool.join_group(&group);
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("pooled worker completed"))
+        .collect()
+}
+
+/// Last-resort cleanup for [`parallel_for_state_pooled`]: if anything
+/// unwinds between the first `submit_to` and the normal `join_group`,
+/// block until the generation drains so no task outlives the borrows it
+/// captured. (Waits without re-raising — we are already unwinding.)
+struct GroupWaitGuard<'a> {
+    pool: &'a ThreadPool,
+    group: &'a TaskGroup,
+    armed: bool,
+}
+
+impl Drop for GroupWaitGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.pool.wait_group(self.group);
+        }
+    }
+}
+
+/// The sequential fast path shared by both substrates.
+fn run_sequential<S, G, F>(n: u64, init: &G, body: &F) -> S
+where
+    G: Fn(usize) -> S,
+    F: Fn(&mut S, u64),
+{
+    let mut state = init(0);
+    for i in 0..n {
+        body(&mut state, i);
+    }
+    state
+}
+
+/// One worker's share of a region under `schedule` — the single
+/// implementation both the scoped and the pooled substrate execute, so
+/// chunk assignment (static) and the claiming protocol (dynamic/guided,
+/// via the shared `next` counter) are identical in both.
+fn worker_share<S, G, F>(
+    tid: usize,
+    n: u64,
+    nthreads: usize,
+    schedule: OmpSchedule,
+    next: &AtomicU64,
+    init: &G,
+    body: &F,
+) -> S
+where
+    G: Fn(usize) -> S,
+    F: Fn(&mut S, u64),
+{
+    let mut state = init(tid);
     match schedule {
         OmpSchedule::Static | OmpSchedule::StaticChunk(_) => {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..nthreads)
-                    .map(|tid| {
-                        let chunks = schedule.static_chunks(n, nthreads as u64, tid as u64);
-                        scope.spawn(move || {
-                            let mut state = init(tid);
-                            for (s, e) in chunks {
-                                for i in s..e {
-                                    body(&mut state, i);
-                                }
-                            }
-                            state
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    states.push(h.join().expect("omprt worker panicked"));
+            for (s, e) in schedule.static_chunks(n, nthreads as u64, tid as u64) {
+                for i in s..e {
+                    body(&mut state, i);
                 }
-            });
+            }
         }
         OmpSchedule::Dynamic(chunk) => {
             let chunk = chunk.max(1);
-            let next = AtomicU64::new(0);
-            let next = &next;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..nthreads)
-                    .map(|tid| {
-                        scope.spawn(move || {
-                            let mut state = init(tid);
-                            loop {
-                                let start = next.fetch_add(chunk, Ordering::Relaxed);
-                                if start >= n {
-                                    break;
-                                }
-                                let end = (start + chunk).min(n);
-                                for i in start..end {
-                                    body(&mut state, i);
-                                }
-                            }
-                            state
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    states.push(h.join().expect("omprt worker panicked"));
+            loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
                 }
-            });
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    body(&mut state, i);
+                }
+            }
         }
         OmpSchedule::Guided(min_chunk) => {
             let min_chunk = min_chunk.max(1);
-            let next = AtomicU64::new(0);
-            let next = &next;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..nthreads)
-                    .map(|tid| {
-                        scope.spawn(move || {
-                            let mut state = init(tid);
-                            loop {
-                                // Chunk ≈ remaining / nthreads, floored at min.
-                                let cur = next.load(Ordering::Relaxed);
-                                if cur >= n {
-                                    break;
-                                }
-                                let remaining = n - cur;
-                                let chunk = (remaining / nthreads as u64).max(min_chunk);
-                                let start = next.fetch_add(chunk, Ordering::Relaxed);
-                                if start >= n {
-                                    break;
-                                }
-                                let end = (start + chunk).min(n);
-                                for i in start..end {
-                                    body(&mut state, i);
-                                }
-                            }
-                            state
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    states.push(h.join().expect("omprt worker panicked"));
+            loop {
+                // Chunk ≈ remaining / nthreads, floored at min.
+                let cur = next.load(Ordering::Relaxed);
+                if cur >= n {
+                    break;
                 }
-            });
+                let remaining = n - cur;
+                let chunk = (remaining / nthreads as u64).max(min_chunk);
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    body(&mut state, i);
+                }
+            }
         }
     }
-    states
+    state
 }
 
 #[cfg(test)]
@@ -362,5 +465,109 @@ mod tests {
         });
         let o = order.into_inner().unwrap();
         assert_eq!(o, (0..16).collect::<Vec<u64>>());
+    }
+
+    // -- pooled substrate ----------------------------------------------------
+
+    #[test]
+    fn pooled_covers_every_iteration_exactly_once() {
+        for sched in [
+            OmpSchedule::Static,
+            OmpSchedule::StaticChunk(3),
+            OmpSchedule::Dynamic(1),
+            OmpSchedule::Dynamic(7),
+            OmpSchedule::Guided(2),
+        ] {
+            for (n, t) in [(0u64, 4usize), (1, 4), (17, 4), (100, 7), (64, 16), (5, 16)] {
+                let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                parallel_for_pooled(n, t, sched, |i| {
+                    hits[i as usize].fetch_add(1, Ordering::Relaxed);
+                });
+                for (i, h) in hits.iter().enumerate() {
+                    assert_eq!(h.load(Ordering::Relaxed), 1, "iteration {i} under {sched}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_state_matches_scoped_state() {
+        for sched in [
+            OmpSchedule::Static,
+            OmpSchedule::StaticChunk(3),
+            OmpSchedule::Dynamic(2),
+            OmpSchedule::Guided(1),
+        ] {
+            let run = |pooled: bool| {
+                let init = |tid: usize| (tid, 0u64, Vec::new());
+                let body = |s: &mut (usize, u64, Vec<u64>), i: u64| {
+                    s.1 += i;
+                    s.2.push(i);
+                };
+                if pooled {
+                    parallel_for_state_pooled(1000, 6, sched, init, body)
+                } else {
+                    parallel_for_state(1000, 6, sched, init, body)
+                }
+            };
+            for states in [run(false), run(true)] {
+                assert_eq!(states.len(), 6, "{sched}");
+                let total: u64 = states.iter().map(|s| s.1).sum();
+                assert_eq!(total, 1000 * 999 / 2, "{sched}");
+                let mut all: Vec<u64> = states.iter().flat_map(|s| s.2.iter().copied()).collect();
+                all.sort_unstable();
+                assert_eq!(all, (0..1000).collect::<Vec<_>>(), "{sched}");
+                let mut tids: Vec<usize> = states.iter().map(|s| s.0).collect();
+                tids.sort_unstable();
+                assert_eq!(tids, (0..6).collect::<Vec<_>>());
+            }
+            // Static chunk assignment is bit-identical across substrates:
+            // worker `tid` sees exactly the same iterations in the same
+            // order.
+            if matches!(sched, OmpSchedule::Static | OmpSchedule::StaticChunk(_)) {
+                assert_eq!(run(false), run(true), "{sched}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_sequential_fast_path_returns_single_state() {
+        let states =
+            parallel_for_state_pooled(10, 1, OmpSchedule::Dynamic(4), |_| 0u64, |s, i| *s += i);
+        assert_eq!(states, vec![45]);
+        let states =
+            parallel_for_state_pooled(1, 8, OmpSchedule::Static, |_| 0u64, |s, i| *s += i + 7);
+        assert_eq!(states, vec![7]);
+    }
+
+    #[test]
+    fn pooled_nested_regions_complete() {
+        // Outer pooled region whose every iteration runs an inner pooled
+        // region: exercises the worker-side helping join on the shared
+        // global pool.
+        let total = AtomicU64::new(0);
+        parallel_for_pooled(8, 4, OmpSchedule::Dynamic(1), |_i| {
+            parallel_for_pooled(16, 4, OmpSchedule::Static, |j| {
+                total.fetch_add(j, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * (16 * 15 / 2));
+    }
+
+    #[test]
+    fn pooled_body_panic_propagates_after_region_drains() {
+        let ran = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_for_pooled(64, 4, OmpSchedule::Dynamic(1), |i| {
+                if i == 13 {
+                    panic!("iteration boom");
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err(), "body panic must resurface at the join");
+        // Every non-panicking iteration still executed (the region drains
+        // before the panic is re-raised — no task left in flight).
+        assert_eq!(ran.load(Ordering::Relaxed), 63);
     }
 }

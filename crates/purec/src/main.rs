@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! purec <file.c> [--sica] [--tile N] [--no-omp] [--run [--threads N]]
-//!       [--engine vm|resolved] [--race-check] [--emit-marked]
+//!       [--engine vm|resolved] [--no-pool] [--race-check] [--emit-marked]
 //!       [--no-alloc-pure]
 //! purec --demo <matmul|heat|satellite|lama> [same flags]
 //! ```
@@ -28,6 +28,8 @@ fn usage() -> ! {
          \x20 --engine E       execution tier for --run: vm (bytecode VM, default)\n\
          \x20                  or resolved (resolved-IR oracle engine)\n\
          \x20 --threads N      omprt threads for --run (default 1)\n\
+         \x20 --no-pool        spawn threads per region instead of using the\n\
+         \x20                  persistent worker pool (A/B comparison)\n\
          \x20 --race-check     validate iteration independence before parallel runs\n\
          \x20 --stats          print chain statistics to stderr"
     );
@@ -50,6 +52,7 @@ fn main() {
     let mut run = false;
     let mut engine = cinterp::Engine::Bytecode;
     let mut threads = 1usize;
+    let mut pool = true;
     let mut race_check = false;
     let mut stats = false;
 
@@ -82,6 +85,7 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--no-pool" => pool = false,
             "--race-check" => race_check = true,
             "--stats" => stats = true,
             "--help" | "-h" => usage(),
@@ -159,6 +163,7 @@ fn main() {
             threads,
             race_check,
             engine,
+            pool,
             ..Default::default()
         };
         match compile_and_run(&source, opts, interp) {

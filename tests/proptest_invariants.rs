@@ -241,6 +241,39 @@ fn differential_source(n: usize, c1: i64, c2: i64, op1: usize, op2: usize, sched
     )
 }
 
+/// Generated program with a *nested* parallel region (outer and inner
+/// schedules drawn independently) plus a read-only global in the body.
+fn nested_region_source(outer: usize, inner: usize, c: i64, so: usize, si: usize) -> String {
+    let scheds = [
+        "",
+        " schedule(static)",
+        " schedule(static,2)",
+        " schedule(dynamic,1)",
+        " schedule(guided,1)",
+    ];
+    let so = scheds[so % scheds.len()];
+    let si = scheds[si % scheds.len()];
+    let total = outer * inner;
+    format!(
+        "int g;\n\
+         int main() {{\n\
+             int acc = 0;\n\
+             g = {c};\n\
+             int* a = (int*) malloc({total} * sizeof(int));\n\
+         #pragma omp parallel for{so}\n\
+             for (int i = 0; i < {outer}; i++) {{\n\
+         #pragma omp parallel for{si}\n\
+                 for (int j = 0; j < {inner}; j++) {{\n\
+                     a[i * {inner} + j] = (i + 1) * (j + 2) + g;\n\
+                 }}\n\
+             }}\n\
+             for (int k = 0; k < {total}; k++) acc += a[k] % 23;\n\
+             printf(\"acc=%d\\n\", acc);\n\
+             return acc % 113;\n\
+         }}"
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -277,6 +310,109 @@ proptest! {
                 threads
             );
             // Resolved vs legacy oracle.
+            prop_assert_eq!(resolved.exit_code, legacy.exit_code, "threads={}", threads);
+            prop_assert_eq!(&resolved.output, &legacy.output, "threads={}", threads);
+            prop_assert_eq!(
+                resolved.counters.without_memo(),
+                legacy.counters,
+                "threads={}",
+                threads
+            );
+        }
+    }
+
+    /// Substrate equivalence: regions routed through the persistent
+    /// thread pool produce bit-identical exit code, output and
+    /// executed-op counters (modulo memo bookkeeping) to the scoped
+    /// spawn-per-region path — and both match the resolved and legacy
+    /// oracles — sequentially and with 4 threads, across all four
+    /// schedules.
+    #[test]
+    fn pooled_regions_match_scoped_and_oracles(
+        n in 4usize..40,
+        c1 in -20i64..50,
+        c2 in 1i64..40,
+        op1 in 0usize..6,
+        op2 in 0usize..6,
+        sched in 0usize..5,
+    ) {
+        let src = differential_source(n, c1, c2, op1, op2, sched);
+        let parsed = parse(&src);
+        prop_assert!(!parsed.diags.has_errors(), "{}", parsed.diags.render_all(&src));
+        let prog = Program::new(&parsed.unit);
+        for threads in [1usize, 4] {
+            let opt = |pool: bool| InterpOptions { threads, pool, ..Default::default() };
+            let pooled = prog.run(opt(true)).expect("pooled VM runs");
+            let scoped = prog.run(opt(false)).expect("scoped VM runs");
+            prop_assert_eq!(pooled.exit_code, scoped.exit_code, "threads={}", threads);
+            prop_assert_eq!(&pooled.output, &scoped.output, "threads={}", threads);
+            prop_assert_eq!(
+                pooled.counters.without_memo(),
+                scoped.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            let res_pooled = prog.run_resolved(opt(true)).expect("pooled resolved runs");
+            let res_scoped = prog.run_resolved(opt(false)).expect("scoped resolved runs");
+            prop_assert_eq!(res_pooled.exit_code, res_scoped.exit_code, "threads={}", threads);
+            prop_assert_eq!(&res_pooled.output, &res_scoped.output, "threads={}", threads);
+            prop_assert_eq!(
+                res_pooled.counters.without_memo(),
+                res_scoped.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            let legacy = prog.run_legacy(opt(true)).expect("pooled legacy runs");
+            prop_assert_eq!(pooled.exit_code, legacy.exit_code, "threads={}", threads);
+            prop_assert_eq!(&pooled.output, &legacy.output, "threads={}", threads);
+            prop_assert_eq!(
+                pooled.counters.without_memo(),
+                legacy.counters,
+                "threads={}",
+                threads
+            );
+            prop_assert_eq!(res_pooled.exit_code, legacy.exit_code, "threads={}", threads);
+        }
+    }
+
+    /// Nested parallel regions on the shared pool (a worker joining an
+    /// inner generation helps instead of blocking): pooled == scoped ==
+    /// oracles on observable behaviour, for independently drawn outer
+    /// and inner schedules.
+    #[test]
+    fn pooled_nested_regions_match_scoped_and_oracles(
+        outer in 2usize..8,
+        inner in 2usize..8,
+        c in 1i64..30,
+        so in 0usize..5,
+        si in 0usize..5,
+    ) {
+        let src = nested_region_source(outer, inner, c, so, si);
+        let parsed = parse(&src);
+        prop_assert!(!parsed.diags.has_errors(), "{}", parsed.diags.render_all(&src));
+        let prog = Program::new(&parsed.unit);
+        for threads in [1usize, 4] {
+            let opt = |pool: bool| InterpOptions { threads, pool, ..Default::default() };
+            let pooled = prog.run(opt(true)).expect("pooled VM runs");
+            let scoped = prog.run(opt(false)).expect("scoped VM runs");
+            let resolved = prog.run_resolved(opt(true)).expect("resolved runs");
+            let legacy = prog.run_legacy(opt(true)).expect("legacy runs");
+            prop_assert_eq!(pooled.exit_code, scoped.exit_code, "threads={}", threads);
+            prop_assert_eq!(&pooled.output, &scoped.output, "threads={}", threads);
+            prop_assert_eq!(
+                pooled.counters.without_memo(),
+                scoped.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            prop_assert_eq!(pooled.exit_code, resolved.exit_code, "threads={}", threads);
+            prop_assert_eq!(&pooled.output, &resolved.output, "threads={}", threads);
+            prop_assert_eq!(
+                pooled.counters.without_memo(),
+                resolved.counters.without_memo(),
+                "threads={}",
+                threads
+            );
             prop_assert_eq!(resolved.exit_code, legacy.exit_code, "threads={}", threads);
             prop_assert_eq!(&resolved.output, &legacy.output, "threads={}", threads);
             prop_assert_eq!(
