@@ -18,6 +18,12 @@
 //! pool-routed runtime fails to beat spawn-per-region threads on the
 //! `region_heavy` case (many small parallel regions) — the CI bench
 //! smoke turns a dispatch or region-launch regression into a red build.
+//! The `fib_futures` case gates the pure-call futures subsystem: on a
+//! host with ≥ 4 CPUs the memo-off divide-and-conquer benchmark must
+//! run ≥ 2× faster with futures on 4 threads than sequentially (≥ 1×
+//! on 2–3 CPUs; unenforceable and skipped on 1). Entries are appended
+//! with the git commit, the parallel thread count and the host CPU
+//! count so the trajectory stays attributable.
 
 use cfront::parser::parse;
 use cinterp::{Engine, InterpOptions, Program, RunResult};
@@ -104,6 +110,41 @@ fn region_heavy_source(regions: usize, width: usize) -> String {
     )
 }
 
+/// Array-heavy loops: the fused load-index/store-index superinstruction
+/// workload (`a[i]` with base and index in frame slots).
+fn arraysum_source(n: usize, iters: usize) -> String {
+    format!(
+        "int main() {{\n\
+             int* a = (int*) malloc({n} * sizeof(int));\n\
+             for (int i = 0; i < {n}; i++) a[i] = i * 3 + 1;\n\
+             int acc = 0;\n\
+             for (int r = 0; r < {iters}; r++) {{\n\
+                 for (int i = 0; i < {n}; i++) {{\n\
+                     int v = a[i];\n\
+                     a[i] = v + r;\n\
+                     acc = acc + v;\n\
+                 }}\n\
+             }}\n\
+             return acc & 255;\n\
+         }}"
+    )
+}
+
+/// The tree-recursive, memo-off divide-and-conquer benchmark of the
+/// pure-call futures subsystem: fib with explicit locals, so the two
+/// recursive calls form a spawn batch (spawn left, inline right, await).
+fn fib_futures_source(n: usize) -> String {
+    format!(
+        "pure int fib(int n) {{\n\
+             if (n < 2) return n;\n\
+             int a = fib(n - 1);\n\
+             int b = fib(n - 2);\n\
+             return a + b;\n\
+         }}\n\
+         int main() {{ return fib({n}) % 251; }}\n"
+    )
+}
+
 /// Parallel loop over a memoized pure function: the workload where the
 /// resolved engine's single locked memo cache serializes workers and the
 /// VM's per-worker shards do not.
@@ -152,6 +193,10 @@ fn num(v: f64) -> Value {
     Value::Num(v)
 }
 
+/// Thread count of every parallel variant — also recorded in each
+/// trajectory entry, so the two can never drift apart.
+const BENCH_THREADS: usize = 4;
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -165,9 +210,18 @@ fn main() {
     let par_iters = if quick { 64 } else { 512 };
     let par_fib = if quick { 14 } else { 18 };
     let region_count = if quick { 100 } else { 600 };
+    let arr_n = if quick { 256 } else { 1024 };
+    let arr_iters = if quick { 40 } else { 400 };
+    let fut_fib = if quick { 21 } else { 27 };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let seq = InterpOptions::default();
-    let par4 = InterpOptions { threads: 4, ..seq };
+    let par4 = InterpOptions {
+        threads: BENCH_THREADS,
+        ..seq
+    };
     let mut fib_variants = tier_variants(seq);
     fib_variants.insert(
         fib_variants.len() - 1,
@@ -223,6 +277,59 @@ fn main() {
                 .filter(|(_, _, legacy)| !legacy)
                 .collect(),
         },
+        // Array-heavy loops: exercises the fused load-index/store-index
+        // superinstructions (delta shows as the bytecode-vs-resolved
+        // ratio in the trajectory).
+        BenchCase {
+            name: "arraysum",
+            program: plain(&arraysum_source(arr_n, arr_iters)),
+            variants: tier_variants(seq),
+        },
+        // The pure-call futures A/B: memo-off divide-and-conquer fib.
+        // `bytecode_seq` is the sequential baseline, `*_nofutures` the
+        // same thread count with spawn sites forced inline, `*_futures`
+        // the full subsystem. Gated below on multi-core hosts.
+        BenchCase {
+            name: "fib_futures",
+            program: chain(&fib_futures_source(fut_fib)),
+            variants: vec![
+                (
+                    "bytecode_seq",
+                    InterpOptions {
+                        memo: false,
+                        futures: false,
+                        ..seq
+                    },
+                    false,
+                ),
+                (
+                    "bytecode_nofutures",
+                    InterpOptions {
+                        memo: false,
+                        futures: false,
+                        ..par4
+                    },
+                    false,
+                ),
+                (
+                    "bytecode_futures",
+                    InterpOptions {
+                        memo: false,
+                        ..par4
+                    },
+                    false,
+                ),
+                (
+                    "resolved_futures",
+                    InterpOptions {
+                        memo: false,
+                        engine: Engine::Resolved,
+                        ..par4
+                    },
+                    false,
+                ),
+            ],
+        },
         // The launch-overhead A/B: same bytecode, same 4 threads, only
         // the parallel substrate differs (spawn-per-region vs persistent
         // pool). Gated below: the pooled runtime must win.
@@ -246,6 +353,7 @@ fn main() {
     let mut bench_values: Vec<Value> = Vec::new();
     let mut varaccess_speedup = f64::NAN;
     let mut pool_speedup = f64::NAN;
+    let mut futures_speedup = f64::NAN;
     for case in &cases {
         let mut fields: Vec<(String, Value)> =
             vec![("name".to_string(), Value::Str(case.name.to_string()))];
@@ -300,6 +408,13 @@ fn main() {
                 pool_speedup = s;
             }
         }
+        if let (Some(sequential), Some(fut)) = (get("bytecode_seq"), get("bytecode_futures")) {
+            let s = sequential / fut;
+            fields.push(("speedup_futures_vs_seq".to_string(), num(s)));
+            if case.name == "fib_futures" {
+                futures_speedup = s;
+            }
+        }
         bench_values.push(Value::Object(fields));
     }
 
@@ -307,8 +422,21 @@ fn main() {
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
+    // Attribution: the commit of the tree the bench ran on, the thread
+    // count the parallel cases used, and the host's CPU budget.
+    let git_commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
     let entry = Value::Object(vec![
         ("unix_time".to_string(), num(unix_time as f64)),
+        ("git_commit".to_string(), Value::Str(git_commit)),
+        ("threads".to_string(), num(BENCH_THREADS as f64)),
+        ("host_cpus".to_string(), num(host_cpus as f64)),
         ("quick".to_string(), Value::Bool(quick)),
         ("benchmarks".to_string(), Value::Array(bench_values)),
     ]);
@@ -368,4 +496,38 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("region_heavy pooled speedup vs spawn-per-region: {pool_speedup:.2}x");
+
+    // CI smoke: pure-call futures must actually parallelize the tree-
+    // recursive benchmark. The bar depends on the host's CPU budget —
+    // the subsystem cannot conjure cores: ≥ 2× on ≥ 4 CPUs (full runs;
+    // quick-mode problem sizes are too small to amortize spawn overhead
+    // at full margin, so the bar drops to 1.1×), ≥ 1× on 2–3 CPUs, and
+    // on a single CPU the number is recorded but not gated.
+    let required = match (host_cpus, quick) {
+        (0..=1, _) => None,
+        (2..=3, _) => Some(1.0),
+        (_, true) => Some(1.1),
+        (_, false) => Some(2.0),
+    };
+    match required {
+        Some(bar) if futures_speedup.is_nan() || futures_speedup < bar => {
+            eprintln!(
+                "FAIL: pure-call futures speedup {futures_speedup:.2}x < {bar:.1}x \
+                 on fib_futures ({host_cpus} CPUs)"
+            );
+            std::process::exit(1);
+        }
+        Some(bar) => {
+            eprintln!(
+                "fib_futures speedup with futures on 4 threads: {futures_speedup:.2}x \
+                 (gate {bar:.1}x, {host_cpus} CPUs)"
+            );
+        }
+        None => {
+            eprintln!(
+                "fib_futures speedup with futures on 4 threads: {futures_speedup:.2}x \
+                 (not gated: single-CPU host)"
+            );
+        }
+    }
 }

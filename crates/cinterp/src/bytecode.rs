@@ -39,8 +39,8 @@
 //! mirroring the resolved engine discarding the child's control flow.
 
 use crate::resolve::{
-    Coerce, RDecl, RDeclKind, RExpr, RExprKind, ROmpFor, RPlace, RPlaceKind, RStmt, RStmtKind,
-    ResolvedProgram, SlotRef,
+    Coerce, RDecl, RDeclKind, RExpr, RExprKind, ROmpFor, RPlace, RPlaceKind, RSpawn, RStmt,
+    RStmtKind, ResolvedProgram, SlotRef,
 };
 use crate::value::Scalar;
 use cfront::ast::{BinOp, UnOp};
@@ -104,6 +104,15 @@ pub(crate) enum Op {
     BinLL,
     /// `0 → 1` fused `frame[a & 0xFFFF] <op b> consts[a >> 16]`.
     BinLC,
+    /// `0 → 1` fused array load `frame[a & 0xFFFF][frame[a >> 16]]`:
+    /// base pointer and index straight from frame slots, one counted
+    /// load — the hot `x = a[i]` shape of array-heavy loops without
+    /// operand-stack traffic.
+    LoadIdxLL,
+    /// `1 → 1|0` fused array store `frame[a & 0xFFFF][frame[a >> 16]] =
+    /// top`: one counted store; `b` = 1 pops the value (statement
+    /// position), otherwise it stays as the expression result.
+    StoreIdxLL,
     /// `2 → 1` place `base[idx]`: pop idx then base, push element ptr.
     PtrIndex,
     /// `1 → 1` place `*p`: assert pointer.
@@ -167,6 +176,16 @@ pub(crate) enum Op {
     /// `2 → 0` parallel region `regions[a]`: pops ub then lb, runs the
     /// body range on the omprt runtime, resumes after its `RegionEnd`.
     OmpRegion,
+    /// `nargs → 0` pure-call future `spawns[a]`: pops the pre-evaluated
+    /// arguments and either submits the call to the worker pool (slot
+    /// resolves at the matching `AwaitSlot`) or — with futures disabled,
+    /// on a memo hit, or with the pool saturated — resolves the target
+    /// slot immediately.
+    SpawnPure,
+    /// `0 → 0` force the future pending on frame slot `a` (no-op when
+    /// the spawn already resolved inline); merges the worker's tally and
+    /// memo shard, propagates its error.
+    AwaitSlot,
     /// Terminator of a region body: ends the current iteration.
     RegionEnd,
     /// `1 → _` pop the return value and leave the function.
@@ -233,6 +252,18 @@ pub(crate) struct BRegion {
     pub(crate) span: Span,
 }
 
+/// One pure-call spawn site, pre-flattened (operand table of
+/// [`Op::SpawnPure`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BSpawn {
+    pub(crate) fid: u32,
+    /// Target frame slot of the assignment.
+    pub(crate) slot: u32,
+    pub(crate) nargs: u32,
+    /// Result coercion of the original declaration/assignment.
+    pub(crate) coerce: Coerce,
+}
+
 /// One function flattened to bytecode.
 pub(crate) struct BFunc {
     pub(crate) name: String,
@@ -244,6 +275,7 @@ pub(crate) struct BFunc {
     pub(crate) consts: Vec<Scalar>,
     pub(crate) strings: Vec<Arc<str>>,
     pub(crate) regions: Vec<BRegion>,
+    pub(crate) spawns: Vec<BSpawn>,
     pub(crate) errs: Vec<String>,
     pub(crate) cacheable: bool,
 }
@@ -327,6 +359,7 @@ struct FnCompiler<'a> {
     const_map: HashMap<(u8, u64), u32>,
     strings: Vec<Arc<str>>,
     regions: Vec<BRegion>,
+    spawns: Vec<BSpawn>,
     errs: Vec<String>,
     err_map: HashMap<String, u32>,
     loops: Vec<LoopFrame>,
@@ -345,6 +378,7 @@ impl<'a> FnCompiler<'a> {
             const_map: HashMap::new(),
             strings: Vec::new(),
             regions: Vec::new(),
+            spawns: Vec::new(),
             errs: Vec::new(),
             err_map: HashMap::new(),
             loops: Vec::new(),
@@ -369,6 +403,7 @@ impl<'a> FnCompiler<'a> {
             consts: self.consts,
             strings: self.strings,
             regions: self.regions,
+            spawns: self.spawns,
             errs: self.errs,
             cacheable,
         }
@@ -440,6 +475,14 @@ impl<'a> FnCompiler<'a> {
         // the resolved engine's `exec` short-circuit.
         if let RStmtKind::OmpFor(of) = &s.kind {
             self.omp_for(of);
+            return;
+        }
+        // Await join points are synthetic: no step tick (mirrors the
+        // resolved engine skipping `step()` for them).
+        if let RStmtKind::AwaitSlots(slots) = &s.kind {
+            for &slot in slots {
+                self.emit(Op::AwaitSlot, slot, 0, s.span);
+            }
             return;
         }
         self.emit(Op::Step, 0, 0, s.span);
@@ -610,8 +653,28 @@ impl<'a> FnCompiler<'a> {
                     self.emit_err("break/continue outside loop", s.span);
                 }
             }
-            RStmtKind::OmpFor(_) => unreachable!("handled before Step"),
+            RStmtKind::SpawnPure(sp) => self.spawn_pure(sp, s.span),
+            RStmtKind::OmpFor(_) | RStmtKind::AwaitSlots(_) => {
+                unreachable!("handled before Step")
+            }
         }
+    }
+
+    /// Compile one spawn site: arguments are evaluated eagerly on the
+    /// spawning thread (original program order), then `SpawnPure` pops
+    /// them and dispatches.
+    fn spawn_pure(&mut self, sp: &RSpawn, span: Span) {
+        for a in &sp.args {
+            self.expr(a);
+        }
+        let idx = self.spawns.len() as u32;
+        self.spawns.push(BSpawn {
+            fid: sp.fid,
+            slot: sp.slot,
+            nargs: sp.args.len() as u32,
+            coerce: sp.coerce,
+        });
+        self.emit(Op::SpawnPure, idx, 0, span);
     }
 
     fn omp_for(&mut self, of: &ROmpFor) {
@@ -660,36 +723,50 @@ impl<'a> FnCompiler<'a> {
     /// `++`/`--` emit their store-only forms instead of push-then-pop.
     fn stmt_expr(&mut self, e: &RExpr) {
         match &e.kind {
-            RExprKind::Assign { op, place, value } => match (&place.kind, op) {
-                (RPlaceKind::Local(slot), None) => {
-                    self.expr(value);
-                    self.emit(Op::StoreLocalPop, *slot, 0, e.span);
+            RExprKind::Assign { op, place, value } => {
+                let fused = if op.is_none() {
+                    Self::fused_index(place)
+                } else {
+                    None
+                };
+                match (&place.kind, op) {
+                    (RPlaceKind::Local(slot), None) => {
+                        self.expr(value);
+                        self.emit(Op::StoreLocalPop, *slot, 0, e.span);
+                    }
+                    (RPlaceKind::Global(idx), None) => {
+                        self.expr(value);
+                        self.emit(Op::StoreGlobalPop, *idx, 0, e.span);
+                    }
+                    (RPlaceKind::Local(slot), Some(b)) => {
+                        self.expr(value);
+                        self.emit(Op::CompoundLocal, *slot, binop_encode(*b) | 0x100, e.span);
+                    }
+                    (RPlaceKind::Global(idx), Some(b)) => {
+                        self.expr(value);
+                        self.emit(Op::CompoundGlobal, *idx, binop_encode(*b) | 0x100, e.span);
+                    }
+                    (RPlaceKind::Index(..), None) if fused.is_some() => {
+                        self.expr(value);
+                        self.emit(Op::StoreIdxLL, fused.expect("guard checked"), 1, e.span);
+                    }
+                    (
+                        RPlaceKind::Index(..) | RPlaceKind::Deref(_) | RPlaceKind::Member { .. },
+                        _,
+                    ) => {
+                        self.expr(value);
+                        self.place_ptr(place);
+                        match op {
+                            None => self.emit(Op::StoreMem, 0, 1, e.span),
+                            Some(b) => self.emit(Op::CompoundMem, binop_encode(*b), 1, e.span),
+                        };
+                    }
+                    _ => {
+                        self.expr(e);
+                        self.emit(Op::Pop, 0, 0, e.span);
+                    }
                 }
-                (RPlaceKind::Global(idx), None) => {
-                    self.expr(value);
-                    self.emit(Op::StoreGlobalPop, *idx, 0, e.span);
-                }
-                (RPlaceKind::Local(slot), Some(b)) => {
-                    self.expr(value);
-                    self.emit(Op::CompoundLocal, *slot, binop_encode(*b) | 0x100, e.span);
-                }
-                (RPlaceKind::Global(idx), Some(b)) => {
-                    self.expr(value);
-                    self.emit(Op::CompoundGlobal, *idx, binop_encode(*b) | 0x100, e.span);
-                }
-                (RPlaceKind::Index(..) | RPlaceKind::Deref(_) | RPlaceKind::Member { .. }, _) => {
-                    self.expr(value);
-                    self.place_ptr(place);
-                    match op {
-                        None => self.emit(Op::StoreMem, 0, 1, e.span),
-                        Some(b) => self.emit(Op::CompoundMem, binop_encode(*b), 1, e.span),
-                    };
-                }
-                _ => {
-                    self.expr(e);
-                    self.emit(Op::Pop, 0, 0, e.span);
-                }
-            },
+            }
             RExprKind::IncDec(op, place) => {
                 let flags = incdec_flags(*op) | 4;
                 match &place.kind {
@@ -779,6 +856,19 @@ impl<'a> FnCompiler<'a> {
             }
         }
         self.emit(Op::Pop, 0, 0, init.span);
+    }
+
+    /// `a[i]` with both the array and the index in frame slots — the
+    /// fused load-index/store-index operand encoding, or `None` when the
+    /// shape (or slot width) does not fit.
+    fn fused_index(place: &RPlace) -> Option<u32> {
+        let RPlaceKind::Index(base, idx) = &place.kind else {
+            return None;
+        };
+        let (RExprKind::Local(b), RExprKind::Local(i)) = (&base.kind, &idx.kind) else {
+            return None;
+        };
+        (*b < 0x1_0000 && *i < 0x1_0000).then_some(b | (i << 16))
     }
 
     fn emit_coerce(&mut self, c: Coerce, span: Span) {
@@ -900,6 +990,11 @@ impl<'a> FnCompiler<'a> {
             RExprKind::Assign { op, place, value } => {
                 // Value evaluates before the place (resolved order).
                 self.expr(value);
+                let fused = if op.is_none() {
+                    Self::fused_index(place)
+                } else {
+                    None
+                };
                 match (&place.kind, op) {
                     (RPlaceKind::Local(slot), None) => {
                         self.emit(Op::StoreLocal, *slot, 0, e.span);
@@ -912,6 +1007,9 @@ impl<'a> FnCompiler<'a> {
                     }
                     (RPlaceKind::Global(idx), Some(b)) => {
                         self.emit(Op::CompoundGlobal, *idx, binop_encode(*b), e.span);
+                    }
+                    (RPlaceKind::Index(..), None) if fused.is_some() => {
+                        self.emit(Op::StoreIdxLL, fused.expect("guard checked"), 0, e.span);
                     }
                     (
                         RPlaceKind::Index(..) | RPlaceKind::Deref(_) | RPlaceKind::Member { .. },
@@ -1028,28 +1126,34 @@ impl<'a> FnCompiler<'a> {
             RExprKind::IndirectCall => {
                 self.emit_err("indirect calls are unsupported", e.span);
             }
-            RExprKind::Load(place) => match &place.kind {
-                RPlaceKind::Local(slot) => {
-                    self.emit(Op::LoadLocal, *slot, 0, e.span);
+            RExprKind::Load(place) => {
+                let fused = Self::fused_index(place);
+                match &place.kind {
+                    RPlaceKind::Local(slot) => {
+                        self.emit(Op::LoadLocal, *slot, 0, e.span);
+                    }
+                    RPlaceKind::Global(idx) => {
+                        self.emit(Op::LoadGlobal, *idx, 0, e.span);
+                    }
+                    RPlaceKind::Index(..) if fused.is_some() => {
+                        self.emit(Op::LoadIdxLL, fused.expect("guard checked"), 0, e.span);
+                    }
+                    RPlaceKind::Index(..) | RPlaceKind::Deref(_) | RPlaceKind::Member { .. } => {
+                        self.place_ptr(place);
+                        self.emit(Op::LoadMem, 0, 0, e.span);
+                    }
+                    RPlaceKind::Unknown(sym) => {
+                        let msg = self.unknown_var_msg(*sym);
+                        self.emit_err(msg, place.span);
+                    }
+                    RPlaceKind::MemberUnknown { base, name } => {
+                        self.member_unknown(base, *name, place.span);
+                    }
+                    RPlaceKind::NotLvalue => {
+                        self.emit_err("expression is not an lvalue", place.span);
+                    }
                 }
-                RPlaceKind::Global(idx) => {
-                    self.emit(Op::LoadGlobal, *idx, 0, e.span);
-                }
-                RPlaceKind::Index(..) | RPlaceKind::Deref(_) | RPlaceKind::Member { .. } => {
-                    self.place_ptr(place);
-                    self.emit(Op::LoadMem, 0, 0, e.span);
-                }
-                RPlaceKind::Unknown(sym) => {
-                    let msg = self.unknown_var_msg(*sym);
-                    self.emit_err(msg, place.span);
-                }
-                RPlaceKind::MemberUnknown { base, name } => {
-                    self.member_unknown(base, *name, place.span);
-                }
-                RPlaceKind::NotLvalue => {
-                    self.emit_err("expression is not an lvalue", place.span);
-                }
-            },
+            }
             RExprKind::Cast(c, inner) => {
                 self.expr(inner);
                 self.emit_coerce(*c, e.span);

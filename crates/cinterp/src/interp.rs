@@ -73,6 +73,12 @@ pub struct InterpOptions {
     /// the scoped spawn-per-region substrate — kept for A/B comparison
     /// (`purec --no-pool`, `bench_interp`'s region-heavy gate).
     pub pool: bool,
+    /// Run independent verified-pure calls as futures on the worker
+    /// pool (see `cinterp::spawn`; default). Only active with more than
+    /// one thread — with one, every spawn site executes as the original
+    /// inline call. `false` (`purec --no-futures`) keeps the sites
+    /// inline for A/B comparison.
+    pub futures: bool,
 }
 
 impl Default for InterpOptions {
@@ -84,6 +90,7 @@ impl Default for InterpOptions {
             memo: true,
             engine: Engine::default(),
             pool: true,
+            futures: true,
         }
     }
 }

@@ -34,11 +34,19 @@
 //! [`Program::with_pure_set`] into resolved lowering (cacheable-function
 //! analysis) and onward into bytecode lowering, so all memoizing tiers
 //! share one safety argument (see [`resolve`]'s module docs).
+//!
+//! On top of the cacheable set, the [`spawn`] pass rewrites batches of
+//! *independent* verified-pure calls into pure-call **futures**
+//! (`SpawnPure`/`AwaitSlots`), executed by both live tiers on the
+//! persistent worker pool — the paper's automatic parallelization of
+//! pure calls as task parallelism, A/B-togglable via
+//! `InterpOptions::futures`.
 
 pub mod builtins;
 pub mod bytecode;
 pub mod interp;
 pub mod resolve;
+pub mod spawn;
 pub mod value;
 pub mod vm;
 

@@ -94,7 +94,7 @@ use cfront::ast::*;
 use cfront::intern::{Interner, Symbol};
 use cfront::span::Span;
 use machine::OmpSchedule;
-use machine::{parallel_for, parallel_for_pooled};
+use machine::{global_pool, parallel_for, parallel_for_pooled, PureFuture, ThreadPool};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -288,6 +288,30 @@ pub(crate) enum RStmtKind {
     OmpFor(Box<ROmpFor>),
     /// Pragma/empty statement — executes as a step-counted no-op.
     Nop,
+    /// `slot = f(args)` where `f` is verified-pure, const-like and
+    /// spawn-worthy ([`crate::spawn`]): may run as a pure-call future on
+    /// the worker pool, with the matching [`RStmtKind::AwaitSlots`]
+    /// forcing the result before its first use. With futures disabled
+    /// it executes exactly as the original call statement.
+    SpawnPure(Box<RSpawn>),
+    /// Join point of a spawn batch: force the listed slots (in spawn
+    /// order) before the next dependent statement executes. Slots whose
+    /// spawn ran inline are already resolved and skip silently.
+    AwaitSlots(Vec<u32>),
+}
+
+/// One rewritten spawnable call site (see [`crate::spawn`]).
+#[derive(Debug, Clone)]
+pub(crate) struct RSpawn {
+    /// Target local slot of the assignment/declaration.
+    pub(crate) slot: u32,
+    /// Callee function id (always `cacheable` and `spawn_heavy`).
+    pub(crate) fid: u32,
+    /// Result coercion of the original declaration/assignment target.
+    pub(crate) coerce: Coerce,
+    /// Argument expressions, evaluated eagerly by the spawning thread in
+    /// original program order.
+    pub(crate) args: Vec<RExpr>,
 }
 
 #[derive(Debug, Clone)]
@@ -318,6 +342,10 @@ pub(crate) struct RFunc {
     pub(crate) span: Span,
     /// Participates in pure-call memoization (see module docs).
     pub(crate) cacheable: bool,
+    /// Worth running as a future: cacheable *and* coarse enough (it
+    /// loops, recurses, or calls a function that does — see
+    /// [`crate::spawn`]'s granularity heuristic).
+    pub(crate) spawn_heavy: bool,
 }
 
 /// A translation unit lowered for execution.
@@ -353,6 +381,29 @@ impl ResolvedProgram {
             .iter()
             .filter(|f| f.cacheable)
             .map(|f| self.interner.resolve(f.name))
+            .collect()
+    }
+
+    /// Functions the granularity heuristic considers worth spawning
+    /// (cacheable ∧ loops/recurses, transitively).
+    pub fn spawn_heavy_functions(&self) -> Vec<&str> {
+        self.funcs
+            .iter()
+            .filter(|f| f.spawn_heavy)
+            .map(|f| self.interner.resolve(f.name))
+            .collect()
+    }
+
+    /// `(function, spawn sites)` for every function containing at least
+    /// one rewritten pure-call spawn site (introspection / tests /
+    /// `purec --stats`).
+    pub fn spawn_sites(&self) -> Vec<(&str, usize)> {
+        self.funcs
+            .iter()
+            .filter_map(|f| {
+                let n = crate::spawn::count_spawns(&f.body);
+                (n > 0).then(|| (self.interner.resolve(f.name), n))
+            })
             .collect()
     }
 }
@@ -535,6 +586,10 @@ impl<'a> Lowerer<'a> {
         };
         mark_cacheable(&mut prog, pure_fns);
         prog.any_cacheable = prog.funcs.iter().any(|f| f.cacheable);
+        // Spawn-site analysis runs after cacheability: it consumes the
+        // verified-pure/const-like verdicts and rewrites independent
+        // heavy pure calls into SpawnPure/AwaitSlots batches.
+        crate::spawn::analyze(&mut prog);
         prog
     }
 
@@ -569,6 +624,7 @@ impl<'a> Lowerer<'a> {
             body: stmts,
             span: f.span,
             cacheable: false,
+            spawn_heavy: false,
         }
     }
 
@@ -1172,6 +1228,16 @@ impl CacheScan<'_> {
             // Parallel regions inside cacheable functions are excluded
             // outright (shared-memory interactions).
             RStmtKind::OmpFor(_) => self.ok = false,
+            // Spawn sites only exist after this analysis ran (the spawn
+            // rewrite consumes cacheability verdicts); treat them like
+            // the call they stand for, for robustness.
+            RStmtKind::SpawnPure(sp) => {
+                self.calls.push(sp.fid);
+                for a in &sp.args {
+                    self.scan_expr(a);
+                }
+            }
+            RStmtKind::AwaitSlots(_) => {}
         }
     }
 
@@ -1299,6 +1365,34 @@ impl MemoCache {
         }
     }
 
+    /// Key for a call to function `fid` with raw argument values,
+    /// exactly as `call_user` builds it from the bound frame:
+    /// param-coerced values written at their *frame slots*, `Uninit`
+    /// padding for missing trailing arguments. Lowering assigns
+    /// parameter slots `0..n` in declaration order; keying by slot
+    /// keeps this builder and the frame-based call path in lockstep
+    /// even if that ever changes. Shared by both engines' spawn-site
+    /// memo pre-checks (`params`/`frame_size` come from `RFunc` or its
+    /// bytecode mirror `BFunc`).
+    pub(crate) fn key_for_call(
+        params: &[(u32, Coerce)],
+        frame_size: usize,
+        fid: u32,
+        vals: &[Scalar],
+    ) -> Option<MemoKey> {
+        let nkey = params.len().min(frame_size);
+        let mut keyvals = vec![Scalar::Uninit; nkey];
+        for (i, &(slot, co)) in params.iter().enumerate() {
+            if i >= vals.len() {
+                break;
+            }
+            if (slot as usize) < nkey {
+                keyvals[slot as usize] = co.apply(vals[i]);
+            }
+        }
+        Self::key(fid, &keyvals)
+    }
+
     pub(crate) fn key(fid: u32, frame_args: &[Scalar]) -> Option<MemoKey> {
         let mut parts = Vec::with_capacity(frame_args.len());
         for v in frame_args {
@@ -1364,6 +1458,38 @@ struct RInterp {
     depth: usize,
     steps: u64,
     track: Option<TrackSets>,
+    /// In-flight pure-call futures of this interpreter, keyed by
+    /// `(depth, slot)`: the spawn-site analysis guarantees every batch
+    /// is awaited before the frame leaves the enclosing block, so on
+    /// success paths the tail of this list always belongs to the
+    /// innermost open batch.
+    pending: ResPendingList,
+    /// Cached handle of the process-wide pool (pure-call futures).
+    futures_pool: Option<Arc<ThreadPool>>,
+}
+
+/// One in-flight pure call of the resolved engine. Counters and the
+/// memo cache are shared (`Arc`) with the spawning interpreter, so only
+/// the call's value travels back through the future.
+struct ResPending {
+    depth: usize,
+    slot: u32,
+    coerce: Coerce,
+    fut: PureFuture<RtResult<Scalar>>,
+}
+
+/// In-flight future list: when an interpreter is abandoned with spawns
+/// still in flight (an error unwinding past the batch's join point),
+/// the tasks are waited out rather than leaked onto the shared pool.
+#[derive(Default)]
+struct ResPendingList(Vec<ResPending>);
+
+impl Drop for ResPendingList {
+    fn drop(&mut self) {
+        for p in self.0.drain(..) {
+            let _ = p.fut.wait();
+        }
+    }
 }
 
 /// Execute a resolved program's entry function to completion.
@@ -1427,7 +1553,18 @@ impl RInterp {
             depth: 0,
             steps: 0,
             track: None,
+            pending: ResPendingList::default(),
+            futures_pool: None,
         }
+    }
+
+    fn futures_pool(&mut self) -> Arc<ThreadPool> {
+        if let Some(p) = &self.futures_pool {
+            return Arc::clone(p);
+        }
+        let p = global_pool(self.s.opts.threads);
+        self.futures_pool = Some(Arc::clone(&p));
+        p
     }
 
     fn step(&mut self, span: Span) -> RtResult<()> {
@@ -2037,6 +2174,12 @@ impl RInterp {
             self.exec_omp_for(of)?;
             return Ok(Flow::Normal);
         }
+        // Await join points are synthetic (no source statement): they
+        // force pending futures without ticking the step budget.
+        if let RStmtKind::AwaitSlots(slots) = &stmt.kind {
+            self.exec_await(slots)?;
+            return Ok(Flow::Normal);
+        }
         self.step(stmt.span)?;
         match &stmt.kind {
             RStmtKind::Decl(decls) => {
@@ -2140,7 +2283,138 @@ impl RInterp {
             }
             RStmtKind::Break => Ok(Flow::Break),
             RStmtKind::Continue => Ok(Flow::Continue),
-            RStmtKind::OmpFor(_) => unreachable!("handled before step()"),
+            RStmtKind::SpawnPure(sp) => {
+                self.exec_spawn(sp, stmt.span)?;
+                Ok(Flow::Normal)
+            }
+            RStmtKind::OmpFor(_) | RStmtKind::AwaitSlots(_) => {
+                unreachable!("handled before step()")
+            }
+        }
+    }
+
+    // -- pure-call futures ----------------------------------------------------
+
+    /// Write `v` to a local slot, growing the frame if the slot's
+    /// declaration has not materialised it yet (same as `exec_decl`).
+    fn store_slot(&mut self, slot: u32, v: Scalar) {
+        let slot = slot as usize;
+        if slot >= self.frame.len() {
+            self.frame.resize(slot + 1, Scalar::Uninit);
+        }
+        self.frame[slot] = v;
+    }
+
+    /// Execute one spawn site: evaluate the arguments eagerly (original
+    /// program order), then either run the call as a future on the
+    /// worker pool or inline (futures disabled, race-check tracking on,
+    /// memo hit, or pool saturated).
+    fn exec_spawn(&mut self, sp: &RSpawn, span: Span) -> RtResult<()> {
+        let mut vals = Vec::with_capacity(sp.args.len());
+        for a in &sp.args {
+            vals.push(self.eval(a)?);
+        }
+        let futures_on = self.s.opts.futures && self.s.opts.threads > 1 && self.track.is_none();
+        // Saturation is the hot case once every worker is busy (the
+        // recursion's granularity throttle): one atomic load on the
+        // cached pool handle, then the call runs inline like the
+        // original statement.
+        let saturated = futures_on
+            && self.futures_pool().pending_tasks()
+                >= self.s.opts.threads.max(1) * machine::SATURATION_FACTOR;
+        if !futures_on || saturated {
+            // Exactly the original call statement.
+            if saturated {
+                Counters::bump(&self.s.counters.futures_inlined);
+            }
+            let v = self.call_user(sp.fid, &vals, span)?;
+            self.store_slot(sp.slot, sp.coerce.apply(v));
+            return Ok(());
+        }
+        let func = &self.s.prog.funcs[sp.fid as usize];
+        // Memo pre-check: a hit never spawns (mirrors `call_user`'s hit
+        // path via the shared key builder).
+        if let Some(cache) = &self.s.memo {
+            if func.cacheable {
+                if let Some(key) =
+                    MemoCache::key_for_call(&func.params, func.frame_size, sp.fid, &vals)
+                {
+                    if let Some(v) = cache.get(&key) {
+                        Counters::bump(&self.s.counters.calls);
+                        Counters::bump(&self.s.counters.memo_hits);
+                        self.store_slot(sp.slot, sp.coerce.apply(v));
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        let pool = self.futures_pool();
+        let shared = self.s.clone();
+        let fid = sp.fid;
+        let depth = self.depth;
+        // The task owns everything it touches; counters and the memo
+        // cache are shared Arcs, so the child's bookkeeping lands in the
+        // same totals as inline execution would. The child inherits the
+        // spawner's call depth so the stack-overflow guard trips exactly
+        // where the inline call would have.
+        let task = move || {
+            let mut child = RInterp::new(shared);
+            child.depth = depth;
+            child.call_user(fid, &vals, Span::DUMMY)
+        };
+        match PureFuture::spawn(&pool, self.s.opts.threads, task) {
+            Ok(fut) => {
+                Counters::bump(&self.s.counters.futures_spawned);
+                self.pending.0.push(ResPending {
+                    depth: self.depth,
+                    slot: sp.slot,
+                    coerce: sp.coerce,
+                    fut,
+                });
+            }
+            Err(task) => {
+                // Pool saturated between the pre-check and the submit
+                // (rare): run the prepared task here, now.
+                Counters::bump(&self.s.counters.futures_inlined);
+                let v = task()?;
+                self.store_slot(sp.slot, sp.coerce.apply(v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Force a batch's futures in spawn order. Slots without a pending
+    /// entry were resolved inline and are skipped. All listed futures
+    /// are drained before the first error (earliest in slot order)
+    /// propagates, so no task outlives its join point on success paths.
+    fn exec_await(&mut self, slots: &[u32]) -> RtResult<()> {
+        let mut first_err: Option<RuntimeError> = None;
+        for &slot in slots {
+            let Some(pos) = self
+                .pending
+                .0
+                .iter()
+                .rposition(|p| p.depth == self.depth && p.slot == slot)
+            else {
+                continue;
+            };
+            let p = self.pending.0.remove(pos);
+            let (res, helped) = p.fut.wait();
+            if helped {
+                Counters::bump(&self.s.counters.futures_helped);
+            }
+            match res {
+                Ok(v) => self.store_slot(p.slot, p.coerce.apply(v)),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 

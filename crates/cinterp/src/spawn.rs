@@ -1,0 +1,717 @@
+//! Spawn-site analysis: finds independent pure calls worth running as
+//! futures and rewrites them into `SpawnPure`/`AwaitSlots` batches.
+//!
+//! This is the compiler half of the paper's "automatic parallelization
+//! of pure function calls": the loop path (`omp parallel for`) covers
+//! data parallelism, and this pass covers **task** parallelism — runs of
+//! consecutive statements of the shape
+//!
+//! ```c
+//! int a = f(x);      // verified pure, const-like, spawn-worthy
+//! int b = g(y);      // independent of `a`
+//! use(a, b);         // join point: both results forced here
+//! ```
+//!
+//! become *spawn `f`, run `g` inline, await `f`* — the divide-and-conquer
+//! shape that lets a tree-recursive pure function occupy every worker.
+//!
+//! ## What qualifies
+//!
+//! A statement is **spawnable** when it assigns the result of a direct
+//! call to a local scalar slot (`T a = f(args);` with one declarator, or
+//! `a = f(args);`), and
+//!
+//! * the callee is **cacheable** (verified pure ∧ const-like, see
+//!   [`crate::resolve`]'s safety argument) — such a function reads no
+//!   globals and touches no memory, so running it on another thread at
+//!   the spawn point is observationally identical to running it inline
+//!   at the original call point;
+//! * the callee passes the **granularity heuristic**: it contains a
+//!   loop, participates in a recursion cycle, or (transitively) calls a
+//!   function that does. Straight-line leaves stay inline — a future's
+//!   spawn/join overhead dwarfs them;
+//! * its argument expressions do not mention (read *or* write) the
+//!   target slot of any earlier statement in the same batch — arguments
+//!   are evaluated eagerly by the spawning thread in original program
+//!   order, so only dependence on *pending* results forces a join.
+//!
+//! A maximal run of such statements forms a **batch**. Batches of one
+//! are left untouched (spawn-then-immediately-await is pure overhead);
+//! in a batch of `k ≥ 2` the first `k − 1` calls spawn and the last runs
+//! inline on the spawning thread (it would otherwise idle-wait), then an
+//! `AwaitSlots` join forces the spawned slots — before the next
+//! dependent statement, which is what makes the rewrite safe under
+//! arbitrary following control flow. Between spawn and await the target
+//! slot is simply not yet written; the engines keep the in-flight handle
+//! in a side list keyed by `(frame, slot)`, so no frame-word tagging is
+//! needed and every other slot access stays on its fast path.
+//!
+//! One observable caveat, shared with the memo cache: *which* runtime
+//! error surfaces can change when several batched calls fail (the batch
+//! runs all of them; sequential execution would stop at the first). For
+//! programs that do not error, behaviour is bit-identical — the
+//! differential suites assert exactly that.
+
+use crate::resolve::{
+    RDeclKind, RExpr, RExprKind, RPlaceKind, RSpawn, RStmt, RStmtKind, ResolvedProgram, SlotRef,
+};
+use cfront::span::Span;
+
+/// Run the analysis over a lowered program: compute per-function
+/// spawn-worthiness, then rewrite every function body (including
+/// parallel-region bodies) into spawn batches.
+pub(crate) fn analyze(prog: &mut ResolvedProgram) {
+    if !prog.any_cacheable {
+        return; // no verified-pure const-like functions ⇒ no sites
+    }
+    mark_spawn_heavy(prog);
+    let heavy: Vec<bool> = prog.funcs.iter().map(|f| f.spawn_heavy).collect();
+    if !heavy.iter().any(|&h| h) {
+        return;
+    }
+    for f in &mut prog.funcs {
+        let body = std::mem::take(&mut f.body);
+        f.body = rewrite_stmts(body, &heavy);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Granularity heuristic
+// ---------------------------------------------------------------------------
+
+/// Collect the user-call targets and loop presence of a statement tree.
+fn scan_calls(stmts: &[RStmt], calls: &mut Vec<u32>, has_loop: &mut bool) {
+    for s in stmts {
+        scan_stmt(s, calls, has_loop);
+    }
+}
+
+fn scan_stmt(s: &RStmt, calls: &mut Vec<u32>, has_loop: &mut bool) {
+    match &s.kind {
+        RStmtKind::Decl(decls) => {
+            for d in decls {
+                match &d.kind {
+                    RDeclKind::Array { dims, init } => {
+                        for e in dims {
+                            scan_expr(e, calls);
+                        }
+                        if let Some(e) = init {
+                            scan_expr(e, calls);
+                        }
+                    }
+                    RDeclKind::Struct { .. } => {}
+                    RDeclKind::Scalar { init, .. } => {
+                        if let Some(e) = init {
+                            scan_expr(e, calls);
+                        }
+                    }
+                }
+            }
+        }
+        RStmtKind::Expr(Some(e)) | RStmtKind::Return(Some(e)) => scan_expr(e, calls),
+        RStmtKind::Expr(None)
+        | RStmtKind::Return(None)
+        | RStmtKind::Break
+        | RStmtKind::Continue
+        | RStmtKind::Nop => {}
+        RStmtKind::Block(b) => scan_calls(b, calls, has_loop),
+        RStmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            scan_expr(cond, calls);
+            scan_stmt(then_branch, calls, has_loop);
+            if let Some(e) = else_branch {
+                scan_stmt(e, calls, has_loop);
+            }
+        }
+        RStmtKind::While { cond, body } => {
+            *has_loop = true;
+            scan_expr(cond, calls);
+            scan_stmt(body, calls, has_loop);
+        }
+        RStmtKind::DoWhile { body, cond } => {
+            *has_loop = true;
+            scan_stmt(body, calls, has_loop);
+            scan_expr(cond, calls);
+        }
+        RStmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            *has_loop = true;
+            if let Some(i) = init {
+                scan_stmt(i, calls, has_loop);
+            }
+            if let Some(c) = cond {
+                scan_expr(c, calls);
+            }
+            if let Some(st) = step {
+                scan_expr(st, calls);
+            }
+            scan_stmt(body, calls, has_loop);
+        }
+        RStmtKind::OmpFor(of) => {
+            *has_loop = true;
+            if let Ok(h) = &of.header {
+                scan_expr(&h.lb, calls);
+                scan_expr(&h.ub, calls);
+                scan_stmt(&h.body, calls, has_loop);
+            }
+        }
+        RStmtKind::SpawnPure(sp) => {
+            calls.push(sp.fid);
+            for a in &sp.args {
+                scan_expr(a, calls);
+            }
+        }
+        RStmtKind::AwaitSlots(_) => {}
+    }
+}
+
+fn scan_expr(e: &RExpr, calls: &mut Vec<u32>) {
+    match &e.kind {
+        RExprKind::CallUser { fid, args } => {
+            calls.push(*fid);
+            for a in args {
+                scan_expr(a, calls);
+            }
+        }
+        RExprKind::Int(_)
+        | RExprKind::Float(_)
+        | RExprKind::Str(_)
+        | RExprKind::Local(_)
+        | RExprKind::Global(_)
+        | RExprKind::Unknown(_)
+        | RExprKind::IndirectCall => {}
+        RExprKind::Unary(_, inner) | RExprKind::Cast(_, inner) => scan_expr(inner, calls),
+        RExprKind::Binary(_, l, r) | RExprKind::Comma(l, r) => {
+            scan_expr(l, calls);
+            scan_expr(r, calls);
+        }
+        RExprKind::Assign { place, value, .. } => {
+            scan_place_exprs(place, calls);
+            scan_expr(value, calls);
+        }
+        RExprKind::IncDec(_, place) | RExprKind::AddrOf(place) => scan_place_exprs(place, calls),
+        RExprKind::Ternary(c, t, f) => {
+            scan_expr(c, calls);
+            scan_expr(t, calls);
+            scan_expr(f, calls);
+        }
+        RExprKind::CallBuiltin { args, .. } | RExprKind::InitList(args) => {
+            for a in args {
+                scan_expr(a, calls);
+            }
+        }
+        RExprKind::Printf { fmt_expr, args, .. } => {
+            if let Some(f) = fmt_expr {
+                scan_expr(f, calls);
+            }
+            for a in args {
+                scan_expr(a, calls);
+            }
+        }
+        RExprKind::Load(place) => scan_place_exprs(place, calls),
+    }
+}
+
+fn scan_place_exprs(p: &crate::resolve::RPlace, calls: &mut Vec<u32>) {
+    match &p.kind {
+        RPlaceKind::Index(base, idx) => {
+            scan_expr(base, calls);
+            scan_expr(idx, calls);
+        }
+        RPlaceKind::Deref(inner) => scan_expr(inner, calls),
+        RPlaceKind::Member { base, .. } | RPlaceKind::MemberUnknown { base, .. } => {
+            scan_expr(base, calls)
+        }
+        RPlaceKind::Local(_)
+        | RPlaceKind::Global(_)
+        | RPlaceKind::Unknown(_)
+        | RPlaceKind::NotLvalue => {}
+    }
+}
+
+/// Mark each function's `spawn_heavy` flag: cacheable ∧ (has a loop ∨
+/// sits on a call-graph cycle ∨ calls a heavy function), as a least
+/// fixpoint so wrappers around heavy work also qualify.
+fn mark_spawn_heavy(prog: &mut ResolvedProgram) {
+    let n = prog.funcs.len();
+    let mut calls: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let mut base = vec![false; n];
+    for (i, f) in prog.funcs.iter().enumerate() {
+        let mut cs = Vec::new();
+        let mut has_loop = false;
+        scan_calls(&f.body, &mut cs, &mut has_loop);
+        cs.sort_unstable();
+        cs.dedup();
+        base[i] = f.cacheable && has_loop;
+        calls.push(cs);
+    }
+    // Recursion: i is on a cycle iff i is reachable from one of its own
+    // callees (n is small; a DFS per function is fine).
+    for i in 0..n {
+        if base[i] || !prog.funcs[i].cacheable {
+            continue;
+        }
+        let mut seen = vec![false; n];
+        let mut stack: Vec<u32> = calls[i].clone();
+        while let Some(j) = stack.pop() {
+            let j = j as usize;
+            if j == i {
+                base[i] = true;
+                break;
+            }
+            if !seen[j] {
+                seen[j] = true;
+                stack.extend(calls[j].iter().copied());
+            }
+        }
+    }
+    // Propagate heaviness to cacheable callers until stable.
+    let mut heavy = base;
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if !heavy[i] && prog.funcs[i].cacheable && calls[i].iter().any(|&c| heavy[c as usize]) {
+                heavy[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (f, h) in prog.funcs.iter_mut().zip(heavy) {
+        f.spawn_heavy = h;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch rewriting
+// ---------------------------------------------------------------------------
+
+/// A spawnable statement, decomposed.
+struct Candidate {
+    slot: u32,
+    fid: u32,
+    coerce: crate::resolve::Coerce,
+    span: Span,
+}
+
+/// Match `T slot = f(args);` (single declarator) or `slot = f(args);`
+/// against a spawn-heavy callee. Returns the decomposition without
+/// consuming the statement.
+fn spawnable(s: &RStmt, heavy: &[bool]) -> Option<Candidate> {
+    let (slot, coerce, init) = match &s.kind {
+        RStmtKind::Decl(decls) if decls.len() == 1 => {
+            let d = &decls[0];
+            let SlotRef::Local(slot) = d.target else {
+                return None;
+            };
+            let RDeclKind::Scalar {
+                init: Some(init),
+                coerce,
+            } = &d.kind
+            else {
+                return None;
+            };
+            (slot, *coerce, init)
+        }
+        RStmtKind::Expr(Some(e)) => {
+            let RExprKind::Assign {
+                op: None,
+                place,
+                value,
+            } = &e.kind
+            else {
+                return None;
+            };
+            let RPlaceKind::Local(slot) = place.kind else {
+                return None;
+            };
+            (slot, crate::resolve::Coerce::None, value.as_ref())
+        }
+        _ => return None,
+    };
+    let RExprKind::CallUser { fid, args: _ } = &init.kind else {
+        return None;
+    };
+    if !heavy.get(*fid as usize).copied().unwrap_or(false) {
+        return None;
+    }
+    Some(Candidate {
+        slot,
+        fid: *fid,
+        coerce,
+        span: s.span,
+    })
+}
+
+/// The call's argument expressions (valid only after `spawnable`
+/// matched).
+fn spawn_args(s: &RStmt) -> &[RExpr] {
+    let init = match &s.kind {
+        RStmtKind::Decl(decls) => match &decls[0].kind {
+            RDeclKind::Scalar {
+                init: Some(init), ..
+            } => init,
+            _ => unreachable!("spawnable matched a scalar decl"),
+        },
+        RStmtKind::Expr(Some(e)) => match &e.kind {
+            RExprKind::Assign { value, .. } => value,
+            _ => unreachable!("spawnable matched an assignment"),
+        },
+        _ => unreachable!("spawnable matched"),
+    };
+    match &init.kind {
+        RExprKind::CallUser { args, .. } => args,
+        _ => unreachable!("spawnable matched a user call"),
+    }
+}
+
+/// Whether `e` mentions any of `slots` — as a read **or** a write.
+/// Arguments run eagerly on the spawning thread, so any reference to a
+/// still-pending slot (whose value only lands at the await) is a
+/// dependence that ends the batch.
+fn mentions_slot(e: &RExpr, slots: &[u32]) -> bool {
+    match &e.kind {
+        RExprKind::Local(s) => slots.contains(s),
+        RExprKind::Int(_)
+        | RExprKind::Float(_)
+        | RExprKind::Str(_)
+        | RExprKind::Global(_)
+        | RExprKind::Unknown(_)
+        | RExprKind::IndirectCall => false,
+        RExprKind::Unary(_, inner) | RExprKind::Cast(_, inner) => mentions_slot(inner, slots),
+        RExprKind::Binary(_, l, r) | RExprKind::Comma(l, r) => {
+            mentions_slot(l, slots) || mentions_slot(r, slots)
+        }
+        RExprKind::Assign { place, value, .. } => {
+            place_mentions_slot(place, slots) || mentions_slot(value, slots)
+        }
+        RExprKind::IncDec(_, place) | RExprKind::AddrOf(place) => place_mentions_slot(place, slots),
+        RExprKind::Ternary(c, t, f) => {
+            mentions_slot(c, slots) || mentions_slot(t, slots) || mentions_slot(f, slots)
+        }
+        RExprKind::CallUser { args, .. }
+        | RExprKind::CallBuiltin { args, .. }
+        | RExprKind::InitList(args) => args.iter().any(|a| mentions_slot(a, slots)),
+        RExprKind::Printf { fmt_expr, args, .. } => {
+            fmt_expr.as_ref().is_some_and(|f| mentions_slot(f, slots))
+                || args.iter().any(|a| mentions_slot(a, slots))
+        }
+        RExprKind::Load(place) => place_mentions_slot(place, slots),
+    }
+}
+
+fn place_mentions_slot(p: &crate::resolve::RPlace, slots: &[u32]) -> bool {
+    match &p.kind {
+        RPlaceKind::Local(s) => slots.contains(s),
+        RPlaceKind::Index(base, idx) => mentions_slot(base, slots) || mentions_slot(idx, slots),
+        RPlaceKind::Deref(inner) => mentions_slot(inner, slots),
+        RPlaceKind::Member { base, .. } | RPlaceKind::MemberUnknown { base, .. } => {
+            mentions_slot(base, slots)
+        }
+        RPlaceKind::Global(_) | RPlaceKind::Unknown(_) | RPlaceKind::NotLvalue => false,
+    }
+}
+
+/// Rewrite one statement list: batch maximal runs of independent
+/// spawnable statements, recurse into nested statements otherwise.
+fn rewrite_stmts(stmts: Vec<RStmt>, heavy: &[bool]) -> Vec<RStmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    let mut stmts: Vec<Option<RStmt>> = stmts.into_iter().map(Some).collect();
+    let mut i = 0;
+    while i < stmts.len() {
+        let s = stmts[i].as_ref().expect("unconsumed");
+        let Some(first) = spawnable(s, heavy) else {
+            let s = stmts[i].take().expect("unconsumed");
+            out.push(rewrite_nested(s, heavy));
+            i += 1;
+            continue;
+        };
+        // Grow the batch while statements stay spawnable and independent
+        // of every earlier target in it.
+        let mut batch = vec![first];
+        let mut used = vec![batch[0].slot];
+        let mut j = i + 1;
+        while j < stmts.len() {
+            let sj = stmts[j].as_ref().expect("unconsumed");
+            let Some(cand) = spawnable(sj, heavy) else {
+                break;
+            };
+            if used.contains(&cand.slot) || spawn_args(sj).iter().any(|a| mentions_slot(a, &used)) {
+                break;
+            }
+            used.push(cand.slot);
+            batch.push(cand);
+            j += 1;
+        }
+        if batch.len() < 2 {
+            // A lone spawn would be awaited immediately — pure overhead.
+            let s = stmts[i].take().expect("unconsumed");
+            out.push(rewrite_nested(s, heavy));
+            i += 1;
+            continue;
+        }
+        // Spawn the first k−1 calls, run the last inline (the spawning
+        // thread would otherwise idle at the join), then force the
+        // spawned slots in order.
+        let k = batch.len();
+        let mut await_slots = Vec::with_capacity(k - 1);
+        for (off, cand) in batch.iter().enumerate().take(k - 1) {
+            let stmt = stmts[i + off].take().expect("unconsumed");
+            let args = match take_call_args(stmt) {
+                Some(a) => a,
+                None => unreachable!("spawnable matched a user call"),
+            };
+            await_slots.push(cand.slot);
+            out.push(RStmt {
+                kind: RStmtKind::SpawnPure(Box::new(RSpawn {
+                    slot: cand.slot,
+                    fid: cand.fid,
+                    coerce: cand.coerce,
+                    args,
+                })),
+                span: cand.span,
+            });
+        }
+        let tail = stmts[i + k - 1].take().expect("unconsumed");
+        let tail_span = tail.span;
+        out.push(tail);
+        out.push(RStmt {
+            kind: RStmtKind::AwaitSlots(await_slots),
+            span: tail_span,
+        });
+        i = j;
+    }
+    out
+}
+
+/// Destructure a spawnable statement into its call's argument list.
+fn take_call_args(s: RStmt) -> Option<Vec<RExpr>> {
+    let init = match s.kind {
+        RStmtKind::Decl(mut decls) => match decls.pop()?.kind {
+            RDeclKind::Scalar { init, .. } => init?,
+            _ => return None,
+        },
+        RStmtKind::Expr(Some(e)) => match e.kind {
+            RExprKind::Assign { value, .. } => *value,
+            _ => return None,
+        },
+        _ => return None,
+    };
+    match init.kind {
+        RExprKind::CallUser { args, .. } => Some(args),
+        _ => None,
+    }
+}
+
+/// Recurse the rewrite into a statement's nested statement lists.
+fn rewrite_nested(s: RStmt, heavy: &[bool]) -> RStmt {
+    let kind = match s.kind {
+        RStmtKind::Block(b) => RStmtKind::Block(rewrite_stmts(b, heavy)),
+        RStmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => RStmtKind::If {
+            cond,
+            then_branch: Box::new(rewrite_nested(*then_branch, heavy)),
+            else_branch: else_branch.map(|e| Box::new(rewrite_nested(*e, heavy))),
+        },
+        RStmtKind::While { cond, body } => RStmtKind::While {
+            cond,
+            body: Box::new(rewrite_nested(*body, heavy)),
+        },
+        RStmtKind::DoWhile { body, cond } => RStmtKind::DoWhile {
+            body: Box::new(rewrite_nested(*body, heavy)),
+            cond,
+        },
+        RStmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => RStmtKind::For {
+            init,
+            cond,
+            step,
+            body: Box::new(rewrite_nested(*body, heavy)),
+        },
+        RStmtKind::OmpFor(mut of) => {
+            if let Ok(h) = &mut of.header {
+                let body = std::mem::replace(
+                    &mut h.body,
+                    RStmt {
+                        kind: RStmtKind::Nop,
+                        span: Span::DUMMY,
+                    },
+                );
+                h.body = rewrite_nested(body, heavy);
+            }
+            RStmtKind::OmpFor(of)
+        }
+        other => other,
+    };
+    RStmt { kind, span: s.span }
+}
+
+/// Count the spawn sites in a statement tree (introspection).
+pub(crate) fn count_spawns(stmts: &[RStmt]) -> usize {
+    fn count_stmt(s: &RStmt) -> usize {
+        match &s.kind {
+            RStmtKind::SpawnPure(_) => 1,
+            RStmtKind::Block(b) => count_spawns(b),
+            RStmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => count_stmt(then_branch) + else_branch.as_ref().map_or(0, |e| count_stmt(e)),
+            RStmtKind::While { body, .. } | RStmtKind::DoWhile { body, .. } => count_stmt(body),
+            RStmtKind::For { body, .. } => count_stmt(body),
+            RStmtKind::OmpFor(of) => match &of.header {
+                Ok(h) => count_stmt(&h.body),
+                Err(_) => 0,
+            },
+            _ => 0,
+        }
+    }
+    stmts.iter().map(count_stmt).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Program;
+    use cfront::parser::parse;
+    use std::collections::HashSet;
+
+    fn program_with_pure(src: &str, pure_fns: &[&str]) -> Program {
+        let r = parse(src);
+        assert!(!r.diags.has_errors(), "{}", r.diags.render_all(src));
+        let set: HashSet<String> = pure_fns.iter().map(|s| s.to_string()).collect();
+        Program::with_pure_set(&r.unit, &set)
+    }
+
+    const FIB_LOCALS: &str = "\
+pure int fib(int n) { if (n < 2) return n; int a = fib(n - 1); int b = fib(n - 2); return a + b; }
+int main() { int l = fib(12); int r = fib(11); return (l + r) % 251; }
+";
+
+    #[test]
+    fn tree_recursion_produces_spawn_sites() {
+        let prog = program_with_pure(FIB_LOCALS, &["fib"]);
+        let resolved = prog.resolved();
+        assert_eq!(resolved.spawn_heavy_functions(), vec!["fib"]);
+        let mut sites = resolved.spawn_sites();
+        sites.sort_unstable();
+        // One spawn in fib's body (a spawns, b inlines) and one in main.
+        assert_eq!(sites, vec![("fib", 1), ("main", 1)]);
+    }
+
+    #[test]
+    fn no_pure_set_means_no_spawn_sites() {
+        let r = parse(FIB_LOCALS);
+        let prog = Program::new(&r.unit);
+        assert!(prog.resolved().spawn_sites().is_empty());
+        assert!(prog.resolved().spawn_heavy_functions().is_empty());
+    }
+
+    /// A callee that failed purity verification (here: never verified)
+    /// must not become a spawn site even if it is assigned to locals in
+    /// a batch-shaped run.
+    #[test]
+    fn unverified_callee_is_not_a_spawn_site() {
+        let src = "\
+int g;
+int shady(int n) { g = g + n; if (n < 2) return n; return shady(n - 1); }
+int main() { int a = shady(9); int b = shady(8); return a + b + g; }
+";
+        let prog = program_with_pure(src, &[]);
+        assert!(prog.resolved().spawn_sites().is_empty());
+        // Even when *declared* in a pure set, a global-writing function
+        // is not const-like, hence not cacheable, hence never spawned.
+        let prog2 = program_with_pure(src, &["shady"]);
+        assert!(prog2.resolved().cacheable_functions().is_empty());
+        assert!(prog2.resolved().spawn_sites().is_empty());
+    }
+
+    /// Straight-line leaves fail the granularity heuristic.
+    #[test]
+    fn tiny_leaves_are_not_spawn_worthy() {
+        let src = "\
+pure int tiny(int x) { return x * 2 + 1; }
+int main() { int a = tiny(3); int b = tiny(4); return a + b; }
+";
+        let prog = program_with_pure(src, &["tiny"]);
+        assert_eq!(prog.resolved().cacheable_functions(), vec!["tiny"]);
+        assert!(prog.resolved().spawn_heavy_functions().is_empty());
+        assert!(prog.resolved().spawn_sites().is_empty());
+    }
+
+    /// A looping pure function qualifies, and a wrapper calling it
+    /// inherits heaviness transitively.
+    #[test]
+    fn loops_and_wrappers_are_heavy() {
+        let src = "\
+pure int looper(int n) { int acc = 0; for (int i = 0; i < n; i++) acc += i; return acc; }
+pure int wrap(int n) { return looper(n + 1); }
+int main() { int a = wrap(10); int b = looper(20); return a + b; }
+";
+        let prog = program_with_pure(src, &["looper", "wrap"]);
+        let mut heavy = prog.resolved().spawn_heavy_functions();
+        heavy.sort_unstable();
+        assert_eq!(heavy, vec!["looper", "wrap"]);
+        assert_eq!(prog.resolved().spawn_sites(), vec![("main", 1)]);
+    }
+
+    /// A dependent read splits the batch: `b = f(a)` must not join the
+    /// batch that spawned `a`.
+    #[test]
+    fn dependent_reads_end_the_batch() {
+        let src = "\
+pure int f(int n) { int acc = 0; for (int i = 0; i < n; i++) acc += i; return acc; }
+int main() {
+    int a = f(10);
+    int b = f(a);
+    int c = f(12);
+    int d = f(13);
+    return a + b + c + d;
+}
+";
+        let prog = program_with_pure(src, &["f"]);
+        // `b = f(a)` depends on `a`, so `a` ends up a lone (unspawned)
+        // statement; `b`, `c`, `d` are mutually independent and form one
+        // batch — two spawns plus the inline tail `d`.
+        assert_eq!(prog.resolved().spawn_sites(), vec![("main", 2)]);
+    }
+
+    /// Spawn sites inside a parallel-region body are found too.
+    #[test]
+    fn spawn_sites_inside_parallel_regions() {
+        let src = "\
+pure int f(int n) { if (n < 2) return n; int a = f(n - 1); int b = f(n - 2); return a + b; }
+int main() {
+    int* out = (int*) malloc(8 * sizeof(int));
+#pragma omp parallel for
+    for (int i = 0; i < 8; i++) {
+        int l = f(i + 3);
+        int r = f(i + 2);
+        out[i] = l + r;
+    }
+    int acc = 0;
+    for (int i = 0; i < 8; i++) acc += out[i];
+    return acc % 251;
+}
+";
+        let prog = program_with_pure(src, &["f"]);
+        let mut sites = prog.resolved().spawn_sites();
+        sites.sort_unstable();
+        assert_eq!(sites, vec![("f", 1), ("main", 1)]);
+    }
+}

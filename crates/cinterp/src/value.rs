@@ -854,6 +854,9 @@ pub struct Tally {
     pub branches: u64,
     pub memo_hits: u64,
     pub memo_misses: u64,
+    pub futures_spawned: u64,
+    pub futures_inlined: u64,
+    pub futures_helped: u64,
 }
 
 impl Tally {
@@ -871,6 +874,9 @@ impl Tally {
         self.branches += other.branches;
         self.memo_hits += other.memo_hits;
         self.memo_misses += other.memo_misses;
+        self.futures_spawned += other.futures_spawned;
+        self.futures_inlined += other.futures_inlined;
+        self.futures_helped += other.futures_helped;
     }
 
     /// Flush into the shared atomics (once per thread per join point).
@@ -883,6 +889,12 @@ impl Tally {
         c.branches.fetch_add(self.branches, Ordering::Relaxed);
         c.memo_hits.fetch_add(self.memo_hits, Ordering::Relaxed);
         c.memo_misses.fetch_add(self.memo_misses, Ordering::Relaxed);
+        c.futures_spawned
+            .fetch_add(self.futures_spawned, Ordering::Relaxed);
+        c.futures_inlined
+            .fetch_add(self.futures_inlined, Ordering::Relaxed);
+        c.futures_helped
+            .fetch_add(self.futures_helped, Ordering::Relaxed);
     }
 }
 
@@ -918,6 +930,15 @@ pub struct Counters {
     pub memo_hits: AtomicU64,
     /// Pure-call memoization cache misses (consults that executed).
     pub memo_misses: AtomicU64,
+    /// Pure-call futures submitted to the worker pool.
+    pub futures_spawned: AtomicU64,
+    /// Spawn sites that executed inline because the pool was saturated
+    /// (with futures disabled, spawn sites run as plain calls and are
+    /// not counted here).
+    pub futures_inlined: AtomicU64,
+    /// Awaits issued from a pool worker that had to *help* (drain the
+    /// task queue) because the future was still in flight.
+    pub futures_helped: AtomicU64,
 }
 
 impl Counters {
@@ -949,6 +970,9 @@ impl Counters {
             branches: self.branches.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             memo_misses: self.memo_misses.load(Ordering::Relaxed),
+            futures_spawned: self.futures_spawned.load(Ordering::Relaxed),
+            futures_inlined: self.futures_inlined.load(Ordering::Relaxed),
+            futures_helped: self.futures_helped.load(Ordering::Relaxed),
         }
     }
 }
@@ -965,6 +989,12 @@ pub struct CounterSnapshot {
     /// Pure-call memo cache hits/misses (zero on the legacy engine).
     pub memo_hits: u64,
     pub memo_misses: u64,
+    /// Pure-call future statistics (zero on the legacy engine and on
+    /// runs with futures disabled) — scheduling-dependent bookkeeping,
+    /// excluded from the differential projection like the memo stats.
+    pub futures_spawned: u64,
+    pub futures_inlined: u64,
+    pub futures_helped: u64,
 }
 
 impl CounterSnapshot {
@@ -974,12 +1004,19 @@ impl CounterSnapshot {
         self.flops + self.int_ops + self.loads + self.stores + self.calls + self.branches
     }
 
-    /// Copy with the memo statistics zeroed — the "counters modulo cache
-    /// hits" projection the differential tests compare on.
+    /// Copy with the memo *and* futures statistics zeroed — the
+    /// "counters modulo cache hits and future scheduling" projection the
+    /// differential tests compare on. Memo hit/miss splits depend on
+    /// shard scheduling; spawn/inline/help splits depend on pool
+    /// saturation at spawn time — neither is an executed operation of
+    /// the program, and the executed-op counters themselves stay exact.
     pub fn without_memo(&self) -> CounterSnapshot {
         CounterSnapshot {
             memo_hits: 0,
             memo_misses: 0,
+            futures_spawned: 0,
+            futures_inlined: 0,
+            futures_helped: 0,
             ..*self
         }
     }

@@ -35,7 +35,7 @@
 //! memo for exactly this reason).
 
 use crate::builtins::{call_builtin, format_printf};
-use crate::bytecode::{binop_decode, BFunc, BRegion, BytecodeProgram, Op};
+use crate::bytecode::{binop_decode, BFunc, BRegion, BSpawn, BytecodeProgram, Op};
 use crate::interp::{InterpOptions, RunResult, RuntimeError};
 use crate::resolve::{Coerce, MemoCache, MemoKey, MEMO_CAPACITY};
 use crate::value::{
@@ -45,7 +45,7 @@ use crate::value::{
 use cfront::ast::BinOp;
 use cfront::intern::Symbol;
 use cfront::span::Span;
-use machine::{parallel_for_state, parallel_for_state_pooled};
+use machine::{global_pool, parallel_for_state, parallel_for_state_pooled, PureFuture, ThreadPool};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -98,16 +98,21 @@ impl MemoShard {
         }
     }
 
-    /// Merged read-only snapshot handed to parallel children.
-    fn freeze(&self) -> Arc<HashMap<MemoKey, Scalar>> {
-        if self.local.is_empty() {
-            return Arc::clone(&self.frozen);
+    /// Merged read-only snapshot handed to parallel children (region
+    /// workers and spawned futures). The local shard is *promoted* into
+    /// the shared `Arc` — but only once it has grown past a fraction of
+    /// the frozen map, so spawn-heavy workloads don't clone the whole
+    /// map per spawn site: a child may miss the most recent handful of
+    /// inserts, which is already true of sibling shards (memo contents
+    /// are best-effort; the differential projection excludes memo
+    /// counts). Amortized, each entry is cloned O(1) times.
+    fn freeze(&mut self) -> Arc<HashMap<MemoKey, Scalar>> {
+        if self.local.len() * 4 > self.frozen.len() + 64 {
+            let mut merged = (*self.frozen).clone();
+            merged.extend(self.local.drain());
+            self.frozen = Arc::new(merged);
         }
-        let mut merged = (*self.frozen).clone();
-        for (k, v) in &self.local {
-            merged.insert(k.clone(), *v);
-        }
-        Arc::new(merged)
+        Arc::clone(&self.frozen)
     }
 
     /// Fold a worker's shard back in at region join.
@@ -157,6 +162,93 @@ struct Vm {
     tally: Tally,
     memo: Option<MemoShard>,
     track: Option<TrackSets>,
+    /// In-flight pure-call futures, keyed by *absolute* arena index of
+    /// their target slot (the spawn analysis guarantees every batch is
+    /// forced before its frame is left, so on success paths entries
+    /// never dangle and the tail of this list always belongs to the
+    /// innermost open batch). Entries carry plain `Scalar`s, never
+    /// `Packed` words, so spill compaction stays oblivious to them.
+    pending: PendingFutures,
+    /// Cached handle of the process-wide pool (pure-call futures).
+    futures_pool: Option<Arc<ThreadPool>>,
+}
+
+/// One in-flight pure call of this VM.
+struct VmPending {
+    abs: usize,
+    coerce: Coerce,
+    fut: PureFuture<VmFutureOut>,
+}
+
+/// The VM's in-flight future list. On error paths — an await that
+/// propagates a failure, a region worker whose iteration failed
+/// mid-batch, or a VM abandoned with spawns in flight — the remaining
+/// futures must be waited out, not leaked: an orphaned task would keep
+/// occupying (and saturating) the *shared* process-wide pool after the
+/// run failed, and a reused region-worker VM would find stale entries
+/// whose slot indices alias the next iteration's frame. `Drop` covers
+/// the abandonment paths; [`PendingFutures::drain`] the reuse path.
+#[derive(Default)]
+struct PendingFutures(Vec<VmPending>);
+
+impl PendingFutures {
+    /// Wait out every in-flight future, discarding results (error
+    /// paths only — the run has already failed).
+    fn drain(&mut self) {
+        for p in self.0.drain(..) {
+            let _ = p.fut.wait();
+        }
+    }
+}
+
+impl Drop for PendingFutures {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// What a spawned pure call hands back at its join: the value (or the
+/// runtime error), the worker's private op tally, and its memo-shard
+/// inserts — merged into the awaiting VM exactly like a parallel-region
+/// worker's state is merged at region join.
+struct VmFutureOut {
+    value: RtResult<Scalar>,
+    tally: Tally,
+    memo_local: Option<HashMap<MemoKey, Scalar>>,
+}
+
+/// Execute one spawned pure call on its own child VM (fresh arena,
+/// spill pool and tally; frozen memo snapshot; the spawner's call
+/// `depth`, so the stack-overflow guard trips exactly where the inline
+/// call would have). The callee is const-like — it touches no globals
+/// and no `Memory` — so this is observationally the inline call, minus
+/// *where* it runs.
+fn run_future_task(
+    shared: VmShared,
+    frozen: Option<Arc<HashMap<MemoKey, Scalar>>>,
+    fid: u32,
+    args: Vec<Scalar>,
+    depth: usize,
+) -> VmFutureOut {
+    let mut vm = Vm::new(shared);
+    vm.memo = frozen.map(MemoShard::with_frozen);
+    vm.depth = depth;
+    for a in &args {
+        let p = vm.pack(*a);
+        vm.stack.push(p);
+    }
+    let value = match vm.call_user(fid, args.len(), Span::DUMMY) {
+        Ok(()) => {
+            let v = vm.pop();
+            Ok(vm.unpack(v))
+        }
+        Err(e) => Err(e),
+    };
+    VmFutureOut {
+        value,
+        tally: vm.tally,
+        memo_local: vm.memo.map(|m| m.local),
+    }
 }
 
 /// Execute a bytecode program's entry function to completion.
@@ -234,6 +326,8 @@ impl Vm {
             tally: Tally::new(),
             memo: None,
             track: None,
+            pending: PendingFutures::default(),
+            futures_pool: None,
         }
     }
 
@@ -335,6 +429,23 @@ impl Vm {
             .mem
             .store(p, v)
             .map_err(|e| RuntimeError::at(e.to_string(), span))
+    }
+
+    /// Packed word → pointer for an indexing operation, with the shared
+    /// "indexing a non-pointer value" error (`PtrIndex`, `LoadIdxLL`,
+    /// `StoreIdxLL`).
+    #[inline]
+    fn index_ptr(&self, v: Packed, span: Span) -> RtResult<Ptr> {
+        if let Some(p) = v.as_inline_ptr() {
+            return Ok(p);
+        }
+        match self.unpack(v) {
+            Scalar::P(p) => Ok(p),
+            other => Err(RuntimeError::at(
+                format!("indexing a non-pointer value {other:?}"),
+                span,
+            )),
+        }
     }
 
     /// Pop a value that the compiler guarantees is a pointer (produced by
@@ -588,6 +699,110 @@ impl Vm {
         Ok(())
     }
 
+    // -- pure-call futures ----------------------------------------------------
+
+    #[inline]
+    fn futures_on(&self) -> bool {
+        self.s.opts.futures && self.s.opts.threads > 1 && self.track.is_none()
+    }
+
+    fn futures_pool(&mut self) -> Arc<ThreadPool> {
+        if let Some(p) = &self.futures_pool {
+            return Arc::clone(p);
+        }
+        let p = global_pool(self.s.opts.threads);
+        self.futures_pool = Some(Arc::clone(&p));
+        p
+    }
+
+    /// Fold a finished future into this VM: tally, memo inserts, then
+    /// the (coerced) value into the target slot — or its error.
+    fn absorb_future(&mut self, out: VmFutureOut, abs: usize, coerce: Coerce) -> RtResult<()> {
+        self.tally.merge(&out.tally);
+        if let (Some(local), Some(mine)) = (out.memo_local, &mut self.memo) {
+            mine.absorb(local);
+        }
+        let v = out.value?;
+        let pv = self.pack(coerce.apply(v));
+        self.arena[abs] = pv;
+        Ok(())
+    }
+
+    /// Execute one `SpawnPure`: arguments are already on the operand
+    /// stack (evaluated eagerly, original program order).
+    fn exec_spawn(&mut self, sp: BSpawn, base: usize, span: Span) -> RtResult<()> {
+        let nargs = sp.nargs as usize;
+        let abs = base + sp.slot as usize;
+        let mut saturated = false;
+        if self.futures_on() {
+            // Saturation is THE hot case once every worker is busy (the
+            // granularity throttle of the recursion), so it is checked
+            // before any argument marshalling: one atomic load, then the
+            // call runs inline on this VM like a plain call statement.
+            let pool = self.futures_pool();
+            saturated =
+                pool.pending_tasks() >= self.s.opts.threads.max(1) * machine::SATURATION_FACTOR;
+        }
+        if !self.futures_on() || saturated {
+            // Exactly the original call statement: call, coerce, store.
+            if saturated {
+                self.tally.futures_inlined += 1;
+            }
+            self.call_user(sp.fid, nargs, span)?;
+            let v = self.pop();
+            let v = self.coerce_packed(sp.coerce, v);
+            self.arena[abs] = v;
+            return Ok(());
+        }
+        // Take the arguments off the stack as owned scalars.
+        let argbase = self.stack.len() - nargs;
+        let mut args = Vec::with_capacity(nargs);
+        for v in &self.stack[argbase..] {
+            args.push(v.unpack(&self.spill));
+        }
+        self.stack.truncate(argbase);
+        let prog = Arc::clone(&self.s.prog);
+        let func = &prog.funcs[sp.fid as usize];
+        // Memo pre-check: a hit never spawns (mirrors `call_user`'s hit
+        // path via the shared key builder).
+        if func.cacheable && self.memo.is_some() {
+            if let Some(key) = MemoCache::key_for_call(&func.params, func.frame_size, sp.fid, &args)
+            {
+                if let Some(v) = self.memo.as_ref().and_then(|m| m.get(&key)) {
+                    self.tally.calls += 1;
+                    self.tally.memo_hits += 1;
+                    let pv = self.pack(sp.coerce.apply(v));
+                    self.arena[abs] = pv;
+                    return Ok(());
+                }
+            }
+        }
+        let pool = self.futures_pool();
+        let frozen = self.memo.as_mut().map(|m| m.freeze());
+        let shared = self.s.clone();
+        let fid = sp.fid;
+        let depth = self.depth;
+        let task = move || run_future_task(shared, frozen, fid, args, depth);
+        match PureFuture::spawn(&pool, self.s.opts.threads, task) {
+            Ok(fut) => {
+                self.tally.futures_spawned += 1;
+                self.pending.0.push(VmPending {
+                    abs,
+                    coerce: sp.coerce,
+                    fut,
+                });
+            }
+            Err(task) => {
+                // Pool saturated between the pre-check and the submit
+                // (rare): run the prepared task here, now.
+                self.tally.futures_inlined += 1;
+                let out = task();
+                self.absorb_future(out, abs, sp.coerce)?;
+            }
+        }
+        Ok(())
+    }
+
     // -- dispatch loop --------------------------------------------------------
 
     /// Run `f`'s code from `pc` with the current frame at `arena[base..]`
@@ -741,19 +956,7 @@ impl Vm {
                     let iv = self.pop();
                     let bv = self.pop();
                     let i = self.to_i64(iv);
-                    let p = if let Some(p) = bv.as_inline_ptr() {
-                        p
-                    } else {
-                        match self.unpack(bv) {
-                            Scalar::P(p) => p,
-                            other => {
-                                return Err(RuntimeError::at(
-                                    format!("indexing a non-pointer value {other:?}"),
-                                    f.spans[pc],
-                                ))
-                            }
-                        }
-                    };
+                    let p = self.index_ptr(bv, f.spans[pc])?;
                     let out = Packed::pack_ptr(p.offset(i), &self.spill);
                     self.stack.push(out);
                 }
@@ -1008,6 +1211,50 @@ impl Vm {
                     let out = self.pack(Scalar::P(p));
                     self.stack.push(out);
                 }
+                Op::LoadIdxLL => {
+                    let bv = self.arena[base + (insn.a & 0xFFFF) as usize];
+                    let iv = self.arena[base + (insn.a >> 16) as usize];
+                    let i = self.to_i64(iv);
+                    let p = self.index_ptr(bv, f.spans[pc])?;
+                    let v = self.mem_load(p.offset(i), f.spans[pc])?;
+                    self.stack.push(v);
+                }
+                Op::StoreIdxLL => {
+                    let bv = self.arena[base + (insn.a & 0xFFFF) as usize];
+                    let iv = self.arena[base + (insn.a >> 16) as usize];
+                    let i = self.to_i64(iv);
+                    let p = self.index_ptr(bv, f.spans[pc])?;
+                    let v = if insn.b == 0 {
+                        *self.stack.last().expect("operand stack underflow")
+                    } else {
+                        self.pop()
+                    };
+                    self.mem_store(p.offset(i), v, f.spans[pc])?;
+                }
+                Op::SpawnPure => {
+                    let sp = f.spawns[insn.a as usize];
+                    self.exec_spawn(sp, base, f.spans[pc])?;
+                }
+                Op::AwaitSlot => {
+                    let abs = base + insn.a as usize;
+                    if let Some(pos) = self.pending.0.iter().rposition(|p| p.abs == abs) {
+                        let p = self.pending.0.remove(pos);
+                        let (out, helped) = p.fut.wait();
+                        if helped {
+                            self.tally.futures_helped += 1;
+                        }
+                        if let Err(e) = self.absorb_future(out, p.abs, p.coerce) {
+                            // Drain the batch's (and any outer frame's)
+                            // remaining futures before failing, like the
+                            // resolved engine's exec_await: no task may
+                            // outlive the run on the shared pool.
+                            self.pending.drain();
+                            return Err(e);
+                        }
+                    }
+                    // No entry: the spawn resolved inline (futures off,
+                    // memo hit, or saturation) — the slot is already set.
+                }
                 Op::OmpRegion => {
                     let r = f.regions[insn.a as usize];
                     self.region(f, base, &r)?;
@@ -1080,7 +1327,7 @@ impl Vm {
         }
         let frame: Vec<Packed> = self.arena[base..base + f.frame_size].to_vec();
         let spill_prefix = self.spill.entries_snapshot();
-        let frozen = self.memo.as_ref().map(|m| m.freeze());
+        let frozen = self.memo.as_mut().map(|m| m.freeze());
         let shared = self.s.clone();
         let err: Mutex<Option<RuntimeError>> = Mutex::new(None);
         let frame = &frame;
@@ -1105,6 +1352,11 @@ impl Vm {
             vm.steps = 0;
             vm.depth = 0;
             if let Err(e) = vm.exec(f, 0, body_start) {
+                // An iteration that failed mid-batch leaves futures in
+                // flight; this worker VM is reused for the next
+                // iteration, whose frame would alias the stale slots —
+                // wait them out now.
+                vm.pending.drain();
                 let mut g = err_ref.lock();
                 if g.is_none() {
                     *g = Some(e);
@@ -1141,7 +1393,7 @@ impl Vm {
         }
         let frame: Vec<Packed> = self.arena[base..base + f.frame_size].to_vec();
         let spill_prefix = self.spill.entries_snapshot();
-        let frozen = self.memo.as_ref().map(|m| m.freeze());
+        let frozen = self.memo.as_mut().map(|m| m.freeze());
         let mut child = Vm::new_child(self.s.clone(), frozen, &spill_prefix);
         let mut result = Ok(());
         for k in 0..n {
@@ -1178,11 +1430,19 @@ impl Vm {
 mod tests {
     use crate::interp::{Engine, InterpOptions, Program};
     use cfront::parser::parse;
+    use std::collections::HashSet;
 
     fn program(src: &str) -> Program {
         let r = parse(src);
         assert!(!r.diags.has_errors(), "{}", r.diags.render_all(src));
         Program::new(&r.unit)
+    }
+
+    fn program_with_pure(src: &str, pure_fns: &[&str]) -> Program {
+        let r = parse(src);
+        assert!(!r.diags.has_errors(), "{}", r.diags.render_all(src));
+        let set: HashSet<String> = pure_fns.iter().map(|s| s.to_string()).collect();
+        Program::with_pure_set(&r.unit, &set)
     }
 
     /// Hammer a shared global with `+=`, `++` and a float `+=` from a
@@ -1275,6 +1535,151 @@ int main() {
                 scoped.counters.without_memo(),
                 "threads={threads}"
             );
+        }
+    }
+
+    const FIB_LOCALS: &str = "\
+pure int fib(int n) { if (n < 2) return n; int a = fib(n - 1); int b = fib(n - 2); return a + b; }
+int main() { int l = fib(16); int r = fib(15); return (l + r) % 251; }
+";
+
+    /// Futures on vs off, VM vs resolved vs legacy: identical exit code
+    /// and — with memo off, where op totals are deterministic — identical
+    /// executed-op counters modulo the memo/futures bookkeeping.
+    #[test]
+    fn futures_match_sequential_on_tree_recursion() {
+        let prog = program_with_pure(FIB_LOCALS, &["fib"]);
+        assert_eq!(prog.resolved().spawn_sites().len(), 2);
+        let opt = |threads: usize, futures: bool| InterpOptions {
+            threads,
+            futures,
+            memo: false,
+            ..Default::default()
+        };
+        let seq = prog.run(opt(1, false)).expect("sequential");
+        let legacy = prog.run_legacy(opt(1, false)).expect("legacy");
+        assert_eq!(seq.exit_code, (987 + 610) % 251);
+        assert_eq!(seq.counters.without_memo(), legacy.counters.without_memo());
+        for threads in [2usize, 4] {
+            let fut = prog.run(opt(threads, true)).expect("futures VM");
+            assert_eq!(fut.exit_code, seq.exit_code, "threads={threads}");
+            assert_eq!(
+                fut.counters.without_memo(),
+                seq.counters.without_memo(),
+                "threads={threads}"
+            );
+            assert!(
+                fut.counters.futures_spawned + fut.counters.futures_inlined > 0,
+                "futures path must engage: {:?}",
+                fut.counters
+            );
+            let res = prog
+                .run(InterpOptions {
+                    engine: Engine::Resolved,
+                    ..opt(threads, true)
+                })
+                .expect("futures resolved");
+            assert_eq!(res.exit_code, seq.exit_code, "threads={threads}");
+            assert_eq!(
+                res.counters.without_memo(),
+                seq.counters.without_memo(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    /// With memo on, a hit must never spawn: fib's memoized run sees at
+    /// most one executed body per distinct argument, futures or not.
+    #[test]
+    fn memo_hit_never_spawns() {
+        let prog = program_with_pure(FIB_LOCALS, &["fib"]);
+        let r = prog
+            .run(InterpOptions {
+                threads: 4,
+                ..Default::default()
+            })
+            .expect("memoized futures run");
+        assert_eq!(r.exit_code, (987 + 610) % 251);
+        // Every distinct argument misses once somewhere; futures and
+        // shards may split the work, but the spawn count can never
+        // exceed the distinct-argument count (0..=16 plus the two main
+        // calls) — a hit resolves at the spawn site without a task.
+        assert!(
+            r.counters.futures_spawned <= r.counters.memo_misses,
+            "{:?}",
+            r.counters
+        );
+    }
+
+    /// Futures spawned *inside* a pool-routed parallel region: the
+    /// worker's await helps instead of deadlocking the finite pool.
+    #[test]
+    fn futures_inside_parallel_regions_complete_and_match() {
+        let src = "\
+pure int tree(int n, int s) {
+    if (n < 2) return n + s % 3;
+    int a = tree(n - 1, s);
+    int b = tree(n - 2, s + 1);
+    return a + b;
+}
+int main() {
+    int* out = (int*) malloc(24 * sizeof(int));
+#pragma omp parallel for schedule(dynamic,2)
+    for (int i = 0; i < 24; i++) out[i] = tree(8 + i % 4, i);
+    int acc = 0;
+    for (int i = 0; i < 24; i++) acc += out[i];
+    printf(\"acc=%d\\n\", acc);
+    return acc % 113;
+}
+";
+        let prog = program_with_pure(src, &["tree"]);
+        assert!(!prog.resolved().spawn_sites().is_empty());
+        let opt = |futures: bool| InterpOptions {
+            threads: 4,
+            futures,
+            memo: false,
+            ..Default::default()
+        };
+        let base = prog.run(opt(false)).expect("no-futures");
+        let fut = prog.run(opt(true)).expect("futures");
+        assert_eq!(fut.exit_code, base.exit_code);
+        assert_eq!(fut.output, base.output);
+        assert_eq!(fut.counters.without_memo(), base.counters.without_memo());
+        let legacy = prog.run_legacy(opt(true)).expect("legacy");
+        assert_eq!(legacy.exit_code, base.exit_code);
+        assert_eq!(legacy.output, base.output);
+    }
+
+    /// A runtime error inside a spawned pure call surfaces at the join
+    /// as a `RuntimeError` (not a hang, not a panic), on both engines.
+    #[test]
+    fn future_error_propagates_at_await() {
+        let src = "\
+pure int bad(int n) {
+    int acc = 0;
+    for (int i = 0; i < 4; i++) acc += i / (n - n);
+    return acc;
+}
+int main() { int a = bad(7); int b = bad(9); return a + b; }
+";
+        let prog = program_with_pure(src, &["bad"]);
+        assert_eq!(prog.resolved().spawn_sites(), vec![("main", 1)]);
+        for engine in [Engine::Bytecode, Engine::Resolved] {
+            for futures in [false, true] {
+                let err = prog
+                    .run(InterpOptions {
+                        threads: 4,
+                        engine,
+                        futures,
+                        ..Default::default()
+                    })
+                    .expect_err("division by zero must error");
+                assert!(
+                    err.message.contains("division by zero"),
+                    "{engine:?} futures={futures}: {}",
+                    err.message
+                );
+            }
         }
     }
 

@@ -676,6 +676,38 @@ mod tests {
         assert!(report.ok(), "{:?}", report.diags.items());
     }
 
+    /// The three canonical rejection classes, each on a function that
+    /// would otherwise look spawnable (recursive, scalar in/out): a
+    /// global write, an I/O builtin, and a call to an unverified
+    /// function must each fail verification — keeping the function out
+    /// of the verified set, hence out of the interpreter's memo *and*
+    /// spawn-site analyses (which only consider verified-pure
+    /// functions; see `cinterp::spawn`'s companion test).
+    #[test]
+    fn rejected_bodies_stay_out_of_the_pure_set() {
+        // (1) Global write.
+        let w = verify(
+            "int g;\n\
+             pure int f(int n) { g = n; if (n < 2) return n; return f(n - 1); }",
+        );
+        assert!(!w.ok());
+        assert!(w.diags.has_code(Code::PureGlobalWrite));
+        assert!(!w.declared_pure.is_empty() && !w.diags.items().is_empty());
+
+        // (2) I/O builtin: printf is not in the seeded pure registry.
+        let io = verify("pure int f(int n) { printf(\"%d\\n\", n); return n; }");
+        assert!(!io.ok());
+        assert!(io.diags.has_code(Code::PureCallsImpure));
+
+        // (3) Call to a function that is not verified pure.
+        let call = verify(
+            "int ticker(int n);\n\
+             pure int f(int n) { if (n < 2) return n; return f(n - 1) + ticker(n); }",
+        );
+        assert!(!call.ok());
+        assert!(call.diags.has_code(Code::PureCallsImpure));
+    }
+
     #[test]
     fn global_scalar_write_rejected() {
         let report = verify("int counter;\npure int f(int x) { counter = x; return x; }");

@@ -15,8 +15,8 @@ pub mod omprt;
 pub mod sim;
 
 pub use omprt::{
-    global_pool, parallel_for, parallel_for_pooled, parallel_for_state, parallel_for_state_pooled,
-    OmpSchedule, TaskGroup, ThreadPool,
+    global_pool, on_worker_thread, parallel_for, parallel_for_pooled, parallel_for_state,
+    parallel_for_state_pooled, OmpSchedule, PureFuture, TaskGroup, ThreadPool, SATURATION_FACTOR,
 };
 pub use sim::{
     program_time, region_time, speedup, Compiler, CompilerKind, CostProfile, Machine, Variant,

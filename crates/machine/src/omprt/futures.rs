@@ -1,0 +1,200 @@
+//! Pure-call futures: task-level parallelism for independent pure calls.
+//!
+//! The paper's headline claim is that the `pure` keyword lets the
+//! compiler *automatically parallelize pure function calls* — not only
+//! loops. This module is the runtime half of that promise: a verified
+//! pure call whose result is not needed yet can run as a **future** on
+//! the persistent [`ThreadPool`] while the caller keeps executing, and
+//! is *forced* at the first use of its result.
+//!
+//! Three disciplines keep this safe and fast on a finite pool:
+//!
+//! * **Saturation fallback** — [`PureFuture::spawn`] refuses to enqueue
+//!   when the pool already has enough outstanding work
+//!   ([`SATURATION_FACTOR`] × the requested width) and hands the closure
+//!   back so the caller runs it **inline**. This is the dynamic
+//!   granularity throttle: near the root of a divide-and-conquer tree
+//!   the queue is short and calls spawn; once every worker is busy the
+//!   recursion bottoms out inline with only an atomic load of overhead
+//!   per call.
+//! * **Helping awaits** — [`PureFuture::wait`] issued *from a pool
+//!   worker* must not block the worker: it drains queued tasks until its
+//!   future completes (via [`ThreadPool::join_group`], the same
+//!   mechanism that keeps nested parallel regions deadlock-free — the
+//!   "help while waiting" join discipline). A fully occupied pool
+//!   whose workers all await nested futures therefore always makes
+//!   progress.
+//! * **Ownership** — the spawned closure owns everything it touches
+//!   (`'static`), so an await abandoned by an unwinding caller leaves a
+//!   detached task that finishes harmlessly; no lifetime erasure is
+//!   needed (unlike the region path, which borrows the caller's frame).
+//!
+//! Each future is its own single-task [`TaskGroup`] generation: the
+//! await waits for exactly that task, and a panic inside the closure
+//! re-raises at the await (never at drop).
+
+use crate::omprt::pool::{TaskGroup, ThreadPool};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Outstanding-task multiple beyond which spawns fall back to inline
+/// execution: with `w` requested workers, at most `SATURATION_FACTOR *
+/// w` submitted-but-unfinished tasks are allowed before new spawn sites
+/// stop enqueueing. Small enough to bound queue memory and keep leaf
+/// calls inline, large enough that a worker finishing its subtree always
+/// finds the next one already queued.
+pub const SATURATION_FACTOR: usize = 2;
+
+/// One in-flight pure call: a single-task generation on the shared pool
+/// plus the cell its result lands in.
+pub struct PureFuture<T> {
+    pool: Arc<ThreadPool>,
+    group: TaskGroup,
+    cell: Arc<Mutex<Option<T>>>,
+}
+
+impl<T: Send + 'static> PureFuture<T> {
+    /// Try to run `f` as a future on `pool`. `width` is the parallelism
+    /// the caller requested (the interpreter's `--threads`); when the
+    /// pool already has `SATURATION_FACTOR * width` outstanding tasks
+    /// the closure is handed back unrun — the caller executes it inline.
+    pub fn spawn<F>(pool: &Arc<ThreadPool>, width: usize, f: F) -> Result<PureFuture<T>, F>
+    where
+        F: FnOnce() -> T + Send + 'static,
+    {
+        if pool.pending_tasks() >= width.max(1).saturating_mul(SATURATION_FACTOR) {
+            return Err(f);
+        }
+        let group = pool.group();
+        let cell = Arc::new(Mutex::new(None));
+        let out = Arc::clone(&cell);
+        pool.submit_to(&group, move || {
+            *out.lock() = Some(f());
+        });
+        Ok(PureFuture {
+            pool: Arc::clone(pool),
+            group,
+            cell,
+        })
+    }
+
+    /// Whether the spawned task has already finished.
+    pub fn is_ready(&self) -> bool {
+        self.group.is_complete()
+    }
+
+    /// Force the future: block (or, from a pool worker, *help* — drain
+    /// queued tasks) until the result is available. Returns the value
+    /// and whether this await actually helped: `true` means it was
+    /// issued from a pool worker and executed at least one queued task
+    /// while waiting (an await that merely parked reports `false`).
+    /// A panic from the closure re-raises here.
+    pub fn wait(self) -> (T, bool) {
+        let helped = self.pool.join_group(&self.group);
+        let v = self
+            .cell
+            .lock()
+            .take()
+            .expect("future task stored its result");
+        (v, helped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn spawn_and_wait_returns_value() {
+        let pool = Arc::new(ThreadPool::new(2, 1, 2));
+        let fut = PureFuture::spawn(&pool, 2, || 6 * 7).ok().expect("spawns");
+        let (v, helped) = fut.wait();
+        assert_eq!(v, 42);
+        // The await came from this (non-worker) thread.
+        assert!(!helped);
+    }
+
+    #[test]
+    fn saturated_pool_returns_the_closure() {
+        let pool = Arc::new(ThreadPool::new(1, 1, 1));
+        // Block the lone worker and fill the backlog allowance.
+        let gate = Arc::new(AtomicU64::new(0));
+        let mut futs = Vec::new();
+        for _ in 0..SATURATION_FACTOR {
+            let g = Arc::clone(&gate);
+            futs.push(
+                PureFuture::spawn(&pool, 1, move || {
+                    while g.load(Ordering::Acquire) == 0 {
+                        std::thread::yield_now();
+                    }
+                    1u64
+                })
+                .ok()
+                .expect("backlog allowance"),
+            );
+        }
+        // The next spawn must bounce: the closure comes back for inline
+        // execution.
+        match PureFuture::spawn(&pool, 1, || 7u64) {
+            Err(f) => assert_eq!(f(), 7),
+            Ok(_) => panic!("saturated pool must refuse to enqueue"),
+        }
+        gate.store(1, Ordering::Release);
+        let total: u64 = futs.into_iter().map(|f| f.wait().0).sum();
+        assert_eq!(total, SATURATION_FACTOR as u64);
+    }
+
+    #[test]
+    fn nested_await_from_worker_helps() {
+        // One worker: the outer future's await of the inner future can
+        // only complete because the awaiting worker helps (executes the
+        // inner task itself).
+        let pool = Arc::new(ThreadPool::new(1, 1, 1));
+        let p2 = Arc::clone(&pool);
+        let fut = PureFuture::spawn(&pool, 4, move || {
+            let inner = PureFuture::spawn(&p2, 4, || 10u64).ok().expect("spawns");
+            let (v, helped) = inner.wait();
+            assert!(helped, "a worker await with the task queued must help");
+            v + 1
+        })
+        .ok()
+        .expect("spawns");
+        assert_eq!(fut.wait().0, 11);
+    }
+
+    #[test]
+    fn panic_in_future_reraises_at_wait() {
+        let pool = Arc::new(ThreadPool::new(2, 1, 2));
+        let fut = PureFuture::spawn(&pool, 2, || -> u64 { panic!("future boom") })
+            .ok()
+            .expect("spawns");
+        let r = catch_unwind(AssertUnwindSafe(|| fut.wait()));
+        assert!(r.is_err(), "closure panic must surface at the await");
+        // The pool survives.
+        let ok = PureFuture::spawn(&pool, 2, || 5u64).ok().expect("spawns");
+        assert_eq!(ok.wait().0, 5);
+    }
+
+    #[test]
+    fn deep_recursive_spawns_complete_on_a_tiny_pool() {
+        // Recursive spawner: every level tries to spawn its left child
+        // and computes the right inline — the interpreter's pattern.
+        fn tree(pool: &Arc<ThreadPool>, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let p = Arc::clone(pool);
+            match PureFuture::spawn(pool, 2, move || tree(&p, n - 1)) {
+                Ok(fut) => {
+                    let right = tree(pool, n - 2);
+                    fut.wait().0 + right
+                }
+                Err(f) => f() + tree(pool, n - 2),
+            }
+        }
+        let pool = Arc::new(ThreadPool::new(2, 1, 2));
+        assert_eq!(tree(&pool, 15), 610); // fib(15)
+    }
+}

@@ -8,10 +8,12 @@
 //! satellite vs. LAMA distinction of Sect. 4.3.3/4.3.4) exist as real,
 //! testable code rather than only as cost-model constants.
 
+pub mod futures;
 pub mod pool;
 pub mod sched;
 
-pub use pool::{global_pool, Placement, TaskGroup, ThreadPool};
+pub use futures::{PureFuture, SATURATION_FACTOR};
+pub use pool::{global_pool, on_worker_thread, Placement, TaskGroup, ThreadPool};
 pub use sched::{
     parallel_for, parallel_for_pooled, parallel_for_state, parallel_for_state_pooled, OmpSchedule,
 };

@@ -112,6 +112,21 @@ pub struct TaskGroup {
     shared: Arc<Completion>,
 }
 
+impl TaskGroup {
+    /// Whether every task of this generation has finished (a group with
+    /// no submissions yet is trivially complete).
+    pub fn is_complete(&self) -> bool {
+        self.shared.pending.load(Ordering::Acquire) == 0
+    }
+}
+
+/// True on threads owned by any [`ThreadPool`]. Joins and awaits issued
+/// from such a thread must help drain the queue instead of blocking —
+/// the nested-region / future-await discipline.
+pub fn on_worker_thread() -> bool {
+    IN_POOL_WORKER.with(|c| c.get())
+}
+
 /// Persistent thread pool with deterministic worker → socket placement.
 pub struct ThreadPool {
     sender: Option<Sender<Task>>,
@@ -181,6 +196,13 @@ impl ThreadPool {
         &self.placements
     }
 
+    /// Number of submitted tasks not yet finished (queued **or** running)
+    /// across every generation — the saturation signal the pure-call
+    /// futures layer throttles on.
+    pub fn pending_tasks(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+
     /// Number of distinct sockets the first `n` workers span.
     pub fn sockets_spanned(&self, n: usize) -> usize {
         let mut set = std::collections::BTreeSet::new();
@@ -231,13 +253,19 @@ impl ThreadPool {
     /// empty-queue observation the group's outstanding tasks are all
     /// *in flight* on other threads — parking cannot strand a group task
     /// in the queue, and `finish_one` notifies under the lock.
-    pub fn wait_group(&self, group: &TaskGroup) {
+    ///
+    /// Returns whether this join actually *helped* — executed at least
+    /// one queued task while waiting (always `false` for external,
+    /// non-worker joiners).
+    pub fn wait_group(&self, group: &TaskGroup) -> bool {
+        let mut helped = false;
         if IN_POOL_WORKER.with(|c| c.get()) {
             let mut idle_polls = 0u32;
             while group.shared.pending.load(Ordering::Acquire) != 0 {
                 match self.helper_rx.try_recv() {
                     Some(task) => {
                         Self::run_task(task, &self.shared);
+                        helped = true;
                         idle_polls = 0;
                     }
                     None if idle_polls < 128 => {
@@ -257,13 +285,16 @@ impl ThreadPool {
         } else {
             group.shared.wait();
         }
+        helped
     }
 
     /// [`ThreadPool::wait_group`], then re-raise the first panic any task
-    /// of the group produced.
-    pub fn join_group(&self, group: &TaskGroup) {
-        self.wait_group(group);
+    /// of the group produced. Returns [`ThreadPool::wait_group`]'s
+    /// helped flag.
+    pub fn join_group(&self, group: &TaskGroup) -> bool {
+        let helped = self.wait_group(group);
         group.shared.rethrow();
+        helped
     }
 
     /// Block until every submitted task has completed, then re-raise the

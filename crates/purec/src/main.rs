@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! purec <file.c> [--sica] [--tile N] [--no-omp] [--run [--threads N]]
-//!       [--engine vm|resolved] [--no-pool] [--race-check] [--emit-marked]
-//!       [--no-alloc-pure]
+//!       [--engine vm|resolved] [--no-pool] [--no-futures] [--race-check]
+//!       [--emit-marked] [--no-alloc-pure] [--stats]
 //! purec --demo <matmul|heat|satellite|lama> [same flags]
 //! ```
 //!
@@ -30,6 +30,8 @@ fn usage() -> ! {
          \x20 --threads N      omprt threads for --run (default 1)\n\
          \x20 --no-pool        spawn threads per region instead of using the\n\
          \x20                  persistent worker pool (A/B comparison)\n\
+         \x20 --no-futures     run independent pure calls inline instead of as\n\
+         \x20                  futures on the worker pool (A/B comparison)\n\
          \x20 --race-check     validate iteration independence before parallel runs\n\
          \x20 --stats          print chain statistics to stderr"
     );
@@ -53,6 +55,7 @@ fn main() {
     let mut engine = cinterp::Engine::Bytecode;
     let mut threads = 1usize;
     let mut pool = true;
+    let mut futures = true;
     let mut race_check = false;
     let mut stats = false;
 
@@ -86,6 +89,7 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--no-pool" => pool = false,
+            "--no-futures" => futures = false,
             "--race-check" => race_check = true,
             "--stats" => stats = true,
             "--help" | "-h" => usage(),
@@ -164,20 +168,31 @@ fn main() {
             race_check,
             engine,
             pool,
+            futures,
             ..Default::default()
         };
         match compile_and_run(&source, opts, interp) {
             Ok((out, result)) => {
                 print!("{}", result.output);
                 if stats {
+                    let spawn_sites: usize = out
+                        .program()
+                        .resolved()
+                        .spawn_sites()
+                        .iter()
+                        .map(|(_, n)| n)
+                        .sum();
                     eprintln!(
                         "purec: verified pure: {:?}; scops {}; transformed {}; parallel {}; \
-                         exit {}; ops {{flops: {}, loads: {}, stores: {}, calls: {}}}; \
-                         memo {{hits: {}, misses: {}}}",
+                         spawn sites {}; exit {}; \
+                         ops {{flops: {}, loads: {}, stores: {}, calls: {}}}; \
+                         memo {{hits: {}, misses: {}}}; \
+                         futures {{spawned: {}, inlined: {}, helped: {}}}",
                         out.declared_pure,
                         out.scops_marked,
                         out.regions_transformed,
                         out.regions_parallelized,
+                        spawn_sites,
                         result.exit_code,
                         result.counters.flops,
                         result.counters.loads,
@@ -185,6 +200,9 @@ fn main() {
                         result.counters.calls,
                         result.counters.memo_hits,
                         result.counters.memo_misses,
+                        result.counters.futures_spawned,
+                        result.counters.futures_inlined,
+                        result.counters.futures_helped,
                     );
                 }
                 std::process::exit(result.exit_code as i32 & 0x7f);

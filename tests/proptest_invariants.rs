@@ -424,6 +424,108 @@ proptest! {
         }
     }
 
+    /// Pure-call futures differential: on a generated program whose
+    /// verified-pure, tree-recursive function is called in spawnable
+    /// batches — at top level *and* inside a parallel region — the
+    /// bytecode VM and resolved engine with futures on must match the
+    /// no-futures runs and the legacy oracle bit-for-bit on exit code
+    /// and output, and (memo off, where op totals are deterministic) on
+    /// executed-op counters modulo the memo/futures bookkeeping,
+    /// sequentially and on 4 threads across schedules.
+    #[test]
+    fn futures_match_no_futures_and_oracles(
+        depth in 5usize..10,
+        m in 4usize..16,
+        c in 1i64..40,
+        sched in 0usize..5,
+    ) {
+        let sched = [
+            "",
+            " schedule(static)",
+            " schedule(static,2)",
+            " schedule(dynamic,1)",
+            " schedule(guided,1)",
+        ][sched];
+        let src = format!(
+            "pure int leaf(int x) {{\n\
+                 int acc = 0;\n\
+                 for (int i = 0; i < (x % 5) + 2; i++) acc += i * x;\n\
+                 return acc % 97;\n\
+             }}\n\
+             pure int tree(int n, int s) {{\n\
+                 if (n < 2) return leaf(n + s);\n\
+                 int a = tree(n - 1, s);\n\
+                 int b = tree(n - 2, s + 1);\n\
+                 return a + b;\n\
+             }}\n\
+             int main() {{\n\
+                 int* out = (int*) malloc({m} * sizeof(int));\n\
+             #pragma omp parallel for{sched}\n\
+                 for (int i = 0; i < {m}; i++) {{\n\
+                     int l = tree(4 + i % 3, i);\n\
+                     int r = tree(3 + i % 2, i + 1);\n\
+                     out[i] = l + r;\n\
+                 }}\n\
+                 int acc = 0;\n\
+                 for (int i = 0; i < {m}; i++) acc += out[i];\n\
+                 int p = tree({depth}, {c});\n\
+                 int q = tree({depth} - 1, {c} + 1);\n\
+                 acc += p - q;\n\
+                 printf(\"acc=%d\\n\", acc);\n\
+                 return (acc % 113 + 113) % 113;\n\
+             }}"
+        );
+        let parsed = parse(&src);
+        prop_assert!(!parsed.diags.has_errors(), "{}", parsed.diags.render_all(&src));
+        let pure_set: std::collections::HashSet<String> =
+            ["leaf", "tree"].iter().map(|s| s.to_string()).collect();
+        let prog = Program::with_pure_set(&parsed.unit, &pure_set);
+        prop_assert!(!prog.resolved().spawn_sites().is_empty());
+        for threads in [1usize, 4] {
+            let opt = |futures: bool| InterpOptions {
+                threads,
+                futures,
+                memo: false,
+                ..Default::default()
+            };
+            let base = prog.run(opt(false)).expect("no-futures VM runs");
+            let fut = prog.run(opt(true)).expect("futures VM runs");
+            prop_assert_eq!(fut.exit_code, base.exit_code, "threads={}", threads);
+            prop_assert_eq!(&fut.output, &base.output, "threads={}", threads);
+            prop_assert_eq!(
+                fut.counters.without_memo(),
+                base.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            let res_fut = prog.run_resolved(opt(true)).expect("futures resolved runs");
+            prop_assert_eq!(res_fut.exit_code, base.exit_code, "threads={}", threads);
+            prop_assert_eq!(&res_fut.output, &base.output, "threads={}", threads);
+            prop_assert_eq!(
+                res_fut.counters.without_memo(),
+                base.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            let legacy = prog.run_legacy(opt(true)).expect("legacy runs");
+            prop_assert_eq!(legacy.exit_code, base.exit_code, "threads={}", threads);
+            prop_assert_eq!(&legacy.output, &base.output, "threads={}", threads);
+            prop_assert_eq!(
+                legacy.counters.without_memo(),
+                base.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            // Memoized runs agree on observables (counters are
+            // scheduling-dependent under memo and not compared).
+            let memo_fut = prog
+                .run(InterpOptions { memo: true, ..opt(true) })
+                .expect("memoized futures VM runs");
+            prop_assert_eq!(memo_fut.exit_code, base.exit_code, "threads={}", threads);
+            prop_assert_eq!(&memo_fut.output, &base.output, "threads={}", threads);
+        }
+    }
+
     /// Chain-compiled matmul (purity verified ⇒ memoization active): the
     /// bytecode VM and the resolved engine, each with and without memo,
     /// and the legacy oracle all agree on observable behaviour.
