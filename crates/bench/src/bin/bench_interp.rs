@@ -18,12 +18,16 @@
 //! pool-routed runtime fails to beat spawn-per-region threads on the
 //! `region_heavy` case (many small parallel regions) — the CI bench
 //! smoke turns a dispatch or region-launch regression into a red build.
-//! The `fib_futures` case gates the pure-call futures subsystem: on a
-//! host with ≥ 4 CPUs the memo-off divide-and-conquer benchmark must
-//! run ≥ 2× faster with futures on 4 threads than sequentially (≥ 1×
-//! on 2–3 CPUs; unenforceable and skipped on 1). Entries are appended
-//! with the git commit, the parallel thread count and the host CPU
-//! count so the trajectory stays attributable.
+//! The `fib_futures` (statement-level spawn batches) and `treesum_expr`
+//! (expression-level spawns over the work-stealing deques) cases gate
+//! the pure-call futures subsystem: on a host with ≥ 4 CPUs each
+//! memo-off divide-and-conquer benchmark must run ≥ 2× faster with
+//! futures on 4 threads than sequentially (≥ 1× on 2–3 CPUs;
+//! unenforceable and skipped on 1). `treesum_expr` also records the
+//! deque-vs-single-channel A/B (`speedup_steal_vs_channel`) and the
+//! futures run's `local_pushes`/`tasks_stolen` counters. Entries are
+//! appended with the git commit, the parallel thread count and the host
+//! CPU count so the trajectory stays attributable.
 
 use cfront::parser::parse;
 use cinterp::{Engine, InterpOptions, Program, RunResult};
@@ -110,8 +114,9 @@ fn region_heavy_source(regions: usize, width: usize) -> String {
     )
 }
 
-/// Array-heavy loops: the fused load-index/store-index superinstruction
-/// workload (`a[i]` with base and index in frame slots).
+/// Array-heavy loops: the fused load-index/store-index/compound-index
+/// superinstruction workload (`a[i]`, `a[i] = x`, `a[i] += x` with base
+/// and index in frame slots).
 fn arraysum_source(n: usize, iters: usize) -> String {
     format!(
         "int main() {{\n\
@@ -122,6 +127,7 @@ fn arraysum_source(n: usize, iters: usize) -> String {
                  for (int i = 0; i < {n}; i++) {{\n\
                      int v = a[i];\n\
                      a[i] = v + r;\n\
+                     a[i] += r & 7;\n\
                      acc = acc + v;\n\
                  }}\n\
              }}\n\
@@ -142,6 +148,22 @@ fn fib_futures_source(n: usize) -> String {
              return a + b;\n\
          }}\n\
          int main() {{ return fib({n}) % 251; }}\n"
+    )
+}
+
+/// The expression-level divide-and-conquer benchmark: a balanced binary
+/// tree sum whose recursive calls sit *inside* the `return` expression —
+/// no locals, no statement-level sites. Spawns exist only because the
+/// hoisting pass introduces temps; scaling exists only because the
+/// work-stealing deques migrate the subtrees (the single shared channel
+/// serialized exactly this shape).
+fn treesum_source(depth: usize) -> String {
+    format!(
+        "pure int tsum(int n, int v) {{\n\
+             if (n == 0) return (v % 13) + 1;\n\
+             return tsum(n - 1, v * 2 + 1) + tsum(n - 1, v * 2 + 2);\n\
+         }}\n\
+         int main() {{ return tsum({depth}, 1) % 251; }}\n"
     )
 }
 
@@ -213,6 +235,7 @@ fn main() {
     let arr_n = if quick { 256 } else { 1024 };
     let arr_iters = if quick { 40 } else { 400 };
     let fut_fib = if quick { 21 } else { 27 };
+    let tree_depth = if quick { 15 } else { 19 };
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -330,6 +353,53 @@ fn main() {
                 ),
             ],
         },
+        // The expression-spawn + work-stealing A/B: memo-off balanced
+        // tree sum whose spawn sites exist only through temp hoisting.
+        // `bytecode_channel` forces every spawn through the shared
+        // injector (the pre-deque substrate); `bytecode_futures` uses
+        // per-worker deques with stealing. Gated below like fib_futures;
+        // the futures run's steal counters are recorded per entry.
+        BenchCase {
+            name: "treesum_expr",
+            program: chain(&treesum_source(tree_depth)),
+            variants: vec![
+                (
+                    "bytecode_seq",
+                    InterpOptions {
+                        memo: false,
+                        futures: false,
+                        ..seq
+                    },
+                    false,
+                ),
+                (
+                    "bytecode_nofutures",
+                    InterpOptions {
+                        memo: false,
+                        futures: false,
+                        ..par4
+                    },
+                    false,
+                ),
+                (
+                    "bytecode_channel",
+                    InterpOptions {
+                        memo: false,
+                        steal: false,
+                        ..par4
+                    },
+                    false,
+                ),
+                (
+                    "bytecode_futures",
+                    InterpOptions {
+                        memo: false,
+                        ..par4
+                    },
+                    false,
+                ),
+            ],
+        },
         // The launch-overhead A/B: same bytecode, same 4 threads, only
         // the parallel substrate differs (spawn-per-region vs persistent
         // pool). Gated below: the pooled runtime must win.
@@ -354,6 +424,7 @@ fn main() {
     let mut varaccess_speedup = f64::NAN;
     let mut pool_speedup = f64::NAN;
     let mut futures_speedup = f64::NAN;
+    let mut treesum_speedup = f64::NAN;
     for case in &cases {
         let mut fields: Vec<(String, Value)> =
             vec![("name".to_string(), Value::Str(case.name.to_string()))];
@@ -372,6 +443,19 @@ fn main() {
             }
             exit = Some(run.exit_code);
             times.push((label, secs));
+            // The deque A/B case records where its futures ran: how
+            // many went onto a worker's own deque, and how many of
+            // those a sibling stole (warm-up run's counters).
+            if case.name == "treesum_expr" && *label == "bytecode_futures" {
+                fields.push((
+                    "local_pushes".to_string(),
+                    num(run.counters.local_pushes as f64),
+                ));
+                fields.push((
+                    "tasks_stolen".to_string(),
+                    num(run.counters.tasks_stolen as f64),
+                ));
+            }
             eprintln!(
                 "{:<18} {:<18} {:>10.3} ms  (exit {})",
                 case.name,
@@ -414,6 +498,13 @@ fn main() {
             if case.name == "fib_futures" {
                 futures_speedup = s;
             }
+            if case.name == "treesum_expr" {
+                treesum_speedup = s;
+            }
+        }
+        if let (Some(channel), Some(fut)) = (get("bytecode_channel"), get("bytecode_futures")) {
+            // The single-channel-vs-deque A/B, recorded every entry.
+            fields.push(("speedup_steal_vs_channel".to_string(), num(channel / fut)));
         }
         bench_values.push(Value::Object(fields));
     }
@@ -497,8 +588,10 @@ fn main() {
     }
     eprintln!("region_heavy pooled speedup vs spawn-per-region: {pool_speedup:.2}x");
 
-    // CI smoke: pure-call futures must actually parallelize the tree-
-    // recursive benchmark. The bar depends on the host's CPU budget —
+    // CI smoke: pure-call futures must actually parallelize the two
+    // divide-and-conquer benchmarks — statement-level sites
+    // (fib_futures) and expression-level sites over the work-stealing
+    // deques (treesum_expr). The bar depends on the host's CPU budget —
     // the subsystem cannot conjure cores: ≥ 2× on ≥ 4 CPUs (full runs;
     // quick-mode problem sizes are too small to amortize spawn overhead
     // at full margin, so the bar drops to 1.1×), ≥ 1× on 2–3 CPUs, and
@@ -509,25 +602,27 @@ fn main() {
         (_, true) => Some(1.1),
         (_, false) => Some(2.0),
     };
-    match required {
-        Some(bar) if futures_speedup.is_nan() || futures_speedup < bar => {
+    let gate_futures = |case: &str, speedup: f64| match required {
+        Some(bar) if speedup.is_nan() || speedup < bar => {
             eprintln!(
-                "FAIL: pure-call futures speedup {futures_speedup:.2}x < {bar:.1}x \
-                 on fib_futures ({host_cpus} CPUs)"
+                "FAIL: pure-call futures speedup {speedup:.2}x < {bar:.1}x \
+                 on {case} ({host_cpus} CPUs)"
             );
             std::process::exit(1);
         }
         Some(bar) => {
             eprintln!(
-                "fib_futures speedup with futures on 4 threads: {futures_speedup:.2}x \
+                "{case} speedup with futures on 4 threads: {speedup:.2}x \
                  (gate {bar:.1}x, {host_cpus} CPUs)"
             );
         }
         None => {
             eprintln!(
-                "fib_futures speedup with futures on 4 threads: {futures_speedup:.2}x \
+                "{case} speedup with futures on 4 threads: {speedup:.2}x \
                  (not gated: single-CPU host)"
             );
         }
-    }
+    };
+    gate_futures("fib_futures", futures_speedup);
+    gate_futures("treesum_expr", treesum_speedup);
 }

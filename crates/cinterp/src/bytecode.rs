@@ -113,6 +113,12 @@ pub(crate) enum Op {
     /// top`: one counted store; `b` = 1 pops the value (statement
     /// position), otherwise it stays as the expression result.
     StoreIdxLL,
+    /// `1 → 1|0` fused compound array assign
+    /// `frame[a & 0xFFFF][frame[a >> 16]] <op>= top`: pops the rhs, one
+    /// counted load, binop `b & 0xFF`, one counted store — the hot
+    /// `a[i] += x` shape with base and index in frame slots; `b & 0x100`
+    /// suppresses the result push (statement position).
+    CompoundIdxLL,
     /// `2 → 1` place `base[idx]`: pop idx then base, push element ptr.
     PtrIndex,
     /// `1 → 1` place `*p`: assert pointer.
@@ -724,11 +730,7 @@ impl<'a> FnCompiler<'a> {
     fn stmt_expr(&mut self, e: &RExpr) {
         match &e.kind {
             RExprKind::Assign { op, place, value } => {
-                let fused = if op.is_none() {
-                    Self::fused_index(place)
-                } else {
-                    None
-                };
+                let fused = Self::fused_index(place);
                 match (&place.kind, op) {
                     (RPlaceKind::Local(slot), None) => {
                         self.expr(value);
@@ -749,6 +751,15 @@ impl<'a> FnCompiler<'a> {
                     (RPlaceKind::Index(..), None) if fused.is_some() => {
                         self.expr(value);
                         self.emit(Op::StoreIdxLL, fused.expect("guard checked"), 1, e.span);
+                    }
+                    (RPlaceKind::Index(..), Some(b)) if fused.is_some() => {
+                        self.expr(value);
+                        self.emit(
+                            Op::CompoundIdxLL,
+                            fused.expect("guard checked"),
+                            binop_encode(*b) | 0x100,
+                            e.span,
+                        );
                     }
                     (
                         RPlaceKind::Index(..) | RPlaceKind::Deref(_) | RPlaceKind::Member { .. },
@@ -990,11 +1001,7 @@ impl<'a> FnCompiler<'a> {
             RExprKind::Assign { op, place, value } => {
                 // Value evaluates before the place (resolved order).
                 self.expr(value);
-                let fused = if op.is_none() {
-                    Self::fused_index(place)
-                } else {
-                    None
-                };
+                let fused = Self::fused_index(place);
                 match (&place.kind, op) {
                     (RPlaceKind::Local(slot), None) => {
                         self.emit(Op::StoreLocal, *slot, 0, e.span);
@@ -1010,6 +1017,14 @@ impl<'a> FnCompiler<'a> {
                     }
                     (RPlaceKind::Index(..), None) if fused.is_some() => {
                         self.emit(Op::StoreIdxLL, fused.expect("guard checked"), 0, e.span);
+                    }
+                    (RPlaceKind::Index(..), Some(b)) if fused.is_some() => {
+                        self.emit(
+                            Op::CompoundIdxLL,
+                            fused.expect("guard checked"),
+                            binop_encode(*b),
+                            e.span,
+                        );
                     }
                     (
                         RPlaceKind::Index(..) | RPlaceKind::Deref(_) | RPlaceKind::Member { .. },
@@ -1323,6 +1338,55 @@ int main() {
             assert_eq!(vm.counters.without_memo(), resolved.counters.without_memo());
             assert_eq!(resolved.exit_code, legacy.exit_code);
         }
+    }
+
+    /// `a[i] += x` with base and index in frame slots fuses into one
+    /// `CompoundIdxLL` (statement and value positions), and the engines
+    /// agree on results and executed-op counters.
+    #[test]
+    fn compound_index_fuses_and_matches_oracles() {
+        let src = "\
+int main() {
+    int* a = (int*) malloc(16 * sizeof(int));
+    for (int i = 0; i < 16; i++) a[i] = i;
+    int acc = 0;
+    for (int i = 0; i < 16; i++) {
+        a[i] += i * 3;
+        a[i] -= 1;
+        acc += (a[i] *= 2);
+    }
+    return acc % 251;
+}
+";
+        let b = bytecode(src);
+        let main = &b.funcs[b.by_name["main"] as usize];
+        let fused = main
+            .code
+            .iter()
+            .filter(|i| matches!(i.op, Op::CompoundIdxLL))
+            .count();
+        // `a[i] += i * 3`, `a[i] -= 1` (statement position) and
+        // `(a[i] *= 2)` (value position) all fuse.
+        assert_eq!(fused, 3);
+        let value_position = main
+            .code
+            .iter()
+            .filter(|i| matches!(i.op, Op::CompoundIdxLL) && i.b & 0x100 == 0)
+            .count();
+        assert_eq!(value_position, 1);
+
+        let r = cfront::parser::parse(src);
+        let prog = crate::interp::Program::new(&r.unit);
+        let opts = crate::interp::InterpOptions::default();
+        let vm = prog.run(opts).expect("vm runs");
+        let resolved = prog.run_resolved(opts).expect("resolved runs");
+        let legacy = prog.run_legacy(opts).expect("legacy runs");
+        let expect: i64 = (0..16).map(|i| (i + i * 3 - 1) * 2).sum::<i64>() % 251;
+        assert_eq!(vm.exit_code, expect);
+        assert_eq!(vm.exit_code, resolved.exit_code);
+        assert_eq!(vm.counters.without_memo(), resolved.counters.without_memo());
+        assert_eq!(resolved.exit_code, legacy.exit_code);
+        assert_eq!(resolved.counters.without_memo(), legacy.counters);
     }
 
     #[test]

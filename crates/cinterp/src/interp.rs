@@ -79,6 +79,11 @@ pub struct InterpOptions {
     /// inline call. `false` (`purec --no-futures`) keeps the sites
     /// inline for A/B comparison.
     pub futures: bool,
+    /// Route worker-spawned futures through the spawning worker's own
+    /// work-stealing deque (default). `false` (`purec --no-steal`)
+    /// forces every spawn through the pool's single shared injector —
+    /// the pre-deque substrate, kept for A/B comparison.
+    pub steal: bool,
 }
 
 impl Default for InterpOptions {
@@ -91,6 +96,7 @@ impl Default for InterpOptions {
             engine: Engine::default(),
             pool: true,
             futures: true,
+            steal: true,
         }
     }
 }

@@ -1470,11 +1470,15 @@ struct RInterp {
 
 /// One in-flight pure call of the resolved engine. Counters and the
 /// memo cache are shared (`Arc`) with the spawning interpreter, so only
-/// the call's value travels back through the future.
+/// the call's value travels back through the future. `fid`/`vals`
+/// duplicate what the queued task owns so a future revoked at its await
+/// ([`PureFuture::cancel`]) can run as a plain inline call.
 struct ResPending {
     depth: usize,
     slot: u32,
     coerce: Coerce,
+    fid: u32,
+    vals: Vec<Scalar>,
     fut: PureFuture<RtResult<Scalar>>,
 }
 
@@ -2315,16 +2319,19 @@ impl RInterp {
             vals.push(self.eval(a)?);
         }
         let futures_on = self.s.opts.futures && self.s.opts.threads > 1 && self.track.is_none();
-        // Saturation is the hot case once every worker is busy (the
-        // recursion's granularity throttle): one atomic load on the
-        // cached pool handle, then the call runs inline like the
-        // original statement.
-        let saturated = futures_on
-            && self.futures_pool().pending_tasks()
-                >= self.s.opts.threads.max(1) * machine::SATURATION_FACTOR;
-        if !futures_on || saturated {
+        // The throttle is the hot case once every worker is busy (the
+        // recursion's granularity governor): the hardware-clamped
+        // pool-wide pending cap, plus — from a pool worker — its own
+        // exposed-task budget (a handful of relaxed loads either way,
+        // see machine::spawn_capacity) — then the call runs inline
+        // like the original statement.
+        let throttled = futures_on && {
+            let pool = self.futures_pool();
+            !machine::spawn_capacity(&pool, self.s.opts.threads, self.s.opts.steal)
+        };
+        if !futures_on || throttled {
             // Exactly the original call statement.
-            if saturated {
+            if throttled {
                 Counters::bump(&self.s.counters.futures_inlined);
             }
             let v = self.call_user(sp.fid, &vals, span)?;
@@ -2357,36 +2364,35 @@ impl RInterp {
         // same totals as inline execution would. The child inherits the
         // spawner's call depth so the stack-overflow guard trips exactly
         // where the inline call would have.
+        let vals_kept = vals.clone();
         let task = move || {
             let mut child = RInterp::new(shared);
             child.depth = depth;
             child.call_user(fid, &vals, Span::DUMMY)
         };
-        match PureFuture::spawn(&pool, self.s.opts.threads, task) {
-            Ok(fut) => {
-                Counters::bump(&self.s.counters.futures_spawned);
-                self.pending.0.push(ResPending {
-                    depth: self.depth,
-                    slot: sp.slot,
-                    coerce: sp.coerce,
-                    fut,
-                });
-            }
-            Err(task) => {
-                // Pool saturated between the pre-check and the submit
-                // (rare): run the prepared task here, now.
-                Counters::bump(&self.s.counters.futures_inlined);
-                let v = task()?;
-                self.store_slot(sp.slot, sp.coerce.apply(v));
-            }
+        let fut = PureFuture::spawn(&pool, self.s.opts.steal, task);
+        Counters::bump(&self.s.counters.futures_spawned);
+        if fut.pushed_local() {
+            Counters::bump(&self.s.counters.local_pushes);
         }
+        self.pending.0.push(ResPending {
+            depth: self.depth,
+            slot: sp.slot,
+            coerce: sp.coerce,
+            fid,
+            vals: vals_kept,
+            fut,
+        });
         Ok(())
     }
 
     /// Force a batch's futures in spawn order. Slots without a pending
-    /// entry were resolved inline and are skipped. All listed futures
-    /// are drained before the first error (earliest in slot order)
-    /// propagates, so no task outlives its join point on success paths.
+    /// entry were resolved inline and are skipped. A future nobody
+    /// claimed yet is *revoked* ([`PureFuture::cancel`]) and its call
+    /// runs inline right here — the spawn cost collapses to a queue
+    /// round trip. All listed futures are drained before the first
+    /// error (earliest in slot order) propagates, so no task outlives
+    /// its join point on success paths.
     fn exec_await(&mut self, slots: &[u32]) -> RtResult<()> {
         let mut first_err: Option<RuntimeError> = None;
         for &slot in slots {
@@ -2399,10 +2405,22 @@ impl RInterp {
                 continue;
             };
             let p = self.pending.0.remove(pos);
-            let (res, helped) = p.fut.wait();
-            if helped {
-                Counters::bump(&self.s.counters.futures_helped);
-            }
+            let res = match p.fut.cancel() {
+                // Revoked-and-inlined futures stay counted in
+                // `futures_spawned` only; `futures_inlined` is reserved
+                // for spawn sites the admission throttle bounced.
+                Ok(()) => self.call_user(p.fid, &p.vals, Span::DUMMY),
+                Err(fut) => {
+                    let (res, report) = fut.wait();
+                    if report.helped {
+                        Counters::bump(&self.s.counters.futures_helped);
+                    }
+                    if report.stolen {
+                        Counters::bump(&self.s.counters.tasks_stolen);
+                    }
+                    res
+                }
+            };
             match res {
                 Ok(v) => self.store_slot(p.slot, p.coerce.apply(v)),
                 Err(e) => {

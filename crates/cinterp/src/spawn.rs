@@ -46,20 +46,51 @@
 //! in a side list keyed by `(frame, slot)`, so no frame-word tagging is
 //! needed and every other slot access stays on its fast path.
 //!
+//! ## Expression-level spawns: temp introduction
+//!
+//! Statement-shaped sites alone miss the paper's canonical
+//! divide-and-conquer shape, `return f(n - 1) + f(n - 2);` — no local,
+//! no statement boundary, nothing to batch. A **hoisting pre-pass**
+//! therefore runs before batching: every heavy pure call that sits in
+//! an *unconditionally evaluated* position of a statement's expression
+//! (binary operands outside `&&`/`||` right sides and ternary branches,
+//! call arguments, `return` values, `if` conditions, assignment values,
+//! index expressions) and whose arguments are **transparent** (literals,
+//! locals, arithmetic, casts, calls to cacheable functions — no loads,
+//! globals, or side effects) is hoisted into a fresh frame slot:
+//!
+//! ```c
+//! return f(a) + f(b);   ⇒   t1 = f(a); t2 = f(b); return t1 + t2;
+//! ```
+//!
+//! The residual statement reads the temps; the ordinary batch pass then
+//! turns the temp runs into `SpawnPure`/`AwaitSlots`. Hoisting is sound
+//! because the callee is const-like (commutes with everything else in
+//! the statement), the arguments are transparent (their value cannot be
+//! changed by any earlier part of the statement — enforced by rejecting
+//! calls whose arguments mention a slot the statement writes), and the
+//! position is unconditional (the call was going to execute anyway, so
+//! executed-op counters and termination behaviour are unchanged).
+//! Conditional positions — `&&`/`||` right operands, ternary branches,
+//! loop conditions and steps — are never hoisted from.
+//!
 //! One observable caveat, shared with the memo cache: *which* runtime
 //! error surfaces can change when several batched calls fail (the batch
-//! runs all of them; sequential execution would stop at the first). For
-//! programs that do not error, behaviour is bit-identical — the
-//! differential suites assert exactly that.
+//! runs all of them; sequential execution would stop at the first), and
+//! hoisting can surface a failing call's error ahead of an earlier
+//! subexpression's. For programs that do not error, behaviour is
+//! bit-identical — the differential suites assert exactly that.
 
 use crate::resolve::{
-    RDeclKind, RExpr, RExprKind, RPlaceKind, RSpawn, RStmt, RStmtKind, ResolvedProgram, SlotRef,
+    RDeclKind, RExpr, RExprKind, RPlace, RPlaceKind, RSpawn, RStmt, RStmtKind, ResolvedProgram,
+    SlotRef,
 };
 use cfront::span::Span;
 
 /// Run the analysis over a lowered program: compute per-function
-/// spawn-worthiness, then rewrite every function body (including
-/// parallel-region bodies) into spawn batches.
+/// spawn-worthiness, hoist expression-level heavy pure calls into
+/// temps, then rewrite every function body (including parallel-region
+/// bodies) into spawn batches.
 pub(crate) fn analyze(prog: &mut ResolvedProgram) {
     if !prog.any_cacheable {
         return; // no verified-pure const-like functions ⇒ no sites
@@ -69,8 +100,16 @@ pub(crate) fn analyze(prog: &mut ResolvedProgram) {
     if !heavy.iter().any(|&h| h) {
         return;
     }
+    let cacheable: Vec<bool> = prog.funcs.iter().map(|f| f.cacheable).collect();
     for f in &mut prog.funcs {
         let body = std::mem::take(&mut f.body);
+        let mut hoister = Hoister {
+            heavy: &heavy,
+            cacheable: &cacheable,
+            next_slot: f.frame_size as u32,
+        };
+        let body = hoister.hoist_stmts(body);
+        f.frame_size = hoister.next_slot as usize;
         f.body = rewrite_stmts(body, &heavy);
     }
 }
@@ -288,6 +327,382 @@ fn mark_spawn_heavy(prog: &mut ResolvedProgram) {
     }
     for (f, h) in prog.funcs.iter_mut().zip(heavy) {
         f.spawn_heavy = h;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression-level hoisting (temp introduction)
+// ---------------------------------------------------------------------------
+
+/// The hoisting pre-pass: pulls heavy pure calls out of expressions
+/// into fresh frame slots so the batch pass below can spawn them. See
+/// the module docs for the soundness argument.
+struct Hoister<'a> {
+    heavy: &'a [bool],
+    cacheable: &'a [bool],
+    /// Next free frame slot of the function being rewritten; becomes
+    /// its new `frame_size`.
+    next_slot: u32,
+}
+
+impl Hoister<'_> {
+    fn hoist_stmts(&mut self, stmts: Vec<RStmt>) -> Vec<RStmt> {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            self.hoist_stmt(s, &mut out);
+        }
+        out
+    }
+
+    /// Rewrite one statement, appending `[temps…, residual]` to `out`.
+    fn hoist_stmt(&mut self, s: RStmt, out: &mut Vec<RStmt>) {
+        let span = s.span;
+        let kind = match s.kind {
+            RStmtKind::Return(Some(mut e)) => {
+                let written = written_slots(std::slice::from_ref(&e), &[]);
+                // A lone direct `return f(x);` gains nothing from a
+                // temp (a batch of one never spawns) — hoist only
+                // inside its arguments, like the Expr/Decl arms.
+                let direct = matches!(e.kind, RExprKind::CallUser { .. });
+                self.hoist_expr(&mut e, &written, direct, out);
+                RStmtKind::Return(Some(e))
+            }
+            RStmtKind::Expr(Some(mut e)) => {
+                let written = written_slots(std::slice::from_ref(&e), &[]);
+                // `slot = f(args)` as a whole is already a batch
+                // candidate — leave the direct value to the batcher and
+                // only hoist from inside the arguments.
+                let direct = matches!(
+                    &e.kind,
+                    RExprKind::Assign { op: None, place, value }
+                        if matches!(place.kind, RPlaceKind::Local(_))
+                            && matches!(value.kind, RExprKind::CallUser { .. })
+                );
+                self.hoist_expr(&mut e, &written, direct, out);
+                RStmtKind::Expr(Some(e))
+            }
+            RStmtKind::Decl(mut decls) => {
+                let mut written: Vec<u32> = decls
+                    .iter()
+                    .filter_map(|d| match d.target {
+                        SlotRef::Local(slot) => Some(slot),
+                        SlotRef::Global(_) => None,
+                    })
+                    .collect();
+                for d in &decls {
+                    match &d.kind {
+                        RDeclKind::Scalar { init: Some(e), .. } => collect_writes(e, &mut written),
+                        RDeclKind::Array { dims, init } => {
+                            // Array decls are not hoisted from, but
+                            // their writes still poison later inits of
+                            // the same statement.
+                            for e in dims {
+                                collect_writes(e, &mut written);
+                            }
+                            if let Some(e) = init {
+                                collect_writes(e, &mut written);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                // A single scalar `T slot = f(args);` is the batcher's
+                // own shape — hoist only inside the arguments.
+                let direct = decls.len() == 1;
+                for d in &mut decls {
+                    if let RDeclKind::Scalar { init: Some(e), .. } = &mut d.kind {
+                        let direct = direct
+                            && matches!(d.target, SlotRef::Local(_))
+                            && matches!(e.kind, RExprKind::CallUser { .. });
+                        self.hoist_expr(e, &written, direct, out);
+                    }
+                }
+                RStmtKind::Decl(decls)
+            }
+            RStmtKind::If {
+                mut cond,
+                then_branch,
+                else_branch,
+            } => {
+                // The condition evaluates unconditionally at statement
+                // entry; the branches are separate statements.
+                let written = written_slots(std::slice::from_ref(&cond), &[]);
+                self.hoist_expr(&mut cond, &written, false, out);
+                RStmtKind::If {
+                    cond,
+                    then_branch: Box::new(self.hoist_child(*then_branch)),
+                    else_branch: else_branch.map(|e| Box::new(self.hoist_child(*e))),
+                }
+            }
+            RStmtKind::Block(b) => RStmtKind::Block(self.hoist_stmts(b)),
+            // Loop conditions and steps re-evaluate per iteration — no
+            // statement boundary to hoist to; only bodies are rewritten.
+            RStmtKind::While { cond, body } => RStmtKind::While {
+                cond,
+                body: Box::new(self.hoist_child(*body)),
+            },
+            RStmtKind::DoWhile { body, cond } => RStmtKind::DoWhile {
+                body: Box::new(self.hoist_child(*body)),
+                cond,
+            },
+            RStmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => RStmtKind::For {
+                init,
+                cond,
+                step,
+                body: Box::new(self.hoist_child(*body)),
+            },
+            RStmtKind::OmpFor(mut of) => {
+                if let Ok(h) = &mut of.header {
+                    let body = std::mem::replace(
+                        &mut h.body,
+                        RStmt {
+                            kind: RStmtKind::Nop,
+                            span: Span::DUMMY,
+                        },
+                    );
+                    h.body = self.hoist_child(body);
+                }
+                RStmtKind::OmpFor(of)
+            }
+            other => other,
+        };
+        out.push(RStmt { kind, span });
+    }
+
+    /// Rewrite a single-statement child (a branch or loop body),
+    /// wrapping in a block when hoisting produced temps.
+    fn hoist_child(&mut self, s: RStmt) -> RStmt {
+        let span = s.span;
+        let mut buf = Vec::with_capacity(1);
+        self.hoist_stmt(s, &mut buf);
+        if buf.len() == 1 {
+            buf.pop().expect("one statement")
+        } else {
+            RStmt {
+                kind: RStmtKind::Block(buf),
+                span,
+            }
+        }
+    }
+
+    /// Walk the unconditionally evaluated positions of `e`, replacing
+    /// each hoistable heavy pure call with a fresh temp slot read and
+    /// appending `temp = call;` to `out`. `direct` marks a root the
+    /// batch pass already matches whole (its *arguments* are still
+    /// visited).
+    fn hoist_expr(&mut self, e: &mut RExpr, written: &[u32], direct: bool, out: &mut Vec<RStmt>) {
+        match &mut e.kind {
+            RExprKind::CallUser { fid, args } => {
+                let hoistable = !direct
+                    && self.heavy.get(*fid as usize).copied().unwrap_or(false)
+                    && args.iter().all(|a| self.transparent(a))
+                    && !args.iter().any(|a| mentions_slot(a, written));
+                if hoistable {
+                    let slot = self.next_slot;
+                    self.next_slot += 1;
+                    let span = e.span;
+                    let call = std::mem::replace(
+                        e,
+                        RExpr {
+                            kind: RExprKind::Local(slot),
+                            span,
+                        },
+                    );
+                    out.push(RStmt {
+                        kind: RStmtKind::Expr(Some(RExpr {
+                            kind: RExprKind::Assign {
+                                op: None,
+                                place: RPlace {
+                                    kind: RPlaceKind::Local(slot),
+                                    span,
+                                },
+                                value: Box::new(call),
+                            },
+                            span,
+                        })),
+                        span,
+                    });
+                } else {
+                    for a in args {
+                        self.hoist_expr(a, written, false, out);
+                    }
+                }
+            }
+            RExprKind::Binary(op, l, r) => {
+                use cfront::ast::BinOp;
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    // Only the left side evaluates unconditionally.
+                    self.hoist_expr(l, written, false, out);
+                } else {
+                    self.hoist_expr(l, written, false, out);
+                    self.hoist_expr(r, written, false, out);
+                }
+            }
+            RExprKind::Unary(_, inner) | RExprKind::Cast(_, inner) => {
+                self.hoist_expr(inner, written, false, out)
+            }
+            // Branches are conditional; only the test is hoistable.
+            RExprKind::Ternary(c, _, _) => self.hoist_expr(c, written, false, out),
+            RExprKind::Assign { place, value, .. } => {
+                self.hoist_expr(value, written, false, out);
+                self.hoist_place(place, written, out);
+            }
+            RExprKind::Comma(l, r) => {
+                self.hoist_expr(l, written, false, out);
+                self.hoist_expr(r, written, false, out);
+            }
+            RExprKind::CallBuiltin { args, .. } => {
+                for a in args {
+                    self.hoist_expr(a, written, false, out);
+                }
+            }
+            RExprKind::Printf { fmt_expr, args, .. } => {
+                if let Some(f) = fmt_expr {
+                    self.hoist_expr(f, written, false, out);
+                }
+                for a in args {
+                    self.hoist_expr(a, written, false, out);
+                }
+            }
+            RExprKind::Load(place) => self.hoist_place(place, written, out),
+            RExprKind::IncDec(_, place) | RExprKind::AddrOf(place) => {
+                self.hoist_place(place, written, out)
+            }
+            RExprKind::Int(_)
+            | RExprKind::Float(_)
+            | RExprKind::Str(_)
+            | RExprKind::Local(_)
+            | RExprKind::Global(_)
+            | RExprKind::Unknown(_)
+            | RExprKind::IndirectCall
+            | RExprKind::InitList(_) => {}
+        }
+    }
+
+    fn hoist_place(&mut self, p: &mut RPlace, written: &[u32], out: &mut Vec<RStmt>) {
+        match &mut p.kind {
+            RPlaceKind::Index(base, idx) => {
+                self.hoist_expr(base, written, false, out);
+                self.hoist_expr(idx, written, false, out);
+            }
+            RPlaceKind::Deref(inner) => self.hoist_expr(inner, written, false, out),
+            RPlaceKind::Member { base, .. } | RPlaceKind::MemberUnknown { base, .. } => {
+                self.hoist_expr(base, written, false, out)
+            }
+            RPlaceKind::Local(_)
+            | RPlaceKind::Global(_)
+            | RPlaceKind::Unknown(_)
+            | RPlaceKind::NotLvalue => {}
+        }
+    }
+
+    /// Whether evaluating `e` is order-independent and effect-free:
+    /// literals, locals, arithmetic, casts, and calls to cacheable
+    /// functions (which read neither globals nor memory) over such
+    /// operands. Anything that reads mutable state (globals, memory),
+    /// writes, or performs I/O disqualifies — its evaluation cannot be
+    /// moved ahead of the rest of the statement.
+    fn transparent(&self, e: &RExpr) -> bool {
+        match &e.kind {
+            RExprKind::Int(_) | RExprKind::Float(_) | RExprKind::Local(_) => true,
+            RExprKind::Unary(op, inner) => {
+                !matches!(op, cfront::ast::UnOp::Deref) && self.transparent(inner)
+            }
+            RExprKind::Binary(_, l, r) => self.transparent(l) && self.transparent(r),
+            RExprKind::Ternary(c, t, f) => {
+                self.transparent(c) && self.transparent(t) && self.transparent(f)
+            }
+            RExprKind::Cast(_, inner) => self.transparent(inner),
+            RExprKind::CallUser { fid, args } => {
+                self.cacheable.get(*fid as usize).copied().unwrap_or(false)
+                    && args.iter().all(|a| self.transparent(a))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Local slots assigned (or inc/dec'ed) anywhere in `exprs` — plus the
+/// extra `targets` — used to reject hoists whose arguments could read a
+/// value the statement changes.
+fn written_slots(exprs: &[RExpr], targets: &[u32]) -> Vec<u32> {
+    let mut out = targets.to_vec();
+    for e in exprs {
+        collect_writes(e, &mut out);
+    }
+    out
+}
+
+fn collect_writes(e: &RExpr, out: &mut Vec<u32>) {
+    match &e.kind {
+        RExprKind::Assign { place, value, .. } => {
+            if let RPlaceKind::Local(slot) = place.kind {
+                out.push(slot);
+            }
+            collect_place_writes(place, out);
+            collect_writes(value, out);
+        }
+        RExprKind::IncDec(_, place) => {
+            if let RPlaceKind::Local(slot) = place.kind {
+                out.push(slot);
+            }
+            collect_place_writes(place, out);
+        }
+        RExprKind::AddrOf(place) | RExprKind::Load(place) => collect_place_writes(place, out),
+        RExprKind::Unary(_, inner) | RExprKind::Cast(_, inner) => collect_writes(inner, out),
+        RExprKind::Binary(_, l, r) | RExprKind::Comma(l, r) => {
+            collect_writes(l, out);
+            collect_writes(r, out);
+        }
+        RExprKind::Ternary(c, t, f) => {
+            collect_writes(c, out);
+            collect_writes(t, out);
+            collect_writes(f, out);
+        }
+        RExprKind::CallUser { args, .. }
+        | RExprKind::CallBuiltin { args, .. }
+        | RExprKind::InitList(args) => {
+            for a in args {
+                collect_writes(a, out);
+            }
+        }
+        RExprKind::Printf { fmt_expr, args, .. } => {
+            if let Some(f) = fmt_expr {
+                collect_writes(f, out);
+            }
+            for a in args {
+                collect_writes(a, out);
+            }
+        }
+        RExprKind::Int(_)
+        | RExprKind::Float(_)
+        | RExprKind::Str(_)
+        | RExprKind::Local(_)
+        | RExprKind::Global(_)
+        | RExprKind::Unknown(_)
+        | RExprKind::IndirectCall => {}
+    }
+}
+
+fn collect_place_writes(p: &RPlace, out: &mut Vec<u32>) {
+    match &p.kind {
+        RPlaceKind::Index(base, idx) => {
+            collect_writes(base, out);
+            collect_writes(idx, out);
+        }
+        RPlaceKind::Deref(inner) => collect_writes(inner, out),
+        RPlaceKind::Member { base, .. } | RPlaceKind::MemberUnknown { base, .. } => {
+            collect_writes(base, out)
+        }
+        RPlaceKind::Local(_)
+        | RPlaceKind::Global(_)
+        | RPlaceKind::Unknown(_)
+        | RPlaceKind::NotLvalue => {}
     }
 }
 
@@ -689,6 +1104,147 @@ int main() {
         // statement; `b`, `c`, `d` are mutually independent and form one
         // batch — two spawns plus the inline tail `d`.
         assert_eq!(prog.resolved().spawn_sites(), vec![("main", 2)]);
+    }
+
+    const FIB_EXPR: &str = "\
+pure int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main() { return (fib(12) + fib(11)) % 251; }
+";
+
+    /// The paper's canonical shape, with no explicit locals: both
+    /// recursive calls sit inside the `return` expression. The hoist
+    /// pass introduces temps, and the batcher spawns one per site.
+    #[test]
+    fn expression_level_calls_become_spawn_sites() {
+        let prog = program_with_pure(FIB_EXPR, &["fib"]);
+        let resolved = prog.resolved();
+        assert_eq!(resolved.spawn_heavy_functions(), vec!["fib"]);
+        let mut sites = resolved.spawn_sites();
+        sites.sort_unstable();
+        // `return fib(n-1)+fib(n-2)` hoists into a batch of two (one
+        // spawn + inline tail) in fib, and `fib(12)+fib(11)` likewise
+        // in main.
+        assert_eq!(sites, vec![("fib", 1), ("main", 1)]);
+    }
+
+    /// Expression spawns execute identically with futures on and off,
+    /// across engines and against the legacy oracle (which runs the
+    /// original, un-hoisted AST).
+    #[test]
+    fn expression_spawns_match_inline_and_oracle() {
+        let prog = program_with_pure(FIB_EXPR, &["fib"]);
+        let opt = |threads: usize, futures: bool| crate::interp::InterpOptions {
+            threads,
+            futures,
+            memo: false,
+            ..Default::default()
+        };
+        let seq = prog.run(opt(1, false)).expect("sequential");
+        assert_eq!(seq.exit_code, 144 + 89);
+        let legacy = prog.run_legacy(opt(1, false)).expect("legacy");
+        assert_eq!(seq.counters.without_memo(), legacy.counters.without_memo());
+        for threads in [2usize, 4] {
+            let fut = prog.run(opt(threads, true)).expect("futures VM");
+            assert_eq!(fut.exit_code, seq.exit_code, "threads={threads}");
+            assert_eq!(
+                fut.counters.without_memo(),
+                seq.counters.without_memo(),
+                "threads={threads}"
+            );
+            assert!(
+                fut.counters.futures_spawned + fut.counters.futures_inlined > 0,
+                "expression sites must engage: {:?}",
+                fut.counters
+            );
+            let res = prog
+                .run(crate::interp::InterpOptions {
+                    engine: crate::interp::Engine::Resolved,
+                    ..opt(threads, true)
+                })
+                .expect("futures resolved");
+            assert_eq!(res.exit_code, seq.exit_code, "threads={threads}");
+            assert_eq!(
+                res.counters.without_memo(),
+                seq.counters.without_memo(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    /// Conditionally evaluated positions never hoist: `&&`/`||` right
+    /// operands and ternary branches must stay where they are (hoisting
+    /// would execute calls the program may never reach).
+    #[test]
+    fn conditional_positions_are_not_hoisted() {
+        let src = "\
+pure int f(int n) { if (n < 2) return n; return f(n - 1) + f(n - 2); }
+int main() {
+    int a = 0;
+    if (a > 0 && f(30) > 0) a = 1;
+    int b = a ? f(31) : 0;
+    int c = a > 0 || f(5) > 0;
+    return a + b + c;
+}
+";
+        let prog = program_with_pure(src, &["f"]);
+        // f's own body still gets its expression batch; main must not.
+        assert_eq!(prog.resolved().spawn_sites(), vec![("f", 1)]);
+        let r = prog
+            .run(crate::interp::InterpOptions {
+                threads: 4,
+                ..Default::default()
+            })
+            .expect("runs");
+        // a == 0, so neither guarded call executes: b == 0, c == 1.
+        assert_eq!(r.exit_code, 1);
+    }
+
+    /// Arguments that mention a slot the same statement writes cannot
+    /// be hoisted ahead of it (`int a = ..., b = f(a);` — `a` is bound
+    /// mid-statement).
+    #[test]
+    fn same_statement_writes_block_hoisting() {
+        let src = "\
+pure int f(int n) { int acc = 0; for (int i = 0; i < n; i++) acc += i; return acc; }
+int main() {
+    int a = 3, b = f(a) + f(4);
+    return a + b;
+}
+";
+        let prog = program_with_pure(src, &["f"]);
+        assert!(prog.resolved().spawn_sites().is_empty());
+        let r = prog
+            .run(crate::interp::InterpOptions {
+                threads: 4,
+                ..Default::default()
+            })
+            .expect("runs");
+        assert_eq!(r.exit_code, 3 + 3 + 6);
+    }
+
+    /// Hoisted temps from *different statements* merge into one batch:
+    /// a statement-level site followed by an expression-level site.
+    #[test]
+    fn expression_and_statement_sites_batch_together() {
+        let src = "\
+pure int f(int n) { int acc = 0; for (int i = 0; i < n; i++) acc += i; return acc; }
+int main() {
+    int a = f(10);
+    return a + f(11) + f(12);
+}
+";
+        let prog = program_with_pure(src, &["f"]);
+        // `a = f(10)` plus the two hoisted temps form one batch of
+        // three: two spawns, one inline tail.
+        assert_eq!(prog.resolved().spawn_sites(), vec![("main", 2)]);
+        let r = prog
+            .run(crate::interp::InterpOptions {
+                threads: 4,
+                memo: false,
+                ..Default::default()
+            })
+            .expect("runs");
+        assert_eq!(r.exit_code, 45 + 55 + 66);
     }
 
     /// Spawn sites inside a parallel-region body are found too.

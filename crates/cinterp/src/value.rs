@@ -857,6 +857,8 @@ pub struct Tally {
     pub futures_spawned: u64,
     pub futures_inlined: u64,
     pub futures_helped: u64,
+    pub tasks_stolen: u64,
+    pub local_pushes: u64,
 }
 
 impl Tally {
@@ -877,6 +879,8 @@ impl Tally {
         self.futures_spawned += other.futures_spawned;
         self.futures_inlined += other.futures_inlined;
         self.futures_helped += other.futures_helped;
+        self.tasks_stolen += other.tasks_stolen;
+        self.local_pushes += other.local_pushes;
     }
 
     /// Flush into the shared atomics (once per thread per join point).
@@ -895,6 +899,10 @@ impl Tally {
             .fetch_add(self.futures_inlined, Ordering::Relaxed);
         c.futures_helped
             .fetch_add(self.futures_helped, Ordering::Relaxed);
+        c.tasks_stolen
+            .fetch_add(self.tasks_stolen, Ordering::Relaxed);
+        c.local_pushes
+            .fetch_add(self.local_pushes, Ordering::Relaxed);
     }
 }
 
@@ -930,15 +938,24 @@ pub struct Counters {
     pub memo_hits: AtomicU64,
     /// Pure-call memoization cache misses (consults that executed).
     pub memo_misses: AtomicU64,
-    /// Pure-call futures submitted to the worker pool.
+    /// Pure-call futures submitted to the worker pool (including
+    /// futures later revoked at their await and run inline — the
+    /// cancellation fast path).
     pub futures_spawned: AtomicU64,
-    /// Spawn sites that executed inline because the pool was saturated
-    /// (with futures disabled, spawn sites run as plain calls and are
-    /// not counted here).
+    /// Spawn sites that executed inline because the admission throttle
+    /// refused capacity (with futures disabled, spawn sites run as
+    /// plain calls and are not counted here). Disjoint from
+    /// `futures_spawned`: every spawn site lands in exactly one.
     pub futures_inlined: AtomicU64,
-    /// Awaits issued from a pool worker that had to *help* (drain the
-    /// task queue) because the future was still in flight.
+    /// Awaits issued from a pool worker that had to *help* (claim queued
+    /// tasks) because the future was still in flight.
     pub futures_helped: AtomicU64,
+    /// Futures executed by a *different* worker than the one that pushed
+    /// them onto its local deque — the work-stealing path engaging.
+    pub tasks_stolen: AtomicU64,
+    /// Futures pushed onto the spawning worker's own deque (vs routed
+    /// through the shared injector).
+    pub local_pushes: AtomicU64,
 }
 
 impl Counters {
@@ -973,6 +990,8 @@ impl Counters {
             futures_spawned: self.futures_spawned.load(Ordering::Relaxed),
             futures_inlined: self.futures_inlined.load(Ordering::Relaxed),
             futures_helped: self.futures_helped.load(Ordering::Relaxed),
+            tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
+            local_pushes: self.local_pushes.load(Ordering::Relaxed),
         }
     }
 }
@@ -995,6 +1014,13 @@ pub struct CounterSnapshot {
     pub futures_spawned: u64,
     pub futures_inlined: u64,
     pub futures_helped: u64,
+    /// Work-stealing statistics of this run's futures: how many were
+    /// pushed onto the spawning worker's own deque, and how many of
+    /// those a *different* worker ended up executing. Scheduling-
+    /// dependent like the other futures stats — excluded from the
+    /// differential projection.
+    pub tasks_stolen: u64,
+    pub local_pushes: u64,
 }
 
 impl CounterSnapshot {
@@ -1017,6 +1043,8 @@ impl CounterSnapshot {
             futures_spawned: 0,
             futures_inlined: 0,
             futures_helped: 0,
+            tasks_stolen: 0,
+            local_pushes: 0,
             ..*self
         }
     }

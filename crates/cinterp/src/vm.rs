@@ -173,10 +173,15 @@ struct Vm {
     futures_pool: Option<Arc<ThreadPool>>,
 }
 
-/// One in-flight pure call of this VM.
+/// One in-flight pure call of this VM. `fid`/`args` duplicate what the
+/// queued task owns so that a future revoked at its await
+/// ([`PureFuture::cancel`]) can run as a plain inline call on this VM —
+/// no child VM, no state merge.
 struct VmPending {
     abs: usize,
     coerce: Coerce,
+    fid: u32,
+    args: Vec<Scalar>,
     fut: PureFuture<VmFutureOut>,
 }
 
@@ -733,19 +738,21 @@ impl Vm {
     fn exec_spawn(&mut self, sp: BSpawn, base: usize, span: Span) -> RtResult<()> {
         let nargs = sp.nargs as usize;
         let abs = base + sp.slot as usize;
-        let mut saturated = false;
+        let mut throttled = false;
         if self.futures_on() {
-            // Saturation is THE hot case once every worker is busy (the
-            // granularity throttle of the recursion), so it is checked
-            // before any argument marshalling: one atomic load, then the
-            // call runs inline on this VM like a plain call statement.
+            // The throttle is THE hot case once every worker is busy
+            // (the granularity governor of the recursion), so it is
+            // checked before any argument marshalling: the hardware-
+            // clamped pool-wide pending cap, plus — from a pool worker
+            // — its own exposed-task budget (a handful of relaxed
+            // loads, see machine::spawn_capacity) — then the call runs
+            // inline on this VM like a plain call statement.
             let pool = self.futures_pool();
-            saturated =
-                pool.pending_tasks() >= self.s.opts.threads.max(1) * machine::SATURATION_FACTOR;
+            throttled = !machine::spawn_capacity(&pool, self.s.opts.threads, self.s.opts.steal);
         }
-        if !self.futures_on() || saturated {
+        if !self.futures_on() || throttled {
             // Exactly the original call statement: call, coerce, store.
-            if saturated {
+            if throttled {
                 self.tally.futures_inlined += 1;
             }
             self.call_user(sp.fid, nargs, span)?;
@@ -782,24 +789,20 @@ impl Vm {
         let shared = self.s.clone();
         let fid = sp.fid;
         let depth = self.depth;
+        let args_kept = args.clone();
         let task = move || run_future_task(shared, frozen, fid, args, depth);
-        match PureFuture::spawn(&pool, self.s.opts.threads, task) {
-            Ok(fut) => {
-                self.tally.futures_spawned += 1;
-                self.pending.0.push(VmPending {
-                    abs,
-                    coerce: sp.coerce,
-                    fut,
-                });
-            }
-            Err(task) => {
-                // Pool saturated between the pre-check and the submit
-                // (rare): run the prepared task here, now.
-                self.tally.futures_inlined += 1;
-                let out = task();
-                self.absorb_future(out, abs, sp.coerce)?;
-            }
+        let fut = PureFuture::spawn(&pool, self.s.opts.steal, task);
+        self.tally.futures_spawned += 1;
+        if fut.pushed_local() {
+            self.tally.local_pushes += 1;
         }
+        self.pending.0.push(VmPending {
+            abs,
+            coerce: sp.coerce,
+            fid,
+            args: args_kept,
+            fut,
+        });
         Ok(())
     }
 
@@ -1231,6 +1234,19 @@ impl Vm {
                     };
                     self.mem_store(p.offset(i), v, f.spans[pc])?;
                 }
+                Op::CompoundIdxLL => {
+                    let rv = self.pop();
+                    let bv = self.arena[base + (insn.a & 0xFFFF) as usize];
+                    let iv = self.arena[base + (insn.a >> 16) as usize];
+                    let i = self.to_i64(iv);
+                    let p = self.index_ptr(bv, f.spans[pc])?.offset(i);
+                    let old = self.mem_load(p, f.spans[pc])?;
+                    let res = self.binop(binop_decode(insn.b & 0xFF), old, rv, f.spans[pc])?;
+                    self.mem_store(p, res, f.spans[pc])?;
+                    if insn.b & 0x100 == 0 {
+                        self.stack.push(res);
+                    }
+                }
                 Op::SpawnPure => {
                     let sp = f.spawns[insn.a as usize];
                     self.exec_spawn(sp, base, f.spans[pc])?;
@@ -1239,11 +1255,39 @@ impl Vm {
                     let abs = base + insn.a as usize;
                     if let Some(pos) = self.pending.0.iter().rposition(|p| p.abs == abs) {
                         let p = self.pending.0.remove(pos);
-                        let (out, helped) = p.fut.wait();
-                        if helped {
-                            self.tally.futures_helped += 1;
-                        }
-                        if let Err(e) = self.absorb_future(out, p.abs, p.coerce) {
+                        let res = match p.fut.cancel() {
+                            Ok(()) => {
+                                // Nobody claimed the task between spawn
+                                // and await: revoke it and run the call
+                                // inline on this VM — the spawn costs
+                                // one push and two CASes, nothing more.
+                                // (Still counted only in futures_spawned;
+                                // futures_inlined is reserved for sites
+                                // the admission throttle bounced.)
+                                let span = f.spans[pc];
+                                let nargs = p.args.len();
+                                for a in &p.args {
+                                    let v = self.pack(*a);
+                                    self.stack.push(v);
+                                }
+                                self.call_user(p.fid, nargs, span).map(|()| {
+                                    let v = self.pop();
+                                    let v = self.coerce_packed(p.coerce, v);
+                                    self.arena[p.abs] = v;
+                                })
+                            }
+                            Err(fut) => {
+                                let (out, report) = fut.wait();
+                                if report.helped {
+                                    self.tally.futures_helped += 1;
+                                }
+                                if report.stolen {
+                                    self.tally.tasks_stolen += 1;
+                                }
+                                self.absorb_future(out, p.abs, p.coerce)
+                            }
+                        };
+                        if let Err(e) = res {
                             // Drain the batch's (and any outer frame's)
                             // remaining futures before failing, like the
                             // resolved engine's exec_await: no task may

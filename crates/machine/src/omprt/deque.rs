@@ -1,0 +1,316 @@
+//! Chase–Lev work-stealing deque, specialised to boxed pool tasks.
+//!
+//! One deque per pool worker: the **owner** pushes and pops at the
+//! bottom (LIFO — the newest task is the hottest, and in divide-and-
+//! conquer spawning it is the deepest subtree, which keeps the owner's
+//! working set cache-resident), while **thieves** steal from the top
+//! (FIFO — the oldest task is the *largest* remaining subtree, so one
+//! steal migrates the most work per synchronisation). This is the
+//! classic Chase–Lev layout with the memory orderings of Lê et al.,
+//! "Correct and Efficient Work-Stealing for Weak Memory Models"
+//! (PPoPP'13):
+//!
+//! * `push` publishes the slot before the new `bottom` (release fence);
+//! * `pop` reserves the bottom slot, then a `SeqCst` fence orders the
+//!   reservation against thieves' `top` reads; the last element is
+//!   raced for with a CAS on `top`;
+//! * `steal` reads `top`, fences, reads `bottom`, and claims the top
+//!   element with a CAS — a failed CAS means another thief (or the
+//!   owner's last-element pop) won, and the caller should retry.
+//!
+//! The ring buffer grows by doubling. Superseded buffers are **retired,
+//! not freed**: a thief that loaded the old buffer pointer may still
+//! read a slot from it after the owner swapped in the grown copy, and
+//! that read is only safe while the old allocation stays alive. Retired
+//! buffers are reclaimed when the deque itself drops — bounded memory
+//! (the sum of a geometric series, < 2× the final buffer) traded for
+//! zero synchronisation on the read side.
+//!
+//! Tasks are double-boxed (`Box<Task>` around the fat `Box<dyn FnOnce>`)
+//! so each slot is a single thin pointer word, loadable and storable
+//! with one atomic access.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+
+/// The pool's task type (mirrors `pool::Task`).
+pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Result of one steal attempt.
+pub(crate) enum Steal {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race (another thief or the owner took the element); the
+    /// deque may still be non-empty — retry.
+    Retry,
+    /// Successfully claimed the top task.
+    Task(Task),
+}
+
+/// Ring buffer of one capacity generation. Slots hold thin `*mut Task`
+/// words; indices are taken modulo `cap` (a power of two).
+struct Buffer {
+    cap: usize,
+    slots: Box<[AtomicPtr<Task>]>,
+}
+
+impl Buffer {
+    fn boxed(cap: usize) -> Box<Buffer> {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        Box::new(Buffer { cap, slots })
+    }
+
+    #[inline]
+    fn slot(&self, i: isize) -> &AtomicPtr<Task> {
+        &self.slots[(i as usize) & (self.cap - 1)]
+    }
+}
+
+/// One worker's deque. `push`/`pop` must only be called by the owning
+/// worker thread; `steal` and `len` may be called from any thread.
+pub(crate) struct WorkDeque {
+    /// Steal end (oldest element).
+    top: AtomicIsize,
+    /// Owner end (one past the newest element).
+    bottom: AtomicIsize,
+    /// Current ring buffer; swapped (never mutated in place) on growth.
+    buf: AtomicPtr<Buffer>,
+    /// Superseded buffers, kept alive until the deque drops so racing
+    /// thieves can still read slots from them (see module docs).
+    retired: Mutex<Vec<*mut Buffer>>,
+}
+
+// SAFETY: all cross-thread accesses go through atomics with the
+// orderings documented above; raw buffer pointers are only freed at
+// `Drop`, when no other thread can hold a reference.
+unsafe impl Send for WorkDeque {}
+unsafe impl Sync for WorkDeque {}
+
+impl WorkDeque {
+    pub(crate) fn new() -> Self {
+        WorkDeque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buf: AtomicPtr::new(Box::into_raw(Buffer::boxed(64))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Approximate number of queued entries (live *and* revoked — the
+    /// spawn throttle uses the pool's exposed-task counters instead).
+    /// Racy by design (plain relaxed loads); never negative.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Owner-only: push a task at the bottom.
+    pub(crate) fn push(&self, task: Task) {
+        let cell = Box::into_raw(Box::new(task));
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        // SAFETY: `buf` always points at a live Buffer (owner is the
+        // only writer of the pointer, and buffers outlive the deque).
+        let mut buf = unsafe { &*self.buf.load(Ordering::Relaxed) };
+        if b - t >= buf.cap as isize {
+            self.grow(t, b);
+            buf = unsafe { &*self.buf.load(Ordering::Relaxed) };
+        }
+        buf.slot(b).store(cell, Ordering::Relaxed);
+        // Publish the slot before the new bottom so a thief that sees
+        // bottom = b + 1 also sees the task pointer.
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Owner-only: pop the newest task (LIFO).
+    pub(crate) fn pop(&self) -> Option<Task> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // SAFETY: as in `push`.
+        let buf = unsafe { &*self.buf.load(Ordering::Relaxed) };
+        self.bottom.store(b, Ordering::Relaxed);
+        // Order the bottom reservation against thieves' top reads.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let cell = buf.slot(b).load(Ordering::Relaxed);
+            if t == b {
+                // Single element left: race the thieves for it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if !won {
+                    return None;
+                }
+            }
+            // SAFETY: winning the index (either b > t, unreachable by
+            // thieves, or the CAS above) transfers ownership of `cell`.
+            Some(*unsafe { Box::from_raw(cell) })
+        } else {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Any thread: try to steal the oldest task (FIFO).
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // SAFETY: the pointer is live (buffers are retired, not freed);
+        // a stale pointer still holds element `t` because the owner
+        // never writes to a retired buffer.
+        let buf = unsafe { &*self.buf.load(Ordering::Acquire) };
+        let cell = buf.slot(t).load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        // SAFETY: the CAS claimed index `t` exclusively.
+        Steal::Task(*unsafe { Box::from_raw(cell) })
+    }
+
+    /// Owner-only: double the buffer, copying the live range `t..b`.
+    /// The old buffer is retired (kept allocated) for racing thieves.
+    fn grow(&self, t: isize, b: isize) {
+        let old_ptr = self.buf.load(Ordering::Relaxed);
+        // SAFETY: live buffer, owner-only path.
+        let old = unsafe { &*old_ptr };
+        let bigger = Buffer::boxed(old.cap * 2);
+        for i in t..b {
+            bigger
+                .slot(i)
+                .store(old.slot(i).load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.buf.store(Box::into_raw(bigger), Ordering::Release);
+        self.retired.lock().push(old_ptr);
+    }
+}
+
+impl Drop for WorkDeque {
+    fn drop(&mut self) {
+        // Unexecuted tasks (there are none on orderly shutdown — the
+        // pool drains before dropping) are released, not run.
+        while self.pop().is_some() {}
+        // SAFETY: exclusive access; every pointer was Box::into_raw'd.
+        unsafe {
+            drop(Box::from_raw(*self.buf.get_mut()));
+            for p in self.retired.get_mut().drain(..) {
+                drop(Box::from_raw(p));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64};
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let d = WorkDeque::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3u64 {
+            let log = Arc::clone(&log);
+            d.push(Box::new(move || log.lock().push(i)));
+        }
+        assert_eq!(d.len(), 3);
+        // Thief sees the oldest first.
+        match d.steal() {
+            Steal::Task(t) => t(),
+            _ => panic!("steal must succeed"),
+        }
+        // Owner sees the newest first.
+        d.pop().expect("pop")();
+        d.pop().expect("pop")();
+        assert!(d.pop().is_none());
+        assert_eq!(*log.lock(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let d = WorkDeque::new();
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            d.push(Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        assert_eq!(d.len(), 1000);
+        while let Some(t) = d.pop() {
+            t();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    /// Owner pushes and pops while three thieves hammer `steal`: every
+    /// task must execute exactly once (conservation), across buffer
+    /// growth and last-element races.
+    #[test]
+    fn concurrent_steal_hammer_conserves_tasks() {
+        const TASKS: u64 = 20_000;
+        let d = Arc::new(WorkDeque::new());
+        let executed = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(AtomicBool::new(false));
+        let mut thieves = Vec::new();
+        for _ in 0..3 {
+            let d = Arc::clone(&d);
+            let done = Arc::clone(&done);
+            thieves.push(std::thread::spawn(move || loop {
+                match d.steal() {
+                    Steal::Task(t) => t(),
+                    Steal::Retry => std::hint::spin_loop(),
+                    Steal::Empty => {
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        // Owner: bursts of pushes interleaved with pops.
+        for burst in 0..(TASKS / 100) {
+            for _ in 0..100 {
+                let e = Arc::clone(&executed);
+                d.push(Box::new(move || {
+                    e.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            if burst % 2 == 0 {
+                for _ in 0..40 {
+                    if let Some(t) = d.pop() {
+                        t();
+                    }
+                }
+            }
+        }
+        while let Some(t) = d.pop() {
+            t();
+        }
+        done.store(true, Ordering::Release);
+        for t in thieves {
+            t.join().expect("thief");
+        }
+        // Thieves may have claimed elements the owner's final drain
+        // missed; after joining, everything ran exactly once.
+        assert_eq!(executed.load(Ordering::Relaxed), TASKS);
+        assert_eq!(d.len(), 0);
+    }
+}

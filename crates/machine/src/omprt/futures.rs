@@ -7,23 +7,41 @@
 //! the persistent [`ThreadPool`] while the caller keeps executing, and
 //! is *forced* at the first use of its result.
 //!
-//! Three disciplines keep this safe and fast on a finite pool:
+//! Five disciplines keep this safe and fast on a finite pool:
 //!
-//! * **Saturation fallback** — [`PureFuture::spawn`] refuses to enqueue
-//!   when the pool already has enough outstanding work
-//!   ([`SATURATION_FACTOR`] × the requested width) and hands the closure
-//!   back so the caller runs it **inline**. This is the dynamic
-//!   granularity throttle: near the root of a divide-and-conquer tree
-//!   the queue is short and calls spawn; once every worker is busy the
-//!   recursion bottoms out inline with only an atomic load of overhead
-//!   per call.
+//! * **Local spawning** — a *worker* that spawns a future pushes it onto
+//!   its **own deque** (one release fence, no lock, no contention); idle
+//!   siblings steal the oldest entry, which in divide-and-conquer
+//!   recursion is the *largest* pending subtree. External (non-worker)
+//!   spawns go through the pool's injector. `steal = false` forces the
+//!   injector from workers too — the single-queue substrate kept for
+//!   A/B comparison.
+//! * **Exposure throttle** — a worker stops spawning once
+//!   [`LOCAL_QUEUE_LIMIT`] of its pushed futures sit unclaimed
+//!   ([`spawn_capacity`], the admission policy the engines consult,
+//!   trips and the call runs **inline**; a 1-hardware-thread host
+//!   admits no task parallelism at all). The exposed count —
+//!   pushed, not yet claimed by an executor, not yet revoked by an
+//!   awaiter — is the *right* granularity signal: it measures
+//!   parallelism this worker has offered that nobody has taken — once
+//!   siblings stop stealing, recursion bottoms out inline at the cost of
+//!   two relaxed loads per call. (The raw deque length would not do:
+//!   revoked entries linger as no-op pops, and thieves popping them
+//!   would re-admit spawns at the churn rate.) Injector spawns keep the
+//!   coarser pool-wide throttle ([`SATURATION_FACTOR`] × width).
+//! * **Await-time cancellation** — before waiting, an awaiter tries to
+//!   *revoke* its future with one CAS ([`PureFuture::cancel`]): if no
+//!   worker has claimed the task yet, the caller runs the call inline
+//!   (no result cell, no cross-thread marshalling) and the queued entry
+//!   becomes a no-op pop. Spawned subtrees therefore stay stealable for
+//!   their whole spawn-to-await window, yet the bottomed-out recursion
+//!   (nobody idle, nothing stolen) pays only push + CAS per call.
 //! * **Helping awaits** — [`PureFuture::wait`] issued *from a pool
-//!   worker* must not block the worker: it drains queued tasks until its
-//!   future completes (via [`ThreadPool::join_group`], the same
-//!   mechanism that keeps nested parallel regions deadlock-free — the
-//!   "help while waiting" join discipline). A fully occupied pool
-//!   whose workers all await nested futures therefore always makes
-//!   progress.
+//!   worker* must not block the worker: it claims queued tasks (own
+//!   deque first — usually the awaited future itself, still unstolen —
+//!   then injector, then steals) until its future completes, via
+//!   [`ThreadPool::join_group`]. A fully occupied pool whose workers all
+//!   await nested futures therefore always makes progress.
 //! * **Ownership** — the spawned closure owns everything it touches
 //!   (`'static`), so an await abandoned by an unwinding caller leaves a
 //!   detached task that finishes harmlessly; no lifetime erasure is
@@ -31,51 +49,217 @@
 //!
 //! Each future is its own single-task [`TaskGroup`] generation: the
 //! await waits for exactly that task, and a panic inside the closure
-//! re-raises at the await (never at drop).
+//! re-raises at the await (never at drop) — including panics in tasks
+//! that were *stolen* by another worker.
 
-use crate::omprt::pool::{TaskGroup, ThreadPool};
+use crate::omprt::pool::{worker_index, TaskGroup, ThreadPool};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Outstanding-task multiple beyond which spawns fall back to inline
-/// execution: with `w` requested workers, at most `SATURATION_FACTOR *
-/// w` submitted-but-unfinished tasks are allowed before new spawn sites
-/// stop enqueueing. Small enough to bound queue memory and keep leaf
-/// calls inline, large enough that a worker finishing its subtree always
-/// finds the next one already queued.
+/// Outstanding-task multiple beyond which **injector** spawns fall back
+/// to inline execution: with `w` requested workers, at most
+/// `SATURATION_FACTOR * w` submitted-but-unfinished tasks are allowed
+/// before external spawn sites stop enqueueing.
 pub const SATURATION_FACTOR: usize = 2;
+
+/// Exposed-task budget at which a **worker** stops spawning futures and
+/// runs the call inline instead: at most this many of a worker's pushed
+/// futures may sit unclaimed-and-unrevoked at once. Deep enough that a
+/// thief always finds the next subtree queued, shallow enough that leaf
+/// calls never pay spawn overhead once every sibling is busy.
+pub const LOCAL_QUEUE_LIMIT: usize = 8;
+
+/// Sentinel for "executed, but not on a pool worker" (unreachable in
+/// practice — futures only run on pool workers).
+const EXEC_NONE: usize = usize::MAX;
+
+/// Claim states of a future's task: enqueued and up for grabs, claimed
+/// by the worker about to run it, or revoked by the awaiting caller.
+const STATE_QUEUED: u8 = 0;
+const STATE_CLAIMED: u8 = 1;
+const STATE_CANCELLED: u8 = 2;
+
+/// What one await learned about its future's scheduling: whether the
+/// waiting worker *helped* (executed queued tasks while waiting) and
+/// whether the task was *stolen* (executed by a different worker than
+/// the one that pushed it onto its local deque).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FutureReport {
+    pub helped: bool,
+    pub stolen: bool,
+}
+
+/// State shared between a future's handle and its queued task, in one
+/// allocation (spawn is the hot path — one `Arc` beats three): the
+/// claim state ([`STATE_QUEUED`] / [`STATE_CLAIMED`] /
+/// [`STATE_CANCELLED`], the cancellation handshake), the executor
+/// attribution, and the cell the result lands in.
+struct FutureShared<T> {
+    state: AtomicU8,
+    executed_by: AtomicUsize,
+    cell: Mutex<Option<T>>,
+}
 
 /// One in-flight pure call: a single-task generation on the shared pool
 /// plus the cell its result lands in.
 pub struct PureFuture<T> {
     pool: Arc<ThreadPool>,
     group: TaskGroup,
-    cell: Arc<Mutex<Option<T>>>,
+    shared: Arc<FutureShared<T>>,
+    /// Worker index that pushed this task onto its own deque (`None`
+    /// for injector submits).
+    pusher: Option<usize>,
+    /// The pushing worker's exposed-task counter (local pushes only);
+    /// decremented once, by whichever of claim/cancel wins.
+    exposure: Option<Arc<AtomicUsize>>,
+}
+
+/// Host hardware parallelism, cached (the spawn throttle consults it on
+/// every spawn attempt).
+fn hardware_width() -> usize {
+    static HW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Whether a spawn would be accepted right now — the engines' cheap
+/// pre-check before marshalling arguments. Every spawn is subject to
+/// the pool-wide saturation throttle: `pending` (queued *and* running)
+/// below [`SATURATION_FACTOR`] × the *effective* width — the requested
+/// `--threads`, clamped to the host's hardware parallelism, because
+/// exposing more in-flight tasks than the machine can physically run
+/// buys nothing and costs a queue round trip per task (asking for 4
+/// threads on a 1-core box must not pay 4-way spawn overhead). A worker
+/// of `pool` (with `steal` on) is additionally subject to its own
+/// exposed-task budget, which stops any one worker from hoarding offers
+/// nobody takes.
+pub fn spawn_capacity(pool: &ThreadPool, width: usize, steal: bool) -> bool {
+    let hw = hardware_width();
+    if hw == 1 {
+        // A single hardware thread can never run tasks in parallel:
+        // every spawn would be a queue round trip for nothing (the
+        // oversubscribed workers would churn tasks at timeslice speed).
+        // Spawn sites degrade to plain inline calls.
+        return false;
+    }
+    if steal {
+        if let Some(depth) = pool.local_depth() {
+            if depth >= LOCAL_QUEUE_LIMIT {
+                return false;
+            }
+        }
+    }
+    pool.pending_tasks() < width.clamp(1, hw).saturating_mul(SATURATION_FACTOR)
 }
 
 impl<T: Send + 'static> PureFuture<T> {
-    /// Try to run `f` as a future on `pool`. `width` is the parallelism
-    /// the caller requested (the interpreter's `--threads`); when the
-    /// pool already has `SATURATION_FACTOR * width` outstanding tasks
-    /// the closure is handed back unrun — the caller executes it inline.
-    pub fn spawn<F>(pool: &Arc<ThreadPool>, width: usize, f: F) -> Result<PureFuture<T>, F>
+    /// Run `f` as a future on `pool`. This is the *mechanism* — it
+    /// always enqueues; admission *policy* is the caller's, via
+    /// [`spawn_capacity`] (the engines consult it before marshalling
+    /// arguments and fall back to a plain inline call when it trips).
+    /// `steal = false` (the `--no-steal` A/B) routes the spawn through
+    /// the shared injector instead of the spawning worker's deque.
+    pub fn spawn<F>(pool: &Arc<ThreadPool>, steal: bool, f: F) -> PureFuture<T>
     where
         F: FnOnce() -> T + Send + 'static,
     {
-        if pool.pending_tasks() >= width.max(1).saturating_mul(SATURATION_FACTOR) {
-            return Err(f);
-        }
         let group = pool.group();
-        let cell = Arc::new(Mutex::new(None));
-        let out = Arc::clone(&cell);
-        pool.submit_to(&group, move || {
-            *out.lock() = Some(f());
+        let shared = Arc::new(FutureShared {
+            state: AtomicU8::new(STATE_QUEUED),
+            executed_by: AtomicUsize::new(EXEC_NONE),
+            cell: Mutex::new(None),
         });
-        Ok(PureFuture {
+        let pusher = if steal { pool.current_worker() } else { None };
+        // Exposure accounting: a locally-pushed future counts against
+        // its worker's exposed-task budget until it is claimed or
+        // revoked — exactly one of the two CASes below wins, and the
+        // winner releases the budget slot.
+        let exposure = if pusher.is_some() {
+            let h = pool.exposure_handle().expect("pusher is a worker");
+            h.fetch_add(1, Ordering::Relaxed);
+            Some(h)
+        } else {
+            None
+        };
+        let sh = Arc::clone(&shared);
+        let claim_exposure = exposure.clone();
+        let task = move || {
+            // Claim the task; a future the awaiter already revoked
+            // (it ran the call inline) degenerates to a no-op pop.
+            if sh
+                .state
+                .compare_exchange(
+                    STATE_QUEUED,
+                    STATE_CLAIMED,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                return;
+            }
+            if let Some(h) = &claim_exposure {
+                h.fetch_sub(1, Ordering::Relaxed);
+            }
+            sh.executed_by
+                .store(worker_index().unwrap_or(EXEC_NONE), Ordering::Relaxed);
+            *sh.cell.lock() = Some(f());
+        };
+        if pusher.is_some() {
+            pool.submit_to(&group, task);
+        } else {
+            pool.submit_to_shared(&group, task);
+        }
+        PureFuture {
             pool: Arc::clone(pool),
             group,
-            cell,
-        })
+            shared,
+            pusher,
+            exposure,
+        }
+    }
+
+    /// Try to revoke the future before anyone claims it — the awaiter's
+    /// fast path. `Ok(())` means the queued task will never run the
+    /// call: the caller owns it again and executes it **inline** (a
+    /// plain call, no future machinery), while the revoked queue entry
+    /// degenerates to a no-op pop whenever a worker reaches it. `Err`
+    /// hands the future back: some worker already claimed (or finished)
+    /// it, so the caller must [`PureFuture::wait`].
+    ///
+    /// This is what makes deque spawning affordable when nobody steals:
+    /// every spawn stays *available* to idle siblings between push and
+    /// await, but un-stolen work never pays for result marshalling —
+    /// the common bottomed-out case costs one CAS.
+    pub fn cancel(self) -> Result<(), Self> {
+        if self
+            .shared
+            .state
+            .compare_exchange(
+                STATE_QUEUED,
+                STATE_CANCELLED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            if let Some(h) = &self.exposure {
+                h.fetch_sub(1, Ordering::Relaxed);
+            }
+            Ok(())
+        } else {
+            Err(self)
+        }
+    }
+
+    /// Whether this future went onto the spawning worker's own deque
+    /// (`false`: injector submit, or spawned from an external thread).
+    pub fn pushed_local(&self) -> bool {
+        self.pusher.is_some()
     }
 
     /// Whether the spawned task has already finished.
@@ -83,20 +267,28 @@ impl<T: Send + 'static> PureFuture<T> {
         self.group.is_complete()
     }
 
-    /// Force the future: block (or, from a pool worker, *help* — drain
+    /// Force the future: block (or, from a pool worker, *help* — claim
     /// queued tasks) until the result is available. Returns the value
-    /// and whether this await actually helped: `true` means it was
-    /// issued from a pool worker and executed at least one queued task
-    /// while waiting (an await that merely parked reports `false`).
-    /// A panic from the closure re-raises here.
-    pub fn wait(self) -> (T, bool) {
+    /// and a [`FutureReport`]: `helped` means the await was issued from
+    /// a pool worker and executed at least one queued task while waiting
+    /// (an await that merely parked reports `false`); `stolen` means a
+    /// locally-pushed task ended up executed by a *different* worker —
+    /// the deque's steal path actually migrated it. A panic from the
+    /// closure re-raises here.
+    pub fn wait(self) -> (T, FutureReport) {
         let helped = self.pool.join_group(&self.group);
+        let executed = self.shared.executed_by.load(Ordering::Relaxed);
+        let stolen = match self.pusher {
+            Some(p) => executed != EXEC_NONE && executed != p,
+            None => false,
+        };
         let v = self
+            .shared
             .cell
             .lock()
             .take()
             .expect("future task stored its result");
-        (v, helped)
+        (v, FutureReport { helped, stolen })
     }
 }
 
@@ -109,89 +301,206 @@ mod tests {
     #[test]
     fn spawn_and_wait_returns_value() {
         let pool = Arc::new(ThreadPool::new(2, 1, 2));
-        let fut = PureFuture::spawn(&pool, 2, || 6 * 7).ok().expect("spawns");
-        let (v, helped) = fut.wait();
+        let fut = PureFuture::spawn(&pool, true, || 6 * 7);
+        // Spawned from this (non-worker) thread: injector, not a deque.
+        assert!(!fut.pushed_local());
+        let (v, report) = fut.wait();
         assert_eq!(v, 42);
-        // The await came from this (non-worker) thread.
-        assert!(!helped);
+        assert!(!report.helped);
+        assert!(!report.stolen);
     }
 
+    /// The admission policy: a saturated pool (pending at the width
+    /// cap) refuses capacity, and a single-hardware-thread host refuses
+    /// outright — task parallelism cannot win there.
     #[test]
-    fn saturated_pool_returns_the_closure() {
+    fn spawn_capacity_trips_on_saturation() {
         let pool = Arc::new(ThreadPool::new(1, 1, 1));
+        if hardware_width() == 1 {
+            assert!(
+                !spawn_capacity(&pool, 64, true),
+                "1-wide hosts must refuse task parallelism"
+            );
+            return;
+        }
+        assert!(spawn_capacity(&pool, 2, true), "an idle pool has room");
         // Block the lone worker and fill the backlog allowance.
         let gate = Arc::new(AtomicU64::new(0));
         let mut futs = Vec::new();
-        for _ in 0..SATURATION_FACTOR {
+        for _ in 0..2 * SATURATION_FACTOR {
             let g = Arc::clone(&gate);
-            futs.push(
-                PureFuture::spawn(&pool, 1, move || {
-                    while g.load(Ordering::Acquire) == 0 {
-                        std::thread::yield_now();
-                    }
-                    1u64
-                })
-                .ok()
-                .expect("backlog allowance"),
-            );
+            futs.push(PureFuture::spawn(&pool, true, move || {
+                while g.load(Ordering::Acquire) == 0 {
+                    std::thread::yield_now();
+                }
+                1u64
+            }));
         }
-        // The next spawn must bounce: the closure comes back for inline
-        // execution.
-        match PureFuture::spawn(&pool, 1, || 7u64) {
-            Err(f) => assert_eq!(f(), 7),
-            Ok(_) => panic!("saturated pool must refuse to enqueue"),
-        }
+        assert!(
+            !spawn_capacity(&pool, 2, true),
+            "a full backlog must refuse capacity"
+        );
         gate.store(1, Ordering::Release);
         let total: u64 = futs.into_iter().map(|f| f.wait().0).sum();
-        assert_eq!(total, SATURATION_FACTOR as u64);
+        assert_eq!(total, 2 * SATURATION_FACTOR as u64);
     }
 
     #[test]
     fn nested_await_from_worker_helps() {
         // One worker: the outer future's await of the inner future can
-        // only complete because the awaiting worker helps (executes the
-        // inner task itself).
+        // only complete because the awaiting worker helps (pops the
+        // inner task back off its own deque and runs it).
         let pool = Arc::new(ThreadPool::new(1, 1, 1));
         let p2 = Arc::clone(&pool);
-        let fut = PureFuture::spawn(&pool, 4, move || {
-            let inner = PureFuture::spawn(&p2, 4, || 10u64).ok().expect("spawns");
-            let (v, helped) = inner.wait();
-            assert!(helped, "a worker await with the task queued must help");
+        let fut = PureFuture::spawn(&pool, true, move || {
+            let inner = PureFuture::spawn(&p2, true, || 10u64);
+            assert!(inner.pushed_local(), "worker spawns push locally");
+            let (v, report) = inner.wait();
+            assert!(
+                report.helped,
+                "a worker await with the task queued must help"
+            );
+            assert!(!report.stolen, "nobody else could have taken it");
             v + 1
-        })
-        .ok()
-        .expect("spawns");
+        });
         assert_eq!(fut.wait().0, 11);
+    }
+
+    /// The exposure budget: a worker with [`LOCAL_QUEUE_LIMIT`]
+    /// unclaimed offers outstanding gets no more capacity, and awaiting
+    /// them (revoking, here — nobody else can claim them) restores it.
+    #[test]
+    fn exposure_budget_caps_worker_spawns() {
+        let pool = Arc::new(ThreadPool::new(1, 1, 1));
+        let p2 = Arc::clone(&pool);
+        let fut = PureFuture::spawn(&pool, true, move || {
+            // The lone worker is executing *this* closure, so nothing
+            // claims its pushes while it spawns.
+            let mut futs = Vec::new();
+            for i in 0..LOCAL_QUEUE_LIMIT as u64 {
+                futs.push((i, PureFuture::spawn(&p2, true, move || i * 2)));
+            }
+            assert_eq!(p2.local_depth(), Some(LOCAL_QUEUE_LIMIT));
+            assert!(
+                !spawn_capacity(&p2, 64, true),
+                "a full exposure budget must refuse capacity"
+            );
+            for (i, f) in futs {
+                match f.cancel() {
+                    Ok(()) => {}
+                    Err(f) => assert_eq!(f.wait().0, i * 2),
+                }
+            }
+            assert_eq!(p2.local_depth(), Some(0), "awaits restore the budget");
+            7u64
+        });
+        assert_eq!(fut.wait().0, 7);
+    }
+
+    /// Cancellation: an unclaimed future is revoked (the caller runs the
+    /// call inline), a finished one is handed back for a normal wait —
+    /// and the revoked queue entry never runs the closure.
+    #[test]
+    fn cancel_revokes_unclaimed_futures_only() {
+        let pool = Arc::new(ThreadPool::new(1, 1, 1));
+        let ran = Arc::new(AtomicU64::new(0));
+        let p2 = Arc::clone(&pool);
+        let r2 = Arc::clone(&ran);
+        let outer = PureFuture::spawn(&pool, true, move || {
+            // Locally pushed, never stolen (lone worker is busy right
+            // here): cancel must win, and the closure must never run.
+            let r3 = Arc::clone(&r2);
+            let fut = PureFuture::spawn(&p2, true, move || {
+                r3.fetch_add(1, Ordering::Relaxed);
+                7u64
+            });
+            let cancelled = fut.cancel().is_ok();
+            (cancelled, r2)
+        });
+        let ((cancelled, ran2), _) = outer.wait();
+        assert!(cancelled, "unclaimed local future must be revocable");
+        // Drain the zombie entry; the closure still must not run.
+        pool.join();
+        assert_eq!(ran2.load(Ordering::Relaxed), 0, "revoked closure ran");
+
+        // A completed future refuses cancellation and waits normally.
+        let fut = PureFuture::spawn(&pool, true, || 9u64);
+        while !fut.is_ready() {
+            std::thread::yield_now();
+        }
+        match fut.cancel() {
+            Ok(()) => panic!("a claimed future must not cancel"),
+            Err(fut) => assert_eq!(fut.wait().0, 9),
+        }
     }
 
     #[test]
     fn panic_in_future_reraises_at_wait() {
         let pool = Arc::new(ThreadPool::new(2, 1, 2));
-        let fut = PureFuture::spawn(&pool, 2, || -> u64 { panic!("future boom") })
-            .ok()
-            .expect("spawns");
+        let fut = PureFuture::spawn(&pool, true, || -> u64 { panic!("future boom") });
         let r = catch_unwind(AssertUnwindSafe(|| fut.wait()));
         assert!(r.is_err(), "closure panic must surface at the await");
         // The pool survives.
-        let ok = PureFuture::spawn(&pool, 2, || 5u64).ok().expect("spawns");
+        let ok = PureFuture::spawn(&pool, true, || 5u64);
         assert_eq!(ok.wait().0, 5);
+    }
+
+    /// A future pushed onto a blocked worker's deque is stolen by the
+    /// idle sibling; the report says so, and a panicking stolen task
+    /// still re-raises at the await.
+    #[test]
+    fn stolen_future_is_reported_and_its_panic_surfaces() {
+        let pool = Arc::new(ThreadPool::new(2, 1, 2));
+        let p2 = Arc::clone(&pool);
+        let outcome = PureFuture::spawn(&pool, true, move || {
+            let good = PureFuture::spawn(&p2, true, || 21u64);
+            let bad = PureFuture::spawn(&p2, true, || -> u64 { panic!("stolen boom") });
+            assert!(good.pushed_local() && bad.pushed_local());
+            // Refuse to pop: only the sibling's steals can run them.
+            while !(good.is_ready() && bad.is_ready()) {
+                std::thread::yield_now();
+            }
+            let (v, report) = good.wait();
+            assert!(report.stolen, "the sibling must have stolen it");
+            let panicked = catch_unwind(AssertUnwindSafe(|| bad.wait())).is_err();
+            (v, panicked)
+        });
+        let ((v, panicked), _) = outcome.wait();
+        assert_eq!(v, 21);
+        assert!(panicked, "stolen task's panic must re-raise at the await");
+    }
+
+    #[test]
+    fn no_steal_mode_routes_worker_spawns_through_the_injector() {
+        let pool = Arc::new(ThreadPool::new(2, 1, 2));
+        let p2 = Arc::clone(&pool);
+        let fut = PureFuture::spawn(&pool, false, move || {
+            let inner = PureFuture::spawn(&p2, false, || 3u64);
+            assert!(!inner.pushed_local(), "--no-steal must use the injector");
+            inner.wait().0
+        });
+        assert_eq!(fut.wait().0, 3);
     }
 
     #[test]
     fn deep_recursive_spawns_complete_on_a_tiny_pool() {
-        // Recursive spawner: every level tries to spawn its left child
-        // and computes the right inline — the interpreter's pattern.
+        // Recursive spawner: every level spawns its left child (policy
+        // permitting, like the engines) and computes the right inline.
         fn tree(pool: &Arc<ThreadPool>, n: u64) -> u64 {
             if n < 2 {
                 return n;
             }
             let p = Arc::clone(pool);
-            match PureFuture::spawn(pool, 2, move || tree(&p, n - 1)) {
-                Ok(fut) => {
-                    let right = tree(pool, n - 2);
-                    fut.wait().0 + right
-                }
-                Err(f) => f() + tree(pool, n - 2),
+            if spawn_capacity(pool, 2, true) || n > 12 {
+                let fut = PureFuture::spawn(pool, true, move || tree(&p, n - 1));
+                let right = tree(pool, n - 2);
+                let left = match fut.cancel() {
+                    Ok(()) => tree(pool, n - 1),
+                    Err(fut) => fut.wait().0,
+                };
+                left + right
+            } else {
+                tree(pool, n - 1) + tree(pool, n - 2)
             }
         }
         let pool = Arc::new(ThreadPool::new(2, 1, 2));

@@ -8,12 +8,13 @@
 //! satellite vs. LAMA distinction of Sect. 4.3.3/4.3.4) exist as real,
 //! testable code rather than only as cost-model constants.
 
+pub(crate) mod deque;
 pub mod futures;
 pub mod pool;
 pub mod sched;
 
-pub use futures::{PureFuture, SATURATION_FACTOR};
-pub use pool::{global_pool, on_worker_thread, Placement, TaskGroup, ThreadPool};
+pub use futures::{spawn_capacity, FutureReport, PureFuture, LOCAL_QUEUE_LIMIT, SATURATION_FACTOR};
+pub use pool::{global_pool, on_worker_thread, Placement, PoolStats, TaskGroup, ThreadPool};
 pub use sched::{
     parallel_for, parallel_for_pooled, parallel_for_state, parallel_for_state_pooled, OmpSchedule,
 };

@@ -1,16 +1,34 @@
-//! A persistent worker pool with socket-aware virtual pinning.
+//! A persistent worker pool with socket-aware virtual pinning and
+//! per-worker work-stealing deques.
 //!
 //! The paper pins threads with `numactl` so the OS cannot migrate them
 //! between the four Opteron sockets. Our pool reproduces the *assignment*:
 //! each worker is labelled with a virtual core and socket, filling socket 0
 //! completely before spilling onto socket 1 (the `numactl` **compact**
 //! policy the paper's runs use — see [`ThreadPool::new`]), which the NUMA
-//! cost model and the interpreter's first-touch accounting use. Work is
-//! submitted as closures over a crossbeam channel; [`ThreadPool::join`]
-//! blocks until all submitted tasks finish and re-raises the first task
-//! panic.
+//! cost model and the interpreter's first-touch accounting use.
 //!
-//! Two layers of completion tracking:
+//! ## Task routing: deques + injector
+//!
+//! Work distribution is Chase–Lev style ([`crate::omprt::deque`]):
+//!
+//! * every worker owns a **deque** — tasks submitted *from* a pool worker
+//!   (nested regions, pure-call futures) push onto the submitting worker's
+//!   own deque (LIFO local pop, one release fence, no lock, no wakeup
+//!   unless someone is idle);
+//! * external threads submit through a single **injector** queue;
+//! * a worker looks for work in that order — own deque (newest first),
+//!   injector, then **steals** the oldest task from a sibling's deque
+//!   (rotating victim order, so thieves don't convoy on worker 0).
+//!
+//! This replaces the previous single shared channel: divide-and-conquer
+//! pure code used to serialize every spawn on one queue's lock; now a
+//! worker spawning recursively touches only its own deque and the steal
+//! path migrates whole subtrees (FIFO end = biggest pending subtree).
+//!
+//! ## Completion tracking
+//!
+//! Two layers, unchanged from the channel era:
 //!
 //! * the **pool counter** covers every task ever submitted — it is what
 //!   [`ThreadPool::join`] and `Drop` wait on;
@@ -20,29 +38,45 @@
 //!   lets nested parallel regions share one process-wide pool — an inner
 //!   region's join does not wait for (or wake on) unrelated outer tasks.
 //!
-//! Workers are panic-safe: a panicking task is caught, its pool/group
-//! counters are still decremented (a panic must never leave `join` waiting
-//! forever), and the payload is re-raised on the joining thread. A join
-//! issued *from a pool worker* (a nested region) does not block the worker:
-//! it **helps**, draining queued tasks until its group completes, so a pool
-//! of N workers can execute arbitrarily nested regions without deadlock.
+//! ## Invariants
+//!
+//! * Workers are panic-safe: a panicking task is caught, its pool/group
+//!   counters are still decremented (a panic must never leave `join`
+//!   waiting forever — stolen tasks included), and the payload re-raises
+//!   on the joining thread.
+//! * A join issued *from a pool worker* (a nested region, a future await)
+//!   does not block the worker: it **helps** — own deque, injector, then
+//!   steals — until its group completes, so a pool of N workers can
+//!   execute arbitrarily nested regions and futures without deadlock.
+//! * A group's tasks are all enqueued before its join begins (regions
+//!   submit everything first; each future is a single-task group), so a
+//!   helping joiner that scans *every* queue empty may park on the group
+//!   condvar: the group's outstanding tasks are all in flight on other
+//!   threads, and `finish_one` notifies under the lock.
+//! * Idle workers park on a condvar; every enqueue bumps a `queued`
+//!   counter (`SeqCst`) and wakes sleepers when the sleeper count
+//!   (`SeqCst`) is non-zero — the two total-ordered accesses make the
+//!   check-then-park race impossible.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::omprt::deque::{Steal, Task, WorkDeque};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::any::Any;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 
-type Task = Box<dyn FnOnce() + Send + 'static>;
 type PanicPayload = Box<dyn Any + Send + 'static>;
 
 thread_local! {
     /// True on threads owned by *any* [`ThreadPool`] — joins from such
-    /// threads must help drain the queue instead of blocking.
+    /// threads must help drain the queues instead of blocking.
     static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// The owning pool (weak, so a superseded global pool can drop) and
+    /// worker index of this thread, when it is a pool worker.
+    static WORKER_CTX: RefCell<Option<(Weak<PoolCore>, usize)>> = const { RefCell::new(None) };
 }
 
 /// Virtual placement of one worker.
@@ -121,20 +155,167 @@ impl TaskGroup {
 }
 
 /// True on threads owned by any [`ThreadPool`]. Joins and awaits issued
-/// from such a thread must help drain the queue instead of blocking —
+/// from such a thread must help drain the queues instead of blocking —
 /// the nested-region / future-await discipline.
 pub fn on_worker_thread() -> bool {
     IN_POOL_WORKER.with(|c| c.get())
 }
 
-/// Persistent thread pool with deterministic worker → socket placement.
+/// Worker index of the current thread within the pool that owns it (any
+/// pool — used by the futures layer to attribute *where* a task ran).
+pub fn worker_index() -> Option<usize> {
+    WORKER_CTX.with(|c| c.borrow().as_ref().map(|(_, i)| *i))
+}
+
+/// Work-stealing statistics of one pool (monotonic totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks a worker claimed from a *sibling's* deque.
+    pub tasks_stolen: u64,
+    /// Tasks pushed onto the submitting worker's own deque.
+    pub local_pushes: u64,
+}
+
+/// Shared state of one pool: the queues, the sleep protocol and the
+/// pool-wide completion counter.
+struct PoolCore {
+    /// External-submission queue — the only queue non-worker threads
+    /// touch.
+    injector: Mutex<VecDeque<Task>>,
+    /// One Chase–Lev deque per worker.
+    deques: Vec<WorkDeque>,
+    /// Per-worker count of *exposed* futures: pushed onto that worker's
+    /// deque and neither claimed by an executor nor revoked by their
+    /// awaiter yet. This — not the raw deque length — is the spawn
+    /// throttle's signal: revoked entries linger in the deque as no-op
+    /// pops, and counting them (or missing claimed-but-queued ones)
+    /// would let spawn admission churn with the thieves' pop rate.
+    exposed: Vec<Arc<AtomicUsize>>,
+    /// Tasks currently sitting in the injector or any deque (not yet
+    /// claimed). The idle-parking signal; `SeqCst` pairs with
+    /// `idle_sleepers` (see module docs).
+    queued: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+    idle_sleepers: AtomicUsize,
+    shutdown: AtomicBool,
+    shared: Completion,
+    steals: AtomicU64,
+    local_pushes: AtomicU64,
+}
+
+impl PoolCore {
+    /// Wake one idle worker after an enqueue — one task needs one
+    /// thief, and waking the whole herd just to race for a single entry
+    /// costs a context switch per loser. One `SeqCst` load in the
+    /// common (nobody idle) case. Safe with `notify_one`: a woken
+    /// worker that finds nothing re-checks `queued` under the lock
+    /// before re-parking, so a task can never strand while every worker
+    /// sleeps.
+    fn notify_idle(&self) {
+        if self.idle_sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.idle_lock.lock();
+            self.idle_cv.notify_one();
+        }
+    }
+
+    fn enqueue_injector(&self, task: Task) {
+        self.injector.lock().push_back(task);
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        self.notify_idle();
+    }
+
+    /// Owner-side push onto worker `index`'s deque. Must only be called
+    /// from that worker's thread (the deque's owner contract).
+    fn enqueue_local(&self, index: usize, task: Task) {
+        self.deques[index].push(task);
+        self.local_pushes.fetch_add(1, Ordering::Relaxed);
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        self.notify_idle();
+    }
+
+    /// Claim one task: own deque first (when `index` names a worker of
+    /// this pool), then the injector, then steal from siblings in
+    /// rotating order. A `Retry` from a victim means a race was lost to
+    /// concurrent progress — spin on that victim until it is decidably
+    /// empty or yields a task.
+    fn find_task(&self, index: Option<usize>) -> Option<Task> {
+        if let Some(i) = index {
+            if let Some(t) = self.deques[i].pop() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(t);
+            }
+        }
+        if let Some(t) = self.injector.lock().pop_front() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(t);
+        }
+        let n = self.deques.len();
+        let start = index.map_or(0, |i| i + 1);
+        for off in 0..n {
+            let victim = (start + off) % n;
+            if Some(victim) == index {
+                continue;
+            }
+            loop {
+                match self.deques[victim].steal() {
+                    Steal::Task(t) => {
+                        self.steals.fetch_add(1, Ordering::Relaxed);
+                        self.queued.fetch_sub(1, Ordering::SeqCst);
+                        return Some(t);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => std::hint::spin_loop(),
+                }
+            }
+        }
+        None
+    }
+
+    /// Execute one task with panic containment: the payload is recorded
+    /// for `join` and the pool counter is **always** decremented — a
+    /// panicking task (stolen or not) must never leave a joiner waiting
+    /// forever.
+    fn run_task(&self, task: Task) {
+        if let Err(p) = catch_unwind(AssertUnwindSafe(task)) {
+            self.shared.record_panic(p);
+        }
+        self.shared.finish_one();
+    }
+}
+
+/// Main loop of worker `index`: claim work; otherwise park on the idle
+/// condvar until an enqueue (or shutdown) wakes it.
+fn worker_loop(core: Arc<PoolCore>, index: usize) {
+    IN_POOL_WORKER.with(|c| c.set(true));
+    WORKER_CTX.with(|c| *c.borrow_mut() = Some((Arc::downgrade(&core), index)));
+    loop {
+        if let Some(task) = core.find_task(Some(index)) {
+            core.run_task(task);
+            continue;
+        }
+        if core.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Park. The sleeper count is raised under the idle lock and the
+        // re-check of `queued` happens before waiting, so an enqueue
+        // that missed the sleeper in `notify_idle` is seen here (both
+        // counters are SeqCst — one side always observes the other).
+        let mut guard = core.idle_lock.lock();
+        core.idle_sleepers.fetch_add(1, Ordering::SeqCst);
+        if core.queued.load(Ordering::SeqCst) == 0 && !core.shutdown.load(Ordering::SeqCst) {
+            core.idle_cv.wait(&mut guard);
+        }
+        core.idle_sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Persistent thread pool with deterministic worker → socket placement
+/// and per-worker work-stealing deques.
 pub struct ThreadPool {
-    sender: Option<Sender<Task>>,
-    /// Receiver clone used by worker-side joins to help drain the queue.
-    helper_rx: Receiver<Task>,
+    core: Arc<PoolCore>,
     workers: Vec<JoinHandle<()>>,
     placements: Vec<Placement>,
-    shared: Arc<Completion>,
 }
 
 impl ThreadPool {
@@ -143,44 +324,39 @@ impl ThreadPool {
     /// (the `numactl` compact policy used in the paper's runs).
     pub fn new(nthreads: usize, sockets: usize, cores_per_socket: usize) -> Self {
         let nthreads = nthreads.max(1);
-        let (tx, rx) = unbounded::<Task>();
-        let shared = Arc::new(Completion::new());
+        let core = Arc::new(PoolCore {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..nthreads).map(|_| WorkDeque::new()).collect(),
+            exposed: (0..nthreads)
+                .map(|_| Arc::new(AtomicUsize::new(0)))
+                .collect(),
+            queued: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            idle_sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            shared: Completion::new(),
+            steals: AtomicU64::new(0),
+            local_pushes: AtomicU64::new(0),
+        });
         let mut workers = Vec::with_capacity(nthreads);
         let mut placements = Vec::with_capacity(nthreads);
         for w in 0..nthreads {
-            let core = w % (sockets * cores_per_socket).max(1);
-            let socket = core / cores_per_socket.max(1);
+            let vcore = w % (sockets * cores_per_socket).max(1);
+            let socket = vcore / cores_per_socket.max(1);
             placements.push(Placement {
                 worker: w,
-                core,
+                core: vcore,
                 socket,
             });
-            let rx = rx.clone();
-            let shared = Arc::clone(&shared);
-            workers.push(std::thread::spawn(move || {
-                IN_POOL_WORKER.with(|c| c.set(true));
-                while let Ok(task) = rx.recv() {
-                    Self::run_task(task, &shared);
-                }
-            }));
+            let core = Arc::clone(&core);
+            workers.push(std::thread::spawn(move || worker_loop(core, w)));
         }
         ThreadPool {
-            sender: Some(tx),
-            helper_rx: rx,
+            core,
             workers,
             placements,
-            shared,
         }
-    }
-
-    /// Execute one task with panic containment: the payload is recorded
-    /// for `join` and the pool counter is **always** decremented — a
-    /// panicking task must never leave a joiner waiting forever.
-    fn run_task(task: Task, shared: &Completion) {
-        if let Err(p) = catch_unwind(AssertUnwindSafe(task)) {
-            shared.record_panic(p);
-        }
-        shared.finish_one();
     }
 
     pub fn len(&self) -> usize {
@@ -197,10 +373,47 @@ impl ThreadPool {
     }
 
     /// Number of submitted tasks not yet finished (queued **or** running)
-    /// across every generation — the saturation signal the pure-call
-    /// futures layer throttles on.
+    /// across every generation — the saturation signal external future
+    /// spawns throttle on.
     pub fn pending_tasks(&self) -> usize {
-        self.shared.pending.load(Ordering::Acquire)
+        self.core.shared.pending.load(Ordering::Acquire)
+    }
+
+    /// Work-stealing statistics (monotonic process-lifetime totals).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            tasks_stolen: self.core.steals.load(Ordering::Relaxed),
+            local_pushes: self.core.local_pushes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Worker index of the current thread **within this pool**, or
+    /// `None` when called from an external thread (or a worker of a
+    /// different pool).
+    pub fn current_worker(&self) -> Option<usize> {
+        WORKER_CTX.with(|c| {
+            let b = c.borrow();
+            let (weak, i) = b.as_ref()?;
+            let core = weak.upgrade()?;
+            Arc::ptr_eq(&core, &self.core).then_some(*i)
+        })
+    }
+
+    /// Number of *exposed* futures of the current worker — pushed onto
+    /// its deque, not yet claimed by any executor nor revoked by their
+    /// awaiter — when this thread is a worker of this pool. The local
+    /// spawn throttle's signal.
+    pub fn local_depth(&self) -> Option<usize> {
+        self.current_worker()
+            .map(|i| self.core.exposed[i].load(Ordering::Relaxed))
+    }
+
+    /// Exposure counter of the current worker, for the futures layer:
+    /// incremented at local spawn, decremented exactly once per future
+    /// at claim or at cancellation.
+    pub(crate) fn exposure_handle(&self) -> Option<Arc<AtomicUsize>> {
+        self.current_worker()
+            .map(|i| Arc::clone(&self.core.exposed[i]))
     }
 
     /// Number of distinct sockets the first `n` workers span.
@@ -212,14 +425,26 @@ impl ThreadPool {
         set.len().max(1)
     }
 
-    /// Submit one task.
+    /// Route a raw task: the submitting worker's own deque when called
+    /// from a worker of this pool, the injector otherwise. The pool
+    /// counter has already been incremented by the caller.
+    fn push_task(&self, task: Task, allow_local: bool) {
+        match if allow_local {
+            self.current_worker()
+        } else {
+            None
+        } {
+            Some(i) => self.core.enqueue_local(i, task),
+            None => self.core.enqueue_injector(task),
+        }
+    }
+
+    /// Submit one task. From a pool worker this pushes onto the worker's
+    /// own deque (stolen by idle siblings); from any other thread it
+    /// goes through the shared injector.
     pub fn submit<F: FnOnce() + Send + 'static>(&self, f: F) {
-        self.shared.pending.fetch_add(1, Ordering::AcqRel);
-        self.sender
-            .as_ref()
-            .expect("pool is live")
-            .send(Box::new(f))
-            .expect("workers alive");
+        self.core.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.push_task(Box::new(f), true);
     }
 
     /// Open a new task generation (one parallel region's worth of tasks).
@@ -229,30 +454,54 @@ impl ThreadPool {
         }
     }
 
-    /// Submit one task counted against `group` (and against the pool).
-    /// A panic in `f` is caught, recorded on the group, and re-raised by
-    /// [`ThreadPool::join_group`].
+    /// Submit one task counted against `group` (and against the pool),
+    /// routed like [`ThreadPool::submit`] — local deque from a worker,
+    /// injector otherwise. A panic in `f` is caught, recorded on the
+    /// group, and re-raised by [`ThreadPool::join_group`].
     pub fn submit_to<F: FnOnce() + Send + 'static>(&self, group: &TaskGroup, f: F) {
+        self.submit_grouped(group, f, true);
+    }
+
+    /// [`ThreadPool::submit_to`] forced through the shared injector even
+    /// from a pool worker — the single-queue substrate kept for the
+    /// deque-vs-channel A/B (`purec --no-steal`).
+    pub fn submit_to_shared<F: FnOnce() + Send + 'static>(&self, group: &TaskGroup, f: F) {
+        self.submit_grouped(group, f, false);
+    }
+
+    fn submit_grouped<F: FnOnce() + Send + 'static>(
+        &self,
+        group: &TaskGroup,
+        f: F,
+        allow_local: bool,
+    ) {
         group.shared.pending.fetch_add(1, Ordering::AcqRel);
         let gs = Arc::clone(&group.shared);
-        self.submit(move || {
-            if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
-                gs.record_panic(p);
-            }
-            gs.finish_one();
-        });
+        self.core.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.push_task(
+            Box::new(move || {
+                if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+                    gs.record_panic(p);
+                }
+                gs.finish_one();
+            }),
+            allow_local,
+        );
     }
 
     /// Wait until every task of `group` has completed, without re-raising
-    /// panics. From a pool worker this *helps*: it drains queued tasks
-    /// (of any group — every pop is global progress) instead of blocking,
-    /// so nested regions cannot deadlock a fully-occupied pool. Once the
-    /// queue stays empty, the worker parks on the group's condvar rather
-    /// than burning a core through the stragglers' tail: every task of
-    /// this group was submitted before the join began, so after an
-    /// empty-queue observation the group's outstanding tasks are all
-    /// *in flight* on other threads — parking cannot strand a group task
-    /// in the queue, and `finish_one` notifies under the lock.
+    /// panics. From a pool worker this *helps*: it claims queued tasks —
+    /// own deque, injector, steals; every claim is global progress —
+    /// instead of blocking, so nested regions and futures cannot deadlock
+    /// a fully-occupied pool. Once every queue scans empty, the worker
+    /// parks on the group's condvar rather than burning a core through
+    /// the stragglers' tail: every task of this group was enqueued before
+    /// the join began, so after an all-queues-empty observation the
+    /// group's outstanding tasks are all *in flight* on other threads —
+    /// parking cannot strand a group task in a queue, and `finish_one`
+    /// notifies under the lock. (A worker of a *different* pool helps on
+    /// this pool's injector and deques too — it just has no own deque
+    /// here.)
     ///
     /// Returns whether this join actually *helped* — executed at least
     /// one queued task while waiting (always `false` for external,
@@ -260,15 +509,16 @@ impl ThreadPool {
     pub fn wait_group(&self, group: &TaskGroup) -> bool {
         let mut helped = false;
         if IN_POOL_WORKER.with(|c| c.get()) {
+            let me = self.current_worker();
             let mut idle_polls = 0u32;
             while group.shared.pending.load(Ordering::Acquire) != 0 {
-                match self.helper_rx.try_recv() {
+                match self.core.find_task(me) {
                     Some(task) => {
-                        Self::run_task(task, &self.shared);
+                        self.core.run_task(task);
                         helped = true;
                         idle_polls = 0;
                     }
-                    None if idle_polls < 128 => {
+                    None if idle_polls < 64 => {
                         idle_polls += 1;
                         std::thread::yield_now();
                     }
@@ -301,16 +551,22 @@ impl ThreadPool {
     /// first panic a task produced (if any). Never hangs on a panicking
     /// task: workers decrement the counter on the unwind path too.
     pub fn join(&self) {
-        self.shared.wait();
-        self.shared.rethrow();
+        self.core.shared.wait();
+        self.core.shared.rethrow();
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         // Wait without re-raising: panicking inside `drop` would abort.
-        self.shared.wait();
-        drop(self.sender.take());
+        // Every queue is empty once pending reaches zero, so workers
+        // observe the shutdown flag on their next idle pass.
+        self.core.shared.wait();
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _g = self.core.idle_lock.lock();
+            self.core.idle_cv.notify_all();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -475,7 +731,8 @@ mod tests {
 
     /// Nested generations on a single-worker pool: without the helping
     /// join this deadlocks (the lone worker would block waiting for a
-    /// subtask that can only run on itself).
+    /// subtask that can only run on itself). The inner submits land on
+    /// the worker's own deque and its helping join pops them back.
     #[test]
     fn nested_group_join_from_worker_helps_instead_of_deadlocking() {
         let pool = Arc::new(ThreadPool::new(1, 1, 1));
@@ -496,11 +753,12 @@ mod tests {
         });
         pool.join_group(&outer);
         assert_eq!(result.load(Ordering::Relaxed), 104);
+        assert!(pool.stats().local_pushes >= 4, "{:?}", pool.stats());
     }
 
-    /// The helping join's parking path: the joining worker drains the
-    /// queue, then must *park* (not spin) while the group's last task
-    /// straggles on another worker — and still wake up at completion.
+    /// The helping join's parking path: the joining worker scans every
+    /// queue empty, then must *park* (not spin) while the group's last
+    /// task straggles on another worker — and still wake at completion.
     #[test]
     fn worker_join_parks_through_straggler_tail() {
         let pool = Arc::new(ThreadPool::new(2, 1, 2));
@@ -515,8 +773,8 @@ mod tests {
                 std::thread::sleep(std::time::Duration::from_millis(40));
                 d3.fetch_add(1, Ordering::Relaxed);
             });
-            // Let the second worker claim the inner task, so this join
-            // sees an empty queue with one in-flight straggler and must
+            // Let the second worker steal the inner task, so this join
+            // sees empty queues with one in-flight straggler and must
             // take the parked path (spin budget << 40ms of sleeping).
             std::thread::sleep(std::time::Duration::from_millis(5));
             p2.join_group(&inner);
@@ -524,6 +782,113 @@ mod tests {
         });
         pool.join_group(&outer);
         assert_eq!(done.load(Ordering::Relaxed), 11);
+    }
+
+    /// Local pushes from a busy worker are stolen by its idle siblings:
+    /// one worker floods its own deque while blocked, the others must
+    /// drain it through the steal path.
+    #[test]
+    fn idle_workers_steal_from_a_busy_sibling() {
+        let pool = Arc::new(ThreadPool::new(4, 1, 4));
+        let before = pool.stats();
+        let outer = pool.group();
+        let executed = Arc::new(AtomicU64::new(0));
+        let p2 = Arc::clone(&pool);
+        let e2 = Arc::clone(&executed);
+        pool.submit_to(&outer, move || {
+            let inner = p2.group();
+            for _ in 0..32 {
+                let e = Arc::clone(&e2);
+                p2.submit_to(&inner, move || {
+                    e.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                });
+            }
+            // Hold this worker hostage until the siblings finish the
+            // inner generation: every inner task they ran was a steal.
+            while !inner.is_complete() {
+                std::thread::yield_now();
+            }
+            p2.join_group(&inner);
+        });
+        pool.join_group(&outer);
+        assert_eq!(executed.load(Ordering::Relaxed), 32);
+        let after = pool.stats();
+        assert!(
+            after.tasks_stolen > before.tasks_stolen,
+            "siblings must have stolen: {before:?} -> {after:?}"
+        );
+        assert!(after.local_pushes >= before.local_pushes + 32);
+    }
+
+    /// Regression (work-stealing rework): a panic inside a task that was
+    /// *stolen* from another worker's deque must re-raise at the group
+    /// join — not kill the thief, not hang the owner — and the pool must
+    /// stay fully usable afterwards.
+    #[test]
+    fn panic_in_stolen_task_reraises_at_join_and_pool_survives() {
+        let pool = Arc::new(ThreadPool::new(2, 1, 2));
+        let outer = pool.group();
+        let p2 = Arc::clone(&pool);
+        let saw_panic = Arc::new(AtomicU64::new(0));
+        let sp = Arc::clone(&saw_panic);
+        pool.submit_to(&outer, move || {
+            let inner = p2.group();
+            // Local push; this worker then refuses to pop, so only the
+            // second worker's steal can run it.
+            p2.submit_to(&inner, || panic!("stolen boom"));
+            while !inner.is_complete() {
+                std::thread::yield_now();
+            }
+            let joined = catch_unwind(AssertUnwindSafe(|| p2.join_group(&inner)));
+            if joined.is_err() {
+                sp.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        pool.join_group(&outer);
+        assert_eq!(
+            saw_panic.load(Ordering::Relaxed),
+            1,
+            "stolen task's panic must re-raise at the group join"
+        );
+        assert!(pool.stats().tasks_stolen >= 1, "{:?}", pool.stats());
+        // The pool survives: a fresh generation completes cleanly.
+        let g = pool.group();
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        pool.submit_to(&g, move || {
+            c.fetch_add(7, Ordering::Relaxed);
+        });
+        pool.join_group(&g);
+        assert_eq!(counter.load(Ordering::Relaxed), 7);
+        pool.join();
+    }
+
+    #[test]
+    fn submit_to_shared_bypasses_the_local_deque() {
+        let pool = Arc::new(ThreadPool::new(2, 1, 2));
+        let before = pool.stats().local_pushes;
+        let outer = pool.group();
+        let p2 = Arc::clone(&pool);
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&counter);
+        pool.submit_to_shared(&outer, move || {
+            let inner = p2.group();
+            for _ in 0..8 {
+                let c = Arc::clone(&c2);
+                p2.submit_to_shared(&inner, move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            p2.join_group(&inner);
+        });
+        pool.join_group(&outer);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        assert_eq!(
+            pool.stats().local_pushes,
+            before,
+            "shared submits must not touch the deques"
+        );
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! purec <file.c> [--sica] [--tile N] [--no-omp] [--run [--threads N]]
-//!       [--engine vm|resolved] [--no-pool] [--no-futures] [--race-check]
-//!       [--emit-marked] [--no-alloc-pure] [--stats]
+//!       [--engine vm|resolved] [--no-pool] [--no-futures] [--no-steal]
+//!       [--race-check] [--emit-marked] [--no-alloc-pure] [--stats]
 //! purec --demo <matmul|heat|satellite|lama> [same flags]
 //! ```
 //!
@@ -32,6 +32,9 @@ fn usage() -> ! {
          \x20                  persistent worker pool (A/B comparison)\n\
          \x20 --no-futures     run independent pure calls inline instead of as\n\
          \x20                  futures on the worker pool (A/B comparison)\n\
+         \x20 --no-steal       route worker-spawned futures through the single\n\
+         \x20                  shared injector instead of per-worker deques\n\
+         \x20                  (pre-work-stealing substrate, A/B comparison)\n\
          \x20 --race-check     validate iteration independence before parallel runs\n\
          \x20 --stats          print chain statistics to stderr"
     );
@@ -56,6 +59,7 @@ fn main() {
     let mut threads = 1usize;
     let mut pool = true;
     let mut futures = true;
+    let mut steal = true;
     let mut race_check = false;
     let mut stats = false;
 
@@ -90,6 +94,7 @@ fn main() {
             }
             "--no-pool" => pool = false,
             "--no-futures" => futures = false,
+            "--no-steal" => steal = false,
             "--race-check" => race_check = true,
             "--stats" => stats = true,
             "--help" | "-h" => usage(),
@@ -169,6 +174,7 @@ fn main() {
             engine,
             pool,
             futures,
+            steal,
             ..Default::default()
         };
         match compile_and_run(&source, opts, interp) {
@@ -187,7 +193,8 @@ fn main() {
                          spawn sites {}; exit {}; \
                          ops {{flops: {}, loads: {}, stores: {}, calls: {}}}; \
                          memo {{hits: {}, misses: {}}}; \
-                         futures {{spawned: {}, inlined: {}, helped: {}}}",
+                         futures {{spawned: {}, inlined: {}, helped: {}}}; \
+                         steals {{local_pushes: {}, tasks_stolen: {}}}",
                         out.declared_pure,
                         out.scops_marked,
                         out.regions_transformed,
@@ -203,6 +210,8 @@ fn main() {
                         result.counters.futures_spawned,
                         result.counters.futures_inlined,
                         result.counters.futures_helped,
+                        result.counters.local_pushes,
+                        result.counters.tasks_stolen,
                     );
                 }
                 std::process::exit(result.exit_code as i32 & 0x7f);

@@ -231,6 +231,7 @@ fn differential_source(n: usize, c1: i64, c2: i64, op1: usize, op2: usize, sched
          #pragma omp parallel for{sched}\n\
              for (int i = 0; i < {n}; i++) {{\n\
                  a[i] = helper(i, {c2}) + (i {op2} {c1});\n\
+                 a[i] += i % 7;\n\
                  b[i] = fhelper(i);\n\
              }}\n\
              for (int i = 0; i < {n}; i++) {{ acc += a[i] % 31; acc += (int) b[i]; }}\n\
@@ -481,6 +482,110 @@ proptest! {
             ["leaf", "tree"].iter().map(|s| s.to_string()).collect();
         let prog = Program::with_pure_set(&parsed.unit, &pure_set);
         prop_assert!(!prog.resolved().spawn_sites().is_empty());
+        for threads in [1usize, 4] {
+            let opt = |futures: bool| InterpOptions {
+                threads,
+                futures,
+                memo: false,
+                ..Default::default()
+            };
+            let base = prog.run(opt(false)).expect("no-futures VM runs");
+            let fut = prog.run(opt(true)).expect("futures VM runs");
+            prop_assert_eq!(fut.exit_code, base.exit_code, "threads={}", threads);
+            prop_assert_eq!(&fut.output, &base.output, "threads={}", threads);
+            prop_assert_eq!(
+                fut.counters.without_memo(),
+                base.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            let res_fut = prog.run_resolved(opt(true)).expect("futures resolved runs");
+            prop_assert_eq!(res_fut.exit_code, base.exit_code, "threads={}", threads);
+            prop_assert_eq!(&res_fut.output, &base.output, "threads={}", threads);
+            prop_assert_eq!(
+                res_fut.counters.without_memo(),
+                base.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            let legacy = prog.run_legacy(opt(true)).expect("legacy runs");
+            prop_assert_eq!(legacy.exit_code, base.exit_code, "threads={}", threads);
+            prop_assert_eq!(&legacy.output, &base.output, "threads={}", threads);
+            prop_assert_eq!(
+                legacy.counters.without_memo(),
+                base.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            // Memoized runs agree on observables (counters are
+            // scheduling-dependent under memo and not compared).
+            let memo_fut = prog
+                .run(InterpOptions { memo: true, ..opt(true) })
+                .expect("memoized futures VM runs");
+            prop_assert_eq!(memo_fut.exit_code, base.exit_code, "threads={}", threads);
+            prop_assert_eq!(&memo_fut.output, &base.output, "threads={}", threads);
+        }
+    }
+
+    /// Expression-level spawns: a tree-recursive pure function whose
+    /// recursive calls sit *inside* `return` expressions (no locals —
+    /// sites exist only through the hoisting pass), called at top level,
+    /// inside a parallel region, and from a compound-assign value. The
+    /// bytecode VM and resolved engine with futures on must match the
+    /// no-futures runs and the legacy oracle (which executes the
+    /// original, un-hoisted AST) bit-for-bit on exit code and output,
+    /// and (memo off) on executed-op counters modulo the memo/futures/
+    /// steal bookkeeping, sequentially and on 4 threads across
+    /// schedules.
+    #[test]
+    fn expression_spawns_match_no_futures_and_oracles(
+        depth in 5usize..10,
+        m in 4usize..14,
+        c in 1i64..40,
+        sched in 0usize..5,
+    ) {
+        let sched = [
+            "",
+            " schedule(static)",
+            " schedule(static,2)",
+            " schedule(dynamic,1)",
+            " schedule(guided,1)",
+        ][sched];
+        let src = format!(
+            "pure int leaf(int x) {{\n\
+                 int acc = 0;\n\
+                 for (int i = 0; i < (x % 5) + 2; i++) acc += i * x;\n\
+                 return acc % 97;\n\
+             }}\n\
+             pure int tree(int n, int s) {{\n\
+                 if (n < 2) return leaf(n + s);\n\
+                 return tree(n - 1, s) + tree(n - 2, s + 1);\n\
+             }}\n\
+             int main() {{\n\
+                 int* out = (int*) malloc({m} * sizeof(int));\n\
+             #pragma omp parallel for{sched}\n\
+                 for (int i = 0; i < {m}; i++) {{\n\
+                     out[i] = tree(4 + i % 3, i) + tree(3 + i % 2, i + 1);\n\
+                 }}\n\
+                 int acc = 0;\n\
+                 for (int i = 0; i < {m}; i++) acc += out[i];\n\
+                 acc += tree({depth}, {c}) - tree({depth} - 1, {c} + 1);\n\
+                 printf(\"acc=%d\\n\", acc);\n\
+                 return (acc % 113 + 113) % 113;\n\
+             }}"
+        );
+        let parsed = parse(&src);
+        prop_assert!(!parsed.diags.has_errors(), "{}", parsed.diags.render_all(&src));
+        let pure_set: std::collections::HashSet<String> =
+            ["leaf", "tree"].iter().map(|s| s.to_string()).collect();
+        let prog = Program::with_pure_set(&parsed.unit, &pure_set);
+        // The expression-level sites must exist in `tree` itself (its
+        // body has no statement-shaped candidates at all).
+        let sites = prog.resolved().spawn_sites();
+        prop_assert!(
+            sites.iter().any(|(f, n)| *f == "tree" && *n > 0),
+            "no expression spawn site in tree: {sites:?}"
+        );
         for threads in [1usize, 4] {
             let opt = |futures: bool| InterpOptions {
                 threads,
