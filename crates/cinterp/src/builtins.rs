@@ -68,7 +68,10 @@ pub fn call_builtin(
                 .as_i64()
                 .max(0);
             let slots = (bytes as usize).div_ceil(8);
-            Ok(Scalar::P(mem.alloc(slots)))
+            match mem.try_alloc(slots) {
+                Ok(p) => Ok(Scalar::P(p)),
+                Err(e) => Err(e),
+            }
         }
         "calloc" => {
             let n = args
@@ -79,7 +82,10 @@ pub fn call_builtin(
                 .max(0);
             let sz = args.get(1).copied().unwrap_or(Scalar::I(0)).as_i64().max(0);
             let slots = ((n * sz) as usize).div_ceil(8);
-            let p = mem.alloc(slots);
+            let p = match mem.try_alloc(slots) {
+                Ok(p) => p,
+                Err(e) => return Some(Err(e)),
+            };
             for i in 0..slots {
                 if let Err(e) = mem.store(p.offset(i as i64), Scalar::I(0)) {
                     return Some(Err(e));
@@ -94,7 +100,7 @@ pub fn call_builtin(
                     Err(e) => Err(e),
                 },
                 Some(Scalar::Null) | None => Ok(Scalar::I(0)), // free(NULL) is a no-op
-                _ => Err(MemError("free of non-pointer".into())),
+                _ => Err(MemError::new("free of non-pointer")),
             }
         }
 

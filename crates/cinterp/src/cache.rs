@@ -1,0 +1,179 @@
+//! Bounded memoization storage: a CLOCK (second-chance) cache shared by
+//! the resolved engine's process-wide [`crate::resolve::MemoCache`] and
+//! the bytecode VM's per-worker memo shards.
+//!
+//! The previous memo maps were grow-only-until-cap: once full they
+//! silently stopped inserting, so a long-running process (the `purec
+//! serve` north star) would pin whatever keys happened to arrive first
+//! and memoize nothing ever after. CLOCK keeps the cache *useful* at a
+//! bounded footprint: every slot carries a reference bit set on hit; the
+//! eviction hand sweeps slots, clearing reference bits, and replaces the
+//! first slot found unreferenced. Hot entries (recursion base cases,
+//! which dominate e.g. `fib`) are re-referenced faster than the hand
+//! revisits them and stay resident; one-shot keys are recycled after a
+//! single sweep. Evictions are counted and surfaced as
+//! `memo_evictions` in [`crate::value::CounterSnapshot`].
+//!
+//! The structure is deliberately not thread-safe: the resolved engine
+//! wraps one instance in a mutex, the VM keeps one per worker shard.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+struct Slot<K, V> {
+    key: K,
+    val: V,
+    /// CLOCK reference bit: set on every hit, cleared as the eviction
+    /// hand sweeps past. A slot is only evicted with the bit clear.
+    referenced: bool,
+}
+
+/// A fixed-capacity key→value cache with CLOCK (second-chance) eviction.
+pub(crate) struct ClockCache<K, V> {
+    cap: usize,
+    index: HashMap<K, u32>,
+    slots: Vec<Slot<K, V>>,
+    hand: usize,
+    evictions: u64,
+}
+
+impl<K: Clone + Eq + Hash, V: Copy> ClockCache<K, V> {
+    pub(crate) fn new(cap: usize) -> Self {
+        ClockCache {
+            cap: cap.max(1),
+            index: HashMap::new(),
+            slots: Vec::new(),
+            hand: 0,
+            evictions: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total entries evicted to make room since creation.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    pub(crate) fn get(&mut self, key: &K) -> Option<V> {
+        let &slot = self.index.get(key)?;
+        let s = &mut self.slots[slot as usize];
+        s.referenced = true;
+        Some(s.val)
+    }
+
+    /// Insert (or refresh) `key → val`, evicting one unreferenced entry
+    /// when at capacity. Returns `true` when an eviction happened.
+    pub(crate) fn insert(&mut self, key: K, val: V) -> bool {
+        if let Some(&slot) = self.index.get(&key) {
+            let s = &mut self.slots[slot as usize];
+            s.val = val;
+            s.referenced = true;
+            return false;
+        }
+        if self.slots.len() < self.cap {
+            self.index.insert(key.clone(), self.slots.len() as u32);
+            self.slots.push(Slot {
+                key,
+                val,
+                referenced: true,
+            });
+            return false;
+        }
+        // CLOCK sweep: clear reference bits until an unreferenced slot
+        // comes up (bounded: after one full revolution every bit is
+        // clear, so the sweep terminates within 2·cap steps).
+        loop {
+            let h = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            let s = &mut self.slots[h];
+            if s.referenced {
+                s.referenced = false;
+                continue;
+            }
+            self.index.remove(&s.key);
+            self.index.insert(key.clone(), h as u32);
+            *s = Slot {
+                key,
+                val,
+                referenced: true,
+            };
+            self.evictions += 1;
+            return true;
+        }
+    }
+
+    /// Iterate the resident entries (region-join shard absorption).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots.iter().map(|s| (&s.key, &s.val))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserts_and_hits_below_capacity() {
+        let mut c: ClockCache<u64, u64> = ClockCache::new(8);
+        for i in 0..8 {
+            assert!(!c.insert(i, i * 10));
+        }
+        for i in 0..8 {
+            assert_eq!(c.get(&i), Some(i * 10));
+        }
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn evicts_cold_entries_at_capacity() {
+        let mut c: ClockCache<u64, u64> = ClockCache::new(4);
+        for i in 0..4 {
+            c.insert(i, i);
+        }
+        // First insert at capacity completes one clearing revolution
+        // (every bit was set at insertion) and recycles slot 0.
+        assert!(c.insert(100, 100));
+        assert_eq!(c.get(&0), None);
+        // Now bits are clear: re-reference 1 and 2, leave 3 cold — the
+        // next eviction must skip the hot entries and take 3.
+        c.get(&1);
+        c.get(&2);
+        assert!(c.insert(101, 101));
+        assert_eq!(c.evictions(), 2);
+        assert_eq!(c.get(&1), Some(1), "hot entry survived the sweep");
+        assert_eq!(c.get(&2), Some(2), "hot entry survived the sweep");
+        assert_eq!(c.get(&3), None, "cold entry was evicted");
+        assert_eq!(c.get(&100), Some(100));
+        assert_eq!(c.get(&101), Some(101));
+        assert_eq!(c.len(), 4, "capacity is a hard bound");
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut c: ClockCache<u64, u64> = ClockCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(!c.insert(1, 11), "refresh of a resident key never evicts");
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn sweep_terminates_when_everything_is_referenced() {
+        let mut c: ClockCache<u64, u64> = ClockCache::new(3);
+        for i in 0..3 {
+            c.insert(i, i);
+        }
+        for i in 0..3 {
+            c.get(&i);
+        }
+        // All bits set: the hand must complete a clearing revolution and
+        // then evict — not spin.
+        assert!(c.insert(99, 99));
+        assert_eq!(c.len(), 3);
+    }
+}

@@ -30,7 +30,7 @@ use crate::builtins::{call_builtin, format_printf};
 use crate::resolve::{self, ResolvedProgram};
 use crate::value::CounterSnapshot;
 #[cfg(any(test, feature = "legacy-oracle"))]
-use crate::value::{Counters, Memory, Ptr, RaceAccumulator, Scalar, TrackSets};
+use crate::value::{Counters, FuelBudget, Memory, Ptr, RaceAccumulator, Scalar, TrackSets};
 use cfront::ast::*;
 use machine::OmpSchedule;
 #[cfg(any(test, feature = "legacy-oracle"))]
@@ -38,6 +38,8 @@ use machine::{parallel_for, parallel_for_pooled};
 #[cfg(any(test, feature = "legacy-oracle"))]
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
+#[cfg(any(test, feature = "legacy-oracle"))]
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Which execution tier [`Program::run`] dispatches to.
@@ -62,6 +64,24 @@ pub struct InterpOptions {
     pub race_check: bool,
     /// Abort after this many executed statements (runaway guard).
     pub max_steps: u64,
+    /// Instruction budget for the whole execution (`None` = unlimited).
+    /// One shared pool: parallel regions and pure-call futures drain the
+    /// same budget, refilled into engine-local counters in blocks of
+    /// [`crate::value::FUEL_BLOCK`], so a run executes at most
+    /// `fuel + threads × FUEL_BLOCK` units before trapping
+    /// [`Trap::FuelExhausted`]. The VM meters per dispatched instruction;
+    /// the resolved and legacy engines meter per executed statement.
+    pub fuel: Option<u64>,
+    /// Ceiling on cumulative heap bytes (`None` = unlimited). The heap
+    /// is retire-don't-free, so the cumulative charge *is* the physical
+    /// footprint; exceeding it traps [`Trap::MemoryLimit`].
+    pub max_memory_bytes: Option<u64>,
+    /// Ceiling on user-call nesting depth (`None` = the engines' built-in
+    /// guard of 512, reported as a plain "call stack overflow" error).
+    /// When set, exceeding it traps [`Trap::DepthLimit`]. Values far
+    /// above the default risk a native stack overflow before the limit
+    /// fires — the interpreters recurse on the Rust stack.
+    pub max_call_depth: Option<usize>,
     /// Memoize calls to verified-pure, const-like functions (bytecode
     /// and resolved engines; inert unless the program was built with a
     /// pure set — see [`Program::with_pure_set`]).
@@ -92,6 +112,9 @@ impl Default for InterpOptions {
             threads: 1,
             race_check: false,
             max_steps: 500_000_000,
+            fuel: None,
+            max_memory_bytes: None,
+            max_call_depth: None,
             memo: true,
             engine: Engine::default(),
             pool: true,
@@ -109,11 +132,30 @@ pub struct RunResult {
     pub counters: CounterSnapshot,
 }
 
-/// Runtime errors carry a message and the offending span when known.
+/// Structured resource-governance trap kinds: a run that hit a
+/// *configured* budget rather than a program bug. Traps unwind cleanly
+/// through parallel regions and pending futures (siblings are drained,
+/// the process-wide pool stays reusable) and map to distinct `purec`
+/// exit codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// The instruction budget ([`InterpOptions::fuel`]) ran dry.
+    FuelExhausted,
+    /// The heap ceiling ([`InterpOptions::max_memory_bytes`]) would be
+    /// exceeded.
+    MemoryLimit,
+    /// The call-depth ceiling ([`InterpOptions::max_call_depth`]) was
+    /// reached.
+    DepthLimit,
+}
+
+/// Runtime errors carry a message, the offending span when known, and —
+/// for resource-governance failures — the structured [`Trap`] kind.
 #[derive(Debug, Clone)]
 pub struct RuntimeError {
     pub message: String,
     pub span: cfront::span::Span,
+    pub trap: Option<Trap>,
 }
 
 impl RuntimeError {
@@ -121,12 +163,36 @@ impl RuntimeError {
         RuntimeError {
             message: message.into(),
             span,
+            trap: None,
         }
     }
 
     /// Construction hook for the resolved engine (same as `new`).
     pub(crate) fn at(message: impl Into<String>, span: cfront::span::Span) -> Self {
         Self::new(message, span)
+    }
+
+    /// A resource-governance trap.
+    pub(crate) fn trap_at(
+        trap: Trap,
+        message: impl Into<String>,
+        span: cfront::span::Span,
+    ) -> Self {
+        RuntimeError {
+            message: message.into(),
+            span,
+            trap: Some(trap),
+        }
+    }
+
+    /// Lift a memory-subsystem error, preserving the trap kind when the
+    /// failure was the configured ceiling rather than a program bug.
+    pub(crate) fn from_mem(e: crate::value::MemError, span: cfront::span::Span) -> Self {
+        RuntimeError {
+            message: e.to_string(),
+            span,
+            trap: e.limit.then_some(Trap::MemoryLimit),
+        }
     }
 }
 
@@ -290,10 +356,11 @@ impl Program {
     pub fn run_entry_legacy(&self, entry: &str, opts: InterpOptions) -> RtResult<RunResult> {
         let shared = SharedState {
             prog: Arc::clone(&self.data),
-            mem: Memory::new(),
+            mem: Memory::with_limit(opts.max_memory_bytes),
             counters: Arc::new(Counters::new()),
             globals: Arc::new(RwLock::new(HashMap::new())),
             output: Arc::new(Mutex::new(String::new())),
+            fuel: opts.fuel.map(|f| Arc::new(FuelBudget::new(f))),
             opts,
         };
         let mut interp = Interp::new(shared.clone());
@@ -322,6 +389,8 @@ struct SharedState {
     counters: Arc<Counters>,
     globals: Arc<RwLock<HashMap<String, Scalar>>>,
     output: Arc<Mutex<String>>,
+    /// One instruction budget shared by every thread of the run.
+    fuel: Option<Arc<FuelBudget>>,
     opts: InterpOptions,
 }
 
@@ -348,16 +417,23 @@ struct Interp {
     s: SharedState,
     frames: Vec<HashMap<String, Scalar>>,
     steps: u64,
+    /// Locally-held fuel (statements this thread may still execute
+    /// before refilling from the shared budget). `u64::MAX` when no
+    /// budget is configured, so the hot path stays one predictable
+    /// branch plus a decrement.
+    fuel_local: u64,
     track: Option<TrackSets>,
 }
 
 #[cfg(any(test, feature = "legacy-oracle"))]
 impl Interp {
     fn new(s: SharedState) -> Self {
+        let fuel_local = if s.fuel.is_some() { 0 } else { u64::MAX };
         Interp {
             s,
             frames: vec![HashMap::new()],
             steps: 0,
+            fuel_local,
             track: None,
         }
     }
@@ -374,7 +450,42 @@ impl Interp {
                 span,
             ));
         }
+        if self.fuel_local == 0 {
+            self.refill_fuel(span)?;
+        }
+        self.fuel_local -= 1;
         Ok(())
+    }
+
+    /// Grab the next fuel block from the shared budget (slow path of
+    /// [`Interp::step`], at most once per [`crate::value::FUEL_BLOCK`]
+    /// statements).
+    #[cold]
+    fn refill_fuel(&mut self, span: cfront::span::Span) -> RtResult<()> {
+        let Some(budget) = &self.s.fuel else {
+            // Unlimited runs only land here after 2^64 statements.
+            self.fuel_local = u64::MAX;
+            return Ok(());
+        };
+        let granted = budget.take_block();
+        if granted == 0 {
+            return Err(RuntimeError::trap_at(
+                Trap::FuelExhausted,
+                "fuel exhausted",
+                span,
+            ));
+        }
+        self.fuel_local = granted;
+        Ok(())
+    }
+
+    /// Hand unused local fuel back to the shared budget — called when a
+    /// region child retires, so a finishing worker's block is available
+    /// to its siblings instead of silently burned.
+    fn refund_fuel(&mut self) {
+        if let Some(budget) = &self.s.fuel {
+            budget.refund(std::mem::take(&mut self.fuel_local));
+        }
     }
 
     // -- declarations ---------------------------------------------------------
@@ -388,13 +499,18 @@ impl Interp {
                     .iter()
                     .map(|e| self.eval(e).map(|v| v.as_i64().max(0) as usize))
                     .collect::<RtResult<_>>()?;
-                Scalar::P(self.alloc_array(&dims))
+                Scalar::P(self.alloc_array(&dims, d.span)?)
             } else if matches!(dec.ty.base, BaseType::Struct(_)) && !dec.ty.is_pointer() {
                 let size = match &dec.ty.base {
                     BaseType::Struct(name) => *self.s.prog.struct_sizes.get(name).unwrap_or(&8),
                     _ => unreachable!(),
                 };
-                Scalar::P(self.s.mem.alloc(size))
+                Scalar::P(
+                    self.s
+                        .mem
+                        .try_alloc(size)
+                        .map_err(|e| RuntimeError::from_mem(e, d.span))?,
+                )
             } else if let Some(init) = &dec.init {
                 let v = self.eval(init)?;
                 self.coerce(v, &dec.ty)
@@ -420,19 +536,27 @@ impl Interp {
         Ok(())
     }
 
-    fn alloc_array(&mut self, dims: &[usize]) -> Ptr {
+    fn alloc_array(&mut self, dims: &[usize], span: cfront::span::Span) -> RtResult<Ptr> {
         match dims {
-            [] | [_] => self.s.mem.alloc(dims.first().copied().unwrap_or(1)),
+            [] | [_] => self
+                .s
+                .mem
+                .try_alloc(dims.first().copied().unwrap_or(1))
+                .map_err(|e| RuntimeError::from_mem(e, span)),
             [first, rest @ ..] => {
-                let spine = self.s.mem.alloc(*first);
+                let spine = self
+                    .s
+                    .mem
+                    .try_alloc(*first)
+                    .map_err(|e| RuntimeError::from_mem(e, span))?;
                 for i in 0..*first {
-                    let sub = self.alloc_array(rest);
+                    let sub = self.alloc_array(rest, span)?;
                     self.s
                         .mem
                         .store(spine.offset(i as i64), Scalar::P(sub))
                         .expect("fresh spine in bounds");
                 }
-                spine
+                Ok(spine)
             }
         }
     }
@@ -475,7 +599,7 @@ impl Interp {
         self.s
             .mem
             .load(p)
-            .map_err(|e| RuntimeError::new(e.to_string(), span))
+            .map_err(|e| RuntimeError::from_mem(e, span))
     }
 
     fn mem_store(&mut self, p: Ptr, v: Scalar, span: cfront::span::Span) -> RtResult<()> {
@@ -486,7 +610,7 @@ impl Interp {
         self.s
             .mem
             .store(p, v)
-            .map_err(|e| RuntimeError::new(e.to_string(), span))
+            .map_err(|e| RuntimeError::from_mem(e, span))
     }
 
     // -- name lookup --------------------------------------------------------------
@@ -635,7 +759,11 @@ impl Interp {
             ExprKind::CharLit(c) => Ok(Scalar::I(*c as i64)),
             ExprKind::StrLit(s) => {
                 // One char per slot, NUL-terminated.
-                let p = self.s.mem.alloc(s.chars().count() + 1);
+                let p = self
+                    .s
+                    .mem
+                    .try_alloc(s.chars().count() + 1)
+                    .map_err(|err| RuntimeError::from_mem(err, e.span))?;
                 for (i, ch) in s.chars().enumerate() {
                     self.mem_store(p.offset(i as i64), Scalar::I(ch as i64), e.span)?;
                 }
@@ -970,8 +1098,18 @@ impl Interp {
         let func = self.s.prog.functions.get(name).cloned();
         match func {
             Some(f) if f.is_definition() => {
-                if self.frames.len() > 512 {
-                    return Err(RuntimeError::new("call stack overflow", span));
+                match self.s.opts.max_call_depth {
+                    Some(limit) if self.frames.len() > limit => {
+                        return Err(RuntimeError::trap_at(
+                            Trap::DepthLimit,
+                            format!("call depth limit exceeded ({limit})"),
+                            span,
+                        ));
+                    }
+                    None if self.frames.len() > 512 => {
+                        return Err(RuntimeError::new("call stack overflow", span));
+                    }
+                    _ => {}
                 }
                 let mut frame = HashMap::with_capacity(f.params.len());
                 for (p, v) in f.params.iter().zip(args) {
@@ -1002,7 +1140,7 @@ impl Interp {
                         }
                         Ok(v)
                     }
-                    Some(Err(e)) => Err(RuntimeError::new(e.to_string(), span)),
+                    Some(Err(e)) => Err(RuntimeError::from_mem(e, span)),
                     None => Err(RuntimeError::new(
                         format!("call to undefined function '{name}'"),
                         span,
@@ -1218,8 +1356,16 @@ impl Interp {
         let base_frame = self.frames.last().cloned().unwrap_or_default();
         let shared = self.s.clone();
         let err: Mutex<Option<RuntimeError>> = Mutex::new(None);
+        // Trap-drains-siblings: once any iteration errors, remaining
+        // iterations are skipped (checked lock-free at iteration start)
+        // so a trap unwinds the region promptly instead of letting
+        // siblings burn the rest of their budgets.
+        let failed = AtomicBool::new(false);
 
         let iteration = |k: u64| {
+            if failed.load(Ordering::Relaxed) {
+                return;
+            }
             let mut child = Interp::new(shared.clone());
             child.frames = vec![base_frame.clone()];
             child
@@ -1228,11 +1374,13 @@ impl Interp {
                 .expect("frame")
                 .insert(iter_name.clone(), Scalar::I(lb + k as i64));
             if let Err(e) = child.exec(body) {
+                failed.store(true, Ordering::Relaxed);
                 let mut g = err.lock();
                 if g.is_none() {
                     *g = Some(e);
                 }
             }
+            child.refund_fuel();
         };
         if self.s.opts.pool {
             parallel_for_pooled(n, self.s.opts.threads, schedule, iteration);

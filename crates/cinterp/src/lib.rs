@@ -44,6 +44,7 @@
 
 pub mod builtins;
 pub mod bytecode;
+pub(crate) mod cache;
 pub mod interp;
 pub mod resolve;
 pub mod spawn;
@@ -51,8 +52,9 @@ pub mod value;
 pub mod vm;
 
 pub use bytecode::BytecodeProgram;
-pub use interp::{Engine, InterpOptions, Program, RunResult, RuntimeError};
+pub use interp::{Engine, InterpOptions, Program, RunResult, RuntimeError, Trap};
 pub use resolve::ResolvedProgram;
 pub use value::{
-    CounterSnapshot, Counters, MemError, Memory, Packed, Ptr, Scalar, SpillPool, Tally,
+    CounterSnapshot, Counters, FuelBudget, MemError, Memory, Packed, Ptr, Scalar, SpillPool, Tally,
+    FUEL_BLOCK,
 };

@@ -88,8 +88,9 @@
 //! exact behaviours.
 
 use crate::builtins::{call_builtin, format_printf};
-use crate::interp::{parse_omp_parallel_for, InterpOptions, RunResult, RuntimeError};
-use crate::value::{Counters, Memory, Ptr, RaceAccumulator, Scalar, TrackSets};
+use crate::cache::ClockCache;
+use crate::interp::{parse_omp_parallel_for, InterpOptions, RunResult, RuntimeError, Trap};
+use crate::value::{Counters, FuelBudget, Memory, Ptr, RaceAccumulator, Scalar, TrackSets};
 use cfront::ast::*;
 use cfront::intern::{Interner, Symbol};
 use cfront::span::Span;
@@ -97,11 +98,13 @@ use machine::OmpSchedule;
 use machine::{global_pool, parallel_for, parallel_for_pooled, PureFuture, ThreadPool};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 type RtResult<T> = Result<T, RuntimeError>;
 
-/// Bound on memo-cache entries; beyond this, new results are not stored.
+/// Bound on memo-cache entries; at capacity, CLOCK eviction recycles
+/// cold entries (counted as `memo_evictions`).
 pub const MEMO_CAPACITY: usize = 1 << 16;
 
 // ---------------------------------------------------------------------------
@@ -1353,15 +1356,13 @@ fn mark_cacheable(prog: &mut ResolvedProgram, pure_fns: &HashSet<String>) {
 pub(crate) type MemoKey = (u32, Vec<(u8, u64)>);
 
 pub(crate) struct MemoCache {
-    map: Mutex<HashMap<MemoKey, Scalar>>,
-    cap: usize,
+    map: Mutex<ClockCache<MemoKey, Scalar>>,
 }
 
 impl MemoCache {
     fn new(cap: usize) -> Self {
         MemoCache {
-            map: Mutex::new(HashMap::new()),
-            cap,
+            map: Mutex::new(ClockCache::new(cap)),
         }
     }
 
@@ -1409,17 +1410,19 @@ impl MemoCache {
     }
 
     fn get(&self, key: &MemoKey) -> Option<Scalar> {
-        self.map.lock().get(key).copied()
+        self.map.lock().get(key)
     }
 
     fn insert(&self, key: MemoKey, v: Scalar) {
         if !matches!(v, Scalar::I(_) | Scalar::F(_)) {
             return;
         }
-        let mut m = self.map.lock();
-        if m.len() < self.cap {
-            m.insert(key, v);
-        }
+        self.map.lock().insert(key, v);
+    }
+
+    /// Entries displaced by CLOCK eviction since creation.
+    fn evictions(&self) -> u64 {
+        self.map.lock().evictions()
     }
 }
 
@@ -1436,6 +1439,8 @@ struct RShared {
     output: Arc<Mutex<String>>,
     opts: InterpOptions,
     memo: Option<Arc<MemoCache>>,
+    /// One instruction budget shared by every thread of the run.
+    fuel: Option<Arc<FuelBudget>>,
 }
 
 enum Flow {
@@ -1457,6 +1462,9 @@ struct RInterp {
     frame: Vec<Scalar>,
     depth: usize,
     steps: u64,
+    /// Locally-held fuel (statements left before a shared-budget refill);
+    /// `u64::MAX` when no budget is configured.
+    fuel_local: u64,
     track: Option<TrackSets>,
     /// In-flight pure-call futures of this interpreter, keyed by
     /// `(depth, slot)`: the spawn-site analysis guarantees every batch
@@ -1505,10 +1513,11 @@ pub(crate) fn run_resolved(
     let memo = (opts.memo && prog.any_cacheable).then(|| Arc::new(MemoCache::new(MEMO_CAPACITY)));
     let shared = RShared {
         prog: Arc::clone(prog),
-        mem: Memory::new(),
+        mem: Memory::with_limit(opts.max_memory_bytes),
         counters: Arc::new(Counters::new()),
         globals: Arc::new(RwLock::new(vec![Scalar::Uninit; prog.nglobals])),
         output: Arc::new(Mutex::new(String::new())),
+        fuel: opts.fuel.map(|f| Arc::new(FuelBudget::new(f))),
         opts,
         memo,
     };
@@ -1530,7 +1539,7 @@ pub(crate) fn run_resolved(
                     }
                     v
                 }
-                Some(Err(e)) => return Err(RuntimeError::at(e.to_string(), Span::DUMMY)),
+                Some(Err(e)) => return Err(RuntimeError::from_mem(e, Span::DUMMY)),
                 None => {
                     return Err(RuntimeError::at(
                         format!("call to undefined function '{entry}'"),
@@ -1541,6 +1550,12 @@ pub(crate) fn run_resolved(
         }
     };
     let output = shared.output.lock().clone();
+    if let Some(cache) = &shared.memo {
+        shared
+            .counters
+            .memo_evictions
+            .fetch_add(cache.evictions(), std::sync::atomic::Ordering::Relaxed);
+    }
     let counters = shared.counters.snapshot();
     Ok(RunResult {
         exit_code: exit.as_i64(),
@@ -1551,14 +1566,43 @@ pub(crate) fn run_resolved(
 
 impl RInterp {
     fn new(s: RShared) -> Self {
+        let fuel_local = if s.fuel.is_some() { 0 } else { u64::MAX };
         RInterp {
             s,
             frame: Vec::new(),
             depth: 0,
             steps: 0,
+            fuel_local,
             track: None,
             pending: ResPendingList::default(),
             futures_pool: None,
+        }
+    }
+
+    /// Grab the next fuel block from the shared budget (slow path of
+    /// [`RInterp::step`]).
+    #[cold]
+    fn refill_fuel(&mut self, span: Span) -> RtResult<()> {
+        let Some(budget) = &self.s.fuel else {
+            self.fuel_local = u64::MAX;
+            return Ok(());
+        };
+        let granted = budget.take_block();
+        if granted == 0 {
+            return Err(RuntimeError::trap_at(
+                Trap::FuelExhausted,
+                "fuel exhausted",
+                span,
+            ));
+        }
+        self.fuel_local = granted;
+        Ok(())
+    }
+
+    /// Hand unused local fuel back when a region/future child retires.
+    fn refund_fuel(&mut self) {
+        if let Some(budget) = &self.s.fuel {
+            budget.refund(std::mem::take(&mut self.fuel_local));
         }
     }
 
@@ -1579,6 +1623,10 @@ impl RInterp {
                 span,
             ));
         }
+        if self.fuel_local == 0 {
+            self.refill_fuel(span)?;
+        }
+        self.fuel_local -= 1;
         Ok(())
     }
 
@@ -1592,7 +1640,7 @@ impl RInterp {
         self.s
             .mem
             .load(p)
-            .map_err(|e| RuntimeError::at(e.to_string(), span))
+            .map_err(|e| RuntimeError::from_mem(e, span))
     }
 
     fn mem_store(&mut self, p: Ptr, v: Scalar, span: Span) -> RtResult<()> {
@@ -1603,7 +1651,7 @@ impl RInterp {
         self.s
             .mem
             .store(p, v)
-            .map_err(|e| RuntimeError::at(e.to_string(), span))
+            .map_err(|e| RuntimeError::from_mem(e, span))
     }
 
     // -- declarations ---------------------------------------------------------
@@ -1615,13 +1663,18 @@ impl RInterp {
                     .iter()
                     .map(|e| self.eval(e).map(|v| v.as_i64().max(0) as usize))
                     .collect::<RtResult<_>>()?;
-                let p = self.alloc_array(&sizes);
+                let p = self.alloc_array(&sizes)?;
                 if let Some(init) = init {
                     self.fill_initlist(p, init)?;
                 }
                 Scalar::P(p)
             }
-            RDeclKind::Struct { size } => Scalar::P(self.s.mem.alloc(*size)),
+            RDeclKind::Struct { size } => Scalar::P(
+                self.s
+                    .mem
+                    .try_alloc(*size)
+                    .map_err(|e| RuntimeError::from_mem(e, Span::DUMMY))?,
+            ),
             RDeclKind::Scalar { init, coerce } => match init {
                 Some(e) => {
                     let v = self.eval(e)?;
@@ -1645,19 +1698,27 @@ impl RInterp {
         Ok(())
     }
 
-    fn alloc_array(&mut self, dims: &[usize]) -> Ptr {
+    fn alloc_array(&mut self, dims: &[usize]) -> RtResult<Ptr> {
         match dims {
-            [] | [_] => self.s.mem.alloc(dims.first().copied().unwrap_or(1)),
+            [] | [_] => self
+                .s
+                .mem
+                .try_alloc(dims.first().copied().unwrap_or(1))
+                .map_err(|e| RuntimeError::from_mem(e, Span::DUMMY)),
             [first, rest @ ..] => {
-                let spine = self.s.mem.alloc(*first);
+                let spine = self
+                    .s
+                    .mem
+                    .try_alloc(*first)
+                    .map_err(|e| RuntimeError::from_mem(e, Span::DUMMY))?;
                 for i in 0..*first {
-                    let sub = self.alloc_array(rest);
+                    let sub = self.alloc_array(rest)?;
                     self.s
                         .mem
                         .store(spine.offset(i as i64), Scalar::P(sub))
                         .expect("fresh spine in bounds");
                 }
-                spine
+                Ok(spine)
             }
         }
     }
@@ -1762,7 +1823,11 @@ impl RInterp {
             RExprKind::Float(v) => Ok(Scalar::F(*v)),
             RExprKind::Str(s) => {
                 let n = s.chars().count();
-                let p = self.s.mem.alloc(n + 1);
+                let p = self
+                    .s
+                    .mem
+                    .try_alloc(n + 1)
+                    .map_err(|err| RuntimeError::from_mem(err, e.span))?;
                 for (i, ch) in s.chars().enumerate() {
                     self.mem_store(p.offset(i as i64), Scalar::I(ch as i64), e.span)?;
                 }
@@ -2086,8 +2151,18 @@ impl RInterp {
 
     fn call_user(&mut self, fid: u32, args: &[Scalar], span: Span) -> RtResult<Scalar> {
         Counters::bump(&self.s.counters.calls);
-        if self.depth >= 512 {
-            return Err(RuntimeError::at("call stack overflow", span));
+        match self.s.opts.max_call_depth {
+            Some(limit) if self.depth >= limit => {
+                return Err(RuntimeError::trap_at(
+                    Trap::DepthLimit,
+                    format!("call depth limit exceeded ({limit})"),
+                    span,
+                ));
+            }
+            None if self.depth >= 512 => {
+                return Err(RuntimeError::at("call stack overflow", span));
+            }
+            _ => {}
         }
         // One refcount bump per call frame: a local `Arc` handle lets the
         // statement walk borrow the program data independently of
@@ -2151,7 +2226,7 @@ impl RInterp {
                 }
                 Ok(v)
             }
-            Some(Err(e)) => Err(RuntimeError::at(e.to_string(), span)),
+            Some(Err(e)) => Err(RuntimeError::from_mem(e, span)),
             None => Err(RuntimeError::at(
                 format!("call to undefined function '{name_str}'"),
                 span,
@@ -2368,7 +2443,9 @@ impl RInterp {
         let task = move || {
             let mut child = RInterp::new(shared);
             child.depth = depth;
-            child.call_user(fid, &vals, Span::DUMMY)
+            let res = child.call_user(fid, &vals, Span::DUMMY);
+            child.refund_fuel();
+            res
         };
         let fut = PureFuture::spawn(&pool, self.s.opts.steal, task);
         Counters::bump(&self.s.counters.futures_spawned);
@@ -2466,17 +2543,25 @@ impl RInterp {
         let base_frame = self.frame.clone();
         let shared = self.s.clone();
         let err: Mutex<Option<RuntimeError>> = Mutex::new(None);
+        // Trap-drains-siblings: remaining iterations bail at entry once
+        // any iteration errored, so a trap unwinds the region promptly.
+        let failed = AtomicBool::new(false);
 
         let iteration = |k: u64| {
+            if failed.load(Ordering::Relaxed) {
+                return;
+            }
             let mut child = RInterp::new(shared.clone());
             child.frame = base_frame.clone();
             child.frame[header.iter_slot as usize] = Scalar::I(lb + k as i64);
             if let Err(e) = child.exec(&header.body) {
+                failed.store(true, Ordering::Relaxed);
                 let mut g = err.lock();
                 if g.is_none() {
                     *g = Some(e);
                 }
             }
+            child.refund_fuel();
         };
         if self.s.opts.pool {
             parallel_for_pooled(n, self.s.opts.threads, of.schedule, iteration);

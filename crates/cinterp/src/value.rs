@@ -250,19 +250,56 @@ impl<T> Drop for AppendTable<T> {
     }
 }
 
-/// The program heap + statics. Cloning the handle shares the memory.
+/// Shared byte accounting behind a [`Memory`] cap: every allocation
+/// charges its slot bytes against one atomic total shared by the whole
+/// execution (parallel regions and futures included). The heap is
+/// retire-don't-free (`free` flips a flag, the [`AppendTable`] reclaims
+/// nothing), so the total is **cumulative**: it is exactly the physical
+/// footprint an alloc bomb grows, and it is never decremented.
+#[derive(Debug)]
+struct MemBudget {
+    used: AtomicU64,
+    cap: u64,
+}
+
+/// The program heap + statics. Cloning the handle shares the memory
+/// (and its byte budget, when one is configured).
 #[derive(Clone)]
 pub struct Memory {
     allocs: Arc<AppendTable<Allocation>>,
+    budget: Option<Arc<MemBudget>>,
 }
 
 /// Errors surfaced by memory operations (out-of-bounds, use-after-free…).
+/// `limit` marks the configured memory ceiling firing — a governable
+/// resource trap ([`crate::Trap::MemoryLimit`]) rather than a program
+/// bug — so engines can attach the trap kind when converting to a
+/// runtime error.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MemError(pub String);
+pub struct MemError {
+    pub message: String,
+    pub limit: bool,
+}
+
+impl MemError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        MemError {
+            message: message.into(),
+            limit: false,
+        }
+    }
+
+    pub(crate) fn at_limit(message: String) -> Self {
+        MemError {
+            message,
+            limit: true,
+        }
+    }
+}
 
 impl std::fmt::Display for MemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "memory error: {}", self.0)
+        write!(f, "memory error: {}", self.message)
     }
 }
 
@@ -270,22 +307,67 @@ impl Memory {
     pub fn new() -> Self {
         Memory {
             allocs: Arc::new(AppendTable::new()),
+            budget: None,
         }
+    }
+
+    /// A heap whose cumulative allocation footprint is capped at
+    /// `max_bytes` (`None` = unlimited, identical to [`Memory::new`]).
+    pub fn with_limit(max_bytes: Option<u64>) -> Self {
+        Memory {
+            allocs: Arc::new(AppendTable::new()),
+            budget: max_bytes.map(|cap| {
+                Arc::new(MemBudget {
+                    used: AtomicU64::new(0),
+                    cap,
+                })
+            }),
+        }
+    }
+
+    /// Bytes charged so far, when a cap is configured.
+    pub fn used_bytes(&self) -> Option<u64> {
+        self.budget.as_ref().map(|b| b.used.load(Ordering::Relaxed))
+    }
+
+    /// The configured byte ceiling, if any.
+    pub fn limit_bytes(&self) -> Option<u64> {
+        self.budget.as_ref().map(|b| b.cap)
     }
 
     /// Allocate `len` slots; returns a pointer to element 0. Errors when
     /// the allocation-id space is exhausted — the id is a **checked**
     /// conversion, so a pathological program gets a diagnostic instead of
-    /// a pointer silently aliasing allocation 0.
+    /// a pointer silently aliasing allocation 0 — or when the configured
+    /// byte ceiling would be exceeded (`MemError::limit`).
     pub fn try_alloc(&self, len: usize) -> Result<Ptr, MemError> {
-        let id = self
-            .allocs
-            .push(Allocation::new(len.max(1)))
-            .ok_or_else(|| {
-                MemError(format!(
-                    "allocation id space exhausted ({TABLE_CAPACITY} allocations)"
-                ))
-            })?;
+        let slots = len.max(1);
+        #[cfg(feature = "fault-inject")]
+        if machine::fault::should_fail_alloc() {
+            return Err(MemError::at_limit(format!(
+                "memory limit exceeded: injected allocation failure ({} bytes requested)",
+                (slots as u64).saturating_mul(8)
+            )));
+        }
+        if let Some(b) = &self.budget {
+            let bytes = (slots as u64).saturating_mul(8);
+            // Optimistic charge; on overshoot the charge is rolled back
+            // so concurrent allocations racing the ceiling do not eat
+            // budget they never got.
+            let before = b.used.fetch_add(bytes, Ordering::Relaxed);
+            if before.saturating_add(bytes) > b.cap {
+                b.used.fetch_sub(bytes, Ordering::Relaxed);
+                return Err(MemError::at_limit(format!(
+                    "memory limit exceeded: requested {bytes} bytes with {before} of {} in use",
+                    b.cap
+                )));
+            }
+        }
+        let id = self.allocs.push(Allocation::new(slots)).ok_or_else(|| {
+            MemError::new(format!(
+                "allocation id space exhausted ({TABLE_CAPACITY} allocations)"
+            ))
+        })?;
         Ok(Ptr {
             alloc: id as u32,
             index: 0,
@@ -307,12 +389,12 @@ impl Memory {
         let a = self
             .allocs
             .get(p.alloc as usize)
-            .ok_or_else(|| MemError(format!("free of invalid allocation {}", p.alloc)))?;
+            .ok_or_else(|| MemError::new(format!("free of invalid allocation {}", p.alloc)))?;
         if p.index != 0 {
-            return Err(MemError("free of interior pointer".into()));
+            return Err(MemError::new("free of interior pointer"));
         }
         if a.freed.swap(1, Ordering::AcqRel) != 0 {
-            return Err(MemError("double free".into()));
+            return Err(MemError::new("double free"));
         }
         Ok(())
     }
@@ -329,9 +411,9 @@ impl Memory {
         let a = self
             .allocs
             .get(p.alloc as usize)
-            .ok_or_else(|| MemError(format!("invalid allocation {}", p.alloc)))?;
+            .ok_or_else(|| MemError::new(format!("invalid allocation {}", p.alloc)))?;
         if a.is_freed() {
-            return Err(MemError("use after free".into()));
+            return Err(MemError::new("use after free"));
         }
         f(a)
     }
@@ -339,9 +421,9 @@ impl Memory {
     pub fn load(&self, p: Ptr) -> Result<Scalar, MemError> {
         self.with_alloc(p, |a| {
             let idx = usize::try_from(p.index)
-                .map_err(|_| MemError(format!("negative index {}", p.index)))?;
+                .map_err(|_| MemError::new(format!("negative index {}", p.index)))?;
             let cell = a.slots.get(idx).ok_or_else(|| {
-                MemError(format!(
+                MemError::new(format!(
                     "load out of bounds at index {idx} (len {})",
                     a.len()
                 ))
@@ -354,9 +436,9 @@ impl Memory {
     pub fn store(&self, p: Ptr, v: Scalar) -> Result<(), MemError> {
         self.with_alloc(p, |a| {
             let idx = usize::try_from(p.index)
-                .map_err(|_| MemError(format!("negative index {}", p.index)))?;
+                .map_err(|_| MemError::new(format!("negative index {}", p.index)))?;
             let cell = a.slots.get(idx).ok_or_else(|| {
-                MemError(format!(
+                MemError::new(format!(
                     "store out of bounds at index {idx} (len {})",
                     a.len()
                 ))
@@ -839,6 +921,63 @@ impl RaceAccumulator {
     }
 }
 
+/// Fuel granted to an engine thread per refill from the shared
+/// [`FuelBudget`]. Large enough that the shared CAS is off the hot path
+/// (one refill per 4096 dispatches), small enough that an infinite loop
+/// under `--fuel N` overshoots N by at most one block per live thread.
+pub const FUEL_BLOCK: u64 = 4096;
+
+/// One instruction budget shared by every thread of a run: engines hold
+/// fuel locally (a plain counter decremented per dispatch) and refill it
+/// in [`FUEL_BLOCK`]-sized grants from this shared pool, so parallel
+/// regions and pure-call futures all drain the same budget. A grant of 0
+/// means the budget is exhausted ([`crate::Trap::FuelExhausted`]).
+/// Finishing children refund unused local fuel so a fast worker's block
+/// stays available to its siblings.
+#[derive(Debug)]
+pub struct FuelBudget {
+    remaining: AtomicU64,
+}
+
+impl FuelBudget {
+    pub fn new(total: u64) -> Self {
+        FuelBudget {
+            remaining: AtomicU64::new(total),
+        }
+    }
+
+    /// Take up to [`FUEL_BLOCK`] units; returns the grant (0 = exhausted).
+    pub fn take_block(&self) -> u64 {
+        let mut cur = self.remaining.load(Ordering::Relaxed);
+        loop {
+            let grant = cur.min(FUEL_BLOCK);
+            if grant == 0 {
+                return 0;
+            }
+            match self.remaining.compare_exchange_weak(
+                cur,
+                cur - grant,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return grant,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Return unused local fuel to the shared pool.
+    pub fn refund(&self, n: u64) {
+        if n > 0 {
+            self.remaining.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn remaining(&self) -> u64 {
+        self.remaining.load(Ordering::Relaxed)
+    }
+}
+
 /// Per-thread executed-operation tallies: the lock-free counterpart of
 /// [`Counters`]. The VM bumps plain fields on its own thread and flushes
 /// the totals into the shared atomics **once** — at parallel-region join
@@ -859,6 +998,7 @@ pub struct Tally {
     pub futures_helped: u64,
     pub tasks_stolen: u64,
     pub local_pushes: u64,
+    pub memo_evictions: u64,
 }
 
 impl Tally {
@@ -881,6 +1021,7 @@ impl Tally {
         self.futures_helped += other.futures_helped;
         self.tasks_stolen += other.tasks_stolen;
         self.local_pushes += other.local_pushes;
+        self.memo_evictions += other.memo_evictions;
     }
 
     /// Flush into the shared atomics (once per thread per join point).
@@ -903,6 +1044,8 @@ impl Tally {
             .fetch_add(self.tasks_stolen, Ordering::Relaxed);
         c.local_pushes
             .fetch_add(self.local_pushes, Ordering::Relaxed);
+        c.memo_evictions
+            .fetch_add(self.memo_evictions, Ordering::Relaxed);
     }
 }
 
@@ -956,6 +1099,9 @@ pub struct Counters {
     /// Futures pushed onto the spawning worker's own deque (vs routed
     /// through the shared injector).
     pub local_pushes: AtomicU64,
+    /// Entries displaced from the bounded memo caches (CLOCK eviction) —
+    /// non-zero only once a cache ran at capacity.
+    pub memo_evictions: AtomicU64,
 }
 
 impl Counters {
@@ -992,6 +1138,7 @@ impl Counters {
             futures_helped: self.futures_helped.load(Ordering::Relaxed),
             tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
             local_pushes: self.local_pushes.load(Ordering::Relaxed),
+            memo_evictions: self.memo_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -1021,6 +1168,9 @@ pub struct CounterSnapshot {
     /// differential projection.
     pub tasks_stolen: u64,
     pub local_pushes: u64,
+    /// Bounded-memo-cache evictions — cache-management bookkeeping like
+    /// the hit/miss split, excluded from the differential projection.
+    pub memo_evictions: u64,
 }
 
 impl CounterSnapshot {
@@ -1045,6 +1195,7 @@ impl CounterSnapshot {
             futures_helped: 0,
             tasks_stolen: 0,
             local_pushes: 0,
+            memo_evictions: 0,
             ..*self
         }
     }
@@ -1109,6 +1260,62 @@ mod tests {
         for i in 0..1024 {
             assert_eq!(m.load(p.offset(i)).unwrap(), Scalar::I(i * 2));
         }
+    }
+
+    #[test]
+    fn memory_cap_boundary_is_exact() {
+        // Cap = 4 allocations of 2 slots (16 bytes each). The allocation
+        // that lands exactly on the cap must succeed; the next one — even
+        // a single slot — must trap, and must not eat budget.
+        let m = Memory::with_limit(Some(64));
+        for _ in 0..4 {
+            m.try_alloc(2).expect("within the cap");
+        }
+        assert_eq!(m.used_bytes(), Some(64));
+        let err = m.try_alloc(1).unwrap_err();
+        assert!(err.limit, "ceiling overshoot is a limit error");
+        assert!(
+            err.message.contains("requested 8 bytes") && err.message.contains("64 of 64"),
+            "message names requested bytes and cap: {}",
+            err.message
+        );
+        assert_eq!(
+            m.used_bytes(),
+            Some(64),
+            "failed alloc rolled back its charge"
+        );
+        assert_eq!(m.limit_bytes(), Some(64));
+    }
+
+    #[test]
+    fn memory_cap_charges_slot_bytes() {
+        // len is rounded up to one slot minimum and charged at 8 bytes a
+        // slot — a 7-byte cap cannot satisfy even malloc(0).
+        let m = Memory::with_limit(Some(7));
+        assert!(m.try_alloc(0).unwrap_err().limit);
+        assert_eq!(m.used_bytes(), Some(0));
+        assert!(Memory::with_limit(Some(8)).try_alloc(0).is_ok());
+    }
+
+    #[test]
+    fn unlimited_memory_reports_no_usage() {
+        let m = Memory::new();
+        m.try_alloc(1024).unwrap();
+        assert_eq!(m.used_bytes(), None);
+        assert_eq!(m.limit_bytes(), None);
+    }
+
+    #[test]
+    fn fuel_budget_grants_blocks_and_refunds() {
+        let b = FuelBudget::new(FUEL_BLOCK + 100);
+        assert_eq!(b.take_block(), FUEL_BLOCK);
+        assert_eq!(b.take_block(), 100, "final partial block granted");
+        assert_eq!(b.take_block(), 0, "exhausted budget grants zero");
+        b.refund(25);
+        assert_eq!(b.take_block(), 25);
+        assert_eq!(b.remaining(), 0);
+        b.refund(0);
+        assert_eq!(b.take_block(), 0);
     }
 
     #[test]

@@ -36,11 +36,12 @@
 
 use crate::builtins::{call_builtin, format_printf};
 use crate::bytecode::{binop_decode, BFunc, BRegion, BSpawn, BytecodeProgram, Op};
-use crate::interp::{InterpOptions, RunResult, RuntimeError};
+use crate::cache::ClockCache;
+use crate::interp::{InterpOptions, RunResult, RuntimeError, Trap};
 use crate::resolve::{Coerce, MemoCache, MemoKey, MEMO_CAPACITY};
 use crate::value::{
-    Counters, GlobalTable, Memory, Packed, Ptr, RaceAccumulator, Scalar, SpillPool, Tally,
-    TrackSets,
+    Counters, FuelBudget, GlobalTable, Memory, Packed, Ptr, RaceAccumulator, Scalar, SpillPool,
+    Tally, TrackSets,
 };
 use cfront::ast::BinOp;
 use cfront::intern::Symbol;
@@ -48,6 +49,7 @@ use cfront::span::Span;
 use machine::{global_pool, parallel_for_state, parallel_for_state_pooled, PureFuture, ThreadPool};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 type RtResult<T> = Result<T, RuntimeError>;
@@ -56,46 +58,59 @@ type RtResult<T> = Result<T, RuntimeError>;
 // Sharded pure-call memo cache
 // ---------------------------------------------------------------------------
 
+/// Bound on one worker's private memo shard. Kept below the process-wide
+/// [`MEMO_CAPACITY`] so the state a region join must merge (and a
+/// `freeze` must clone) stays small even on memo-heavy workloads.
+pub(crate) const SHARD_CAPACITY: usize = MEMO_CAPACITY / 4;
+
 /// Per-worker view of the pure-call memo cache: a read-only frozen
-/// snapshot shared by `Arc` plus a private write shard. Lookups probe the
-/// shard then the snapshot — no lock either way. At a parallel-region
-/// join the parent absorbs every worker's shard; entering a region
-/// freezes the parent's merged view for the children.
+/// snapshot shared by `Arc` plus a private bounded write shard
+/// ([`ClockCache`], so a long run recycles cold entries instead of
+/// refusing new ones). Lookups probe the shard then the snapshot — no
+/// lock either way. At a parallel-region join the parent absorbs every
+/// worker's shard; entering a region freezes the parent's merged view
+/// for the children.
 pub(crate) struct MemoShard {
     frozen: Arc<HashMap<MemoKey, Scalar>>,
-    local: HashMap<MemoKey, Scalar>,
+    local: ClockCache<MemoKey, Scalar>,
 }
 
 impl MemoShard {
     fn new() -> Self {
         MemoShard {
             frozen: Arc::new(HashMap::new()),
-            local: HashMap::new(),
+            local: ClockCache::new(SHARD_CAPACITY),
         }
     }
 
     fn with_frozen(frozen: Arc<HashMap<MemoKey, Scalar>>) -> Self {
         MemoShard {
             frozen,
-            local: HashMap::new(),
+            local: ClockCache::new(SHARD_CAPACITY),
         }
     }
 
     #[inline]
-    fn get(&self, key: &MemoKey) -> Option<Scalar> {
-        self.local
-            .get(key)
-            .or_else(|| self.frozen.get(key))
-            .copied()
+    fn get(&mut self, key: &MemoKey) -> Option<Scalar> {
+        if let Some(v) = self.local.get(key) {
+            return Some(v);
+        }
+        self.frozen.get(key).copied()
     }
 
-    fn insert(&mut self, key: MemoKey, v: Scalar) {
+    /// Insert a result; returns `true` when a cold entry was evicted to
+    /// make room (callers count it into `Tally::memo_evictions`).
+    fn insert(&mut self, key: MemoKey, v: Scalar) -> bool {
         if !matches!(v, Scalar::I(_) | Scalar::F(_)) {
-            return;
+            return false;
         }
-        if self.frozen.len() + self.local.len() < MEMO_CAPACITY {
-            self.local.insert(key, v);
-        }
+        self.local.insert(key, v)
+    }
+
+    /// The local shard's resident entries, cloned out for a region-join
+    /// or future-join merge into another shard.
+    fn local_entries(&self) -> Vec<(MemoKey, Scalar)> {
+        self.local.iter().map(|(k, v)| (k.clone(), *v)).collect()
     }
 
     /// Merged read-only snapshot handed to parallel children (region
@@ -105,24 +120,39 @@ impl MemoShard {
     /// map per spawn site: a child may miss the most recent handful of
     /// inserts, which is already true of sibling shards (memo contents
     /// are best-effort; the differential projection excludes memo
-    /// counts). Amortized, each entry is cloned O(1) times.
+    /// counts). Amortized, each entry is cloned O(1) times. The frozen
+    /// map is capped at [`MEMO_CAPACITY`]: promotion past the cap drops
+    /// the excess (best-effort, like sibling-shard invisibility).
     fn freeze(&mut self) -> Arc<HashMap<MemoKey, Scalar>> {
         if self.local.len() * 4 > self.frozen.len() + 64 {
             let mut merged = (*self.frozen).clone();
-            merged.extend(self.local.drain());
+            for (k, v) in self.local.iter() {
+                if merged.len() >= MEMO_CAPACITY {
+                    break;
+                }
+                merged.insert(k.clone(), *v);
+            }
             self.frozen = Arc::new(merged);
+            self.local = ClockCache::new(SHARD_CAPACITY);
         }
         Arc::clone(&self.frozen)
     }
 
-    /// Fold a worker's shard back in at region join.
-    fn absorb(&mut self, other: HashMap<MemoKey, Scalar>) {
+    /// Fold a worker's shard back in at region join; returns the number
+    /// of entries evicted to make room.
+    fn absorb(&mut self, other: Vec<(MemoKey, Scalar)>) -> u64 {
+        let mut evicted = 0;
         for (k, v) in other {
-            if self.frozen.len() + self.local.len() >= MEMO_CAPACITY {
-                break;
+            // Keep an existing entry (or-insert semantics: the local
+            // value is at least as fresh as the worker's).
+            if self.local.get(&k).is_some() || self.frozen.contains_key(&k) {
+                continue;
             }
-            self.local.entry(k).or_insert(v);
+            if self.local.insert(k, v) {
+                evicted += 1;
+            }
         }
+        evicted
     }
 }
 
@@ -143,6 +173,9 @@ struct VmShared {
     /// through a CAS loop so concurrent RMWs on one global cannot tear.
     globals: Arc<GlobalTable>,
     output: Arc<Mutex<String>>,
+    /// One instruction budget shared by every thread of the run
+    /// (region workers and pure-call futures included).
+    fuel: Option<Arc<FuelBudget>>,
     opts: InterpOptions,
 }
 
@@ -159,6 +192,10 @@ struct Vm {
     spill_floor: usize,
     depth: usize,
     steps: u64,
+    /// Locally-held fuel (dispatches left before a shared-budget
+    /// refill); `u64::MAX` when no budget is configured, so the hot
+    /// path is one predictable branch plus a decrement.
+    fuel_local: u64,
     tally: Tally,
     memo: Option<MemoShard>,
     track: Option<TrackSets>,
@@ -219,7 +256,7 @@ impl Drop for PendingFutures {
 struct VmFutureOut {
     value: RtResult<Scalar>,
     tally: Tally,
-    memo_local: Option<HashMap<MemoKey, Scalar>>,
+    memo_local: Option<Vec<(MemoKey, Scalar)>>,
 }
 
 /// Execute one spawned pure call on its own child VM (fresh arena,
@@ -249,10 +286,11 @@ fn run_future_task(
         }
         Err(e) => Err(e),
     };
+    vm.refund_fuel();
     VmFutureOut {
         value,
         tally: vm.tally,
-        memo_local: vm.memo.map(|m| m.local),
+        memo_local: vm.memo.as_ref().map(|m| m.local_entries()),
     }
 }
 
@@ -264,10 +302,11 @@ pub(crate) fn run_vm(
 ) -> RtResult<RunResult> {
     let shared = VmShared {
         prog: Arc::clone(prog),
-        mem: Memory::new(),
+        mem: Memory::with_limit(opts.max_memory_bytes),
         counters: Arc::new(Counters::new()),
         globals: Arc::new(GlobalTable::new(prog.nglobals)),
         output: Arc::new(Mutex::new(String::new())),
+        fuel: opts.fuel.map(|f| Arc::new(FuelBudget::new(f))),
         opts,
     };
     let mut vm = Vm::new(shared.clone());
@@ -296,7 +335,7 @@ pub(crate) fn run_vm(
                     }
                     vm.pack(v)
                 }
-                Some(Err(e)) => return Err(RuntimeError::at(e.to_string(), Span::DUMMY)),
+                Some(Err(e)) => return Err(RuntimeError::from_mem(e, Span::DUMMY)),
                 None => {
                     return Err(RuntimeError::at(
                         format!("call to undefined function '{entry}'"),
@@ -320,6 +359,7 @@ pub(crate) fn run_vm(
 
 impl Vm {
     fn new(s: VmShared) -> Self {
+        let fuel_local = if s.fuel.is_some() { 0 } else { u64::MAX };
         Vm {
             s,
             stack: Vec::with_capacity(32),
@@ -328,11 +368,43 @@ impl Vm {
             spill_floor: 0,
             depth: 0,
             steps: 0,
+            fuel_local,
             tally: Tally::new(),
             memo: None,
             track: None,
             pending: PendingFutures::default(),
             futures_pool: None,
+        }
+    }
+
+    /// Grab the next fuel block from the shared budget (slow path of the
+    /// dispatch loop, at most once per [`crate::value::FUEL_BLOCK`]
+    /// dispatches).
+    #[cold]
+    fn refill_fuel(&mut self, span: Span) -> RtResult<()> {
+        let Some(budget) = &self.s.fuel else {
+            // Unlimited runs only land here after 2^64 dispatches.
+            self.fuel_local = u64::MAX;
+            return Ok(());
+        };
+        let granted = budget.take_block();
+        if granted == 0 {
+            return Err(RuntimeError::trap_at(
+                Trap::FuelExhausted,
+                "fuel exhausted",
+                span,
+            ));
+        }
+        self.fuel_local = granted;
+        Ok(())
+    }
+
+    /// Hand unused local fuel back when a region-worker or future child
+    /// retires, so a finishing worker's block stays available to its
+    /// siblings instead of silently burned.
+    fn refund_fuel(&mut self) {
+        if let Some(budget) = &self.s.fuel {
+            budget.refund(std::mem::take(&mut self.fuel_local));
         }
     }
 
@@ -419,7 +491,7 @@ impl Vm {
         }
         match self.s.mem.load(p) {
             Ok(v) => Ok(self.pack(v)),
-            Err(e) => Err(RuntimeError::at(e.to_string(), span)),
+            Err(e) => Err(RuntimeError::from_mem(e, span)),
         }
     }
 
@@ -433,7 +505,7 @@ impl Vm {
         self.s
             .mem
             .store(p, v)
-            .map_err(|e| RuntimeError::at(e.to_string(), span))
+            .map_err(|e| RuntimeError::from_mem(e, span))
     }
 
     /// Packed word → pointer for an indexing operation, with the shared
@@ -648,8 +720,18 @@ impl Vm {
 
     fn call_user(&mut self, fid: u32, nargs: usize, span: Span) -> RtResult<()> {
         self.tally.calls += 1;
-        if self.depth >= 512 {
-            return Err(RuntimeError::at("call stack overflow", span));
+        match self.s.opts.max_call_depth {
+            Some(limit) if self.depth >= limit => {
+                return Err(RuntimeError::trap_at(
+                    Trap::DepthLimit,
+                    format!("call depth limit exceeded ({limit})"),
+                    span,
+                ));
+            }
+            None if self.depth >= 512 => {
+                return Err(RuntimeError::at("call stack overflow", span));
+            }
+            _ => {}
         }
         let prog = Arc::clone(&self.s.prog);
         let func = &prog.funcs[fid as usize];
@@ -678,7 +760,7 @@ impl Vm {
         } else {
             None
         };
-        if let (Some(shard), Some(key)) = (&self.memo, &memo_key) {
+        if let (Some(shard), Some(key)) = (&mut self.memo, &memo_key) {
             if let Some(v) = shard.get(key) {
                 self.tally.memo_hits += 1;
                 self.arena.truncate(fbase);
@@ -697,7 +779,9 @@ impl Vm {
         if let Some(key) = memo_key {
             let v = self.unpack(result);
             if let Some(shard) = &mut self.memo {
-                shard.insert(key, v);
+                if shard.insert(key, v) {
+                    self.tally.memo_evictions += 1;
+                }
             }
         }
         self.stack.push(result);
@@ -725,7 +809,8 @@ impl Vm {
     fn absorb_future(&mut self, out: VmFutureOut, abs: usize, coerce: Coerce) -> RtResult<()> {
         self.tally.merge(&out.tally);
         if let (Some(local), Some(mine)) = (out.memo_local, &mut self.memo) {
-            mine.absorb(local);
+            let evicted = mine.absorb(local);
+            self.tally.memo_evictions += evicted;
         }
         let v = out.value?;
         let pv = self.pack(coerce.apply(v));
@@ -775,7 +860,7 @@ impl Vm {
         if func.cacheable && self.memo.is_some() {
             if let Some(key) = MemoCache::key_for_call(&func.params, func.frame_size, sp.fid, &args)
             {
-                if let Some(v) = self.memo.as_ref().and_then(|m| m.get(&key)) {
+                if let Some(v) = self.memo.as_mut().and_then(|m| m.get(&key)) {
                     self.tally.calls += 1;
                     self.tally.memo_hits += 1;
                     let pv = self.pack(sp.coerce.apply(v));
@@ -812,6 +897,13 @@ impl Vm {
     /// until a `Ret` (function result) or `RegionEnd` (iteration end).
     fn exec(&mut self, f: &BFunc, base: usize, mut pc: usize) -> RtResult<Packed> {
         loop {
+            // Fuel check: one predictable branch and a decrement per
+            // dispatch; refills (and the only shared-atomic traffic)
+            // happen once per FUEL_BLOCK dispatches in the cold path.
+            if self.fuel_local == 0 {
+                self.refill_fuel(f.spans[pc])?;
+            }
+            self.fuel_local -= 1;
             let insn = f.code[pc];
             match insn.op {
                 Op::Step => {
@@ -829,6 +921,24 @@ impl Vm {
                     if self.spill.len() - self.spill_floor > 1024 + 4 * live {
                         self.compact_spills();
                     }
+                    // Memory ceiling at statement granularity: heap
+                    // bytes are charged exactly at `try_alloc`, while
+                    // this VM's arena/stack/spill growth is folded in
+                    // here (at most one statement of overshoot).
+                    if let Some(limit) = self.s.mem.limit_bytes() {
+                        let local = 8 * (live + self.spill.len()) as u64;
+                        let heap = self.s.mem.used_bytes().unwrap_or(0);
+                        if heap.saturating_add(local) > limit {
+                            return Err(RuntimeError::trap_at(
+                                Trap::MemoryLimit,
+                                format!(
+                                    "memory limit exceeded: {heap} heap + {local} \
+                                     interpreter bytes over the {limit}-byte cap"
+                                ),
+                                f.spans[pc],
+                            ));
+                        }
+                    }
                 }
                 Op::Const => {
                     let v = self.pack(f.consts[insn.a as usize]);
@@ -838,7 +948,11 @@ impl Vm {
                     let s = Arc::clone(&f.strings[insn.a as usize]);
                     let span = f.spans[pc];
                     let n = s.chars().count();
-                    let p = self.s.mem.alloc(n + 1);
+                    let p = self
+                        .s
+                        .mem
+                        .try_alloc(n + 1)
+                        .map_err(|e| RuntimeError::from_mem(e, span))?;
                     for (i, ch) in s.chars().enumerate() {
                         let v = self.pack(Scalar::I(ch as i64));
                         self.mem_store(p.offset(i as i64), v, span)?;
@@ -1149,7 +1263,7 @@ impl Vm {
                             let v = self.pack(v);
                             self.stack.push(v);
                         }
-                        Some(Err(e)) => return Err(RuntimeError::at(e.to_string(), f.spans[pc])),
+                        Some(Err(e)) => return Err(RuntimeError::from_mem(e, f.spans[pc])),
                         None => {
                             return Err(RuntimeError::at(
                                 format!("call to undefined function '{name}'"),
@@ -1205,12 +1319,16 @@ impl Vm {
                         dims.push(self.to_i64(v).max(0) as usize);
                     }
                     self.stack.truncate(dimbase);
-                    let p = self.alloc_array(&dims);
+                    let p = self.alloc_array(&dims, f.spans[pc])?;
                     let out = self.pack(Scalar::P(p));
                     self.stack.push(out);
                 }
                 Op::AllocStruct => {
-                    let p = self.s.mem.alloc(insn.a as usize);
+                    let p = self
+                        .s
+                        .mem
+                        .try_alloc(insn.a as usize)
+                        .map_err(|e| RuntimeError::from_mem(e, f.spans[pc]))?;
                     let out = self.pack(Scalar::P(p));
                     self.stack.push(out);
                 }
@@ -1326,19 +1444,27 @@ impl Vm {
         }
     }
 
-    fn alloc_array(&mut self, dims: &[usize]) -> Ptr {
+    fn alloc_array(&mut self, dims: &[usize], span: Span) -> RtResult<Ptr> {
         match dims {
-            [] | [_] => self.s.mem.alloc(dims.first().copied().unwrap_or(1)),
+            [] | [_] => self
+                .s
+                .mem
+                .try_alloc(dims.first().copied().unwrap_or(1))
+                .map_err(|e| RuntimeError::from_mem(e, span)),
             [first, rest @ ..] => {
-                let spine = self.s.mem.alloc(*first);
+                let spine = self
+                    .s
+                    .mem
+                    .try_alloc(*first)
+                    .map_err(|e| RuntimeError::from_mem(e, span))?;
                 for i in 0..*first {
-                    let sub = self.alloc_array(rest);
+                    let sub = self.alloc_array(rest, span)?;
                     self.s
                         .mem
                         .store(spine.offset(i as i64), Scalar::P(sub))
                         .expect("fresh spine in bounds");
                 }
-                spine
+                Ok(spine)
             }
         }
     }
@@ -1374,9 +1500,14 @@ impl Vm {
         let frozen = self.memo.as_mut().map(|m| m.freeze());
         let shared = self.s.clone();
         let err: Mutex<Option<RuntimeError>> = Mutex::new(None);
+        // Trap-drains-siblings: remaining iterations bail at entry once
+        // any iteration errored, so a trap unwinds the region promptly
+        // instead of letting siblings burn the rest of their budgets.
+        let failed = AtomicBool::new(false);
         let frame = &frame;
         let spill_prefix = &spill_prefix;
         let err_ref = &err;
+        let failed_ref = &failed;
         let iter_slot = r.iter_slot as usize;
         let body_start = r.body_start as usize;
 
@@ -1388,6 +1519,9 @@ impl Vm {
         // keeps the scoped spawn-per-region substrate for A/B runs.
         let init = |_tid: usize| Vm::new_child(shared.clone(), frozen.clone(), spill_prefix);
         let body = |vm: &mut Vm, k: u64| {
+            if failed_ref.load(Ordering::Relaxed) {
+                return;
+            }
             vm.stack.clear();
             vm.arena.clear();
             vm.arena.extend_from_slice(frame);
@@ -1396,6 +1530,7 @@ impl Vm {
             vm.steps = 0;
             vm.depth = 0;
             if let Err(e) = vm.exec(f, 0, body_start) {
+                failed_ref.store(true, Ordering::Relaxed);
                 // An iteration that failed mid-batch leaves futures in
                 // flight; this worker VM is reused for the next
                 // iteration, whose frame would alias the stale slots —
@@ -1412,11 +1547,13 @@ impl Vm {
         } else {
             parallel_for_state(n, self.s.opts.threads, r.schedule, init, body)
         };
-        for w in workers {
+        for mut w in workers {
+            w.refund_fuel();
             self.tally.merge(&w.tally);
             if let Some(theirs) = w.memo {
                 if let Some(mine) = &mut self.memo {
-                    mine.absorb(theirs.local);
+                    let evicted = mine.absorb(theirs.local_entries());
+                    self.tally.memo_evictions += evicted;
                 }
             }
         }
@@ -1460,10 +1597,12 @@ impl Vm {
                 break;
             }
         }
+        child.refund_fuel();
         self.tally.merge(&child.tally);
         if let Some(theirs) = child.memo.take() {
             if let Some(mine) = &mut self.memo {
-                mine.absorb(theirs.local);
+                let evicted = mine.absorb(theirs.local_entries());
+                self.tally.memo_evictions += evicted;
             }
         }
         result

@@ -1,0 +1,131 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Compiled only under the `fault-inject` feature; release builds carry
+//! none of this code. When **armed** via [`seed`], a process-global
+//! seeded LCG drives three kinds of injected misbehaviour:
+//!
+//! * [`maybe_panic`] — called by the thread pool at the top of every
+//!   grouped task; occasionally panics, exercising the panic-containment
+//!   path (record on the group, decrement counters, re-raise at join).
+//! * [`should_fail_alloc`] — consulted by `Memory::try_alloc`;
+//!   occasionally reports an at-limit allocation failure, exercising the
+//!   `Trap::MemoryLimit` unwind through whatever engine is running.
+//! * [`steal_jitter`] — called by the pool's task-claim path before the
+//!   steal scan; spins a pseudo-random number of iterations so stealers
+//!   collide with owners far more often than they would naturally.
+//!
+//! The stream is deterministic for a given seed *and* interleaving: the
+//! state is one shared atomic advanced by CAS, so concurrent draws race
+//! for positions in a single reproducible sequence. Tests that need
+//! strict reproducibility run single-threaded; the hammer tests only
+//! need "same seed → same fault density".
+//!
+//! [`disarm`] returns the process to fault-free behaviour (every hook
+//! becomes a no-op), so one test binary can run a faulty phase and then
+//! assert clean recovery.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel state: hooks are inert until [`seed`] is called.
+const DISARMED: u64 = 0;
+
+static STATE: AtomicU64 = AtomicU64::new(DISARMED);
+
+/// One draw in ~`PANIC_PERIOD` grouped tasks panics while armed.
+const PANIC_PERIOD: u64 = 61;
+/// One draw in ~`ALLOC_PERIOD` allocations fails while armed.
+const ALLOC_PERIOD: u64 = 53;
+/// Upper bound on injected spin iterations before a steal scan.
+const JITTER_SPAN: u64 = 64;
+
+/// Arm the injector with a deterministic seed (0 is mapped to 1 so it
+/// cannot collide with the disarmed sentinel).
+pub fn seed(s: u64) {
+    STATE.store(s.max(1), Ordering::SeqCst);
+}
+
+/// Disarm the injector: all hooks become no-ops until re-seeded.
+pub fn disarm() {
+    STATE.store(DISARMED, Ordering::SeqCst);
+}
+
+/// True while the injector is armed.
+pub fn armed() -> bool {
+    STATE.load(Ordering::Relaxed) != DISARMED
+}
+
+/// Advance the shared LCG and return the new state, or `None` when
+/// disarmed. Lock-free: concurrent callers race for positions in one
+/// sequence via compare-exchange.
+fn next() -> Option<u64> {
+    let mut cur = STATE.load(Ordering::Relaxed);
+    loop {
+        if cur == DISARMED {
+            return None;
+        }
+        // Knuth's MMIX multiplier; the +1 keeps the low bits moving.
+        let stepped = cur
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407)
+            .max(1); // never step onto the disarmed sentinel
+        match STATE.compare_exchange_weak(cur, stepped, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return Some(stepped),
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Panic with probability ~1/61 while armed. Wired into the pool's
+/// grouped-task wrapper so the panic is recorded on the task's group
+/// exactly like a genuine task panic.
+pub fn maybe_panic() {
+    if let Some(r) = next() {
+        if r % PANIC_PERIOD == 0 {
+            panic!("injected fault: task panic");
+        }
+    }
+}
+
+/// Report an allocation failure with probability ~1/53 while armed.
+pub fn should_fail_alloc() -> bool {
+    next().is_some_and(|r| r % ALLOC_PERIOD == 0)
+}
+
+/// Spin 0–63 iterations while armed, widening the window in which a
+/// steal and an owner pop collide on the same deque slot.
+pub fn steal_jitter() {
+    if let Some(r) = next() {
+        for _ in 0..(r % JITTER_SPAN) {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test, not several: the injector state is process-global and the
+    // harness runs tests concurrently.
+    #[test]
+    fn arm_replay_disarm_lifecycle() {
+        disarm();
+        assert!(!armed());
+        maybe_panic(); // must not panic
+        assert!(!should_fail_alloc());
+        steal_jitter();
+
+        seed(42);
+        let a: Vec<bool> = (0..256).map(|_| should_fail_alloc()).collect();
+        seed(42);
+        let b: Vec<bool> = (0..256).map(|_| should_fail_alloc()).collect();
+        assert_eq!(a, b, "same seed must replay the same fault stream");
+        assert!(
+            a.iter().any(|&f| f),
+            "256 draws at period 53 must inject at least one failure"
+        );
+
+        disarm();
+        assert!(!armed());
+    }
+}

@@ -11,6 +11,8 @@
 //!   scale (4096² matrices, 64 cores) where direct execution is
 //!   infeasible.
 
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod omprt;
 pub mod sim;
 

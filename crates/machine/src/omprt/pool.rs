@@ -250,6 +250,9 @@ impl PoolCore {
             self.queued.fetch_sub(1, Ordering::SeqCst);
             return Some(t);
         }
+        // Widen the owner-vs-stealer race window before scanning victims.
+        #[cfg(feature = "fault-inject")]
+        crate::fault::steal_jitter();
         let n = self.deques.len();
         let start = index.map_or(0, |i| i + 1);
         for off in 0..n {
@@ -480,7 +483,14 @@ impl ThreadPool {
         self.core.shared.pending.fetch_add(1, Ordering::AcqRel);
         self.push_task(
             Box::new(move || {
-                if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                    // Injected panics land inside the task's unwind scope,
+                    // so they are recorded on the group exactly like a
+                    // genuine task panic.
+                    #[cfg(feature = "fault-inject")]
+                    crate::fault::maybe_panic();
+                    f()
+                })) {
                     gs.record_panic(p);
                 }
                 gs.finish_one();

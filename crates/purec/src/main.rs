@@ -3,6 +3,7 @@
 //! ```text
 //! purec <file.c> [--sica] [--tile N] [--no-omp] [--run [--threads N]]
 //!       [--engine vm|resolved] [--no-pool] [--no-futures] [--no-steal]
+//!       [--fuel N] [--max-memory BYTES] [--max-depth N]
 //!       [--race-check] [--emit-marked] [--no-alloc-pure] [--stats]
 //! purec --demo <matmul|heat|satellite|lama> [same flags]
 //! ```
@@ -10,6 +11,10 @@
 //! Without `--run` the transformed standard-C text is printed to stdout
 //! (the source-to-source behaviour of the paper's tool). With `--run` the
 //! program is executed on the built-in interpreter and omprt runtime.
+//!
+//! Resource limits (all unlimited by default) turn runaway executions
+//! into structured traps with distinct exit codes: fuel exhaustion → 97,
+//! memory limit → 98, call-depth limit → 99.
 
 use purec::chain::{compile, compile_and_run, ChainOptions};
 use purec_core::{PcCcOptions, PureSet};
@@ -36,6 +41,12 @@ fn usage() -> ! {
          \x20                  shared injector instead of per-worker deques\n\
          \x20                  (pre-work-stealing substrate, A/B comparison)\n\
          \x20 --race-check     validate iteration independence before parallel runs\n\
+         \x20 --fuel N         cap executed statements/instructions at N; a run\n\
+         \x20                  that exhausts its fuel traps and exits 97\n\
+         \x20 --max-memory B   cap interpreter memory at B bytes; exceeding the\n\
+         \x20                  cap traps and exits 98\n\
+         \x20 --max-depth N    cap the call stack at N frames; exceeding the\n\
+         \x20                  cap traps and exits 99\n\
          \x20 --stats          print chain statistics to stderr"
     );
     std::process::exit(2);
@@ -62,6 +73,9 @@ fn main() {
     let mut steal = true;
     let mut race_check = false;
     let mut stats = false;
+    let mut fuel: Option<u64> = None;
+    let mut max_memory: Option<u64> = None;
+    let mut max_depth: Option<usize> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -96,6 +110,27 @@ fn main() {
             "--no-futures" => futures = false,
             "--no-steal" => steal = false,
             "--race-check" => race_check = true,
+            "--fuel" => {
+                fuel = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--max-memory" => {
+                max_memory = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--max-depth" => {
+                max_depth = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--stats" => stats = true,
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && source_path.is_none() => {
@@ -175,6 +210,9 @@ fn main() {
             pool,
             futures,
             steal,
+            fuel,
+            max_memory_bytes: max_memory,
+            max_call_depth: max_depth,
             ..Default::default()
         };
         match compile_and_run(&source, opts, interp) {
@@ -192,7 +230,7 @@ fn main() {
                         "purec: verified pure: {:?}; scops {}; transformed {}; parallel {}; \
                          spawn sites {}; exit {}; \
                          ops {{flops: {}, loads: {}, stores: {}, calls: {}}}; \
-                         memo {{hits: {}, misses: {}}}; \
+                         memo {{hits: {}, misses: {}, evictions: {}}}; \
                          futures {{spawned: {}, inlined: {}, helped: {}}}; \
                          steals {{local_pushes: {}, tasks_stolen: {}}}",
                         out.declared_pure,
@@ -207,6 +245,7 @@ fn main() {
                         result.counters.calls,
                         result.counters.memo_hits,
                         result.counters.memo_misses,
+                        result.counters.memo_evictions,
                         result.counters.futures_spawned,
                         result.counters.futures_inlined,
                         result.counters.futures_helped,
@@ -218,10 +257,21 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("purec: {e}");
-                if let purec::chain::ChainError::Compile(d) = &e {
-                    eprint!("{}", d.render_all(&source));
+                match &e {
+                    purec::chain::ChainError::Compile(d) => {
+                        eprint!("{}", d.render_all(&source));
+                        std::process::exit(1);
+                    }
+                    // Resource traps get distinct, documented exit codes so
+                    // scripts can tell "the program misbehaved" from "the
+                    // governor stopped it".
+                    purec::chain::ChainError::Runtime(err) => match err.trap {
+                        Some(cinterp::Trap::FuelExhausted) => std::process::exit(97),
+                        Some(cinterp::Trap::MemoryLimit) => std::process::exit(98),
+                        Some(cinterp::Trap::DepthLimit) => std::process::exit(99),
+                        None => std::process::exit(1),
+                    },
                 }
-                std::process::exit(1);
             }
         }
     }

@@ -1,0 +1,8 @@
+/* Spins forever: the purec --fuel smoke target (documented exit 97). */
+int main() {
+    int i = 0;
+    while (1) {
+        i = i + 1;
+    }
+    return i;
+}

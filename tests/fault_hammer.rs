@@ -1,0 +1,124 @@
+#![cfg(feature = "fault-inject")]
+//! Fault-injection hammer: with the `fault-inject` feature armed, the
+//! machine crate deterministically injects task panics, forced steal
+//! races and allocation failures by seed. Whatever mix of faults a seed
+//! produces, every run must end in exactly one of three clean outcomes —
+//! success with the reference output, a structured memory trap, or a
+//! contained task panic — and the process-wide pool must come out
+//! reusable. Run this binary's tests with `--features fault-inject`.
+
+use pure_c::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const HAMMER_SRC: &str = "\
+pure int leaf(int x) {
+    int acc = 0;
+    for (int i = 0; i < (x % 5) + 2; i++) acc += i * x;
+    return acc % 97;
+}
+pure int tree(int n, int s) {
+    if (n < 2) return leaf(n + s);
+    int a = tree(n - 1, s);
+    int b = tree(n - 2, s + 1);
+    return a + b;
+}
+int main() {
+    int n = 12;
+    int* out = (int*) malloc(12 * sizeof(int));
+#pragma omp parallel for schedule(dynamic,1)
+    for (int i = 0; i < n; i++) {
+        int* scratch = (int*) malloc(64 * sizeof(int));
+        scratch[0] = tree(6 + i % 3, i);
+        out[i] = scratch[0] + tree(5 + i % 2, i + 1);
+    }
+    int acc = 0;
+    for (int i = 0; i < n; i++) acc += out[i];
+    printf(\"acc=%d\\n\", acc);
+    return (acc % 113 + 113) % 113;
+}";
+
+fn hammer_program() -> cinterp::Program {
+    let parsed = parse(HAMMER_SRC);
+    assert!(
+        !parsed.diags.has_errors(),
+        "{}",
+        parsed.diags.render_all(HAMMER_SRC)
+    );
+    let pure_set: std::collections::HashSet<String> =
+        ["leaf", "tree"].iter().map(|s| s.to_string()).collect();
+    cinterp::Program::with_pure_set(&parsed.unit, &pure_set)
+}
+
+#[test]
+fn injected_faults_are_contained_and_pool_survives() {
+    let prog = hammer_program();
+    let opts = InterpOptions {
+        threads: 4,
+        futures: true,
+        ..Default::default()
+    };
+    machine::fault::disarm();
+    let reference = prog.run(opts).expect("fault-free reference run");
+
+    let mut ok = 0u32;
+    let mut trapped = 0u32;
+    let mut panicked = 0u32;
+    for seed in 1..=24u64 {
+        machine::fault::seed(seed * 0x9e37_79b9);
+        let outcome = catch_unwind(AssertUnwindSafe(|| prog.run(opts)));
+        machine::fault::disarm();
+        match outcome {
+            Ok(Ok(run)) => {
+                // Jitter-only seeds must not corrupt the result.
+                assert_eq!(run.output, reference.output, "seed {seed}");
+                assert_eq!(run.exit_code, reference.exit_code, "seed {seed}");
+                ok += 1;
+            }
+            Ok(Err(err)) => {
+                // Injected allocation failures surface as the structured
+                // memory trap, exactly like a real cap.
+                assert_eq!(
+                    err.trap,
+                    Some(cinterp::Trap::MemoryLimit),
+                    "seed {seed}: {err}"
+                );
+                trapped += 1;
+            }
+            Err(payload) => {
+                // Injected task panics are re-raised at the region join;
+                // the payload is the injected message, not an engine
+                // invariant violation.
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .map(str::to_owned)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string payload>".into());
+                assert!(
+                    msg.contains("injected fault"),
+                    "seed {seed}: unexpected panic: {msg}"
+                );
+                panicked += 1;
+            }
+        }
+        // The pool must be reusable immediately, whatever just happened.
+        let clean = prog.run(opts).expect("pool reusable after faulty run");
+        assert_eq!(clean.output, reference.output, "seed {seed} aftermath");
+    }
+    // The fault rates make all-ok or all-fault over 24 seeds vanishingly
+    // unlikely; seeing both sides proves the harness actually injects.
+    assert!(
+        ok > 0,
+        "every seed faulted (ok={ok} trapped={trapped} panicked={panicked})"
+    );
+    assert!(
+        trapped + panicked > 0,
+        "no seed injected anything (ok={ok} trapped={trapped} panicked={panicked})"
+    );
+
+    // Disarmed: deterministic clean finish, bit-identical observables.
+    machine::fault::disarm();
+    let after = prog.run(opts).expect("clean run after disarm");
+    assert_eq!(after.output, reference.output);
+    assert_eq!(after.exit_code, reference.exit_code);
+}

@@ -661,3 +661,70 @@ proptest! {
         prop_assert_eq!(plain.counters.memo_hits, 0);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Resource governance (fuel / memory / depth limits)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Resource governance is observably free when the limits never
+    /// fire: with fuel, memory and call-depth caps set far above what
+    /// the generated program needs, every engine produces bit-identical
+    /// exit code, output and executed-op counters (modulo memo
+    /// bookkeeping) to its unlimited run — and the tiers still agree
+    /// with each other — sequentially and with 4 threads, across all
+    /// schedules.
+    #[test]
+    fn generous_limits_do_not_change_observables(
+        n in 4usize..40,
+        c1 in -20i64..50,
+        c2 in 1i64..40,
+        op1 in 0usize..6,
+        op2 in 0usize..6,
+        sched in 0usize..5,
+    ) {
+        let src = differential_source(n, c1, c2, op1, op2, sched);
+        let parsed = parse(&src);
+        prop_assert!(!parsed.diags.has_errors(), "{}", parsed.diags.render_all(&src));
+        let prog = Program::new(&parsed.unit);
+        for threads in [1usize, 4] {
+            let unlimited = InterpOptions { threads, ..Default::default() };
+            let governed = InterpOptions {
+                fuel: Some(1 << 40),
+                max_memory_bytes: Some(1 << 40),
+                max_call_depth: Some(1 << 16),
+                ..unlimited
+            };
+            let vm_u = prog.run(unlimited).expect("VM unlimited");
+            let vm_g = prog.run(governed).expect("VM governed");
+            prop_assert_eq!(vm_g.exit_code, vm_u.exit_code, "threads={}", threads);
+            prop_assert_eq!(&vm_g.output, &vm_u.output, "threads={}", threads);
+            prop_assert_eq!(
+                vm_g.counters.without_memo(),
+                vm_u.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            let res_g = prog.run_resolved(governed).expect("resolved governed");
+            prop_assert_eq!(res_g.exit_code, vm_u.exit_code, "threads={}", threads);
+            prop_assert_eq!(&res_g.output, &vm_u.output, "threads={}", threads);
+            prop_assert_eq!(
+                res_g.counters.without_memo(),
+                vm_u.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            let legacy_g = prog.run_legacy(governed).expect("legacy governed");
+            prop_assert_eq!(legacy_g.exit_code, vm_u.exit_code, "threads={}", threads);
+            prop_assert_eq!(&legacy_g.output, &vm_u.output, "threads={}", threads);
+            prop_assert_eq!(
+                legacy_g.counters.without_memo(),
+                vm_u.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+        }
+    }
+}

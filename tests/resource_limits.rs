@@ -1,0 +1,354 @@
+//! Resource-governance trap paths: fuel exhaustion, memory caps and
+//! call-depth limits must convert runaway executions into structured
+//! [`cinterp::Trap`]s on every engine — including from inside parallel
+//! regions and with pure-call futures in flight — and must leave the
+//! process-wide worker pool fully reusable afterwards.
+
+use cinterp::Trap;
+use pure_c::prelude::*;
+
+fn program(src: &str) -> Program {
+    let parsed = parse(src);
+    assert!(
+        !parsed.diags.has_errors(),
+        "{}",
+        parsed.diags.render_all(src)
+    );
+    Program::new(&parsed.unit)
+}
+
+const INFINITE_LOOP: &str = "int main() { int i = 0; while (1) { i = i + 1; } return i; }";
+
+const ALLOC_BOMB: &str = "\
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 1000000; i++) {
+        int* p = (int*) malloc(4096 * sizeof(int));
+        p[0] = i;
+        acc += p[0];
+    }
+    return acc % 100;
+}";
+
+const DEEP_RECURSION: &str = "\
+int rec(int n) {
+    if (n <= 0) return 0;
+    return 1 + rec(n - 1);
+}
+int main() { return rec(1000000); }";
+
+/// Run `src` on all three engines with `opts`, asserting each traps with
+/// `want` and mentions `msg_frag` in its error message.
+fn assert_traps_everywhere(src: &str, opts: InterpOptions, want: Trap, msg_frag: &str) {
+    let prog = program(src);
+    for (name, res) in [
+        ("vm", prog.run(opts)),
+        ("resolved", prog.run_resolved(opts)),
+        ("legacy", prog.run_legacy(opts)),
+    ] {
+        let err = res.expect_err("the limit must fire");
+        assert_eq!(err.trap, Some(want), "{name}: wrong trap: {err}");
+        assert!(
+            err.to_string().contains(msg_frag),
+            "{name}: error message {err:?} lacks {msg_frag:?}"
+        );
+    }
+}
+
+#[test]
+fn infinite_loop_traps_on_fuel_in_every_engine() {
+    let opts = InterpOptions {
+        fuel: Some(10_000),
+        ..Default::default()
+    };
+    assert_traps_everywhere(INFINITE_LOOP, opts, Trap::FuelExhausted, "fuel exhausted");
+}
+
+/// The meter brackets real work: a 20 000-iteration loop traps under a
+/// small budget and completes untouched under a generous one, with the
+/// same observables as an unlimited run.
+#[test]
+fn fuel_threshold_brackets_loop_cost() {
+    let src = "\
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 20000; i++) acc += i % 7;
+    printf(\"acc=%d\\n\", acc);
+    return acc % 113;
+}";
+    let prog = program(src);
+    let starved = prog
+        .run(InterpOptions {
+            fuel: Some(1_000),
+            ..Default::default()
+        })
+        .expect_err("1k fuel cannot cover 20k iterations");
+    assert_eq!(starved.trap, Some(Trap::FuelExhausted));
+    let unlimited = prog.run(InterpOptions::default()).expect("unlimited run");
+    let generous = prog
+        .run(InterpOptions {
+            fuel: Some(100_000_000),
+            ..Default::default()
+        })
+        .expect("generous fuel covers the loop");
+    assert_eq!(generous.exit_code, unlimited.exit_code);
+    assert_eq!(generous.output, unlimited.output);
+    assert_eq!(
+        generous.counters.without_memo(),
+        unlimited.counters.without_memo()
+    );
+}
+
+#[test]
+fn alloc_bomb_traps_on_memory_limit_in_every_engine() {
+    let opts = InterpOptions {
+        max_memory_bytes: Some(1 << 20),
+        ..Default::default()
+    };
+    assert_traps_everywhere(ALLOC_BOMB, opts, Trap::MemoryLimit, "memory limit exceeded");
+}
+
+/// A would-be 1M-deep recursion becomes a clean `DepthLimit` trap — not
+/// a Rust stack overflow aborting the process. The tree-walking engines
+/// recurse on the Rust stack (double-digit KB per interpreted call in
+/// debug builds), so the cap test runs on a thread with a generous
+/// native stack: the trap must come from the governor, not from the
+/// host stack giving out first.
+#[test]
+fn deep_recursion_traps_on_depth_limit_in_every_engine() {
+    std::thread::Builder::new()
+        .stack_size(256 << 20)
+        .spawn(|| {
+            let opts = InterpOptions {
+                max_call_depth: Some(2_000),
+                ..Default::default()
+            };
+            assert_traps_everywhere(
+                DEEP_RECURSION,
+                opts,
+                Trap::DepthLimit,
+                "call depth limit exceeded",
+            );
+        })
+        .expect("spawn big-stack thread")
+        .join()
+        .expect("depth-limit thread must not panic");
+}
+
+/// Without an explicit cap the legacy 512-frame guard still fires with
+/// its historical message — and no trap classification.
+#[test]
+fn default_depth_guard_is_unchanged() {
+    std::thread::Builder::new()
+        .stack_size(256 << 20)
+        .spawn(|| {
+            let prog = program(DEEP_RECURSION);
+            for res in [
+                prog.run(InterpOptions::default()),
+                prog.run_resolved(InterpOptions::default()),
+                prog.run_legacy(InterpOptions::default()),
+            ] {
+                let err = res.expect_err("the default guard must fire");
+                assert_eq!(err.trap, None, "default guard is not a governance trap");
+                assert!(err.to_string().contains("call stack overflow"), "{err}");
+            }
+        })
+        .expect("spawn big-stack thread")
+        .join()
+        .expect("default-guard thread must not panic");
+}
+
+const PARALLEL_SPIN: &str = "\
+int main() {
+    int n = 8;
+    int* a = (int*) malloc(8 * sizeof(int));
+#pragma omp parallel for schedule(dynamic,1)
+    for (int i = 0; i < n; i++) {
+        int acc = 0;
+        for (int j = 0; j < 100000; j++) acc += j % 5;
+        a[i] = acc;
+    }
+    return a[0] % 100;
+}";
+
+const PARALLEL_CLEAN: &str = "\
+int main() {
+    int n = 16;
+    int* a = (int*) malloc(16 * sizeof(int));
+#pragma omp parallel for schedule(static,2)
+    for (int i = 0; i < n; i++) a[i] = (i + 1) * 3;
+    int acc = 0;
+    for (int i = 0; i < n; i++) acc += a[i];
+    printf(\"acc=%d\\n\", acc);
+    return acc % 113;
+}";
+
+/// A trap raised inside a parallel region unwinds through the region
+/// join, cancels the sibling iterations, and leaves the process-wide
+/// pool reusable: a second program runs on the same pool in-process.
+#[test]
+fn trap_in_parallel_region_leaves_pool_reusable() {
+    let spin = program(PARALLEL_SPIN);
+    let clean = program(PARALLEL_CLEAN);
+    for _ in 0..3 {
+        for (name, res) in [
+            (
+                "vm",
+                spin.run(InterpOptions {
+                    threads: 4,
+                    fuel: Some(20_000),
+                    ..Default::default()
+                }),
+            ),
+            (
+                "resolved",
+                spin.run_resolved(InterpOptions {
+                    threads: 4,
+                    fuel: Some(20_000),
+                    ..Default::default()
+                }),
+            ),
+        ] {
+            let err = res.expect_err("the region must run out of fuel");
+            assert_eq!(err.trap, Some(Trap::FuelExhausted), "{name}: {err}");
+        }
+        // Same process-wide pool, next program: must run to completion.
+        let ok = clean
+            .run(InterpOptions {
+                threads: 4,
+                ..Default::default()
+            })
+            .expect("pool must be reusable after a trap");
+        assert_eq!(ok.output, "acc=408\n");
+    }
+}
+
+/// Memory traps inside a parallel region behave the same way.
+#[test]
+fn memory_trap_in_parallel_region_leaves_pool_reusable() {
+    let src = "\
+int main() {
+    int n = 8;
+    int* out = (int*) malloc(8 * sizeof(int));
+#pragma omp parallel for schedule(dynamic,1)
+    for (int i = 0; i < n; i++) {
+        int* p = (int*) malloc(65536 * sizeof(int));
+        p[0] = i;
+        out[i] = p[0];
+    }
+    return out[0];
+}";
+    let bomb = program(src);
+    let err = bomb
+        .run(InterpOptions {
+            threads: 4,
+            max_memory_bytes: Some(1 << 19),
+            ..Default::default()
+        })
+        .expect_err("the region allocations must exceed the cap");
+    assert_eq!(err.trap, Some(Trap::MemoryLimit), "{err}");
+    let clean = program(PARALLEL_CLEAN);
+    let ok = clean
+        .run(InterpOptions {
+            threads: 4,
+            ..Default::default()
+        })
+        .expect("pool must be reusable after a memory trap");
+    assert_eq!(ok.output, "acc=408\n");
+}
+
+/// A fuel trap with pure-call futures pending (spawned, not yet awaited)
+/// must cancel or drain them and leave the pool reusable.
+#[test]
+fn trap_with_pending_futures_leaves_pool_reusable() {
+    let src = "\
+pure int leaf(int x) {
+    int acc = 0;
+    for (int i = 0; i < (x % 5) + 2; i++) acc += i * x;
+    return acc % 97;
+}
+pure int tree(int n, int s) {
+    if (n < 2) return leaf(n + s);
+    int a = tree(n - 1, s);
+    int b = tree(n - 2, s + 1);
+    return a + b;
+}
+int main() {
+    int acc = 0;
+    for (int r = 0; r < 50; r++) {
+        int p = tree(12, r);
+        int q = tree(11, r + 1);
+        acc += p - q;
+    }
+    printf(\"acc=%d\\n\", acc);
+    return (acc % 113 + 113) % 113;
+}";
+    let parsed = parse(src);
+    assert!(!parsed.diags.has_errors());
+    let pure_set: std::collections::HashSet<String> =
+        ["leaf", "tree"].iter().map(|s| s.to_string()).collect();
+    let prog = cinterp::Program::with_pure_set(&parsed.unit, &pure_set);
+    assert!(
+        !prog.resolved().spawn_sites().is_empty(),
+        "the program must actually spawn futures"
+    );
+    let reference = prog
+        .run(InterpOptions {
+            threads: 4,
+            futures: true,
+            memo: false,
+            ..Default::default()
+        })
+        .expect("unlimited reference run");
+    for engine_run in [Program::run, Program::run_resolved] {
+        let err = engine_run(
+            &prog,
+            InterpOptions {
+                threads: 4,
+                futures: true,
+                memo: false,
+                fuel: Some(5_000),
+                ..Default::default()
+            },
+        )
+        .expect_err("the futures workload must exhaust 5k fuel");
+        assert_eq!(err.trap, Some(Trap::FuelExhausted), "{err}");
+        // The pool survives with no stuck tasks: the same program runs
+        // clean immediately afterwards.
+        let ok = engine_run(
+            &prog,
+            InterpOptions {
+                threads: 4,
+                futures: true,
+                memo: false,
+                ..Default::default()
+            },
+        )
+        .expect("pool must be reusable after a trap with futures in flight");
+        assert_eq!(ok.output, reference.output);
+        assert_eq!(ok.exit_code, reference.exit_code);
+    }
+}
+
+/// Fuel accounting is engine-agnostic enough that all three tiers trap
+/// (rather than complete) under the same starved budget, and none of
+/// them classifies a *successful* run as trapped.
+#[test]
+fn traps_do_not_leak_into_successful_runs() {
+    let prog = program(PARALLEL_CLEAN);
+    let opts = InterpOptions {
+        threads: 2,
+        fuel: Some(100_000_000),
+        max_memory_bytes: Some(1 << 30),
+        max_call_depth: Some(10_000),
+        ..Default::default()
+    };
+    let vm = prog.run(opts).expect("governed run succeeds");
+    let resolved = prog.run_resolved(opts).expect("governed resolved run");
+    let legacy = prog.run_legacy(opts).expect("governed legacy run");
+    assert_eq!(vm.output, "acc=408\n");
+    assert_eq!(resolved.output, vm.output);
+    assert_eq!(legacy.output, vm.output);
+    assert_eq!(vm.exit_code, resolved.exit_code);
+    assert_eq!(vm.exit_code, legacy.exit_code);
+}
