@@ -63,6 +63,7 @@ pub(crate) struct Insn {
 
 /// Opcodes of the stack VM. Stack effects are noted as `pops → pushes`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
 pub(crate) enum Op {
     /// Statement boundary: tick the step limit (span = owning statement).
     Step,
@@ -201,6 +202,63 @@ pub(crate) enum Op {
     /// `1 → _` pop struct base: "member access on non-struct" when not a
     /// pointer, else raise `errs[a]` (unknown/ambiguous field).
     MemberUnknownErr,
+
+    // ---- Tier-3.5 opcodes, emitted only by `crate::opt` (never by the
+    // lowerer). Each replicates the exact executed-op counter effects of
+    // the instruction sequence it replaces, so the differential backbone
+    // (optimized == raw == resolved == legacy modulo memo/futures/opt
+    // bookkeeping) holds on counters, not just output.
+    /// `0 → 1` push `consts[a]` in place of a folded constant
+    /// expression. `b` compensates the executed-op counters the folded
+    /// instructions would have bumped: `int_ops += b & 0xFF`,
+    /// `flops += (b >> 8) & 0xFF`; `b >> 16` dispatches were eliminated
+    /// (bumps `insns_folded`).
+    ConstFold,
+    /// `0 → 0` `frame[b] = consts[a]` (fused `Const` + `StoreLocalPop`).
+    ConstStore,
+    /// `0 → 0` `frame[b >> 16] = frame[a & 0xFFFF] <op b & 0xFF>
+    /// frame[a >> 16]` (fused `BinLL` + `StoreLocalPop`).
+    BinLLStore,
+    /// `0 → 0` `frame[b >> 16] = frame[a & 0xFFFF] <op b & 0xFF>
+    /// consts[a >> 16]` (fused `BinLC` + `StoreLocalPop`).
+    BinLCStore,
+    /// `0 → 0` `frame[b] = frame[a & 0xFFFF][frame[a >> 16]]` — fused
+    /// `LoadIdxLL` + `StoreLocalPop`, one counted load.
+    LoadIdxLLStore,
+    /// `0 → 1` push `frame[a & 0xFFFF][consts[a >> 16]]` — the
+    /// local-base/const-index load shape (`x = a[3]`), one counted load.
+    LoadIdxLC,
+    /// `1 → 1|0` `frame[a & 0xFFFF][consts[a >> 16]] = top`, one counted
+    /// store; `b` = 1 pops the value (statement position).
+    StoreIdxLC,
+    /// `0 → 0` fused compare-and-branch over two frame slots:
+    /// `cmp = frame[a & 0xFFFF] <op> frame[a >> 16]`, jump when the
+    /// truthiness of `cmp` equals the sense bit. `b` = `target << 6 |
+    /// bump << 5 | sense << 4 | binop`; `bump` replicates a fused
+    /// leading `BumpBranch`.
+    BrCmpLL,
+    /// `0 → 0` as `BrCmpLL` with `consts[a >> 16]` as the rhs.
+    BrCmpLC,
+    /// `0 → _` return `frame[a]` (fused `LoadLocal` + `Ret`).
+    RetLocal,
+    /// `0 → 0` `frame[b] = globals[a]` — hoisted loop-invariant global
+    /// load (preheader of a single-entry loop), uncounted like
+    /// `LoadGlobal`.
+    LoadGStore,
+}
+
+/// Number of opcodes (dimension of the [`crate::opt::PairProfile`] pair
+/// matrix).
+pub(crate) const OP_COUNT: usize = Op::LoadGStore as usize + 1;
+
+impl Op {
+    /// Inverse of `op as u8` (valid for every `x < OP_COUNT`).
+    pub(crate) fn from_u8(x: u8) -> Op {
+        debug_assert!((x as usize) < OP_COUNT);
+        // SAFETY: `Op` is `#[repr(u8)]` and fieldless with contiguous
+        // discriminants `0..OP_COUNT`; `x` is range-checked above.
+        unsafe { std::mem::transmute::<u8, Op>(x) }
+    }
 }
 
 /// Mode bits for the `IncDec*` opcodes.
@@ -271,6 +329,7 @@ pub(crate) struct BSpawn {
 }
 
 /// One function flattened to bytecode.
+#[derive(Clone)]
 pub(crate) struct BFunc {
     pub(crate) name: String,
     pub(crate) params: Vec<(u32, Coerce)>,
@@ -287,6 +346,7 @@ pub(crate) struct BFunc {
 }
 
 /// A translation unit flattened for the VM (the third execution tier).
+#[derive(Clone)]
 pub struct BytecodeProgram {
     pub(crate) funcs: Vec<BFunc>,
     pub(crate) by_name: HashMap<String, u32>,
@@ -295,6 +355,9 @@ pub struct BytecodeProgram {
     pub(crate) nglobals: usize,
     pub(crate) interner: Interner,
     pub(crate) any_cacheable: bool,
+    /// Number of monomorphic inline-cache slots the optimizer assigned
+    /// to `CallUser` sites (0 on unoptimized programs).
+    pub(crate) ic_slots: usize,
 }
 
 impl BytecodeProgram {
@@ -337,6 +400,7 @@ impl BytecodeProgram {
             nglobals: prog.nglobals,
             interner: prog.interner.clone(),
             any_cacheable: prog.any_cacheable,
+            ic_slots: 0,
         }
     }
 
@@ -349,6 +413,57 @@ impl BytecodeProgram {
     /// (diagnostics: bench reporting, tests).
     pub fn functions(&self) -> impl Iterator<Item = (&str, usize)> {
         self.funcs.iter().map(|f| (f.name.as_str(), f.code.len()))
+    }
+
+    /// Human-readable disassembly (the `purec --dump-bytecode` view).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        fn dump_func(out: &mut String, f: &BFunc) {
+            let _ = writeln!(
+                out,
+                "fn {} (frame {}, {} insns{})",
+                f.name,
+                f.frame_size,
+                f.code.len(),
+                if f.cacheable { ", cacheable" } else { "" }
+            );
+            for (pc, insn) in f.code.iter().enumerate() {
+                let note = match insn.op {
+                    Op::Const | Op::ConstFold => {
+                        format!("  ; push {:?}", f.consts[insn.a as usize])
+                    }
+                    Op::ConstStore => {
+                        format!("  ; frame[{}] = {:?}", insn.b, f.consts[insn.a as usize])
+                    }
+                    Op::BinLC | Op::BinLCStore | Op::BrCmpLC => {
+                        format!("  ; rhs {:?}", f.consts[(insn.a >> 16) as usize])
+                    }
+                    Op::Binary => format!("  ; {:?}", binop_decode(insn.a)),
+                    Op::BinLL | Op::BinLLStore => format!("  ; {:?}", binop_decode(insn.b & 0xFF)),
+                    Op::BrCmpLL => format!("  ; {:?}", binop_decode(insn.b & 0xF)),
+                    _ => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  {pc:>4}: {:<16} {:>6} {:>10}{note}",
+                    format!("{:?}", insn.op),
+                    insn.a,
+                    insn.b
+                );
+            }
+        }
+        let mut out = String::new();
+        dump_func(&mut out, &self.global_code);
+        for f in &self.funcs {
+            dump_func(&mut out, f);
+        }
+        let _ = writeln!(
+            out,
+            "total {} insns, {} ic slots",
+            self.insn_count(),
+            self.ic_slots
+        );
+        out
     }
 }
 

@@ -104,6 +104,18 @@ pub struct InterpOptions {
     /// forces every spawn through the pool's single shared injector —
     /// the pre-deque substrate, kept for A/B comparison.
     pub steal: bool,
+    /// Bytecode optimization level (bytecode engine only): 0 runs the
+    /// lowerer's raw output verbatim (`purec --no-opt`), 1 folds
+    /// constants, propagates copies and eliminates dead stores, 2
+    /// (default) adds loop-invariant global-load hoisting,
+    /// superinstruction fusion and monomorphic inline caches on call
+    /// sites. Every level preserves the executed-op counters and error
+    /// behaviour bit-for-bit (see `cinterp::opt`).
+    pub opt_level: u8,
+    /// Record a sampled opcode-pair profile during the run (root VM
+    /// only; returned in [`RunResult::pairs`], rendered by
+    /// `purec --profile-pairs`). Feeds profile-guided fusion.
+    pub profile_pairs: bool,
 }
 
 impl Default for InterpOptions {
@@ -120,6 +132,8 @@ impl Default for InterpOptions {
             pool: true,
             futures: true,
             steal: true,
+            opt_level: 2,
+            profile_pairs: false,
         }
     }
 }
@@ -130,6 +144,9 @@ pub struct RunResult {
     pub exit_code: i64,
     pub output: String,
     pub counters: CounterSnapshot,
+    /// Sampled opcode-pair profile ([`InterpOptions::profile_pairs`];
+    /// bytecode engine only, `None` otherwise).
+    pub pairs: Option<crate::opt::PairProfile>,
 }
 
 /// Structured resource-governance trap kinds: a run that hit a
@@ -242,6 +259,10 @@ pub struct Program {
     data: Arc<ProgramData>,
     resolved: Arc<ResolvedProgram>,
     bytecode: Arc<crate::bytecode::BytecodeProgram>,
+    /// Lazily-optimized bytecode per [`InterpOptions::opt_level`]
+    /// (level 0 is served straight from `bytecode`). Keyed by level so
+    /// A/B runs of the same `Program` don't re-optimize.
+    opt_cache: std::sync::Mutex<HashMap<u8, Arc<crate::bytecode::BytecodeProgram>>>,
 }
 
 impl Program {
@@ -296,6 +317,7 @@ impl Program {
             }),
             resolved,
             bytecode,
+            opt_cache: std::sync::Mutex::new(HashMap::new()),
         }
     }
 
@@ -307,6 +329,36 @@ impl Program {
     /// The flattened form (introspection: instruction counts etc.).
     pub fn bytecode(&self) -> &crate::bytecode::BytecodeProgram {
         &self.bytecode
+    }
+
+    /// The bytecode the VM executes at `level` — the lowerer's raw
+    /// output for level 0, otherwise the (cached) output of the
+    /// [`crate::opt`] pipeline.
+    pub fn bytecode_at(&self, level: u8) -> Arc<crate::bytecode::BytecodeProgram> {
+        if level == 0 {
+            return Arc::clone(&self.bytecode);
+        }
+        let mut cache = self.opt_cache.lock().expect("opt cache poisoned");
+        Arc::clone(
+            cache.entry(level).or_insert_with(|| {
+                Arc::new(crate::opt::optimize_program(&self.bytecode, level, None))
+            }),
+        )
+    }
+
+    /// Re-optimize at `level` with a measured opcode-pair profile
+    /// steering the fusion pattern set (`purec --profile-pairs` feedback
+    /// path). Not cached: each profile is specific to one workload.
+    pub fn bytecode_profiled(
+        &self,
+        level: u8,
+        profile: &crate::opt::PairProfile,
+    ) -> Arc<crate::bytecode::BytecodeProgram> {
+        Arc::new(crate::opt::optimize_program(
+            &self.bytecode,
+            level,
+            Some(profile),
+        ))
     }
 
     /// Layout of `strct.field` — offsets are keyed by the `(struct,
@@ -328,7 +380,7 @@ impl Program {
     /// Run a named entry on the engine `opts.engine` selects.
     pub fn run_entry(&self, entry: &str, opts: InterpOptions) -> RtResult<RunResult> {
         match opts.engine {
-            Engine::Bytecode => crate::vm::run_vm(&self.bytecode, entry, opts),
+            Engine::Bytecode => crate::vm::run_vm(&self.bytecode_at(opts.opt_level), entry, opts),
             Engine::Resolved => resolve::run_resolved(&self.resolved, entry, opts),
         }
     }
@@ -377,6 +429,7 @@ impl Program {
             exit_code: exit.as_i64(),
             output,
             counters,
+            pairs: None,
         })
     }
 }

@@ -46,6 +46,7 @@ pub mod builtins;
 pub mod bytecode;
 pub(crate) mod cache;
 pub mod interp;
+pub mod opt;
 pub mod resolve;
 pub mod spawn;
 pub mod value;
@@ -53,6 +54,7 @@ pub mod vm;
 
 pub use bytecode::BytecodeProgram;
 pub use interp::{Engine, InterpOptions, Program, RunResult, RuntimeError, Trap};
+pub use opt::PairProfile;
 pub use resolve::ResolvedProgram;
 pub use value::{
     CounterSnapshot, Counters, FuelBudget, MemError, Memory, Packed, Ptr, Scalar, SpillPool, Tally,

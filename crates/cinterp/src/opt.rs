@@ -1,0 +1,1966 @@
+//! Tier-3.5: the bytecode optimizer.
+//!
+//! Rewrites the flat `Vec<Insn>` arrays produced by [`crate::bytecode`]
+//! between lowering and [`crate::vm`] execution. Three pass families:
+//!
+//! * **Level ≥ 1 — fold / copy-propagate / dead-store-eliminate.**
+//!   Block-local constant folding (a folded chain becomes one
+//!   [`Op::ConstFold`] that *compensates* the executed-op counters the
+//!   folded instructions would have bumped), forward copy/constant
+//!   propagation across frame slots (block-local symbolic stack +
+//!   slot facts), and a backward slot-liveness pass over the
+//!   absolute-jump CFG that deletes dead `StoreLocal`s and rewrites
+//!   dead `StoreLocalPop`s to `Pop` (then a cleanup peephole deletes
+//!   `push; Pop` pairs). Every deleted instruction is an *uncounted*
+//!   frame/stack shuffle, so the executed-op counters stay bit-identical
+//!   and fuel (one burn per dispatch) can only go down.
+//! * **Level ≥ 2 — loop-invariant global-load hoisting.** `LoadGlobal`
+//!   inside a single-entry loop that contains no stores to globals, no
+//!   calls and no parallel constructs is loaded once into a fresh frame
+//!   slot in a one-dispatch [`Op::LoadGStore`] preheader and read as
+//!   `LoadLocal` in the loop. Memory loads (`LoadMem` family) are
+//!   *counted* operations and are never hoisted — doing so would change
+//!   the load counter and error timing. The preheader costs one
+//!   dispatch per loop *entry*; the fusion pass below typically wins it
+//!   back in the first iteration (`LoadLocal, LoadLocal, Binary` →
+//!   `BinLL` saves two per iteration).
+//! * **Level ≥ 2 — profile-guided superinstruction fusion + inline
+//!   caches.** Adjacent instruction windows fuse into the `*Store`,
+//!   `BrCmp*`, `LoadIdxLC`/`StoreIdxLC` and `RetLocal` superinstructions
+//!   (each replicating the exact counted effects of its components and
+//!   bumping `insns_fused` by the dispatches it saved). The pattern set
+//!   is chosen by a [`PairProfile`] of sampled hot opcode pairs when one
+//!   is supplied (`purec --profile-pairs`), and defaults to the full set
+//!   — the shapes below are the top measured pairs on the bench suite
+//!   (varaccess / matmul64 / arraysum). Finally each `CallUser` site
+//!   whose callee is cacheable gets a monomorphic inline-cache slot: one
+//!   key compare replaces the memo-shard probe on repeat calls
+//!   (memo-gated, so the differential "counters modulo memo" projection
+//!   is unchanged).
+//!
+//! **Invariant:** on the same input, optimized bytecode produces the
+//! same exit code, output, error message and executed-op counters
+//! (`flops`/`int_ops`/`loads`/`stores`/`calls`/`branches`) as the raw
+//! bytecode — only the `insns_folded`/`insns_fused`/`icache_hits`
+//! bookkeeping (zeroed by `CounterSnapshot::without_memo`) differs.
+//! Folding never folds an operation that could fail at runtime
+//! (`Div`/`Rem` by a zero constant, bitwise on float), so error
+//! behaviour survives verbatim.
+
+use crate::bytecode::{binop_decode, binop_encode, BFunc, BytecodeProgram, Insn, Op, OP_COUNT};
+use crate::value::Scalar;
+use cfront::ast::BinOp;
+
+/// Iteration bound of the level-1 fixpoint (each round strictly shrinks
+/// the code or changes no instruction, so this is a safety net).
+const MAX_ROUNDS: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Pair profile (hot opcode-pair counters, sampled in the VM)
+// ---------------------------------------------------------------------------
+
+/// Sampled dispatch-pair counts from a profiled run: `counts[prev * N +
+/// cur]` is how many sampled dispatches executed opcode `cur` directly
+/// after `prev`. Recorded by the root VM only (one predictable branch
+/// per dispatch when enabled, one array bump per 16 dispatches), fed
+/// back into [`optimize_program`] to pick the fusion pattern set.
+#[derive(Debug, Clone)]
+pub struct PairProfile {
+    counts: Vec<u64>,
+    prev: u8,
+    tick: u32,
+}
+
+impl Default for PairProfile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PairProfile {
+    pub fn new() -> Self {
+        PairProfile {
+            counts: vec![0; OP_COUNT * OP_COUNT],
+            prev: 0,
+            tick: 0,
+        }
+    }
+
+    /// One dispatch tick: every 16th records the (previous, current)
+    /// opcode pair.
+    #[inline]
+    pub(crate) fn tick(&mut self, cur: Op) {
+        let cur = cur as u8;
+        self.tick = self.tick.wrapping_add(1);
+        if self.tick & 0xF == 0 {
+            self.counts[self.prev as usize * OP_COUNT + cur as usize] += 1;
+        }
+        self.prev = cur;
+    }
+
+    pub(crate) fn count(&self, prev: Op, cur: Op) -> u64 {
+        self.counts[prev as usize * OP_COUNT + cur as usize]
+    }
+
+    /// The `n` hottest sampled pairs, descending.
+    pub(crate) fn top_pairs(&self, n: usize) -> Vec<(Op, Op, u64)> {
+        let mut pairs: Vec<(Op, Op, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                (
+                    Op::from_u8((i / OP_COUNT) as u8),
+                    Op::from_u8((i % OP_COUNT) as u8),
+                    c,
+                )
+            })
+            .collect();
+        pairs.sort_by_key(|&(_, _, c)| std::cmp::Reverse(c));
+        pairs.truncate(n);
+        pairs
+    }
+
+    /// Render the hottest pairs (the `purec --profile-pairs` report).
+    pub fn report(&self, n: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (a, b, c) in self.top_pairs(n) {
+            let _ = writeln!(out, "{c:>10}  {a:?} -> {b:?}");
+        }
+        out
+    }
+
+    /// Is this pair hot enough to justify a fused opcode? "Hot" means
+    /// among the 16 most-sampled pairs of the profile.
+    fn is_hot(&self, prev: Op, cur: Op) -> bool {
+        let c = self.count(prev, cur);
+        c > 0
+            && self
+                .top_pairs(16)
+                .iter()
+                .any(|&(a, b, _)| a == prev && b == cur)
+    }
+}
+
+/// Should the fusion pattern anchored on `(prev, cur)` be applied?
+/// Without a profile every pattern is on (the default set *is* the
+/// measured hot set of the bench suite).
+fn pattern_enabled(profile: Option<&PairProfile>, prev: Op, cur: Op) -> bool {
+    profile.is_none_or(|p| p.is_hot(prev, cur))
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Optimize a freshly-compiled program at `level` (0 = identity,
+/// 1 = fold/copy-prop/DSE, 2 = + hoisting, fusion and inline caches).
+pub(crate) fn optimize_program(
+    prog: &BytecodeProgram,
+    level: u8,
+    profile: Option<&PairProfile>,
+) -> BytecodeProgram {
+    let mut out = prog.clone();
+    if level == 0 {
+        return out;
+    }
+    for f in out
+        .funcs
+        .iter_mut()
+        .chain(std::iter::once(&mut out.global_code))
+    {
+        optimize_func(f, level, profile);
+    }
+    if level >= 2 {
+        // Monomorphic inline caches: every call site whose callee is
+        // cacheable gets a slot; `CallUser.b` packs `nargs | (ic+1)<<16`.
+        let cacheable: Vec<bool> = out.funcs.iter().map(|f| f.cacheable).collect();
+        let mut ic = 0u32;
+        for f in out
+            .funcs
+            .iter_mut()
+            .chain(std::iter::once(&mut out.global_code))
+        {
+            for insn in &mut f.code {
+                if insn.op == Op::CallUser
+                    && insn.b < 0x1_0000
+                    && cacheable.get(insn.a as usize).copied().unwrap_or(false)
+                    && ic < 0xFFFE
+                {
+                    insn.b |= (ic + 1) << 16;
+                    ic += 1;
+                }
+            }
+        }
+        out.ic_slots = ic as usize;
+    }
+    debug_assert!(
+        check_targets(&out),
+        "optimizer produced an out-of-bounds target"
+    );
+    out
+}
+
+/// Debug-build sanity: every jump target and region bound lands inside
+/// its function and regions still point at `RegionEnd`.
+fn check_targets(prog: &BytecodeProgram) -> bool {
+    prog.funcs
+        .iter()
+        .chain(std::iter::once(&prog.global_code))
+        .all(|f| {
+            f.code.len() == f.spans.len()
+                && f.code
+                    .iter()
+                    .all(|i| jump_target(i).is_none_or(|t| t < f.code.len()))
+                && f.regions.iter().all(|r| {
+                    (r.body_start as usize) < f.code.len()
+                        && f.code[r.end as usize].op == Op::RegionEnd
+                })
+        })
+}
+
+fn optimize_func(f: &mut BFunc, level: u8, profile: Option<&PairProfile>) {
+    for _ in 0..MAX_ROUNDS {
+        let mut changed = copy_propagate(f);
+        changed |= fold_windows(f);
+        changed |= eliminate_dead_stores(f);
+        changed |= cleanup_push_pop(f);
+        if !changed {
+            break;
+        }
+    }
+    if level >= 2 {
+        hoist_global_loads(f);
+        fuse_superinstructions(f, profile);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CFG helpers
+// ---------------------------------------------------------------------------
+
+/// Absolute jump target carried by an instruction, if any.
+fn jump_target(insn: &Insn) -> Option<usize> {
+    match insn.op {
+        Op::Jump | Op::JumpIfFalse | Op::JumpIfTrue | Op::SkipUnlessPtr => Some(insn.a as usize),
+        Op::BrCmpLL | Op::BrCmpLC => Some((insn.b >> 6) as usize),
+        _ => None,
+    }
+}
+
+fn set_jump_target(insn: &mut Insn, t: usize) {
+    match insn.op {
+        Op::Jump | Op::JumpIfFalse | Op::JumpIfTrue | Op::SkipUnlessPtr => insn.a = t as u32,
+        Op::BrCmpLL | Op::BrCmpLC => insn.b = (insn.b & 0x3F) | ((t as u32) << 6),
+        _ => unreachable!("not a jump"),
+    }
+}
+
+/// Does this instruction end its basic block? (Conditional jumps end a
+/// block too — they have a fall-through successor.)
+fn ends_block(op: Op) -> bool {
+    matches!(
+        op,
+        Op::Jump
+            | Op::JumpIfFalse
+            | Op::JumpIfTrue
+            | Op::SkipUnlessPtr
+            | Op::BrCmpLL
+            | Op::BrCmpLC
+            | Op::Ret
+            | Op::RetLocal
+            | Op::Err
+            | Op::MemberUnknownErr
+            | Op::RegionEnd
+            | Op::OmpRegion
+    )
+}
+
+/// Does control *stop* here (no fall-through successor)?
+fn is_terminator(op: Op) -> bool {
+    matches!(
+        op,
+        Op::Jump | Op::Ret | Op::RetLocal | Op::Err | Op::MemberUnknownErr | Op::RegionEnd
+    )
+}
+
+/// Basic-block leaders: entry, every jump target, every instruction
+/// after a block-ender, and region body entries (entered by workers,
+/// not by a jump).
+fn leaders(f: &BFunc) -> Vec<bool> {
+    let n = f.code.len();
+    let mut lead = vec![false; n];
+    if n == 0 {
+        return lead;
+    }
+    lead[0] = true;
+    for (pc, insn) in f.code.iter().enumerate() {
+        if let Some(t) = jump_target(insn) {
+            lead[t] = true;
+        }
+        if ends_block(insn.op) && pc + 1 < n {
+            lead[pc + 1] = true;
+        }
+    }
+    for r in &f.regions {
+        lead[r.body_start as usize] = true;
+        lead[r.end as usize] = true;
+        if (r.end as usize) + 1 < n {
+            lead[r.end as usize + 1] = true;
+        }
+    }
+    lead
+}
+
+/// Remove every instruction whose `keep` flag is false, remapping jump
+/// targets, region descriptors and spans. A dropped index maps to the
+/// next kept instruction (sound: passes only drop instructions that are
+/// no-ops on every path reaching them). Returns whether anything moved.
+fn compact(f: &mut BFunc, keep: &[bool]) -> bool {
+    let n = f.code.len();
+    if keep.iter().all(|&k| k) {
+        return false;
+    }
+    // map[old] = new index of the first kept instruction at-or-after old.
+    let mut map = vec![0u32; n + 1];
+    let mut new_len = 0u32;
+    for i in 0..n {
+        map[i] = new_len;
+        if keep[i] {
+            new_len += 1;
+        }
+    }
+    map[n] = new_len;
+    let mut code = Vec::with_capacity(new_len as usize);
+    let mut spans = Vec::with_capacity(new_len as usize);
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        if keep[i] {
+            let mut insn = f.code[i];
+            if let Some(t) = jump_target(&insn) {
+                set_jump_target(&mut insn, map[t] as usize);
+            }
+            code.push(insn);
+            spans.push(f.spans[i]);
+        }
+    }
+    for r in &mut f.regions {
+        debug_assert!(keep[r.body_start as usize] && keep[r.end as usize]);
+        r.body_start = map[r.body_start as usize];
+        r.end = map[r.end as usize];
+    }
+    f.code = code;
+    f.spans = spans;
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Constant evaluation (exact VM semantics, minus runtime errors)
+// ---------------------------------------------------------------------------
+
+/// Evaluate `l <op> r` exactly as the VM's `int_binop`/`apply_binop`
+/// would, returning the value and the (int_ops, flops) it would have
+/// counted — or `None` when the operation must stay at runtime (error
+/// paths: division by a zero constant, bitwise on float).
+fn eval_binop(op: BinOp, l: Scalar, r: Scalar) -> Option<(Scalar, u8, u8)> {
+    use BinOp::*;
+    if !matches!(l, Scalar::I(_) | Scalar::F(_)) || !matches!(r, Scalar::I(_) | Scalar::F(_)) {
+        return None;
+    }
+    if l.is_float() || r.is_float() {
+        let a = l.as_f64();
+        let b = r.as_f64();
+        let out = match op {
+            Add => Scalar::F(a + b),
+            Sub => Scalar::F(a - b),
+            Mul => Scalar::F(a * b),
+            Div => Scalar::F(a / b),
+            Rem => Scalar::F(a % b),
+            Lt => Scalar::I(i64::from(a < b)),
+            Gt => Scalar::I(i64::from(a > b)),
+            Le => Scalar::I(i64::from(a <= b)),
+            Ge => Scalar::I(i64::from(a >= b)),
+            Eq => Scalar::I(i64::from(a == b)),
+            Ne => Scalar::I(i64::from(a != b)),
+            Shl | Shr | BitAnd | BitXor | BitOr | And | Or => return None,
+        };
+        Some((out, 0, 1))
+    } else {
+        let a = l.as_i64();
+        let b = r.as_i64();
+        let v = match op {
+            Add => a.wrapping_add(b),
+            Sub => a.wrapping_sub(b),
+            Mul => a.wrapping_mul(b),
+            Div => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            Rem => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            Shl => a.wrapping_shl(b as u32),
+            Shr => a.wrapping_shr(b as u32),
+            Lt => i64::from(a < b),
+            Gt => i64::from(a > b),
+            Le => i64::from(a <= b),
+            Ge => i64::from(a >= b),
+            Eq => i64::from(a == b),
+            Ne => i64::from(a != b),
+            BitAnd => a & b,
+            BitXor => a ^ b,
+            BitOr => a | b,
+            And | Or => return None,
+        };
+        Some((Scalar::I(v), 1, 0))
+    }
+}
+
+/// Mirror of a compare under operand swap (`c < x` ⇔ `x > c`), used to
+/// turn `Const ⊕ Local` into the fused `BinLC` shape. Exact for floats
+/// too (a true mirror, not a negation — NaN compares stay false).
+fn mirrored(op: BinOp) -> Option<BinOp> {
+    use BinOp::*;
+    Some(match op {
+        Add | Mul | BitAnd | BitXor | BitOr | Eq | Ne => op,
+        Lt => Gt,
+        Gt => Lt,
+        Le => Ge,
+        Ge => Le,
+        _ => return None,
+    })
+}
+
+/// Find-or-append a constant in the pool, comparing by tagged bit
+/// pattern (distinguishes `I` from `F`, `-0.0` from `0.0`, NaN-safe).
+fn intern_const(f: &mut BFunc, v: Scalar) -> Option<u32> {
+    fn key(s: Scalar) -> Option<(u8, u64)> {
+        match s {
+            Scalar::I(i) => Some((0, i as u64)),
+            Scalar::F(x) => Some((1, x.to_bits())),
+            _ => None,
+        }
+    }
+    let k = key(v)?;
+    if let Some(i) = f.consts.iter().position(|&c| key(c) == Some(k)) {
+        return Some(i as u32);
+    }
+    f.consts.push(v);
+    Some((f.consts.len() - 1) as u32)
+}
+
+/// `ConstFold` compensation: counters the folded instructions would
+/// have bumped, plus the dispatches eliminated.
+#[derive(Clone, Copy, Default)]
+struct Comp {
+    int_ops: u32,
+    flops: u32,
+    saved: u32,
+}
+
+impl Comp {
+    fn encode(self) -> Option<u32> {
+        if self.int_ops > 0xFF || self.flops > 0xFF || self.saved > 0xFFFF {
+            return None;
+        }
+        Some(self.int_ops | (self.flops << 8) | (self.saved << 16))
+    }
+
+    fn decode(b: u32) -> Comp {
+        Comp {
+            int_ops: b & 0xFF,
+            flops: (b >> 8) & 0xFF,
+            saved: b >> 16,
+        }
+    }
+
+    fn add(self, o: Comp) -> Comp {
+        Comp {
+            int_ops: self.int_ops + o.int_ops,
+            flops: self.flops + o.flops,
+            saved: self.saved + o.saved,
+        }
+    }
+}
+
+/// A `Const` or `ConstFold` instruction viewed as "push this known
+/// constant, with this counter compensation".
+fn const_like(f: &BFunc, insn: &Insn) -> Option<(Scalar, Comp)> {
+    match insn.op {
+        Op::Const => Some((f.consts[insn.a as usize], Comp::default())),
+        Op::ConstFold => Some((f.consts[insn.a as usize], Comp::decode(insn.b))),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass: window constant folding
+// ---------------------------------------------------------------------------
+
+/// Fold constant windows inside basic blocks: `Const/ConstFold` chains
+/// feeding `Binary`, unary operators and `Coerce` collapse to a single
+/// `ConstFold` carrying the summed counter compensation. Window
+/// followers must not be leaders (a jump could land mid-pattern and
+/// observe the intermediate stack).
+fn fold_windows(f: &mut BFunc) -> bool {
+    let lead = leaders(f);
+    let n = f.code.len();
+    let mut keep = vec![true; n];
+    let mut changed = false;
+    let mut i = 0;
+    while i < n {
+        if !keep[i] {
+            i += 1;
+            continue;
+        }
+        // [const, const, Binary] -> ConstFold
+        if i + 2 < n && !lead[i + 1] && !lead[i + 2] && f.code[i + 2].op == Op::Binary {
+            if let (Some((lv, lc)), Some((rv, rc))) =
+                (const_like(f, &f.code[i]), const_like(f, &f.code[i + 1]))
+            {
+                let op = binop_decode(f.code[i + 2].a);
+                if let Some((out, ints, fls)) = eval_binop(op, lv, rv) {
+                    let comp = lc.add(rc).add(Comp {
+                        int_ops: ints as u32,
+                        flops: fls as u32,
+                        saved: 2,
+                    });
+                    if let (Some(b), Some(cidx)) = (comp.encode(), intern_const(f, out)) {
+                        f.code[i] = Insn {
+                            op: Op::ConstFold,
+                            a: cidx,
+                            b,
+                        };
+                        keep[i + 1] = false;
+                        keep[i + 2] = false;
+                        changed = true;
+                        i += 3;
+                        continue;
+                    }
+                }
+            }
+        }
+        // [const, unary/Coerce] -> ConstFold
+        if i + 1 < n && !lead[i + 1] {
+            if let Some((v, c)) = const_like(f, &f.code[i]) {
+                let next = f.code[i + 1];
+                let folded: Option<(Scalar, Comp)> = match (next.op, v) {
+                    (Op::UnaryNeg, Scalar::I(x)) => Some((
+                        Scalar::I(x.wrapping_neg()),
+                        Comp {
+                            int_ops: 1,
+                            ..Comp::default()
+                        },
+                    )),
+                    (Op::UnaryNeg, Scalar::F(x)) => Some((
+                        Scalar::F(-x),
+                        Comp {
+                            flops: 1,
+                            ..Comp::default()
+                        },
+                    )),
+                    (Op::UnaryNot, Scalar::I(x)) => {
+                        Some((Scalar::I(i64::from(x == 0)), Comp::default()))
+                    }
+                    (Op::UnaryBitNot, Scalar::I(x)) => Some((Scalar::I(!x), Comp::default())),
+                    (Op::Truthy, Scalar::I(x)) => {
+                        Some((Scalar::I(i64::from(x != 0)), Comp::default()))
+                    }
+                    (Op::Truthy, Scalar::F(x)) => {
+                        Some((Scalar::I(i64::from(x != 0.0)), Comp::default()))
+                    }
+                    (Op::Coerce, Scalar::I(x)) if next.a == 0 => {
+                        Some((Scalar::F(x as f64), Comp::default()))
+                    }
+                    (Op::Coerce, Scalar::F(x)) if next.a == 1 => {
+                        Some((Scalar::I(x as i64), Comp::default()))
+                    }
+                    (Op::Coerce, _) => Some((v, Comp::default())),
+                    _ => None,
+                };
+                if let Some((out, oc)) = folded {
+                    let comp = c.add(oc).add(Comp {
+                        saved: 1,
+                        ..Comp::default()
+                    });
+                    if let (Some(b), Some(cidx)) = (comp.encode(), intern_const(f, out)) {
+                        f.code[i] = Insn {
+                            op: Op::ConstFold,
+                            a: cidx,
+                            b,
+                        };
+                        keep[i + 1] = false;
+                        changed = true;
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    // A ConstFold with an all-zero compensation is just a Const.
+    for insn in &mut f.code {
+        if insn.op == Op::ConstFold && insn.b == 0 {
+            insn.op = Op::Const;
+            changed = true;
+        }
+    }
+    compact(f, &keep);
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// Pass: block-local copy / constant propagation
+// ---------------------------------------------------------------------------
+
+/// What a frame slot is known to hold at this point of the block.
+#[derive(Clone, Copy, PartialEq)]
+enum Fact {
+    /// `frame[slot] == consts[idx]`.
+    Const(u32),
+    /// `frame[slot] == frame[src]` (value copied from `src`).
+    Copy(u32),
+}
+
+/// Symbolic operand-stack entry. The symbolic stack models only the
+/// values this block pushed; pops past its depth reach values pushed by
+/// predecessor blocks (ternaries span blocks) and are simply unknown.
+#[derive(Clone, Copy)]
+enum Sym {
+    Unknown,
+    Const(u32),
+    Slot(u32),
+}
+
+/// Forward walk per basic block rewriting instructions 1:1 (no index
+/// changes): `LoadLocal` of a known-const slot becomes `Const`, loads
+/// of copies are renumbered to the original slot (exposing dead
+/// stores), `BinLL`/`BinLC` with known-const operands fold to
+/// `ConstFold`, and `Local ⊕ Const` shapes collapse to `BinLC`.
+fn copy_propagate(f: &mut BFunc) -> bool {
+    let lead = leaders(f);
+    let mut changed = false;
+    let mut facts: Vec<Option<Fact>> = vec![None; f.frame_size.max(1)];
+    let mut stack: Vec<Sym> = Vec::new();
+    let spawn_slots: Vec<u32> = f.spawns.iter().map(|s| s.slot).collect();
+    let spawn_nargs: Vec<u32> = f.spawns.iter().map(|s| s.nargs).collect();
+
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..f.code.len() {
+        if lead[i] {
+            facts.iter_mut().for_each(|x| *x = None);
+            stack.clear();
+        }
+        let insn = f.code[i];
+
+        // -- rewrites (1:1, applied before the effect update) --------------
+        let resolve = |facts: &[Option<Fact>], slot: u32| -> (u32, Option<u32>) {
+            // (possibly renumbered slot, known const index)
+            match facts.get(slot as usize).copied().flatten() {
+                Some(Fact::Const(c)) => (slot, Some(c)),
+                Some(Fact::Copy(src)) => (src, None),
+                None => (slot, None),
+            }
+        };
+        match insn.op {
+            Op::LoadLocal => {
+                let (slot, konst) = resolve(&facts, insn.a);
+                if let Some(c) = konst {
+                    f.code[i] = Insn {
+                        op: Op::Const,
+                        a: c,
+                        b: 0,
+                    };
+                    changed = true;
+                } else if slot != insn.a {
+                    f.code[i].a = slot;
+                    changed = true;
+                }
+            }
+            Op::BinLL => {
+                let (x, kx) = resolve(&facts, insn.a & 0xFFFF);
+                let (y, ky) = resolve(&facts, insn.a >> 16);
+                let op = binop_decode(insn.b);
+                let folded = match (kx, ky) {
+                    (Some(cx), Some(cy)) => {
+                        eval_binop(op, f.consts[cx as usize], f.consts[cy as usize]).and_then(
+                            |(out, ints, fls)| {
+                                let comp = Comp {
+                                    int_ops: ints as u32,
+                                    flops: fls as u32,
+                                    saved: 0,
+                                };
+                                Some((out, comp.encode()?))
+                            },
+                        )
+                    }
+                    _ => None,
+                };
+                if let Some((out, b)) = folded {
+                    if let Some(cidx) = intern_const(f, out) {
+                        f.code[i] = Insn {
+                            op: Op::ConstFold,
+                            a: cidx,
+                            b,
+                        };
+                        changed = true;
+                    }
+                } else if let (None, Some(cy)) = (kx, ky) {
+                    if cy < 0x1_0000 && x < 0x1_0000 {
+                        f.code[i] = Insn {
+                            op: Op::BinLC,
+                            a: x | (cy << 16),
+                            b: insn.b,
+                        };
+                        changed = true;
+                    }
+                } else if let (Some(cx), None) = (kx, ky) {
+                    if let Some(m) = mirrored(op) {
+                        if cx < 0x1_0000 && y < 0x1_0000 {
+                            f.code[i] = Insn {
+                                op: Op::BinLC,
+                                a: y | (cx << 16),
+                                b: binop_encode(m),
+                            };
+                            changed = true;
+                        }
+                    }
+                } else if (x != insn.a & 0xFFFF || y != insn.a >> 16)
+                    && x < 0x1_0000
+                    && y < 0x1_0000
+                {
+                    f.code[i].a = x | (y << 16);
+                    changed = true;
+                }
+            }
+            Op::BinLC => {
+                let (x, kx) = resolve(&facts, insn.a & 0xFFFF);
+                let cy = insn.a >> 16;
+                let op = binop_decode(insn.b);
+                if let Some(cx) = kx {
+                    if let Some((out, ints, fls)) =
+                        eval_binop(op, f.consts[cx as usize], f.consts[cy as usize])
+                    {
+                        let comp = Comp {
+                            int_ops: ints as u32,
+                            flops: fls as u32,
+                            saved: 0,
+                        };
+                        if let (Some(b), Some(cidx)) = (comp.encode(), intern_const(f, out)) {
+                            f.code[i] = Insn {
+                                op: Op::ConstFold,
+                                a: cidx,
+                                b,
+                            };
+                            changed = true;
+                        }
+                    }
+                } else if x != insn.a & 0xFFFF && x < 0x1_0000 {
+                    f.code[i].a = x | (cy << 16);
+                    changed = true;
+                }
+            }
+            Op::LoadIdxLL | Op::StoreIdxLL | Op::CompoundIdxLL => {
+                let (x, kx) = resolve(&facts, insn.a & 0xFFFF);
+                let (y, ky) = resolve(&facts, insn.a >> 16);
+                // Only renumber copies; a const base/index stays (memory
+                // ops need the slot's packed word semantics anyway).
+                if kx.is_none()
+                    && ky.is_none()
+                    && (x != insn.a & 0xFFFF || y != insn.a >> 16)
+                    && x < 0x1_0000
+                    && y < 0x1_0000
+                {
+                    f.code[i].a = x | (y << 16);
+                    changed = true;
+                }
+            }
+            _ => {}
+        }
+
+        // -- effect update on facts and the symbolic stack -----------------
+        let insn = f.code[i]; // possibly rewritten
+        let kill = |facts: &mut Vec<Option<Fact>>, stack: &mut Vec<Sym>, slot: u32| {
+            if let Some(x) = facts.get_mut(slot as usize) {
+                *x = None;
+            }
+            for x in facts.iter_mut() {
+                if *x == Some(Fact::Copy(slot)) {
+                    *x = None;
+                }
+            }
+            for s in stack.iter_mut() {
+                if let Sym::Slot(y) = s {
+                    if *y == slot {
+                        *s = Sym::Unknown;
+                    }
+                }
+            }
+        };
+        let fact_of = |sym: Sym, slot: u32| -> Option<Fact> {
+            match sym {
+                Sym::Const(c) => Some(Fact::Const(c)),
+                Sym::Slot(src) if src != slot => Some(Fact::Copy(src)),
+                _ => None,
+            }
+        };
+        match insn.op {
+            Op::Step | Op::BumpBranch => {}
+            Op::Const | Op::ConstFold => stack.push(Sym::Const(insn.a)),
+            Op::StrNew | Op::PushUninit | Op::LoadGlobal | Op::AllocStruct => {
+                stack.push(Sym::Unknown)
+            }
+            Op::LoadLocal => stack.push(Sym::Slot(insn.a)),
+            Op::StoreLocal => {
+                let sym = stack.last().copied().unwrap_or(Sym::Unknown);
+                kill(&mut facts, &mut stack, insn.a);
+                if let Some(fact) = fact_of(sym, insn.a) {
+                    facts[insn.a as usize] = Some(fact);
+                }
+            }
+            Op::StoreLocalPop => {
+                let sym = stack.pop().unwrap_or(Sym::Unknown);
+                kill(&mut facts, &mut stack, insn.a);
+                if let Some(fact) = fact_of(sym, insn.a) {
+                    facts[insn.a as usize] = Some(fact);
+                }
+            }
+            Op::StoreGlobal => {}
+            Op::StoreGlobalPop => {
+                stack.pop();
+            }
+            Op::Dup => {
+                let top = stack.last().copied().unwrap_or(Sym::Unknown);
+                stack.push(top);
+            }
+            Op::Pop => {
+                stack.pop();
+            }
+            Op::UnaryNeg
+            | Op::UnaryNot
+            | Op::UnaryBitNot
+            | Op::Truthy
+            | Op::Coerce
+            | Op::DerefLoad
+            | Op::LoadMem
+            | Op::LoadIdxConst
+            | Op::PtrMember => {
+                stack.pop();
+                stack.push(Sym::Unknown);
+            }
+            Op::PtrDeref => {} // pushes the popped value back unchanged
+            Op::Binary | Op::PtrIndex => {
+                stack.pop();
+                stack.pop();
+                stack.push(Sym::Unknown);
+            }
+            Op::BinLL | Op::BinLC | Op::LoadIdxLL | Op::LoadIdxLC => stack.push(Sym::Unknown),
+            Op::StoreIdxLL | Op::StoreIdxLC => {
+                if insn.b == 1 {
+                    stack.pop();
+                }
+            }
+            Op::StoreMem => {
+                // pops ptr and value; pushes the value back when b == 0
+                stack.pop();
+                let v = stack.pop().unwrap_or(Sym::Unknown);
+                if insn.b == 0 {
+                    stack.push(v);
+                }
+            }
+            Op::StoreIdxConst => {
+                stack.pop();
+                stack.pop();
+            }
+            Op::CompoundLocal => {
+                stack.pop();
+                kill(&mut facts, &mut stack, insn.a);
+                if insn.b & 0x100 == 0 {
+                    stack.push(Sym::Unknown);
+                }
+            }
+            Op::CompoundGlobal => {
+                stack.pop();
+                if insn.b & 0x100 == 0 {
+                    stack.push(Sym::Unknown);
+                }
+            }
+            Op::CompoundMem => {
+                stack.pop();
+                stack.pop();
+                if insn.b == 0 {
+                    stack.push(Sym::Unknown);
+                }
+            }
+            Op::CompoundIdxLL => {
+                stack.pop();
+                if insn.b & 0x100 == 0 {
+                    stack.push(Sym::Unknown);
+                }
+            }
+            Op::IncDecLocal => {
+                kill(&mut facts, &mut stack, insn.a);
+                if insn.b & 4 == 0 {
+                    stack.push(Sym::Unknown);
+                }
+            }
+            Op::IncDecGlobal => {
+                if insn.b & 4 == 0 {
+                    stack.push(Sym::Unknown);
+                }
+            }
+            Op::IncDecMem => {
+                stack.pop();
+                if insn.b & 4 == 0 {
+                    stack.push(Sym::Unknown);
+                }
+            }
+            Op::CallUser => {
+                for _ in 0..(insn.b & 0xFFFF) {
+                    stack.pop();
+                }
+                stack.push(Sym::Unknown);
+            }
+            Op::CallBuiltin => {
+                for _ in 0..insn.b {
+                    stack.pop();
+                }
+                stack.push(Sym::Unknown);
+            }
+            Op::Printf => {
+                for _ in 0..insn.b {
+                    stack.pop();
+                }
+                if insn.a == u32::MAX {
+                    stack.pop();
+                }
+                stack.push(Sym::Unknown);
+            }
+            Op::AllocArray => {
+                for _ in 0..insn.a {
+                    stack.pop();
+                }
+                stack.push(Sym::Unknown);
+            }
+            Op::SpawnPure => {
+                for _ in 0..spawn_nargs[insn.a as usize] {
+                    stack.pop();
+                }
+                kill(&mut facts, &mut stack, spawn_slots[insn.a as usize]);
+            }
+            Op::AwaitSlot => kill(&mut facts, &mut stack, insn.a),
+            Op::ConstStore => {
+                kill(&mut facts, &mut stack, insn.b);
+                facts[insn.b as usize] = Some(Fact::Const(insn.a));
+            }
+            Op::BinLLStore | Op::BinLCStore => kill(&mut facts, &mut stack, insn.b >> 16),
+            Op::LoadIdxLLStore => kill(&mut facts, &mut stack, insn.b),
+            Op::LoadGStore => kill(&mut facts, &mut stack, insn.b),
+            // Block enders: the next instruction is a leader and resets
+            // the analysis state.
+            Op::Jump
+            | Op::JumpIfFalse
+            | Op::JumpIfTrue
+            | Op::SkipUnlessPtr
+            | Op::BrCmpLL
+            | Op::BrCmpLC
+            | Op::Ret
+            | Op::RetLocal
+            | Op::Err
+            | Op::MemberUnknownErr
+            | Op::RegionEnd
+            | Op::OmpRegion => {}
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// Pass: dead-store elimination (slot liveness over the CFG)
+// ---------------------------------------------------------------------------
+
+/// Backward transfer of one instruction over the slot-liveness set:
+/// `live_before = (live_after − defs) ∪ uses`.
+fn liveness_step(insn: &Insn, live: &mut [bool]) {
+    // Kill pure definitions first.
+    match insn.op {
+        Op::StoreLocal | Op::StoreLocalPop => live[insn.a as usize] = false,
+        Op::ConstStore | Op::LoadGStore | Op::LoadIdxLLStore => live[insn.b as usize] = false,
+        Op::BinLLStore | Op::BinLCStore => live[(insn.b >> 16) as usize] = false,
+        _ => {}
+    }
+    // Then add uses.
+    match insn.op {
+        Op::LoadLocal | Op::RetLocal => live[insn.a as usize] = true,
+        Op::BinLL
+        | Op::LoadIdxLL
+        | Op::StoreIdxLL
+        | Op::CompoundIdxLL
+        | Op::BrCmpLL
+        | Op::BinLLStore
+        | Op::LoadIdxLLStore => {
+            live[(insn.a & 0xFFFF) as usize] = true;
+            live[(insn.a >> 16) as usize] = true;
+        }
+        Op::BinLC | Op::LoadIdxLC | Op::StoreIdxLC | Op::BrCmpLC | Op::BinLCStore => {
+            live[(insn.a & 0xFFFF) as usize] = true;
+        }
+        // Counted read-modify-writes: both a use and a def (never
+        // deleted — they bump executed-op counters).
+        Op::CompoundLocal | Op::IncDecLocal | Op::AwaitSlot => live[insn.a as usize] = true,
+        // The whole frame is snapshot into the workers.
+        Op::OmpRegion => live.iter_mut().for_each(|x| *x = true),
+        _ => {}
+    }
+}
+
+/// Use/def slot of a `SpawnPure` (the target slot is written by the
+/// spawn — possibly inline — and must stay observable at the matching
+/// `AwaitSlot`); treated as a use so stores feeding the spawn's frame
+/// template never look dead.
+fn spawn_use(f: &BFunc, insn: &Insn, live: &mut [bool]) {
+    if insn.op == Op::SpawnPure {
+        live[f.spawns[insn.a as usize].slot as usize] = true;
+    }
+}
+
+/// Delete `StoreLocal`s (and rewrite `StoreLocalPop`s to `Pop`) whose
+/// slot is dead: not read on any path to a block exit. Liveness runs
+/// over the absolute-jump CFG with region bodies as separate roots
+/// (their `RegionEnd` exits with nothing live — per-iteration frames
+/// are snapshot copies, so body writes never flow back to the parent).
+fn eliminate_dead_stores(f: &mut BFunc) -> bool {
+    let n = f.code.len();
+    let fs = f.frame_size;
+    if n == 0 || fs == 0 {
+        return false;
+    }
+    let lead = leaders(f);
+    let starts: Vec<usize> = (0..n).filter(|&i| lead[i]).collect();
+    let nb = starts.len();
+    let mut block_of = vec![0usize; n];
+    {
+        let mut cur = 0;
+        for (i, b) in block_of.iter_mut().enumerate() {
+            if cur + 1 < nb && starts[cur + 1] == i {
+                cur += 1;
+            }
+            *b = cur;
+        }
+    }
+    let block_end = |bi: usize| {
+        if bi + 1 < nb {
+            starts[bi + 1] - 1
+        } else {
+            n - 1
+        }
+    };
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    #[allow(clippy::needless_range_loop)]
+    for bi in 0..nb {
+        let e = block_end(bi);
+        let last = f.code[e];
+        if last.op == Op::OmpRegion {
+            // The parent resumes after the region's RegionEnd; body
+            // blocks belong to the workers (separate roots).
+            let after = f.regions[last.a as usize].end as usize + 1;
+            if after < n {
+                succ[bi].push(block_of[after]);
+            }
+            continue;
+        }
+        if let Some(t) = jump_target(&last) {
+            succ[bi].push(block_of[t]);
+        }
+        if !is_terminator(last.op) && e + 1 < n {
+            succ[bi].push(block_of[e + 1]);
+        }
+    }
+
+    // Fixpoint: block live-in sets.
+    let mut live_in: Vec<Vec<bool>> = vec![vec![false; fs]; nb];
+    loop {
+        let mut moved = false;
+        for bi in (0..nb).rev() {
+            let mut live = vec![false; fs];
+            for &sb in &succ[bi] {
+                for (i, v) in live_in[sb].iter().enumerate() {
+                    if *v {
+                        live[i] = true;
+                    }
+                }
+            }
+            for i in (starts[bi]..=block_end(bi)).rev() {
+                liveness_step(&f.code[i], &mut live);
+                spawn_use(f, &f.code[i], &mut live);
+            }
+            if live != live_in[bi] {
+                live_in[bi] = live;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    // Rewrite: one more backward walk per block with the solved sets.
+    let mut keep = vec![true; n];
+    let mut changed = false;
+    for bi in 0..nb {
+        let mut live = vec![false; fs];
+        for &sb in &succ[bi] {
+            for (i, v) in live_in[sb].iter().enumerate() {
+                if *v {
+                    live[i] = true;
+                }
+            }
+        }
+        for i in (starts[bi]..=block_end(bi)).rev() {
+            let insn = f.code[i];
+            match insn.op {
+                Op::StoreLocal if !live[insn.a as usize] => {
+                    // Peeks: deleting it is stack-neutral.
+                    keep[i] = false;
+                    changed = true;
+                }
+                Op::StoreLocalPop if !live[insn.a as usize] => {
+                    f.code[i] = Insn {
+                        op: Op::Pop,
+                        a: 0,
+                        b: 0,
+                    };
+                    changed = true;
+                }
+                _ => {}
+            }
+            liveness_step(&f.code[i], &mut live);
+            spawn_use(f, &f.code[i], &mut live);
+        }
+    }
+    compact(f, &keep);
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// Pass: push/Pop cleanup peephole
+// ---------------------------------------------------------------------------
+
+/// Delete `[side-effect-free push, Pop]` pairs (the residue DSE leaves
+/// behind when it rewrites a dead `StoreLocalPop` to `Pop`). `ConstFold`
+/// is excluded — it carries counter compensation that must still
+/// execute.
+fn cleanup_push_pop(f: &mut BFunc) -> bool {
+    let lead = leaders(f);
+    let n = f.code.len();
+    let mut keep = vec![true; n];
+    let mut changed = false;
+    let mut i = 0;
+    while i + 1 < n {
+        if keep[i]
+            && !lead[i + 1]
+            && f.code[i + 1].op == Op::Pop
+            && matches!(
+                f.code[i].op,
+                Op::Const | Op::LoadLocal | Op::PushUninit | Op::LoadGlobal | Op::Dup
+            )
+        {
+            keep[i] = false;
+            keep[i + 1] = false;
+            changed = true;
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    compact(f, &keep);
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// Pass: loop-invariant global-load hoisting
+// ---------------------------------------------------------------------------
+
+/// Hoist `LoadGlobal`s out of single-entry loops that provably leave
+/// the global table untouched (no global stores, no calls, no parallel
+/// constructs — a call could store globals transitively). Each hoisted
+/// global costs one fused `LoadGStore` dispatch per loop *entry* and
+/// turns every in-loop read into a `LoadLocal` the fusion pass folds
+/// further. Memory loads are counted and never hoisted.
+fn hoist_global_loads(f: &mut BFunc) -> bool {
+    let n = f.code.len();
+    if n == 0 {
+        return false;
+    }
+    // Natural-loop candidates: one per back-edge target, widest
+    // back-edge span wins.
+    let mut heads: Vec<(usize, usize)> = Vec::new(); // (head, max back-edge pc)
+    for (pc, insn) in f.code.iter().enumerate() {
+        if let Some(t) = jump_target(insn) {
+            if t <= pc {
+                match heads.iter_mut().find(|(h, _)| *h == t) {
+                    Some((_, e)) => *e = (*e).max(pc),
+                    None => heads.push((t, pc)),
+                }
+            }
+        }
+    }
+    if heads.is_empty() {
+        return false;
+    }
+    // Outermost loops first, so a nested LoadGlobal hoists all the way
+    // out in one step and the inner loop then has nothing left to do.
+    heads.sort_by_key(|&(h, e)| std::cmp::Reverse(e - h));
+    let region_ranges: Vec<(usize, usize)> = f
+        .regions
+        .iter()
+        .map(|r| (r.body_start as usize, r.end as usize))
+        .collect();
+
+    let mut insertions: Vec<(usize, Vec<Insn>)> = Vec::new(); // head -> preheader insns
+    let mut changed = false;
+    for (head, end) in heads {
+        // Single entry: no jump from outside the range into its middle.
+        let outside_entry = f.code.iter().enumerate().any(|(pc, insn)| {
+            (pc < head || pc > end) && jump_target(insn).is_some_and(|t| t > head && t <= end)
+        });
+        let banned = f.code[head..=end].iter().any(|insn| {
+            matches!(
+                insn.op,
+                Op::OmpRegion
+                    | Op::RegionEnd
+                    | Op::SpawnPure
+                    | Op::AwaitSlot
+                    | Op::CallUser
+                    | Op::CallBuiltin
+                    | Op::Printf
+                    | Op::StoreGlobal
+                    | Op::StoreGlobalPop
+                    | Op::CompoundGlobal
+                    | Op::IncDecGlobal
+                    | Op::LoadGStore
+            )
+        });
+        let in_region = region_ranges.iter().any(|&(s, e)| s <= end && head <= e);
+        if outside_entry || banned || in_region {
+            continue;
+        }
+        let mut slot_of: Vec<(u32, u32)> = Vec::new(); // global -> tmp slot
+        let mut pre: Vec<Insn> = Vec::new();
+        for i in head..=end {
+            if f.code[i].op == Op::LoadGlobal {
+                let g = f.code[i].a;
+                let tmp = match slot_of.iter().find(|(gg, _)| *gg == g) {
+                    Some(&(_, t)) => t,
+                    None => {
+                        let t = f.frame_size as u32;
+                        f.frame_size += 1;
+                        slot_of.push((g, t));
+                        pre.push(Insn {
+                            op: Op::LoadGStore,
+                            a: g,
+                            b: t,
+                        });
+                        t
+                    }
+                };
+                f.code[i] = Insn {
+                    op: Op::LoadLocal,
+                    a: tmp,
+                    b: 0,
+                };
+                changed = true;
+            }
+        }
+        if !pre.is_empty() {
+            insertions.push((head, pre));
+        }
+    }
+    if insertions.is_empty() {
+        return changed;
+    }
+
+    // One rebuild with dual maps: entries into a hoisted loop run its
+    // preheader (`map_pre`), back edges skip it (`map_insn`).
+    let mut map_pre = vec![0u32; n];
+    let mut map_insn = vec![0u32; n];
+    let mut code: Vec<Insn> = Vec::with_capacity(n + 4);
+    let mut spans = Vec::with_capacity(n + 4);
+    for i in 0..n {
+        map_pre[i] = code.len() as u32;
+        if let Some((_, pre)) = insertions.iter().find(|(h, _)| *h == i) {
+            for &x in pre {
+                code.push(x);
+                spans.push(f.spans[i]);
+            }
+        }
+        map_insn[i] = code.len() as u32;
+        code.push(f.code[i]);
+        spans.push(f.spans[i]);
+    }
+    for p in 0..n {
+        let insn = &mut code[map_insn[p] as usize];
+        if let Some(t) = jump_target(insn) {
+            let new_t = if t <= p { map_insn[t] } else { map_pre[t] };
+            set_jump_target(insn, new_t as usize);
+        }
+    }
+    for r in &mut f.regions {
+        // Loops intersecting regions are banned, so no preheader lands
+        // inside one and both bounds map 1:1.
+        r.body_start = map_insn[r.body_start as usize];
+        r.end = map_insn[r.end as usize];
+    }
+    f.code = code;
+    f.spans = spans;
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Pass: superinstruction fusion (profile-guided)
+// ---------------------------------------------------------------------------
+
+/// Fuse adjacent windows into superinstructions. Runs a few rounds so a
+/// first-round product (`BinLL` formed from loads) can anchor a
+/// second-round pattern (`BinLL` + branch → `BrCmpLL`). Windows never
+/// cross block boundaries: every follower must not be a leader.
+fn fuse_superinstructions(f: &mut BFunc, profile: Option<&PairProfile>) -> bool {
+    let mut any = false;
+    for _ in 0..4 {
+        if !fuse_round(f, profile) {
+            break;
+        }
+        any = true;
+    }
+    any
+}
+
+fn fuse_round(f: &mut BFunc, profile: Option<&PairProfile>) -> bool {
+    let lead = leaders(f);
+    let n = f.code.len();
+    let mut keep = vec![true; n];
+    let mut changed = false;
+    let mut i = 0;
+    while i < n {
+        if !keep[i] {
+            i += 1;
+            continue;
+        }
+        let cur = f.code[i];
+        let follower = |k: usize| i + k < n && !lead[i + k];
+
+        // [BumpBranch, BinLL/BinLC, JumpIf*] → BrCmp with the bump bit:
+        // the for/while condition shape.
+        if cur.op == Op::BumpBranch && follower(1) && follower(2) {
+            let b1 = f.code[i + 1];
+            let b2 = f.code[i + 2];
+            if matches!(b1.op, Op::BinLL | Op::BinLC)
+                && matches!(b2.op, Op::JumpIfFalse | Op::JumpIfTrue)
+                && b1.b <= 0xF
+                && (b2.a as usize) < (1 << 26)
+                && pattern_enabled(profile, b1.op, b2.op)
+            {
+                let sense = (b2.op == Op::JumpIfTrue) as u32;
+                let op = if b1.op == Op::BinLL {
+                    Op::BrCmpLL
+                } else {
+                    Op::BrCmpLC
+                };
+                f.code[i] = Insn {
+                    op,
+                    a: b1.a,
+                    b: (b2.a << 6) | (1 << 5) | (sense << 4) | b1.b,
+                };
+                keep[i + 1] = false;
+                keep[i + 2] = false;
+                changed = true;
+                i += 3;
+                continue;
+            }
+        }
+
+        // [BinLL/BinLC, JumpIf*] → BrCmp; [BinLL/BinLC, StoreLocalPop] →
+        // Bin*Store.
+        if matches!(cur.op, Op::BinLL | Op::BinLC) && follower(1) {
+            let b2 = f.code[i + 1];
+            if matches!(b2.op, Op::JumpIfFalse | Op::JumpIfTrue)
+                && cur.b <= 0xF
+                && (b2.a as usize) < (1 << 26)
+                && pattern_enabled(profile, cur.op, b2.op)
+            {
+                let sense = (b2.op == Op::JumpIfTrue) as u32;
+                let op = if cur.op == Op::BinLL {
+                    Op::BrCmpLL
+                } else {
+                    Op::BrCmpLC
+                };
+                f.code[i] = Insn {
+                    op,
+                    a: cur.a,
+                    b: (b2.a << 6) | (sense << 4) | cur.b,
+                };
+                keep[i + 1] = false;
+                changed = true;
+                i += 2;
+                continue;
+            }
+            if b2.op == Op::StoreLocalPop
+                && b2.a < 0x1_0000
+                && cur.b <= 0xFF
+                && pattern_enabled(profile, cur.op, Op::StoreLocalPop)
+            {
+                let op = if cur.op == Op::BinLL {
+                    Op::BinLLStore
+                } else {
+                    Op::BinLCStore
+                };
+                f.code[i] = Insn {
+                    op,
+                    a: cur.a,
+                    b: cur.b | (b2.a << 16),
+                };
+                keep[i + 1] = false;
+                changed = true;
+                i += 2;
+                continue;
+            }
+        }
+
+        // [LoadLocal, Const, PtrIndex, LoadMem/StoreMem] → LoadIdxLC /
+        // StoreIdxLC: the local-base/const-index element access.
+        if cur.op == Op::LoadLocal && follower(1) && follower(2) && follower(3) {
+            let c = f.code[i + 1];
+            let px = f.code[i + 2];
+            let m = f.code[i + 3];
+            if c.op == Op::Const
+                && px.op == Op::PtrIndex
+                && cur.a < 0x1_0000
+                && c.a < 0x1_0000
+                && matches!(f.consts[c.a as usize], Scalar::I(_))
+            {
+                let fused = match m.op {
+                    Op::LoadMem if pattern_enabled(profile, Op::PtrIndex, Op::LoadMem) => {
+                        Some((Op::LoadIdxLC, 0))
+                    }
+                    Op::StoreMem if pattern_enabled(profile, Op::PtrIndex, Op::StoreMem) => {
+                        Some((Op::StoreIdxLC, m.b))
+                    }
+                    _ => None,
+                };
+                if let Some((op, b)) = fused {
+                    f.code[i] = Insn {
+                        op,
+                        a: cur.a | (c.a << 16),
+                        b,
+                    };
+                    keep[i + 1] = false;
+                    keep[i + 2] = false;
+                    keep[i + 3] = false;
+                    changed = true;
+                    i += 4;
+                    continue;
+                }
+            }
+        }
+
+        // [LoadLocal, LoadLocal/Const, Binary] → BinLL/BinLC (the shapes
+        // hoisting exposes); [LoadLocal, Ret] → RetLocal.
+        if cur.op == Op::LoadLocal && follower(1) {
+            let b2 = f.code[i + 1];
+            if b2.op == Op::LoadLocal
+                && follower(2)
+                && f.code[i + 2].op == Op::Binary
+                && cur.a < 0x1_0000
+                && b2.a < 0x1_0000
+                && pattern_enabled(profile, Op::LoadLocal, Op::LoadLocal)
+            {
+                f.code[i] = Insn {
+                    op: Op::BinLL,
+                    a: cur.a | (b2.a << 16),
+                    b: f.code[i + 2].a,
+                };
+                keep[i + 1] = false;
+                keep[i + 2] = false;
+                changed = true;
+                i += 3;
+                continue;
+            }
+            if b2.op == Op::Const
+                && follower(2)
+                && f.code[i + 2].op == Op::Binary
+                && cur.a < 0x1_0000
+                && b2.a < 0x1_0000
+                && pattern_enabled(profile, Op::LoadLocal, Op::Const)
+            {
+                f.code[i] = Insn {
+                    op: Op::BinLC,
+                    a: cur.a | (b2.a << 16),
+                    b: f.code[i + 2].a,
+                };
+                keep[i + 1] = false;
+                keep[i + 2] = false;
+                changed = true;
+                i += 3;
+                continue;
+            }
+            if b2.op == Op::Ret && pattern_enabled(profile, Op::LoadLocal, Op::Ret) {
+                f.code[i] = Insn {
+                    op: Op::RetLocal,
+                    a: cur.a,
+                    b: 0,
+                };
+                keep[i + 1] = false;
+                changed = true;
+                i += 2;
+                continue;
+            }
+        }
+
+        // [Const, StoreLocalPop] → ConstStore (declaration inits).
+        if cur.op == Op::Const
+            && follower(1)
+            && f.code[i + 1].op == Op::StoreLocalPop
+            && pattern_enabled(profile, Op::Const, Op::StoreLocalPop)
+        {
+            f.code[i] = Insn {
+                op: Op::ConstStore,
+                a: cur.a,
+                b: f.code[i + 1].a,
+            };
+            keep[i + 1] = false;
+            changed = true;
+            i += 2;
+            continue;
+        }
+
+        // [LoadIdxLL, StoreLocalPop] → LoadIdxLLStore (`x = a[i]`).
+        if cur.op == Op::LoadIdxLL
+            && follower(1)
+            && f.code[i + 1].op == Op::StoreLocalPop
+            && pattern_enabled(profile, Op::LoadIdxLL, Op::StoreLocalPop)
+        {
+            f.code[i] = Insn {
+                op: Op::LoadIdxLLStore,
+                a: cur.a,
+                b: f.code[i + 1].a,
+            };
+            keep[i + 1] = false;
+            changed = true;
+            i += 2;
+            continue;
+        }
+
+        i += 1;
+    }
+    compact(f, &keep);
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{InterpOptions, Program};
+    use cfront::parser::parse;
+    use std::collections::HashSet;
+
+    fn program(src: &str) -> Program {
+        let r = parse(src);
+        assert!(!r.diags.has_errors(), "{}", r.diags.render_all(src));
+        Program::new(&r.unit)
+    }
+
+    fn opts(level: u8) -> InterpOptions {
+        InterpOptions {
+            opt_level: level,
+            ..Default::default()
+        }
+    }
+
+    fn insn_count(p: &BytecodeProgram) -> usize {
+        p.funcs
+            .iter()
+            .chain(std::iter::once(&p.global_code))
+            .map(|f| f.code.len())
+            .sum()
+    }
+
+    fn count_op(p: &BytecodeProgram, op: Op) -> usize {
+        p.funcs
+            .iter()
+            .chain(std::iter::once(&p.global_code))
+            .flat_map(|f| f.code.iter())
+            .filter(|i| i.op == op)
+            .count()
+    }
+
+    /// Run `src` at levels 0/1/2 and assert the observables the optimizer
+    /// must preserve: exit code, output and every executed-op counter.
+    fn assert_equivalent(src: &str) -> Program {
+        let prog = program(src);
+        let raw = prog.run(opts(0)).expect("raw run");
+        for level in [1u8, 2] {
+            let o = prog.run(opts(level)).expect("optimized run");
+            assert_eq!(o.exit_code, raw.exit_code, "exit @ level {level}");
+            assert_eq!(o.output, raw.output, "output @ level {level}");
+            assert_eq!(
+                o.counters.without_memo(),
+                raw.counters.without_memo(),
+                "counters @ level {level}"
+            );
+        }
+        prog
+    }
+
+    /// Smallest fuel budget at which the program completes (threads=1, so
+    /// the trap point is exact: one unit per dispatched instruction).
+    fn min_fuel(prog: &Program, level: u8) -> u64 {
+        let (mut lo, mut hi) = (1u64, 1 << 22);
+        assert!(
+            prog.run(InterpOptions {
+                fuel: Some(hi),
+                ..opts(level)
+            })
+            .is_ok(),
+            "program does not finish inside the search bound"
+        );
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let ok = prog
+                .run(InterpOptions {
+                    fuel: Some(mid),
+                    ..opts(level)
+                })
+                .is_ok();
+            if ok {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    #[test]
+    fn folding_shrinks_code_and_compensates_counters() {
+        let src = "\
+int main() {
+    int a = 2 + 3 * 4;        // folded to 14 at compile time
+    int b = (a + 1) - (10 / 2); // partially foldable
+    float f = 1.5 * 2.0;      // float fold must compensate flops
+    return a + b + (int)f;
+}
+";
+        let prog = assert_equivalent(src);
+        let raw = prog.bytecode_at(0);
+        let opt = prog.bytecode_at(1);
+        assert!(
+            insn_count(&opt) < insn_count(&raw),
+            "level 1 must shrink: {} -> {}",
+            insn_count(&raw),
+            insn_count(&opt)
+        );
+        assert!(count_op(&opt, Op::ConstFold) > 0, "expected ConstFold");
+        let r = prog.run(opts(1)).expect("runs");
+        assert!(r.counters.insns_folded > 0, "{:?}", r.counters);
+        assert_eq!(prog.run(opts(0)).unwrap().counters.insns_folded, 0);
+    }
+
+    #[test]
+    fn dead_stores_are_eliminated() {
+        let src = "\
+int main() {
+    int dead = 123;          // never read again after the overwrite
+    dead = 456;              // also dead: overwritten before use
+    dead = 7;
+    int keep = dead + 1;
+    return keep;
+}
+";
+        let prog = assert_equivalent(src);
+        assert!(insn_count(&prog.bytecode_at(1)) < insn_count(&prog.bytecode_at(0)));
+        assert_eq!(prog.run(opts(2)).unwrap().exit_code, 8);
+    }
+
+    #[test]
+    fn fusion_emits_superinstructions() {
+        let src = "\
+int main() {
+    int arr[64];
+    int acc = 0;
+    for (int i = 0; i < 64; i++) arr[i] = i * 3;
+    for (int i = 0; i < 64; i++) acc = acc + arr[i];
+    return acc % 251;
+}
+";
+        let prog = assert_equivalent(src);
+        let opt = prog.bytecode_at(2);
+        let fused = count_op(&opt, Op::BrCmpLC)
+            + count_op(&opt, Op::BrCmpLL)
+            + count_op(&opt, Op::BinLLStore)
+            + count_op(&opt, Op::BinLCStore)
+            + count_op(&opt, Op::ConstStore)
+            + count_op(&opt, Op::LoadIdxLLStore)
+            + count_op(&opt, Op::RetLocal);
+        assert!(fused > 0, "no superinstructions in:\n{}", opt.dump());
+        let r = prog.run(opts(2)).expect("runs");
+        assert!(r.counters.insns_fused > 0, "{:?}", r.counters);
+    }
+
+    #[test]
+    fn loop_invariant_global_loads_are_hoisted() {
+        let src = "\
+int scale;
+int main() {
+    scale = 3;
+    int acc = 0;
+    for (int i = 0; i < 100; i++) acc += i * scale;
+    return acc % 251;
+}
+";
+        let prog = assert_equivalent(src);
+        let raw = prog.bytecode_at(0);
+        let opt = prog.bytecode_at(2);
+        assert!(
+            count_op(&opt, Op::LoadGStore) > 0,
+            "expected a hoisted preheader"
+        );
+        assert!(
+            count_op(&opt, Op::LoadGlobal) < count_op(&raw, Op::LoadGlobal),
+            "in-loop LoadGlobal should be replaced by LoadLocal"
+        );
+    }
+
+    #[test]
+    fn calls_and_global_stores_block_hoisting() {
+        // The loop writes the global it reads — hoisting would change the
+        // observed values. The differential check is the real assertion.
+        assert_equivalent(
+            "\
+int g;
+int main() {
+    g = 1;
+    int acc = 0;
+    for (int i = 0; i < 10; i++) { acc += g; g = g + 1; }
+    return acc;
+}
+",
+        );
+    }
+
+    #[test]
+    fn optimized_fuel_never_exceeds_raw() {
+        let src = "\
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 200; i++) acc += i * 2 + 1;
+    return acc % 251;
+}
+";
+        let prog = program(src);
+        let f0 = min_fuel(&prog, 0);
+        let f1 = min_fuel(&prog, 1);
+        let f2 = min_fuel(&prog, 2);
+        assert!(f1 <= f0, "level 1 must not burn more fuel: {f1} vs {f0}");
+        assert!(
+            f2 <= f0,
+            "level 2 must win back the preheader: {f2} vs {f0}"
+        );
+        assert!(f2 < f1, "fusion should save dispatches: {f2} vs {f1}");
+    }
+
+    #[test]
+    fn runtime_errors_survive_verbatim() {
+        let src = "\
+int main() {
+    int d = 0;
+    for (int i = 0; i < 5; i++) d = i - 1;
+    return 10 / (d - 2);   // d == 3 at exit -> 10 / 1
+}
+";
+        // A genuinely trapping program: runtime divide by zero.
+        let trap_src = "\
+int main() {
+    int z = 7;
+    for (int i = 0; i < 7; i++) z = z - 1;
+    return 100 / z;
+}
+";
+        assert_equivalent(src);
+        let prog = program(trap_src);
+        let e0 = prog.run(opts(0)).expect_err("raw traps");
+        for level in [1u8, 2] {
+            let e = prog.run(opts(level)).expect_err("optimized traps");
+            assert_eq!(e.message, e0.message, "level {level}");
+            assert_eq!(e.span, e0.span, "level {level}");
+        }
+    }
+
+    #[test]
+    fn constant_division_by_zero_is_not_folded() {
+        let src = "int main() { int kaboom = 1 / 0; return kaboom; }";
+        let prog = program(src);
+        let e0 = prog.run(opts(0)).expect_err("raw traps");
+        let e2 = prog.run(opts(2)).expect_err("optimized traps");
+        assert_eq!(e0.message, e2.message);
+        assert_eq!(e0.span, e2.span);
+    }
+
+    #[test]
+    fn empty_profile_disables_fusion_patterns() {
+        let src = "\
+int f(int x) { return x + 1; }
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 32; i++) acc = acc + i;
+    return acc % 251;
+}
+";
+        let prog = program(src);
+        let cold = PairProfile::new();
+        let gated = optimize_program(&prog.bytecode_at(0), 2, Some(&cold));
+        assert_eq!(count_op(&gated, Op::RetLocal), 0);
+        assert_eq!(count_op(&gated, Op::ConstStore), 0);
+        assert_eq!(
+            count_op(&gated, Op::BrCmpLC) + count_op(&gated, Op::BrCmpLL),
+            0
+        );
+        // The ungated default set does fuse this program.
+        let full = prog.bytecode_at(2);
+        assert!(
+            count_op(&full, Op::BrCmpLC) + count_op(&full, Op::BrCmpLL) > 0,
+            "{}",
+            full.dump()
+        );
+    }
+
+    #[test]
+    fn hot_profile_enables_exactly_its_patterns() {
+        let src = "int f(int x) { return x; }\nint main() { int a = 5; return a; }";
+        let prog = program(src);
+        let mut p = PairProfile::new();
+        for _ in 0..512 {
+            p.tick(Op::LoadLocal);
+            p.tick(Op::Ret);
+        }
+        assert!(p.count(Op::LoadLocal, Op::Ret) > 0);
+        let tuned = optimize_program(&prog.bytecode_at(0), 2, Some(&p));
+        assert!(count_op(&tuned, Op::RetLocal) > 0, "{}", tuned.dump());
+        // Patterns the profile never saw stay off.
+        assert_eq!(count_op(&tuned, Op::ConstStore), 0);
+    }
+
+    #[test]
+    fn profiled_run_reports_pairs() {
+        let src = "int main() { int a = 0; for (int i = 0; i < 500; i++) a += i; return a % 7; }";
+        let prog = program(src);
+        let r = prog
+            .run(InterpOptions {
+                profile_pairs: true,
+                ..Default::default()
+            })
+            .expect("runs");
+        let pairs = r.pairs.expect("profile collected");
+        assert!(!pairs.top_pairs(4).is_empty());
+        assert!(!pairs.report(4).is_empty());
+    }
+
+    #[test]
+    fn inline_cache_serves_repeat_pure_calls() {
+        let src = "\
+pure int sq(int x) { return x * x; }
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 50; i++) acc += sq(7);
+    return acc % 251;
+}
+";
+        let r = parse(src);
+        assert!(!r.diags.has_errors(), "{}", r.diags.render_all(src));
+        let set: HashSet<String> = ["sq".to_string()].into_iter().collect();
+        let prog = Program::with_pure_set(&r.unit, &set);
+        assert!(
+            prog.bytecode_at(2).ic_slots > 0,
+            "call site should get an IC slot"
+        );
+        let raw = prog.run(opts(0)).expect("runs");
+        let opt = prog.run(opts(2)).expect("runs");
+        assert_eq!(opt.exit_code, raw.exit_code);
+        assert!(opt.counters.icache_hits > 0, "{:?}", opt.counters);
+        assert_eq!(raw.counters.icache_hits, 0);
+        // Memo off => the cache must stay cold (it is memo-gated).
+        let nomemo = prog
+            .run(InterpOptions {
+                memo: false,
+                ..opts(2)
+            })
+            .expect("runs");
+        assert_eq!(nomemo.counters.icache_hits, 0);
+    }
+
+    #[test]
+    fn optimizer_preserves_parallel_regions_and_output() {
+        let src = "\
+int data[256];
+int main() {
+    #pragma omp parallel for
+    for (int i = 0; i < 256; i++) data[i] = i * i % 17;
+    int acc = 0;
+    for (int i = 0; i < 256; i++) acc += data[i];
+    printf(\"acc=%d\\n\", acc);
+    return acc % 251;
+}
+";
+        let prog = program(src);
+        for threads in [1usize, 4] {
+            let raw = prog
+                .run(InterpOptions { threads, ..opts(0) })
+                .expect("raw runs");
+            for level in [1u8, 2] {
+                let o = prog
+                    .run(InterpOptions {
+                        threads,
+                        ..opts(level)
+                    })
+                    .expect("optimized runs");
+                assert_eq!(
+                    o.exit_code, raw.exit_code,
+                    "threads {threads} level {level}"
+                );
+                assert_eq!(o.output, raw.output, "threads {threads} level {level}");
+                assert_eq!(
+                    o.counters.without_memo(),
+                    raw.counters.without_memo(),
+                    "threads {threads} level {level}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_and_struct_programs_survive_optimization() {
+        assert_equivalent(
+            "\
+struct P { int x; int y; };
+int main() {
+    struct P p;
+    p.x = 3; p.y = 4;
+    int *q = &p.x;
+    *q = *q + 10;
+    int arr[8];
+    for (int i = 0; i < 8; i++) arr[i] = p.x + i;
+    int s = 0;
+    for (int i = 0; i < 8; i++) s += arr[i];
+    return (s + p.y) % 251;
+}
+",
+        );
+    }
+}

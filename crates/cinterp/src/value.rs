@@ -999,6 +999,15 @@ pub struct Tally {
     pub tasks_stolen: u64,
     pub local_pushes: u64,
     pub memo_evictions: u64,
+    /// Dispatches eliminated by constant folding that executed as part
+    /// of a `ConstFold` compensation (tier-3.5 optimizer bookkeeping).
+    pub insns_folded: u64,
+    /// Dispatches eliminated by superinstruction fusion that executed
+    /// as part of a fused instruction (tier-3.5 optimizer bookkeeping).
+    pub insns_fused: u64,
+    /// Monomorphic inline-cache hits at `CallUser` sites (a hit is also
+    /// counted as a memo hit — the IC is a one-entry per-site memo).
+    pub icache_hits: u64,
 }
 
 impl Tally {
@@ -1022,6 +1031,9 @@ impl Tally {
         self.tasks_stolen += other.tasks_stolen;
         self.local_pushes += other.local_pushes;
         self.memo_evictions += other.memo_evictions;
+        self.insns_folded += other.insns_folded;
+        self.insns_fused += other.insns_fused;
+        self.icache_hits += other.icache_hits;
     }
 
     /// Flush into the shared atomics (once per thread per join point).
@@ -1046,6 +1058,10 @@ impl Tally {
             .fetch_add(self.local_pushes, Ordering::Relaxed);
         c.memo_evictions
             .fetch_add(self.memo_evictions, Ordering::Relaxed);
+        c.insns_folded
+            .fetch_add(self.insns_folded, Ordering::Relaxed);
+        c.insns_fused.fetch_add(self.insns_fused, Ordering::Relaxed);
+        c.icache_hits.fetch_add(self.icache_hits, Ordering::Relaxed);
     }
 }
 
@@ -1102,6 +1118,14 @@ pub struct Counters {
     /// Entries displaced from the bounded memo caches (CLOCK eviction) —
     /// non-zero only once a cache ran at capacity.
     pub memo_evictions: AtomicU64,
+    /// Dispatches the tier-3.5 optimizer's constant folding eliminated,
+    /// counted as the folded `ConstFold` compensations execute.
+    pub insns_folded: AtomicU64,
+    /// Dispatches eliminated by superinstruction fusion, counted as the
+    /// fused instructions execute.
+    pub insns_fused: AtomicU64,
+    /// Monomorphic inline-cache hits at `CallUser` sites.
+    pub icache_hits: AtomicU64,
 }
 
 impl Counters {
@@ -1139,6 +1163,9 @@ impl Counters {
             tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
             local_pushes: self.local_pushes.load(Ordering::Relaxed),
             memo_evictions: self.memo_evictions.load(Ordering::Relaxed),
+            insns_folded: self.insns_folded.load(Ordering::Relaxed),
+            insns_fused: self.insns_fused.load(Ordering::Relaxed),
+            icache_hits: self.icache_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -1171,6 +1198,13 @@ pub struct CounterSnapshot {
     /// Bounded-memo-cache evictions — cache-management bookkeeping like
     /// the hit/miss split, excluded from the differential projection.
     pub memo_evictions: u64,
+    /// Tier-3.5 optimizer bookkeeping: dispatches eliminated by folding
+    /// and fusion, and inline-cache hits. Nonzero only on optimized
+    /// bytecode runs — excluded from the differential projection (the
+    /// executed-op counters themselves stay exact under optimization).
+    pub insns_folded: u64,
+    pub insns_fused: u64,
+    pub icache_hits: u64,
 }
 
 impl CounterSnapshot {
@@ -1196,6 +1230,9 @@ impl CounterSnapshot {
             tasks_stolen: 0,
             local_pushes: 0,
             memo_evictions: 0,
+            insns_folded: 0,
+            insns_fused: 0,
+            icache_hits: 0,
             ..*self
         }
     }

@@ -38,6 +38,7 @@ use crate::builtins::{call_builtin, format_printf};
 use crate::bytecode::{binop_decode, BFunc, BRegion, BSpawn, BytecodeProgram, Op};
 use crate::cache::ClockCache;
 use crate::interp::{InterpOptions, RunResult, RuntimeError, Trap};
+use crate::opt::PairProfile;
 use crate::resolve::{Coerce, MemoCache, MemoKey, MEMO_CAPACITY};
 use crate::value::{
     Counters, FuelBudget, GlobalTable, Memory, Packed, Ptr, RaceAccumulator, Scalar, SpillPool,
@@ -208,6 +209,32 @@ struct Vm {
     pending: PendingFutures,
     /// Cached handle of the process-wide pool (pure-call futures).
     futures_pool: Option<Arc<ThreadPool>>,
+    /// Monomorphic inline caches, one per optimizer-assigned `CallUser`
+    /// site (`BytecodeProgram::ic_slots`); lazily sized on first use.
+    /// Each entry short-circuits the memo-shard probe when the same
+    /// cacheable call repeats with the same arguments (memo-gated: only
+    /// consulted when a memo key exists). A site that keeps missing is
+    /// demoted to [`IcSlot::Poly`] and stops comparing keys entirely —
+    /// a polymorphic site must cost one branch, not a key compare.
+    icache: Vec<IcSlot>,
+    /// Sampled opcode-pair profile (`--profile-pairs`, root VM only).
+    pairs: Option<Box<PairProfile>>,
+}
+
+/// Misses a `Mono` inline-cache entry tolerates before the site is
+/// written off as polymorphic.
+const IC_POLY_LIMIT: u32 = 8;
+
+/// State of one monomorphic inline-cache slot.
+#[derive(Clone)]
+enum IcSlot {
+    /// Never filled.
+    Cold,
+    /// Caches the first observed `(key, value)`; counts misses since.
+    Mono(MemoKey, Scalar, u32),
+    /// Demoted: the site saw `IC_POLY_LIMIT` distinct keys — probing is
+    /// a guaranteed loss, skip it forever.
+    Poly,
 }
 
 /// One in-flight pure call of this VM. `fid`/`args` duplicate what the
@@ -279,7 +306,7 @@ fn run_future_task(
         let p = vm.pack(*a);
         vm.stack.push(p);
     }
-    let value = match vm.call_user(fid, args.len(), Span::DUMMY) {
+    let value = match vm.call_user(fid, args.len(), 0, Span::DUMMY) {
         Ok(()) => {
             let v = vm.pop();
             Ok(vm.unpack(v))
@@ -311,16 +338,24 @@ pub(crate) fn run_vm(
     };
     let mut vm = Vm::new(shared.clone());
     vm.memo = (opts.memo && prog.any_cacheable).then(MemoShard::new);
+    if opts.profile_pairs {
+        vm.pairs = Some(Box::new(PairProfile::new()));
+    }
 
-    // Global initialisers run on an empty frame.
+    // Global initialisers run on an (almost always empty) frame —
+    // `frame_size` is 0 from the lowerer, but the optimizer may add
+    // hoist slots.
     let prog2 = Arc::clone(prog);
+    vm.arena
+        .resize(prog2.global_code.frame_size, Packed::UNINIT);
     vm.exec(&prog2.global_code, 0, 0)?;
     debug_assert!(vm.stack.is_empty() || vm.stack.len() == 1);
     vm.stack.clear();
+    vm.arena.clear();
 
     let exit = match prog.by_name.get(entry) {
         Some(&fid) => {
-            vm.call_user(fid, 0, Span::DUMMY)?;
+            vm.call_user(fid, 0, 0, Span::DUMMY)?;
             vm.stack.pop().expect("entry result")
         }
         None => {
@@ -354,6 +389,7 @@ pub(crate) fn run_vm(
         exit_code,
         output,
         counters,
+        pairs: vm.pairs.take().map(|p| *p),
     })
 }
 
@@ -374,6 +410,8 @@ impl Vm {
             track: None,
             pending: PendingFutures::default(),
             futures_pool: None,
+            icache: Vec::new(),
+            pairs: None,
         }
     }
 
@@ -718,7 +756,9 @@ impl Vm {
 
     // -- calls ----------------------------------------------------------------
 
-    fn call_user(&mut self, fid: u32, nargs: usize, span: Span) -> RtResult<()> {
+    /// `ic` is the 1-based inline-cache slot assigned by the optimizer
+    /// (0 = no cache on this call site).
+    fn call_user(&mut self, fid: u32, nargs: usize, ic: usize, span: Span) -> RtResult<()> {
         self.tally.calls += 1;
         match self.s.opts.max_call_depth {
             Some(limit) if self.depth >= limit => {
@@ -760,10 +800,39 @@ impl Vm {
         } else {
             None
         };
+        // Inline cache: one key compare instead of a shard probe on
+        // repeat calls (memo-gated — only live when a key exists).
+        if ic != 0 {
+            if let Some(key) = &memo_key {
+                if self.icache.len() < self.s.prog.ic_slots {
+                    self.icache.resize(self.s.prog.ic_slots, IcSlot::Cold);
+                }
+                if let IcSlot::Mono(k, v, misses) = &mut self.icache[ic - 1] {
+                    if k == key {
+                        let v = *v;
+                        self.tally.memo_hits += 1;
+                        self.tally.icache_hits += 1;
+                        self.arena.truncate(fbase);
+                        let v = self.pack(v);
+                        self.stack.push(v);
+                        return Ok(());
+                    }
+                    *misses += 1;
+                    if *misses >= IC_POLY_LIMIT {
+                        self.icache[ic - 1] = IcSlot::Poly;
+                    }
+                }
+            }
+        }
         if let (Some(shard), Some(key)) = (&mut self.memo, &memo_key) {
             if let Some(v) = shard.get(key) {
                 self.tally.memo_hits += 1;
                 self.arena.truncate(fbase);
+                // Fill-once: a monomorphic site caches its first key and
+                // serves every repeat; a `Poly` site never refills.
+                if ic != 0 && matches!(self.icache[ic - 1], IcSlot::Cold) {
+                    self.icache[ic - 1] = IcSlot::Mono(key.clone(), v, 0);
+                }
                 let v = self.pack(v);
                 self.stack.push(v);
                 return Ok(());
@@ -778,6 +847,9 @@ impl Vm {
         let result = result?;
         if let Some(key) = memo_key {
             let v = self.unpack(result);
+            if ic != 0 && matches!(self.icache[ic - 1], IcSlot::Cold) {
+                self.icache[ic - 1] = IcSlot::Mono(key.clone(), v, 0);
+            }
             if let Some(shard) = &mut self.memo {
                 if shard.insert(key, v) {
                     self.tally.memo_evictions += 1;
@@ -840,7 +912,7 @@ impl Vm {
             if throttled {
                 self.tally.futures_inlined += 1;
             }
-            self.call_user(sp.fid, nargs, span)?;
+            self.call_user(sp.fid, nargs, 0, span)?;
             let v = self.pop();
             let v = self.coerce_packed(sp.coerce, v);
             self.arena[abs] = v;
@@ -895,7 +967,16 @@ impl Vm {
 
     /// Run `f`'s code from `pc` with the current frame at `arena[base..]`
     /// until a `Ret` (function result) or `RegionEnd` (iteration end).
+    ///
+    /// Dispatch uses the *prefetched-opcode* arrangement: `insn` is a
+    /// loop-carried register reloaded at the bottom of the loop and at
+    /// every taken branch, so the fetch of the next instruction issues
+    /// before the dispatch branch of the current one retires. Measured
+    /// A/B against fetching at the top of the loop: ~4-5% faster on the
+    /// dispatch-bound varaccess bench, within noise on matmul64 /
+    /// arraysum / heat (see README tier-3.5 notes).
     fn exec(&mut self, f: &BFunc, base: usize, mut pc: usize) -> RtResult<Packed> {
+        let mut insn = f.code[pc];
         loop {
             // Fuel check: one predictable branch and a decrement per
             // dispatch; refills (and the only shared-atomic traffic)
@@ -904,7 +985,9 @@ impl Vm {
                 self.refill_fuel(f.spans[pc])?;
             }
             self.fuel_local -= 1;
-            let insn = f.code[pc];
+            if let Some(pp) = &mut self.pairs {
+                pp.tick(insn.op);
+            }
             match insn.op {
                 Op::Step => {
                     self.steps += 1;
@@ -1129,6 +1212,7 @@ impl Vm {
                     if !is_ptr {
                         self.pop();
                         pc = insn.a as usize;
+                        insn = f.code[pc];
                         continue;
                     }
                 }
@@ -1219,12 +1303,14 @@ impl Vm {
                 }
                 Op::Jump => {
                     pc = insn.a as usize;
+                    insn = f.code[pc];
                     continue;
                 }
                 Op::JumpIfFalse => {
                     let v = self.pop();
                     if !self.truthy(v) {
                         pc = insn.a as usize;
+                        insn = f.code[pc];
                         continue;
                     }
                 }
@@ -1232,6 +1318,7 @@ impl Vm {
                     let v = self.pop();
                     if self.truthy(v) {
                         pc = insn.a as usize;
+                        insn = f.code[pc];
                         continue;
                     }
                 }
@@ -1242,7 +1329,14 @@ impl Vm {
                     self.stack.push(out);
                 }
                 Op::CallUser => {
-                    self.call_user(insn.a, insn.b as usize, f.spans[pc])?;
+                    // `b` packs `nargs | (ic_slot + 1) << 16` — the upper
+                    // half is 0 on unoptimized programs.
+                    self.call_user(
+                        insn.a,
+                        (insn.b & 0xFFFF) as usize,
+                        (insn.b >> 16) as usize,
+                        f.spans[pc],
+                    )?;
                 }
                 Op::CallBuiltin => {
                     self.tally.calls += 1;
@@ -1388,7 +1482,7 @@ impl Vm {
                                     let v = self.pack(*a);
                                     self.stack.push(v);
                                 }
-                                self.call_user(p.fid, nargs, span).map(|()| {
+                                self.call_user(p.fid, nargs, 0, span).map(|()| {
                                     let v = self.pop();
                                     let v = self.coerce_packed(p.coerce, v);
                                     self.arena[p.abs] = v;
@@ -1421,6 +1515,7 @@ impl Vm {
                     let r = f.regions[insn.a as usize];
                     self.region(f, base, &r)?;
                     pc = r.end as usize + 1;
+                    insn = f.code[pc];
                     continue;
                 }
                 Op::RegionEnd => return Ok(Packed::ZERO),
@@ -1439,8 +1534,128 @@ impl Vm {
                     };
                     return Err(RuntimeError::at(msg, f.spans[pc]));
                 }
+
+                // ---- tier-3.5 superinstructions (emitted only by
+                // `crate::opt`). Each replicates the exact counted
+                // effects of the sequence it replaced; `insns_folded` /
+                // `insns_fused` record the dispatches it eliminated.
+                Op::ConstFold => {
+                    self.tally.int_ops += (insn.b & 0xFF) as u64;
+                    self.tally.flops += ((insn.b >> 8) & 0xFF) as u64;
+                    self.tally.insns_folded += (insn.b >> 16) as u64;
+                    let v = self.pack(f.consts[insn.a as usize]);
+                    self.stack.push(v);
+                }
+                Op::ConstStore => {
+                    self.tally.insns_fused += 1;
+                    let v = self.pack(f.consts[insn.a as usize]);
+                    self.arena[base + insn.b as usize] = v;
+                }
+                Op::BinLLStore => {
+                    self.tally.insns_fused += 1;
+                    let x = self.arena[base + (insn.a & 0xFFFF) as usize];
+                    let y = self.arena[base + (insn.a >> 16) as usize];
+                    let out = self.binop(binop_decode(insn.b & 0xFF), x, y, f.spans[pc])?;
+                    self.arena[base + (insn.b >> 16) as usize] = out;
+                }
+                Op::BinLCStore => {
+                    self.tally.insns_fused += 1;
+                    let x = self.arena[base + (insn.a & 0xFFFF) as usize];
+                    let cv = f.consts[(insn.a >> 16) as usize];
+                    let op = binop_decode(insn.b & 0xFF);
+                    let out = if let (Some(a), Scalar::I(b)) = (x.as_inline_int(), cv) {
+                        self.int_binop(op, a, b, f.spans[pc])?
+                    } else {
+                        let xs = self.unpack(x);
+                        let s = self.apply_binop(op, xs, cv, f.spans[pc])?;
+                        self.pack(s)
+                    };
+                    self.arena[base + (insn.b >> 16) as usize] = out;
+                }
+                Op::LoadIdxLLStore => {
+                    self.tally.insns_fused += 1;
+                    let bv = self.arena[base + (insn.a & 0xFFFF) as usize];
+                    let iv = self.arena[base + (insn.a >> 16) as usize];
+                    let i = self.to_i64(iv);
+                    let p = self.index_ptr(bv, f.spans[pc])?;
+                    let v = self.mem_load(p.offset(i), f.spans[pc])?;
+                    self.arena[base + insn.b as usize] = v;
+                }
+                Op::LoadIdxLC => {
+                    self.tally.insns_fused += 3;
+                    let bv = self.arena[base + (insn.a & 0xFFFF) as usize];
+                    // The fusion pass only forms this with an integer
+                    // index constant.
+                    let i = match f.consts[(insn.a >> 16) as usize] {
+                        Scalar::I(x) => x,
+                        other => other.as_i64(),
+                    };
+                    let p = self.index_ptr(bv, f.spans[pc])?;
+                    let v = self.mem_load(p.offset(i), f.spans[pc])?;
+                    self.stack.push(v);
+                }
+                Op::StoreIdxLC => {
+                    self.tally.insns_fused += 3;
+                    let bv = self.arena[base + (insn.a & 0xFFFF) as usize];
+                    let i = match f.consts[(insn.a >> 16) as usize] {
+                        Scalar::I(x) => x,
+                        other => other.as_i64(),
+                    };
+                    let p = self.index_ptr(bv, f.spans[pc])?;
+                    let v = if insn.b == 0 {
+                        *self.stack.last().expect("operand stack underflow")
+                    } else {
+                        self.pop()
+                    };
+                    self.mem_store(p.offset(i), v, f.spans[pc])?;
+                }
+                Op::BrCmpLL => {
+                    self.tally.insns_fused += 1 + ((insn.b >> 5) & 1) as u64;
+                    if insn.b & 0x20 != 0 {
+                        self.tally.branches += 1;
+                    }
+                    let x = self.arena[base + (insn.a & 0xFFFF) as usize];
+                    let y = self.arena[base + (insn.a >> 16) as usize];
+                    let out = self.binop(binop_decode(insn.b & 0xF), x, y, f.spans[pc])?;
+                    if self.truthy(out) == ((insn.b >> 4) & 1 == 1) {
+                        pc = (insn.b >> 6) as usize;
+                        insn = f.code[pc];
+                        continue;
+                    }
+                }
+                Op::BrCmpLC => {
+                    self.tally.insns_fused += 1 + ((insn.b >> 5) & 1) as u64;
+                    if insn.b & 0x20 != 0 {
+                        self.tally.branches += 1;
+                    }
+                    let x = self.arena[base + (insn.a & 0xFFFF) as usize];
+                    let cv = f.consts[(insn.a >> 16) as usize];
+                    let op = binop_decode(insn.b & 0xF);
+                    let out = if let (Some(a), Scalar::I(b)) = (x.as_inline_int(), cv) {
+                        self.int_binop(op, a, b, f.spans[pc])?
+                    } else {
+                        let xs = self.unpack(x);
+                        let s = self.apply_binop(op, xs, cv, f.spans[pc])?;
+                        self.pack(s)
+                    };
+                    if self.truthy(out) == ((insn.b >> 4) & 1 == 1) {
+                        pc = (insn.b >> 6) as usize;
+                        insn = f.code[pc];
+                        continue;
+                    }
+                }
+                Op::RetLocal => {
+                    self.tally.insns_fused += 1;
+                    return Ok(self.arena[base + insn.a as usize]);
+                }
+                Op::LoadGStore => {
+                    let v = self.s.globals.load(insn.a as usize);
+                    let v = self.pack(v);
+                    self.arena[base + insn.b as usize] = v;
+                }
             }
             pc += 1;
+            insn = f.code[pc];
         }
     }
 

@@ -3,6 +3,7 @@
 //! ```text
 //! purec <file.c> [--sica] [--tile N] [--no-omp] [--run [--threads N]]
 //!       [--engine vm|resolved] [--no-pool] [--no-futures] [--no-steal]
+//!       [--no-opt] [--dump-bytecode] [--profile-pairs]
 //!       [--fuel N] [--max-memory BYTES] [--max-depth N]
 //!       [--race-check] [--emit-marked] [--no-alloc-pure] [--stats]
 //! purec --demo <matmul|heat|satellite|lama> [same flags]
@@ -16,7 +17,7 @@
 //! into structured traps with distinct exit codes: fuel exhaustion → 97,
 //! memory limit → 98, call-depth limit → 99.
 
-use purec::chain::{compile, compile_and_run, ChainOptions};
+use purec::chain::{compile, ChainOptions};
 use purec_core::{PcCcOptions, PureSet};
 
 fn usage() -> ! {
@@ -40,6 +41,12 @@ fn usage() -> ! {
          \x20 --no-steal       route worker-spawned futures through the single\n\
          \x20                  shared injector instead of per-worker deques\n\
          \x20                  (pre-work-stealing substrate, A/B comparison)\n\
+         \x20 --no-opt         run the raw bytecode, skipping the tier-3.5\n\
+         \x20                  optimizer (fold/DSE/hoist/fusion A/B comparison)\n\
+         \x20 --dump-bytecode  print the bytecode that will run (post-optimizer\n\
+         \x20                  unless --no-opt) to stderr\n\
+         \x20 --profile-pairs  sample hot opcode pairs during --run and print\n\
+         \x20                  the profile to stderr (feeds fusion tuning)\n\
          \x20 --race-check     validate iteration independence before parallel runs\n\
          \x20 --fuel N         cap executed statements/instructions at N; a run\n\
          \x20                  that exhausts its fuel traps and exits 97\n\
@@ -73,6 +80,9 @@ fn main() {
     let mut steal = true;
     let mut race_check = false;
     let mut stats = false;
+    let mut opt_level: u8 = 2;
+    let mut dump_bytecode = false;
+    let mut profile_pairs = false;
     let mut fuel: Option<u64> = None;
     let mut max_memory: Option<u64> = None;
     let mut max_depth: Option<usize> = None;
@@ -109,6 +119,9 @@ fn main() {
             "--no-pool" => pool = false,
             "--no-futures" => futures = false,
             "--no-steal" => steal = false,
+            "--no-opt" => opt_level = 0,
+            "--dump-bytecode" => dump_bytecode = true,
+            "--profile-pairs" => profile_pairs = true,
             "--race-check" => race_check = true,
             "--fuel" => {
                 fuel = Some(
@@ -213,11 +226,31 @@ fn main() {
             fuel,
             max_memory_bytes: max_memory,
             max_call_depth: max_depth,
+            opt_level,
+            profile_pairs,
             ..Default::default()
         };
-        match compile_and_run(&source, opts, interp) {
+        let outcome = compile(&source, opts)
+            .map_err(purec::chain::ChainError::Compile)
+            .and_then(|out| {
+                let program = out.program();
+                if dump_bytecode {
+                    eprint!("{}", program.bytecode_at(opt_level).dump());
+                }
+                program
+                    .run(interp)
+                    .map(|result| (out, result))
+                    .map_err(purec::chain::ChainError::Runtime)
+            });
+        match outcome {
             Ok((out, result)) => {
                 print!("{}", result.output);
+                if let Some(p) = &result.pairs {
+                    eprint!(
+                        "purec: hot opcode pairs (sampled, top 12):\n{}",
+                        p.report(12)
+                    );
+                }
                 if stats {
                     let spawn_sites: usize = out
                         .program()
@@ -232,7 +265,8 @@ fn main() {
                          ops {{flops: {}, loads: {}, stores: {}, calls: {}}}; \
                          memo {{hits: {}, misses: {}, evictions: {}}}; \
                          futures {{spawned: {}, inlined: {}, helped: {}}}; \
-                         steals {{local_pushes: {}, tasks_stolen: {}}}",
+                         steals {{local_pushes: {}, tasks_stolen: {}}}; \
+                         opt {{level: {}, folded: {}, fused: {}, icache_hits: {}}}",
                         out.declared_pure,
                         out.scops_marked,
                         out.regions_transformed,
@@ -251,6 +285,10 @@ fn main() {
                         result.counters.futures_helped,
                         result.counters.local_pushes,
                         result.counters.tasks_stolen,
+                        opt_level,
+                        result.counters.insns_folded,
+                        result.counters.insns_fused,
+                        result.counters.icache_hits,
                     );
                 }
                 std::process::exit(result.exit_code as i32 & 0x7f);
@@ -279,6 +317,9 @@ fn main() {
     match compile(&source, opts) {
         Ok(out) => {
             print!("{}", out.text);
+            if dump_bytecode {
+                eprint!("{}", out.program().bytecode_at(opt_level).dump());
+            }
             if stats {
                 eprintln!(
                     "purec: verified pure: {:?}; scops {}; transformed {}; parallel {}; \

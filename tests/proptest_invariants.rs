@@ -725,6 +725,259 @@ proptest! {
                 "threads={}",
                 threads
             );
+            // The tier-3.5 optimizer (on by default above) changes none of
+            // this: the governed raw-bytecode run agrees with the governed
+            // optimized run on every observable.
+            let vm_g0 = prog
+                .run(InterpOptions { opt_level: 0, ..governed })
+                .expect("VM governed, optimizer off");
+            prop_assert_eq!(vm_g0.exit_code, vm_u.exit_code, "threads={}", threads);
+            prop_assert_eq!(&vm_g0.output, &vm_u.output, "threads={}", threads);
+            prop_assert_eq!(
+                vm_g0.counters.without_memo(),
+                vm_u.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tier-3.5 bytecode optimizer differential
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The optimizer is observably the identity: on generated programs
+    /// (scalars, floats, arrays, structs, globals, calls, a parallel
+    /// region across all schedules) every optimization level produces
+    /// the exit code, output and executed-op counters of the raw
+    /// bytecode — which in turn match the resolved and legacy oracles —
+    /// sequentially and with 4 threads. Only the `insns_folded` /
+    /// `insns_fused` / `icache_hits` bookkeeping (zeroed by
+    /// `without_memo`) may differ.
+    #[test]
+    fn optimizer_levels_match_raw_and_oracles(
+        n in 4usize..40,
+        c1 in -20i64..50,
+        c2 in 1i64..40,
+        op1 in 0usize..6,
+        op2 in 0usize..6,
+        sched in 0usize..5,
+    ) {
+        let src = differential_source(n, c1, c2, op1, op2, sched);
+        let parsed = parse(&src);
+        prop_assert!(!parsed.diags.has_errors(), "{}", parsed.diags.render_all(&src));
+        let prog = Program::new(&parsed.unit);
+        for threads in [1usize, 4] {
+            let at = |opt_level: u8| InterpOptions {
+                threads,
+                opt_level,
+                ..Default::default()
+            };
+            let raw = prog.run(at(0)).expect("raw VM runs");
+            for level in [1u8, 2] {
+                let o = prog.run(at(level)).expect("optimized VM runs");
+                prop_assert_eq!(o.exit_code, raw.exit_code, "threads={} level={}", threads, level);
+                prop_assert_eq!(&o.output, &raw.output, "threads={} level={}", threads, level);
+                prop_assert_eq!(
+                    o.counters.without_memo(),
+                    raw.counters.without_memo(),
+                    "threads={} level={}",
+                    threads,
+                    level
+                );
+            }
+            prop_assert_eq!(raw.counters.insns_folded, 0);
+            prop_assert_eq!(raw.counters.insns_fused, 0);
+            let resolved = prog.run_resolved(at(2)).expect("resolved runs");
+            prop_assert_eq!(resolved.exit_code, raw.exit_code, "threads={}", threads);
+            prop_assert_eq!(&resolved.output, &raw.output, "threads={}", threads);
+            prop_assert_eq!(
+                resolved.counters.without_memo(),
+                raw.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            let legacy = prog.run_legacy(at(2)).expect("legacy runs");
+            prop_assert_eq!(legacy.exit_code, raw.exit_code, "threads={}", threads);
+            prop_assert_eq!(&legacy.output, &raw.output, "threads={}", threads);
+            prop_assert_eq!(
+                legacy.counters.without_memo(),
+                raw.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+        }
+    }
+
+    /// Pure-call futures + memoization + inline caches under the
+    /// optimizer: optimized and raw runs agree on exit code and output
+    /// with spawns active (memo on and off), and with memo off they
+    /// agree on executed-op counters exactly, sequentially and with 4
+    /// threads across schedules.
+    #[test]
+    fn optimizer_preserves_spawn_observables(
+        depth in 5usize..9,
+        m in 4usize..12,
+        c in 1i64..40,
+        sched in 0usize..5,
+    ) {
+        let sched = [
+            "",
+            " schedule(static)",
+            " schedule(static,2)",
+            " schedule(dynamic,1)",
+            " schedule(guided,1)",
+        ][sched];
+        let src = format!(
+            "pure int leaf(int x) {{\n\
+                 int acc = 0;\n\
+                 for (int i = 0; i < (x % 5) + 2; i++) acc += i * x;\n\
+                 return acc % 97;\n\
+             }}\n\
+             pure int tree(int n, int s) {{\n\
+                 if (n < 2) return leaf(n + s);\n\
+                 return tree(n - 1, s) + tree(n - 2, s + 1);\n\
+             }}\n\
+             int main() {{\n\
+                 int* out = (int*) malloc({m} * sizeof(int));\n\
+             #pragma omp parallel for{sched}\n\
+                 for (int i = 0; i < {m}; i++) {{\n\
+                     out[i] = tree(4 + i % 3, i) + tree(3 + i % 2, i + 1);\n\
+                 }}\n\
+                 int acc = 0;\n\
+                 for (int i = 0; i < {m}; i++) acc += out[i];\n\
+                 acc += tree({depth}, {c});\n\
+                 printf(\"acc=%d\\n\", acc);\n\
+                 return (acc % 113 + 113) % 113;\n\
+             }}"
+        );
+        let parsed = parse(&src);
+        prop_assert!(!parsed.diags.has_errors(), "{}", parsed.diags.render_all(&src));
+        let pure_set: std::collections::HashSet<String> =
+            ["leaf", "tree"].iter().map(|s| s.to_string()).collect();
+        let prog = Program::with_pure_set(&parsed.unit, &pure_set);
+        for threads in [1usize, 4] {
+            let at = |opt_level: u8, memo: bool| InterpOptions {
+                threads,
+                opt_level,
+                memo,
+                ..Default::default()
+            };
+            let raw = prog.run(at(0, false)).expect("raw VM runs");
+            let opt = prog.run(at(2, false)).expect("optimized VM runs");
+            prop_assert_eq!(opt.exit_code, raw.exit_code, "threads={}", threads);
+            prop_assert_eq!(&opt.output, &raw.output, "threads={}", threads);
+            prop_assert_eq!(
+                opt.counters.without_memo(),
+                raw.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            // Memo on: inline caches may serve hits, but never change
+            // what the program computes.
+            let raw_memo = prog.run(at(0, true)).expect("raw memoized runs");
+            let opt_memo = prog.run(at(2, true)).expect("optimized memoized runs");
+            prop_assert_eq!(opt_memo.exit_code, raw.exit_code, "threads={}", threads);
+            prop_assert_eq!(&opt_memo.output, &raw.output, "threads={}", threads);
+            prop_assert_eq!(raw_memo.counters.icache_hits, 0);
+        }
+    }
+
+    /// Structured traps survive optimization verbatim: a runtime divide
+    /// by zero, a tripped memory cap and a tripped call-depth cap each
+    /// produce the same error message and trap kind at every
+    /// optimization level.
+    #[test]
+    fn optimizer_preserves_traps(d in 3i64..40, cap in 1u64..64) {
+        let div_src = format!(
+            "int main() {{\n\
+                 int z = {d};\n\
+                 for (int i = 0; i < {d}; i++) z = z - 1;\n\
+                 return 100 / z;\n\
+             }}"
+        );
+        let mem_src = "int main() {\n\
+                 int* p = (int*) malloc(4096 * sizeof(int));\n\
+                 for (int i = 0; i < 4096; i++) p[i] = i;\n\
+                 return p[7];\n\
+             }"
+        .to_string();
+        let depth_src = "int down(int n) { if (n == 0) return 0; return down(n - 1) + 1; }\n\
+             int main() { return down(4000); }"
+            .to_string();
+        let cases: [(String, InterpOptions); 3] = [
+            (div_src, InterpOptions::default()),
+            (
+                mem_src,
+                InterpOptions {
+                    max_memory_bytes: Some(cap),
+                    ..Default::default()
+                },
+            ),
+            (
+                depth_src,
+                InterpOptions {
+                    max_call_depth: Some(cap as usize),
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (src, base) in cases {
+            let parsed = parse(&src);
+            prop_assert!(!parsed.diags.has_errors(), "{}", parsed.diags.render_all(&src));
+            let prog = Program::new(&parsed.unit);
+            let raw = prog
+                .run(InterpOptions { opt_level: 0, ..base })
+                .expect_err("raw run traps");
+            for level in [1u8, 2] {
+                let e = prog
+                    .run(InterpOptions { opt_level: level, ..base })
+                    .expect_err("optimized run traps");
+                prop_assert_eq!(&e.message, &raw.message, "level={}", level);
+                prop_assert_eq!(e.trap, raw.trap, "level={}", level);
+            }
+        }
+    }
+
+    /// Fuel monotonicity: level-1 optimization only ever *removes*
+    /// dispatches, so any fuel budget sufficient for the raw bytecode is
+    /// sufficient for the optimized bytecode, and a fuel trap at level 1
+    /// implies the raw program would have trapped too.
+    #[test]
+    fn optimized_fuel_trap_implies_raw_trap(
+        n in 4usize..32,
+        c1 in -20i64..50,
+        c2 in 1i64..40,
+        fuel in 1u64..4000,
+    ) {
+        let src = differential_source(n, c1, c2, 0, 1, 0);
+        let parsed = parse(&src);
+        prop_assert!(!parsed.diags.has_errors(), "{}", parsed.diags.render_all(&src));
+        let prog = Program::new(&parsed.unit);
+        let at = |opt_level: u8| InterpOptions {
+            fuel: Some(fuel),
+            opt_level,
+            ..Default::default()
+        };
+        let raw = prog.run(at(0));
+        let opt = prog.run(at(1));
+        match (&raw, &opt) {
+            // Raw finished within budget -> level 1 must finish too.
+            (Ok(r), o) => {
+                let o = o.as_ref().expect("level 1 burns no more fuel than raw");
+                prop_assert_eq!(o.exit_code, r.exit_code);
+                prop_assert_eq!(&o.output, &r.output);
+            }
+            // Level 1 trapped on fuel -> so must raw.
+            (Err(r), Err(o)) => {
+                prop_assert_eq!(r.trap, Some(Trap::FuelExhausted));
+                prop_assert_eq!(o.trap, Some(Trap::FuelExhausted));
+            }
+            (Err(_), Ok(_)) => {} // optimization saved enough fuel: fine.
         }
     }
 }
