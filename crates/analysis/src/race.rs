@@ -1,0 +1,669 @@
+//! Static race detection for `#pragma omp parallel for` loops.
+//!
+//! Mirrors the interpreter's pragma/loop pairing exactly (a pragma that
+//! parses as `omp parallel for`, optionally followed by more pragmas,
+//! then a `for` statement), so every loop the engines would run in
+//! parallel gets a verdict, keyed by the `for` statement's span.
+//!
+//! Per loop, the analysis is a two-tier ladder:
+//!
+//! 1. **Scalar screening** — every write in the body is classified by
+//!    its lvalue root. Roots that are iteration-private (the nest's
+//!    iterators, `private(...)` clause entries, body-declared locals)
+//!    are fine. A shared scalar updated in reduction shape
+//!    (`x += e`, `x = x op e`, `x++`) degrades the verdict to
+//!    `Unknown` with a [`Code::RaceSharedReduction`] warning (the
+//!    dynamic check still guards it); any other shared scalar write is
+//!    a definite race ([`Code::RaceSharedWrite`], verdict `Racy`) with
+//!    a fix-it suggesting a `private(...)` clause.
+//! 2. **Memory writes** (through pointers/subscripts) go to the
+//!    polyhedral dependence test. That test assumes distinct base names
+//!    never alias and cannot see through calls, so two screens guard it
+//!    (paper Listing 6 is the counterexample for both):
+//!    a name assigned from another pointer's value (`int* q = a;`)
+//!    aliases it, and a verified-pure callee — while unable to *write*
+//!    caller state — may still *read* its pointer arguments, a flow
+//!    dependence against the loop's writes. Any pure-call argument base
+//!    that equals or aliases a written base, or any aliasing pair of
+//!    distinct accessed bases with one side written, degrades the
+//!    verdict to `Unknown` ([`Code::RaceUnprovable`]) and leaves the
+//!    dynamic check on. Past the screens, calls to verified-pure
+//!    functions are substituted by fresh placeholder reads, then
+//!    [`polyhedral::extract_scop`] + [`polyhedral::deps::analyze`] +
+//!    [`polyhedral::parallel_levels`] decide. A dependence carried at
+//!    the parallel level is a definite race
+//!    ([`Code::RaceLoopCarried`]); a non-affine nest degrades to
+//!    `Unknown` ([`Code::RaceUnprovable`]).
+//!
+//! The ladder only ever *downgrades*: `Independent` → `Unknown` →
+//! `Racy`, so one definite race wins over any number of unknowns.
+
+use crate::{AnalysisReport, LoopReport, LoopVerdict};
+use cfront::ast::*;
+use cfront::diag::Code;
+use cfront::span::Span;
+use machine::{parse_omp_parallel_for_clauses, OmpClauses};
+use purec_core::PureSet;
+use std::collections::{HashMap, HashSet};
+
+/// Walk one function body, pairing omp pragmas with their loops the same
+/// way the interpreter's lowering does, and recursing everywhere else.
+/// Alias groups are computed once from the whole body so a `int* q = a;`
+/// at function scope is visible inside every nested loop.
+pub fn analyze_block(b: &Block, pure_set: &PureSet, report: &mut AnalysisReport) {
+    let aliases = collect_alias_groups(b);
+    analyze_block_with(b, pure_set, &aliases, report);
+}
+
+fn analyze_block_with(
+    b: &Block,
+    pure_set: &PureSet,
+    aliases: &AliasGroups,
+    report: &mut AnalysisReport,
+) {
+    let mut i = 0;
+    while i < b.stmts.len() {
+        if let StmtKind::Pragma(p) = &b.stmts[i].kind {
+            if let Some(clauses) = parse_omp_parallel_for_clauses(p) {
+                let pragma_span = b.stmts[i].span;
+                let mut j = i + 1;
+                while j < b.stmts.len() && matches!(&b.stmts[j].kind, StmtKind::Pragma(_)) {
+                    j += 1;
+                }
+                if j < b.stmts.len() && matches!(b.stmts[j].kind, StmtKind::For { .. }) {
+                    analyze_omp_loop(
+                        pragma_span,
+                        &clauses,
+                        &b.stmts[j],
+                        pure_set,
+                        aliases,
+                        report,
+                    );
+                    recurse(&b.stmts[j], pure_set, aliases, report);
+                    i = j + 1;
+                    continue;
+                }
+            }
+        }
+        recurse(&b.stmts[i], pure_set, aliases, report);
+        i += 1;
+    }
+}
+
+fn recurse(s: &Stmt, pure_set: &PureSet, aliases: &AliasGroups, report: &mut AnalysisReport) {
+    match &s.kind {
+        StmtKind::Block(b) => analyze_block_with(b, pure_set, aliases, report),
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            recurse(then_branch, pure_set, aliases, report);
+            if let Some(e) = else_branch {
+                recurse(e, pure_set, aliases, report);
+            }
+        }
+        StmtKind::While { body, .. }
+        | StmtKind::DoWhile { body, .. }
+        | StmtKind::For { body, .. } => recurse(body, pure_set, aliases, report),
+        _ => {}
+    }
+}
+
+fn analyze_omp_loop(
+    pragma_span: Span,
+    clauses: &OmpClauses,
+    for_stmt: &Stmt,
+    pure_set: &PureSet,
+    aliases: &AliasGroups,
+    report: &mut AnalysisReport,
+) {
+    // Clause hygiene: the runtime silently ignores what it does not
+    // understand, so surface that here.
+    for c in &clauses.unknown_clauses {
+        report.diags.warning(
+            Code::OmpUnknownClause,
+            pragma_span,
+            format!("unrecognized OpenMP clause '{c}' is ignored by the runtime"),
+        );
+    }
+    if let Some(k) = &clauses.unknown_schedule {
+        report.diags.warning(
+            Code::OmpUnknownSchedule,
+            pragma_span,
+            format!("unknown schedule kind '{k}' degrades to schedule(static)"),
+        );
+    }
+
+    let mut verdict = LoopVerdict::Independent;
+    let downgrade = |v: &mut LoopVerdict, to: LoopVerdict| {
+        if (to == LoopVerdict::Racy)
+            || (to == LoopVerdict::Unknown && *v == LoopVerdict::Independent)
+        {
+            *v = to;
+        }
+    };
+
+    // Iteration-private names: clause list + every iterator assigned by a
+    // `for` init in the nest + everything declared inside the body.
+    let mut privates: HashSet<String> = clauses.privates.iter().cloned().collect();
+    collect_nest_iterators(for_stmt, &mut privates);
+    collect_body_decls(for_stmt, &mut privates);
+
+    let body = match &for_stmt.kind {
+        StmtKind::For { body, .. } => body.as_ref(),
+        _ => return,
+    };
+
+    // Tier 1: scalar screening + call screening over the body.
+    let mut reduction_names: HashSet<String> = HashSet::new();
+    let mut memory_writes = false;
+    let mut scalar_events: Vec<(String, Span, bool)> = Vec::new(); // (name, span, reduction_shaped)
+    body.walk_exprs(&mut |e| match &e.kind {
+        ExprKind::Assign(op, lhs, rhs) => {
+            if lhs.writes_through_pointer() {
+                memory_writes = true;
+            } else if let Some(name) = lhs.as_ident() {
+                if !privates.contains(name) {
+                    let red = *op != AssignOp::Assign || rhs_is_reduction(name, rhs);
+                    scalar_events.push((name.to_string(), e.span, red));
+                }
+            }
+        }
+        ExprKind::Unary(op, inner) if op.writes_operand() => {
+            if inner.writes_through_pointer() {
+                memory_writes = true;
+            } else if let Some(name) = inner.as_ident() {
+                if !privates.contains(name) {
+                    // `x++` is `x = x + 1`: reduction-shaped.
+                    scalar_events.push((name.to_string(), e.span, true));
+                }
+            }
+        }
+        _ => {}
+    });
+
+    let mut reported: HashSet<(String, bool)> = HashSet::new();
+    for (name, span, red) in scalar_events {
+        if !reported.insert((name.clone(), red)) {
+            continue;
+        }
+        if red {
+            report.diags.warning(
+                Code::RaceSharedReduction,
+                span,
+                format!(
+                    "shared scalar '{name}' is updated as a reduction across iterations; \
+                     the transform does not privatize reductions, so the dynamic race \
+                     check stays on for this loop"
+                ),
+            );
+            reduction_names.insert(name);
+            downgrade(&mut verdict, LoopVerdict::Unknown);
+        } else {
+            report.diags.error(
+                Code::RaceSharedWrite,
+                span,
+                format!(
+                    "data race: scalar '{name}' is shared across iterations but written \
+                     inside the parallel loop; add it to a private({name}) clause or \
+                     declare it inside the loop body"
+                ),
+            );
+            downgrade(&mut verdict, LoopVerdict::Racy);
+        }
+    }
+
+    // Calls to anything not verified pure poison the analysis (the paper's
+    // point: without `pure`, a call makes the loop non-analyzable).
+    let mut impure_calls: Vec<(String, Span)> = Vec::new();
+    body.walk_exprs(&mut |e| {
+        if let Some((callee, _)) = e.as_direct_call() {
+            if !pure_set.contains(callee) {
+                impure_calls.push((callee.to_string(), e.span));
+            }
+        }
+    });
+    let mut seen_callees = HashSet::new();
+    for (callee, span) in impure_calls {
+        if seen_callees.insert(callee.clone()) {
+            report.diags.warning(
+                Code::RaceUnprovable,
+                span,
+                format!(
+                    "cannot prove independence: call to '{callee}' is not verified pure; \
+                     falling back to the dynamic race check"
+                ),
+            );
+        }
+        downgrade(&mut verdict, LoopVerdict::Unknown);
+    }
+
+    // Alias & pure-call-read screens (paper Listing 6): the dependence
+    // test treats distinct base names as disjoint and never sees what a
+    // callee dereferences, so both holes must be closed *before* it can
+    // be trusted. Conservative by construction — these only downgrade to
+    // `Unknown`, handing the loop back to the dynamic check.
+    if memory_writes && verdict != LoopVerdict::Racy {
+        let mut written: HashSet<String> = HashSet::new();
+        let mut accessed: HashSet<String> = HashSet::new();
+        body.walk_exprs(&mut |e| match &e.kind {
+            ExprKind::Assign(_, lhs, _) if lhs.writes_through_pointer() => {
+                pointer_value_bases(lhs, &mut written);
+            }
+            ExprKind::Unary(op, inner) if op.writes_operand() && inner.writes_through_pointer() => {
+                pointer_value_bases(inner, &mut written);
+            }
+            ExprKind::Index(base, _) => {
+                pointer_value_bases(base, &mut accessed);
+            }
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                pointer_value_bases(inner, &mut accessed);
+            }
+            _ => {}
+        });
+        accessed.extend(written.iter().cloned());
+
+        // Screen A: a verified-pure callee may *read* any memory its
+        // pointer arguments reach; if an argument base is (or aliases) a
+        // base the loop writes, that read is a flow dependence the
+        // substituted placeholder erases.
+        let mut flagged: HashSet<(String, String)> = HashSet::new();
+        body.walk_exprs(&mut |e| {
+            if let Some((callee, args)) = e.as_direct_call() {
+                if pure_set.contains(callee) {
+                    let mut arg_idents: HashSet<String> = HashSet::new();
+                    for a in args {
+                        a.walk(&mut |sub| {
+                            if let ExprKind::Ident(n) = &sub.kind {
+                                arg_idents.insert(n.clone());
+                            }
+                        });
+                    }
+                    for b in &arg_idents {
+                        for w in &written {
+                            if aliases.may_alias(b, w)
+                                && flagged.insert((callee.to_string(), b.clone()))
+                            {
+                                report.diags.warning(
+                                    Code::RaceUnprovable,
+                                    e.span,
+                                    format!(
+                                        "cannot prove independence: pure call '{callee}' may \
+                                         read memory written by the loop through '{b}'{}; the \
+                                         callee's subscripts are invisible to the dependence \
+                                         test, falling back to the dynamic race check",
+                                        if b == w {
+                                            String::new()
+                                        } else {
+                                            format!(" (aliases '{w}')")
+                                        }
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        if !flagged.is_empty() {
+            downgrade(&mut verdict, LoopVerdict::Unknown);
+        }
+
+        // Screen B: two distinct base names that may hold the same
+        // pointer value (`int* q = a;`) defeat the per-name dependence
+        // test whenever one of them is written.
+        let mut pair_flagged: HashSet<(String, String)> = HashSet::new();
+        for w in &written {
+            for o in &accessed {
+                if w != o && aliases.may_alias(w, o) {
+                    let key = if w < o {
+                        (w.clone(), o.clone())
+                    } else {
+                        (o.clone(), w.clone())
+                    };
+                    if pair_flagged.insert(key) {
+                        report.diags.warning(
+                            Code::RaceUnprovable,
+                            for_stmt.span,
+                            format!(
+                                "cannot prove independence: '{w}' and '{o}' may alias (one \
+                                 was assigned from the other's value), defeating the \
+                                 per-name dependence test; falling back to the dynamic \
+                                 race check"
+                            ),
+                        );
+                    }
+                    downgrade(&mut verdict, LoopVerdict::Unknown);
+                }
+            }
+        }
+    }
+
+    // Tier 2: memory writes need the dependence test.
+    if memory_writes && verdict != LoopVerdict::Racy {
+        let mut probe = for_stmt.clone();
+        let mut counter = 0usize;
+        subst_pure_calls_stmt(&mut probe, pure_set, &mut counter);
+        match polyhedral::extract_scop(&probe) {
+            Ok(scop) => {
+                let deps = polyhedral::analyze(&scop);
+                let levels = polyhedral::parallel_levels(&scop, &deps);
+                if !levels.first().copied().unwrap_or(false) {
+                    let mut blocking = false;
+                    let mut named: HashSet<&str> = HashSet::new();
+                    for d in &deps {
+                        if d.level == Some(0)
+                            && !reduction_names.contains(&d.array)
+                            && !privates.contains(&d.array)
+                        {
+                            blocking = true;
+                            if named.insert(d.array.as_str()) {
+                                report.diags.error(
+                                    Code::RaceLoopCarried,
+                                    for_stmt.span,
+                                    format!(
+                                        "data race: loop-carried {} dependence on '{}' \
+                                         (distance {}) — iterations are not independent",
+                                        d.kind,
+                                        d.array,
+                                        d.dist.first().map(|b| b.to_string()).unwrap_or_default()
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    if blocking {
+                        downgrade(&mut verdict, LoopVerdict::Racy);
+                    } else {
+                        downgrade(&mut verdict, LoopVerdict::Unknown);
+                    }
+                }
+            }
+            Err(why) => {
+                let detail = why
+                    .items()
+                    .first()
+                    .map(|d| d.message.clone())
+                    .unwrap_or_else(|| "not a static control part".into());
+                report.diags.warning(
+                    Code::RaceUnprovable,
+                    for_stmt.span,
+                    format!(
+                        "cannot prove independence: {detail}; falling back to the \
+                         dynamic race check"
+                    ),
+                );
+                downgrade(&mut verdict, LoopVerdict::Unknown);
+            }
+        }
+    }
+
+    report.loops.push(LoopReport {
+        span: for_stmt.span,
+        verdict,
+    });
+}
+
+/// `x = x op e` / `x = e op x` with an arithmetic/bitwise `op`.
+fn rhs_is_reduction(name: &str, rhs: &Expr) -> bool {
+    match &rhs.kind {
+        ExprKind::Binary(op, l, r) => {
+            matches!(
+                op,
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor
+            ) && (l.as_ident() == Some(name) || r.as_ident() == Some(name))
+        }
+        _ => false,
+    }
+}
+
+/// Every iterator assigned/declared by a `for` init anywhere in the nest
+/// (covers inner loops whose iterators are declared at function scope).
+fn collect_nest_iterators(s: &Stmt, out: &mut HashSet<String>) {
+    s.walk(&mut |s| {
+        if let StmtKind::For { init, .. } = &s.kind {
+            match init.as_ref() {
+                ForInit::Decl(d) => {
+                    for dec in &d.declarators {
+                        out.insert(dec.name.clone());
+                    }
+                }
+                ForInit::Expr(Some(e)) => {
+                    if let ExprKind::Assign(AssignOp::Assign, lhs, _) = &e.kind {
+                        if let Some(n) = lhs.as_ident() {
+                            out.insert(n.to_string());
+                        }
+                    }
+                }
+                ForInit::Expr(None) => {}
+            }
+        }
+    });
+}
+
+/// Every name declared inside the loop (body-local ⇒ iteration-private).
+fn collect_body_decls(s: &Stmt, out: &mut HashSet<String>) {
+    s.walk(&mut |s| {
+        if let StmtKind::Decl(d) = &s.kind {
+            for dec in &d.declarators {
+                out.insert(dec.name.clone());
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Alias groups: a flow-insensitive union-find over names, joined whenever
+// one name is initialized or assigned from an expression whose pointer
+// value could derive from another (`int* q = a;`, `p = buf + off;`). The
+// polyhedral test keys dependences by base name, so any group with two
+// members makes per-name disjointness unsound for that pair.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+pub(crate) struct AliasGroups {
+    parent: HashMap<String, String>,
+}
+
+impl AliasGroups {
+    fn find<'a>(&'a self, name: &'a str) -> &'a str {
+        let mut cur = name;
+        while let Some(p) = self.parent.get(cur) {
+            cur = p;
+        }
+        cur
+    }
+
+    fn union(&mut self, a: &str, b: &str) {
+        let ra = self.find(a).to_string();
+        let rb = self.find(b).to_string();
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    fn may_alias(&self, a: &str, b: &str) -> bool {
+        a == b || self.find(a) == self.find(b)
+    }
+}
+
+/// Union every declared/assigned name with the pointer-value bases of its
+/// initializer, across the whole function body (deep walk).
+fn collect_alias_groups(b: &Block) -> AliasGroups {
+    let mut g = AliasGroups::default();
+    let join = |g: &mut AliasGroups, name: &str, rhs: &Expr| {
+        let mut bases = HashSet::new();
+        pointer_value_bases(rhs, &mut bases);
+        for base in &bases {
+            g.union(name, base);
+        }
+    };
+    for s in &b.stmts {
+        s.walk(&mut |s| match &s.kind {
+            StmtKind::Decl(d) => {
+                for dec in &d.declarators {
+                    if let Some(init) = &dec.init {
+                        join(&mut g, &dec.name, init);
+                    }
+                }
+            }
+            StmtKind::For { init, .. } => {
+                if let ForInit::Decl(d) = init.as_ref() {
+                    for dec in &d.declarators {
+                        if let Some(init) = &dec.init {
+                            join(&mut g, &dec.name, init);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        });
+        s.walk_exprs(&mut |e| {
+            if let ExprKind::Assign(_, lhs, rhs) = &e.kind {
+                if let Some(name) = lhs.as_ident() {
+                    join(&mut g, name, rhs);
+                }
+            }
+        });
+    }
+    g
+}
+
+/// Names whose pointer value could flow out of `e`: the bases reachable
+/// through casts, unary ops, `+`/`-` arithmetic, subscripts, member
+/// access, ternary arms and comma tails. Over-approximates (a scalar
+/// operand lands in the set too), which only ever costs precision, never
+/// soundness — calls are the one deliberate omission, since `malloc` and
+/// verified-pure callees return values that cannot write-alias caller
+/// state.
+fn pointer_value_bases(e: &Expr, out: &mut HashSet<String>) {
+    match &e.kind {
+        ExprKind::Ident(n) => {
+            out.insert(n.clone());
+        }
+        ExprKind::Cast(_, inner) | ExprKind::Unary(_, inner) => pointer_value_bases(inner, out),
+        ExprKind::Binary(BinOp::Add | BinOp::Sub, l, r) => {
+            pointer_value_bases(l, out);
+            pointer_value_bases(r, out);
+        }
+        ExprKind::Index(base, _) => pointer_value_bases(base, out),
+        ExprKind::Ternary(_, t, f) => {
+            pointer_value_bases(t, out);
+            pointer_value_bases(f, out);
+        }
+        ExprKind::Comma(_, r) => pointer_value_bases(r, out),
+        ExprKind::Member { base, .. } => pointer_value_bases(base, out),
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pure-call substitution: replace calls to verified-pure functions with
+// fresh placeholder reads so the SCoP extractor sees an affine body.
+// A verified-pure callee cannot write caller-visible state, but it CAN
+// read through its pointer arguments — reads the placeholder erases. The
+// substitution is therefore only dependence-sound in combination with
+// the pure-call-read screen above, which downgrades any loop whose
+// written bases are reachable from a pure call's arguments before this
+// rewrite is consulted.
+// ---------------------------------------------------------------------------
+
+fn subst_pure_calls_stmt(s: &mut Stmt, pure_set: &PureSet, counter: &mut usize) {
+    match &mut s.kind {
+        StmtKind::Decl(d) => {
+            for dec in &mut d.declarators {
+                for dim in &mut dec.array_dims {
+                    subst_pure_calls_expr(dim, pure_set, counter);
+                }
+                if let Some(init) = &mut dec.init {
+                    subst_pure_calls_expr(init, pure_set, counter);
+                }
+            }
+        }
+        StmtKind::Expr(Some(e)) | StmtKind::Return(Some(e)) => {
+            subst_pure_calls_expr(e, pure_set, counter);
+        }
+        StmtKind::Block(b) => {
+            for s in &mut b.stmts {
+                subst_pure_calls_stmt(s, pure_set, counter);
+            }
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            subst_pure_calls_expr(cond, pure_set, counter);
+            subst_pure_calls_stmt(then_branch, pure_set, counter);
+            if let Some(e) = else_branch {
+                subst_pure_calls_stmt(e, pure_set, counter);
+            }
+        }
+        StmtKind::While { cond, body } | StmtKind::DoWhile { body, cond } => {
+            subst_pure_calls_expr(cond, pure_set, counter);
+            subst_pure_calls_stmt(body, pure_set, counter);
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            match init.as_mut() {
+                ForInit::Decl(d) => {
+                    for dec in &mut d.declarators {
+                        if let Some(i) = &mut dec.init {
+                            subst_pure_calls_expr(i, pure_set, counter);
+                        }
+                    }
+                }
+                ForInit::Expr(Some(e)) => subst_pure_calls_expr(e, pure_set, counter),
+                ForInit::Expr(None) => {}
+            }
+            if let Some(c) = cond {
+                subst_pure_calls_expr(c, pure_set, counter);
+            }
+            if let Some(st) = step {
+                subst_pure_calls_expr(st, pure_set, counter);
+            }
+            subst_pure_calls_stmt(body, pure_set, counter);
+        }
+        _ => {}
+    }
+}
+
+fn subst_pure_calls_expr(e: &mut Expr, pure_set: &PureSet, counter: &mut usize) {
+    if let Some((callee, _)) = e.as_direct_call() {
+        if pure_set.contains(callee) {
+            *counter += 1;
+            e.kind = ExprKind::Ident(format!("__purechk{counter}"));
+            return;
+        }
+    }
+    match &mut e.kind {
+        ExprKind::Unary(_, inner) | ExprKind::Cast(_, inner) | ExprKind::SizeofExpr(inner) => {
+            subst_pure_calls_expr(inner, pure_set, counter)
+        }
+        ExprKind::Binary(_, l, r)
+        | ExprKind::Comma(l, r)
+        | ExprKind::Assign(_, l, r)
+        | ExprKind::Index(l, r) => {
+            subst_pure_calls_expr(l, pure_set, counter);
+            subst_pure_calls_expr(r, pure_set, counter);
+        }
+        ExprKind::Ternary(c, t, f) => {
+            subst_pure_calls_expr(c, pure_set, counter);
+            subst_pure_calls_expr(t, pure_set, counter);
+            subst_pure_calls_expr(f, pure_set, counter);
+        }
+        ExprKind::Call { callee, args } => {
+            subst_pure_calls_expr(callee, pure_set, counter);
+            for a in args {
+                subst_pure_calls_expr(a, pure_set, counter);
+            }
+        }
+        ExprKind::Member { base, .. } => subst_pure_calls_expr(base, pure_set, counter),
+        _ => {}
+    }
+}

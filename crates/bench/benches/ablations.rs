@@ -33,7 +33,7 @@ fn ablation_malloc_pure(c: &mut Criterion) {
                 black_box(&src),
                 PcCcOptions {
                     seed: PureSet::seeded_without_alloc(),
-                    includes: Default::default(),
+                    ..Default::default()
                 },
             )
             .expect("ok");

@@ -134,6 +134,32 @@ fn chain(src: &str) -> Program {
         .program()
 }
 
+/// Wall time the always-on dataflow-lint pass adds to a chain compile,
+/// isolated by differencing `analyze_unit` with and without lints over
+/// the lowered unit (best-of-N to shed scheduler noise).
+fn lint_overhead_secs(out: &purec::chain::ChainOutput) -> f64 {
+    let parsed = parse(&out.text);
+    let mut verified = purec_core::PureSet::seeded();
+    for name in &out.declared_pure {
+        verified.insert(name.clone());
+    }
+    let time = |opts: &analysis::AnalysisOptions| {
+        let mut best = f64::INFINITY;
+        for _ in 0..20 {
+            let t0 = Instant::now();
+            let _ = analysis::analyze_unit(&parsed.unit, &verified, opts);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let full = time(&analysis::AnalysisOptions::default());
+    let race_only = time(&analysis::AnalysisOptions {
+        no_lints: true,
+        ..Default::default()
+    });
+    (full - race_only).max(0.0)
+}
+
 fn varaccess_source(iters: u64) -> String {
     format!(
         "int main() {{\n\
@@ -342,6 +368,26 @@ fn main() {
         v
     };
 
+    // The static analyzer rides along with every chain compile (race
+    // verdicts + always-on lints). Time the matmul64 lowering end to end
+    // (best-of-3), record the analyzer's share in the trajectory entry,
+    // and gate the lint pass below at <5% of the compile.
+    let matmul_src = apps::matmul::c_source(64);
+    let mut matmul_compile_secs = f64::INFINITY;
+    let mut matmul_out = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let out = compile(&matmul_src, ChainOptions::default()).expect("chain ok");
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < matmul_compile_secs {
+            matmul_compile_secs = dt;
+            matmul_out = Some(out);
+        }
+    }
+    let matmul_out = matmul_out.expect("at least one compile");
+    let matmul_analysis_secs = matmul_out.analysis_micros as f64 / 1e6;
+    let matmul_lint_secs = lint_overhead_secs(&matmul_out);
+
     let cases = vec![
         BenchCase {
             name: "varaccess",
@@ -350,7 +396,7 @@ fn main() {
         },
         BenchCase {
             name: "matmul64",
-            program: chain(&apps::matmul::c_source(64)),
+            program: matmul_out.program(),
             variants: with_noopt(seq),
         },
         BenchCase {
@@ -608,6 +654,21 @@ fn main() {
         ("threads".to_string(), num(BENCH_THREADS as f64)),
         ("host_cpus".to_string(), num(host_cpus as f64)),
         ("quick".to_string(), Value::Bool(quick)),
+        // Static-analysis share of the matmul64 chain compile (the race
+        // verdict + lint pass runs on every compile, so its wall time is
+        // part of the trajectory).
+        (
+            "matmul64_compile_ms".to_string(),
+            num((matmul_compile_secs * 1e6).round() / 1e3),
+        ),
+        (
+            "matmul64_analysis_ms".to_string(),
+            num((matmul_analysis_secs * 1e6).round() / 1e3),
+        ),
+        (
+            "matmul64_lint_ms".to_string(),
+            num((matmul_lint_secs * 1e6).round() / 1e3),
+        ),
         ("benchmarks".to_string(), Value::Array(bench_values)),
     ]);
 
@@ -688,6 +749,28 @@ fn main() {
         }
         eprintln!("{name} optimizer speedup vs --no-opt: {s:.2}x (floor {floor:.2}x)");
     }
+
+    // CI smoke: the always-on dataflow-lint pass must stay cheap — under
+    // 5% of the end-to-end matmul64 lowering. (The race-verdict tier
+    // pays for itself by letting the engines skip the dynamic race
+    // pre-pass; the lints are pure overhead and get the hard gate.)
+    let lint_frac = matmul_lint_secs / matmul_compile_secs;
+    if lint_frac >= 0.05 {
+        eprintln!(
+            "FAIL: always-on lint pass is {:.1}% of the matmul64 compile \
+             ({:.0}us of {:.0}us; cap 5%)",
+            lint_frac * 100.0,
+            matmul_lint_secs * 1e6,
+            matmul_compile_secs * 1e6
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "matmul64 compile {:.0}us, analysis {:.0}us, lint share {:.1}% (cap 5%)",
+        matmul_compile_secs * 1e6,
+        matmul_analysis_secs * 1e6,
+        lint_frac * 100.0
+    );
 
     // CI smoke: the pooled runtime must beat spawn-per-region where
     // region-launch overhead dominates — the persistent-pool routing is

@@ -53,6 +53,34 @@ pub enum Code {
     // Polyhedral extraction.
     PolyNonAffine,
     PolyUnsupported,
+    // Static race analysis of `omp parallel for` bodies (`purec check`).
+    /// Non-reduction write to a shared scalar from a parallel body.
+    RaceSharedWrite,
+    /// Reduction-shaped update of a shared scalar (needs a reduction
+    /// clause the runtime does not implement — verdict stays Unknown).
+    RaceSharedReduction,
+    /// Loop-carried dependence proven by the polyhedral dependence test.
+    RaceLoopCarried,
+    /// Independence could not be proven (non-affine access, impure call,
+    /// unsupported shape) — the dynamic race check remains the backstop.
+    RaceUnprovable,
+    /// `omp parallel for` clause the runtime does not understand.
+    OmpUnknownClause,
+    /// `schedule(...)` kind the runtime silently degrades to static.
+    OmpUnknownSchedule,
+    // Purity inference (`purec check --infer-pure`).
+    /// Unannotated function that passes the PC-CC rules as-is.
+    PureInferrable,
+    /// Unannotated function that fails the PC-CC rules (with the first
+    /// blocking reason).
+    PureInferenceBlocked,
+    // Dataflow lints.
+    /// Scalar local read before any prior write on the textual walk.
+    LintUninitRead,
+    /// Local never referenced after its declaration.
+    LintUnusedVar,
+    /// Local written but never read.
+    LintDeadStore,
     // Driver.
     Io,
 }

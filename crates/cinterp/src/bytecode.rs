@@ -313,6 +313,8 @@ pub(crate) struct BRegion {
     pub(crate) body_start: u32,
     /// Index of the region's `RegionEnd` instruction.
     pub(crate) end: u32,
+    /// Static race verdict (Unknown when no analysis ran).
+    pub(crate) verdict: crate::interp::RaceVerdict,
     pub(crate) span: Span,
 }
 
@@ -818,6 +820,7 @@ impl<'a> FnCompiler<'a> {
             ub_inclusive: header.ub_inclusive,
             body_start: 0,
             end: 0,
+            verdict: of.verdict,
             span: of.span,
         });
         let omp_at = self.emit(Op::OmpRegion, region_idx, 0, of.span);
@@ -1341,7 +1344,7 @@ mod tests {
     fn bytecode(src: &str) -> BytecodeProgram {
         let r = parse(src);
         assert!(!r.diags.has_errors(), "{}", r.diags.render_all(src));
-        let resolved = crate::resolve::lower_unit(&r.unit, &HashSet::new());
+        let resolved = crate::resolve::lower_unit(&r.unit, &HashSet::new(), &Default::default());
         BytecodeProgram::compile(&resolved)
     }
 

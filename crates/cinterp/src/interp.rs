@@ -54,6 +54,33 @@ pub enum Engine {
     Resolved,
 }
 
+/// Verdict of the static race analysis for one `omp parallel for`
+/// region, consumed by every engine when [`InterpOptions::race_check`]
+/// is on: `Independent` skips the O(n) dynamic pre-pass entirely, `Racy`
+/// aborts the region before running a single iteration, and `Unknown`
+/// (the default for regions the analyzer never saw) falls back to the
+/// dynamic check. Produced by `crates/analysis` and plumbed in via
+/// [`Program::with_pure_set_and_verdicts`], keyed by the `for`
+/// statement's span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RaceVerdict {
+    /// Statically proven: iteration access sets are disjoint.
+    Independent,
+    /// Statically proven racy (e.g. a non-reduction shared scalar write
+    /// or a loop-carried dependence).
+    Racy,
+    /// No proof either way — the dynamic check remains the backstop.
+    #[default]
+    Unknown,
+}
+
+/// Map from a parallel `for` statement's span to its static verdict.
+pub type VerdictMap = HashMap<cfront::span::Span, RaceVerdict>;
+
+/// Default ceiling on dynamic race-check iterations (see
+/// [`InterpOptions::race_check_cap`]).
+pub const DEFAULT_RACE_CHECK_CAP: u64 = 1 << 16;
+
 /// Interpreter configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct InterpOptions {
@@ -62,6 +89,14 @@ pub struct InterpOptions {
     /// Validate iteration access-set disjointness (sequentially) before
     /// running a region in parallel.
     pub race_check: bool,
+    /// Ceiling on the iterations the dynamic race check executes per
+    /// region (`None` = [`DEFAULT_RACE_CHECK_CAP`], `Some(0)` =
+    /// unlimited). The dynamic pre-pass runs the whole region
+    /// sequentially, silently doubling runtime on huge trip counts; the
+    /// cap keeps `--race-check` usable there at the documented cost of
+    /// only validating the first `cap` iterations. `purec
+    /// --race-check-cap N` / `PUREC_RACE_CHECK_CAP` set it.
+    pub race_check_cap: Option<u64>,
     /// Abort after this many executed statements (runaway guard).
     pub max_steps: u64,
     /// Instruction budget for the whole execution (`None` = unlimited).
@@ -123,6 +158,7 @@ impl Default for InterpOptions {
         InterpOptions {
             threads: 1,
             race_check: false,
+            race_check_cap: None,
             max_steps: 500_000_000,
             fuel: None,
             max_memory_bytes: None,
@@ -134,6 +170,18 @@ impl Default for InterpOptions {
             steal: true,
             opt_level: 2,
             profile_pairs: false,
+        }
+    }
+}
+
+impl InterpOptions {
+    /// The dynamic race-check iteration ceiling in effect (see
+    /// [`InterpOptions::race_check_cap`]).
+    pub fn effective_race_check_cap(&self) -> u64 {
+        match self.race_check_cap {
+            None => DEFAULT_RACE_CHECK_CAP,
+            Some(0) => u64::MAX,
+            Some(n) => n,
         }
     }
 }
@@ -246,6 +294,11 @@ struct ProgramData {
     struct_sizes: HashMap<String, usize>,
     #[cfg(any(test, feature = "legacy-oracle"))]
     global_decls: Vec<Declaration>,
+    /// Static race verdicts keyed by `for`-statement span (the legacy
+    /// tree-walker looks regions up here; the resolved/bytecode engines
+    /// carry the verdict in their lowered region descriptors).
+    #[cfg(any(test, feature = "legacy-oracle"))]
+    verdicts: VerdictMap,
 }
 
 /// A loaded program ready to run.
@@ -277,7 +330,21 @@ impl Program {
     /// are memoized by the bytecode and resolved engines (see
     /// [`crate::resolve`] for the safety argument).
     pub fn with_pure_set(unit: &TranslationUnit, pure_fns: &HashSet<String>) -> Self {
-        let resolved = Arc::new(resolve::lower_unit(unit, pure_fns));
+        Self::with_pure_set_and_verdicts(unit, pure_fns, &VerdictMap::new())
+    }
+
+    /// [`Program::with_pure_set`] plus static race verdicts for `omp
+    /// parallel for` regions, keyed by the `for` statement's span in
+    /// `unit`. Under [`InterpOptions::race_check`] every engine consumes
+    /// the verdict: Independent skips the O(n) dynamic pre-pass, Racy is
+    /// a hard error before the region runs, Unknown (or an absent entry)
+    /// falls back to the dynamic check.
+    pub fn with_pure_set_and_verdicts(
+        unit: &TranslationUnit,
+        pure_fns: &HashSet<String>,
+        verdicts: &VerdictMap,
+    ) -> Self {
+        let resolved = Arc::new(resolve::lower_unit(unit, pure_fns, verdicts));
         let bytecode = Arc::new(crate::bytecode::BytecodeProgram::compile(&resolved));
         #[cfg(any(test, feature = "legacy-oracle"))]
         let (functions, global_decls) = {
@@ -314,6 +381,8 @@ impl Program {
                 struct_sizes: resolved.struct_sizes.clone(),
                 #[cfg(any(test, feature = "legacy-oracle"))]
                 global_decls,
+                #[cfg(any(test, feature = "legacy-oracle"))]
+                verdicts: verdicts.clone(),
             }),
             resolved,
             bytecode,
@@ -1401,9 +1470,30 @@ impl Interp {
         }
         let n = (ub_incl - lb + 1) as u64;
 
-        // Optional race check: run sequentially with access tracking.
+        // Optional race check. The static verdict rules first:
+        // Independent skips the O(n) dynamic pre-pass, Racy aborts
+        // before any iteration runs, Unknown falls back to the dynamic
+        // check.
         if self.s.opts.race_check {
-            self.race_check(&iter_name, lb, n, body)?;
+            match self
+                .s
+                .prog
+                .verdicts
+                .get(&for_stmt.span)
+                .copied()
+                .unwrap_or_default()
+            {
+                RaceVerdict::Independent => {
+                    Counters::bump(&self.s.counters.race_static_skips);
+                }
+                RaceVerdict::Racy => {
+                    return Err(RuntimeError::new(
+                        "static race analysis rejected this parallel loop (verdict: racy)",
+                        for_stmt.span,
+                    ));
+                }
+                RaceVerdict::Unknown => self.race_check(&iter_name, lb, n, body)?,
+            }
         }
 
         let base_frame = self.frames.last().cloned().unwrap_or_default();
@@ -1453,44 +1543,41 @@ impl Interp {
     fn race_check(&mut self, iter: &str, lb: i64, n: u64, body: &Stmt) -> RtResult<()> {
         let mut acc = RaceAccumulator::new();
         let base_frame = self.frames.last().cloned().unwrap_or_default();
-        for k in 0..n {
-            let mut child = Interp::new(self.s.clone());
-            child.frames = vec![base_frame.clone()];
+        let checked = n.min(self.s.opts.effective_race_check_cap());
+        self.s
+            .counters
+            .race_dyn_iters
+            .fetch_add(checked, Ordering::Relaxed);
+        // One child interpreter reused across every validated iteration;
+        // `clone_from` refills its single frame in place instead of
+        // cloning the whole base frame per iteration.
+        let mut child = Interp::new(self.s.clone());
+        child.frames = vec![base_frame.clone()];
+        for k in 0..checked {
+            child.frames.truncate(1);
+            child.frames[0].clone_from(&base_frame);
             child
                 .frame()
                 .insert(iter.to_string(), Scalar::I(lb + k as i64));
             child.track = Some(TrackSets::default());
-            child.exec(body)?;
+            let res = child.exec(body);
             let t = child.track.take().expect("tracking on");
+            res?;
             acc.absorb(t)
                 .map_err(|msg| RuntimeError::new(msg, body.span))?;
         }
+        child.refund_fuel();
         Ok(())
     }
 }
 
 /// Parse `pragma omp parallel for [private(...)] [schedule(kind[,chunk])]`.
-/// Returns the schedule when this is a parallel-for pragma.
+/// Returns the schedule when this is a parallel-for pragma. Thin wrapper
+/// over [`machine::parse_omp_parallel_for_clauses`] — the engines only
+/// need the schedule; the static analyzer consumes the full clause list
+/// (privates, unknown clauses) and warns about what the runtime ignores.
 pub(crate) fn parse_omp_parallel_for(text: &str) -> Option<OmpSchedule> {
-    let t = text.trim();
-    if !t.starts_with("pragma omp parallel for") && !t.starts_with("pragma omp for") {
-        return None;
-    }
-    if let Some(pos) = t.find("schedule(") {
-        let rest = &t[pos + "schedule(".len()..];
-        let close = rest.find(')')?;
-        let spec = &rest[..close];
-        let mut parts = spec.split(',').map(str::trim);
-        let kind = parts.next()?;
-        let chunk: u64 = parts.next().and_then(|c| c.parse().ok()).unwrap_or(1);
-        return Some(match kind {
-            "dynamic" => OmpSchedule::Dynamic(chunk),
-            "guided" => OmpSchedule::Guided(chunk.max(1)),
-            "static" if chunk > 1 => OmpSchedule::StaticChunk(chunk),
-            _ => OmpSchedule::Static,
-        });
-    }
-    Some(OmpSchedule::Static)
+    machine::parse_omp_parallel_for_clauses(text).map(|c| c.schedule)
 }
 
 #[cfg(test)]

@@ -53,7 +53,10 @@ pub mod value;
 pub mod vm;
 
 pub use bytecode::BytecodeProgram;
-pub use interp::{Engine, InterpOptions, Program, RunResult, RuntimeError, Trap};
+pub use interp::{
+    Engine, InterpOptions, Program, RaceVerdict, RunResult, RuntimeError, Trap, VerdictMap,
+    DEFAULT_RACE_CHECK_CAP,
+};
 pub use opt::PairProfile;
 pub use resolve::ResolvedProgram;
 pub use value::{

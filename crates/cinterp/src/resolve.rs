@@ -89,7 +89,9 @@
 
 use crate::builtins::{call_builtin, format_printf};
 use crate::cache::ClockCache;
-use crate::interp::{parse_omp_parallel_for, InterpOptions, RunResult, RuntimeError, Trap};
+use crate::interp::{
+    parse_omp_parallel_for, InterpOptions, RaceVerdict, RunResult, RuntimeError, Trap, VerdictMap,
+};
 use crate::value::{Counters, FuelBudget, Memory, Ptr, RaceAccumulator, Scalar, TrackSets};
 use cfront::ast::*;
 use cfront::intern::{Interner, Symbol};
@@ -323,6 +325,8 @@ pub(crate) struct ROmpFor {
     /// `Err` carries the tree-walker's exact diagnostic for unsupported
     /// loop headers, raised when the region executes.
     pub(crate) header: Result<ROmpHeader, String>,
+    /// Static race verdict (Unknown when no analysis ran).
+    pub(crate) verdict: RaceVerdict,
     pub(crate) span: Span,
 }
 
@@ -447,6 +451,8 @@ pub(crate) struct Lowerer<'a> {
     field_fallback: HashMap<String, Option<FieldInfo>>,
     globals: HashMap<String, VarInfo>,
     nglobals: u32,
+    /// Static race verdicts keyed by `for`-statement span.
+    verdicts: &'a VerdictMap,
     // Per-function state:
     scopes: Vec<HashMap<String, VarInfo>>,
     next_slot: u32,
@@ -454,7 +460,7 @@ pub(crate) struct Lowerer<'a> {
 }
 
 impl<'a> Lowerer<'a> {
-    fn new(unit: &'a TranslationUnit) -> Self {
+    fn new(unit: &'a TranslationUnit, verdicts: &'a VerdictMap) -> Self {
         let mut interner = Interner::new();
         cfront::visit::collect_symbols(unit, &mut interner);
         let mut structs = HashMap::new();
@@ -526,6 +532,7 @@ impl<'a> Lowerer<'a> {
             field_fallback,
             globals: HashMap::new(),
             nglobals: 0,
+            verdicts,
             scopes: Vec::new(),
             next_slot: 0,
             member_table: HashMap::new(),
@@ -862,10 +869,16 @@ impl<'a> Lowerer<'a> {
         else {
             unreachable!("caller matched a For");
         };
+        let verdict = self
+            .verdicts
+            .get(&for_stmt.span)
+            .copied()
+            .unwrap_or_default();
         let bad = |msg: &str| RStmt {
             kind: RStmtKind::OmpFor(Box::new(ROmpFor {
                 schedule,
                 header: Err(msg.to_string()),
+                verdict,
                 span: for_stmt.span,
             })),
             span: for_stmt.span,
@@ -934,6 +947,7 @@ impl<'a> Lowerer<'a> {
                     ub_inclusive,
                     body: rbody,
                 }),
+                verdict,
                 span: for_stmt.span,
             })),
             span: for_stmt.span,
@@ -1076,9 +1090,15 @@ impl<'a> Lowerer<'a> {
 }
 
 /// Lower a translation unit; `pure_fns` are the names the purity pass
-/// verified (empty set ⇒ memoization disabled).
-pub fn lower_unit(unit: &TranslationUnit, pure_fns: &HashSet<String>) -> ResolvedProgram {
-    Lowerer::new(unit).lower_unit(pure_fns)
+/// verified (empty set ⇒ memoization disabled); `verdicts` carries the
+/// static race analysis results per parallel `for` statement (empty map
+/// ⇒ every region defaults to [`RaceVerdict::Unknown`]).
+pub fn lower_unit(
+    unit: &TranslationUnit,
+    pure_fns: &HashSet<String>,
+    verdicts: &VerdictMap,
+) -> ResolvedProgram {
+    Lowerer::new(unit, verdicts).lower_unit(pure_fns)
 }
 
 // ---------------------------------------------------------------------------
@@ -2530,8 +2550,22 @@ impl RInterp {
         }
         let n = (ub_incl - lb + 1) as u64;
 
+        // Static verdict first: Independent skips the O(n) dynamic
+        // pre-pass, Racy aborts before any iteration, Unknown falls back
+        // to the dynamic check.
         if self.s.opts.race_check {
-            self.race_check(header, lb, n)?;
+            match of.verdict {
+                RaceVerdict::Independent => {
+                    Counters::bump(&self.s.counters.race_static_skips);
+                }
+                RaceVerdict::Racy => {
+                    return Err(RuntimeError::at(
+                        "static race analysis rejected this parallel loop (verdict: racy)",
+                        of.span,
+                    ));
+                }
+                RaceVerdict::Unknown => self.race_check(header, lb, n)?,
+            }
         }
 
         // The iterator slot may exceed the currently materialised frame
@@ -2585,16 +2619,26 @@ impl RInterp {
             self.frame.resize(needed, Scalar::Uninit);
         }
         let base_frame = self.frame.clone();
-        for k in 0..n {
-            let mut child = RInterp::new(self.s.clone());
-            child.frame = base_frame.clone();
+        let checked = n.min(self.s.opts.effective_race_check_cap());
+        self.s
+            .counters
+            .race_dyn_iters
+            .fetch_add(checked, Ordering::Relaxed);
+        // One child interpreter reused across every validated iteration;
+        // `clone_from` refills its slot frame in place (reusing the
+        // allocation) instead of cloning the base frame per iteration.
+        let mut child = RInterp::new(self.s.clone());
+        for k in 0..checked {
+            child.frame.clone_from(&base_frame);
             child.frame[header.iter_slot as usize] = Scalar::I(lb + k as i64);
             child.track = Some(TrackSets::default());
-            child.exec(&header.body)?;
+            let res = child.exec(&header.body);
             let t = child.track.take().expect("tracking on");
+            res?;
             acc.absorb(t)
                 .map_err(|msg| RuntimeError::at(msg, header.body.span))?;
         }
+        child.refund_fuel();
         Ok(())
     }
 }

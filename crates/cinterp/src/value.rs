@@ -1126,6 +1126,12 @@ pub struct Counters {
     pub insns_fused: AtomicU64,
     /// Monomorphic inline-cache hits at `CallUser` sites.
     pub icache_hits: AtomicU64,
+    /// Parallel regions whose dynamic race check was skipped because the
+    /// static analyzer proved the iterations independent.
+    pub race_static_skips: AtomicU64,
+    /// Iterations executed by the dynamic race check (the O(n) pre-pass;
+    /// zero when every checked region was statically proven).
+    pub race_dyn_iters: AtomicU64,
 }
 
 impl Counters {
@@ -1166,6 +1172,8 @@ impl Counters {
             insns_folded: self.insns_folded.load(Ordering::Relaxed),
             insns_fused: self.insns_fused.load(Ordering::Relaxed),
             icache_hits: self.icache_hits.load(Ordering::Relaxed),
+            race_static_skips: self.race_static_skips.load(Ordering::Relaxed),
+            race_dyn_iters: self.race_dyn_iters.load(Ordering::Relaxed),
         }
     }
 }
@@ -1205,6 +1213,12 @@ pub struct CounterSnapshot {
     pub insns_folded: u64,
     pub insns_fused: u64,
     pub icache_hits: u64,
+    /// Race-check bookkeeping (`--race-check` only): regions whose
+    /// dynamic pre-pass was skipped on a static Independent verdict, and
+    /// iterations the dynamic pre-pass did execute. Excluded from the
+    /// differential projection like the other bookkeeping stats.
+    pub race_static_skips: u64,
+    pub race_dyn_iters: u64,
 }
 
 impl CounterSnapshot {
@@ -1233,6 +1247,8 @@ impl CounterSnapshot {
             insns_folded: 0,
             insns_fused: 0,
             icache_hits: 0,
+            race_static_skips: 0,
+            race_dyn_iters: 0,
             ..*self
         }
     }

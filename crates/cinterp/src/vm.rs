@@ -1700,8 +1700,22 @@ impl Vm {
         }
         let n = (ub_incl - lb + 1) as u64;
 
+        // Static verdict first: Independent skips the O(n) dynamic
+        // pre-pass, Racy aborts before any iteration, Unknown falls back
+        // to the dynamic check.
         if self.s.opts.race_check {
-            self.race_check(f, base, r, lb, n)?;
+            match r.verdict {
+                crate::interp::RaceVerdict::Independent => {
+                    Counters::bump(&self.s.counters.race_static_skips);
+                }
+                crate::interp::RaceVerdict::Racy => {
+                    return Err(RuntimeError::at(
+                        "static race analysis rejected this parallel loop (verdict: racy)",
+                        r.span,
+                    ));
+                }
+                crate::interp::RaceVerdict::Unknown => self.race_check(f, base, r, lb, n)?,
+            }
         }
 
         // Compact first so the children inherit only live spill entries
@@ -1791,8 +1805,13 @@ impl Vm {
         let spill_prefix = self.spill.entries_snapshot();
         let frozen = self.memo.as_mut().map(|m| m.freeze());
         let mut child = Vm::new_child(self.s.clone(), frozen, &spill_prefix);
+        let checked = n.min(self.s.opts.effective_race_check_cap());
+        self.s
+            .counters
+            .race_dyn_iters
+            .fetch_add(checked, Ordering::Relaxed);
         let mut result = Ok(());
-        for k in 0..n {
+        for k in 0..checked {
             child.stack.clear();
             child.arena.clear();
             child.arena.extend_from_slice(&frame);

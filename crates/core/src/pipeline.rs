@@ -17,7 +17,7 @@ use crate::scop::{mark_scops, ScopReport};
 use crate::stdfns::PureSet;
 use crate::subst::{reinsert_calls, substitute_calls, SubstMap};
 use cfront::ast::TranslationUnit;
-use cfront::diag::Diagnostics;
+use cfront::diag::{Code, Diagnostics};
 use cfront::parser::parse;
 use cfront::printer::print_unit;
 use cprep::{postprocess, preprocess, IncludeMap};
@@ -69,6 +69,13 @@ pub struct PcCcOptions {
     pub seed: PureSet,
     /// Local headers visible to `#include "..."`.
     pub includes: IncludeMap,
+    /// Treat *inferred*-pure functions as verified: after declared-pure
+    /// verification, run [`crate::purity::infer_pure`] and add the
+    /// survivors to the pure set / `declared_pure`, widening memoization,
+    /// spawn and SCoP eligibility to unannotated functions that happen to
+    /// satisfy the PC-CC rules. Off by default (the paper's contract is
+    /// opt-in `pure`); differential-tested against the default.
+    pub infer_pure: bool,
 }
 
 impl Default for PcCcOptions {
@@ -76,6 +83,7 @@ impl Default for PcCcOptions {
         PcCcOptions {
             seed: PureSet::seeded(),
             includes: IncludeMap::new(),
+            infer_pure: false,
         }
     }
 }
@@ -101,15 +109,35 @@ pub fn run_pc_cc(source: &str, opts: PcCcOptions) -> Result<PcCcOutput, Diagnost
 
     // Purity verification.
     let PurityReport {
-        pure_set,
+        mut pure_set,
         diags: purity_diags,
-        declared_pure,
+        mut declared_pure,
     } = verify_unit(&unit, opts.seed);
     if purity_diags.has_errors() {
         diags.extend(purity_diags);
         return Err(diags);
     }
     diags.extend(purity_diags);
+
+    // Optional speculative inference: unannotated functions that pass the
+    // PC-CC rules join the verified set (and therefore the memo/spawn
+    // contract via `verified_pure_set`).
+    if opts.infer_pure {
+        let inferred = crate::purity::infer_pure(&unit, &pure_set).inferred;
+        for name in inferred {
+            let span = unit
+                .find_function(&name)
+                .map(|f| f.span)
+                .unwrap_or_default();
+            diags.note(
+                Code::PureInferrable,
+                span,
+                format!("function '{name}' verified as pure by inference"),
+            );
+            pure_set.insert(name.clone());
+            declared_pure.push(name);
+        }
+    }
 
     // SCoP marking (includes the Listing-5 caller-side check).
     let ScopReport {
@@ -270,7 +298,7 @@ int main() {
             src,
             PcCcOptions {
                 seed: PureSet::seeded_without_alloc(),
-                includes: IncludeMap::new(),
+                ..Default::default()
             },
         )
         .unwrap();

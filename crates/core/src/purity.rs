@@ -19,7 +19,7 @@
 
 use crate::stdfns::PureSet;
 use cfront::ast::*;
-use cfront::diag::{Code, Diagnostics};
+use cfront::diag::{Code, Diagnostic, Diagnostics};
 use cfront::span::Span;
 use std::collections::{HashMap, HashSet};
 
@@ -77,6 +77,91 @@ pub fn verify_unit(unit: &TranslationUnit, seed: PureSet) -> PurityReport {
         pure_set,
         diags,
         declared_pure,
+    }
+}
+
+/// Result of speculative purity inference ([`infer_pure`]).
+#[derive(Debug, Default)]
+pub struct InferenceReport {
+    /// Unannotated function definitions that pass the PC-CC rules as
+    /// written (in source order) — each "could be declared `pure`".
+    pub inferred: Vec<String>,
+    /// Candidates that failed, with the first blocking diagnostic
+    /// (the reason the function cannot be declared pure today).
+    pub blocked: Vec<(String, Diagnostic)>,
+}
+
+/// Run the PC-CC rules *speculatively* over every unannotated function
+/// definition in `unit` (`main` excluded): which of them could be
+/// declared `pure` as written? `base` is the registry the declared
+/// functions already verified against (builtins + verified user
+/// functions).
+///
+/// Inference computes the greatest fixpoint: all candidates enter the
+/// trial registry optimistically (so mutually recursive pairs can admit
+/// each other, mirroring the two-phase registration of [`verify_unit`]),
+/// then failing candidates are evicted and the survivors re-checked
+/// until the set is stable. The checker only *consults* the registry for
+/// calls, so eviction can never turn a failing body into a passing one —
+/// the loop terminates and the survivors are sound.
+pub fn infer_pure(unit: &TranslationUnit, base: &PureSet) -> InferenceReport {
+    let globals: HashSet<String> = unit
+        .global_variables()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+
+    let candidates: Vec<&Function> = unit
+        .functions()
+        .filter(|f| f.is_definition() && !f.is_pure && f.name != "main" && !base.contains(&f.name))
+        .collect();
+
+    let mut trial = base.clone();
+    for f in &candidates {
+        trial.insert(f.name.clone());
+    }
+
+    let mut alive: HashSet<String> = candidates.iter().map(|f| f.name.clone()).collect();
+    let mut blocked: HashMap<String, Diagnostic> = HashMap::new();
+    loop {
+        let mut evicted = false;
+        for f in &candidates {
+            if !alive.contains(&f.name) {
+                continue;
+            }
+            let failed = {
+                let mut checker = FnChecker::new(f, &trial, &globals);
+                checker.check();
+                if checker.diags.has_errors() {
+                    Some(checker.diags.items().first().cloned())
+                } else {
+                    None
+                }
+            };
+            if let Some(first) = failed {
+                alive.remove(&f.name);
+                trial.remove(&f.name);
+                if let Some(first) = first {
+                    blocked.insert(f.name.clone(), first);
+                }
+                evicted = true;
+            }
+        }
+        if !evicted {
+            break;
+        }
+    }
+
+    InferenceReport {
+        inferred: candidates
+            .iter()
+            .filter(|f| alive.contains(&f.name))
+            .map(|f| f.name.clone())
+            .collect(),
+        blocked: candidates
+            .iter()
+            .filter_map(|f| blocked.remove(&f.name).map(|d| (f.name.clone(), d)))
+            .collect(),
     }
 }
 

@@ -11,10 +11,12 @@
 pub(crate) mod deque;
 pub mod futures;
 pub mod pool;
+pub mod pragma;
 pub mod sched;
 
 pub use futures::{spawn_capacity, FutureReport, PureFuture, LOCAL_QUEUE_LIMIT, SATURATION_FACTOR};
 pub use pool::{global_pool, on_worker_thread, Placement, PoolStats, TaskGroup, ThreadPool};
+pub use pragma::{parse_omp_parallel_for_clauses, OmpClauses};
 pub use sched::{
     parallel_for, parallel_for_pooled, parallel_for_state, parallel_for_state_pooled, OmpSchedule,
 };

@@ -12,10 +12,11 @@
 //! *run* it: the lowered unit executes on the interpreter with the omprt
 //! parallel runtime.
 
+use analysis::{AnalysisOptions, LoopVerdict};
 use cfront::ast::TranslationUnit;
 use cfront::diag::Diagnostics;
 use cfront::parser::parse;
-use cinterp::{InterpOptions, Program, RunResult, RuntimeError};
+use cinterp::{InterpOptions, Program, RaceVerdict, RunResult, RuntimeError, VerdictMap};
 use polyhedral::{run_polycc, PolyccOptions, RegionOutcome, HELPER_DEFS};
 use purec_core::{finish, run_pc_cc, PcCcOptions, SubstMap};
 use std::collections::HashMap;
@@ -44,11 +45,20 @@ pub struct ChainOutput {
     pub calls_reinserted: usize,
     /// Non-fatal diagnostics accumulated across stages.
     pub diags: Diagnostics,
+    /// Static race verdicts for every `omp parallel for` in the final
+    /// unit, keyed by the `for` statement's span. `Independent` lets the
+    /// engines skip the dynamic race pre-pass; `Racy` is a hard error
+    /// under `--race-check`; `Unknown` falls back to the dynamic check.
+    pub verdicts: VerdictMap,
+    /// Wall time of the always-on static analysis pass, in microseconds
+    /// (tracked so the bench harness can assert the pass stays cheap).
+    pub analysis_micros: u64,
 }
 
 /// Run the whole chain on annotated C source.
 pub fn compile(source: &str, opts: ChainOptions) -> Result<ChainOutput, Diagnostics> {
     // PC-PrePro + GCC-E + PC-CC.
+    let analysis_seed = opts.pc_cc.seed.clone();
     let pcc = run_pc_cc(source, opts.pc_cc)?;
     let mut diags = pcc.diags;
     let mut unit = pcc.unit;
@@ -105,6 +115,33 @@ pub fn compile(source: &str, opts: ChainOptions) -> Result<ChainOutput, Diagnost
         return Err(d);
     }
 
+    // Static race analysis + lints over the reparsed unit — the same AST
+    // the engines execute, so verdict spans survive into lowering. The
+    // diagnostics are advisory at compile time; Racy verdicts only become
+    // hard errors under `--race-check` at run time. (`pure` qualifiers
+    // were lowered away above, so the verified set is re-seeded from
+    // `declared_pure`.)
+    let t0 = std::time::Instant::now();
+    let mut verified = analysis_seed;
+    for name in &pcc.declared_pure {
+        verified.insert(name.clone());
+    }
+    let report = analysis::analyze_unit(&reparsed.unit, &verified, &AnalysisOptions::default());
+    let analysis_micros = t0.elapsed().as_micros() as u64;
+    let verdicts: VerdictMap = report
+        .loops
+        .iter()
+        .map(|l| {
+            let v = match l.verdict {
+                LoopVerdict::Independent => RaceVerdict::Independent,
+                LoopVerdict::Racy => RaceVerdict::Racy,
+                LoopVerdict::Unknown => RaceVerdict::Unknown,
+            };
+            (l.span, v)
+        })
+        .collect();
+    diags.extend(report.diags);
+
     Ok(ChainOutput {
         text,
         unit: reparsed.unit,
@@ -116,6 +153,8 @@ pub fn compile(source: &str, opts: ChainOptions) -> Result<ChainOutput, Diagnost
         regions_tiled,
         calls_reinserted,
         diags,
+        verdicts,
+        analysis_micros,
     })
 }
 
@@ -161,9 +200,10 @@ impl ChainOutput {
 
     /// Build an executable [`Program`] from the transformed unit, passing
     /// the purity verdicts through so the resolved-IR engine can memoize
-    /// verified-pure calls.
+    /// verified-pure calls, and the static race verdicts so the engines
+    /// can skip (or statically fail) the dynamic race check.
     pub fn program(&self) -> Program {
-        Program::with_pure_set(&self.unit, &self.verified_pure_set())
+        Program::with_pure_set_and_verdicts(&self.unit, &self.verified_pure_set(), &self.verdicts)
     }
 }
 

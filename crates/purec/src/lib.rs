@@ -4,5 +4,7 @@
 //! [`chain::compile_and_run`] and exposes the `purec` CLI binary.
 
 pub mod chain;
+pub mod check;
 
 pub use chain::{compile, compile_and_run, ChainError, ChainOptions, ChainOutput};
+pub use check::{check_source, CheckOptions, CheckOutcome};

@@ -5,7 +5,9 @@
 //!       [--engine vm|resolved] [--no-pool] [--no-futures] [--no-steal]
 //!       [--no-opt] [--dump-bytecode] [--profile-pairs]
 //!       [--fuel N] [--max-memory BYTES] [--max-depth N]
-//!       [--race-check] [--emit-marked] [--no-alloc-pure] [--stats]
+//!       [--race-check] [--race-check-cap N] [--infer-pure]
+//!       [--emit-marked] [--no-alloc-pure] [--stats]
+//! purec check <file.c> [--json] [--infer-pure] [--no-alloc-pure]
 //! purec --demo <matmul|heat|satellite|lama> [same flags]
 //! ```
 //!
@@ -23,7 +25,11 @@ use purec_core::{PcCcOptions, PureSet};
 fn usage() -> ! {
     eprintln!(
         "usage: purec <file.c> [options]\n\
+         \x20      purec check <file.c> [--json] [--infer-pure] [--no-alloc-pure]\n\
          \x20      purec --demo <matmul|heat|satellite|lama> [options]\n\
+         check mode (static race + purity analyzer, no compilation):\n\
+         \x20 --json           one JSON diagnostic object per line\n\
+         \x20 --infer-pure     also report functions that could be declared pure\n\
          options:\n\
          \x20 --sica           enable PluTo-SICA mode (cache tiling + SIMD pragmas)\n\
          \x20 --tile N         explicit rectangular tile size\n\
@@ -48,6 +54,13 @@ fn usage() -> ! {
          \x20 --profile-pairs  sample hot opcode pairs during --run and print\n\
          \x20                  the profile to stderr (feeds fusion tuning)\n\
          \x20 --race-check     validate iteration independence before parallel runs\n\
+         \x20                  (loops the static analyzer proves independent skip\n\
+         \x20                  the dynamic pre-pass; proven-racy loops are errors)\n\
+         \x20 --race-check-cap N  cap the dynamic race pre-pass at N iterations\n\
+         \x20                  (0 = unlimited; default 65536; also settable via\n\
+         \x20                  the PUREC_RACE_CHECK_CAP environment variable)\n\
+         \x20 --infer-pure     treat unannotated functions that pass the PC-CC\n\
+         \x20                  rules as verified (widens memo/spawn eligibility)\n\
          \x20 --fuel N         cap executed statements/instructions at N; a run\n\
          \x20                  that exhausts its fuel traps and exits 97\n\
          \x20 --max-memory B   cap interpreter memory at B bytes; exceeding the\n\
@@ -59,10 +72,63 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// `purec check <file.c> [--json] [--infer-pure] [--no-alloc-pure]`
+fn check_mode(args: &[String]) -> ! {
+    let mut source_path: Option<String> = None;
+    let mut json = false;
+    let mut infer_pure = false;
+    let mut alloc_pure = true;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--infer-pure" => infer_pure = true,
+            "--no-alloc-pure" => alloc_pure = false,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && source_path.is_none() => {
+                source_path = Some(other.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    let path = source_path.unwrap_or_else(|| usage());
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("purec: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let opts = purec::CheckOptions {
+        seed: if alloc_pure {
+            PureSet::seeded()
+        } else {
+            PureSet::seeded_without_alloc()
+        },
+        infer_pure,
+    };
+    let outcome = purec::check_source(&source, &opts);
+    if json {
+        print!("{}", outcome.render_json());
+    } else {
+        print!("{}", outcome.render());
+        if infer_pure && !outcome.inferred_pure.is_empty() {
+            eprintln!(
+                "purec: {} function(s) inferable as pure: {:?}",
+                outcome.inferred_pure.len(),
+                outcome.inferred_pure
+            );
+        }
+    }
+    std::process::exit(if outcome.has_errors() { 1 } else { 0 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
+    }
+    if args[0] == "check" {
+        check_mode(&args[1..]);
     }
 
     let mut source_path: Option<String> = None;
@@ -79,6 +145,10 @@ fn main() {
     let mut futures = true;
     let mut steal = true;
     let mut race_check = false;
+    let mut race_check_cap: Option<u64> = std::env::var("PUREC_RACE_CHECK_CAP")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mut infer_pure = false;
     let mut stats = false;
     let mut opt_level: u8 = 2;
     let mut dump_bytecode = false;
@@ -123,6 +193,14 @@ fn main() {
             "--dump-bytecode" => dump_bytecode = true,
             "--profile-pairs" => profile_pairs = true,
             "--race-check" => race_check = true,
+            "--race-check-cap" => {
+                race_check_cap = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--infer-pure" => infer_pure = true,
             "--fuel" => {
                 fuel = Some(
                     it.next()
@@ -182,6 +260,7 @@ fn main() {
     let opts = ChainOptions {
         pc_cc: PcCcOptions {
             seed,
+            infer_pure,
             includes: Default::default(),
         },
         polycc: polyhedral::PolyccOptions {
@@ -219,6 +298,7 @@ fn main() {
         let interp = cinterp::InterpOptions {
             threads,
             race_check,
+            race_check_cap,
             engine,
             pool,
             futures,

@@ -1,0 +1,16 @@
+/* Provably independent parallel loop: affine subscripts, disjoint
+ * writes, private iterator. Zero diagnostics — and the engines skip the
+ * dynamic race check for this loop (verdict: Independent). */
+int main() {
+    int a[64];
+    int b[64];
+    int i;
+    for (i = 0; i < 64; i++) {
+        a[i] = i;
+    }
+#pragma omp parallel for
+    for (i = 0; i < 64; i++) {
+        b[i] = a[i] * 2;
+    }
+    return b[63] - 126;
+}

@@ -1,0 +1,17 @@
+/* Run with `purec check --infer-pure`: `square` passes every PC-CC rule
+ * and could be declared pure; `bump` is blocked by its global write. */
+int square(int x) { // expect: PureInferrable
+    return x * x;
+}
+
+int counter = 0;
+
+int bump(int by) {
+    counter = counter + by; // expect: PureInferenceBlocked
+    return counter;
+}
+
+int main() {
+    bump(1);
+    return square(7) - 49;
+}

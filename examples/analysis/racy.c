@@ -1,0 +1,20 @@
+/* Two definite races: a loop-carried array dependence and a shared
+ * scalar written without a private clause. `purec check` exits 1. */
+int main() {
+    int a[100];
+    int i;
+    int t;
+    for (i = 0; i < 100; i++) {
+        a[i] = i;
+    }
+#pragma omp parallel for
+    for (i = 1; i < 100; i++) { // expect: RaceLoopCarried
+        a[i] = a[i - 1] + 1;
+    }
+#pragma omp parallel for
+    for (i = 0; i < 100; i++) {
+        t = a[i]; // expect: RaceSharedWrite
+        a[i] = t + 1;
+    }
+    return a[99];
+}

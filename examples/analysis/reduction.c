@@ -1,0 +1,16 @@
+/* A reduction-shaped update of a shared scalar: not provably racy the
+ * way a plain shared write is (the dynamic check stays on), so this is
+ * a warning and `purec check` exits 0. */
+int main() {
+    int a[64];
+    int sum = 0;
+    int i;
+    for (i = 0; i < 64; i++) {
+        a[i] = i;
+    }
+#pragma omp parallel for
+    for (i = 0; i < 64; i++) {
+        sum = sum + a[i]; // expect: RaceSharedReduction
+    }
+    return sum;
+}

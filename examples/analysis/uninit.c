@@ -1,0 +1,10 @@
+/* Dataflow lints: read-before-assignment, a never-referenced local and
+ * a store whose value is never read. All warnings; exit status 0. */
+int main() {
+    int x;
+    int y = x + 1; // expect: LintUninitRead
+    int unused; // expect: LintUnusedVar
+    int dead;
+    dead = y * 2; // expect: LintDeadStore
+    return y;
+}

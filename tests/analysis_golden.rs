@@ -1,0 +1,207 @@
+//! Golden tests for `purec check` over the `examples/analysis/` corpus.
+//!
+//! Every corpus file annotates the lines it expects diagnostics on with
+//! `// expect: <Code>`; the runner asserts the checker produces *exactly*
+//! those (code, line) pairs — no false positives, no missed findings —
+//! and pins each new stable code to a concrete program shape.
+
+use analysis::LoopVerdict;
+use cfront::span::LineMap;
+use purec::check::{check_source, CheckOptions};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parse `// expect: Code` annotations into a (line, code) multiset.
+fn expected_codes(source: &str) -> BTreeMap<(usize, String), usize> {
+    let mut out = BTreeMap::new();
+    for (idx, line) in source.lines().enumerate() {
+        if let Some(pos) = line.find("// expect:") {
+            let code = line[pos + "// expect:".len()..].trim().to_string();
+            assert!(
+                !code.is_empty(),
+                "empty expect annotation on line {}",
+                idx + 1
+            );
+            *out.entry((idx + 1, code)).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+fn actual_codes(outcome: &purec::check::CheckOutcome) -> BTreeMap<(usize, String), usize> {
+    let map = LineMap::new(&outcome.text);
+    let mut out = BTreeMap::new();
+    for d in outcome.diags.items() {
+        let line = map.line_col(d.span.start).line as usize;
+        *out.entry((line, d.code.to_string())).or_insert(0) += 1;
+    }
+    out
+}
+
+fn run_corpus_file(name: &str, infer_pure: bool) -> purec::check::CheckOutcome {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/analysis")
+        .join(name);
+    let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {name}: {e}"));
+    let outcome = check_source(
+        &source,
+        &CheckOptions {
+            infer_pure,
+            ..Default::default()
+        },
+    );
+    assert_eq!(
+        expected_codes(&source),
+        actual_codes(&outcome),
+        "diagnostic mismatch for {name}; rendered:\n{}",
+        outcome.render()
+    );
+    outcome
+}
+
+#[test]
+fn racy_loops_are_rejected_with_spanned_errors() {
+    let outcome = run_corpus_file("racy.c", false);
+    assert!(outcome.has_errors(), "racy.c must exit non-zero");
+    assert_eq!(outcome.diags.error_count(), 2);
+}
+
+#[test]
+fn reduction_loop_warns_but_passes() {
+    let outcome = run_corpus_file("reduction.c", false);
+    assert!(!outcome.has_errors(), "reductions are warnings, not errors");
+}
+
+#[test]
+fn inferable_and_blocked_functions_are_noted() {
+    let outcome = run_corpus_file("infer_pure.c", true);
+    assert!(!outcome.has_errors());
+    assert_eq!(outcome.inferred_pure, vec!["square".to_string()]);
+    // Without --infer-pure the same file is silent.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/analysis/infer_pure.c");
+    let source = std::fs::read_to_string(path).unwrap();
+    let quiet = check_source(&source, &CheckOptions::default());
+    assert!(quiet.diags.is_empty(), "{}", quiet.render());
+}
+
+#[test]
+fn dataflow_lints_fire_with_exact_spans() {
+    let outcome = run_corpus_file("uninit.c", false);
+    assert!(!outcome.has_errors(), "lints are warnings");
+    assert_eq!(outcome.diags.len(), 3);
+}
+
+#[test]
+fn clean_file_produces_zero_diagnostics() {
+    let outcome = run_corpus_file("clean.c", false);
+    assert!(outcome.diags.is_empty(), "{}", outcome.render());
+}
+
+#[test]
+fn clean_parallel_loop_gets_independent_verdict() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/analysis/clean.c");
+    let source = std::fs::read_to_string(path).unwrap();
+    let parsed = cfront::parser::parse(&source);
+    assert!(!parsed.diags.has_errors());
+    let report = analysis::analyze_unit(
+        &parsed.unit,
+        &purec_core::PureSet::seeded(),
+        &analysis::AnalysisOptions::default(),
+    );
+    assert_eq!(report.loops.len(), 1);
+    assert_eq!(report.loops[0].verdict, LoopVerdict::Independent);
+}
+
+#[test]
+fn racy_corpus_verdicts_are_racy() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/analysis/racy.c");
+    let source = std::fs::read_to_string(path).unwrap();
+    let parsed = cfront::parser::parse(&source);
+    let report = analysis::analyze_unit(
+        &parsed.unit,
+        &purec_core::PureSet::seeded(),
+        &analysis::AnalysisOptions::default(),
+    );
+    assert_eq!(report.loops.len(), 2);
+    assert!(report.loops.iter().all(|l| l.verdict == LoopVerdict::Racy));
+}
+
+#[test]
+fn json_output_is_one_object_per_line_with_spans() {
+    let outcome = run_corpus_file("uninit.c", false);
+    let json = outcome.render_json();
+    let lines: Vec<&str> = json.lines().collect();
+    assert_eq!(lines.len(), 3);
+    for line in lines {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON");
+        let obj = v.as_object().expect("object");
+        for key in ["severity", "code", "message", "line", "col", "start", "end"] {
+            assert!(
+                obj.iter().any(|(k, _)| k.as_str() == key),
+                "missing key {key} in {line}"
+            );
+        }
+    }
+}
+
+/// A/B proof that an `Independent` verdict actually skips the O(n)
+/// dynamic race check: the chain-compiled program (verdicts wired in)
+/// must count static skips and zero dynamic iterations, while the same
+/// unit rebuilt *without* verdicts must fall back to the dynamic check —
+/// with bit-identical output either way.
+#[test]
+fn independent_verdict_skips_dynamic_race_check() {
+    for src in [apps::matmul::c_source(16), apps::heat::c_source(16, 2)] {
+        let opts = cinterp::InterpOptions {
+            threads: 4,
+            race_check: true,
+            ..Default::default()
+        };
+        let (out, run) =
+            purec::compile_and_run(&src, purec::ChainOptions::default(), opts).expect("chain runs");
+        assert!(
+            out.verdicts
+                .values()
+                .any(|v| *v == cinterp::RaceVerdict::Independent),
+            "no Independent verdict: {:?}",
+            out.verdicts
+        );
+        assert!(run.counters.race_static_skips > 0, "no static skip counted");
+        assert_eq!(run.counters.race_dyn_iters, 0, "dynamic check still ran");
+        // B side: same unit, no verdicts -> every region is Unknown and
+        // the dynamic pre-pass runs.
+        let prog = cinterp::Program::with_pure_set(&out.unit, &out.verified_pure_set());
+        let run_b = prog.run(opts).expect("verdict-free run");
+        assert_eq!(run_b.counters.race_static_skips, 0);
+        assert!(
+            run_b.counters.race_dyn_iters > 0,
+            "dynamic check skipped without a verdict"
+        );
+        assert_eq!(run.output, run_b.output);
+        assert_eq!(run.exit_code, run_b.exit_code);
+    }
+}
+
+/// Zero false positives over every non-corpus example and demo source:
+/// the always-on passes must stay silent on code that is known-good.
+#[test]
+fn demo_sources_check_clean_of_errors() {
+    for (name, src) in [
+        ("matmul", apps::matmul::c_source(8)),
+        ("heat", apps::heat::c_source(8, 2)),
+        ("satellite", apps::satellite::c_source(4, 4)),
+        ("lama", apps::lama::c_source(16, 3)),
+        (
+            "spin",
+            std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/spin.c"))
+                .unwrap(),
+        ),
+    ] {
+        let outcome = check_source(&src, &CheckOptions::default());
+        assert!(
+            !outcome.has_errors(),
+            "false positive on {name}:\n{}",
+            outcome.render()
+        );
+    }
+}

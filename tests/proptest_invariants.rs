@@ -631,6 +631,106 @@ proptest! {
         }
     }
 
+    /// Speculative purity inference as a drop-in for annotations: on a
+    /// generated program whose helper functions are pure-shaped, deleting
+    /// every `pure` keyword and re-deriving the set via
+    /// `PcCcOptions::infer_pure` must yield the same verified pure set,
+    /// the same transformed program text, and bit-identical observable
+    /// behaviour (exit code, output, executed-op counters modulo memo
+    /// bookkeeping) across the bytecode VM, the resolved engine and the
+    /// legacy oracle, sequentially and with 4 threads.
+    #[test]
+    fn inferred_pure_matches_annotated_and_oracles(
+        depth in 4usize..8,
+        m in 4usize..12,
+        c in 1i64..40,
+    ) {
+        let src = format!(
+            "pure int leaf(int x) {{\n\
+                 int acc = 0;\n\
+                 for (int i = 0; i < (x % 5) + 2; i++) acc += i * x;\n\
+                 return acc % 97;\n\
+             }}\n\
+             pure int tree(int n, int s) {{\n\
+                 if (n < 2) return leaf(n + s);\n\
+                 int a = tree(n - 1, s);\n\
+                 int b = tree(n - 2, s + 1);\n\
+                 return a + b;\n\
+             }}\n\
+             int main() {{\n\
+                 int* out = (int*) malloc({m} * sizeof(int));\n\
+                 for (int i = 0; i < {m}; i++) {{\n\
+                     out[i] = tree(3 + i % 3, i) + leaf(i + {c});\n\
+                 }}\n\
+                 int acc = 0;\n\
+                 for (int i = 0; i < {m}; i++) acc += out[i];\n\
+                 acc += tree({depth}, {c});\n\
+                 printf(\"acc=%d\\n\", acc);\n\
+                 return (acc % 113 + 113) % 113;\n\
+             }}"
+        );
+        let plain = src.replace("pure ", "");
+        prop_assert!(!plain.contains("pure"));
+        let ann = compile(&src, ChainOptions::default()).expect("annotated chain");
+        let inf = compile(
+            &plain,
+            ChainOptions {
+                pc_cc: PcCcOptions {
+                    infer_pure: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .expect("inferred chain");
+        prop_assert_eq!(ann.verified_pure_set(), inf.verified_pure_set());
+        prop_assert_eq!(&ann.text, &inf.text, "transformed programs diverge");
+        let pa = ann.program();
+        let pi = inf.program();
+        for threads in [1usize, 4] {
+            let opts = InterpOptions {
+                threads,
+                memo: false,
+                ..Default::default()
+            };
+            let base = pa.run(opts).expect("annotated VM runs");
+            let vm = pi.run(opts).expect("inferred VM runs");
+            prop_assert_eq!(vm.exit_code, base.exit_code, "threads={}", threads);
+            prop_assert_eq!(&vm.output, &base.output, "threads={}", threads);
+            prop_assert_eq!(
+                vm.counters.without_memo(),
+                base.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            let resolved = pi.run_resolved(opts).expect("inferred resolved runs");
+            prop_assert_eq!(resolved.exit_code, base.exit_code, "threads={}", threads);
+            prop_assert_eq!(&resolved.output, &base.output, "threads={}", threads);
+            prop_assert_eq!(
+                resolved.counters.without_memo(),
+                base.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            let legacy = pi.run_legacy(opts).expect("inferred legacy runs");
+            prop_assert_eq!(legacy.exit_code, base.exit_code, "threads={}", threads);
+            prop_assert_eq!(&legacy.output, &base.output, "threads={}", threads);
+            prop_assert_eq!(
+                legacy.counters.without_memo(),
+                base.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            // Memoized inferred run agrees on observables (memo is only
+            // legal because inference verified the functions).
+            let memo = pi
+                .run(InterpOptions { memo: true, ..opts })
+                .expect("inferred memoized VM runs");
+            prop_assert_eq!(memo.exit_code, base.exit_code, "threads={}", threads);
+            prop_assert_eq!(&memo.output, &base.output, "threads={}", threads);
+        }
+    }
+
     /// Chain-compiled matmul (purity verified ⇒ memoization active): the
     /// bytecode VM and the resolved engine, each with and without memo,
     /// and the legacy oracle all agree on observable behaviour.
