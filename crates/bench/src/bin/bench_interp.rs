@@ -634,6 +634,50 @@ fn main() {
         bench_values.push(Value::Object(fields));
     }
 
+    // Traced-vs-untraced A/B: the observability layer's overhead budget.
+    // The probes are compiled in unconditionally, so their *disabled*
+    // cost (one relaxed load + branch per site) is already pinned by the
+    // tier floors above — a disabled-probe regression would sink
+    // varaccess below its 1.5× floor. What is measured here is the
+    // *enabled* cost: the same program and options under a live
+    // [`cinterp::TraceSession`], gated below at < 15% overhead.
+    let mut traced_ratios: Vec<(&str, f64)> = Vec::new();
+    let mut traced_fields: Vec<(String, Value)> = Vec::new();
+    let traced_cases = [
+        ("varaccess", plain(&varaccess_source(var_iters))),
+        ("matmul64", matmul_out.program()),
+    ];
+    for (name, program) in &traced_cases {
+        let (untraced, _) = time_run(program, seq, false, reps);
+        let session = cinterp::TraceSession::start();
+        let (traced, _) = time_run(program, seq, false, reps);
+        let data = session.finish();
+        // The captured trace must stay structurally sound under bench
+        // loads (and must not have overflowed the per-thread buffers).
+        cinterp::validate_chrome_trace(&cinterp::chrome_trace_json(&data))
+            .unwrap_or_else(|e| panic!("{name}: traced bench produced invalid trace: {e}"));
+        assert_eq!(data.dropped, 0, "{name}: trace buffers overflowed");
+        let ratio = traced / untraced;
+        traced_ratios.push((name, ratio));
+        traced_fields.push((
+            format!("{name}_untraced_ms"),
+            num((untraced * 1e6).round() / 1e3),
+        ));
+        traced_fields.push((
+            format!("{name}_traced_ms"),
+            num((traced * 1e6).round() / 1e3),
+        ));
+        traced_fields.push((format!("{name}_ratio"), num(ratio)));
+        eprintln!(
+            "{:<18} {:<18} {:>10.3} ms  (untraced {:.3} ms, ratio {:.3}x)",
+            name,
+            "bytecode_traced",
+            traced * 1e3,
+            untraced * 1e3,
+            ratio
+        );
+    }
+
     let unix_time = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -669,6 +713,9 @@ fn main() {
             "matmul64_lint_ms".to_string(),
             num((matmul_lint_secs * 1e6).round() / 1e3),
         ),
+        // Tracing overhead A/B (live TraceSession vs probes-off) on the
+        // dispatch-bound and memo-bound cases.
+        ("traced_ab".to_string(), Value::Object(traced_fields)),
         ("benchmarks".to_string(), Value::Array(bench_values)),
     ]);
 
@@ -821,4 +868,20 @@ fn main() {
     };
     gate_futures("fib_futures", futures_speedup);
     gate_futures("treesum_expr", treesum_speedup);
+
+    // CI smoke: a live trace session must stay cheap — every probe is
+    // one branch plus a buffered append, so a traced run may cost at
+    // most 15% over the probes-off run. (The probes-*off* cost has no
+    // separate gate: it is folded into the tier floors above.)
+    const TRACED_CEILING: f64 = 1.15;
+    for (name, ratio) in &traced_ratios {
+        if ratio.is_nan() || *ratio > TRACED_CEILING {
+            eprintln!(
+                "FAIL: traced run on {name} costs {ratio:.3}x the untraced run \
+                 (ceiling {TRACED_CEILING:.2}x)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("{name} traced-vs-untraced ratio: {ratio:.3}x (ceiling {TRACED_CEILING:.2}x)");
+    }
 }

@@ -243,6 +243,7 @@ impl RuntimeError {
         message: impl Into<String>,
         span: cfront::span::Span,
     ) -> Self {
+        machine::omprt::instrument::instant("trap", trap_probe_arg(trap));
         RuntimeError {
             message: message.into(),
             span,
@@ -253,11 +254,24 @@ impl RuntimeError {
     /// Lift a memory-subsystem error, preserving the trap kind when the
     /// failure was the configured ceiling rather than a program bug.
     pub(crate) fn from_mem(e: crate::value::MemError, span: cfront::span::Span) -> Self {
+        let trap = e.limit.then_some(Trap::MemoryLimit);
+        if let Some(t) = trap {
+            machine::omprt::instrument::instant("trap", trap_probe_arg(t));
+        }
         RuntimeError {
             message: e.to_string(),
             span,
-            trap: e.limit.then_some(Trap::MemoryLimit),
+            trap,
         }
+    }
+}
+
+/// Trap kind as the `trap` instant's integer argument.
+fn trap_probe_arg(trap: Trap) -> u64 {
+    match trap {
+        Trap::FuelExhausted => 0,
+        Trap::MemoryLimit => 1,
+        Trap::DepthLimit => 2,
     }
 }
 
@@ -452,6 +466,24 @@ impl Program {
             Engine::Bytecode => crate::vm::run_vm(&self.bytecode_at(opts.opt_level), entry, opts),
             Engine::Resolved => resolve::run_resolved(&self.resolved, entry, opts),
         }
+    }
+
+    /// Run a named entry on the bytecode VM with a measured opcode-pair
+    /// profile steering the superinstruction fusion pattern set — the
+    /// second leg of the `purec --pgo` driver (profile run, then this).
+    /// Uses [`Program::bytecode_profiled`], so the rewritten program is
+    /// workload-specific and deliberately uncached.
+    pub fn run_profiled(
+        &self,
+        entry: &str,
+        opts: InterpOptions,
+        profile: &crate::opt::PairProfile,
+    ) -> RtResult<RunResult> {
+        crate::vm::run_vm(
+            &self.bytecode_profiled(opts.opt_level, profile),
+            entry,
+            opts,
+        )
     }
 
     /// Run `main()` on the resolved-IR engine (the bytecode VM's

@@ -49,6 +49,7 @@ pub mod interp;
 pub mod opt;
 pub mod resolve;
 pub mod spawn;
+pub mod trace;
 pub mod value;
 pub mod vm;
 
@@ -59,6 +60,10 @@ pub use interp::{
 };
 pub use opt::PairProfile;
 pub use resolve::ResolvedProgram;
+pub use trace::{
+    chrome_trace_json, counters_json, metrics_json, validate_chrome_trace, TraceData, TraceSession,
+    TraceStats,
+};
 pub use value::{
     CounterSnapshot, Counters, FuelBudget, MemError, Memory, Packed, Ptr, Scalar, SpillPool, Tally,
     FUEL_BLOCK,

@@ -47,6 +47,7 @@ use crate::value::{
 use cfront::ast::BinOp;
 use cfront::intern::Symbol;
 use cfront::span::Span;
+use machine::omprt::instrument;
 use machine::{global_pool, parallel_for_state, parallel_for_state_pooled, PureFuture, ThreadPool};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -433,8 +434,21 @@ impl Vm {
                 span,
             ));
         }
+        instrument::instant("fuel.refill", granted);
         self.fuel_local = granted;
         Ok(())
+    }
+
+    /// Sampled memo-hit probe: hits are far too frequent for one event
+    /// each (a memo-heavy run would blow the event buffers and the
+    /// traced-overhead budget), so every 64th hit per worker emits one
+    /// instant carrying the running total. One branch when tracing is
+    /// off, like every probe site.
+    #[inline(always)]
+    fn probe_memo_hit(&self) {
+        if instrument::enabled() && self.tally.memo_hits.is_multiple_of(64) {
+            instrument::instant("memo.hit", self.tally.memo_hits);
+        }
     }
 
     /// Hand unused local fuel back when a region-worker or future child
@@ -812,6 +826,7 @@ impl Vm {
                         let v = *v;
                         self.tally.memo_hits += 1;
                         self.tally.icache_hits += 1;
+                        self.probe_memo_hit();
                         self.arena.truncate(fbase);
                         let v = self.pack(v);
                         self.stack.push(v);
@@ -827,6 +842,7 @@ impl Vm {
         if let (Some(shard), Some(key)) = (&mut self.memo, &memo_key) {
             if let Some(v) = shard.get(key) {
                 self.tally.memo_hits += 1;
+                self.probe_memo_hit();
                 self.arena.truncate(fbase);
                 // Fill-once: a monomorphic site caches its first key and
                 // serves every repeat; a `Poly` site never refills.
@@ -911,6 +927,7 @@ impl Vm {
             // Exactly the original call statement: call, coerce, store.
             if throttled {
                 self.tally.futures_inlined += 1;
+                instrument::instant("future.inline", sp.fid as u64);
             }
             self.call_user(sp.fid, nargs, 0, span)?;
             let v = self.pop();
@@ -935,6 +952,7 @@ impl Vm {
                 if let Some(v) = self.memo.as_mut().and_then(|m| m.get(&key)) {
                     self.tally.calls += 1;
                     self.tally.memo_hits += 1;
+                    self.probe_memo_hit();
                     let pv = self.pack(sp.coerce.apply(v));
                     self.arena[abs] = pv;
                     return Ok(());
@@ -1492,6 +1510,7 @@ impl Vm {
                                 let (out, report) = fut.wait();
                                 if report.helped {
                                     self.tally.futures_helped += 1;
+                                    instrument::instant("future.help", p.fid as u64);
                                 }
                                 if report.stolen {
                                     self.tally.tasks_stolen += 1;
@@ -1699,6 +1718,10 @@ impl Vm {
             return Ok(());
         }
         let n = (ub_incl - lb + 1) as u64;
+        // The region span covers verdict, fork, every chunk and the join
+        // (its guard closes on the trap path too); per-worker chunk
+        // spans are emitted by the scheduler under it.
+        let _span = instrument::span("region", n);
 
         // Static verdict first: Independent skips the O(n) dynamic
         // pre-pass, Racy aborts before any iteration, Unknown falls back
@@ -1714,7 +1737,10 @@ impl Vm {
                         r.span,
                     ));
                 }
-                crate::interp::RaceVerdict::Unknown => self.race_check(f, base, r, lb, n)?,
+                crate::interp::RaceVerdict::Unknown => {
+                    instrument::instant("region.race_check", n);
+                    self.race_check(f, base, r, lb, n)?;
+                }
             }
         }
 
@@ -1779,9 +1805,20 @@ impl Vm {
         for mut w in workers {
             w.refund_fuel();
             self.tally.merge(&w.tally);
+            if instrument::enabled() {
+                instrument::metrics()
+                    .arena_bytes
+                    .sample((w.arena.capacity() * std::mem::size_of::<Packed>()) as u64);
+                instrument::metrics()
+                    .spill_bytes
+                    .sample((w.spill.len() * std::mem::size_of::<Scalar>()) as u64);
+            }
             if let Some(theirs) = w.memo {
                 if let Some(mine) = &mut self.memo {
                     let evicted = mine.absorb(theirs.local_entries());
+                    if evicted > 0 {
+                        instrument::instant("memo.evict", evicted);
+                    }
                     self.tally.memo_evictions += evicted;
                 }
             }

@@ -101,8 +101,8 @@ impl WorkDeque {
 
     /// Approximate number of queued entries (live *and* revoked — the
     /// spawn throttle uses the pool's exposed-task counters instead).
-    /// Racy by design (plain relaxed loads); never negative.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Racy by design (plain relaxed loads); never negative. Feeds the
+    /// instrumentation layer's `deque_depth` gauge.
     pub(crate) fn len(&self) -> usize {
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Relaxed);

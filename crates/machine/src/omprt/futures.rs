@@ -52,6 +52,7 @@
 //! re-raises at the await (never at drop) — including panics in tasks
 //! that were *stolen* by another worker.
 
+use crate::omprt::instrument;
 use crate::omprt::pool::{worker_index, TaskGroup, ThreadPool};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
@@ -180,11 +181,16 @@ impl<T: Send + 'static> PureFuture<T> {
         // winner releases the budget slot.
         let exposure = if pusher.is_some() {
             let h = pool.exposure_handle().expect("pusher is a worker");
-            h.fetch_add(1, Ordering::Relaxed);
+            let prev = h.fetch_add(1, Ordering::Relaxed);
+            instrument::metrics().exposed_tasks.sample(prev as u64 + 1);
             Some(h)
         } else {
             None
         };
+        instrument::instant(
+            "future.spawn",
+            pusher.map_or(u64::MAX, |p| p as u64), // MAX: injector submit
+        );
         let sh = Arc::clone(&shared);
         let claim_exposure = exposure.clone();
         let task = move || {
@@ -205,8 +211,9 @@ impl<T: Send + 'static> PureFuture<T> {
             if let Some(h) = &claim_exposure {
                 h.fetch_sub(1, Ordering::Relaxed);
             }
-            sh.executed_by
-                .store(worker_index().unwrap_or(EXEC_NONE), Ordering::Relaxed);
+            let executor = worker_index().unwrap_or(EXEC_NONE);
+            instrument::instant("future.claim", executor as u64);
+            sh.executed_by.store(executor, Ordering::Relaxed);
             *sh.cell.lock() = Some(f());
         };
         if pusher.is_some() {
@@ -250,6 +257,7 @@ impl<T: Send + 'static> PureFuture<T> {
             if let Some(h) = &self.exposure {
                 h.fetch_sub(1, Ordering::Relaxed);
             }
+            instrument::instant("future.cancel", self.pusher.map_or(u64::MAX, |p| p as u64));
             Ok(())
         } else {
             Err(self)
@@ -276,12 +284,28 @@ impl<T: Send + 'static> PureFuture<T> {
     /// the deque's steal path actually migrated it. A panic from the
     /// closure re-raises here.
     pub fn wait(self) -> (T, FutureReport) {
+        // Only a wait that actually has to block (or help) counts toward
+        // the await-wait histogram; an already-finished future is free.
+        let wait_start_ns = if instrument::enabled() && !self.group.is_complete() {
+            instrument::now_ns().max(1)
+        } else {
+            0
+        };
+        let _span = instrument::span("future.await", 0);
         let helped = self.pool.join_group(&self.group);
+        if wait_start_ns != 0 {
+            instrument::metrics()
+                .await_wait_ns
+                .record(instrument::now_ns().saturating_sub(wait_start_ns));
+        }
         let executed = self.shared.executed_by.load(Ordering::Relaxed);
         let stolen = match self.pusher {
             Some(p) => executed != EXEC_NONE && executed != p,
             None => false,
         };
+        if stolen {
+            instrument::instant("future.stolen", executed as u64);
+        }
         let v = self
             .shared
             .cell

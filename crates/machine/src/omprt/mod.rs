@@ -10,11 +10,15 @@
 
 pub(crate) mod deque;
 pub mod futures;
+pub mod instrument;
 pub mod pool;
 pub mod pragma;
 pub mod sched;
 
 pub use futures::{spawn_capacity, FutureReport, PureFuture, LOCAL_QUEUE_LIMIT, SATURATION_FACTOR};
+pub use instrument::{
+    Event, EventKind, GaugeSnapshot, HistSnapshot, Metrics, MetricsSnapshot, SpanGuard,
+};
 pub use pool::{global_pool, on_worker_thread, Placement, PoolStats, TaskGroup, ThreadPool};
 pub use pragma::{parse_omp_parallel_for_clauses, OmpClauses};
 pub use sched::{

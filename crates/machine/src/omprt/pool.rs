@@ -59,6 +59,7 @@
 //!   check-then-park race impossible.
 
 use crate::omprt::deque::{Steal, Task, WorkDeque};
+use crate::omprt::instrument;
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
@@ -176,6 +177,24 @@ pub struct PoolStats {
     pub local_pushes: u64,
 }
 
+/// When instrumentation is live, wrap a task so the enqueue → claim
+/// latency lands in the `queue_wait_ns` histogram. One branch when off;
+/// the task is passed through untouched.
+#[inline]
+fn stamp_queue_wait(task: Task) -> Task {
+    if instrument::enabled() {
+        let enqueued_ns = instrument::now_ns();
+        Box::new(move || {
+            instrument::metrics()
+                .queue_wait_ns
+                .record(instrument::now_ns().saturating_sub(enqueued_ns));
+            task();
+        })
+    } else {
+        task
+    }
+}
+
 /// Shared state of one pool: the queues, the sleep protocol and the
 /// pool-wide completion counter.
 struct PoolCore {
@@ -213,14 +232,21 @@ impl PoolCore {
     /// before re-parking, so a task can never strand while every worker
     /// sleeps.
     fn notify_idle(&self) {
-        if self.idle_sleepers.load(Ordering::SeqCst) > 0 {
+        let sleepers = self.idle_sleepers.load(Ordering::SeqCst);
+        instrument::metrics().idle_sleepers.sample(sleepers as u64);
+        if sleepers > 0 {
             let _g = self.idle_lock.lock();
             self.idle_cv.notify_one();
         }
     }
 
     fn enqueue_injector(&self, task: Task) {
-        self.injector.lock().push_back(task);
+        let task = stamp_queue_wait(task);
+        {
+            let mut q = self.injector.lock();
+            q.push_back(task);
+            instrument::metrics().injector_len.sample(q.len() as u64);
+        }
         self.queued.fetch_add(1, Ordering::SeqCst);
         self.notify_idle();
     }
@@ -228,7 +254,11 @@ impl PoolCore {
     /// Owner-side push onto worker `index`'s deque. Must only be called
     /// from that worker's thread (the deque's owner contract).
     fn enqueue_local(&self, index: usize, task: Task) {
+        let task = stamp_queue_wait(task);
         self.deques[index].push(task);
+        instrument::metrics()
+            .deque_depth
+            .sample(self.deques[index].len() as u64);
         self.local_pushes.fetch_add(1, Ordering::Relaxed);
         self.queued.fetch_add(1, Ordering::SeqCst);
         self.notify_idle();
@@ -253,6 +283,13 @@ impl PoolCore {
         // Widen the owner-vs-stealer race window before scanning victims.
         #[cfg(feature = "fault-inject")]
         crate::fault::steal_jitter();
+        // Steal-scan start; 0 means "instrumentation off" (`max(1)`
+        // keeps a first-nanosecond timestamp from aliasing it).
+        let scan_start_ns = if instrument::enabled() {
+            instrument::now_ns().max(1)
+        } else {
+            0
+        };
         let n = self.deques.len();
         let start = index.map_or(0, |i| i + 1);
         for off in 0..n {
@@ -263,6 +300,12 @@ impl PoolCore {
             loop {
                 match self.deques[victim].steal() {
                     Steal::Task(t) => {
+                        if scan_start_ns != 0 {
+                            instrument::metrics()
+                                .steal_latency_ns
+                                .record(instrument::now_ns().saturating_sub(scan_start_ns));
+                            instrument::instant("pool.steal", victim as u64);
+                        }
                         self.steals.fetch_add(1, Ordering::Relaxed);
                         self.queued.fetch_sub(1, Ordering::SeqCst);
                         return Some(t);

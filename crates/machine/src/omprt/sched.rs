@@ -13,6 +13,7 @@
 //! share one dynamic/guided claiming loop, so a region's observable
 //! behaviour is independent of the substrate.
 
+use crate::omprt::instrument;
 use crate::omprt::pool::{global_pool, TaskGroup, ThreadPool};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -123,6 +124,7 @@ where
     F: Fn(&mut S, u64) + Sync,
 {
     let nthreads = nthreads.max(1);
+    let timer = RegionTimer::start();
     if nthreads == 1 || n <= 1 {
         return vec![run_sequential(n, &init, &body)];
     }
@@ -141,7 +143,39 @@ where
             states.push(h.join().expect("omprt worker panicked"));
         }
     });
+    drop(timer);
     states
+}
+
+/// RAII fork-to-join stopwatch feeding the `region_duration_ns`
+/// histogram; inert (one branch) when instrumentation is off.
+struct RegionTimer {
+    start_ns: u64,
+}
+
+impl RegionTimer {
+    #[inline(always)]
+    fn start() -> Self {
+        RegionTimer {
+            // 0 means "instrumentation off" (`max(1)` keeps a genuine
+            // first-nanosecond timestamp from aliasing it).
+            start_ns: if instrument::enabled() {
+                instrument::now_ns().max(1)
+            } else {
+                0
+            },
+        }
+    }
+}
+
+impl Drop for RegionTimer {
+    fn drop(&mut self) {
+        if self.start_ns != 0 {
+            instrument::metrics()
+                .region_duration_ns
+                .record(instrument::now_ns().saturating_sub(self.start_ns));
+        }
+    }
 }
 
 /// [`parallel_for`] routed through the persistent process-wide
@@ -177,6 +211,7 @@ where
     F: Fn(&mut S, u64) + Sync,
 {
     let nthreads = nthreads.max(1);
+    let _timer = RegionTimer::start();
     if nthreads == 1 || n <= 1 {
         return vec![run_sequential(n, &init, &body)];
     }
@@ -266,6 +301,9 @@ where
     G: Fn(usize) -> S,
     F: Fn(&mut S, u64),
 {
+    // One span per worker per region: its whole chunk share, on the
+    // thread that executed it (scoped thread or pool worker alike).
+    let _span = instrument::span("region.worker", tid as u64);
     let mut state = init(tid);
     match schedule {
         OmpSchedule::Static | OmpSchedule::StaticChunk(_) => {

@@ -56,15 +56,26 @@ pub struct ChainOutput {
 }
 
 /// Run the whole chain on annotated C source.
+///
+/// When a [`cinterp::TraceSession`] is active, each pipeline phase is
+/// recorded as a span (`phase.parse`, `phase.opt`, `phase.lower`,
+/// `phase.analysis`) so compile time shows up alongside run time in the
+/// exported Chrome trace.
 pub fn compile(source: &str, opts: ChainOptions) -> Result<ChainOutput, Diagnostics> {
+    use cinterp::trace::instrument;
+
     // PC-PrePro + GCC-E + PC-CC.
     let analysis_seed = opts.pc_cc.seed.clone();
+    let parse_span = instrument::span("phase.parse", source.len() as u64);
     let pcc = run_pc_cc(source, opts.pc_cc)?;
+    drop(parse_span);
     let mut diags = pcc.diags;
     let mut unit = pcc.unit;
 
     // polycc.
+    let opt_span = instrument::span("phase.opt", 0);
     let report = run_polycc(&mut unit, opts.polycc);
+    drop(opt_span);
     diags.extend(report.diags.clone());
 
     let regions_transformed = report.transformed_count();
@@ -82,6 +93,7 @@ pub fn compile(source: &str, opts: ChainOptions) -> Result<ChainOutput, Diagnost
 
     // Reinsert placeholders per region with that region's iterator map;
     // anything not covered by a transformed region maps identically.
+    let lower_span = instrument::span("phase.lower", 0);
     let per_placeholder = report.placeholder_iter_maps();
     let calls_reinserted = reinsert_per_region(&mut unit, &pcc.subst, &per_placeholder);
 
@@ -109,6 +121,7 @@ pub fn compile(source: &str, opts: ChainOptions) -> Result<ChainOutput, Diagnost
 
     // The final text must be standard C: reparse to prove it.
     let reparsed = parse(&text);
+    drop(lower_span);
     if reparsed.diags.has_errors() {
         let mut d = diags;
         d.extend(reparsed.diags);
@@ -122,11 +135,13 @@ pub fn compile(source: &str, opts: ChainOptions) -> Result<ChainOutput, Diagnost
     // were lowered away above, so the verified set is re-seeded from
     // `declared_pure`.)
     let t0 = std::time::Instant::now();
+    let analysis_span = instrument::span("phase.analysis", 0);
     let mut verified = analysis_seed;
     for name in &pcc.declared_pure {
         verified.insert(name.clone());
     }
     let report = analysis::analyze_unit(&reparsed.unit, &verified, &AnalysisOptions::default());
+    drop(analysis_span);
     let analysis_micros = t0.elapsed().as_micros() as u64;
     let verdicts: VerdictMap = report
         .loops

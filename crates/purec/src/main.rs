@@ -3,11 +3,13 @@
 //! ```text
 //! purec <file.c> [--sica] [--tile N] [--no-omp] [--run [--threads N]]
 //!       [--engine vm|resolved] [--no-pool] [--no-futures] [--no-steal]
-//!       [--no-opt] [--dump-bytecode] [--profile-pairs]
+//!       [--no-opt] [--dump-bytecode] [--profile-pairs] [--pgo]
 //!       [--fuel N] [--max-memory BYTES] [--max-depth N]
 //!       [--race-check] [--race-check-cap N] [--infer-pure]
 //!       [--emit-marked] [--no-alloc-pure] [--stats]
+//!       [--trace FILE] [--stats-json FILE]
 //! purec check <file.c> [--json] [--infer-pure] [--no-alloc-pure]
+//! purec trace-check <trace.json>
 //! purec --demo <matmul|heat|satellite|lama> [same flags]
 //! ```
 //!
@@ -18,6 +20,16 @@
 //! Resource limits (all unlimited by default) turn runaway executions
 //! into structured traps with distinct exit codes: fuel exhaustion → 97,
 //! memory limit → 98, call-depth limit → 99.
+//!
+//! Observability: `--trace FILE` records compile phases, parallel
+//! regions, future lifecycles, memo/fuel/trap events into a Chrome
+//! trace-event JSON file (open in `chrome://tracing` or Perfetto;
+//! validate with `purec trace-check`). `--stats-json FILE` dumps the
+//! full counter set plus latency histograms and gauges as one JSON
+//! object. `--pgo` is the two-run self-profiling driver: run once
+//! sampling hot opcode pairs, then re-run with the measured profile
+//! steering superinstruction fusion — no manual `--profile-pairs`
+//! round-trip needed.
 
 use purec::chain::{compile, ChainOptions};
 use purec_core::{PcCcOptions, PureSet};
@@ -26,10 +38,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: purec <file.c> [options]\n\
          \x20      purec check <file.c> [--json] [--infer-pure] [--no-alloc-pure]\n\
+         \x20      purec trace-check <trace.json>\n\
          \x20      purec --demo <matmul|heat|satellite|lama> [options]\n\
          check mode (static race + purity analyzer, no compilation):\n\
          \x20 --json           one JSON diagnostic object per line\n\
          \x20 --infer-pure     also report functions that could be declared pure\n\
+         trace-check mode: structurally validate a Chrome trace-event file\n\
+         \x20 (matched B/E pairs, per-thread monotonic timestamps)\n\
          options:\n\
          \x20 --sica           enable PluTo-SICA mode (cache tiling + SIMD pragmas)\n\
          \x20 --tile N         explicit rectangular tile size\n\
@@ -53,6 +68,14 @@ fn usage() -> ! {
          \x20                  unless --no-opt) to stderr\n\
          \x20 --profile-pairs  sample hot opcode pairs during --run and print\n\
          \x20                  the profile to stderr (feeds fusion tuning)\n\
+         \x20 --pgo            profile-guided --run: execute once sampling hot\n\
+         \x20                  opcode pairs, then re-run with the measured\n\
+         \x20                  profile steering superinstruction fusion\n\
+         \x20 --trace FILE     record a Chrome trace-event JSON file for the\n\
+         \x20                  compile + run (phases, parallel regions, future\n\
+         \x20                  lifecycles, memo/fuel/trap events)\n\
+         \x20 --stats-json FILE  dump run counters, latency histograms and\n\
+         \x20                  sampled gauges as one JSON object\n\
          \x20 --race-check     validate iteration independence before parallel runs\n\
          \x20                  (loops the static analyzer proves independent skip\n\
          \x20                  the dynamic pre-pass; proven-racy loops are errors)\n\
@@ -122,6 +145,35 @@ fn check_mode(args: &[String]) -> ! {
     std::process::exit(if outcome.has_errors() { 1 } else { 0 });
 }
 
+/// `purec trace-check <trace.json>` — structurally validate a Chrome
+/// trace-event file (the CI smoke step runs this on `--trace` output).
+fn trace_check_mode(args: &[String]) -> ! {
+    let [path] = args else { usage() };
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("purec: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match cinterp::validate_chrome_trace(&json) {
+        Ok(stats) => {
+            println!(
+                "purec: trace ok: {} event(s), {} span(s), {} instant(s)\nnames: {}",
+                stats.events,
+                stats.spans,
+                stats.instants,
+                stats.names.join(" ")
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("purec: invalid trace: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -129,6 +181,9 @@ fn main() {
     }
     if args[0] == "check" {
         check_mode(&args[1..]);
+    }
+    if args[0] == "trace-check" {
+        trace_check_mode(&args[1..]);
     }
 
     let mut source_path: Option<String> = None;
@@ -153,6 +208,9 @@ fn main() {
     let mut opt_level: u8 = 2;
     let mut dump_bytecode = false;
     let mut profile_pairs = false;
+    let mut pgo = false;
+    let mut trace_path: Option<String> = None;
+    let mut stats_json_path: Option<String> = None;
     let mut fuel: Option<u64> = None;
     let mut max_memory: Option<u64> = None;
     let mut max_depth: Option<usize> = None;
@@ -192,6 +250,9 @@ fn main() {
             "--no-opt" => opt_level = 0,
             "--dump-bytecode" => dump_bytecode = true,
             "--profile-pairs" => profile_pairs = true,
+            "--pgo" => pgo = true,
+            "--trace" => trace_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--stats-json" => stats_json_path = Some(it.next().unwrap_or_else(|| usage())),
             "--race-check" => race_check = true,
             "--race-check-cap" => {
                 race_check_cap = Some(
@@ -295,6 +356,12 @@ fn main() {
     }
 
     if run {
+        if pgo && engine != cinterp::Engine::Bytecode {
+            eprintln!(
+                "purec: --pgo drives the bytecode VM's superinstruction fusion; use --engine vm"
+            );
+            std::process::exit(2);
+        }
         let interp = cinterp::InterpOptions {
             threads,
             race_check,
@@ -310,18 +377,54 @@ fn main() {
             profile_pairs,
             ..Default::default()
         };
+        // A trace/metrics session brackets compile + run, so pipeline
+        // phases land in the same timeline as runtime spans.
+        let session =
+            (trace_path.is_some() || stats_json_path.is_some()).then(cinterp::TraceSession::start);
         let outcome = compile(&source, opts)
             .map_err(purec::chain::ChainError::Compile)
             .and_then(|out| {
                 let program = out.program();
-                if dump_bytecode {
-                    eprint!("{}", program.bytecode_at(opt_level).dump());
-                }
-                program
-                    .run(interp)
+                let result = if pgo {
+                    // Leg 1 of the self-profiler: sample hot opcode pairs.
+                    // The report prints in the same format as a manual
+                    // `--profile-pairs` run (CI diffs the two).
+                    let profiled = program
+                        .run(cinterp::InterpOptions {
+                            profile_pairs: true,
+                            ..interp
+                        })
+                        .map_err(purec::chain::ChainError::Runtime)?;
+                    let pairs = profiled.pairs.expect("profiling run yields a pair profile");
+                    eprint!(
+                        "purec: hot opcode pairs (sampled, top 12):\n{}",
+                        pairs.report(12)
+                    );
+                    if dump_bytecode {
+                        eprint!("{}", program.bytecode_profiled(opt_level, &pairs).dump());
+                    }
+                    // Leg 2: re-optimized with the measured profile
+                    // steering superinstruction fusion.
+                    program.run_profiled("main", interp, &pairs)
+                } else {
+                    if dump_bytecode {
+                        eprint!("{}", program.bytecode_at(opt_level).dump());
+                    }
+                    program.run(interp)
+                };
+                result
                     .map(|result| (out, result))
                     .map_err(purec::chain::ChainError::Runtime)
             });
+        // Switch the probes off and export before deciding the exit
+        // path, so even trapped runs leave a valid trace behind.
+        let trace_data = session.map(cinterp::TraceSession::finish);
+        if let (Some(path), Some(data)) = (&trace_path, &trace_data) {
+            if let Err(e) = std::fs::write(path, cinterp::chrome_trace_json(data)) {
+                eprintln!("purec: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
         match outcome {
             Ok((out, result)) => {
                 print!("{}", result.output);
@@ -331,22 +434,24 @@ fn main() {
                         p.report(12)
                     );
                 }
+                let spawn_sites: usize = out
+                    .program()
+                    .resolved()
+                    .spawn_sites()
+                    .iter()
+                    .map(|(_, n)| n)
+                    .sum();
                 if stats {
-                    let spawn_sites: usize = out
-                        .program()
-                        .resolved()
-                        .spawn_sites()
-                        .iter()
-                        .map(|(_, n)| n)
-                        .sum();
                     eprintln!(
                         "purec: verified pure: {:?}; scops {}; transformed {}; parallel {}; \
                          spawn sites {}; exit {}; \
-                         ops {{flops: {}, loads: {}, stores: {}, calls: {}}}; \
+                         ops {{flops: {}, int_ops: {}, loads: {}, stores: {}, calls: {}, \
+                         branches: {}}}; \
                          memo {{hits: {}, misses: {}, evictions: {}}}; \
                          futures {{spawned: {}, inlined: {}, helped: {}}}; \
                          steals {{local_pushes: {}, tasks_stolen: {}}}; \
-                         opt {{level: {}, folded: {}, fused: {}, icache_hits: {}}}",
+                         opt {{level: {}, folded: {}, fused: {}, icache_hits: {}}}; \
+                         race {{static_skips: {}, dyn_iters: {}}}",
                         out.declared_pure,
                         out.scops_marked,
                         out.regions_transformed,
@@ -354,9 +459,11 @@ fn main() {
                         spawn_sites,
                         result.exit_code,
                         result.counters.flops,
+                        result.counters.int_ops,
                         result.counters.loads,
                         result.counters.stores,
                         result.counters.calls,
+                        result.counters.branches,
                         result.counters.memo_hits,
                         result.counters.memo_misses,
                         result.counters.memo_evictions,
@@ -369,7 +476,73 @@ fn main() {
                         result.counters.insns_folded,
                         result.counters.insns_fused,
                         result.counters.icache_hits,
+                        result.counters.race_static_skips,
+                        result.counters.race_dyn_iters,
                     );
+                    // Latency histograms and gauges exist only when a
+                    // session ran (--trace / --stats-json alongside).
+                    if let Some(data) = &trace_data {
+                        for (name, h) in &data.metrics.hists {
+                            if h.count() > 0 {
+                                eprintln!(
+                                    "purec: hist {name}: n={} p50<={}ns p99<={}ns",
+                                    h.count(),
+                                    h.quantile_upper(0.5),
+                                    h.quantile_upper(0.99),
+                                );
+                            }
+                        }
+                        for (name, g) in &data.metrics.gauges {
+                            if g.count > 0 {
+                                eprintln!(
+                                    "purec: gauge {name}: n={} mean={:.1} max={}",
+                                    g.count,
+                                    g.mean(),
+                                    g.max,
+                                );
+                            }
+                        }
+                    }
+                }
+                if let Some(path) = &stats_json_path {
+                    let data = trace_data
+                        .as_ref()
+                        .expect("--stats-json always runs a session");
+                    let n = |v: u64| serde_json::Value::Num(v as f64);
+                    let root = serde_json::Value::Object(vec![
+                        (
+                            "exit_code".to_string(),
+                            serde_json::Value::Num(result.exit_code as f64),
+                        ),
+                        ("opt_level".to_string(), n(opt_level as u64)),
+                        (
+                            "counters".to_string(),
+                            cinterp::counters_json(&result.counters),
+                        ),
+                        ("metrics".to_string(), cinterp::metrics_json(&data.metrics)),
+                        (
+                            "chain".to_string(),
+                            serde_json::Value::Object(vec![
+                                ("scops_marked".to_string(), n(out.scops_marked as u64)),
+                                (
+                                    "regions_transformed".to_string(),
+                                    n(out.regions_transformed as u64),
+                                ),
+                                (
+                                    "regions_parallelized".to_string(),
+                                    n(out.regions_parallelized as u64),
+                                ),
+                                ("spawn_sites".to_string(), n(spawn_sites as u64)),
+                                ("analysis_micros".to_string(), n(out.analysis_micros)),
+                            ]),
+                        ),
+                        ("dropped_events".to_string(), n(data.dropped)),
+                    ]);
+                    let rendered = serde_json::to_string_pretty(&root).expect("stats JSON renders");
+                    if let Err(e) = std::fs::write(path, rendered) {
+                        eprintln!("purec: cannot write {path}: {e}");
+                        std::process::exit(1);
+                    }
                 }
                 std::process::exit(result.exit_code as i32 & 0x7f);
             }

@@ -122,3 +122,57 @@ fn injected_faults_are_contained_and_pool_survives() {
     assert_eq!(after.output, reference.output);
     assert_eq!(after.exit_code, reference.exit_code);
 }
+
+/// Whatever faults a seed injects — task panics unwinding mid-span,
+/// allocation traps aborting a region, forced steal races — a traced
+/// run must still export structurally valid Chrome trace JSON: every
+/// `B` closed by a matching `E` (the span guards record their end on
+/// unwind too), timestamps monotonic per thread. Run single-threaded
+/// like the rest of this binary: both the fault injector and the trace
+/// switch are process-global.
+#[test]
+fn traced_json_stays_well_formed_under_faults() {
+    let prog = hammer_program();
+    let opts = InterpOptions {
+        threads: 4,
+        futures: true,
+        ..Default::default()
+    };
+    machine::fault::disarm();
+    for seed in 1..=12u64 {
+        machine::fault::seed(seed * 0x517c_c1b7);
+        let session = cinterp::TraceSession::start();
+        let outcome = catch_unwind(AssertUnwindSafe(|| prog.run(opts)));
+        machine::fault::disarm();
+        let data = session.finish();
+        let json = cinterp::chrome_trace_json(&data);
+        let stats = cinterp::validate_chrome_trace(&json).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed} (outcome ok={}): invalid trace: {e}",
+                outcome.is_ok()
+            )
+        });
+        assert_eq!(
+            data.dropped, 0,
+            "seed {seed}: event buffers overflowed ({} events)",
+            stats.events
+        );
+        // A clean run always records its parallel region; a fault may
+        // strike before the region opens (e.g. the very first malloc),
+        // but a structured trap must then leave its instant behind.
+        match &outcome {
+            Ok(Ok(_)) => assert!(
+                stats.has_name("region"),
+                "seed {seed}: no region span in {:?}",
+                stats.names
+            ),
+            Ok(Err(_)) => assert!(
+                stats.has_name("trap"),
+                "seed {seed}: trapped run left no trap instant in {:?}",
+                stats.names
+            ),
+            Err(_) => {} // injected panic: containment is the other test's job.
+        }
+    }
+    machine::fault::disarm();
+}

@@ -1081,3 +1081,66 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Observability: tracing must not change observables
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tracing layer is observably free: with a [`cinterp::TraceSession`]
+    /// live (every probe site armed, per-thread buffers recording), every
+    /// engine produces bit-identical exit code, output and executed-op
+    /// counters (modulo scheduling-dependent bookkeeping, zeroed by
+    /// `without_memo`) to its untraced run — sequentially and with 4
+    /// threads, across generated programs with parallel regions.
+    #[test]
+    fn tracing_does_not_change_observables(
+        n in 4usize..40,
+        c1 in -20i64..50,
+        c2 in 1i64..40,
+        op1 in 0usize..6,
+        op2 in 0usize..6,
+        sched in 0usize..5,
+    ) {
+        let src = differential_source(n, c1, c2, op1, op2, sched);
+        let parsed = parse(&src);
+        prop_assert!(!parsed.diags.has_errors(), "{}", parsed.diags.render_all(&src));
+        let prog = Program::new(&parsed.unit);
+        for threads in [1usize, 4] {
+            let opts = InterpOptions { threads, ..Default::default() };
+            let off_vm = prog.run(opts).expect("VM untraced");
+            let off_res = prog.run_resolved(opts).expect("resolved untraced");
+            let off_legacy = prog.run_legacy(opts).expect("legacy untraced");
+
+            let session = cinterp::TraceSession::start();
+            let on_vm = prog.run(opts).expect("VM traced");
+            let on_res = prog.run_resolved(opts).expect("resolved traced");
+            let on_legacy = prog.run_legacy(opts).expect("legacy traced");
+            // (Structural validation of the exported JSON lives in the
+            // fault-hammer suite, which controls test concurrency; other
+            // tests of this binary may hold spans open while we drain.)
+            let _ = session.finish();
+
+            for (on, off, tier) in [
+                (&on_vm, &off_vm, "vm"),
+                (&on_res, &off_res, "resolved"),
+                (&on_legacy, &off_legacy, "legacy"),
+            ] {
+                prop_assert_eq!(
+                    on.exit_code, off.exit_code,
+                    "threads={} tier={}", threads, tier
+                );
+                prop_assert_eq!(&on.output, &off.output, "threads={} tier={}", threads, tier);
+                prop_assert_eq!(
+                    on.counters.without_memo(),
+                    off.counters.without_memo(),
+                    "threads={} tier={}",
+                    threads,
+                    tier
+                );
+            }
+        }
+    }
+}
