@@ -135,6 +135,11 @@ fn analyze_omp_loop(
         );
     }
 
+    // Undo hoisted row-pointer copies so the screens and the dependence
+    // test see the original subscript streams (`p[j]` → `base[i][j]`).
+    let resolved = resolve_pointer_copies(for_stmt);
+    let for_stmt = resolved.as_ref().unwrap_or(for_stmt);
+
     let mut verdict = LoopVerdict::Independent;
     let downgrade = |v: &mut LoopVerdict, to: LoopVerdict| {
         if (to == LoopVerdict::Racy)
@@ -451,6 +456,302 @@ fn collect_body_decls(s: &Stmt, out: &mut HashSet<String>) {
             }
         }
     });
+}
+
+// ---------------------------------------------------------------------------
+// Row-pointer copy propagation: substitute single-assignment pointer
+// locals (`T* p = base[i];`) back into their uses before analysis. The
+// polyhedral stage hoists exactly this shape out of inner loops; without
+// the substitution the per-name dependence test loses the subscript
+// stream behind `p` and the alias screen flags `p` against its own base,
+// demoting nests that were provably independent before the hoist.
+// ---------------------------------------------------------------------------
+
+/// `base[e1][e2]…` chains over a plain identifier, with side-effect-free
+/// subscripts — the only initializer shape whose value can be re-derived
+/// at every use site.
+fn stable_lvalue_path(e: &Expr, subscript_ids: &mut HashSet<String>) -> Option<String> {
+    match &e.kind {
+        ExprKind::Ident(n) => Some(n.clone()),
+        ExprKind::Index(base, sub) => {
+            if !side_effect_free(sub) {
+                return None;
+            }
+            sub.walk(&mut |s| {
+                if let ExprKind::Ident(n) = &s.kind {
+                    subscript_ids.insert(n.clone());
+                }
+            });
+            stable_lvalue_path(base, subscript_ids)
+        }
+        _ => None,
+    }
+}
+
+fn side_effect_free(e: &Expr) -> bool {
+    let mut ok = true;
+    e.walk(&mut |s| match &s.kind {
+        ExprKind::Call { .. } | ExprKind::Assign(..) => ok = false,
+        ExprKind::Unary(op, _) if op.writes_operand() => ok = false,
+        _ => {}
+    });
+    ok
+}
+
+/// Writes inside the loop, split by what they can invalidate. A for
+/// header's update of its *own* declared iterator is iteration structure,
+/// not a body write — the copies under it re-execute each iteration.
+#[derive(Default)]
+struct LoopWrites {
+    /// Names assigned / inc-dec'd / address-taken directly.
+    direct: HashSet<String>,
+    /// Bases stored through exactly one subscript (`X[e] = …` moves a
+    /// row; `X[a][b] = …` does not).
+    row: HashSet<String>,
+}
+
+fn collect_loop_writes(s: &Stmt, out: &mut LoopWrites) {
+    let record = |e: &Expr, out: &mut LoopWrites, skip: Option<&str>| {
+        e.walk(&mut |w| {
+            let target = match &w.kind {
+                ExprKind::Assign(_, lhs, _) => Some(&**lhs),
+                ExprKind::Unary(op, inner) if op.writes_operand() => Some(&**inner),
+                ExprKind::Unary(UnOp::AddrOf, inner) => {
+                    // Escaped addresses defeat the value-tracking
+                    // entirely: root through every subscript level.
+                    let mut bases = HashSet::new();
+                    pointer_value_bases(inner, &mut bases);
+                    for b in bases {
+                        out.direct.insert(b.clone());
+                        out.row.insert(b);
+                    }
+                    None
+                }
+                _ => None,
+            };
+            if let Some(t) = target {
+                match &t.kind {
+                    ExprKind::Ident(n) if Some(n.as_str()) != skip => {
+                        out.direct.insert(n.clone());
+                    }
+                    ExprKind::Index(b, _) => {
+                        if let ExprKind::Ident(n) = &b.kind {
+                            out.row.insert(n.clone());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        });
+    };
+    match &s.kind {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            let own = match init.as_ref() {
+                ForInit::Decl(d) => d.declarators.first().map(|d| d.name.as_str()),
+                _ => None,
+            };
+            if let ForInit::Expr(Some(e)) = init.as_ref() {
+                record(e, out, None);
+            }
+            if let Some(c) = cond {
+                record(c, out, own);
+            }
+            if let Some(st) = step {
+                record(st, out, own);
+            }
+            collect_loop_writes(body, out);
+        }
+        StmtKind::Block(b) => {
+            for s in &b.stmts {
+                collect_loop_writes(s, out);
+            }
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            record(cond, out, None);
+            collect_loop_writes(then_branch, out);
+            if let Some(e) = else_branch {
+                collect_loop_writes(e, out);
+            }
+        }
+        StmtKind::While { cond, body } | StmtKind::DoWhile { cond, body } => {
+            record(cond, out, None);
+            collect_loop_writes(body, out);
+        }
+        StmtKind::Decl(d) => {
+            for dec in &d.declarators {
+                if let Some(init) = &dec.init {
+                    record(init, out, None);
+                }
+            }
+        }
+        StmtKind::Expr(Some(e)) | StmtKind::Return(Some(e)) => record(e, out, None),
+        _ => {}
+    }
+}
+
+struct PointerCopy {
+    name: String,
+    init: Expr,
+    /// Nest iterators in scope at the declaration point.
+    scope: HashSet<String>,
+}
+
+fn collect_pointer_copies(s: &Stmt, scope: &mut Vec<String>, out: &mut Vec<PointerCopy>) {
+    match &s.kind {
+        StmtKind::Decl(d) => {
+            // Single-declarator statements only: removal stays trivial.
+            if let [dec] = d.declarators.as_slice() {
+                if !dec.ty.ptr.is_empty() && dec.array_dims.is_empty() {
+                    if let Some(init) = &dec.init {
+                        let mut subs = HashSet::new();
+                        if stable_lvalue_path(init, &mut subs).is_some() {
+                            out.push(PointerCopy {
+                                name: dec.name.clone(),
+                                init: init.clone(),
+                                scope: scope.iter().cloned().collect(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        StmtKind::For { init, body, .. } => {
+            let mut pushed = 0;
+            if let ForInit::Decl(d) = init.as_ref() {
+                for dec in &d.declarators {
+                    scope.push(dec.name.clone());
+                    pushed += 1;
+                }
+            }
+            collect_pointer_copies(body, scope, out);
+            scope.truncate(scope.len() - pushed);
+        }
+        StmtKind::Block(b) => {
+            for s in &b.stmts {
+                collect_pointer_copies(s, scope, out);
+            }
+        }
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_pointer_copies(then_branch, scope, out);
+            if let Some(e) = else_branch {
+                collect_pointer_copies(e, scope, out);
+            }
+        }
+        StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+            collect_pointer_copies(body, scope, out);
+        }
+        _ => {}
+    }
+}
+
+/// Substitute every sound pointer copy back into its uses and drop the
+/// declarations, returning the rewritten loop — or `None` when the loop
+/// holds no such copy (the common case; avoids the clone).
+fn resolve_pointer_copies(for_stmt: &Stmt) -> Option<Stmt> {
+    let mut cands = Vec::new();
+    collect_pointer_copies(for_stmt, &mut Vec::new(), &mut cands);
+    if cands.is_empty() {
+        return None;
+    }
+    let mut writes = LoopWrites::default();
+    collect_loop_writes(for_stmt, &mut writes);
+    let mut all_iters: HashSet<String> = HashSet::new();
+    for_stmt.walk(&mut |s| {
+        if let StmtKind::For { init, .. } = &s.kind {
+            if let ForInit::Decl(d) = init.as_ref() {
+                for dec in &d.declarators {
+                    all_iters.insert(dec.name.clone());
+                }
+            }
+        }
+    });
+    let cand_names: HashSet<String> = cands.iter().map(|c| c.name.clone()).collect();
+    let sound: Vec<&PointerCopy> = cands
+        .iter()
+        .filter(|c| {
+            let mut subs = HashSet::new();
+            let base = stable_lvalue_path(&c.init, &mut subs).expect("pre-screened");
+            // The copy itself must stay single-assignment, its base's
+            // rows must not move, its subscripts must be stable between
+            // declaration and use (an iterator qualifies only when the
+            // copy lives inside that iterator's loop), and chains of
+            // copies are left alone.
+            !writes.direct.contains(&c.name)
+                && !writes.direct.contains(&base)
+                && !writes.row.contains(&base)
+                && !cand_names.contains(&base)
+                && subs.iter().all(|id| {
+                    !writes.direct.contains(id)
+                        && (!all_iters.contains(id) || c.scope.contains(id))
+                        && !cand_names.contains(id)
+                })
+        })
+        .collect();
+    if sound.is_empty() {
+        return None;
+    }
+    let mut resolved = for_stmt.clone();
+    for c in &sound {
+        cfront::visit::visit_exprs_mut(&mut resolved, &mut |e| {
+            if matches!(&e.kind, ExprKind::Ident(n) if *n == c.name) {
+                let span = e.span;
+                *e = c.init.clone();
+                // keep original use-site spans for diagnostics
+                fn respan(e: &mut Expr, span: Span) {
+                    e.span = span;
+                    if let ExprKind::Index(b, s) = &mut e.kind {
+                        respan(b, span);
+                        respan(s, span);
+                    }
+                }
+                respan(e, span);
+            }
+        });
+    }
+    let resolved_names: HashSet<&str> = sound.iter().map(|c| c.name.as_str()).collect();
+    fn drop_decls(s: &mut Stmt, names: &HashSet<&str>) {
+        match &mut s.kind {
+            StmtKind::Block(b) => {
+                b.stmts.retain(|s| {
+                    !matches!(&s.kind, StmtKind::Decl(d)
+                        if matches!(d.declarators.as_slice(),
+                            [dec] if names.contains(dec.name.as_str())))
+                });
+                for s in &mut b.stmts {
+                    drop_decls(s, names);
+                }
+            }
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                drop_decls(then_branch, names);
+                if let Some(e) = else_branch {
+                    drop_decls(e, names);
+                }
+            }
+            StmtKind::While { body, .. }
+            | StmtKind::DoWhile { body, .. }
+            | StmtKind::For { body, .. } => drop_decls(body, names),
+            _ => {}
+        }
+    }
+    drop_decls(&mut resolved, &resolved_names);
+    Some(resolved)
 }
 
 // ---------------------------------------------------------------------------

@@ -197,6 +197,47 @@ pub fn c_source(n: usize) -> String {
     )
 }
 
+/// Inline triple-loop variant of [`c_source`]: same matrices, same
+/// checksum, but the product nest accumulates in place with no pure-call
+/// boundary, so the polyhedral backend sees every subscript stream — the
+/// shape where schedule-aware execution (hoisted bounds, fused back
+/// edges, strength-reduced row pointers) pays off in wall time rather
+/// than only in dispatch counts.
+pub fn c_source_inline(n: usize) -> String {
+    format!(
+        "#include <stdio.h>\n\
+         #include <stdlib.h>\n\
+         \n\
+         float **A, **Bt, **C;\n\
+         \n\
+         int main(int argc, char** argv) {{\n\
+             A = (float**) malloc({n} * sizeof(float*));\n\
+             Bt = (float**) malloc({n} * sizeof(float*));\n\
+             C = (float**) malloc({n} * sizeof(float*));\n\
+             for (int i = 0; i < {n}; ++i) {{\n\
+                 A[i] = (float*) malloc({n} * sizeof(float));\n\
+                 Bt[i] = (float*) malloc({n} * sizeof(float));\n\
+                 C[i] = (float*) malloc({n} * sizeof(float));\n\
+                 for (int j = 0; j < {n}; ++j) {{\n\
+                     A[i][j] = (float)(i + 2 * j + 1);\n\
+                     Bt[i][j] = (float)(i - j + 3);\n\
+                     C[i][j] = 0.0f;\n\
+                 }}\n\
+             }}\n\
+             #pragma omp parallel for\n\
+             for (int i = 0; i < {n}; ++i)\n\
+                 for (int j = 0; j < {n}; ++j)\n\
+                     for (int k = 0; k < {n}; ++k)\n\
+                         C[i][j] += A[i][k] * Bt[j][k];\n\
+             float checksum = 0.0f;\n\
+             for (int i = 0; i < {n}; ++i)\n\
+                 checksum += C[i][(i * 7) % {n}];\n\
+             printf(\"checksum=%.1f\\n\", checksum);\n\
+             return 0;\n\
+         }}\n"
+    )
+}
+
 /// Native mirror of the deterministic init in [`c_source`], so interpreter
 /// results can be cross-checked against Rust.
 pub fn c_source_checksum(n: usize) -> f32 {

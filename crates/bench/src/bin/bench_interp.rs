@@ -634,6 +634,110 @@ fn main() {
         bench_values.push(Value::Object(fields));
     }
 
+    // Polyhedral A/B: the same source lowered twice — the default chain
+    // (polycc schedules + schedule-aware AffineFor bytecode with hoisted
+    // bounds) versus `--no-poly` (literal loop skeletons). Both the
+    // compile and the run are timed: the run ratio is the tier's perf
+    // claim (`speedup_poly_vs_literal`, gated below), the compile delta
+    // is the transform's budget (the bounded Fourier–Motzkin
+    // elimination keeps it small, and the gate below keeps it bounded).
+    // matmul uses the inline triple-loop variant: with no pure-call
+    // boundary in the product nest, the schedule-aware skeleton *and*
+    // the hoisted row pointers both land in the hot loop, which is
+    // where the wall-clock win lives (the pure-call variant is
+    // call-dominated and measures the runtime, not the schedules).
+    let poly_cases: Vec<(&str, String)> = vec![
+        (
+            "matmul128_poly",
+            apps::matmul::c_source_inline(if quick { 48 } else { 128 }),
+        ),
+        (
+            "heat_poly",
+            apps::heat::c_source(if quick { 32 } else { 48 }, if quick { 2 } else { 4 }),
+        ),
+    ];
+    let mut poly_fields: Vec<(String, Value)> = Vec::new();
+    let mut poly_seq_speedups: Vec<(&str, f64)> = Vec::new();
+    let mut poly_par_speedups: Vec<(&str, f64)> = Vec::new();
+    let mut poly_compile_deltas: Vec<(&str, f64)> = Vec::new();
+    for (name, src) in &poly_cases {
+        let compile_best = |opts: ChainOptions| {
+            let mut best = f64::INFINITY;
+            let mut out = None;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let o = compile(src, opts.clone()).expect("chain ok");
+                let dt = t0.elapsed().as_secs_f64();
+                if dt < best {
+                    best = dt;
+                    out = Some(o);
+                }
+            }
+            (best, out.expect("at least one compile"))
+        };
+        let (poly_compile, poly_out) = compile_best(ChainOptions::default());
+        let (lit_compile, lit_out) = compile_best(ChainOptions {
+            no_poly: true,
+            ..Default::default()
+        });
+        assert!(
+            poly_out.regions_transformed >= 1,
+            "{name}: polyhedral tier transformed nothing"
+        );
+        assert_eq!(lit_out.regions_transformed, 0, "{name}: --no-poly leaked");
+        let poly_prog = poly_out.program();
+        let lit_prog = lit_out.program();
+        for (leg, opts) in [("", seq), ("_par4", par4)] {
+            let (poly_t, pr) = time_run(&poly_prog, opts, false, reps);
+            let (lit_t, lr) = time_run(&lit_prog, opts, false, reps);
+            assert_eq!(
+                pr.exit_code, lr.exit_code,
+                "{name}{leg}: poly and literal builds disagree"
+            );
+            let s = lit_t / poly_t;
+            poly_fields.push((format!("{name}{leg}_ms"), num((poly_t * 1e6).round() / 1e3)));
+            poly_fields.push((
+                format!("{name}{leg}_literal_ms"),
+                num((lit_t * 1e6).round() / 1e3),
+            ));
+            poly_fields.push((format!("{name}{leg}_speedup_poly_vs_literal"), num(s)));
+            if leg.is_empty() {
+                poly_seq_speedups.push((name, s));
+            } else {
+                poly_par_speedups.push((name, s));
+            }
+            eprintln!(
+                "{:<18} {:<18} {:>10.3} ms  (literal {:.3} ms, speedup {:.2}x)",
+                name,
+                if leg.is_empty() {
+                    "poly_vs_literal"
+                } else {
+                    "poly_vs_lit_par4"
+                },
+                poly_t * 1e3,
+                lit_t * 1e3,
+                s
+            );
+        }
+        let delta = (poly_compile - lit_compile).max(0.0);
+        poly_fields.push((
+            format!("{name}_compile_ms"),
+            num((poly_compile * 1e6).round() / 1e3),
+        ));
+        poly_fields.push((
+            format!("{name}_poly_compile_delta_ms"),
+            num((delta * 1e6).round() / 1e3),
+        ));
+        poly_compile_deltas.push((name, delta));
+        eprintln!(
+            "{:<18} {:<18} {:>10.3} ms  (compile; transform share {:.3} ms)",
+            name,
+            "chain_compile",
+            poly_compile * 1e3,
+            delta * 1e3
+        );
+    }
+
     // Traced-vs-untraced A/B: the observability layer's overhead budget.
     // The probes are compiled in unconditionally, so their *disabled*
     // cost (one relaxed load + branch per site) is already pinned by the
@@ -715,6 +819,10 @@ fn main() {
         ),
         // Tracing overhead A/B (live TraceSession vs probes-off) on the
         // dispatch-bound and memo-bound cases.
+        // Polyhedral A/B (default chain vs --no-poly) on the two figure
+        // workloads: run-time speedups per leg plus the transform's
+        // compile-time share.
+        ("poly_ab".to_string(), Value::Object(poly_fields)),
         ("traced_ab".to_string(), Value::Object(traced_fields)),
         ("benchmarks".to_string(), Value::Array(bench_values)),
     ]);
@@ -868,6 +976,67 @@ fn main() {
     };
     gate_futures("fib_futures", futures_speedup);
     gate_futures("treesum_expr", treesum_speedup);
+
+    // CI smoke: the schedule-aware lowering must beat the literal
+    // skeletons. Single-threaded matmul gets the hard floor (the
+    // AffineFor index streams and hoisted bounds shave dispatches even
+    // with no parallelism in play); heat's stencil is load-bound, so
+    // its single-threaded floor only catches a real regression. The
+    // parallel legs additionally exercise the fused regions (fewer join
+    // barriers) but depend on the host's CPU budget, so they relax to
+    // "recorded, not gated" on a single-CPU runner.
+    const POLY_SEQ_FLOORS: &[(&str, f64)] = &[("matmul128_poly", 1.15), ("heat_poly", 0.95)];
+    for (name, floor) in POLY_SEQ_FLOORS {
+        let s = poly_seq_speedups
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .unwrap_or(f64::NAN);
+        if s.is_nan() || s < *floor {
+            eprintln!(
+                "FAIL: poly-vs-literal speedup on {name} (1 thread) is {s:.2}x \
+                 (floor {floor:.2}x)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("{name} poly speedup vs literal (1 thread): {s:.2}x (floor {floor:.2}x)");
+    }
+    for (name, s) in &poly_par_speedups {
+        if host_cpus < 2 {
+            eprintln!(
+                "{name} poly speedup vs literal (4 threads): {s:.2}x (not gated: single-CPU host)"
+            );
+        } else if s.is_nan() || *s < 0.95 {
+            eprintln!(
+                "FAIL: poly-vs-literal speedup on {name} (4 threads) is {s:.2}x \
+                 (floor 0.95x)"
+            );
+            std::process::exit(1);
+        } else {
+            eprintln!("{name} poly speedup vs literal (4 threads): {s:.2}x (floor 0.95x)");
+        }
+    }
+    // CI smoke: the transform itself must stay cheap — the bounded
+    // Fourier–Motzkin elimination caps the constraint blow-up, and this
+    // gate pins the resulting compile-time budget: the polyhedral share
+    // of the chain compile stays under 250 ms even on the 128³ nest.
+    const POLY_COMPILE_CAP_SECS: f64 = 0.25;
+    for (name, delta) in &poly_compile_deltas {
+        if *delta >= POLY_COMPILE_CAP_SECS {
+            eprintln!(
+                "FAIL: polyhedral transform adds {:.0} ms to the {name} compile \
+                 (cap {:.0} ms)",
+                delta * 1e3,
+                POLY_COMPILE_CAP_SECS * 1e3
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "{name} polyhedral compile share: {:.1} ms (cap {:.0} ms)",
+            delta * 1e3,
+            POLY_COMPILE_CAP_SECS * 1e3
+        );
+    }
 
     // CI smoke: a live trace session must stay cheap — every probe is
     // one branch plus a buffered append, so a traced run may cost at

@@ -245,11 +245,25 @@ pub(crate) enum Op {
     /// load (preheader of a single-entry loop), uncounted like
     /// `LoadGlobal`.
     LoadGStore,
+    /// `0 → 0` affine loop entry check (once per loop): step tick, branch
+    /// count, then `frame[a & 0xFFFF] <lt|le> ub`; jumps to the loop exit
+    /// at `b >> 2` when false. `ub` is `frame[a >> 16]`, or
+    /// `consts[a >> 16]` when `b & 2`; `b & 1` selects `<=` over `<`.
+    /// Emitted by the lowerer only for polycc-generated (`#pragma
+    /// affine`) canonical loops.
+    AffineHead,
+    /// `0 → 0` fused affine back-edge: increment `frame[a & 0xFFFF]`,
+    /// step tick, branch count, re-check the bound; jumps back to the
+    /// body at `b >> 2` while true (operands as `AffineHead`). One
+    /// dispatch replaces the literal loop's per-iteration
+    /// `IncDecLocal + Jump + Step + BrCmp` with identical counter
+    /// effects in identical order.
+    AffineNext,
 }
 
 /// Number of opcodes (dimension of the [`crate::opt::PairProfile`] pair
 /// matrix).
-pub(crate) const OP_COUNT: usize = Op::LoadGStore as usize + 1;
+pub(crate) const OP_COUNT: usize = Op::AffineNext as usize + 1;
 
 impl Op {
     /// Inverse of `op as u8` (valid for every `x < OP_COUNT`).
@@ -443,6 +457,9 @@ impl BytecodeProgram {
                     Op::Binary => format!("  ; {:?}", binop_decode(insn.a)),
                     Op::BinLL | Op::BinLLStore => format!("  ; {:?}", binop_decode(insn.b & 0xFF)),
                     Op::BrCmpLL => format!("  ; {:?}", binop_decode(insn.b & 0xF)),
+                    Op::AffineHead | Op::AffineNext if insn.b & 2 != 0 => {
+                        format!("  ; ub {:?}", f.consts[(insn.a >> 16) as usize])
+                    }
                     _ => String::new(),
                 };
                 let _ = writeln!(
@@ -489,6 +506,11 @@ struct FnCompiler<'a> {
     /// Patch lists of jumps that exit the innermost active parallel
     /// region body (break/continue with no enclosing loop in the body).
     region_exits: Vec<Vec<usize>>,
+    /// One-shot: suppress the next statement's leading [`Op::Step`].
+    /// Set when lowering a single-statement affine loop body — the
+    /// back-edge [`Op::AffineNext`] already ticks once per iteration,
+    /// so the body's own tick would be a redundant second dispatch.
+    elide_step: bool,
 }
 
 impl<'a> FnCompiler<'a> {
@@ -506,6 +528,7 @@ impl<'a> FnCompiler<'a> {
             err_map: HashMap::new(),
             loops: Vec::new(),
             region_exits: Vec::new(),
+            elide_step: false,
         }
     }
 
@@ -582,6 +605,97 @@ impl<'a> FnCompiler<'a> {
         idx
     }
 
+    /// Structural eligibility of a polycc-generated loop for the fused
+    /// [`Op::AffineHead`]/[`Op::AffineNext`] pair: `i < ub` / `i <= ub`
+    /// over a local iterator with a unit `++i`/`i++` step, `ub` a local
+    /// or int literal, all operands fitting the 16-bit packing. Returns
+    /// `(iter_slot, ub_index, ub_is_const, inclusive)`; ineligible loops
+    /// fall back to the literal lowering.
+    fn affine_header(
+        &mut self,
+        cond: &Option<RExpr>,
+        step: &Option<RExpr>,
+    ) -> Option<(u32, u32, bool, bool)> {
+        let (Some(c), Some(st)) = (cond, step) else {
+            return None;
+        };
+        let RExprKind::Binary(op, l, r) = &c.kind else {
+            return None;
+        };
+        let le = match op {
+            BinOp::Lt => false,
+            BinOp::Le => true,
+            _ => return None,
+        };
+        let RExprKind::Local(iter) = l.kind else {
+            return None;
+        };
+        let RExprKind::IncDec(inc_op, place) = &st.kind else {
+            return None;
+        };
+        if !matches!(inc_op, UnOp::PreInc | UnOp::PostInc) {
+            return None;
+        }
+        let RPlaceKind::Local(slot) = place.kind else {
+            return None;
+        };
+        if slot != iter {
+            return None;
+        }
+        let (ub, is_const) = match r.kind {
+            RExprKind::Local(u) => (u, false),
+            RExprKind::Int(k) => (self.const_idx(Scalar::I(k)), true),
+            _ => return None,
+        };
+        (iter < 0x10000 && ub < 0x10000).then_some((iter, ub, is_const, le))
+    }
+
+    /// Emit a canonical affine loop as `AffineHead … body … AffineNext`:
+    /// the head checks the bound once on entry, the single back-edge
+    /// instruction owns increment + step tick + branch + re-check.
+    fn affine_for(
+        &mut self,
+        iter: u32,
+        ub: u32,
+        is_const: bool,
+        le: bool,
+        body: &RStmt,
+        span: Span,
+    ) {
+        let flags = ((is_const as u32) << 1) | le as u32;
+        let head = self.emit(Op::AffineHead, iter | (ub << 16), flags, span);
+        let body_start = self.here();
+        self.loops.push(LoopFrame {
+            breaks: Vec::new(),
+            continues: Vec::new(),
+        });
+        // A single-statement body keeps exactly one tick per iteration
+        // (the back-edge's); block bodies keep their per-statement ticks
+        // so the memory-ceiling cadence matches the literal lowering.
+        if !matches!(body.kind, RStmtKind::Block(_)) {
+            self.elide_step = true;
+        }
+        self.stmt(body);
+        let cont = self.here();
+        self.emit(
+            Op::AffineNext,
+            iter | (ub << 16),
+            (body_start << 2) | flags,
+            span,
+        );
+        let end = self.here();
+        let frame = self.loops.pop().expect("loop frame");
+        for at in frame.breaks {
+            self.patch(at, end);
+        }
+        for at in frame.continues {
+            self.patch(at, cont);
+        }
+        // The exit target lives in the upper bits of `b` (not `a`, which
+        // packs the operands) — patched by hand once the end is known.
+        self.code[head].b |= end << 2;
+    }
+
     fn emit_err(&mut self, msg: impl Into<String>, span: Span) {
         let idx = self.err_idx(msg);
         self.emit(Op::Err, idx, 0, span);
@@ -594,6 +708,7 @@ impl<'a> FnCompiler<'a> {
     // -- statements -----------------------------------------------------------
 
     fn stmt(&mut self, s: &RStmt) {
+        let elide_step = std::mem::take(&mut self.elide_step);
         // Parallel regions bypass statement step accounting, exactly like
         // the resolved engine's `exec` short-circuit.
         if let RStmtKind::OmpFor(of) = &s.kind {
@@ -608,7 +723,9 @@ impl<'a> FnCompiler<'a> {
             }
             return;
         }
-        self.emit(Op::Step, 0, 0, s.span);
+        if !elide_step {
+            self.emit(Op::Step, 0, 0, s.span);
+        }
         match &s.kind {
             RStmtKind::Decl(decls) => {
                 for d in decls {
@@ -692,6 +809,7 @@ impl<'a> FnCompiler<'a> {
                 cond,
                 step,
                 body,
+                affine,
             } => {
                 if let Some(i) = init {
                     match &i.kind {
@@ -702,6 +820,12 @@ impl<'a> FnCompiler<'a> {
                         }
                         RStmtKind::Expr(Some(e)) => self.stmt_expr(e),
                         _ => {}
+                    }
+                }
+                if *affine {
+                    if let Some((iter, ub, is_const, le)) = self.affine_header(cond, step) {
+                        self.affine_for(iter, ub, is_const, le, body, s.span);
+                        return;
                     }
                 }
                 let top = self.here();

@@ -246,6 +246,7 @@ fn jump_target(insn: &Insn) -> Option<usize> {
     match insn.op {
         Op::Jump | Op::JumpIfFalse | Op::JumpIfTrue | Op::SkipUnlessPtr => Some(insn.a as usize),
         Op::BrCmpLL | Op::BrCmpLC => Some((insn.b >> 6) as usize),
+        Op::AffineHead | Op::AffineNext => Some((insn.b >> 2) as usize),
         _ => None,
     }
 }
@@ -254,6 +255,7 @@ fn set_jump_target(insn: &mut Insn, t: usize) {
     match insn.op {
         Op::Jump | Op::JumpIfFalse | Op::JumpIfTrue | Op::SkipUnlessPtr => insn.a = t as u32,
         Op::BrCmpLL | Op::BrCmpLC => insn.b = (insn.b & 0x3F) | ((t as u32) << 6),
+        Op::AffineHead | Op::AffineNext => insn.b = (insn.b & 0x3) | ((t as u32) << 2),
         _ => unreachable!("not a jump"),
     }
 }
@@ -275,6 +277,8 @@ fn ends_block(op: Op) -> bool {
             | Op::MemberUnknownErr
             | Op::RegionEnd
             | Op::OmpRegion
+            | Op::AffineHead
+            | Op::AffineNext
     )
 }
 
@@ -977,7 +981,9 @@ fn copy_propagate(f: &mut BFunc) -> bool {
             | Op::Err
             | Op::MemberUnknownErr
             | Op::RegionEnd
-            | Op::OmpRegion => {}
+            | Op::OmpRegion
+            | Op::AffineHead
+            | Op::AffineNext => {}
         }
     }
     changed
@@ -1016,6 +1022,15 @@ fn liveness_step(insn: &Insn, live: &mut [bool]) {
         // Counted read-modify-writes: both a use and a def (never
         // deleted — they bump executed-op counters).
         Op::CompoundLocal | Op::IncDecLocal | Op::AwaitSlot => live[insn.a as usize] = true,
+        // Iterator is a read-modify-write like `IncDecLocal`; the upper
+        // half is a slot only when the const bit (`b & 2`) is clear —
+        // a const-pool index must never be marked in the frame set.
+        Op::AffineHead | Op::AffineNext => {
+            live[(insn.a & 0xFFFF) as usize] = true;
+            if insn.b & 2 == 0 {
+                live[(insn.a >> 16) as usize] = true;
+            }
+        }
         // The whole frame is snapshot into the workers.
         Op::OmpRegion => live.iter_mut().for_each(|x| *x = true),
         _ => {}

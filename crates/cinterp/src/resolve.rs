@@ -285,6 +285,11 @@ pub(crate) enum RStmtKind {
         cond: Option<RExpr>,
         step: Option<RExpr>,
         body: Box<RStmt>,
+        /// Loop belongs to a polycc-generated affine nest (announced by a
+        /// `#pragma affine` marker): the bytecode tier may lower it with
+        /// the fused `AffineHead`/`AffineNext` opcodes. The resolved-IR
+        /// engine executes it exactly like any other `for`.
+        affine: bool,
     },
     Return(Option<RExpr>),
     Break,
@@ -457,6 +462,12 @@ pub(crate) struct Lowerer<'a> {
     scopes: Vec<HashMap<String, VarInfo>>,
     next_slot: u32,
     member_table: HashMap<(u32, u32), (usize, bool)>,
+    /// A `#pragma affine` marker was just lowered: the next `for` (or omp
+    /// `for`) heads a polycc-generated affine nest.
+    pending_affine: bool,
+    /// Depth of affine nests currently being lowered — every `for` inside
+    /// one is itself part of the generated nest.
+    affine_depth: u32,
 }
 
 impl<'a> Lowerer<'a> {
@@ -536,6 +547,8 @@ impl<'a> Lowerer<'a> {
             scopes: Vec::new(),
             next_slot: 0,
             member_table: HashMap::new(),
+            pending_affine: false,
+            affine_depth: 0,
         }
     }
 
@@ -773,10 +786,23 @@ impl<'a> Lowerer<'a> {
     // -- statements ----------------------------------------------------------
 
     fn lower_stmt(&mut self, s: &Stmt) -> RStmt {
+        // Only a `for` directly after the marker consumes it; anything
+        // else voids it so unrelated later loops are not tagged.
+        if !matches!(s.kind, StmtKind::Pragma(_) | StmtKind::For { .. }) {
+            self.pending_affine = false;
+        }
         let kind = match &s.kind {
             StmtKind::Decl(d) => RStmtKind::Decl(self.lower_declaration(d, false)),
             StmtKind::Expr(Some(e)) => RStmtKind::Expr(Some(self.lower_expr(e))),
-            StmtKind::Expr(None) | StmtKind::Pragma(_) => RStmtKind::Nop,
+            StmtKind::Expr(None) => RStmtKind::Nop,
+            StmtKind::Pragma(p) => {
+                // polycc's nest marker (kept in the printed C as a no-op
+                // pragma so all engines see identical source).
+                if p.trim() == "pragma affine" {
+                    self.pending_affine = true;
+                }
+                RStmtKind::Nop
+            }
             StmtKind::Block(b) => RStmtKind::Block(self.lower_block_stmts(b)),
             StmtKind::If {
                 cond,
@@ -801,6 +827,7 @@ impl<'a> Lowerer<'a> {
                 step,
                 body,
             } => {
+                let affine = std::mem::take(&mut self.pending_affine) || self.affine_depth > 0;
                 // The iterator's scope spans init, cond, step and body.
                 self.scopes.push(HashMap::new());
                 let rinit = match init.as_ref() {
@@ -816,13 +843,20 @@ impl<'a> Lowerer<'a> {
                 };
                 let rcond = cond.as_ref().map(|c| self.lower_expr(c));
                 let rstep = step.as_ref().map(|st| self.lower_expr(st));
+                if affine {
+                    self.affine_depth += 1;
+                }
                 let rbody = Box::new(self.lower_stmt(body));
+                if affine {
+                    self.affine_depth -= 1;
+                }
                 self.scopes.pop();
                 RStmtKind::For {
                     init: rinit,
                     cond: rcond,
                     step: rstep,
                     body: rbody,
+                    affine,
                 }
             }
             StmtKind::Return(e) => RStmtKind::Return(e.as_ref().map(|e| self.lower_expr(e))),
@@ -934,7 +968,16 @@ impl<'a> Lowerer<'a> {
         // (matching the tree-walker seeding the child's top frame).
         self.scopes.push(HashMap::new());
         let iter_slot = self.declare_local(&iter_name, Type::int(), 0);
+        // An affine marker ahead of the omp header covers the whole nest:
+        // inner loops of the generated body lower as affine.
+        let affine = std::mem::take(&mut self.pending_affine);
+        if affine {
+            self.affine_depth += 1;
+        }
         let rbody = self.lower_stmt(body);
+        if affine {
+            self.affine_depth -= 1;
+        }
         self.scopes.pop();
 
         RStmt {
@@ -1230,6 +1273,7 @@ impl CacheScan<'_> {
                 cond,
                 step,
                 body,
+                ..
             } => {
                 if let Some(i) = init {
                     self.scan_stmt(i);
@@ -2341,6 +2385,7 @@ impl RInterp {
                 cond,
                 step,
                 body,
+                ..
             } => {
                 if let Some(i) = init {
                     match &i.kind {

@@ -180,6 +180,7 @@ fn scan_stmt(s: &RStmt, calls: &mut Vec<u32>, has_loop: &mut bool) {
             cond,
             step,
             body,
+            ..
         } => {
             *has_loop = true;
             if let Some(i) = init {
@@ -450,11 +451,13 @@ impl Hoister<'_> {
                 cond,
                 step,
                 body,
+                affine,
             } => RStmtKind::For {
                 init,
                 cond,
                 step,
                 body: Box::new(self.hoist_child(*body)),
+                affine,
             },
             RStmtKind::OmpFor(mut of) => {
                 if let Ok(h) = &mut of.header {
@@ -953,11 +956,13 @@ fn rewrite_nested(s: RStmt, heavy: &[bool]) -> RStmt {
             cond,
             step,
             body,
+            affine,
         } => RStmtKind::For {
             init,
             cond,
             step,
             body: Box::new(rewrite_nested(*body, heavy)),
+            affine,
         },
         RStmtKind::OmpFor(mut of) => {
             if let Ok(h) = &mut of.header {

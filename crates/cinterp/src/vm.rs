@@ -35,7 +35,7 @@
 //! memo for exactly this reason).
 
 use crate::builtins::{call_builtin, format_printf};
-use crate::bytecode::{binop_decode, BFunc, BRegion, BSpawn, BytecodeProgram, Op};
+use crate::bytecode::{binop_decode, BFunc, BRegion, BSpawn, BytecodeProgram, Insn, Op};
 use crate::cache::ClockCache;
 use crate::interp::{InterpOptions, RunResult, RuntimeError, Trap};
 use crate::opt::PairProfile;
@@ -981,6 +981,75 @@ impl Vm {
         Ok(())
     }
 
+    /// One statement/iteration tick: step accounting, spill compaction
+    /// at the safe point, memory ceiling. The body of [`Op::Step`], also
+    /// run once per iteration by `AffineHead`/`AffineNext`.
+    #[inline]
+    fn step_tick(&mut self, span: Span) -> RtResult<()> {
+        self.steps += 1;
+        if self.steps > self.s.opts.max_steps {
+            return Err(RuntimeError::at(
+                "step limit exceeded (infinite loop?)",
+                span,
+            ));
+        }
+        // Statement boundaries are compaction safe points: the pool's
+        // live set is exactly the spill-tagged words in the arena and
+        // operand stack.
+        let live = self.arena.len() + self.stack.len();
+        if self.spill.len() - self.spill_floor > 1024 + 4 * live {
+            self.compact_spills();
+        }
+        // Memory ceiling at statement granularity: heap bytes are
+        // charged exactly at `try_alloc`, while this VM's
+        // arena/stack/spill growth is folded in here (at most one
+        // statement of overshoot).
+        if let Some(limit) = self.s.mem.limit_bytes() {
+            let local = 8 * (live + self.spill.len()) as u64;
+            let heap = self.s.mem.used_bytes().unwrap_or(0);
+            if heap.saturating_add(local) > limit {
+                return Err(RuntimeError::trap_at(
+                    Trap::MemoryLimit,
+                    format!(
+                        "memory limit exceeded: {heap} heap + {local} \
+                         interpreter bytes over the {limit}-byte cap"
+                    ),
+                    span,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Branch-counted bound check shared by `AffineHead`/`AffineNext`:
+    /// `frame[a & 0xFFFF] <lt|le> ub` with the rhs re-read every time
+    /// (slot or const per `b & 2`), exactly the counter effects of the
+    /// literal loop's condition evaluation.
+    #[inline]
+    fn affine_cond(&mut self, f: &BFunc, base: usize, insn: Insn, span: Span) -> RtResult<bool> {
+        self.tally.branches += 1;
+        let op = if insn.b & 1 != 0 {
+            BinOp::Le
+        } else {
+            BinOp::Lt
+        };
+        let x = self.arena[base + (insn.a & 0xFFFF) as usize];
+        let out = if insn.b & 2 != 0 {
+            let cv = f.consts[(insn.a >> 16) as usize];
+            if let (Some(a), Scalar::I(b)) = (x.as_inline_int(), cv) {
+                self.int_binop(op, a, b, span)?
+            } else {
+                let xs = self.unpack(x);
+                let s = self.apply_binop(op, xs, cv, span)?;
+                self.pack(s)
+            }
+        } else {
+            let y = self.arena[base + (insn.a >> 16) as usize];
+            self.binop(op, x, y, span)?
+        };
+        Ok(self.truthy(out))
+    }
+
     // -- dispatch loop --------------------------------------------------------
 
     /// Run `f`'s code from `pc` with the current frame at `arena[base..]`
@@ -1007,40 +1076,7 @@ impl Vm {
                 pp.tick(insn.op);
             }
             match insn.op {
-                Op::Step => {
-                    self.steps += 1;
-                    if self.steps > self.s.opts.max_steps {
-                        return Err(RuntimeError::at(
-                            "step limit exceeded (infinite loop?)",
-                            f.spans[pc],
-                        ));
-                    }
-                    // Statement boundaries are compaction safe points:
-                    // the pool's live set is exactly the spill-tagged
-                    // words in the arena and operand stack.
-                    let live = self.arena.len() + self.stack.len();
-                    if self.spill.len() - self.spill_floor > 1024 + 4 * live {
-                        self.compact_spills();
-                    }
-                    // Memory ceiling at statement granularity: heap
-                    // bytes are charged exactly at `try_alloc`, while
-                    // this VM's arena/stack/spill growth is folded in
-                    // here (at most one statement of overshoot).
-                    if let Some(limit) = self.s.mem.limit_bytes() {
-                        let local = 8 * (live + self.spill.len()) as u64;
-                        let heap = self.s.mem.used_bytes().unwrap_or(0);
-                        if heap.saturating_add(local) > limit {
-                            return Err(RuntimeError::trap_at(
-                                Trap::MemoryLimit,
-                                format!(
-                                    "memory limit exceeded: {heap} heap + {local} \
-                                     interpreter bytes over the {limit}-byte cap"
-                                ),
-                                f.spans[pc],
-                            ));
-                        }
-                    }
-                }
+                Op::Step => self.step_tick(f.spans[pc])?,
                 Op::Const => {
                     let v = self.pack(f.consts[insn.a as usize]);
                     self.stack.push(v);
@@ -1667,6 +1703,30 @@ impl Vm {
                     self.tally.insns_fused += 1;
                     return Ok(self.arena[base + insn.a as usize]);
                 }
+                Op::AffineHead => {
+                    // Entry check, once per loop: tick + branch + bound.
+                    self.step_tick(f.spans[pc])?;
+                    if !self.affine_cond(f, base, insn, f.spans[pc])? {
+                        pc = (insn.b >> 2) as usize;
+                        insn = f.code[pc];
+                        continue;
+                    }
+                }
+                Op::AffineNext => {
+                    // Back-edge: increment, tick, branch, re-check — the
+                    // exact counter order the literal `IncDecLocal; Jump;
+                    // Step; BrCmp` sequence observes at any trap instant.
+                    let islot = base + (insn.a & 0xFFFF) as usize;
+                    let old = self.arena[islot];
+                    let new = self.incdec(old, 1);
+                    self.arena[islot] = new;
+                    self.step_tick(f.spans[pc])?;
+                    if self.affine_cond(f, base, insn, f.spans[pc])? {
+                        pc = (insn.b >> 2) as usize;
+                        insn = f.code[pc];
+                        continue;
+                    }
+                }
                 Op::LoadGStore => {
                     let v = self.s.globals.load(insn.a as usize);
                     let v = self.pack(v);
@@ -1797,6 +1857,11 @@ impl Vm {
                 }
             }
         };
+        // The parent is blocked for the whole region: hand its unused
+        // local fuel back first so the workers see the entire remaining
+        // budget instead of stalling one block short (the parent
+        // re-acquires on its first dispatch after the join).
+        self.refund_fuel();
         let workers = if self.s.opts.pool {
             parallel_for_state_pooled(n, self.s.opts.threads, r.schedule, init, body)
         } else {
@@ -1842,6 +1907,9 @@ impl Vm {
         let spill_prefix = self.spill.entries_snapshot();
         let frozen = self.memo.as_mut().map(|m| m.freeze());
         let mut child = Vm::new_child(self.s.clone(), frozen, &spill_prefix);
+        // As with the region fork below: the parent is blocked while the
+        // child validates, so its unused local fuel belongs to the child.
+        self.refund_fuel();
         let checked = n.min(self.s.opts.effective_race_check_cap());
         self.s
             .counters

@@ -159,7 +159,13 @@ pub fn generate(
         let mut sys = tsys.clone();
         for d in (0..order.len()).rev() {
             projected[d] = sys.clone();
-            sys = eliminate(&sys, &order[d]);
+            sys = match eliminate(&sys, &order[d]) {
+                Ok(next) => next,
+                Err(reason) => {
+                    diags.error(Code::PolyUnsupported, Span::DUMMY, reason);
+                    return Err(diags);
+                }
+            };
         }
     }
 

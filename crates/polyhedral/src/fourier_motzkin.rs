@@ -176,11 +176,19 @@ fn substitute(expr: &mut AffineExpr, var: &str, replacement: &AffineExpr) {
     *expr = combined;
 }
 
+/// Constraint budget for projection: a combine step that would produce
+/// more than this many constraints aborts instead of blowing up
+/// quadratically per eliminated variable (exponentially over a deep
+/// nest). Callers degrade the nest to `Skipped` — mirroring PluTo, which
+/// simply refuses pathological regions.
+pub const ELIMINATE_BUDGET: usize = 4096;
+
 /// Project a variable out of a system (FM elimination keeping the
 /// resulting constraints, for loop-bound generation à la ClooG).
 /// Equalities involving the variable are first converted to inequality
-/// pairs so a single code path handles both.
-pub fn eliminate(sys: &ConstraintSystem, var: &str) -> ConstraintSystem {
+/// pairs so a single code path handles both. Returns `Err` when the
+/// combine step would exceed [`ELIMINATE_BUDGET`] constraints.
+pub fn eliminate(sys: &ConstraintSystem, var: &str) -> Result<ConstraintSystem, String> {
     let mut ineqs: Vec<AffineExpr> = Vec::new();
     let mut out = ConstraintSystem::new();
     for c in &sys.constraints {
@@ -205,6 +213,14 @@ pub fn eliminate(sys: &ConstraintSystem, var: &str) -> ConstraintSystem {
             upper.push(e);
         }
     }
+    if lower.len() * upper.len() + out.constraints.len() > ELIMINATE_BUDGET {
+        return Err(format!(
+            "Fourier-Motzkin budget exceeded eliminating `{var}`: \
+             {} lower x {} upper bounds (cap {ELIMINATE_BUDGET})",
+            lower.len(),
+            upper.len()
+        ));
+    }
     for l in &lower {
         let a = l.coeff(var);
         let mut l_rest = l.clone();
@@ -221,7 +237,7 @@ pub fn eliminate(sys: &ConstraintSystem, var: &str) -> ConstraintSystem {
             out.push(Constraint::ge0(combined));
         }
     }
-    out
+    Ok(out)
 }
 
 fn gcd(a: i64, b: i64) -> i64 {
@@ -334,6 +350,27 @@ mod tests {
             .and(Constraint::ge(&v("i"), &k(10)))
             .and(Constraint::le(&v("i"), &k(9)));
         assert!(!satisfiable(&sys));
+    }
+
+    #[test]
+    fn eliminate_respects_constraint_budget() {
+        // 70 lower bounds x 70 upper bounds on `i` would combine into 4900
+        // constraints — past the budget, so elimination must refuse.
+        let mut sys = ConstraintSystem::new();
+        for p in 0..70 {
+            sys.push(Constraint::ge(&v("i"), &v(&format!("lo{p}"))));
+            sys.push(Constraint::le(&v("i"), &v(&format!("hi{p}"))));
+        }
+        let err = eliminate(&sys, "i").unwrap_err();
+        assert!(err.contains("budget"), "{err}");
+
+        // A small system still projects fine.
+        let small = ConstraintSystem::new()
+            .and(Constraint::ge(&v("i"), &k(0)))
+            .and(Constraint::le(&v("i"), &v("n")));
+        let out = eliminate(&small, "i").unwrap();
+        // 0 <= i <= n projects to n >= 0.
+        assert_eq!(out.constraints.len(), 1);
     }
 
     #[test]

@@ -16,16 +16,30 @@ use crate::schedule::{compute_schedule, Transform};
 use crate::sica::{select_tile_size, SicaParams};
 use cfront::ast::*;
 use cfront::diag::Diagnostics;
-use std::collections::HashMap;
+use cfront::printer::{print_expr, print_stmt};
+use cfront::visit::visit_exprs_mut;
+use std::collections::{HashMap, HashSet};
+
+/// Marker pragma prepended to every transformed nest. It survives the
+/// print → reparse round trip as a plain `#pragma affine` statement, which
+/// the interpreter's lowering reads to enable schedule-aware (hoisted-bound,
+/// single-dispatch) loop execution for the nest.
+pub const AFFINE_MARKER: &str = "pragma affine";
 
 /// Options for the whole polyhedral stage.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PolyccOptions {
     /// Base codegen options (omp / explicit tile).
     pub codegen: CodegenOptions,
     /// SICA mode: auto-select tile sizes from the cache model and add SIMD
     /// pragmas (overrides `codegen.tile`/`codegen.sica`).
     pub sica: Option<SicaParams>,
+    /// `--poly-unmarked`: also route *bare-body* `for` nests (loops hanging
+    /// directly off `if`/`while`/`for`, where no `#pragma scop` sibling can
+    /// exist) through the polyhedral stage, provided every function they
+    /// call is in this verified-pure set — the precondition for an
+    /// `Independent` race verdict.
+    pub unmarked: Option<HashSet<String>>,
 }
 
 /// What happened to one marked region.
@@ -52,6 +66,13 @@ pub enum RegionOutcome {
 #[derive(Debug, Default)]
 pub struct PolyccReport {
     pub regions: Vec<RegionOutcome>,
+    /// Adjacent compatible nests merged by the fusion pass.
+    pub fused: usize,
+    /// Loop bounds hoisted to `__pc_ub*` temporaries ahead of their nests.
+    pub hoisted: usize,
+    /// Invariant row pointers hoisted to `__pc_row*` temporaries out of
+    /// inner loops (strength reduction of two-level subscript streams).
+    pub rows_hoisted: usize,
     /// True when any generated code uses the `__pc_*` helpers; the caller
     /// must prepend [`crate::codegen::HELPER_DEFS`].
     pub needs_helpers: bool,
@@ -81,6 +102,13 @@ impl PolyccReport {
             .count()
     }
 
+    pub fn tiled_count(&self) -> usize {
+        self.regions
+            .iter()
+            .filter(|r| matches!(r, RegionOutcome::Transformed { tiled: true, .. }))
+            .count()
+    }
+
     /// Merge all per-region iterator maps keyed by placeholder name.
     pub fn placeholder_iter_maps(&self) -> HashMap<String, HashMap<String, Expr>> {
         let mut out = HashMap::new();
@@ -103,16 +131,101 @@ impl PolyccReport {
 /// Run the polyhedral stage over a marked translation unit.
 pub fn run_polycc(unit: &mut TranslationUnit, opts: PolyccOptions) -> PolyccReport {
     let mut report = PolyccReport::default();
+    let rows = row_pointer_globals(unit);
     for item in &mut unit.items {
         let Item::Function(f) = item else { continue };
         let Some(body) = &mut f.body else { continue };
         process_block(body, &opts, &mut report);
     }
+    // Strength-reduce after all regions settle: transformed nests are
+    // identifiable by their affine markers wherever they ended up, so a
+    // whole-unit sweep avoids threading state through the region walk.
+    if !rows.is_empty() {
+        for item in &mut unit.items {
+            let Item::Function(f) = item else { continue };
+            let Some(body) = &mut f.body else { continue };
+            hoist_rows_block(body, &rows, &mut report);
+        }
+    }
     report
 }
 
-/// Find `[scop-pragma, for, endscop-pragma]` triples in a block and replace
-/// them with transformed code.
+/// Recursive sweep that applies [`hoist_rows`] to every statement list in
+/// a function body (markers can sit at any block depth — e.g. spatial
+/// nests transformed inside a rejected time loop).
+fn hoist_rows_block(b: &mut Block, rows: &HashMap<String, Type>, report: &mut PolyccReport) {
+    hoist_rows(&mut b.stmts, rows, report);
+    for s in &mut b.stmts {
+        hoist_rows_stmt(s, rows, report);
+    }
+}
+
+fn hoist_rows_stmt(s: &mut Stmt, rows: &HashMap<String, Type>, report: &mut PolyccReport) {
+    match &mut s.kind {
+        StmtKind::Block(b) => hoist_rows_block(b, rows, report),
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            hoist_rows_stmt(then_branch, rows, report);
+            if let Some(e) = else_branch {
+                hoist_rows_stmt(e, rows, report);
+            }
+        }
+        StmtKind::While { body, .. }
+        | StmtKind::DoWhile { body, .. }
+        | StmtKind::For { body, .. } => hoist_rows_stmt(body, rows, report),
+        _ => {}
+    }
+}
+
+/// Is this pragma text a user `#pragma omp parallel for` header?
+fn is_omp_parallel_for(text: &str) -> bool {
+    let t = text.trim();
+    t.starts_with("pragma omp parallel for") || t.starts_with("pragma omp for")
+}
+
+/// The `schedule(...)` clause substring of an omp pragma, if present.
+fn schedule_clause(text: &str) -> Option<&str> {
+    let start = text.find("schedule(")?;
+    let rest = &text[start..];
+    let end = rest.find(')')?;
+    Some(&rest[..=end])
+}
+
+/// Append the user's `schedule(...)` clause to the first generated
+/// `omp parallel for` pragma in the replacement (searching nested blocks:
+/// the parallel level of a tiled nest may not be the outermost one).
+fn carry_schedule(stmts: &mut [Stmt], user_pragma: &str) {
+    let Some(clause) = schedule_clause(user_pragma) else {
+        return;
+    };
+    fn visit(stmts: &mut [Stmt], clause: &str) -> bool {
+        for s in stmts {
+            let inner = match &mut s.kind {
+                StmtKind::Pragma(p) if is_omp_parallel_for(p) => {
+                    p.push(' ');
+                    p.push_str(clause);
+                    return true;
+                }
+                StmtKind::Block(b) => &mut b.stmts[..],
+                StmtKind::For { body, .. } => std::slice::from_mut(&mut **body),
+                _ => continue,
+            };
+            if visit(inner, clause) {
+                return true;
+            }
+        }
+        false
+    }
+    visit(stmts, clause);
+}
+
+/// Find `[scop-pragma, for, endscop-pragma]` triples — and unmarked
+/// `[omp-pragma, for]` pairs, the paper's input form — in a block and
+/// replace them with transformed code, then fuse and bound-hoist the
+/// resulting nests.
 fn process_block(block: &mut Block, opts: &PolyccOptions, report: &mut PolyccReport) {
     let mut i = 0;
     while i < block.stmts.len() {
@@ -120,38 +233,145 @@ fn process_block(block: &mut Block, opts: &PolyccOptions, report: &mut PolyccRep
             &block.stmts[i].kind,
             StmtKind::Pragma(p) if p.trim() == "pragma scop"
         );
-        if !is_scop_open {
-            // Recurse into nested structures.
-            descend(&mut block.stmts[i], opts, report);
-            i += 1;
-            continue;
-        }
-        // Expect For at i+1 and endscop at i+2.
-        let ok_shape = i + 2 < block.stmts.len()
-            && matches!(block.stmts[i + 1].kind, StmtKind::For { .. })
-            && matches!(
-                &block.stmts[i + 2].kind,
-                StmtKind::Pragma(p) if p.trim() == "pragma endscop"
+        if is_scop_open {
+            // Expect For at i+1 and endscop at i+2.
+            let ok_shape = i + 2 < block.stmts.len()
+                && matches!(block.stmts[i + 1].kind, StmtKind::For { .. })
+                && matches!(
+                    &block.stmts[i + 2].kind,
+                    StmtKind::Pragma(p) if p.trim() == "pragma endscop"
+                );
+            if !ok_shape {
+                report.regions.push(RegionOutcome::Skipped {
+                    reason: "malformed scop region (pragma without loop)".into(),
+                });
+                i += 1;
+                continue;
+            }
+
+            // A user `omp parallel for` header directly above the markers
+            // belongs to this nest: consume it (its schedule clause carries
+            // over) instead of leaving a duplicate pragma on the output.
+            let user_omp = if i > 0 {
+                match &block.stmts[i - 1].kind {
+                    StmtKind::Pragma(p) if is_omp_parallel_for(p) => Some(p.clone()),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+
+            let mut loop_stmt = block.stmts[i + 1].clone();
+            let snapshot = (report.regions.len(), report.needs_helpers);
+            let replacement = transform_nest(&mut loop_stmt, opts, report);
+            let parallelized = matches!(
+                report.regions.last(),
+                Some(RegionOutcome::Transformed {
+                    parallelized: true,
+                    ..
+                })
             );
-        if !ok_shape {
-            report.regions.push(RegionOutcome::Skipped {
-                reason: "malformed scop region (pragma without loop)".into(),
-            });
-            i += 1;
+            match (replacement, user_omp) {
+                (Some(mut stmts), Some(pragma)) if parallelized => {
+                    carry_schedule(&mut stmts, &pragma);
+                    block.stmts.drain(i - 1..i + 3);
+                    let count = stmts.len();
+                    for (off, s) in stmts.into_iter().enumerate() {
+                        block.stmts.insert(i - 1 + off, s);
+                    }
+                    i = i - 1 + count;
+                }
+                (Some(_), Some(_)) => {
+                    // The user asserted parallelism but the legality-checked
+                    // schedule stayed sequential: keep the literal omp nest
+                    // rather than silently serializing it.
+                    report.regions.truncate(snapshot.0);
+                    report.needs_helpers = snapshot.1;
+                    report.regions.push(RegionOutcome::Skipped {
+                        reason: "user-parallel nest not auto-parallelized; kept literal".into(),
+                    });
+                    block.stmts.drain(i..i + 3);
+                    block.stmts.insert(i, loop_stmt);
+                    descend(&mut block.stmts[i], opts, report);
+                    i += 1;
+                }
+                (Some(stmts), None) => {
+                    block.stmts.drain(i..i + 3);
+                    let count = stmts.len();
+                    for (off, s) in stmts.into_iter().enumerate() {
+                        block.stmts.insert(i + off, s);
+                    }
+                    i += count;
+                }
+                (None, _) => {
+                    block.stmts.drain(i..i + 3);
+                    block.stmts.insert(i, loop_stmt);
+                    i += 1;
+                }
+            }
             continue;
         }
 
-        let mut loop_stmt = block.stmts[i + 1].clone();
-        let replacement = transform_nest(&mut loop_stmt, opts, report);
-        // Remove [scop, for, endscop] and splice the result.
-        block.stmts.drain(i..i + 3);
-        let new_stmts = replacement.unwrap_or_else(|| vec![loop_stmt]);
-        let count = new_stmts.len();
-        for (off, s) in new_stmts.into_iter().enumerate() {
-            block.stmts.insert(i + off, s);
+        // Unmarked `omp parallel for` nest: treat it as an implicit SCoP.
+        let is_unmarked_omp = matches!(
+            &block.stmts[i].kind,
+            StmtKind::Pragma(p) if is_omp_parallel_for(p)
+        ) && i + 1 < block.stmts.len()
+            && matches!(block.stmts[i + 1].kind, StmtKind::For { .. });
+        if is_unmarked_omp {
+            let StmtKind::Pragma(pragma) = block.stmts[i].kind.clone() else {
+                unreachable!("matched a pragma");
+            };
+            let mut loop_stmt = block.stmts[i + 1].clone();
+            let snapshot = (report.regions.len(), report.needs_helpers);
+            let replacement = transform_nest(&mut loop_stmt, opts, report);
+            let parallelized = matches!(
+                report.regions.last(),
+                Some(RegionOutcome::Transformed {
+                    parallelized: true,
+                    ..
+                })
+            );
+            match replacement {
+                Some(mut stmts) if parallelized => {
+                    carry_schedule(&mut stmts, &pragma);
+                    block.stmts.drain(i..i + 2);
+                    let count = stmts.len();
+                    for (off, s) in stmts.into_iter().enumerate() {
+                        block.stmts.insert(i + off, s);
+                    }
+                    i += count;
+                }
+                Some(_) => {
+                    report.regions.truncate(snapshot.0);
+                    report.needs_helpers = snapshot.1;
+                    report.regions.push(RegionOutcome::Skipped {
+                        reason: "user-parallel nest not auto-parallelized; kept literal".into(),
+                    });
+                    descend(&mut block.stmts[i + 1], opts, report);
+                    i += 2;
+                }
+                None => {
+                    // Children may have been transformed in place.
+                    block.stmts[i + 1] = loop_stmt;
+                    i += 2;
+                }
+            }
+            continue;
         }
-        i += count;
+
+        // Recurse into nested structures.
+        descend(&mut block.stmts[i], opts, report);
+        i += 1;
     }
+    finish_block(&mut block.stmts, report);
+}
+
+/// Post-passes over a finished statement list: fuse adjacent compatible
+/// transformed nests, then hoist non-trivial loop bounds.
+fn finish_block(stmts: &mut Vec<Stmt>, report: &mut PolyccReport) {
+    fuse_adjacent(stmts, report);
+    hoist_bounds(stmts, report);
 }
 
 fn descend(stmt: &mut Stmt, opts: &PolyccOptions, report: &mut PolyccReport) {
@@ -162,16 +382,55 @@ fn descend(stmt: &mut Stmt, opts: &PolyccOptions, report: &mut PolyccReport) {
             else_branch,
             ..
         } => {
-            descend(then_branch, opts, report);
+            maybe_unmarked(then_branch, opts, report);
             if let Some(e) = else_branch {
-                descend(e, opts, report);
+                maybe_unmarked(e, opts, report);
             }
         }
         StmtKind::While { body, .. }
         | StmtKind::DoWhile { body, .. }
-        | StmtKind::For { body, .. } => descend(body, opts, report),
+        | StmtKind::For { body, .. } => maybe_unmarked(body, opts, report),
         _ => {}
     }
+}
+
+/// `--poly-unmarked`: a bare-body `for` nest (no surrounding block, so it
+/// could never have received scop markers) whose calls are all verified
+/// pure is routed through the transformer like an implicit SCoP.
+fn maybe_unmarked(stmt: &mut Stmt, opts: &PolyccOptions, report: &mut PolyccReport) {
+    if let Some(pure) = &opts.unmarked {
+        if matches!(stmt.kind, StmtKind::For { .. }) && calls_all_pure(stmt, pure) {
+            let mut child = stmt.clone();
+            if let Some(mut new_stmts) = transform_nest(&mut child, opts, report) {
+                finish_block(&mut new_stmts, report);
+                *stmt = Stmt::new(
+                    StmtKind::Block(Block {
+                        stmts: new_stmts,
+                        span: stmt.span,
+                    }),
+                    stmt.span,
+                );
+            } else {
+                *stmt = child; // children may have changed
+            }
+            return;
+        }
+    }
+    descend(stmt, opts, report)
+}
+
+/// Every called function in the subtree is in the verified-pure set.
+fn calls_all_pure(stmt: &Stmt, pure: &HashSet<String>) -> bool {
+    let mut ok = true;
+    stmt.walk_exprs(&mut |e| {
+        if let ExprKind::Call { callee, .. } = &e.kind {
+            match &callee.kind {
+                ExprKind::Ident(name) if pure.contains(name) => {}
+                _ => ok = false,
+            }
+        }
+    });
+    ok
 }
 
 /// Transform one marked nest. Returns the replacement statements, or `None`
@@ -198,7 +457,7 @@ fn transform_nest(
 
             match generate(&scop, &transform, cg) {
                 Ok(Generated {
-                    stmts,
+                    mut stmts,
                     iter_map,
                     parallelized,
                     tiled,
@@ -215,13 +474,21 @@ fn transform_nest(
                         placeholders,
                         transform,
                     });
+                    // Tag the nest for schedule-aware lowering on the VM.
+                    stmts.insert(
+                        0,
+                        Stmt::new(StmtKind::Pragma(AFFINE_MARKER.into()), loop_stmt.span),
+                    );
                     Some(stmts)
                 }
                 Err(diags) => {
+                    let reason = diags
+                        .items()
+                        .first()
+                        .map(|d| d.message.clone())
+                        .unwrap_or_else(|| "code generation failed".into());
                     report.diags.extend(diags);
-                    report.regions.push(RegionOutcome::Skipped {
-                        reason: "code generation failed".into(),
-                    });
+                    report.regions.push(RegionOutcome::Skipped { reason });
                     None
                 }
             }
@@ -268,10 +535,12 @@ fn transform_children(body: &mut Stmt, opts: &PolyccOptions, report: &mut Polycc
                 }
                 i += 1;
             }
+            finish_block(&mut b.stmts, report);
         }
         StmtKind::For { .. } => {
             let mut child = body.clone();
-            if let Some(new_stmts) = transform_nest(&mut child, opts, report) {
+            if let Some(mut new_stmts) = transform_nest(&mut child, opts, report) {
+                finish_block(&mut new_stmts, report);
                 // Single-statement body replaced by a block.
                 *body = Stmt::new(
                     StmtKind::Block(Block {
@@ -285,6 +554,558 @@ fn transform_children(body: &mut Stmt, opts: &PolyccOptions, report: &mut Polycc
             }
         }
         _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fusion: merge adjacent compatible transformed nests
+// ---------------------------------------------------------------------------
+
+fn is_affine_marker(s: &Stmt) -> bool {
+    matches!(&s.kind, StmtKind::Pragma(p) if p.trim() == AFFINE_MARKER)
+}
+
+/// One transformed-nest group in a statement list: the affine marker,
+/// an optional pragma (the generated `omp parallel for` header), and the
+/// loop itself.
+struct NestGroup {
+    start: usize,
+    pragma: Option<String>,
+    for_idx: usize,
+}
+
+fn group_at(stmts: &[Stmt], i: usize) -> Option<NestGroup> {
+    if i >= stmts.len() || !is_affine_marker(&stmts[i]) {
+        return None;
+    }
+    let mut j = i + 1;
+    let mut pragma = None;
+    if let Some(StmtKind::Pragma(p)) = stmts.get(j).map(|s| &s.kind) {
+        pragma = Some(p.clone());
+        j += 1;
+    }
+    if j < stmts.len() && matches!(stmts[j].kind, StmtKind::For { .. }) {
+        Some(NestGroup {
+            start: i,
+            pragma,
+            for_idx: j,
+        })
+    } else {
+        None
+    }
+}
+
+/// Canonical text of a For header (body emptied), for header equality.
+fn for_header_key(s: &Stmt) -> Option<String> {
+    if !matches!(s.kind, StmtKind::For { .. }) {
+        return None;
+    }
+    let mut shell = s.clone();
+    if let StmtKind::For { body, .. } = &mut shell.kind {
+        **body = Stmt::new(
+            StmtKind::Block(Block {
+                stmts: vec![],
+                span: body.span,
+            }),
+            body.span,
+        );
+    }
+    Some(print_stmt(&shell))
+}
+
+/// A loop body as a flat statement list (unwrapping one Block level).
+fn body_stmts(body: &Stmt) -> Vec<Stmt> {
+    match &body.kind {
+        StmtKind::Block(b) => b.stmts.clone(),
+        _ => vec![body.clone()],
+    }
+}
+
+/// Legality-checked fusion of two same-header nests: model the fused nest
+/// and refuse if any dependence points from a statement of the second nest
+/// back into the first — such a pair ran first-nest-then-second in the
+/// original program, so the fused interleaving would reverse it. Imperfect
+/// fused bodies (multi-level nests) fail extraction and are refused too.
+fn try_fuse(f1: &Stmt, f2: &Stmt) -> Option<Stmt> {
+    let (StmtKind::For { body: b1, .. }, StmtKind::For { body: b2, .. }) = (&f1.kind, &f2.kind)
+    else {
+        return None;
+    };
+    let first = body_stmts(b1);
+    let k1 = first.len();
+    let mut merged = first;
+    merged.extend(body_stmts(b2));
+
+    let mut fused = f1.clone();
+    let StmtKind::For { body, .. } = &mut fused.kind else {
+        unreachable!("cloned a For");
+    };
+    **body = Stmt::new(
+        StmtKind::Block(Block {
+            stmts: merged,
+            span: f1.span,
+        }),
+        f1.span,
+    );
+
+    let scop = extract_scop(&fused).ok()?;
+    let deps = analyze(&scop);
+    if deps.iter().any(|d| d.src_stmt >= k1 && d.dst_stmt < k1) {
+        return None;
+    }
+    Some(fused)
+}
+
+/// Fuse runs of adjacent transformed nests with textually equal headers
+/// and identical pragmas. Fused parallel nests collapse into a single
+/// `omp` region — one pool launch and one join barrier instead of two.
+fn fuse_adjacent(stmts: &mut Vec<Stmt>, report: &mut PolyccReport) {
+    let mut i = 0;
+    while i < stmts.len() {
+        let Some(g1) = group_at(stmts, i) else {
+            i += 1;
+            continue;
+        };
+        let Some(g2) = group_at(stmts, g1.for_idx + 1) else {
+            i = g1.for_idx + 1;
+            continue;
+        };
+        let headers_match = g1.pragma == g2.pragma
+            && match (
+                for_header_key(&stmts[g1.for_idx]),
+                for_header_key(&stmts[g2.for_idx]),
+            ) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            };
+        let fused = if headers_match {
+            try_fuse(&stmts[g1.for_idx], &stmts[g2.for_idx])
+        } else {
+            None
+        };
+        match fused {
+            Some(f) => {
+                stmts[g1.for_idx] = f;
+                stmts.drain(g1.for_idx + 1..g2.for_idx + 1);
+                report.fused += 1;
+                // Stay on this group: it may fuse with the next one too.
+            }
+            None => i = g1.for_idx + 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bound hoisting: evaluate non-trivial loop bounds once, ahead of the nest
+// ---------------------------------------------------------------------------
+
+/// Only expressions we generated ourselves are hoisted: affine arithmetic
+/// over identifiers and the pure `__pc_*` division/minmax helpers. Anything
+/// else (user calls, side effects) stays in place.
+fn hoistable_expr(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::IntLit(_) | ExprKind::Ident(_) => true,
+        ExprKind::Unary(UnOp::Neg, inner) => hoistable_expr(inner),
+        ExprKind::Binary(_, l, r) => hoistable_expr(l) && hoistable_expr(r),
+        ExprKind::Call { callee, args } => {
+            matches!(&callee.kind, ExprKind::Ident(n) if n.starts_with("__pc_"))
+                && args.iter().all(hoistable_expr)
+        }
+        _ => false,
+    }
+}
+
+fn expr_idents(e: &Expr, out: &mut HashSet<String>) {
+    match &e.kind {
+        ExprKind::Ident(n) => {
+            out.insert(n.clone());
+        }
+        ExprKind::Unary(_, inner) => expr_idents(inner, out),
+        ExprKind::Binary(_, l, r) => {
+            expr_idents(l, out);
+            expr_idents(r, out);
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                expr_idents(a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Base identifier written through an assignment target.
+fn written_base(e: &Expr) -> Option<&str> {
+    match &e.kind {
+        ExprKind::Ident(n) => Some(n),
+        ExprKind::Index(base, _) => written_base(base),
+        ExprKind::Member { base, .. } => written_base(base),
+        ExprKind::Unary(_, inner) => written_base(inner),
+        _ => None,
+    }
+}
+
+/// Does the subtree write any of `names`? (Assignments and inc/dec.)
+fn writes_any(stmt: &Stmt, names: &HashSet<String>) -> bool {
+    let mut hit = false;
+    stmt.walk_exprs(&mut |e| {
+        let target = match &e.kind {
+            ExprKind::Assign(_, lhs, _) => written_base(lhs),
+            ExprKind::Unary(UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec, t) => {
+                written_base(t)
+            }
+            _ => None,
+        };
+        if let Some(n) = target {
+            if names.contains(n) {
+                hit = true;
+            }
+        }
+    });
+    hit
+}
+
+fn int_decl(name: &str, init: Expr, span: cfront::span::Span) -> Stmt {
+    Stmt::new(
+        StmtKind::Decl(Declaration {
+            storage: vec![],
+            declarators: vec![Declarator {
+                name: name.to_string(),
+                ty: Type::int(),
+                array_dims: vec![],
+                init: Some(init),
+                span,
+            }],
+            span,
+        }),
+        span,
+    )
+}
+
+/// Hoist the non-trivial upper bounds of every transformed nest in this
+/// statement list: `for (t <= __pc_min(...))` becomes
+/// `int __pc_ubK = __pc_min(...); for (t <= __pc_ubK)`, evaluated once per
+/// entry of the enclosing loop level instead of once per iteration — and
+/// the resulting `iter <= local` condition is what the VM's affine opcode
+/// fast path requires.
+fn hoist_bounds(stmts: &mut Vec<Stmt>, report: &mut PolyccReport) {
+    let mut i = 0;
+    while i < stmts.len() {
+        let Some(g) = group_at(stmts, i) else {
+            i += 1;
+            continue;
+        };
+        let mut decls = Vec::new();
+        hoist_for(&mut stmts[g.for_idx], &mut decls, report);
+        let n = decls.len();
+        for (off, d) in decls.into_iter().enumerate() {
+            stmts.insert(g.start + off, d);
+        }
+        i = g.for_idx + 1 + n;
+    }
+}
+
+/// Hoist this For's own bound into `decls` (emitted before the nest /
+/// pragma run), then recurse into the body, where inner bounds land just
+/// inside the enclosing loop (their outer iterators are in scope there).
+fn hoist_for(stmt: &mut Stmt, decls: &mut Vec<Stmt>, report: &mut PolyccReport) {
+    let mut replacement: Option<(Expr, String)> = None;
+    if let StmtKind::For {
+        cond: Some(c),
+        body,
+        ..
+    } = &stmt.kind
+    {
+        if let ExprKind::Binary(BinOp::Le | BinOp::Lt, _, rhs) = &c.kind {
+            if !matches!(rhs.kind, ExprKind::Ident(_) | ExprKind::IntLit(_)) && hoistable_expr(rhs)
+            {
+                let mut names = HashSet::new();
+                expr_idents(rhs, &mut names);
+                if !writes_any(body, &names) {
+                    report.hoisted += 1;
+                    let name = format!("__pc_ub{}", report.hoisted);
+                    replacement = Some(((**rhs).clone(), name));
+                }
+            }
+        }
+    }
+    if let Some((ub, name)) = replacement {
+        decls.push(int_decl(&name, ub, stmt.span));
+        if let StmtKind::For { cond: Some(c), .. } = &mut stmt.kind {
+            if let ExprKind::Binary(_, _, rhs) = &mut c.kind {
+                **rhs = Expr::new(ExprKind::Ident(name), rhs.span);
+            }
+        }
+    }
+    if let StmtKind::For { body, .. } = &mut stmt.kind {
+        let span = body.span;
+        hoist_in_body(body, span, report);
+    }
+}
+
+/// Recurse into a loop body: a nested For (bare or behind pragmas in a
+/// block) gets its hoisted decls inserted in that block, before any
+/// pragma run, so pragma–loop adjacency is preserved.
+fn hoist_in_body(body: &mut Stmt, span: cfront::span::Span, report: &mut PolyccReport) {
+    match &mut body.kind {
+        StmtKind::Block(b) => {
+            let mut i = 0;
+            while i < b.stmts.len() {
+                // A run of pragmas directly above a For belongs to it.
+                let mut j = i;
+                while j < b.stmts.len() && matches!(b.stmts[j].kind, StmtKind::Pragma(_)) {
+                    j += 1;
+                }
+                if j < b.stmts.len() && matches!(b.stmts[j].kind, StmtKind::For { .. }) {
+                    let mut decls = Vec::new();
+                    hoist_for(&mut b.stmts[j], &mut decls, report);
+                    let n = decls.len();
+                    for (off, d) in decls.into_iter().enumerate() {
+                        b.stmts.insert(i + off, d);
+                    }
+                    i = j + n + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+        }
+        StmtKind::For { .. } => {
+            let mut decls = Vec::new();
+            hoist_for(body, &mut decls, report);
+            if !decls.is_empty() {
+                let inner = std::mem::replace(body, Stmt::new(StmtKind::Expr(None), span));
+                let mut stmts = decls;
+                stmts.push(inner);
+                *body = Stmt::new(StmtKind::Block(Block { stmts, span }), span);
+            }
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row-pointer strength reduction: hoist invariant row loads out of inner loops
+// ---------------------------------------------------------------------------
+
+/// Global `T**` declarations eligible for row-pointer hoisting, mapped to
+/// their row type (`T*`). Only plain pointer-to-pointer globals qualify:
+/// their row table can change only through a direct one-level store
+/// (`X[e] = …`) or a store to `X` itself, both of which
+/// [`row_unsafe_bases`] detects — element stores through `X[a][b]` cannot
+/// move a row.
+fn row_pointer_globals(unit: &TranslationUnit) -> HashMap<String, Type> {
+    let mut rows = HashMap::new();
+    for item in &unit.items {
+        let Item::Decl(d) = item else { continue };
+        for decl in &d.declarators {
+            if decl.ty.ptr.len() >= 2 && decl.array_dims.is_empty() {
+                let mut row = decl.ty.clone();
+                row.ptr.pop();
+                rows.insert(decl.name.clone(), row);
+            }
+        }
+    }
+    rows
+}
+
+/// Bases whose rows may move inside this nest: assigned directly, written
+/// through a one-level subscript, inc/decremented, or address-taken.
+fn row_unsafe_bases(nest: &Stmt) -> HashSet<String> {
+    let mut bad = HashSet::new();
+    nest.walk_exprs(&mut |e| {
+        let target = match &e.kind {
+            ExprKind::Assign(_, lhs, _) => match &lhs.kind {
+                ExprKind::Ident(n) => Some(n.as_str()),
+                ExprKind::Index(b, _) => match &b.kind {
+                    ExprKind::Ident(n) => Some(n.as_str()),
+                    _ => None,
+                },
+                _ => None,
+            },
+            ExprKind::Unary(
+                UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec | UnOp::AddrOf,
+                t,
+            ) => written_base(t),
+            _ => None,
+        };
+        if let Some(n) = target {
+            bad.insert(n.to_string());
+        }
+    });
+    bad
+}
+
+/// Two-level references `X[sub][…]` appearing anywhere under `stmt` whose
+/// base qualifies for hoisting, keyed by the printed form of `X[sub]`.
+fn collect_row_refs(
+    stmt: &Stmt,
+    rows: &HashMap<String, Type>,
+    bad: &HashSet<String>,
+    out: &mut Vec<(String, Expr)>,
+) {
+    stmt.walk_exprs(&mut |e| {
+        if let ExprKind::Index(row_ref, _) = &e.kind {
+            if let ExprKind::Index(xb, sub) = &row_ref.kind {
+                if let ExprKind::Ident(x) = &xb.kind {
+                    if rows.contains_key(x) && !bad.contains(x) && hoistable_expr(sub) {
+                        let key = print_expr(row_ref);
+                        if !out.iter().any(|(k, _)| k == &key) {
+                            out.push((key, (**row_ref).clone()));
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Collect row references only from loops *nested below* this body — a
+/// reference in the body's own statements iterates with the current level
+/// and gains nothing from a hoist here.
+fn collect_nested_row_refs(
+    body: &Stmt,
+    rows: &HashMap<String, Type>,
+    bad: &HashSet<String>,
+    out: &mut Vec<(String, Expr)>,
+) {
+    match &body.kind {
+        StmtKind::Block(b) => {
+            for s in &b.stmts {
+                collect_nested_row_refs(s, rows, bad, out);
+            }
+        }
+        StmtKind::For { .. } => collect_row_refs(body, rows, bad, out),
+        _ => {}
+    }
+}
+
+fn for_iter_names(stmt: &Stmt, out: &mut HashSet<String>) {
+    if let StmtKind::For { init, .. } = &stmt.kind {
+        if let ForInit::Decl(d) = init.as_ref() {
+            for dd in &d.declarators {
+                out.insert(dd.name.clone());
+            }
+        }
+    }
+}
+
+/// Hoist every row reference whose subscript is fully available at this
+/// loop level into a `T* __pc_rowK = X[sub];` declaration at the top of
+/// the body, rewrite the uses, then recurse into the nested loops.
+fn hoist_rows_for(
+    stmt: &mut Stmt,
+    scope: &HashSet<String>,
+    all_iters: &HashSet<String>,
+    rows: &HashMap<String, Type>,
+    bad: &HashSet<String>,
+    report: &mut PolyccReport,
+) {
+    let mut scope = scope.clone();
+    for_iter_names(stmt, &mut scope);
+    let StmtKind::For { body, .. } = &mut stmt.kind else {
+        return;
+    };
+    let mut cands = Vec::new();
+    collect_nested_row_refs(body, rows, bad, &mut cands);
+    let mut decls: Vec<Stmt> = Vec::new();
+    for (key, row_ref) in cands {
+        let ExprKind::Index(xb, sub) = &row_ref.kind else {
+            continue;
+        };
+        let ExprKind::Ident(x) = &xb.kind else {
+            continue;
+        };
+        let mut ids = HashSet::new();
+        expr_idents(sub, &mut ids);
+        // Every nest iterator the subscript mentions must already be in
+        // scope here; deeper candidates hoist at their own level.
+        if !ids
+            .iter()
+            .all(|n| !all_iters.contains(n) || scope.contains(n))
+        {
+            continue;
+        }
+        let row_ty = rows[x].clone();
+        report.rows_hoisted += 1;
+        let name = format!("__pc_row{}", report.rows_hoisted);
+        visit_exprs_mut(body, &mut |e| {
+            if print_expr(e) == key {
+                *e = Expr::new(ExprKind::Ident(name.clone()), e.span);
+            }
+        });
+        let span = row_ref.span;
+        decls.push(Stmt::new(
+            StmtKind::Decl(Declaration {
+                storage: vec![],
+                declarators: vec![Declarator {
+                    name,
+                    ty: row_ty,
+                    array_dims: vec![],
+                    init: Some(row_ref),
+                    span,
+                }],
+                span,
+            }),
+            span,
+        ));
+    }
+    if !decls.is_empty() {
+        let span = body.span;
+        match &mut body.kind {
+            StmtKind::Block(b) => {
+                for (off, d) in decls.into_iter().enumerate() {
+                    b.stmts.insert(off, d);
+                }
+            }
+            _ => {
+                let inner = std::mem::replace(body.as_mut(), Stmt::new(StmtKind::Expr(None), span));
+                let mut stmts = decls;
+                stmts.push(inner);
+                **body = Stmt::new(StmtKind::Block(Block { stmts, span }), span);
+            }
+        }
+    }
+    hoist_rows_in_body(body, &scope, all_iters, rows, bad, report);
+}
+
+fn hoist_rows_in_body(
+    body: &mut Stmt,
+    scope: &HashSet<String>,
+    all_iters: &HashSet<String>,
+    rows: &HashMap<String, Type>,
+    bad: &HashSet<String>,
+    report: &mut PolyccReport,
+) {
+    match &mut body.kind {
+        StmtKind::Block(b) => {
+            for s in &mut b.stmts {
+                hoist_rows_in_body(s, scope, all_iters, rows, bad, report);
+            }
+        }
+        StmtKind::For { .. } => hoist_rows_for(body, scope, all_iters, rows, bad, report),
+        _ => {}
+    }
+}
+
+/// Strength-reduce every transformed (affine-marked) nest in this list:
+/// invariant row pointers load once at the level where their subscript
+/// settles instead of once per inner iteration.
+fn hoist_rows(stmts: &mut [Stmt], rows: &HashMap<String, Type>, report: &mut PolyccReport) {
+    if rows.is_empty() {
+        return;
+    }
+    let mut i = 0;
+    while i < stmts.len() {
+        let Some(g) = group_at(stmts, i) else {
+            i += 1;
+            continue;
+        };
+        let nest = &mut stmts[g.for_idx];
+        let bad = row_unsafe_bases(nest);
+        let mut all_iters = HashSet::new();
+        nest.walk(&mut |s| for_iter_names(s, &mut all_iters));
+        hoist_rows_for(nest, &HashSet::new(), &all_iters, rows, &bad, report);
+        i = g.for_idx + 1;
     }
 }
 
@@ -338,7 +1159,11 @@ int main() {
             out.contains("#pragma omp parallel for private(t2)"),
             "{out}"
         );
-        assert!(out.contains("C[t1][t2]"), "{out}");
+        // The invariant row `C[t1]` is strength-reduced out of the inner
+        // loop; the store goes through the hoisted pointer.
+        assert!(out.contains("float* __pc_row1 = C[t1];"), "{out}");
+        assert!(out.contains("__pc_row1[t2]"), "{out}");
+        assert_eq!(report.rows_hoisted, 1);
         // Placeholder recorded with its iterator map.
         let maps = report.placeholder_iter_maps();
         let m = &maps["tmpConst_dot_0"];
@@ -352,6 +1177,7 @@ int main() {
             PolyccOptions {
                 codegen: CodegenOptions::default(),
                 sica: Some(SicaParams::default()),
+                ..Default::default()
             },
         );
         assert_eq!(report.transformed_count(), 1);
@@ -460,5 +1286,256 @@ int main() {
         assert!(maps.contains_key("tmpConst_g_1"));
         let out = print_unit(&unit);
         assert!(out.contains("b[0] = a[0];"), "{out}");
+    }
+
+    #[test]
+    fn transformed_nests_carry_affine_marker() {
+        let (unit, report) = run(MARKED_MATMUL, PolyccOptions::default());
+        assert_eq!(report.transformed_count(), 1);
+        let out = print_unit(&unit);
+        assert!(out.contains("#pragma affine"), "{out}");
+        // The marker must sit directly above the nest's pragma run so the
+        // lowering can pair it with the loop after a print → reparse trip.
+        let reparsed = cfront::parser::parse(&out);
+        assert!(!reparsed.diags.has_errors(), "marker must reparse: {out}");
+    }
+
+    #[test]
+    fn adjacent_producer_consumer_nests_fuse() {
+        // Forward (producer → consumer) deps permit fusion: one omp region,
+        // one join barrier.
+        let src = "\
+int main() {
+    float a[32], b[32];
+#pragma scop
+    for (int i = 0; i < 32; i++) a[i] = i;
+#pragma endscop
+#pragma scop
+    for (int j = 0; j < 32; j++) b[j] = a[j];
+#pragma endscop
+    return 0;
+}
+";
+        let (unit, report) = run(src, PolyccOptions::default());
+        assert_eq!(report.transformed_count(), 2);
+        assert_eq!(report.fused, 1, "compatible nests must fuse");
+        let out = print_unit(&unit);
+        assert_eq!(
+            out.matches("#pragma omp parallel for").count(),
+            1,
+            "fusion must collapse the two parallel regions into one: {out}"
+        );
+    }
+
+    #[test]
+    fn stencil_copy_pair_refuses_fusion() {
+        // The heat pattern: the copy nest writes `a`, which the stencil nest
+        // reads at i±1. Fusing would feed updated values into later stencil
+        // iterations — a backward dep, so fusion must be refused.
+        let src = "\
+int main() {
+    float a[64], b[64];
+#pragma scop
+    for (int i = 1; i < 63; i++) b[i] = a[i - 1] + a[i + 1];
+#pragma endscop
+#pragma scop
+    for (int i2 = 1; i2 < 63; i2++) a[i2] = b[i2];
+#pragma endscop
+    return 0;
+}
+";
+        let (unit, report) = run(src, PolyccOptions::default());
+        assert_eq!(report.transformed_count(), 2);
+        assert_eq!(report.fused, 0, "illegal fusion must be refused");
+        let out = print_unit(&unit);
+        assert_eq!(out.matches("#pragma omp parallel for").count(), 2, "{out}");
+    }
+
+    #[test]
+    fn user_omp_pragma_is_consumed_and_schedule_carried() {
+        // A user `omp parallel for` header above the markers belongs to the
+        // nest: the replacement must not keep it as a duplicate, and its
+        // schedule clause must carry over to the generated pragma.
+        let src = "\
+int main() {
+    float a[64];
+#pragma omp parallel for schedule(dynamic, 4)
+#pragma scop
+    for (int i = 0; i < 64; i++) a[i] = i;
+#pragma endscop
+    return 0;
+}
+";
+        let (unit, report) = run(src, PolyccOptions::default());
+        assert_eq!(report.transformed_count(), 1);
+        assert_eq!(report.parallelized_count(), 1);
+        let out = print_unit(&unit);
+        assert_eq!(
+            out.matches("#pragma omp parallel for").count(),
+            1,
+            "user pragma must be consumed, not duplicated: {out}"
+        );
+        assert!(out.contains("schedule(dynamic, 4)"), "{out}");
+    }
+
+    #[test]
+    fn bare_omp_pair_routes_as_implicit_scop() {
+        // The paper's input form — `omp parallel for` with no scop markers —
+        // is routed through the transformer directly.
+        let src = "\
+int main() {
+    float a[128];
+#pragma omp parallel for
+    for (int i = 0; i < 128; i++) a[i] = i;
+    return 0;
+}
+";
+        let (unit, report) = run(src, PolyccOptions::default());
+        assert_eq!(report.transformed_count(), 1);
+        assert_eq!(report.parallelized_count(), 1);
+        let out = print_unit(&unit);
+        assert!(out.contains("#pragma affine"), "{out}");
+        assert!(out.contains("t1"), "nest must be rewritten: {out}");
+    }
+
+    #[test]
+    fn poly_unmarked_routes_bare_body_pure_nest() {
+        // `--poly-unmarked`: a loop hanging directly off an `if` (no block,
+        // so scop markers can never surround it) is still transformed when
+        // every call in it is verified pure.
+        let src = "\
+int main(int argc) {
+    float a[64];
+    if (argc > 1)
+        for (int i = 0; i < 64; i++)
+            a[i] = i;
+    return 0;
+}
+";
+        let opts = PolyccOptions {
+            unmarked: Some(HashSet::new()),
+            ..Default::default()
+        };
+        let (unit, report) = run(src, opts);
+        assert_eq!(report.transformed_count(), 1);
+        let out = print_unit(&unit);
+        assert!(out.contains("#pragma affine"), "{out}");
+        // Without the flag the same nest stays literal.
+        let (_, off) = run(src, PolyccOptions::default());
+        assert_eq!(off.transformed_count(), 0);
+    }
+
+    #[test]
+    fn poly_unmarked_skips_nests_with_unverified_calls() {
+        let src = "\
+int main(int argc) {
+    float a[64];
+    if (argc > 1)
+        for (int i = 0; i < 64; i++)
+            a[i] = mystery(i);
+    return 0;
+}
+";
+        let opts = PolyccOptions {
+            unmarked: Some(HashSet::new()),
+            ..Default::default()
+        };
+        let (_, report) = run(src, opts);
+        assert_eq!(
+            report.transformed_count(),
+            0,
+            "unverified call must block implicit-SCoP routing"
+        );
+    }
+
+    #[test]
+    fn non_trivial_bounds_are_hoisted() {
+        // Tiled codegen produces `__pc_min(...)` upper bounds; the hoist
+        // pass must evaluate them once ahead of the nest, leaving the
+        // `iter <= local` shape the VM's affine fast path requires.
+        let src = "\
+float **A, **Bt, **C;
+int main() {
+#pragma scop
+    for (int i = 0; i < 4096; i++)
+        for (int j = 0; j < 4096; j++)
+            C[i][j] = tmpConst_dot_0;
+#pragma endscop
+    return 0;
+}
+";
+        let opts = PolyccOptions {
+            codegen: CodegenOptions {
+                tile: Some(32),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (unit, report) = run(src, opts);
+        assert_eq!(report.transformed_count(), 1);
+        assert!(report.hoisted > 0, "tiled bounds must hoist");
+        let out = print_unit(&unit);
+        assert!(out.contains("int __pc_ub"), "{out}");
+        assert!(
+            !out.contains("<= __pc_min") || out.contains("__pc_ub"),
+            "point-loop bounds must read the hoisted temporary: {out}"
+        );
+    }
+
+    #[test]
+    fn invariant_rows_are_hoisted_per_level() {
+        // Both `B[i]` and `A[i]` settle at the outer level; each becomes
+        // one `__pc_row` pointer loaded once per outer iteration, and no
+        // two-level subscript survives in the inner body.
+        let src = "\
+float **A, **B;
+int main() {
+#pragma scop
+    for (int i = 0; i < 64; i++)
+        for (int j = 0; j < 64; j++)
+            B[i][j] = A[i][j] + 1.0f;
+#pragma endscop
+    return 0;
+}
+";
+        let (unit, report) = run(src, PolyccOptions::default());
+        assert_eq!(report.transformed_count(), 1);
+        assert_eq!(report.rows_hoisted, 2);
+        let out = print_unit(&unit);
+        assert!(out.contains("float* __pc_row1 = B[t1];"), "{out}");
+        assert!(out.contains("float* __pc_row2 = A[t1];"), "{out}");
+        assert!(
+            out.contains("__pc_row1[t2] = __pc_row2[t2] + 1.0f;"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn row_store_blocks_row_hoisting() {
+        // `A[j] = spare` can retarget any row of `A` mid-nest, so the
+        // two-level stream `A[i][j]` must keep reloading its row — the
+        // base is disqualified for the whole nest even though the nest
+        // still transforms (sequentially, marker and all).
+        let src = "\
+float **A;
+float *spare;
+int main() {
+#pragma scop
+    for (int i = 0; i < 64; i++)
+        for (int j = 0; j < 64; j++)
+        {
+            A[i][j] = 1.0f;
+            A[j] = spare;
+        }
+#pragma endscop
+    return 0;
+}
+";
+        let (unit, report) = run(src, PolyccOptions::default());
+        assert_eq!(report.transformed_count(), 1);
+        assert_eq!(report.rows_hoisted, 0);
+        let out = print_unit(&unit);
+        assert!(!out.contains("__pc_row"), "{out}");
+        assert!(out.contains("A[t1][t2]"), "{out}");
     }
 }

@@ -197,6 +197,10 @@ pub fn compute_schedule(scop: &Scop, deps: &[Dependence]) -> Transform {
     }
 }
 
+/// Deepest nest for which the full 3^n skew enumeration runs; deeper nests
+/// fall back to unit vectors only so schedule search stays polynomial.
+const MAX_SKEW_DEPTH: usize = 6;
+
 /// Candidate hyperplanes in preference order: identity axes first (original
 /// order), then axes in other orders, then skews with growing coefficients.
 fn hyperplane_candidates(n: usize) -> Vec<Vec<i64>> {
@@ -206,6 +210,9 @@ fn hyperplane_candidates(n: usize) -> Vec<Vec<i64>> {
         let mut v = vec![0; n];
         v[i] = 1;
         out.push(v);
+    }
+    if n > MAX_SKEW_DEPTH {
+        return out;
     }
     // All vectors with coefficients in 0..=2 (excluding zero and the unit
     // vectors already present), sorted by (sum, max coeff) — small skews

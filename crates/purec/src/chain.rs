@@ -17,7 +17,7 @@ use cfront::ast::TranslationUnit;
 use cfront::diag::Diagnostics;
 use cfront::parser::parse;
 use cinterp::{InterpOptions, Program, RaceVerdict, RunResult, RuntimeError, VerdictMap};
-use polyhedral::{run_polycc, PolyccOptions, RegionOutcome, HELPER_DEFS};
+use polyhedral::{run_polycc, PolyccOptions, PolyccReport, RegionOutcome, HELPER_DEFS};
 use purec_core::{finish, run_pc_cc, PcCcOptions, SubstMap};
 use std::collections::HashMap;
 
@@ -26,6 +26,12 @@ use std::collections::HashMap;
 pub struct ChainOptions {
     pub pc_cc: PcCcOptions,
     pub polycc: PolyccOptions,
+    /// Skip the polyhedral stage entirely (`--no-poly`): scop markers stay
+    /// in the text as no-op pragmas and every loop executes literally.
+    pub no_poly: bool,
+    /// Route unmarked bare-body `for` nests whose calls are all verified
+    /// pure through the transformer as implicit SCoPs (`--poly-unmarked`).
+    pub poly_unmarked: bool,
 }
 
 /// Everything the chain produced.
@@ -42,6 +48,15 @@ pub struct ChainOutput {
     pub regions_parallelized: usize,
     pub regions_skewed: usize,
     pub regions_tiled: usize,
+    /// Adjacent compatible nests merged by the fusion pass (each fusion
+    /// removes one parallel-region join barrier).
+    pub regions_fused: usize,
+    /// Invariant row pointers strength-reduced out of inner loops
+    /// (`T* __pc_rowK = X[e];` hoisted to the level where `e` settles).
+    pub rows_hoisted: usize,
+    /// One human-readable line per region outcome — the transform matrix,
+    /// band width and per-region flags — for `--dump-schedule`.
+    pub schedules: Vec<String>,
     pub calls_reinserted: usize,
     /// Non-fatal diagnostics accumulated across stages.
     pub diags: Diagnostics,
@@ -74,7 +89,15 @@ pub fn compile(source: &str, opts: ChainOptions) -> Result<ChainOutput, Diagnost
 
     // polycc.
     let opt_span = instrument::span("phase.opt", 0);
-    let report = run_polycc(&mut unit, opts.polycc);
+    let report = if opts.no_poly {
+        PolyccReport::default()
+    } else {
+        let mut polycc_opts = opts.polycc;
+        if opts.poly_unmarked {
+            polycc_opts.unmarked = Some(purec_core::verified_pure_set(&pcc.declared_pure));
+        }
+        run_polycc(&mut unit, polycc_opts)
+    };
     drop(opt_span);
     diags.extend(report.diags.clone());
 
@@ -90,6 +113,9 @@ pub fn compile(source: &str, opts: ChainOptions) -> Result<ChainOutput, Diagnost
         .iter()
         .filter(|r| matches!(r, RegionOutcome::Transformed { tiled: true, .. }))
         .count();
+    let regions_fused = report.fused;
+    let rows_hoisted = report.rows_hoisted;
+    let schedules = render_schedules(&report);
 
     // Reinsert placeholders per region with that region's iterator map;
     // anything not covered by a transformed region maps identically.
@@ -166,11 +192,55 @@ pub fn compile(source: &str, opts: ChainOptions) -> Result<ChainOutput, Diagnost
         regions_parallelized,
         regions_skewed,
         regions_tiled,
+        regions_fused,
+        rows_hoisted,
+        schedules,
         calls_reinserted,
         diags,
         verdicts,
         analysis_micros,
     })
+}
+
+/// Render one summary line per region outcome for `--dump-schedule`.
+fn render_schedules(report: &PolyccReport) -> Vec<String> {
+    report
+        .regions
+        .iter()
+        .enumerate()
+        .map(|(k, r)| match r {
+            RegionOutcome::Transformed {
+                depth,
+                parallelized,
+                tiled,
+                skewed,
+                transform,
+                ..
+            } => {
+                let rows: Vec<String> = transform
+                    .matrix
+                    .iter()
+                    .map(|row| {
+                        let cells: Vec<String> = row.iter().map(i64::to_string).collect();
+                        format!("[{}]", cells.join(","))
+                    })
+                    .collect();
+                format!(
+                    "region {k}: depth={depth} schedule=[{}] band={}{}{}{}",
+                    rows.join(" "),
+                    transform.band,
+                    if *parallelized {
+                        " parallel"
+                    } else {
+                        " sequential"
+                    },
+                    if *tiled { " tiled" } else { "" },
+                    if *skewed { " skewed" } else { "" },
+                )
+            }
+            RegionOutcome::Skipped { reason } => format!("region {k}: skipped ({reason})"),
+        })
+        .collect()
 }
 
 /// Reinsert substituted calls region by region, adapting iterators with
@@ -397,7 +467,9 @@ int main() {
             polycc: PolyccOptions {
                 codegen: polyhedral::CodegenOptions::default(),
                 sica: Some(polyhedral::SicaParams::default()),
+                ..Default::default()
             },
+            ..Default::default()
         };
         let out = compile(&src, opts).expect("chain");
         assert!(out.regions_tiled >= 1, "{}", out.text);

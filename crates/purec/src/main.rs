@@ -1,7 +1,8 @@
 //! `purec` — the command-line driver of the extended compiler chain.
 //!
 //! ```text
-//! purec <file.c> [--sica] [--tile N] [--no-omp] [--run [--threads N]]
+//! purec <file.c> [--sica] [--tile N] [--no-poly] [--poly-unmarked]
+//!       [--no-omp] [--dump-schedule] [--run [--threads N]]
 //!       [--engine vm|resolved] [--no-pool] [--no-futures] [--no-steal]
 //!       [--no-opt] [--dump-bytecode] [--profile-pairs] [--pgo]
 //!       [--fuel N] [--max-memory BYTES] [--max-depth N]
@@ -48,6 +49,13 @@ fn usage() -> ! {
          options:\n\
          \x20 --sica           enable PluTo-SICA mode (cache tiling + SIMD pragmas)\n\
          \x20 --tile N         explicit rectangular tile size\n\
+         \x20 --tile-size N    alias for --tile\n\
+         \x20 --no-poly        skip the polyhedral stage; every loop nest runs\n\
+         \x20                  literally (A/B comparison against the fast path)\n\
+         \x20 --poly-unmarked  route unmarked all-pure for nests through the\n\
+         \x20                  transformer as implicit SCoPs\n\
+         \x20 --dump-schedule  print one line per region outcome (schedule\n\
+         \x20                  matrix, band, parallel/tiled/skewed) to stderr\n\
          \x20 --no-omp         suppress OpenMP pragmas (transform only)\n\
          \x20 --no-alloc-pure  drop malloc/free from the pure registry (ablation A1)\n\
          \x20 --emit-marked    stop after PC-CC and print the marked source\n\
@@ -190,6 +198,9 @@ fn main() {
     let mut demo: Option<String> = None;
     let mut sica = false;
     let mut tile: Option<i64> = None;
+    let mut no_poly = false;
+    let mut poly_unmarked = false;
+    let mut dump_schedule = false;
     let mut omp = true;
     let mut alloc_pure = true;
     let mut emit_marked = false;
@@ -220,13 +231,16 @@ fn main() {
         match arg.as_str() {
             "--demo" => demo = Some(it.next().unwrap_or_else(|| usage())),
             "--sica" => sica = true,
-            "--tile" => {
+            "--tile" | "--tile-size" => {
                 tile = Some(
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--no-poly" => no_poly = true,
+            "--poly-unmarked" => poly_unmarked = true,
+            "--dump-schedule" => dump_schedule = true,
             "--no-omp" => omp = false,
             "--no-alloc-pure" => alloc_pure = false,
             "--emit-marked" => emit_marked = true,
@@ -331,7 +345,10 @@ fn main() {
             } else {
                 None
             },
+            ..Default::default()
         },
+        no_poly,
+        poly_unmarked,
     };
 
     if emit_marked {
@@ -441,9 +458,15 @@ fn main() {
                     .iter()
                     .map(|(_, n)| n)
                     .sum();
+                if dump_schedule {
+                    for line in &out.schedules {
+                        eprintln!("purec: {line}");
+                    }
+                }
                 if stats {
                     eprintln!(
                         "purec: verified pure: {:?}; scops {}; transformed {}; parallel {}; \
+                         tiled {}; fused {}; rows hoisted {}; \
                          spawn sites {}; exit {}; \
                          ops {{flops: {}, int_ops: {}, loads: {}, stores: {}, calls: {}, \
                          branches: {}}}; \
@@ -456,6 +479,9 @@ fn main() {
                         out.scops_marked,
                         out.regions_transformed,
                         out.regions_parallelized,
+                        out.regions_tiled,
+                        out.regions_fused,
+                        out.rows_hoisted,
                         spawn_sites,
                         result.exit_code,
                         result.counters.flops,
@@ -532,6 +558,9 @@ fn main() {
                                     "regions_parallelized".to_string(),
                                     n(out.regions_parallelized as u64),
                                 ),
+                                ("regions_tiled".to_string(), n(out.regions_tiled as u64)),
+                                ("regions_fused".to_string(), n(out.regions_fused as u64)),
+                                ("rows_hoisted".to_string(), n(out.rows_hoisted as u64)),
                                 ("spawn_sites".to_string(), n(spawn_sites as u64)),
                                 ("analysis_micros".to_string(), n(out.analysis_micros)),
                             ]),
@@ -573,16 +602,23 @@ fn main() {
             if dump_bytecode {
                 eprint!("{}", out.program().bytecode_at(opt_level).dump());
             }
+            if dump_schedule {
+                for line in &out.schedules {
+                    eprintln!("purec: {line}");
+                }
+            }
             if stats {
                 eprintln!(
                     "purec: verified pure: {:?}; scops {}; transformed {}; parallel {}; \
-                     skewed {}; tiled {}; calls reinserted {}",
+                     skewed {}; tiled {}; fused {}; rows hoisted {}; calls reinserted {}",
                     out.declared_pure,
                     out.scops_marked,
                     out.regions_transformed,
                     out.regions_parallelized,
                     out.regions_skewed,
                     out.regions_tiled,
+                    out.regions_fused,
+                    out.rows_hoisted,
                     out.calls_reinserted,
                 );
             }

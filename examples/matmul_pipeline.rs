@@ -61,7 +61,9 @@ fn main() {
             polycc: PolyccOptions {
                 codegen: CodegenOptions::default(),
                 sica: Some(SicaParams::default()),
+                ..Default::default()
             },
+            ..Default::default()
         },
     )
     .expect("sica chain");

@@ -1,0 +1,59 @@
+// Golden schedule snapshot for the paper's Figure 3/Listing 7 shape:
+// matrix-matrix multiplication with the dot kernel extracted into a
+// pure function. Compiled by tests/schedule_golden.rs with the option
+// line below; each `expect:` line is matched, in order, against one
+// `region N:` line of the chain's --dump-schedule output (every token
+// must appear in the line).
+// options: tile=8
+
+float **A, **Bt, **C;
+
+pure float mult(float a, float b) {
+    return a * b;
+}
+
+// The reduction loop inside dot is a one-dimensional band with a
+// loop-carried dependence on `res`: legal to tile, never parallel.
+// expect: depth=1 band=1 sequential tiled
+pure float dot(pure float* a, pure float* b, int size) {
+    float res = 0.0f;
+    for (int i = 0; i < size; ++i)
+        res += mult(a[i], b[i]);
+    return res;
+}
+
+int main() {
+    A = (float**) malloc(64 * sizeof(float*));
+    Bt = (float**) malloc(64 * sizeof(float*));
+    C = (float**) malloc(64 * sizeof(float*));
+    // Allocation nest: malloc is not an assignment statement, so the
+    // outer loop is rejected as a scop...
+    // expect: skipped
+    for (int i = 0; i < 64; ++i) {
+        A[i] = (float*) malloc(64 * sizeof(float*));
+        Bt[i] = (float*) malloc(64 * sizeof(float));
+        C[i] = (float*) malloc(64 * sizeof(float));
+        // ...but the inner initialization nest is a valid region of
+        // its own: fully parallel, one-dimensional.
+        // expect: depth=1 band=1 parallel tiled
+        for (int j = 0; j < 64; ++j) {
+            A[i][j] = (float)(i + 2 * j + 1);
+            Bt[i][j] = (float)(i - j + 3);
+        }
+    }
+    // The product nest is the paper's headline result: opaque to a
+    // plain polyhedral tool, but once PC-CC verifies dot pure the
+    // whole 2-d band is parallel and tileable.
+    // expect: depth=2 band=2 parallel tiled
+    for (int i = 0; i < 64; ++i)
+        for (int j = 0; j < 64; ++j)
+            C[i][j] = dot((pure float*)A[i], (pure float*)Bt[j], 64);
+    float checksum = 0.0f;
+    // The checksum walk subscripts with (i * 7) % 64 - non-affine, so
+    // the region is reported and skipped.
+    // expect: skipped
+    for (int i = 0; i < 64; ++i)
+        checksum += C[i][(i * 7) % 64];
+    printf("checksum=%.1f\n", checksum);
+    return 0;
+}

@@ -148,7 +148,9 @@ fn sica_mode_preserves_semantics() {
         polycc: PolyccOptions {
             codegen: CodegenOptions::default(),
             sica: Some(SicaParams::default()),
+            ..Default::default()
         },
+        ..Default::default()
     };
     let (out, run) = purec::compile_and_run(
         &src,

@@ -238,9 +238,16 @@ int main(int argc, char** argv) {
         "{}",
         out.text
     );
+    // The store keeps Listing 8's call, with the invariant row pointer
+    // strength-reduced out of the inner loop by the backend.
+    assert!(
+        out.text.contains("float* __pc_row1 = C[t1];"),
+        "{}",
+        out.text
+    );
     assert!(
         out.text
-            .contains("C[t1][t2] = dot((const float*)A[t1], (const float*)Bt[t2], 64);"),
+            .contains("__pc_row1[t2] = dot((const float*)A[t1], (const float*)Bt[t2], 64);"),
         "{}",
         out.text
     );

@@ -1,0 +1,376 @@
+//! Differential tests for the schedule-aware execution path: programs
+//! compiled through the polyhedral stage (transformed nests, `#pragma
+//! affine` markers, `AffineHead`/`AffineNext` bytecode) must be
+//! observably identical to the same source compiled with `--no-poly`
+//! (every nest literal), and — within the poly build — the bytecode VM,
+//! the resolved-IR engine and the legacy tree-walking oracle must agree
+//! bit-for-bit on executed-op counters.
+//!
+//! The compensation contract across poly/no-poly: exit code, output,
+//! flops and stores are equal; loads may *shrink* (row-pointer hoisting
+//! loads an invariant row once per outer iteration instead of once per
+//! inner one) but never grow; control-flow bookkeeping (int_ops,
+//! branches) may differ because the transformed nest executes a
+//! different — strictly cheaper per iteration — loop skeleton. Fuel only
+//! ever shrinks: a fuel budget sufficient for the literal build is
+//! sufficient for the poly build.
+
+use proptest::prelude::*;
+use pure_c::prelude::*;
+
+/// A generated program with a guaranteed-affine `omp parallel for` nest
+/// (routed through the transformer as an implicit SCoP), a second affine
+/// nest reading the first (fusion candidate), verified-pure tree-recursive
+/// calls in spawnable batches, and a printf/exit-code observable.
+fn poly_source(n: usize, c1: i64, c2: i64, m: usize, sched: usize) -> String {
+    let sched = [
+        "",
+        " schedule(static)",
+        " schedule(static,3)",
+        " schedule(dynamic,2)",
+        " schedule(guided,1)",
+    ][sched % 5];
+    format!(
+        "pure int leaf(int x) {{\n\
+             int acc = 0;\n\
+             for (int i = 0; i < (x % 5) + 2; i++) acc += i * x;\n\
+             return acc % 97;\n\
+         }}\n\
+         pure int tree(int n, int s) {{\n\
+             if (n < 2) return leaf(n + s);\n\
+             int a = tree(n - 1, s);\n\
+             int b = tree(n - 2, s + 1);\n\
+             return a + b;\n\
+         }}\n\
+         int main() {{\n\
+             int* a = (int*) malloc({n} * sizeof(int));\n\
+             int* b = (int*) malloc({n} * sizeof(int));\n\
+             int* out = (int*) malloc({m} * sizeof(int));\n\
+         #pragma omp parallel for{sched}\n\
+             for (int i = 0; i < {n}; i++)\n\
+                 a[i] = i * {c2} + {c1};\n\
+         #pragma omp parallel for{sched}\n\
+             for (int j = 0; j < {n}; j++)\n\
+                 b[j] = a[j] + j;\n\
+             for (int k = 0; k < {m}; k++) {{\n\
+                 out[k] = tree(3 + k % 3, k) + leaf(k + {c1});\n\
+             }}\n\
+             int acc = 0;\n\
+             for (int i = 0; i < {n}; i++) acc += b[i] % 31;\n\
+             for (int k = 0; k < {m}; k++) acc += out[k] % 31;\n\
+             printf(\"acc=%d\\n\", acc);\n\
+             return (acc % 113 + 113) % 113;\n\
+         }}"
+    )
+}
+
+fn compile_pair(src: &str) -> (purec::ChainOutput, purec::ChainOutput) {
+    let poly = compile(src, ChainOptions::default()).expect("poly chain compiles");
+    let nopoly = compile(
+        src,
+        ChainOptions {
+            no_poly: true,
+            ..Default::default()
+        },
+    )
+    .expect("no-poly chain compiles");
+    (poly, nopoly)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// poly == no-poly == resolved == legacy: on generated programs with
+    /// implicit-SCoP parallel nests, pure-call spawns and all four omp
+    /// schedules, the poly and literal builds agree on exit code, output
+    /// and data counters — and within the poly build, all three engines
+    /// agree on every executed-op counter — sequentially and with 4
+    /// threads.
+    #[test]
+    fn poly_matches_no_poly_and_oracles(
+        n in 16usize..48,
+        c1 in -20i64..50,
+        c2 in 1i64..40,
+        m in 4usize..10,
+        sched in 0usize..5,
+    ) {
+        let src = poly_source(n, c1, c2, m, sched);
+        let (poly, nopoly) = compile_pair(&src);
+        prop_assert!(
+            poly.regions_transformed >= 1,
+            "the affine nest must be transformed:\n{}",
+            poly.text
+        );
+        prop_assert_eq!(nopoly.regions_transformed, 0);
+        let pp = poly.program();
+        let pn = nopoly.program();
+        for threads in [1usize, 4] {
+            let opts = InterpOptions { threads, memo: false, ..Default::default() };
+            let vm_p = pp.run(opts).expect("poly VM runs");
+            let vm_n = pn.run(opts).expect("no-poly VM runs");
+            // Across builds: observables and data counters.
+            prop_assert_eq!(vm_p.exit_code, vm_n.exit_code, "threads={}", threads);
+            prop_assert_eq!(&vm_p.output, &vm_n.output, "threads={}", threads);
+            prop_assert_eq!(vm_p.counters.flops, vm_n.counters.flops, "threads={}", threads);
+            prop_assert_eq!(vm_p.counters.loads, vm_n.counters.loads, "threads={}", threads);
+            prop_assert_eq!(vm_p.counters.stores, vm_n.counters.stores, "threads={}", threads);
+            // Within the poly build: all three tiers bit-identical.
+            let res_p = pp.run_resolved(opts).expect("poly resolved runs");
+            prop_assert_eq!(res_p.exit_code, vm_p.exit_code, "threads={}", threads);
+            prop_assert_eq!(&res_p.output, &vm_p.output, "threads={}", threads);
+            prop_assert_eq!(
+                res_p.counters.without_memo(),
+                vm_p.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            let leg_p = pp.run_legacy(opts).expect("poly legacy runs");
+            prop_assert_eq!(leg_p.exit_code, vm_p.exit_code, "threads={}", threads);
+            prop_assert_eq!(&leg_p.output, &vm_p.output, "threads={}", threads);
+            prop_assert_eq!(
+                leg_p.counters.without_memo(),
+                vm_p.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+            // And the no-poly build's tiers agree with each other too.
+            let res_n = pn.run_resolved(opts).expect("no-poly resolved runs");
+            prop_assert_eq!(
+                res_n.counters.without_memo(),
+                vm_n.counters.without_memo(),
+                "threads={}",
+                threads
+            );
+        }
+    }
+
+    /// `--poly-unmarked` routes bare pure nests through the transformer
+    /// without changing observables relative to the literal build.
+    #[test]
+    fn poly_unmarked_matches_no_poly(
+        n in 16usize..48,
+        c in 1i64..40,
+        flag in any::<bool>(),
+    ) {
+        // The nest hangs directly off an `if`, so no scop markers can
+        // surround it: only `--poly-unmarked` can route it.
+        let src = format!(
+            "int main() {{\n\
+                 int* a = (int*) malloc({n} * sizeof(int));\n\
+                 int go = 1;\n\
+                 if (go)\n\
+                     for (int i = 0; i < {n}; i++)\n\
+                         a[i] = i * {c} + 1;\n\
+                 int acc = 0;\n\
+                 for (int i = 0; i < {n}; i++) acc += a[i] % 29;\n\
+                 printf(\"acc=%d\\n\", acc);\n\
+                 return acc % 113;\n\
+             }}"
+        );
+        let unmarked = compile(
+            &src,
+            ChainOptions {
+                poly_unmarked: flag,
+                ..Default::default()
+            },
+        )
+        .expect("poly-unmarked chain compiles");
+        let nopoly = compile(
+            &src,
+            ChainOptions {
+                no_poly: true,
+                ..Default::default()
+            },
+        )
+        .expect("no-poly chain compiles");
+        if flag {
+            prop_assert!(
+                unmarked.regions_transformed >= 1,
+                "bare-body nest must be routed:\n{}",
+                unmarked.text
+            );
+        }
+        for threads in [1usize, 4] {
+            let opts = InterpOptions { threads, memo: false, ..Default::default() };
+            let u = unmarked.program().run(opts).expect("unmarked runs");
+            let l = nopoly.program().run(opts).expect("literal runs");
+            prop_assert_eq!(u.exit_code, l.exit_code, "threads={}", threads);
+            prop_assert_eq!(&u.output, &l.output, "threads={}", threads);
+        }
+    }
+
+    /// Fuel only ever shrinks under the polyhedral stage: the transformed
+    /// nest dispatches once per iteration where the literal loop skeleton
+    /// dispatches several times, so any fuel budget sufficient for the
+    /// literal build is sufficient for the poly build — and a poly fuel
+    /// trap implies the literal build would have trapped too.
+    #[test]
+    fn poly_fuel_trap_implies_literal_trap(
+        n in 16usize..64,
+        c1 in -20i64..50,
+        c2 in 1i64..40,
+        fuel in 1u64..6000,
+    ) {
+        let src = poly_source(n, c1, c2, 4, 0);
+        let (poly, nopoly) = compile_pair(&src);
+        prop_assert!(poly.regions_transformed >= 1);
+        let at = |prog: &Program| prog.run(InterpOptions {
+            fuel: Some(fuel),
+            memo: false,
+            ..Default::default()
+        });
+        let literal = at(&nopoly.program());
+        let fast = at(&poly.program());
+        match (&literal, &fast) {
+            // Literal finished within budget -> poly must finish too.
+            (Ok(l), f) => {
+                let f = f.as_ref().expect("poly burns no more fuel than literal");
+                prop_assert_eq!(f.exit_code, l.exit_code);
+                prop_assert_eq!(&f.output, &l.output);
+            }
+            // Poly trapped on fuel -> so must the literal build.
+            (Err(l), Err(f)) => {
+                prop_assert_eq!(f.trap, Some(Trap::FuelExhausted));
+                prop_assert_eq!(l.trap, Some(Trap::FuelExhausted));
+            }
+            (Err(_), Ok(_)) => {} // the transformation saved enough fuel: fine.
+        }
+    }
+
+    /// Resource traps survive the polyhedral stage verbatim: a tripped
+    /// memory cap and a tripped call-depth cap produce the same trap kind
+    /// and message in the poly and literal builds, across all tiers.
+    #[test]
+    fn poly_preserves_resource_traps(cap in 1u64..64) {
+        let src = poly_source(24, 3, 5, 4, 0);
+        let (poly, nopoly) = compile_pair(&src);
+        prop_assert!(poly.regions_transformed >= 1);
+        let cases = [
+            InterpOptions {
+                max_memory_bytes: Some(cap),
+                ..Default::default()
+            },
+            InterpOptions {
+                max_call_depth: Some(1 + cap as usize % 3),
+                ..Default::default()
+            },
+        ];
+        for opts in cases {
+            // The structured trap *kind* is identical across builds and
+            // tiers (messages embed engine- and build-specific details
+            // like frame sizes, so only the kind is load-bearing).
+            let l = nopoly.program().run(opts).expect_err("literal build traps");
+            let f = poly.program().run(opts).expect_err("poly build traps");
+            prop_assert_eq!(f.trap, l.trap);
+            let r = poly.program().run_resolved(opts).expect_err("resolved traps");
+            prop_assert_eq!(r.trap, f.trap);
+            let g = poly.program().run_legacy(opts).expect_err("legacy traps");
+            prop_assert_eq!(g.trap, f.trap);
+        }
+    }
+}
+
+/// The paper's two figure applications end-to-end: matmul (fig. 3) and
+/// heat (fig. 7) produce bit-identical output under the poly and literal
+/// builds, sequentially and with 4 threads, with the transformed build
+/// burning strictly fewer dispatches.
+#[test]
+fn matmul_and_heat_poly_match_no_poly() {
+    for src in [
+        apps::matmul::c_source(24),
+        apps::matmul::c_source_inline(24),
+        apps::heat::c_source(16, 3),
+    ] {
+        let (poly, nopoly) = compile_pair(&src);
+        assert!(poly.regions_transformed >= 1, "{}", poly.text);
+        let pp = poly.program();
+        let pn = nopoly.program();
+        for threads in [1usize, 4] {
+            let opts = InterpOptions {
+                threads,
+                memo: false,
+                ..Default::default()
+            };
+            let fast = pp.run(opts).expect("poly runs");
+            let literal = pn.run(opts).expect("literal runs");
+            assert_eq!(fast.exit_code, literal.exit_code, "threads={threads}");
+            assert_eq!(fast.output, literal.output, "threads={threads}");
+            assert_eq!(fast.counters.flops, literal.counters.flops);
+            // Row-pointer hoisting loads each invariant row once per
+            // outer iteration instead of once per inner one, so the
+            // poly build may do strictly fewer loads — never more.
+            assert!(
+                fast.counters.loads <= literal.counters.loads,
+                "threads={threads}: poly {} vs literal {} loads",
+                fast.counters.loads,
+                literal.counters.loads
+            );
+            assert_eq!(fast.counters.stores, literal.counters.stores);
+            // The schedule-aware skeleton must dispatch less often: fewer
+            // counted branches than the literal loop shape.
+            assert!(
+                fast.counters.branches < literal.counters.branches,
+                "threads={threads}: poly {} vs literal {} branches",
+                fast.counters.branches,
+                literal.counters.branches
+            );
+            // Tiers agree within the poly build.
+            let res = pp.run_resolved(opts).expect("resolved runs");
+            assert_eq!(
+                res.counters.without_memo(),
+                fast.counters.without_memo(),
+                "threads={threads}"
+            );
+            let leg = pp.run_legacy(opts).expect("legacy runs");
+            assert_eq!(
+                leg.counters.without_memo(),
+                fast.counters.without_memo(),
+                "threads={threads}"
+            );
+        }
+    }
+}
+
+/// The fused pair in [`poly_source`] collapses into one parallel region:
+/// the literal build launches two `omp` regions where the poly build
+/// launches one (one join barrier saved), with identical output.
+#[test]
+fn fused_nests_collapse_parallel_regions() {
+    // Just the producer/consumer pair — no other transformable nests, so
+    // the parallel-region count is exactly what fusion determines.
+    let src = "\
+int main() {
+    int* a = (int*) malloc(32 * sizeof(int));
+    int* b = (int*) malloc(32 * sizeof(int));
+#pragma omp parallel for
+    for (int i = 0; i < 32; i++)
+        a[i] = i * 5 + 3;
+#pragma omp parallel for
+    for (int j = 0; j < 32; j++)
+        b[j] = a[j] + j;
+    printf(\"b=%d\\n\", b[31]);
+    return 0;
+}"
+    .to_string();
+    let (poly, nopoly) = compile_pair(&src);
+    assert!(
+        poly.regions_fused >= 1,
+        "adjacent compatible nests must fuse:\n{}",
+        poly.text
+    );
+    assert_eq!(
+        poly.text.matches("#pragma omp parallel for").count(),
+        nopoly.text.matches("#pragma omp parallel for").count() - 1,
+        "fusion must remove one parallel region:\npoly:\n{}\nliteral:\n{}",
+        poly.text,
+        nopoly.text
+    );
+    let opts = InterpOptions {
+        threads: 4,
+        ..Default::default()
+    };
+    let fast = poly.program().run(opts).expect("poly runs");
+    let literal = nopoly.program().run(opts).expect("literal runs");
+    assert_eq!(fast.output, literal.output);
+    assert_eq!(fast.exit_code, literal.exit_code);
+}
